@@ -1,0 +1,230 @@
+//! One workload source, two DSMs.
+//!
+//! The paper ports each application to both LOTS and JIAJIA (§4.1).
+//! [`DsmCtx`] is the thin seam that lets this crate's kernels run
+//! unchanged on either system. [`Chunked`] realizes the paper's data
+//! layout on each: in LOTS every chunk (row, run, bucket) is its own
+//! shared object (§3.2: "LOTS treats each pointer or row as a separate
+//! object"); in JIAJIA the chunks are consecutive ranges of one flat
+//! allocation, so chunks that are not page-multiples share pages —
+//! the false sharing §4.1 analyses in LU.
+
+use lots_core::{Dsm, Pod, SharedSlice};
+use lots_jiajia::{JiaDsm, JiaSlice};
+use lots_sim::SimInstant;
+
+/// Which DSM a workload runs on.
+#[derive(Clone, Copy)]
+pub enum DsmCtx<'d> {
+    Lots(&'d Dsm),
+    Jia(&'d JiaDsm),
+}
+
+impl<'d> DsmCtx<'d> {
+    pub fn me(&self) -> usize {
+        match self {
+            DsmCtx::Lots(d) => d.me(),
+            DsmCtx::Jia(d) => d.me(),
+        }
+    }
+
+    pub fn n(&self) -> usize {
+        match self {
+            DsmCtx::Lots(d) => d.n(),
+            DsmCtx::Jia(d) => d.n(),
+        }
+    }
+
+    pub fn now(&self) -> SimInstant {
+        match self {
+            DsmCtx::Lots(d) => d.now(),
+            DsmCtx::Jia(d) => d.now(),
+        }
+    }
+
+    pub fn barrier(&self) {
+        match self {
+            DsmCtx::Lots(d) => d.barrier(),
+            DsmCtx::Jia(d) => d.barrier(),
+        }
+    }
+
+    pub fn lock(&self, l: u32) {
+        match self {
+            DsmCtx::Lots(d) => d.lock(l),
+            DsmCtx::Jia(d) => d.lock(l),
+        }
+    }
+
+    pub fn unlock(&self, l: u32) {
+        match self {
+            DsmCtx::Lots(d) => d.unlock(l),
+            DsmCtx::Jia(d) => d.unlock(l),
+        }
+    }
+
+    pub fn charge_compute(&self, ops: u64) {
+        match self {
+            DsmCtx::Lots(d) => d.charge_compute(ops),
+            DsmCtx::Jia(d) => d.charge_compute(ops),
+        }
+    }
+
+    /// Account per-element accesses a bulk transfer collapsed. Only the
+    /// object-based system pays the software check (§4.1 factor 2).
+    pub fn charge_access_checks(&self, n: u64) {
+        match self {
+            DsmCtx::Lots(d) => d.charge_access_checks(n),
+            DsmCtx::Jia(_) => {}
+        }
+    }
+
+    /// Allocate `chunks × chunk_len` elements in the paper's layout for
+    /// this DSM.
+    pub fn alloc_chunked<T: Pod>(&self, chunks: usize, chunk_len: usize) -> Chunked<'d, T> {
+        assert!(chunks > 0 && chunk_len > 0);
+        let inner = match self {
+            DsmCtx::Lots(d) => ChunkedInner::Lots(
+                (0..chunks)
+                    .map(|_| d.alloc::<T>(chunk_len).expect("LOTS allocation failed"))
+                    .collect(),
+            ),
+            DsmCtx::Jia(d) => ChunkedInner::Jia(
+                d.alloc::<T>(chunks * chunk_len)
+                    .expect("JIAJIA allocation failed"),
+            ),
+        };
+        Chunked {
+            inner,
+            chunks,
+            chunk_len,
+        }
+    }
+}
+
+enum ChunkedInner<'d, T: Pod> {
+    Lots(Vec<SharedSlice<'d, T>>),
+    Jia(JiaSlice<'d, T>),
+}
+
+/// A chunked shared array (matrix rows, sort runs, radix buckets).
+pub struct Chunked<'d, T: Pod> {
+    inner: ChunkedInner<'d, T>,
+    pub chunks: usize,
+    pub chunk_len: usize,
+}
+
+impl<T: Pod> Chunked<'_, T> {
+    pub fn len(&self) -> usize {
+        self.chunks * self.chunk_len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    pub fn read(&self, chunk: usize, i: usize) -> T {
+        debug_assert!(i < self.chunk_len);
+        match &self.inner {
+            ChunkedInner::Lots(objs) => objs[chunk].read(i),
+            ChunkedInner::Jia(a) => a.read(chunk * self.chunk_len + i),
+        }
+    }
+
+    pub fn write(&self, chunk: usize, i: usize, v: T) {
+        debug_assert!(i < self.chunk_len);
+        match &self.inner {
+            ChunkedInner::Lots(objs) => objs[chunk].write(i, v),
+            ChunkedInner::Jia(a) => a.write(chunk * self.chunk_len + i, v),
+        }
+    }
+
+    pub fn update(&self, chunk: usize, i: usize, f: impl FnOnce(T) -> T) {
+        match &self.inner {
+            ChunkedInner::Lots(objs) => objs[chunk].update(i, f),
+            ChunkedInner::Jia(a) => a.update(chunk * self.chunk_len + i, f),
+        }
+    }
+
+    /// Bulk read within one chunk.
+    pub fn read_span_into(&self, chunk: usize, start: usize, out: &mut [T]) {
+        debug_assert!(start + out.len() <= self.chunk_len);
+        match &self.inner {
+            ChunkedInner::Lots(objs) => objs[chunk].read_into(start, out),
+            ChunkedInner::Jia(a) => a.read_into(chunk * self.chunk_len + start, out),
+        }
+    }
+
+    pub fn read_chunk(&self, chunk: usize) -> Vec<T> {
+        let mut out = vec![T::default(); self.chunk_len];
+        self.read_span_into(chunk, 0, &mut out);
+        out
+    }
+
+    /// Bulk write within one chunk.
+    pub fn write_span(&self, chunk: usize, start: usize, vals: &[T]) {
+        debug_assert!(start + vals.len() <= self.chunk_len);
+        match &self.inner {
+            ChunkedInner::Lots(objs) => objs[chunk].write_from(start, vals),
+            ChunkedInner::Jia(a) => a.write_from(chunk * self.chunk_len + start, vals),
+        }
+    }
+
+    pub fn write_chunk(&self, chunk: usize, vals: &[T]) {
+        debug_assert_eq!(vals.len(), self.chunk_len);
+        self.write_span(chunk, 0, vals);
+    }
+
+    /// Bulk read across chunk boundaries, `global` in flat elements.
+    pub fn read_global_into(&self, global: usize, out: &mut [T]) {
+        let mut pos = global;
+        let mut done = 0usize;
+        while done < out.len() {
+            let chunk = pos / self.chunk_len;
+            let off = pos % self.chunk_len;
+            let take = (self.chunk_len - off).min(out.len() - done);
+            self.read_span_into(chunk, off, &mut out[done..done + take]);
+            pos += take;
+            done += take;
+        }
+    }
+
+    /// Bulk write across chunk boundaries.
+    pub fn write_global(&self, global: usize, vals: &[T]) {
+        let mut pos = global;
+        let mut done = 0usize;
+        while done < vals.len() {
+            let chunk = pos / self.chunk_len;
+            let off = pos % self.chunk_len;
+            let take = (self.chunk_len - off).min(vals.len() - done);
+            self.write_span(chunk, off, &vals[done..done + take]);
+            pos += take;
+            done += take;
+        }
+    }
+}
+
+/// Per-node outcome of one workload run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppResult {
+    /// Order-independent checksum of the node's share of the result.
+    pub checksum: u64,
+    /// Virtual time from the post-initialization barrier to completion
+    /// (the paper's ME timing explicitly excludes local sorting, §4.1).
+    pub elapsed: lots_sim::SimDuration,
+}
+
+/// Combine per-node results: checksums add modulo 2⁶⁴, elapsed is the
+/// slowest node (execution time).
+pub fn combine(results: &[AppResult]) -> AppResult {
+    AppResult {
+        checksum: results
+            .iter()
+            .fold(0u64, |acc, r| acc.wrapping_add(r.checksum)),
+        elapsed: results
+            .iter()
+            .map(|r| r.elapsed)
+            .max()
+            .unwrap_or(lots_sim::SimDuration::ZERO),
+    }
+}

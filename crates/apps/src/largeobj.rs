@@ -1,0 +1,120 @@
+//! The Test 2 program (§4.3, Table 1): exercise the large object space.
+//!
+//! "The machines try to allocate a shared large 2-dimension integer
+//! array of X rows, with a total size exceeding 4 GB. … The program is
+//! made simple (just adding some numbers held by each process) … In
+//! this program, every object is swapped out once, thus more than 4 GB
+//! data is written to the disk. It is expected the execution time is to
+//! be dominated by the disk access time."
+//!
+//! LOTS-only: this is precisely the experiment no other DSM of the era
+//! could run at all (JIAJIA caps at 128 MB of shared space).
+
+use lots_core::{Dsm, LotsError, SharedSlice};
+use lots_sim::{SimDuration, TimeCategory};
+
+/// Test 2 parameters: `rows × row_elems` 32-bit integers.
+#[derive(Debug, Clone, Copy)]
+pub struct LargeObjParams {
+    /// X in the paper's Table 1.
+    pub rows: usize,
+    /// Elements per row (paper-scale: 1 M ints = 4 MB rows).
+    pub row_elems: usize,
+}
+
+impl LargeObjParams {
+    pub fn total_bytes(&self) -> u64 {
+        self.rows as u64 * self.row_elems as u64 * 4
+    }
+}
+
+/// Per-node outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct LargeObjOutcome {
+    pub sum: i64,
+    pub elapsed: SimDuration,
+    /// Virtual time spent in backing-store I/O — the paper's "disk
+    /// read/write time due to the large object space support".
+    pub disk_time: SimDuration,
+    pub swaps_out: u64,
+    pub swaps_in: u64,
+}
+
+/// Deterministic fill value of row `r`.
+pub fn row_value(r: usize) -> i32 {
+    (r % 97) as i32 + 1
+}
+
+/// Expected grand total over all rows.
+pub fn expected_sum(params: LargeObjParams) -> i64 {
+    (0..params.rows)
+        .map(|r| row_value(r) as i64 * params.row_elems as i64)
+        .sum()
+}
+
+/// Run Test 2 on one node; call from every node of the cluster.
+pub fn large_object_test(dsm: &Dsm, params: LargeObjParams) -> Result<LargeObjOutcome, LotsError> {
+    let (p, me) = (dsm.n(), dsm.me());
+    // Every node declares every row (the object IDs are global); each
+    // row's data materializes only where it is touched.
+    let rows: Vec<SharedSlice<'_, i32>> = (0..params.rows)
+        .map(|_| dsm.alloc::<i32>(params.row_elems))
+        .collect::<Result<_, _>>()?;
+    dsm.barrier();
+    let t0 = dsm.now();
+    let disk0 = dsm.stats().time_in(TimeCategory::Disk);
+    let (out0, in0) = (dsm.stats().swaps_out(), dsm.stats().swaps_in());
+
+    // Write phase: fill my rows. As the DMM area fills, earlier rows
+    // are swapped out — each exactly once.
+    let mut buf = vec![0i32; params.row_elems];
+    for r in (me..params.rows).step_by(p) {
+        buf.fill(row_value(r));
+        rows[r].write_from(0, &buf);
+    }
+    dsm.barrier();
+
+    // Read phase: sum my rows back — swapped-out rows stream in from
+    // the local disk.
+    let mut sum = 0i64;
+    for r in (me..params.rows).step_by(p) {
+        rows[r].read_into(0, &mut buf);
+        sum += buf.iter().map(|&v| v as i64).sum::<i64>();
+        dsm.charge_compute(params.row_elems as u64);
+    }
+    dsm.barrier();
+
+    Ok(LargeObjOutcome {
+        sum,
+        elapsed: dsm.now().saturating_sub(t0),
+        disk_time: dsm
+            .stats()
+            .time_in(TimeCategory::Disk)
+            .saturating_sub(disk0),
+        swaps_out: dsm.stats().swaps_out() - out0,
+        swaps_in: dsm.stats().swaps_in() - in0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_sum_matches_hand_count() {
+        let p = LargeObjParams {
+            rows: 3,
+            row_elems: 10,
+        };
+        // rows 0,1,2 → values 1,2,3 → (1+2+3)*10
+        assert_eq!(expected_sum(p), 60);
+        assert_eq!(p.total_bytes(), 120);
+    }
+
+    #[test]
+    fn row_values_cycle() {
+        assert_eq!(row_value(0), 1);
+        assert_eq!(row_value(96), 97);
+        assert_eq!(row_value(97), 1);
+    }
+}

@@ -1,0 +1,22 @@
+//! `lots-apps` — the paper's evaluation workloads, written once against
+//! a thin adapter and runnable on LOTS, LOTS-x and the JIAJIA baseline
+//! (§4.1), plus the Test 2 large-object-space program (§4.3).
+//!
+//! | app | §4.1 access pattern | favoured protocol |
+//! |---|---|---|
+//! | [`me`] merge sort | migratory (mergers own half the data) | migrating home |
+//! | [`lu`] factorization | single row writer, many readers | object granularity (no false sharing) |
+//! | [`sor`] red-black | single writer per row, edge rows read-shared | migrating home |
+//! | [`rx`] radix sort | 1/p buckets single-owner, rest ping-pong | fixed home (JIAJIA) at large p |
+//! | [`largeobj`] Test 2 | streaming writes/reads over > 4 GB | LOTS only |
+
+pub mod adapter;
+pub mod largeobj;
+pub mod lu;
+pub mod me;
+pub mod runner;
+pub mod rx;
+pub mod sor;
+
+pub use adapter::{combine, AppResult, Chunked, DsmCtx};
+pub use runner::{run_app, RunConfig, RunOutcome, System};

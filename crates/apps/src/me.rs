@@ -1,0 +1,155 @@
+//! ME — parallel merge sort (§4.1).
+//!
+//! "Objects in ME share a migratory access pattern. When two sorted
+//! sub-arrays are merged together in one of the merging phases, one of
+//! the processes handles the merging. Thus at any time, half of the
+//! total data is migrated." With JIAJIA's round-robin page homes only
+//! `1/p` of the merged data is home-local; LOTS's migrating-home
+//! protocol moves the home to the merger, making half of it local.
+//!
+//! "ME does not show a speedup for increasing number of processes,
+//! because only the merging time is counted while the local sorting
+//! time is excluded" — the timer here likewise starts after the initial
+//! runs are written and the cluster synchronizes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::adapter::{AppResult, DsmCtx};
+
+/// ME parameters: `total` keys, sorted by `p` processes (`p` must be a
+/// power of two and divide `total`).
+#[derive(Debug, Clone, Copy)]
+pub struct MeParams {
+    pub total: usize,
+    pub seed: u64,
+}
+
+/// The keys node `me` contributes (pre-sorted locally, as in the paper).
+pub fn local_run(params: MeParams, p: usize, me: usize) -> Vec<i64> {
+    let per = params.total / p;
+    let mut rng = StdRng::seed_from_u64(params.seed ^ (me as u64).wrapping_mul(0x9E37_79B9));
+    let mut keys: Vec<i64> = (0..per).map(|_| rng.gen_range(0..1_000_000_000)).collect();
+    keys.sort_unstable();
+    keys
+}
+
+fn merge(a: &[i64], b: &[i64]) -> Vec<i64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Run ME on one node; call from every node.
+pub fn me(dsm: DsmCtx<'_>, params: MeParams) -> AppResult {
+    let (p, rank) = (dsm.n(), dsm.me());
+    assert!(p.is_power_of_two(), "ME requires a power-of-two cluster");
+    assert_eq!(params.total % p, 0);
+    let per = params.total / p;
+    // Two generations of the key space, ping-ponged between phases.
+    let gen_a = dsm.alloc_chunked::<i64>(p, per);
+    let gen_b = dsm.alloc_chunked::<i64>(p, per);
+
+    // Local sort phase (excluded from timing, §4.1).
+    let run = local_run(params, p, rank);
+    gen_a.write_chunk(rank, &run);
+    dsm.barrier();
+    let t0 = dsm.now();
+
+    let phases = p.trailing_zeros();
+    let (mut src, mut dst) = (&gen_a, &gen_b);
+    for j in 1..=phases {
+        let group = 1usize << j; // chunks per merged run after this phase
+        if rank % group == 0 {
+            let half = group / 2;
+            let run_len = per * half;
+            // Read the two sorted runs (one ours, one migrating here).
+            let mut left = vec![0i64; run_len];
+            let mut right = vec![0i64; run_len];
+            src.read_global_into(rank * per, &mut left);
+            src.read_global_into((rank + half) * per, &mut right);
+            let merged = merge(&left, &right);
+            dsm.charge_compute(2 * merged.len() as u64);
+            dst.write_global(rank * per, &merged);
+        }
+        dsm.barrier();
+        std::mem::swap(&mut src, &mut dst);
+    }
+
+    // The sorted result lives in `src` (after the last swap). Checksum
+    // verifies order and content: node 0 walks it, others contribute 0.
+    let mut checksum = 0u64;
+    if rank == 0 {
+        let mut prev = i64::MIN;
+        for chunk in 0..p {
+            for v in src.read_chunk(chunk) {
+                assert!(v >= prev, "merge result out of order");
+                prev = v;
+                checksum = checksum
+                    .wrapping_mul(1_000_003)
+                    .wrapping_add(v as u64);
+            }
+        }
+    }
+    dsm.barrier();
+    AppResult {
+        checksum,
+        elapsed: dsm.now().saturating_sub(t0),
+    }
+}
+
+/// Sequential reference: same keys, fully sorted, same checksum walk.
+pub fn me_sequential(params: MeParams, p: usize) -> u64 {
+    let mut all: Vec<i64> = (0..p).flat_map(|me| local_run(params, p, me)).collect();
+    all.sort_unstable();
+    all.iter().fold(0u64, |acc, &v| {
+        acc.wrapping_mul(1_000_003).wrapping_add(v as u64)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_runs_are_sorted_and_deterministic() {
+        let p = MeParams {
+            total: 1024,
+            seed: 42,
+        };
+        let r1 = local_run(p, 4, 2);
+        let r2 = local_run(p, 4, 2);
+        assert_eq!(r1, r2);
+        assert!(r1.windows(2).all(|w| w[0] <= w[1]));
+        assert_ne!(local_run(p, 4, 0), local_run(p, 4, 1));
+    }
+
+    #[test]
+    fn merge_is_correct() {
+        assert_eq!(merge(&[1, 3, 5], &[2, 4, 6]), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(merge(&[], &[1]), vec![1]);
+        assert_eq!(merge(&[1, 1], &[1]), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn sequential_checksum_stable() {
+        let p = MeParams {
+            total: 512,
+            seed: 7,
+        };
+        assert_eq!(me_sequential(p, 4), me_sequential(p, 4));
+        // The checksum is over the *same multiset* regardless of p.
+        assert_eq!(me_sequential(p, 2), me_sequential(p, 2));
+    }
+}

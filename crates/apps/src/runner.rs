@@ -1,0 +1,194 @@
+//! Uniform harness for running a workload on LOTS, LOTS-x or JIAJIA
+//! and harvesting comparable measurements — the shape of every Figure 8
+//! data point.
+
+use lots_core::{run_cluster, ClusterOptions, LotsConfig};
+use lots_jiajia::{run_jiajia_cluster, JiaOptions};
+use lots_sim::{MachineConfig, SimDuration, SimInstant, TimeCategory};
+
+use crate::adapter::{combine, AppResult, DsmCtx};
+
+/// The three systems of Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    Lots,
+    /// LOTS without large-object-space support (§4.1/§4.2 ablation).
+    LotsX,
+    Jiajia,
+}
+
+impl System {
+    pub fn label(self) -> &'static str {
+        match self {
+            System::Lots => "LOTS",
+            System::LotsX => "LOTS-x",
+            System::Jiajia => "JIAJIA",
+        }
+    }
+}
+
+/// One run's configuration.
+pub struct RunConfig {
+    pub system: System,
+    pub n: usize,
+    pub machine: MachineConfig,
+    /// DMM arena per node (LOTS) — shrink to engage swapping.
+    pub dmm_bytes: usize,
+    /// Shared space (JIAJIA).
+    pub shared_bytes: usize,
+    /// Protocol knobs for ablations (applied to LOTS/LOTS-x).
+    pub lots_tweak: fn(&mut LotsConfig),
+}
+
+impl RunConfig {
+    pub fn new(system: System, n: usize, machine: MachineConfig) -> RunConfig {
+        RunConfig {
+            system,
+            n,
+            machine,
+            dmm_bytes: 64 << 20,
+            shared_bytes: 128 << 20,
+            lots_tweak: |_| {},
+        }
+    }
+}
+
+/// Harvested measurements of one run.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    pub combined: AppResult,
+    pub per_node: Vec<AppResult>,
+    /// Full virtual execution time (slowest node, includes init).
+    pub exec_time: SimInstant,
+    pub bytes_sent: u64,
+    pub msgs_sent: u64,
+    pub access_checks: u64,
+    pub page_faults: u64,
+    pub swaps_out: u64,
+    pub swaps_in: u64,
+    pub time_access_check: SimDuration,
+    pub time_large_object: SimDuration,
+    pub time_network: SimDuration,
+    pub time_sync: SimDuration,
+    pub time_disk: SimDuration,
+    pub time_compute: SimDuration,
+}
+
+impl RunOutcome {
+    /// The paper's reported metric: the slowest node's timed section.
+    pub fn time_secs(&self) -> f64 {
+        self.combined.elapsed.as_secs_f64()
+    }
+}
+
+/// Run `app` on the configured system and cluster size.
+pub fn run_app<F>(cfg: &RunConfig, app: F) -> RunOutcome
+where
+    F: Fn(DsmCtx<'_>) -> AppResult + Send + Sync + 'static,
+{
+    match cfg.system {
+        System::Lots | System::LotsX => {
+            let mut lots = if cfg.system == System::Lots {
+                LotsConfig::small(cfg.dmm_bytes)
+            } else {
+                LotsConfig::lots_x(cfg.dmm_bytes)
+            };
+            (cfg.lots_tweak)(&mut lots);
+            let opts = ClusterOptions::new(cfg.n, lots, cfg.machine);
+            let (results, report) = run_cluster(opts, move |dsm| app(DsmCtx::Lots(dsm)));
+            let sum = |cat: TimeCategory| -> SimDuration {
+                SimDuration(report.nodes.iter().map(|n| n.stats.time_in(cat).0).sum())
+            };
+            RunOutcome {
+                combined: combine(&results),
+                per_node: results,
+                exec_time: report.exec_time,
+                bytes_sent: report.total(|n| n.traffic.bytes_sent()),
+                msgs_sent: report.total(|n| n.traffic.msgs_sent()),
+                access_checks: report.total(|n| n.stats.access_checks()),
+                page_faults: 0,
+                swaps_out: report.total(|n| n.stats.swaps_out()),
+                swaps_in: report.total(|n| n.stats.swaps_in()),
+                time_access_check: sum(TimeCategory::AccessCheck),
+                time_large_object: sum(TimeCategory::LargeObject),
+                time_network: sum(TimeCategory::Network),
+                time_sync: sum(TimeCategory::SyncWait),
+                time_disk: sum(TimeCategory::Disk),
+                time_compute: sum(TimeCategory::Compute),
+            }
+        }
+        System::Jiajia => {
+            let opts = JiaOptions::new(cfg.n, cfg.shared_bytes, cfg.machine);
+            let (results, report) = run_jiajia_cluster(opts, move |dsm| app(DsmCtx::Jia(dsm)));
+            let sum = |cat: TimeCategory| -> SimDuration {
+                SimDuration(report.nodes.iter().map(|n| n.stats.time_in(cat).0).sum())
+            };
+            RunOutcome {
+                combined: combine(&results),
+                per_node: results,
+                exec_time: report.exec_time,
+                bytes_sent: report.nodes.iter().map(|n| n.traffic.bytes_sent()).sum(),
+                msgs_sent: report.nodes.iter().map(|n| n.traffic.msgs_sent()).sum(),
+                access_checks: 0,
+                page_faults: report.nodes.iter().map(|n| n.stats.page_faults()).sum(),
+                swaps_out: 0,
+                swaps_in: 0,
+                time_access_check: sum(TimeCategory::AccessCheck),
+                time_large_object: SimDuration::ZERO,
+                time_network: sum(TimeCategory::Network),
+                time_sync: sum(TimeCategory::SyncWait),
+                time_disk: SimDuration::ZERO,
+                time_compute: sum(TimeCategory::Compute),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lots_sim::machine::p4_fedora;
+
+    #[test]
+    fn lots_and_jiajia_agree_on_a_trivial_kernel() {
+        let kernel = |dsm: DsmCtx<'_>| {
+            let a = dsm.alloc_chunked::<i64>(4, 16);
+            if dsm.me() == 0 {
+                for c in 0..4 {
+                    a.write(c, 3, (c * 10) as i64);
+                }
+            }
+            dsm.barrier();
+            let sum: i64 = (0..4).map(|c| a.read(c, 3)).sum();
+            AppResult {
+                checksum: sum as u64,
+                elapsed: lots_sim::SimDuration::ZERO,
+            }
+        };
+        for system in [System::Lots, System::LotsX, System::Jiajia] {
+            let cfg = RunConfig::new(system, 2, p4_fedora());
+            let out = run_app(&cfg, kernel);
+            assert_eq!(out.combined.checksum, 2 * 60, "{}", system.label());
+        }
+    }
+
+    #[test]
+    fn outcome_carries_system_specific_counters() {
+        let kernel = |dsm: DsmCtx<'_>| {
+            let a = dsm.alloc_chunked::<i64>(2, 1024);
+            a.write(dsm.me() % 2, 0, 1);
+            dsm.barrier();
+            let _ = a.read(0, 0);
+            AppResult {
+                checksum: 0,
+                elapsed: lots_sim::SimDuration::ZERO,
+            }
+        };
+        let lots = run_app(&RunConfig::new(System::Lots, 2, p4_fedora()), kernel);
+        assert!(lots.access_checks > 0);
+        assert_eq!(lots.page_faults, 0);
+        let jia = run_app(&RunConfig::new(System::Jiajia, 2, p4_fedora()), kernel);
+        assert_eq!(jia.access_checks, 0);
+        assert!(jia.page_faults > 0);
+    }
+}

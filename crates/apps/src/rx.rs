@@ -1,0 +1,228 @@
+//! RX — radix sort over 256 shared buckets (§4.1).
+//!
+//! "256 shared buckets (objects) are initialized to store the numbers
+//! during sorting. Each bucket, of size an integral multiple of a page,
+//! is accessed by a processor at a time (concurrent access is
+//! prohibited by barriers). However, during the execution, 1/p of the
+//! total number of buckets are always accessed by a single process,
+//! while others are accessed alternatively by two processes."
+//!
+//! Each pass has a *fill* phase (the bucket's fill owner gathers keys
+//! with that digit) and a *drain* phase (the drain owner writes them to
+//! their sorted positions and clears the bucket). Buckets whose fill
+//! and drain owners coincide (exactly 1/p of them) are single-process;
+//! the rest ping-pong between two writers — the pattern that makes
+//! migrating-home "give little benefit, since the bucket will be
+//! requested next by the process that originally owns it", which is why
+//! LOTS falls behind JIAJIA at larger p in Figure 8(d).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::adapter::{AppResult, DsmCtx};
+
+pub const BUCKETS: usize = 256;
+/// Elements per page (u32 keys): buckets are page multiples (§4.1).
+const PAGE_ELEMS: usize = 1024;
+
+/// RX parameters: `total` keys, `passes` 8-bit digit passes (2 passes
+/// sort by the low 16 bits — the paper's "small problem sizes").
+#[derive(Debug, Clone, Copy)]
+pub struct RxParams {
+    pub total: usize,
+    pub passes: u32,
+    pub seed: u64,
+}
+
+/// The process that fills bucket `b` (contiguous digit ranges).
+pub fn fill_owner(b: usize, p: usize) -> usize {
+    b * p / BUCKETS
+}
+
+/// The process that drains bucket `b` (strided).
+pub fn drain_owner(b: usize, p: usize) -> usize {
+    b % p
+}
+
+/// Key set for node `me`.
+pub fn local_keys(params: RxParams, p: usize, me: usize) -> Vec<u32> {
+    let per = params.total / p;
+    let mut rng = StdRng::seed_from_u64(params.seed ^ (me as u64).wrapping_mul(0xDEAD_BEEF));
+    let mask = (1u64 << (8 * params.passes)) - 1;
+    (0..per).map(|_| (rng.gen::<u64>() & mask) as u32).collect()
+}
+
+/// Bucket capacity in elements (page multiple, with headroom).
+fn bucket_capacity(total: usize) -> usize {
+    let avg = total.div_ceil(BUCKETS);
+    // Uniform keys need little skew headroom; keep buckets snug so the
+    // object granularity matches what the paper's page-multiple buckets
+    // actually carried (count word + keys + 25 % slack).
+    (avg + avg / 4 + 64).div_ceil(PAGE_ELEMS) * PAGE_ELEMS
+}
+
+/// Run RX on one node; call from every node.
+pub fn rx(dsm: DsmCtx<'_>, params: RxParams) -> AppResult {
+    let (p, rank) = (dsm.n(), dsm.me());
+    assert_eq!(params.total % p, 0);
+    assert!(params.passes >= 1 && params.passes <= 4);
+    let per = params.total / p;
+    let cap = bucket_capacity(params.total);
+    // Shared key space, one chunk per process.
+    let keys = dsm.alloc_chunked::<u32>(p, per);
+    // 256 bucket objects: slot 0 is the element count.
+    let buckets = dsm.alloc_chunked::<u32>(BUCKETS, cap);
+    // Per-bucket counts for prefix computation (one small shared object).
+    let counts = dsm.alloc_chunked::<u32>(1, BUCKETS);
+
+    keys.write_chunk(rank, &local_keys(params, p, rank));
+    dsm.barrier();
+    let t0 = dsm.now();
+
+    for pass in 0..params.passes {
+        let shift = 8 * pass;
+        // ---- fill: each fill owner gathers its digit range from the
+        // whole key space.
+        let all_keys = {
+            let mut buf = vec![0u32; params.total];
+            keys.read_global_into(0, &mut buf);
+            buf
+        };
+        let my_lo = (rank * BUCKETS).div_ceil(p);
+        let my_hi = ((rank + 1) * BUCKETS).div_ceil(p).min(BUCKETS);
+        let mut gathered: Vec<Vec<u32>> = vec![Vec::new(); my_hi.saturating_sub(my_lo)];
+        for &k in &all_keys {
+            let d = ((k >> shift) & 0xFF) as usize;
+            if d >= my_lo && d < my_hi {
+                gathered[d - my_lo].push(k);
+            }
+        }
+        dsm.charge_compute(all_keys.len() as u64);
+        for (i, keys_in_bucket) in gathered.iter().enumerate() {
+            let b = my_lo + i;
+            debug_assert_eq!(fill_owner(b, p), rank);
+            assert!(
+                keys_in_bucket.len() + 1 <= cap,
+                "bucket overflow: {} keys, capacity {cap}",
+                keys_in_bucket.len()
+            );
+            let mut img = Vec::with_capacity(keys_in_bucket.len() + 1);
+            img.push(keys_in_bucket.len() as u32);
+            img.extend_from_slice(keys_in_bucket);
+            buckets.write_span(b, 0, &img);
+            counts.write(0, b, keys_in_bucket.len() as u32);
+        }
+        dsm.barrier();
+
+        // ---- drain: each drain owner writes its buckets' keys to
+        // their global sorted positions and clears the bucket.
+        let all_counts = counts.read_chunk(0);
+        let mut offsets = vec![0usize; BUCKETS + 1];
+        for b in 0..BUCKETS {
+            offsets[b + 1] = offsets[b] + all_counts[b] as usize;
+        }
+        debug_assert_eq!(offsets[BUCKETS], params.total);
+        for b in 0..BUCKETS {
+            if drain_owner(b, p) != rank {
+                continue;
+            }
+            let cnt = all_counts[b] as usize;
+            if cnt > 0 {
+                let mut data = vec![0u32; cnt + 1];
+                buckets.read_span_into(b, 0, &mut data);
+                debug_assert_eq!(data[0] as usize, cnt);
+                keys.write_global(offsets[b], &data[1..]);
+                dsm.charge_compute(cnt as u64);
+            }
+            // Clearing the count is the ping-pong write: the bucket's
+            // last writer alternates fill-owner ↔ drain-owner.
+            buckets.write(b, 0, 0);
+        }
+        dsm.barrier();
+    }
+
+    // Checksum my chunk; verify global order from node 0.
+    let mask = (1u64 << (8 * params.passes)) - 1;
+    let mine = keys.read_chunk(rank);
+    let mut checksum = 0u64;
+    for &v in &mine {
+        checksum = checksum.wrapping_add((v as u64) & mask);
+    }
+    if rank == 0 {
+        let mut buf = vec![0u32; params.total];
+        keys.read_global_into(0, &mut buf);
+        assert!(
+            buf.windows(2).all(|w| w[0] <= w[1]),
+            "radix result out of order"
+        );
+    }
+    dsm.barrier();
+    AppResult {
+        checksum,
+        elapsed: dsm.now().saturating_sub(t0),
+    }
+}
+
+/// Sequential reference checksum (the sorted multiset's sum, chunked
+/// the same way so per-node checksums add up identically).
+pub fn rx_sequential(params: RxParams, p: usize) -> u64 {
+    let mask = (1u64 << (8 * params.passes)) - 1;
+    let mut all: Vec<u32> = (0..p).flat_map(|me| local_keys(params, p, me)).collect();
+    all.sort_unstable();
+    all.iter().map(|&v| (v as u64) & mask).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_maps_cover_the_claim() {
+        // Exactly 1/p of buckets have fill == drain owner.
+        for p in [2usize, 4, 8, 16] {
+            let single = (0..BUCKETS)
+                .filter(|&b| fill_owner(b, p) == drain_owner(b, p))
+                .count();
+            assert_eq!(single, BUCKETS / p, "p={p}");
+        }
+    }
+
+    #[test]
+    fn ping_pong_buckets_have_two_distinct_owners() {
+        for b in 0..BUCKETS {
+            let f = fill_owner(b, 4);
+            let d = drain_owner(b, 4);
+            assert!(f < 4 && d < 4);
+        }
+    }
+
+    #[test]
+    fn bucket_capacity_is_page_multiple() {
+        for total in [1 << 14, 1 << 16, 1 << 20] {
+            assert_eq!(bucket_capacity(total) % PAGE_ELEMS, 0);
+            assert!(bucket_capacity(total) * BUCKETS > total);
+        }
+    }
+
+    #[test]
+    fn keys_fit_passes_mask() {
+        let params = RxParams {
+            total: 4096,
+            passes: 2,
+            seed: 3,
+        };
+        for k in local_keys(params, 4, 1) {
+            assert!(k <= 0xFFFF);
+        }
+    }
+
+    #[test]
+    fn sequential_checksum_deterministic() {
+        let params = RxParams {
+            total: 4096,
+            passes: 2,
+            seed: 3,
+        };
+        assert_eq!(rx_sequential(params, 4), rx_sequential(params, 4));
+    }
+}

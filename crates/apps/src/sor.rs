@@ -1,0 +1,181 @@
+//! SOR — successive red-black iterations (§4.1).
+//!
+//! "The two matrices (red and black) are divided into p horizontal
+//! slices, and each process is responsible to update its own slice in
+//! each of the two matrices, according to the values of the adjacent
+//! positions in the other matrix. … each object (row) is updated by a
+//! single process throughout the whole program, and only the rows at
+//! the edge of the slices are read-shared by two processes."
+//!
+//! This single-writer row pattern is the migrating-home protocol's best
+//! case: after the first barrier every row's home is its slice owner
+//! and stays there; inter-node traffic reduces to the slice-edge rows.
+
+use crate::adapter::{AppResult, DsmCtx};
+
+/// SOR parameters: `n` is the grid dimension (n rows × n cols per
+/// matrix), `iters` the iteration count (paper: 256).
+#[derive(Debug, Clone, Copy)]
+pub struct SorParams {
+    pub n: usize,
+    pub iters: usize,
+}
+
+/// Deterministic initial value of cell `(r, c)` of the black matrix.
+pub fn init_black(r: usize, c: usize) -> f64 {
+    ((r * 31 + c * 17) % 101) as f64 / 10.0
+}
+
+/// Deterministic initial value of cell `(r, c)` of the red matrix.
+pub fn init_red(r: usize, c: usize) -> f64 {
+    ((r * 13 + c * 29) % 97) as f64 / 10.0
+}
+
+/// Rows `[lo, hi)` of node `me`'s slice.
+pub fn slice_of(n: usize, p: usize, me: usize) -> (usize, usize) {
+    (n * me / p, n * (me + 1) / p)
+}
+
+/// One stencil update of `dst[r]` from the other matrix's rows.
+fn update_row(
+    dst: &mut [f64],
+    above: Option<&[f64]>,
+    same: &[f64],
+    below: Option<&[f64]>,
+) {
+    let n = dst.len();
+    for c in 0..n {
+        let up = above.map_or(0.0, |r| r[c]);
+        let down = below.map_or(0.0, |r| r[c]);
+        let left = if c > 0 { same[c - 1] } else { 0.0 };
+        let right = if c + 1 < n { same[c + 1] } else { 0.0 };
+        dst[c] = 0.25 * (up + down + left + right);
+    }
+}
+
+/// Run SOR on one node; call from every node of the cluster.
+pub fn sor(dsm: DsmCtx<'_>, params: SorParams) -> AppResult {
+    let (n, p, me) = (params.n, dsm.n(), dsm.me());
+    assert!(n >= p, "grid smaller than cluster");
+    let red = dsm.alloc_chunked::<f64>(n, n);
+    let black = dsm.alloc_chunked::<f64>(n, n);
+    let (lo, hi) = slice_of(n, p, me);
+
+    // Initialization: every row written by its slice owner only.
+    let mut buf = vec![0.0f64; n];
+    for r in lo..hi {
+        for (c, v) in buf.iter_mut().enumerate() {
+            *v = init_red(r, c);
+        }
+        red.write_chunk(r, &buf);
+        for (c, v) in buf.iter_mut().enumerate() {
+            *v = init_black(r, c);
+        }
+        black.write_chunk(r, &buf);
+    }
+    dsm.barrier();
+    let t0 = dsm.now();
+
+    let mut dst = vec![0.0f64; n];
+    for _ in 0..params.iters {
+        // Red sweep reads black, then black sweep reads red.
+        for phase in 0..2 {
+            let (src, out) = if phase == 0 { (&black, &red) } else { (&red, &black) };
+            for r in lo..hi {
+                let above = (r > 0).then(|| src.read_chunk(r - 1));
+                let same = src.read_chunk(r);
+                let below = (r + 1 < n).then(|| src.read_chunk(r + 1));
+                // The b[r][c±1] accesses are checked accesses in the
+                // real system even though `same` was fetched once.
+                dsm.charge_access_checks(n as u64);
+                update_row(&mut dst, above.as_deref(), &same, below.as_deref());
+                dsm.charge_compute(4 * n as u64);
+                out.write_chunk(r, &dst);
+            }
+            dsm.barrier();
+        }
+    }
+
+    // Checksum over the node's own slice (order-independent bits sum).
+    let mut checksum = 0u64;
+    for r in lo..hi {
+        for v in red.read_chunk(r) {
+            checksum = checksum.wrapping_add(v.to_bits());
+        }
+        for v in black.read_chunk(r) {
+            checksum = checksum.wrapping_add(v.to_bits());
+        }
+    }
+    AppResult {
+        checksum,
+        elapsed: dsm.now().saturating_sub(t0),
+    }
+}
+
+/// Sequential reference returning the same checksum.
+pub fn sor_sequential(params: SorParams) -> u64 {
+    let n = params.n;
+    let mut red: Vec<Vec<f64>> = (0..n)
+        .map(|r| (0..n).map(|c| init_red(r, c)).collect())
+        .collect();
+    let mut black: Vec<Vec<f64>> = (0..n)
+        .map(|r| (0..n).map(|c| init_black(r, c)).collect())
+        .collect();
+    let mut dst = vec![0.0f64; n];
+    for _ in 0..params.iters {
+        for phase in 0..2 {
+            let (src, out) = if phase == 0 {
+                (&black, &mut red)
+            } else {
+                (&red, &mut black)
+            };
+            for r in 0..n {
+                let above = (r > 0).then(|| src[r - 1].as_slice());
+                let below = (r + 1 < n).then(|| src[r + 1].as_slice());
+                update_row(&mut dst, above, &src[r], below);
+                out[r].copy_from_slice(&dst);
+            }
+        }
+    }
+    let mut checksum = 0u64;
+    for r in 0..n {
+        for &v in &red[r] {
+            checksum = checksum.wrapping_add(v.to_bits());
+        }
+        for &v in &black[r] {
+            checksum = checksum.wrapping_add(v.to_bits());
+        }
+    }
+    checksum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slices_partition_rows() {
+        let mut covered = 0;
+        for me in 0..4 {
+            let (lo, hi) = slice_of(10, 4, me);
+            covered += hi - lo;
+            assert!(lo <= hi);
+        }
+        assert_eq!(covered, 10);
+        assert_eq!(slice_of(10, 4, 0), (0, 2));
+        assert_eq!(slice_of(10, 4, 3), (7, 10));
+    }
+
+    #[test]
+    fn sequential_reference_is_deterministic() {
+        let p = SorParams { n: 16, iters: 4 };
+        assert_eq!(sor_sequential(p), sor_sequential(p));
+    }
+
+    #[test]
+    fn stencil_handles_boundaries() {
+        let mut dst = vec![0.0; 3];
+        update_row(&mut dst, None, &[1.0, 2.0, 3.0], None);
+        assert_eq!(dst, vec![0.5, 1.0, 0.5]);
+    }
+}

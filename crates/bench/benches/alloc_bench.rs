@@ -1,0 +1,85 @@
+//! Figure 4 / §3.2 bench: the DMM allocator — 1024-queue best-fit
+//! throughput, the small-object page-packing policy, and behaviour
+//! under fragmentation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lots_core::alloc::DmmAllocator;
+
+fn fresh() -> DmmAllocator {
+    // 32 MB arena: the mixed-classes cycle allocates ~7 MB of large
+    // objects, which must fit the lower half alongside the mediums.
+    DmmAllocator::new(32 << 20, 1024, 64 * 1024)
+}
+
+fn bench_alloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allocator");
+
+    g.bench_function("small_object_slab_cycle", |b| {
+        b.iter(|| {
+            let mut a = fresh();
+            let offs: Vec<usize> = (0..512).map(|_| a.alloc(40).expect("slab")).collect();
+            for o in offs {
+                a.free(o);
+            }
+        })
+    });
+
+    g.bench_function("medium_best_fit_cycle", |b| {
+        b.iter(|| {
+            let mut a = fresh();
+            let offs: Vec<usize> = (0..256)
+                .map(|i| a.alloc(2048 + (i % 7) * 512).expect("medium"))
+                .collect();
+            for o in offs {
+                a.free(o);
+            }
+        })
+    });
+
+    g.bench_function("mixed_classes", |b| {
+        b.iter(|| {
+            let mut a = fresh();
+            let mut offs = Vec::with_capacity(300);
+            for i in 0..100 {
+                offs.push(a.alloc(64 + i).expect("small"));
+                offs.push(a.alloc(4096 + i * 8).expect("medium"));
+                offs.push(a.alloc(64 * 1024 + i * 64).expect("large"));
+            }
+            for o in offs {
+                a.free(o);
+            }
+        })
+    });
+
+    // Fragmentation: free every other block, then best-fit into holes.
+    for hole in [512usize, 1024, 2048] {
+        g.bench_with_input(
+            BenchmarkId::new("best_fit_into_holes", hole),
+            &hole,
+            |b, &hole| {
+                b.iter(|| {
+                    let mut a = fresh();
+                    let offs: Vec<usize> =
+                        (0..512).map(|_| a.alloc(hole).expect("fill")).collect();
+                    for (i, &o) in offs.iter().enumerate() {
+                        if i % 2 == 0 {
+                            a.free(o);
+                        }
+                    }
+                    // Refill the holes with slightly smaller requests.
+                    for _ in 0..256 {
+                        a.alloc(hole - 8).expect("refit");
+                    }
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_alloc
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! `cargo bench` entry point that regenerates compact versions of the
+//! paper's evaluation artifacts (Figure 8 panels, Table 1, §4.2) in one
+//! pass. The standalone binaries (`figure8`, `table1`, `section4_2`)
+//! produce the full-resolution versions.
+
+use lots_apps::runner::System;
+use lots_bench::{measure, no_tweak, render_panel, App, Point, APPS};
+use lots_sim::machine::p4_fedora;
+
+fn main() {
+    // Criterion-style filter args are ignored; this harness always runs
+    // its fixed quick suite.
+    println!("=== paper tables (quick) — see bins figure8/table1/section4_2 for full runs ===");
+    let machine = p4_fedora();
+
+    // Figure 8, one size per app, p = 4 and 8.
+    let mut points: Vec<Point> = Vec::new();
+    for app in APPS {
+        let size = app.sizes(false)[1];
+        for p in [4usize, 8] {
+            for system in [System::Jiajia, System::Lots, System::LotsX] {
+                points.push(measure(app, system, p, size, machine, false, no_tweak));
+            }
+        }
+        println!("{}", render_panel(app, 4, &points));
+        println!("{}", render_panel(app, 8, &points));
+    }
+
+    // §4.2 overhead snapshot.
+    println!("--- §4.2 large-object-support overhead (p=4) ---");
+    for app in APPS {
+        let size = app.sizes(false)[1];
+        let lots = points
+            .iter()
+            .find(|pt| pt.app == app && pt.p == 4 && pt.system == System::Lots)
+            .expect("measured above");
+        let lotsx = points
+            .iter()
+            .find(|pt| pt.app == app && pt.p == 4 && pt.system == System::LotsX)
+            .expect("measured above");
+        let (t, tx) = (
+            lots.outcome.combined.elapsed.as_secs_f64(),
+            lotsx.outcome.combined.elapsed.as_secs_f64(),
+        );
+        println!(
+            "  {:<4} size {:>7}: overhead {:>5.1}%  (paper: 10-15% RX, <5% others)",
+            app.short(),
+            size,
+            (t / tx - 1.0) * 100.0
+        );
+    }
+
+    // Access-check accounting from the SOR point (scaled-down analog of
+    // the paper's SOR-1024 analysis).
+    let sor = points
+        .iter()
+        .find(|pt| pt.app == App::Sor && pt.p == 4 && pt.system == System::Lots)
+        .expect("measured above");
+    println!(
+        "--- §4.2 SOR check share: {:.2e} checks/process, {:.1}% of execution ---",
+        sor.outcome.access_checks / 4,
+        (sor.outcome.time_access_check.as_secs_f64() + sor.outcome.time_large_object.as_secs_f64())
+            / 4.0
+            / sor.outcome.combined.elapsed.as_secs_f64()
+            * 100.0
+    );
+}

@@ -1,0 +1,103 @@
+//! §3.3 bench: swap-out/swap-in round trips through the three backing
+//! stores (real host throughput of the dynamic memory mapper's disk
+//! path, plus the RLE compression that makes the modeled store scale).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lots_core::{run_cluster, ClusterOptions, LotsConfig};
+use lots_disk::{BackingStore, FileStore, MemStore, ModeledStore, RleImage};
+use lots_sim::machine::p4_fedora;
+use lots_sim::{DiskModel, SimDuration};
+
+fn disk() -> DiskModel {
+    DiskModel {
+        per_op: SimDuration::from_micros(250),
+        write_bps: 19_000_000,
+        read_bps: 21_000_000,
+    }
+}
+
+fn bench_stores(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backing_store_roundtrip");
+    let size = 256 * 1024;
+    let data: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+    g.throughput(Throughput::Bytes(size as u64));
+
+    g.bench_function("mem_store", |b| {
+        let s = MemStore::new(disk());
+        b.iter(|| {
+            s.put(1, &data).expect("put");
+            let (back, _) = s.get(1).expect("get");
+            s.remove(1).expect("remove");
+            std::hint::black_box(back.len())
+        })
+    });
+
+    g.bench_function("file_store", |b| {
+        let s = FileStore::temp(disk()).expect("temp dir");
+        b.iter(|| {
+            s.put(1, &data).expect("put");
+            let (back, _) = s.get(1).expect("get");
+            s.remove(1).expect("remove");
+            std::hint::black_box(back.len())
+        })
+    });
+
+    g.bench_function("modeled_store_patterned", |b| {
+        let s = ModeledStore::new(disk());
+        let patterned: Vec<u8> = std::iter::repeat(42u32.to_le_bytes())
+            .take(size / 4)
+            .flatten()
+            .collect();
+        b.iter(|| {
+            s.put(1, &patterned).expect("put");
+            let (back, _) = s.get(1).expect("get");
+            s.remove(1).expect("remove");
+            std::hint::black_box(back.len())
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("rle");
+    for &(name, repetitive) in &[("repetitive", true), ("random", false)] {
+        let data: Vec<u8> = if repetitive {
+            std::iter::repeat(7u32.to_le_bytes()).take(size / 4).flatten().collect()
+        } else {
+            (0..size).map(|i| (i as u32).wrapping_mul(2654435761) as u8).collect()
+        };
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_with_input(BenchmarkId::new("encode", name), &data, |b, d| {
+            b.iter(|| RleImage::encode(d))
+        });
+    }
+    g.finish();
+}
+
+fn bench_swap_cycle(c: &mut Criterion) {
+    // End-to-end: a DMM area half the working set forces a swap per
+    // alternate access (host cost of §3.3's machinery).
+    let mut g = c.benchmark_group("swap_cycle");
+    g.bench_function("thrash_two_objects", |b| {
+        b.iter(|| {
+            let opts = ClusterOptions::new(1, LotsConfig::small(256 * 1024), p4_fedora());
+            let (results, _) = run_cluster(opts, |dsm| {
+                let a = dsm.alloc::<i64>(12 * 1024).expect("a"); // 96 KB
+                let b = dsm.alloc::<i64>(12 * 1024).expect("b");
+                for round in 0..8 {
+                    a.write(round, round as i64);
+                    b.write(round, round as i64);
+                }
+                dsm.stats().swaps_out()
+            });
+            assert!(results[0] > 0);
+            std::hint::black_box(results[0])
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_stores, bench_swap_cycle
+}
+criterion_main!(benches);

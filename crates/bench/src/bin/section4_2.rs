@@ -1,0 +1,87 @@
+//! Regenerate the **§4.2** analysis: the overhead of the large-object
+//! space support (LOTS vs LOTS-x), the per-access-check cost, and the
+//! SOR-1024 access-checking time share.
+//!
+//! ```text
+//! cargo run --release -p lots-bench --bin section4_2 [-- --quick]
+//! ```
+
+use lots_apps::runner::System;
+use lots_bench::{measure, no_tweak, App, APPS};
+use lots_sim::machine::{p4_fedora, pentium4_2ghz};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let machine = p4_fedora();
+
+    println!("§4.2 — overhead for large object support");
+    println!();
+    println!("(1) LOTS vs LOTS-x on the four applications, p = 4:");
+    for app in APPS {
+        let size = *app.sizes(false).last().expect("sizes");
+        let lots = measure(app, System::Lots, 4, size, machine, false, no_tweak);
+        let lotsx = measure(app, System::LotsX, 4, size, machine, false, no_tweak);
+        let t = lots.outcome.combined.elapsed.as_secs_f64();
+        let tx = lotsx.outcome.combined.elapsed.as_secs_f64();
+        println!(
+            "  {:<4} size {:>7}: LOTS {:>7.3}s  LOTS-x {:>7.3}s  overhead {:>5.1}%   \
+             (paper: 10-15% for RX, <5% others)",
+            app.short(),
+            size,
+            t,
+            tx,
+            (t / tx - 1.0) * 100.0
+        );
+    }
+
+    println!();
+    println!("(2) access-check cost:");
+    let cpu = pentium4_2ghz();
+    println!(
+        "  modeled (calibrated to the paper's P4-2GHz): {} ns/check (+{} ns pinning)",
+        cpu.access_check.0, cpu.pin_update.0
+    );
+    // Host-measured fast path: repeated reads of a mapped, valid object.
+    let (checks, host_ns) = host_check_cost();
+    println!(
+        "  host-measured fast path on this machine: {host_ns:.1} ns/check \
+         (over {checks} checked reads; paper measured 20-25 ns)"
+    );
+
+    println!();
+    println!("(3) SOR access-check share (paper: n=1024, p=4, 256 iters ->");
+    println!("    ~1.5e9 checks/process, 30-37 s of 55 s in checking):");
+    let (n, iters_note) = if quick { (256, " [--quick: n=256]") } else { (1024, "") };
+    let pt = measure(App::Sor, System::Lots, 4, n, machine, !quick, no_tweak);
+    let o = &pt.outcome;
+    let per_process = o.access_checks / 4;
+    let check_time = o.time_access_check.as_secs_f64() / 4.0;
+    let lo_time = o.time_large_object.as_secs_f64() / 4.0;
+    let exec = o.combined.elapsed.as_secs_f64();
+    println!(
+        "  SOR n={n}{iters_note}: {per_process:.3e} checks/process; \
+         check {check_time:.1}s + pin {lo_time:.1}s of {exec:.1}s execution \
+         ({:.0}% of execution)",
+        (check_time + lo_time) / exec * 100.0
+    );
+}
+
+/// Measure the real fast-path cost of a checked read on this host.
+fn host_check_cost() -> (u64, f64) {
+    use lots_core::{run_cluster, ClusterOptions, LotsConfig};
+    let opts = ClusterOptions::new(1, LotsConfig::small(1 << 20), p4_fedora());
+    let (results, _) = run_cluster(opts, |dsm| {
+        let a = dsm.alloc::<i64>(1024).expect("alloc");
+        a.write(0, 1);
+        let reps: u64 = 2_000_000;
+        let t0 = std::time::Instant::now();
+        let mut sink = 0i64;
+        for i in 0..reps {
+            sink = sink.wrapping_add(a.read((i % 1024) as usize));
+        }
+        let elapsed = t0.elapsed();
+        assert!(sink != i64::MIN, "keep the loop alive");
+        (reps, elapsed.as_nanos() as f64 / reps as f64)
+    });
+    results[0]
+}

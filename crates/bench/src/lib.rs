@@ -1,0 +1,234 @@
+//! `lots-bench` — harness code shared by the binaries that regenerate
+//! the paper's tables and figures (see `DESIGN.md` §4 for the
+//! experiment index, `EXPERIMENTS.md` for paper-vs-measured results).
+
+use std::fmt::Write as _;
+
+use lots_apps::adapter::{AppResult, DsmCtx};
+use lots_apps::runner::{run_app, RunConfig, RunOutcome, System};
+use lots_apps::{lu, me, rx, sor};
+use lots_sim::MachineConfig;
+
+/// The four Figure 8 applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum App {
+    Me,
+    Lu,
+    Sor,
+    Rx,
+}
+
+pub const APPS: [App; 4] = [App::Me, App::Lu, App::Sor, App::Rx];
+
+impl App {
+    pub fn label(self) -> &'static str {
+        match self {
+            App::Me => "ME (merge sort)",
+            App::Lu => "LU (factorization)",
+            App::Sor => "SOR (red-black)",
+            App::Rx => "RX (radix sort)",
+        }
+    }
+
+    pub fn short(self) -> &'static str {
+        match self {
+            App::Me => "ME",
+            App::Lu => "LU",
+            App::Sor => "SOR",
+            App::Rx => "RX",
+        }
+    }
+
+    /// Default problem-size sweep (x-axis of the figure panel).
+    /// `full` selects paper-scale sizes; otherwise laptop-scale ones
+    /// that preserve the curves' shape.
+    pub fn sizes(self, full: bool) -> Vec<usize> {
+        match (self, full) {
+            (App::Me, false) => vec![1 << 15, 1 << 16, 1 << 17],
+            (App::Me, true) => vec![1 << 17, 1 << 18, 1 << 19, 1 << 20],
+            (App::Lu, false) => vec![96, 144, 192],
+            (App::Lu, true) => vec![256, 384, 512],
+            (App::Sor, false) => vec![128, 192, 256],
+            (App::Sor, true) => vec![512, 768, 1024],
+            (App::Rx, false) => vec![1 << 15, 1 << 16, 1 << 17],
+            (App::Rx, true) => vec![1 << 17, 1 << 18, 1 << 19],
+        }
+    }
+
+    /// SOR iteration count (paper: 256).
+    pub fn sor_iters(full: bool) -> usize {
+        if full {
+            256
+        } else {
+            32
+        }
+    }
+
+    /// Run the app at `size` on the given context.
+    pub fn run(self, dsm: DsmCtx<'_>, size: usize, full: bool) -> AppResult {
+        match self {
+            App::Me => me::me(
+                dsm,
+                me::MeParams {
+                    total: size,
+                    seed: 20040920,
+                },
+            ),
+            App::Lu => lu::lu(dsm, lu::LuParams { n: size }),
+            App::Sor => sor::sor(
+                dsm,
+                sor::SorParams {
+                    n: size,
+                    iters: Self::sor_iters(full),
+                },
+            ),
+            App::Rx => rx::rx(
+                dsm,
+                rx::RxParams {
+                    total: size,
+                    passes: 2,
+                    seed: 20040920,
+                },
+            ),
+        }
+    }
+}
+
+/// One Figure 8 measurement point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    pub app: App,
+    pub system: System,
+    pub p: usize,
+    pub size: usize,
+    pub outcome: RunOutcome,
+}
+
+/// Measure one (app, system, p, size) point on the Figure 8 testbed.
+pub fn measure(
+    app: App,
+    system: System,
+    p: usize,
+    size: usize,
+    machine: MachineConfig,
+    full: bool,
+    tweak: fn(&mut lots_core::LotsConfig),
+) -> Point {
+    let mut cfg = RunConfig::new(system, p, machine);
+    cfg.lots_tweak = tweak;
+    // Plenty of DMM for the timed kernels: Figure 8 sizes fit in
+    // memory on both systems (the paper chose "small problem sizes so
+    // that the programs could work on both JIAJIA and LOTS").
+    cfg.dmm_bytes = 96 << 20;
+    cfg.shared_bytes = 192 << 20;
+    let outcome = run_app(&cfg, move |dsm| app.run(dsm, size, full));
+    Point {
+        app,
+        system,
+        p,
+        size,
+        outcome,
+    }
+}
+
+/// Render a per-panel table: rows = sizes, columns = systems.
+pub fn render_panel(app: App, p: usize, points: &[Point]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "--- {} , p = {p} (seconds) ---", app.label());
+    let _ = writeln!(
+        out,
+        "{:>10} {:>10} {:>10} {:>10}   {}",
+        "size", "JIAJIA", "LOTS", "LOTS-x", "LOTS vs JIAJIA"
+    );
+    let mut sizes: Vec<usize> = points
+        .iter()
+        .filter(|pt| pt.app == app && pt.p == p)
+        .map(|pt| pt.size)
+        .collect();
+    sizes.sort_unstable();
+    sizes.dedup();
+    for size in sizes {
+        let find = |system: System| {
+            points
+                .iter()
+                .find(|pt| pt.app == app && pt.p == p && pt.size == size && pt.system == system)
+                .map(|pt| pt.outcome.combined.elapsed.as_secs_f64())
+        };
+        let jia = find(System::Jiajia);
+        let lots = find(System::Lots);
+        let lotsx = find(System::LotsX);
+        let speedup = match (jia, lots) {
+            (Some(j), Some(l)) if l > 0.0 => format!("{:+.1}%", (j - l) / j * 100.0),
+            _ => "-".to_string(),
+        };
+        let fmt = |v: Option<f64>| v.map_or("-".to_string(), |s| format!("{s:.3}"));
+        let _ = writeln!(
+            out,
+            "{:>10} {:>10} {:>10} {:>10}   {}",
+            size,
+            fmt(jia),
+            fmt(lots),
+            fmt(lotsx),
+            speedup
+        );
+    }
+    out
+}
+
+/// CSV rows for downstream plotting.
+pub fn to_csv(points: &[Point]) -> String {
+    let mut out = String::from(
+        "app,system,p,size,seconds,bytes_sent,msgs_sent,access_checks,page_faults,\
+         swaps_out,time_network_s,time_sync_s,time_check_s\n",
+    );
+    for pt in points {
+        let o = &pt.outcome;
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{:.6},{},{},{},{},{},{:.6},{:.6},{:.6}",
+            pt.app.short(),
+            pt.system.label(),
+            pt.p,
+            pt.size,
+            o.combined.elapsed.as_secs_f64(),
+            o.bytes_sent,
+            o.msgs_sent,
+            o.access_checks,
+            o.page_faults,
+            o.swaps_out,
+            o.time_network.as_secs_f64(),
+            o.time_sync.as_secs_f64(),
+            o.time_access_check.as_secs_f64(),
+        );
+    }
+    out
+}
+
+/// No-op tweak (the default protocol configuration).
+pub fn no_tweak(_: &mut lots_core::LotsConfig) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lots_sim::machine::p4_fedora;
+
+    #[test]
+    fn measure_one_point_per_system() {
+        let mut points = Vec::new();
+        for system in [System::Jiajia, System::Lots, System::LotsX] {
+            points.push(measure(App::Lu, system, 2, 32, p4_fedora(), false, no_tweak));
+        }
+        // All systems computed the same factorization.
+        let sums: Vec<u64> = points
+            .iter()
+            .map(|p| p.outcome.combined.checksum)
+            .collect();
+        assert_eq!(sums[0], sums[1]);
+        assert_eq!(sums[1], sums[2]);
+        let panel = render_panel(App::Lu, 2, &points);
+        assert!(panel.contains("LU"));
+        assert!(panel.contains("32"));
+        let csv = to_csv(&points);
+        assert_eq!(csv.lines().count(), 4);
+    }
+}

@@ -1,0 +1,109 @@
+//! The 1024 size-class queues of Figure 4.
+//!
+//! "To implement this algorithm, 1024 queues are used, each of them
+//! storing either unused or allocated blocks of size within a specified
+//! range" — the figure labels classes 8, 16, 24, 32, 40 … 1M, 2M, 4M …
+//! We realize that as 512 linear 8-byte classes up to 4 KB followed by
+//! doubling classes, capped at class 1023.
+
+/// Number of size classes (paper: 1024 queues).
+pub const NUM_CLASSES: usize = 1024;
+/// Allocation granularity in bytes.
+pub const GRAIN: usize = 8;
+/// Largest size covered by the linear classes.
+pub const LINEAR_MAX: usize = 4096;
+/// Number of linear classes (8, 16, …, 4096).
+pub const LINEAR_CLASSES: usize = LINEAR_MAX / GRAIN; // 512
+
+/// Round a request up to the allocation granularity.
+#[inline]
+pub fn round_up(size: usize) -> usize {
+    size.div_ceil(GRAIN) * GRAIN
+}
+
+/// Size class holding blocks of exactly/at-most this size range.
+///
+/// Linear: class `k` (0 ≤ k < 512) holds sizes `(8k, 8(k+1)]`.
+/// Geometric: class `512 + j` holds sizes `(4096·2ʲ, 4096·2ʲ⁺¹]`.
+#[inline]
+pub fn class_of(size: usize) -> usize {
+    debug_assert!(size > 0);
+    if size <= LINEAR_MAX {
+        size.div_ceil(GRAIN) - 1
+    } else {
+        // Smallest j ≥ 1 with size ≤ 4096 << j.
+        let mut j = 1usize;
+        while (LINEAR_MAX << j) < size && LINEAR_CLASSES + j < NUM_CLASSES - 1 {
+            j += 1;
+        }
+        (LINEAR_CLASSES + j - 1).min(NUM_CLASSES - 1)
+    }
+}
+
+/// Upper bound (inclusive) of the sizes a class covers; `usize::MAX`
+/// for the final catch-all class.
+#[inline]
+pub fn class_max_size(class: usize) -> usize {
+    if class < LINEAR_CLASSES {
+        (class + 1) * GRAIN
+    } else if class < NUM_CLASSES - 1 {
+        LINEAR_MAX << (class - LINEAR_CLASSES + 1)
+    } else {
+        usize::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_classes_match_figure4_labels() {
+        // Figure 4 labels queues 8, 16, 24, 32, 40, ...
+        assert_eq!(class_of(8), 0);
+        assert_eq!(class_of(16), 1);
+        assert_eq!(class_of(24), 2);
+        assert_eq!(class_of(32), 3);
+        assert_eq!(class_of(40), 4);
+        // Ranges are half-open below.
+        assert_eq!(class_of(1), 0);
+        assert_eq!(class_of(9), 1);
+        assert_eq!(class_of(4096), 511);
+    }
+
+    #[test]
+    fn geometric_classes_double() {
+        // Figure 4 labels ... 1M, 2M, 4M ...
+        assert_eq!(class_of(4097), 512);
+        assert_eq!(class_of(8192), 512);
+        assert_eq!(class_of(8193), 513);
+        assert_eq!(class_of(1 << 20), class_of(1 << 20)); // stable
+        assert_eq!(class_of(2 << 20), class_of(1 << 20) + 1);
+        assert_eq!(class_of(4 << 20), class_of(2 << 20) + 1);
+    }
+
+    #[test]
+    fn class_count_is_1024() {
+        assert_eq!(NUM_CLASSES, 1024);
+        assert!(class_of(usize::MAX / 2) <= NUM_CLASSES - 1);
+    }
+
+    #[test]
+    fn class_max_size_brackets_class_of() {
+        for size in [1, 7, 8, 9, 100, 4096, 4097, 10_000, 1 << 20, 33 << 20] {
+            let c = class_of(size);
+            assert!(size <= class_max_size(c), "size {size} class {c}");
+            if c > 0 {
+                assert!(size > class_max_size(c - 1), "size {size} class {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_up_to_grain() {
+        assert_eq!(round_up(1), 8);
+        assert_eq!(round_up(8), 8);
+        assert_eq!(round_up(9), 16);
+        assert_eq!(round_up(4093), 4096);
+    }
+}

@@ -1,0 +1,275 @@
+//! The LOTS memory allocator (§3.2, Figure 4).
+//!
+//! The DMM arena is split in half. The upper half serves small objects
+//! through page-packing slabs; in the lower half, medium objects grow
+//! downward from the middle and large objects upward from the bottom —
+//! the space-efficient placement policy of §3.2. Free/used blocks are
+//! organized through the 1024 size-class queues of Figure 4 with
+//! approximate best-fit selection.
+
+pub mod classes;
+pub mod region;
+pub mod slab;
+
+use std::collections::HashMap;
+
+use crate::layout::PAGE_BYTES;
+use classes::round_up;
+use region::{Dir, Region};
+use slab::SlabPages;
+
+/// Allocation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// The object can never fit (exceeds its region's capacity).
+    TooLarge { size: usize, max: usize },
+    /// No contiguous space right now — the mapper must swap (§3.3).
+    NoSpace { size: usize },
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::TooLarge { size, max } => {
+                write!(f, "object of {size} bytes exceeds maximum object size {max}")
+            }
+            AllocError::NoSpace { size } => {
+                write!(f, "no contiguous DMM space for {size} bytes (swap required)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Small,
+    LowerBlock,
+}
+
+/// Allocator over one node's DMM arena.
+#[derive(Debug)]
+pub struct DmmAllocator {
+    lower: Region,
+    upper: Region,
+    slabs: SlabPages,
+    kinds: HashMap<usize, Kind>,
+    small_threshold: usize,
+    large_threshold: usize,
+    capacity: usize,
+}
+
+impl DmmAllocator {
+    /// Build an allocator for an arena of `capacity` bytes.
+    /// `small_threshold`/`large_threshold` come from [`LotsConfig`].
+    ///
+    /// [`LotsConfig`]: crate::config::LotsConfig
+    pub fn new(capacity: usize, small_threshold: usize, large_threshold: usize) -> DmmAllocator {
+        assert!(capacity >= 2 * PAGE_BYTES, "arena too small to partition");
+        assert!(small_threshold <= PAGE_BYTES);
+        assert!(small_threshold <= large_threshold);
+        // Page-align the boundary so slab pages are page-aligned.
+        let half = capacity / 2 / PAGE_BYTES * PAGE_BYTES;
+        DmmAllocator {
+            lower: Region::new(0, half),
+            upper: Region::new(half, capacity - half),
+            slabs: SlabPages::new(),
+            kinds: HashMap::new(),
+            small_threshold,
+            large_threshold,
+            capacity,
+        }
+    }
+
+    /// Allocate `size` bytes; returns the arena offset.
+    pub fn alloc(&mut self, size: usize) -> Result<usize, AllocError> {
+        assert!(size > 0);
+        let rounded = round_up(size);
+        let offset = if rounded < self.small_threshold {
+            let upper = &mut self.upper;
+            self.slabs
+                .alloc(rounded, || upper.alloc(PAGE_BYTES, Dir::Low))
+                .map(|o| (o, Kind::Small))
+        } else {
+            if rounded > self.max_object_size() {
+                return Err(AllocError::TooLarge {
+                    size: rounded,
+                    max: self.max_object_size(),
+                });
+            }
+            let dir = if rounded >= self.large_threshold {
+                Dir::Low // large: increasing addresses of the lower half
+            } else {
+                Dir::High // medium: decreasing addresses of the lower half
+            };
+            self.lower.alloc(rounded, dir).map(|o| (o, Kind::LowerBlock))
+        };
+        match offset {
+            Some((o, kind)) => {
+                self.kinds.insert(o, kind);
+                Ok(o)
+            }
+            None => Err(AllocError::NoSpace { size: rounded }),
+        }
+    }
+
+    /// Free the block at `offset`.
+    pub fn free(&mut self, offset: usize) {
+        match self.kinds.remove(&offset) {
+            Some(Kind::Small) => {
+                if let Some(page) = self.slabs.free(offset) {
+                    self.upper.free(page);
+                }
+            }
+            Some(Kind::LowerBlock) => self.lower.free(offset),
+            None => panic!("freeing unknown offset {offset}"),
+        }
+    }
+
+    /// Largest object the placement policy can ever satisfy (bounded by
+    /// the lower half; the paper's bound is the whole 512 MB DMM area —
+    /// see DESIGN.md for the half-region deviation).
+    pub fn max_object_size(&self) -> usize {
+        self.lower.free_bytes() + self.lower.used_bytes()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn used_bytes(&self) -> usize {
+        self.lower.used_bytes() + self.upper.used_bytes()
+    }
+
+    /// Largest contiguous free extent in the lower half (drives the
+    /// swap decision for medium/large objects).
+    pub fn largest_free_lower(&self) -> usize {
+        self.lower.largest_free()
+    }
+
+    /// Invariant check for tests.
+    pub fn check_invariants(&self) {
+        self.lower.check_invariants();
+        self.upper.check_invariants();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc_128k() -> DmmAllocator {
+        DmmAllocator::new(128 * 1024, 1024, 16 * 1024)
+    }
+
+    #[test]
+    fn small_objects_go_to_upper_half() {
+        let mut a = alloc_128k();
+        let o = a.alloc(64).unwrap();
+        assert!(o >= 64 * 1024, "small object at {o}, expected upper half");
+    }
+
+    #[test]
+    fn medium_objects_grow_downward_in_lower_half() {
+        let mut a = alloc_128k();
+        let m1 = a.alloc(4096).unwrap();
+        let m2 = a.alloc(4096).unwrap();
+        assert!(m1 < 64 * 1024);
+        assert_eq!(m1, 64 * 1024 - 4096);
+        assert_eq!(m2, m1 - 4096);
+    }
+
+    #[test]
+    fn large_objects_grow_upward_in_lower_half() {
+        let mut a = alloc_128k();
+        let l1 = a.alloc(16 * 1024).unwrap();
+        let l2 = a.alloc(16 * 1024).unwrap();
+        assert_eq!(l1, 0);
+        assert_eq!(l2, 16 * 1024);
+    }
+
+    #[test]
+    fn three_classes_coexist_per_policy() {
+        let mut a = alloc_128k();
+        let small = a.alloc(100).unwrap();
+        let medium = a.alloc(8 * 1024).unwrap();
+        let large = a.alloc(20 * 1024).unwrap();
+        assert!(small >= 64 * 1024);
+        assert!(medium < 64 * 1024 && medium >= 32 * 1024);
+        assert_eq!(large, 0);
+        a.check_invariants();
+    }
+
+    #[test]
+    fn free_and_reuse() {
+        let mut a = alloc_128k();
+        let m = a.alloc(4096).unwrap();
+        a.free(m);
+        let m2 = a.alloc(4096).unwrap();
+        assert_eq!(m, m2);
+        a.check_invariants();
+    }
+
+    #[test]
+    fn exhaustion_is_no_space() {
+        let mut a = alloc_128k();
+        // Lower half is 64 KB; two 30 KB larges fit, a third cannot.
+        a.alloc(30 * 1024).unwrap();
+        a.alloc(30 * 1024).unwrap();
+        match a.alloc(30 * 1024) {
+            Err(AllocError::NoSpace { .. }) => {}
+            other => panic!("expected NoSpace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_object_rejected_permanently() {
+        let mut a = alloc_128k();
+        match a.alloc(100 * 1024) {
+            Err(AllocError::TooLarge { max, .. }) => assert_eq!(max, 64 * 1024),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn small_objects_fill_pages_before_new_page() {
+        let mut a = alloc_128k();
+        let offs: Vec<usize> = (0..10).map(|_| a.alloc(400).unwrap()).collect();
+        let pages: std::collections::HashSet<usize> =
+            offs.iter().map(|o| o / PAGE_BYTES).collect();
+        assert_eq!(pages.len(), 1, "ten 400-byte objects fit one page");
+        // 4096/400->408 slot => 10 slots/page; the 11th opens a page.
+        let extra = a.alloc(400).unwrap();
+        assert!(!pages.contains(&(extra / PAGE_BYTES)));
+        a.check_invariants();
+    }
+
+    #[test]
+    fn freeing_all_smalls_returns_pages() {
+        let mut a = alloc_128k();
+        let used0 = a.used_bytes();
+        let offs: Vec<usize> = (0..20).map(|_| a.alloc(256).unwrap()).collect();
+        for o in offs {
+            a.free(o);
+        }
+        assert_eq!(a.used_bytes(), used0);
+        a.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown offset")]
+    fn free_unknown_offset_panics() {
+        let mut a = alloc_128k();
+        a.free(12345);
+    }
+
+    #[test]
+    fn used_bytes_tracks_all_classes() {
+        let mut a = alloc_128k();
+        a.alloc(100).unwrap(); // small: page charged to upper
+        a.alloc(8 * 1024).unwrap();
+        a.alloc(20 * 1024).unwrap();
+        assert_eq!(a.used_bytes(), PAGE_BYTES + 8 * 1024 + 20 * 1024);
+    }
+}

@@ -1,0 +1,326 @@
+//! Extent allocator for one region of the DMM area.
+//!
+//! Free extents are indexed two ways: by address (for coalescing on
+//! free) and through the Figure 4 size-class queues (for approximate
+//! best-fit allocation). Used blocks are tracked in the used queue, as
+//! in the figure. Allocation direction is a preference — medium objects
+//! take the *highest*-addressed fit, large objects the *lowest* (§3.2:
+//! "medium-sized objects are assigned in decreasing addresses of the
+//! lower half, and large-sized objects are allocated in increasing
+//! addresses").
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::classes::{class_of, NUM_CLASSES};
+
+/// Preferred end of the region for an allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    Low,
+    High,
+}
+
+/// One contiguous region managed by extent lists + size-class queues.
+#[derive(Debug)]
+pub struct Region {
+    base: usize,
+    size: usize,
+    /// Free extents by class: ordered (size, offset) for best-fit.
+    free_by_class: Vec<BTreeSet<(usize, usize)>>,
+    /// Free extents by offset, for coalescing.
+    free_by_offset: BTreeMap<usize, usize>,
+    /// Used blocks by offset → size (Fig. 4's used queue).
+    used: BTreeMap<usize, usize>,
+    used_bytes: usize,
+}
+
+impl Region {
+    pub fn new(base: usize, size: usize) -> Region {
+        let mut r = Region {
+            base,
+            size,
+            free_by_class: (0..NUM_CLASSES).map(|_| BTreeSet::new()).collect(),
+            free_by_offset: BTreeMap::new(),
+            used: BTreeMap::new(),
+            used_bytes: 0,
+        };
+        if size > 0 {
+            r.insert_free(base, size);
+        }
+        r
+    }
+
+    fn insert_free(&mut self, offset: usize, len: usize) {
+        debug_assert!(len > 0);
+        self.free_by_class[class_of(len)].insert((len, offset));
+        self.free_by_offset.insert(offset, len);
+    }
+
+    fn remove_free(&mut self, offset: usize, len: usize) {
+        let removed = self.free_by_class[class_of(len)].remove(&(len, offset));
+        debug_assert!(removed, "free extent ({offset},{len}) missing from class");
+        self.free_by_offset.remove(&offset);
+    }
+
+    /// Best-fit allocation of `size` bytes (already grain-rounded).
+    ///
+    /// Scans size classes from the request's class upward; inside the
+    /// first class with a fitting extent takes the smallest fitting
+    /// extent (ties broken toward `dir`), then splits it leaving the
+    /// remainder on the side away from `dir`.
+    pub fn alloc(&mut self, size: usize, dir: Dir) -> Option<usize> {
+        debug_assert!(size > 0);
+        let mut chosen: Option<(usize, usize)> = None;
+        for class in class_of(size)..NUM_CLASSES {
+            let set = &self.free_by_class[class];
+            if set.is_empty() {
+                continue;
+            }
+            // Entries are (len, offset) in order; the first fitting
+            // length group is the best fit within this class.
+            let mut best: Option<(usize, usize)> = None;
+            for &(len, offset) in set.range((size, 0)..) {
+                match best {
+                    None => best = Some((len, offset)),
+                    Some((blen, _)) if len == blen => {
+                        if dir == Dir::High {
+                            best = Some((len, offset)); // keep scanning same-size group for highest offset
+                        } else {
+                            break; // lowest offset of smallest size already held
+                        }
+                    }
+                    Some(_) => break,
+                }
+            }
+            if let Some(hit) = best {
+                chosen = Some(hit);
+                break;
+            }
+        }
+        let (len, offset) = chosen?;
+        self.remove_free(offset, len);
+        let alloc_off = match dir {
+            Dir::Low => offset,
+            Dir::High => offset + len - size,
+        };
+        if len > size {
+            match dir {
+                Dir::Low => self.insert_free(offset + size, len - size),
+                Dir::High => self.insert_free(offset, len - size),
+            }
+        }
+        self.used.insert(alloc_off, size);
+        self.used_bytes += size;
+        Some(alloc_off)
+    }
+
+    /// Free the block at `offset`, coalescing with free neighbours.
+    pub fn free(&mut self, offset: usize) {
+        let size = self
+            .used
+            .remove(&offset)
+            .unwrap_or_else(|| panic!("freeing unallocated offset {offset}"));
+        self.used_bytes -= size;
+        let mut start = offset;
+        let mut len = size;
+        // Coalesce with predecessor.
+        if let Some((&p_off, &p_len)) = self.free_by_offset.range(..offset).next_back() {
+            if p_off + p_len == offset {
+                self.remove_free(p_off, p_len);
+                start = p_off;
+                len += p_len;
+            }
+        }
+        // Coalesce with successor.
+        if let Some((&n_off, &n_len)) = self.free_by_offset.range(offset + size..).next() {
+            if offset + size == n_off {
+                self.remove_free(n_off, n_len);
+                len += n_len;
+            }
+        }
+        self.insert_free(start, len);
+    }
+
+    /// Size of the block allocated at `offset`, if any.
+    pub fn used_size(&self, offset: usize) -> Option<usize> {
+        self.used.get(&offset).copied()
+    }
+
+    pub fn contains(&self, offset: usize) -> bool {
+        offset >= self.base && offset < self.base + self.size
+    }
+
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    pub fn free_bytes(&self) -> usize {
+        self.size - self.used_bytes
+    }
+
+    /// Largest single free extent (the *contiguous space* §3.3 checks
+    /// before deciding to swap).
+    pub fn largest_free(&self) -> usize {
+        self.free_by_class
+            .iter()
+            .rev()
+            .find_map(|set| set.iter().next_back().map(|&(len, _)| len))
+            .unwrap_or(0)
+    }
+
+    pub fn used_blocks(&self) -> usize {
+        self.used.len()
+    }
+
+    /// Internal consistency check (test/proptest hook): extents must be
+    /// disjoint, within bounds, and byte totals must add up.
+    pub fn check_invariants(&self) {
+        let mut cursor = self.base;
+        let mut free_total = 0usize;
+        let mut prev_was_free = false;
+        let mut events: Vec<(usize, usize, bool)> = self
+            .free_by_offset
+            .iter()
+            .map(|(&o, &l)| (o, l, true))
+            .chain(self.used.iter().map(|(&o, &l)| (o, l, false)))
+            .collect();
+        events.sort();
+        for (off, len, is_free) in events {
+            assert!(off >= cursor, "overlapping extents at {off}");
+            cursor = off + len;
+            assert!(cursor <= self.base + self.size, "extent past region end");
+            if is_free {
+                assert!(
+                    !prev_was_free || off > cursor - len,
+                    "adjacent free extents not coalesced"
+                );
+                free_total += len;
+            }
+            prev_was_free = is_free;
+        }
+        assert_eq!(free_total + self.used_bytes, self.size - self.gaps());
+        // Every classed extent matches the offset index.
+        let classed: usize = self.free_by_class.iter().map(|s| s.len()).sum();
+        assert_eq!(classed, self.free_by_offset.len());
+    }
+
+    /// Bytes in neither list (must be zero; helper for the invariant).
+    fn gaps(&self) -> usize {
+        let covered: usize = self
+            .free_by_offset
+            .values()
+            .chain(self.used.values())
+            .sum();
+        self.size - covered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_low_takes_lowest_fit() {
+        let mut r = Region::new(0, 1024);
+        let a = r.alloc(128, Dir::Low).unwrap();
+        assert_eq!(a, 0);
+        let b = r.alloc(128, Dir::Low).unwrap();
+        assert_eq!(b, 128);
+        r.check_invariants();
+    }
+
+    #[test]
+    fn alloc_high_takes_highest_fit() {
+        let mut r = Region::new(0, 1024);
+        let a = r.alloc(128, Dir::High).unwrap();
+        assert_eq!(a, 1024 - 128);
+        let b = r.alloc(64, Dir::High).unwrap();
+        assert_eq!(b, 1024 - 128 - 64);
+        r.check_invariants();
+    }
+
+    #[test]
+    fn opposite_directions_grow_toward_each_other() {
+        let mut r = Region::new(0, 4096);
+        let large = r.alloc(1024, Dir::Low).unwrap();
+        let medium = r.alloc(512, Dir::High).unwrap();
+        assert_eq!(large, 0);
+        assert_eq!(medium, 4096 - 512);
+        assert_eq!(r.free_bytes(), 4096 - 1536);
+        assert_eq!(r.largest_free(), 4096 - 1536);
+        r.check_invariants();
+    }
+
+    #[test]
+    fn best_fit_prefers_snuggest_extent() {
+        let mut r = Region::new(0, 4096);
+        // Carve: [used 512][free 512][used 512][free 2560]
+        let a = r.alloc(512, Dir::Low).unwrap(); // 0
+        let hole = r.alloc(512, Dir::Low).unwrap(); // 512
+        let _c = r.alloc(512, Dir::Low).unwrap(); // 1024
+        r.free(hole);
+        // A 384-byte request best-fits the 512 hole, not the big tail.
+        let d = r.alloc(384, Dir::Low).unwrap();
+        assert_eq!(d, 512);
+        r.check_invariants();
+        let _ = a;
+    }
+
+    #[test]
+    fn free_coalesces_neighbours() {
+        let mut r = Region::new(0, 1024);
+        let a = r.alloc(256, Dir::Low).unwrap();
+        let b = r.alloc(256, Dir::Low).unwrap();
+        let c = r.alloc(256, Dir::Low).unwrap();
+        r.free(a);
+        r.free(c);
+        assert_eq!(r.largest_free(), 512); // tail 256 + c 256
+        r.free(b);
+        assert_eq!(r.largest_free(), 1024);
+        assert_eq!(r.used_bytes(), 0);
+        r.check_invariants();
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut r = Region::new(0, 256);
+        assert!(r.alloc(512, Dir::Low).is_none());
+        let _a = r.alloc(256, Dir::Low).unwrap();
+        assert!(r.alloc(8, Dir::Low).is_none());
+    }
+
+    #[test]
+    fn fragmentation_blocks_contiguous_request() {
+        let mut r = Region::new(0, 1024);
+        let blocks: Vec<usize> = (0..8).map(|_| r.alloc(128, Dir::Low).unwrap()).collect();
+        // Free alternating blocks: 512 free total, max contiguous 128.
+        for (i, &b) in blocks.iter().enumerate() {
+            if i % 2 == 0 {
+                r.free(b);
+            }
+        }
+        assert_eq!(r.free_bytes(), 512);
+        assert_eq!(r.largest_free(), 128);
+        assert!(r.alloc(256, Dir::Low).is_none(), "must require swapping");
+        r.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing unallocated")]
+    fn double_free_panics() {
+        let mut r = Region::new(0, 256);
+        let a = r.alloc(64, Dir::Low).unwrap();
+        r.free(a);
+        r.free(a);
+    }
+
+    #[test]
+    fn nonzero_base_respected() {
+        let mut r = Region::new(4096, 1024);
+        let a = r.alloc(100, Dir::Low).unwrap();
+        assert!(a >= 4096);
+        assert!(r.contains(a));
+        assert!(!r.contains(0));
+        r.check_invariants();
+    }
+}

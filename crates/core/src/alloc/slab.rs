@@ -1,0 +1,234 @@
+//! Small-object page packing (§3.2).
+//!
+//! "For small objects of the same size, LOTS tries its best to allocate
+//! them in the same page. This will reduce the number of page faults …
+//! for example, when an application is traversing a linked list, in
+//! which every element is of the same size." Pages are carved out of
+//! the upper half of the DMM area; each page serves one slot size.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::layout::PAGE_BYTES;
+
+/// Slot-allocation state of one 4 KB page dedicated to `slot_size`.
+#[derive(Debug)]
+struct PageState {
+    slot_size: usize,
+    slots: usize,
+    free_slots: BTreeSet<usize>,
+}
+
+impl PageState {
+    fn new(slot_size: usize) -> PageState {
+        let slots = PAGE_BYTES / slot_size;
+        PageState {
+            slot_size,
+            slots,
+            free_slots: (0..slots).collect(),
+        }
+    }
+
+    fn full(&self) -> bool {
+        self.free_slots.is_empty()
+    }
+
+    fn empty(&self) -> bool {
+        self.free_slots.len() == self.slots
+    }
+}
+
+/// Slab allocator over pages provided by the caller.
+///
+/// The caller owns the page supply (a [`Region`] in the upper DMM
+/// half); `SlabPages` asks for pages through the closure passed to
+/// [`SlabPages::alloc`] and reports drained pages from
+/// [`SlabPages::free`] so they can be returned.
+///
+/// [`Region`]: super::region::Region
+#[derive(Debug, Default)]
+pub struct SlabPages {
+    /// Pages (by base offset) with at least one free slot, per slot size.
+    open: HashMap<usize, BTreeSet<usize>>,
+    /// All live pages by base offset.
+    pages: HashMap<usize, PageState>,
+}
+
+impl SlabPages {
+    pub fn new() -> SlabPages {
+        SlabPages::default()
+    }
+
+    /// Slot size a small request of `size` bytes uses.
+    pub fn slot_size(size: usize) -> usize {
+        super::classes::round_up(size)
+    }
+
+    /// Allocate a slot for a small object of `size` bytes. `get_page`
+    /// supplies a fresh page-aligned `PAGE_BYTES` extent when the open
+    /// pages of this slot size are all full; it may fail (region full).
+    pub fn alloc(
+        &mut self,
+        size: usize,
+        get_page: impl FnOnce() -> Option<usize>,
+    ) -> Option<usize> {
+        let slot = Self::slot_size(size);
+        debug_assert!(slot <= PAGE_BYTES);
+        let open = self.open.entry(slot).or_default();
+        let page_off = match open.iter().next() {
+            Some(&p) => p,
+            None => {
+                let p = get_page()?;
+                debug_assert_eq!(p % PAGE_BYTES, 0, "slab pages must be page-aligned");
+                self.pages.insert(p, PageState::new(slot));
+                open.insert(p);
+                p
+            }
+        };
+        let page = self.pages.get_mut(&page_off).expect("open page exists");
+        let idx = *page.free_slots.iter().next().expect("open page has slots");
+        page.free_slots.remove(&idx);
+        if page.full() {
+            self.open.get_mut(&slot).expect("slot class exists").remove(&page_off);
+        }
+        Some(page_off + idx * slot)
+    }
+
+    /// Free the slot at `offset`; returns `Some(page_offset)` when the
+    /// whole page drained and should go back to the region.
+    pub fn free(&mut self, offset: usize) -> Option<usize> {
+        let page_off = offset / PAGE_BYTES * PAGE_BYTES;
+        let page = self
+            .pages
+            .get_mut(&page_off)
+            .unwrap_or_else(|| panic!("freeing slot in unknown slab page {page_off}"));
+        let idx = (offset - page_off) / page.slot_size;
+        debug_assert_eq!((offset - page_off) % page.slot_size, 0, "misaligned slot free");
+        let was_full = page.full();
+        assert!(page.free_slots.insert(idx), "double free of slab slot {offset}");
+        let slot = page.slot_size;
+        if page.empty() {
+            self.pages.remove(&page_off);
+            self.open.entry(slot).or_default().remove(&page_off);
+            Some(page_off)
+        } else {
+            if was_full {
+                self.open.entry(slot).or_default().insert(page_off);
+            }
+            None
+        }
+    }
+
+    /// Is `offset` inside a live slab page?
+    pub fn owns(&self, offset: usize) -> bool {
+        self.pages.contains_key(&(offset / PAGE_BYTES * PAGE_BYTES))
+    }
+
+    /// Live slab pages (diagnostics).
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_size_objects_share_a_page() {
+        let mut s = SlabPages::new();
+        let mut next_page = 0usize;
+        let mut supply = || {
+            let p = next_page;
+            next_page += PAGE_BYTES;
+            Some(p)
+        };
+        // 40-byte "linked list nodes" (the paper's example).
+        let a = s.alloc(40, &mut supply).unwrap();
+        let b = s.alloc(40, &mut supply).unwrap();
+        let c = s.alloc(33, &mut supply).unwrap(); // rounds to 40
+        assert_eq!(a / PAGE_BYTES, b / PAGE_BYTES);
+        assert_eq!(a / PAGE_BYTES, c / PAGE_BYTES);
+        assert_eq!(s.page_count(), 1);
+    }
+
+    #[test]
+    fn different_sizes_use_different_pages() {
+        let mut s = SlabPages::new();
+        let mut next = 0usize;
+        let a = s
+            .alloc(40, || {
+                next += PAGE_BYTES;
+                Some(next - PAGE_BYTES)
+            })
+            .unwrap();
+        let b = s
+            .alloc(104, || {
+                next += PAGE_BYTES;
+                Some(next - PAGE_BYTES)
+            })
+            .unwrap();
+        assert_ne!(a / PAGE_BYTES, b / PAGE_BYTES);
+        assert_eq!(s.page_count(), 2);
+    }
+
+    #[test]
+    fn page_fills_then_new_page() {
+        let mut s = SlabPages::new();
+        let per_page = PAGE_BYTES / 512;
+        let mut next = 0usize;
+        let mut supply_calls = 0;
+        let mut offsets = Vec::new();
+        for _ in 0..per_page + 1 {
+            offsets.push(
+                s.alloc(512, || {
+                    supply_calls += 1;
+                    next += PAGE_BYTES;
+                    Some(next - PAGE_BYTES)
+                })
+                .unwrap(),
+            );
+        }
+        assert_eq!(supply_calls, 2);
+        assert_eq!(s.page_count(), 2);
+        // All offsets distinct.
+        let set: std::collections::HashSet<_> = offsets.iter().collect();
+        assert_eq!(set.len(), offsets.len());
+    }
+
+    #[test]
+    fn drained_page_is_returned() {
+        let mut s = SlabPages::new();
+        let a = s.alloc(1024, || Some(0)).unwrap();
+        let b = s.alloc(1024, || unreachable!()).unwrap();
+        assert_eq!(s.free(a), None);
+        assert_eq!(s.free(b), Some(0));
+        assert_eq!(s.page_count(), 0);
+        assert!(!s.owns(0));
+    }
+
+    #[test]
+    fn refill_reuses_slot_of_freed_object() {
+        let mut s = SlabPages::new();
+        let a = s.alloc(256, || Some(PAGE_BYTES * 3)).unwrap();
+        let _b = s.alloc(256, || unreachable!("page still open")).unwrap();
+        assert_eq!(s.free(a), None, "page still holds _b");
+        let c = s.alloc(256, || unreachable!("page still open")).unwrap();
+        assert_eq!(a, c, "freed slot is reused first");
+    }
+
+    #[test]
+    fn supply_failure_propagates() {
+        let mut s = SlabPages::new();
+        assert!(s.alloc(64, || None).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_detected() {
+        let mut s = SlabPages::new();
+        let a = s.alloc(64, || Some(0)).unwrap();
+        let _b = s.alloc(64, || unreachable!()).unwrap();
+        s.free(a);
+        s.free(a);
+    }
+}

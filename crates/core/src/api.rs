@@ -1,0 +1,434 @@
+//! The application-facing LOTS API.
+//!
+//! [`Dsm`] is one node's handle on the shared object space (the paper's
+//! runtime library instance); [`SharedSlice`] is the `Pointer<T>` of
+//! §3.2/§3.3 — a small handle holding only the object ID, supporting
+//! pointer arithmetic, whose accessors run the status-checking routine
+//! that C++ LOTS hides behind operator overloading.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+use lots_net::{Envelope, NetSender, NodeId};
+use lots_sim::{SimInstant, TimeCategory};
+use parking_lot::Mutex;
+
+use crate::consistency::barrier::BarrierService;
+use crate::consistency::locks::{LockId, LockService};
+use crate::consistency::SyncCtx;
+use crate::node::{Access, LotsError, NodeState};
+use crate::object::ObjectId;
+use crate::pod::Pod;
+use crate::protocol::messages::Msg;
+
+/// One node's handle on the LOTS shared object space.
+///
+/// Not `Sync`: each simulated process has exactly one application
+/// thread driving its `Dsm` (SPMD style, as in the paper).
+pub struct Dsm {
+    pub(crate) ctx: SyncCtx,
+    pub(crate) node: Arc<Mutex<NodeState>>,
+    pub(crate) net: NetSender<Msg>,
+    pub(crate) replies: Receiver<Envelope<Msg>>,
+    pub(crate) locks: Arc<LockService>,
+    pub(crate) barrier: Arc<BarrierService>,
+    pub(crate) me: NodeId,
+    pub(crate) n: usize,
+}
+
+impl Dsm {
+    /// This node's rank.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// Cluster size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current virtual time on this node.
+    pub fn now(&self) -> SimInstant {
+        self.ctx.clock.now()
+    }
+
+    /// Allocate a shared array of `len` elements (the paper's
+    /// `Pointer<T> p; p.alloc(len)`). Collective in the SPMD sense:
+    /// every node must perform the same allocations in the same order,
+    /// which is what makes the object IDs agree cluster-wide.
+    pub fn alloc<T: Pod>(&self, len: usize) -> Result<SharedSlice<'_, T>, LotsError> {
+        assert!(len > 0, "cannot allocate an empty shared object");
+        let id = self.node.lock().register_object(len * T::SIZE)?;
+        Ok(SharedSlice {
+            dsm: self,
+            id,
+            base: 0,
+            len,
+            _pd: PhantomData,
+        })
+    }
+
+    /// Charge `ops` element operations of application compute to this
+    /// node's virtual clock (the workload cost model).
+    pub fn charge_compute(&self, ops: u64) {
+        let d = self.ctx.cpu.compute(ops);
+        self.ctx.clock.advance(d);
+        self.ctx.stats.charge(TimeCategory::Compute, d);
+    }
+
+    /// Charge `n` additional access checks without touching data — used
+    /// by workloads to account for per-element re-accesses that a bulk
+    /// transfer collapsed (every `a[i]` in the paper's C++ runs the
+    /// overloaded-operator check, §4.2).
+    pub fn charge_access_checks(&self, n: u64) {
+        self.node.lock().charge_checks(n);
+    }
+
+    /// Group several accesses into one pinning scope — the equivalent
+    /// of the multi-operand statement `a[5] = b[5] + c[5]` of §3.3:
+    /// every object touched inside stays mapped until the scope ends.
+    pub fn statement(&self) -> StmtGuard<'_> {
+        self.node.lock().enter_stmt();
+        StmtGuard { dsm: self }
+    }
+
+    /// Acquire a cluster-wide lock, applying the updates that Scope
+    /// Consistency makes visible at this acquire (§3.4).
+    pub fn lock(&self, lock: LockId) {
+        let grant = self.locks.acquire(lock, &self.ctx);
+        let mut node = self.node.lock();
+        node.apply_lock_updates(&grant.updates);
+        for &(obj, holder) in &grant.invalidate {
+            node.wi_invalidate(obj, holder)
+                .unwrap_or_else(|e| panic!("lock {lock}: invalidate {obj}: {e}"));
+        }
+        node.enter_cs(lock);
+    }
+
+    /// Release a cluster-wide lock, publishing the critical section's
+    /// updates through the homeless write-update protocol.
+    pub fn unlock(&self, lock: LockId) {
+        self.locks.release(lock, &self.ctx, |ts| {
+            self.node.lock().exit_cs(lock, ts)
+        });
+    }
+
+    /// Run `f` inside the critical section guarded by `lock`.
+    pub fn with_lock<R>(&self, lock: LockId, f: impl FnOnce() -> R) -> R {
+        self.lock(lock);
+        let r = f();
+        self.unlock(lock);
+        r
+    }
+
+    /// Global barrier with the migrating-home write-invalidate
+    /// protocol (§3.4).
+    pub fn barrier(&self) {
+        self.try_barrier().unwrap_or_else(|e| panic!("barrier failed: {e}"))
+    }
+
+    /// Fallible [`Dsm::barrier`].
+    pub fn try_barrier(&self) -> Result<(), LotsError> {
+        // Phase A: collect notices and receive the plan.
+        let notices = {
+            let mut node = self.node.lock();
+            let raw = node.barrier_collect()?;
+            raw.into_iter()
+                .map(|(id, size)| (id, size, node.home_of(id)))
+                .collect::<Vec<_>>()
+        };
+        let plan = self.barrier.enter(&self.ctx, notices);
+        // Phase B: propagate diffs of multi-writer objects to homes.
+        self.node.lock().barrier_prepare(&plan.send_diffs, self.me)?;
+        let sends: Vec<(ObjectId, NodeId)> = plan.my_sends(self.me).collect();
+        for &(obj, home) in &sends {
+            let (payload, ts) = {
+                let node = self.node.lock();
+                (node.cached_diff(obj).encode(), node.release_ts_of(obj))
+            };
+            let tx = self
+                .net
+                .send(home, Msg::DiffSend { obj, ts }, payload, self.ctx.clock.now());
+            self.ctx.clock.advance_to(tx.sender_free);
+        }
+        let mut pending = sends.len();
+        while pending > 0 {
+            let env = self.recv_reply();
+            match env.msg {
+                Msg::DiffAck { .. } => {
+                    let before = self.ctx.clock.now();
+                    let now = self.ctx.clock.advance_to(env.arrival);
+                    self.ctx
+                        .stats
+                        .charge(TimeCategory::Network, now.saturating_sub(before));
+                    pending -= 1;
+                }
+                other => panic!("unexpected message during barrier: {other:?}"),
+            }
+        }
+        // Phase C: drain, then apply migrations/invalidations.
+        let seq = self.barrier.drain(&self.ctx);
+        self.node.lock().barrier_finish(&plan.written, seq)?;
+        Ok(())
+    }
+
+    /// Event-only barrier (`run_barrier()`, §3.6): no memory effects.
+    pub fn run_barrier(&self) {
+        self.barrier.run_barrier(&self.ctx);
+    }
+
+    /// Node statistics (time breakdown, access-check counts, swaps).
+    pub fn stats(&self) -> &lots_sim::NodeStats {
+        &self.ctx.stats
+    }
+
+    /// Network traffic counters of this node.
+    pub fn traffic(&self) -> &lots_net::TrafficStats {
+        &self.ctx.traffic
+    }
+
+    /// Bytes of shared objects registered (cluster-wide logical size).
+    pub fn total_object_bytes(&self) -> u64 {
+        self.node.lock().total_object_bytes()
+    }
+
+    /// Current home node of an object (tests/diagnostics; homes move
+    /// at barriers under the migrating-home protocol).
+    pub fn object_home(&self, id: ObjectId) -> NodeId {
+        self.node.lock().home_of(id)
+    }
+
+    /// Is the local copy of `id` usable without a remote fetch?
+    pub fn object_locally_valid(&self, id: ObjectId) -> bool {
+        self.node.lock().ctl(id).locally_valid()
+    }
+
+    /// Is `id` currently mapped in this node's DMM area?
+    pub fn object_mapped(&self, id: ObjectId) -> bool {
+        self.node.lock().ctl(id).offset().is_some()
+    }
+
+    /// Bytes currently swapped out to this node's backing store.
+    pub fn swapped_bytes(&self) -> u64 {
+        self.node.lock().swapped_bytes()
+    }
+
+    // ------------------------------------------------------------------
+    // Access plumbing
+    // ------------------------------------------------------------------
+
+    /// Run `f` over the object's bytes once the access check passes,
+    /// fetching a clean copy from the home on a miss.
+    pub(crate) fn with_object<R>(
+        &self,
+        id: ObjectId,
+        write: bool,
+        checks: u64,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> Result<R, LotsError> {
+        let mut checks = checks;
+        loop {
+            let fetch_target = {
+                let mut node = self.node.lock();
+                match node.begin_access(id, write, checks)? {
+                    Access::Ready { offset } => {
+                        let size = node.object_size(id);
+                        return Ok(f(node.object_bytes_mut(offset, size)));
+                    }
+                    Access::NeedFetch { home } => home,
+                }
+            };
+            self.fetch_object(id, fetch_target)?;
+            // The retry re-runs the (now cheap) check once, as the real
+            // system would on returning from the miss handler.
+            checks = 1;
+        }
+    }
+
+    /// Fetch a clean copy of `id` from `target` through the data plane.
+    fn fetch_object(&self, id: ObjectId, target: NodeId) -> Result<(), LotsError> {
+        assert_ne!(target, self.me, "fetch from self implies corrupted state");
+        self.net.send(
+            target,
+            Msg::ObjReq { obj: id },
+            Bytes::new(),
+            self.ctx.clock.now(),
+        );
+        loop {
+            let env = self.recv_reply();
+            match env.msg {
+                Msg::ObjReply { obj, version } if obj == id => {
+                    let before = self.ctx.clock.now();
+                    let now = self.ctx.clock.advance_to(env.arrival);
+                    self.ctx
+                        .stats
+                        .charge(TimeCategory::Network, now.saturating_sub(before));
+                    return self.node.lock().install_fetch(id, &env.payload, version);
+                }
+                other => panic!("unexpected reply while fetching {id}: {other:?}"),
+            }
+        }
+    }
+
+    fn recv_reply(&self) -> Envelope<Msg> {
+        self.replies
+            .recv()
+            .expect("comm thread alive while app running")
+    }
+}
+
+/// RAII pin scope returned by [`Dsm::statement`].
+pub struct StmtGuard<'d> {
+    dsm: &'d Dsm,
+}
+
+impl Drop for StmtGuard<'_> {
+    fn drop(&mut self) {
+        self.dsm.node.lock().exit_stmt();
+    }
+}
+
+/// A typed handle on a shared object — the paper's `Pointer<T>`.
+///
+/// Supports pointer arithmetic ([`SharedSlice::offset`], §3.3: LOTS
+/// "supports a limited set of pointer operations … such as
+/// `*(a+4)=1`"). Copyable like a raw pointer.
+pub struct SharedSlice<'d, T: Pod> {
+    dsm: &'d Dsm,
+    id: ObjectId,
+    base: usize,
+    len: usize,
+    _pd: PhantomData<T>,
+}
+
+impl<T: Pod> Clone for SharedSlice<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Pod> Copy for SharedSlice<'_, T> {}
+
+impl<'d, T: Pod> SharedSlice<'d, T> {
+    /// The object's cluster-wide ID.
+    pub fn id(&self) -> ObjectId {
+        self.id
+    }
+
+    /// Elements addressable through this handle.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pointer arithmetic: a handle shifted by `delta` elements.
+    pub fn offset(&self, delta: usize) -> SharedSlice<'d, T> {
+        assert!(delta <= self.len, "pointer arithmetic out of bounds");
+        SharedSlice {
+            base: self.base + delta,
+            len: self.len - delta,
+            ..*self
+        }
+    }
+
+    #[inline]
+    fn byte_at(&self, i: usize) -> usize {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        (self.base + i) * T::SIZE
+    }
+
+    /// Read element `i` (one access check).
+    pub fn read(&self, i: usize) -> T {
+        let at = self.byte_at(i);
+        self.dsm
+            .with_object(self.id, false, 1, |bytes| T::read_from(&bytes[at..]))
+            .unwrap_or_else(|e| panic!("read {}[{i}]: {e}", self.id))
+    }
+
+    /// Write element `i` (one access check).
+    pub fn write(&self, i: usize, v: T) {
+        let at = self.byte_at(i);
+        self.dsm
+            .with_object(self.id, true, 1, |bytes| v.write_to(&mut bytes[at..]))
+            .unwrap_or_else(|e| panic!("write {}[{i}]: {e}", self.id))
+    }
+
+    /// Read-modify-write element `i` (two access checks, like `a[i]+=x`).
+    pub fn update(&self, i: usize, f: impl FnOnce(T) -> T) {
+        let at = self.byte_at(i);
+        self.dsm
+            .with_object(self.id, true, 2, |bytes| {
+                let v = f(T::read_from(&bytes[at..]));
+                v.write_to(&mut bytes[at..]);
+            })
+            .unwrap_or_else(|e| panic!("update {}[{i}]: {e}", self.id))
+    }
+
+    /// Bulk read of `out.len()` elements starting at `start`; charged
+    /// as one access check per element, like the element loop it
+    /// replaces (§4.2's accounting).
+    pub fn read_into(&self, start: usize, out: &mut [T]) {
+        if out.is_empty() {
+            return;
+        }
+        let at = self.byte_at(start);
+        assert!(start + out.len() <= self.len, "bulk read out of bounds");
+        self.dsm
+            .with_object(self.id, false, out.len() as u64, |bytes| {
+                for (k, slot) in out.iter_mut().enumerate() {
+                    *slot = T::read_from(&bytes[at + k * T::SIZE..]);
+                }
+            })
+            .unwrap_or_else(|e| panic!("bulk read {}: {e}", self.id))
+    }
+
+    /// Bulk read returning a fresh vector.
+    pub fn read_vec(&self, start: usize, len: usize) -> Vec<T> {
+        let mut out = vec![T::default(); len];
+        self.read_into(start, &mut out);
+        out
+    }
+
+    /// Bulk write of `vals` starting at `start` (one check/element).
+    pub fn write_from(&self, start: usize, vals: &[T]) {
+        if vals.is_empty() {
+            return;
+        }
+        let at = self.byte_at(start);
+        assert!(start + vals.len() <= self.len, "bulk write out of bounds");
+        self.dsm
+            .with_object(self.id, true, vals.len() as u64, |bytes| {
+                for (k, v) in vals.iter().enumerate() {
+                    v.write_to(&mut bytes[at + k * T::SIZE..]);
+                }
+            })
+            .unwrap_or_else(|e| panic!("bulk write {}: {e}", self.id))
+    }
+
+    /// Fill the whole slice with `v`.
+    pub fn fill(&self, v: T) {
+        let vals = vec![v; self.len];
+        self.write_from(0, &vals);
+    }
+
+    /// Fallible element read (for tests exercising error paths).
+    pub fn try_read(&self, i: usize) -> Result<T, LotsError> {
+        let at = self.byte_at(i);
+        self.dsm
+            .with_object(self.id, false, 1, |bytes| T::read_from(&bytes[at..]))
+    }
+}
+
+impl<T: Pod> std::fmt::Debug for SharedSlice<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SharedSlice({}, base {}, len {})",
+            self.id, self.base, self.len
+        )
+    }
+}

@@ -1,0 +1,116 @@
+//! Runtime configuration for a LOTS cluster.
+
+use crate::layout::SEGMENT_BYTES;
+
+/// How lock-protected updates propagate (§3.4; the paper's choice is
+/// [`LockProtocol::HomelessWriteUpdate`], the ablation keeps the
+/// write-invalidate alternative it argues against).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockProtocol {
+    /// Updates (on-demand diffs) travel with the lock grant — the
+    /// paper's design, efficient for migratory/producer-consumer data.
+    HomelessWriteUpdate,
+    /// Grant carries invalidations; the acquirer refetches from the
+    /// last releaser on access.
+    WriteInvalidate,
+}
+
+/// How the lock managers store and serve update history (§3.5, Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiffMode {
+    /// Per-field (per-word) timestamps; diffs computed on demand
+    /// against the requester's timestamp — no redundant data (Fig. 7b).
+    PerFieldOnDemand,
+    /// TreadMarks-style accumulated whole diffs keyed by timestamp;
+    /// overlapping updates are re-sent (Fig. 7a) — the *diff
+    /// accumulation* problem LOTS eliminates.
+    AccumulatedDiffs,
+}
+
+/// Configuration of one LOTS cluster run.
+#[derive(Debug, Clone)]
+pub struct LotsConfig {
+    /// Capacity of the DMM area arena per node. Paper: 512 MB; tests
+    /// and experiments shrink it to force swapping at small scale.
+    pub dmm_bytes: usize,
+    /// Large-object-space support (dynamic mapping + pinning + swap).
+    /// `false` gives LOTS-x, the paper's ablation in §4.1/§4.2 —
+    /// objects are mapped permanently and must all fit in the DMM area.
+    pub large_object_space: bool,
+    /// Lock-path coherence protocol.
+    pub lock_protocol: LockProtocol,
+    /// Lock-manager diff bookkeeping mode.
+    pub diff_mode: DiffMode,
+    /// Home migration at barriers (§3.4). Disabling it fixes homes at
+    /// their initial assignment (ablation: pure home-based barriers).
+    pub home_migration: bool,
+    /// Objects strictly smaller than this are "small" and packed
+    /// together into pages in the upper half of the DMM area (§3.2).
+    pub small_threshold: usize,
+    /// Objects at least this large are "large" and allocated upward in
+    /// the lower half; sizes in between are "medium", allocated
+    /// downward (§3.2).
+    pub large_threshold: usize,
+}
+
+impl Default for LotsConfig {
+    fn default() -> LotsConfig {
+        LotsConfig {
+            dmm_bytes: SEGMENT_BYTES as usize,
+            large_object_space: true,
+            lock_protocol: LockProtocol::HomelessWriteUpdate,
+            diff_mode: DiffMode::PerFieldOnDemand,
+            home_migration: true,
+            small_threshold: 1024,
+            large_threshold: 64 * 1024,
+        }
+    }
+}
+
+impl LotsConfig {
+    /// A small-arena configuration convenient for tests: forces the
+    /// swap machinery to engage at kilobyte scale.
+    pub fn small(dmm_bytes: usize) -> LotsConfig {
+        LotsConfig {
+            dmm_bytes,
+            ..LotsConfig::default()
+        }
+    }
+
+    /// The LOTS-x variant (§4.1): large-object-space support disabled.
+    pub fn lots_x(dmm_bytes: usize) -> LotsConfig {
+        LotsConfig {
+            dmm_bytes,
+            large_object_space: false,
+            ..LotsConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = LotsConfig::default();
+        assert_eq!(c.dmm_bytes, 512 << 20);
+        assert!(c.large_object_space);
+        assert_eq!(c.lock_protocol, LockProtocol::HomelessWriteUpdate);
+        assert_eq!(c.diff_mode, DiffMode::PerFieldOnDemand);
+        assert!(c.home_migration);
+    }
+
+    #[test]
+    fn lots_x_disables_large_object_space() {
+        let c = LotsConfig::lots_x(1 << 20);
+        assert!(!c.large_object_space);
+        assert_eq!(c.dmm_bytes, 1 << 20);
+    }
+
+    #[test]
+    fn thresholds_ordered() {
+        let c = LotsConfig::default();
+        assert!(c.small_threshold < c.large_threshold);
+    }
+}

@@ -1,0 +1,446 @@
+//! Barriers with the migrating-home write-invalidate protocol (§3.4).
+//!
+//! A barrier runs in two rendezvous:
+//!
+//! * **Enter/plan** — every node reports its write notices (objects it
+//!   wrote this interval, with its consistent view of their homes). The
+//!   last arriver builds the plan: an object with a *single* writer
+//!   migrates its home to that writer with **no data transfer** (the
+//!   migration rides the barrier exit message); an object with multiple
+//!   writers keeps its home and every non-home writer must send its
+//!   diff to the home.
+//! * **Drain/exit** — after the diff sends are acknowledged, nodes
+//!   rendezvous again; the last arriver resets the lock-service epoch
+//!   (all lock updates are now reflected at homes) and stamps the exit
+//!   time. On exit every node applies migrations and invalidates its
+//!   copies of written objects it is not home of.
+//!
+//! Virtual time: the plan time is the max of the modeled enter-message
+//! arrivals plus manager processing; the exit time likewise over the
+//! drain notifications — so one slow node stalls everyone, as on a real
+//! cluster. Control traffic is charged to each participant's counters
+//! (manager-side fan-out is folded into the per-node accounting).
+
+use std::sync::Arc;
+
+use lots_net::NodeId;
+use lots_sim::{SimDuration, SimInstant, TimeCategory};
+use parking_lot::{Condvar, Mutex};
+
+use crate::object::ObjectId;
+use crate::protocol::messages::ctl;
+
+use super::locks::LockService;
+use super::SyncCtx;
+
+/// Per-entry manager processing cost when building/applying plans.
+const PLAN_ENTRY_COST: SimDuration = SimDuration(250);
+
+/// The plan the manager (last arriver) computes for one barrier.
+#[derive(Debug, Default)]
+pub struct BarrierPlan {
+    /// Barrier sequence number (1-based).
+    pub seq: u64,
+    /// Diff-propagation instructions: (writer, object, home).
+    pub send_diffs: Vec<(NodeId, ObjectId, NodeId)>,
+    /// Every object written this interval with its (possibly migrated)
+    /// new home.
+    pub written: Vec<(ObjectId, NodeId)>,
+    /// Virtual time the plan was ready at the manager.
+    pub plan_time: SimInstant,
+}
+
+impl BarrierPlan {
+    /// The diff sends node `me` is responsible for.
+    pub fn my_sends<'a>(&'a self, me: NodeId) -> impl Iterator<Item = (ObjectId, NodeId)> + 'a {
+        self.send_diffs
+            .iter()
+            .filter(move |&&(w, _, _)| w == me)
+            .map(|&(_, obj, home)| (obj, home))
+    }
+}
+
+/// One write notice: object, its diff's wire size, and the reporting
+/// node's (cluster-consistent) view of the object's home.
+pub type Notice = (ObjectId, usize, NodeId);
+
+struct BState {
+    seq: u64,
+    // Enter/plan rendezvous.
+    gen_a: u64,
+    count_a: usize,
+    enter_max: SimInstant,
+    notices: Vec<(ObjectId, NodeId, usize, NodeId)>, // (obj, writer, diff size, home)
+    plan: Option<Arc<BarrierPlan>>,
+    // Drain/exit rendezvous.
+    gen_b: u64,
+    count_b: usize,
+    drain_max: SimInstant,
+    exit_time: SimInstant,
+    // Event-only run-barrier rendezvous (§3.6).
+    gen_r: u64,
+    count_r: usize,
+    run_max: SimInstant,
+    run_exit: SimInstant,
+}
+
+/// Cluster-wide barrier service.
+pub struct BarrierService {
+    n: usize,
+    migration: bool,
+    locks: Arc<LockService>,
+    state: Mutex<BState>,
+    cv: Condvar,
+}
+
+impl BarrierService {
+    pub fn new(n: usize, migration: bool, locks: Arc<LockService>) -> BarrierService {
+        BarrierService {
+            n,
+            migration,
+            locks,
+            state: Mutex::new(BState {
+                seq: 1,
+                gen_a: 0,
+                count_a: 0,
+                enter_max: SimInstant::ZERO,
+                notices: Vec::new(),
+                plan: None,
+                gen_b: 0,
+                count_b: 0,
+                drain_max: SimInstant::ZERO,
+                exit_time: SimInstant::ZERO,
+                gen_r: 0,
+                count_r: 0,
+                run_max: SimInstant::ZERO,
+                run_exit: SimInstant::ZERO,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub fn cluster_size(&self) -> usize {
+        self.n
+    }
+
+    /// Rendezvous 1: submit write notices, receive the plan.
+    pub fn enter(&self, ctx: &SyncCtx, notices: Vec<Notice>) -> Arc<BarrierPlan> {
+        let mut st = self.state.lock();
+        let my_gen = st.gen_a;
+        let wait_from = ctx.clock.now();
+        let enter_bytes = ctl::BARRIER_ENTER + notices.len() * ctl::WRITE_NOTICE;
+        ctx.traffic
+            .record_send(enter_bytes, ctx.net.fragments(enter_bytes));
+        let arrive = ctx.clock.now() + ctx.net.one_way(enter_bytes);
+        st.enter_max = st.enter_max.max(arrive);
+        for (obj, size, home) in notices {
+            st.notices.push((obj, ctx.me, size, home));
+        }
+        st.count_a += 1;
+        if st.count_a == self.n {
+            let plan = Arc::new(self.build_plan(&mut st, ctx));
+            st.plan = Some(plan);
+            st.count_a = 0;
+            st.enter_max = SimInstant::ZERO;
+            st.notices.clear();
+            st.gen_a += 1;
+            self.cv.notify_all();
+        } else {
+            while st.gen_a == my_gen {
+                self.cv.wait(&mut st);
+            }
+        }
+        let plan = Arc::clone(st.plan.as_ref().expect("plan built by last arriver"));
+        drop(st);
+        let plan_bytes = ctl::BARRIER_PLAN + plan.written.len() * ctl::PLAN_ENTRY;
+        ctx.traffic.record_recv(plan_bytes);
+        let now = ctx
+            .clock
+            .advance_to(plan.plan_time + ctx.net.one_way(plan_bytes));
+        ctx.stats
+            .charge(TimeCategory::SyncWait, now.saturating_sub(wait_from));
+        plan
+    }
+
+    fn build_plan(&self, st: &mut BState, ctx: &SyncCtx) -> BarrierPlan {
+        // Group notices by object.
+        let mut by_obj: std::collections::BTreeMap<u32, (NodeId, Vec<NodeId>)> =
+            std::collections::BTreeMap::new();
+        for &(obj, writer, _size, home) in &st.notices {
+            let entry = by_obj.entry(obj.0).or_insert((home, Vec::new()));
+            debug_assert_eq!(entry.0, home, "inconsistent home views for {obj}");
+            entry.1.push(writer);
+        }
+        let mut send_diffs = Vec::new();
+        let mut written = Vec::new();
+        for (obj, (home, writers)) in by_obj {
+            let obj = ObjectId(obj);
+            if writers.len() == 1 {
+                let w = writers[0];
+                if self.migration {
+                    // Single writer: migrate the home to it; the data
+                    // is already there, zero transfer (§3.4 benefit 1).
+                    written.push((obj, w));
+                } else {
+                    // Ablation: fixed home — the writer must push its
+                    // diff home like any other.
+                    if w != home {
+                        send_diffs.push((w, obj, home));
+                    }
+                    written.push((obj, home));
+                }
+            } else {
+                // Multiple writers: updates are gathered at the home
+                // (§3.4 benefit 2: no scattering).
+                for &w in &writers {
+                    if w != home {
+                        send_diffs.push((w, obj, home));
+                    }
+                }
+                written.push((obj, home));
+            }
+        }
+        let processing = SimDuration(ctx.cpu.handler_entry.0 * self.n as u64)
+            + SimDuration(PLAN_ENTRY_COST.0 * written.len() as u64);
+        BarrierPlan {
+            seq: st.seq,
+            send_diffs,
+            written,
+            plan_time: st.enter_max + processing,
+        }
+    }
+
+    /// Rendezvous 2: all diff sends acknowledged; wait for the cluster,
+    /// reset the lock epoch, and return the exit time (already merged
+    /// into the caller's clock).
+    pub fn drain(&self, ctx: &SyncCtx) -> u64 {
+        let mut st = self.state.lock();
+        let my_gen = st.gen_b;
+        let wait_from = ctx.clock.now();
+        ctx.traffic.record_send(ctl::BARRIER_DONE, 1);
+        let arrive = ctx.clock.now() + ctx.net.one_way(ctl::BARRIER_DONE);
+        st.drain_max = st.drain_max.max(arrive);
+        st.count_b += 1;
+        let seq = st.seq;
+        if st.count_b == self.n {
+            // Every node is blocked here: lock logs can be reset safely
+            // (all lock-era updates are now reflected at the homes via
+            // the writers' interval diffs).
+            self.locks.reset_epoch(seq);
+            st.exit_time =
+                st.drain_max + SimDuration(ctx.cpu.handler_entry.0 * self.n as u64);
+            st.seq += 1;
+            st.count_b = 0;
+            st.drain_max = SimInstant::ZERO;
+            st.gen_b += 1;
+            self.cv.notify_all();
+        } else {
+            while st.gen_b == my_gen {
+                self.cv.wait(&mut st);
+            }
+        }
+        let exit = st.exit_time;
+        drop(st);
+        ctx.traffic.record_recv(ctl::BARRIER_EXIT);
+        let now = ctx
+            .clock
+            .advance_to(exit + ctx.net.one_way(ctl::BARRIER_EXIT));
+        ctx.stats
+            .charge(TimeCategory::SyncWait, now.saturating_sub(wait_from));
+        seq
+    }
+
+    /// The event-only `run_barrier()` of §3.6: synchronizes execution
+    /// without any memory consistency actions.
+    pub fn run_barrier(&self, ctx: &SyncCtx) {
+        let mut st = self.state.lock();
+        let my_gen = st.gen_r;
+        let wait_from = ctx.clock.now();
+        ctx.traffic.record_send(ctl::BARRIER_ENTER, 1);
+        let arrive = ctx.clock.now() + ctx.net.one_way(ctl::BARRIER_ENTER);
+        st.run_max = st.run_max.max(arrive);
+        st.count_r += 1;
+        if st.count_r == self.n {
+            st.run_exit = st.run_max + SimDuration(ctx.cpu.handler_entry.0 * self.n as u64);
+            st.count_r = 0;
+            st.run_max = SimInstant::ZERO;
+            st.gen_r += 1;
+            self.cv.notify_all();
+        } else {
+            while st.gen_r == my_gen {
+                self.cv.wait(&mut st);
+            }
+        }
+        let exit = st.run_exit;
+        drop(st);
+        ctx.traffic.record_recv(ctl::BARRIER_EXIT);
+        let now = ctx
+            .clock
+            .advance_to(exit + ctx.net.one_way(ctl::BARRIER_EXIT));
+        ctx.stats
+            .charge(TimeCategory::SyncWait, now.saturating_sub(wait_from));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DiffMode, LockProtocol};
+    use lots_net::TrafficStats;
+    use lots_sim::machine::{fast_ethernet, pentium4_2ghz};
+    use lots_sim::{NodeStats, SimClock};
+
+    fn ctx(me: NodeId) -> SyncCtx {
+        SyncCtx {
+            me,
+            clock: SimClock::new(),
+            stats: NodeStats::new(),
+            traffic: TrafficStats::new(),
+            net: fast_ethernet(),
+            cpu: pentium4_2ghz(),
+        }
+    }
+
+    fn service(n: usize, migration: bool) -> Arc<BarrierService> {
+        let locks = Arc::new(LockService::new(
+            n,
+            DiffMode::PerFieldOnDemand,
+            LockProtocol::HomelessWriteUpdate,
+        ));
+        Arc::new(BarrierService::new(n, migration, locks))
+    }
+
+    /// Run one barrier round across threads; returns each node's plan.
+    fn round(
+        svc: &Arc<BarrierService>,
+        notices: Vec<Vec<Notice>>,
+    ) -> Vec<(Arc<BarrierPlan>, SimInstant)> {
+        let mut handles = Vec::new();
+        for (me, n) in notices.into_iter().enumerate() {
+            let svc = Arc::clone(svc);
+            handles.push(std::thread::spawn(move || {
+                let c = ctx(me);
+                let plan = svc.enter(&c, n);
+                svc.drain(&c);
+                (plan, c.clock.now())
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn single_writer_migrates_home_without_data() {
+        let svc = service(3, true);
+        let results = round(
+            &svc,
+            vec![
+                vec![(ObjectId(7), 40, 0)], // node 0 wrote obj7 (home 0)... home=0
+                vec![],
+                vec![],
+            ],
+        );
+        let plan = &results[0].0;
+        assert!(plan.send_diffs.is_empty(), "no data transfer on migration");
+        assert_eq!(plan.written, vec![(ObjectId(7), 0)]);
+        // Writer elsewhere migrates home to the writer.
+        let results = round(&svc, vec![vec![], vec![(ObjectId(7), 40, 0)], vec![]]);
+        let plan = &results[0].0;
+        assert!(plan.send_diffs.is_empty());
+        assert_eq!(plan.written, vec![(ObjectId(7), 1)]);
+    }
+
+    #[test]
+    fn fixed_home_mode_sends_diff_home() {
+        let svc = service(2, false);
+        let results = round(&svc, vec![vec![], vec![(ObjectId(3), 16, 0)]]);
+        let plan = &results[0].0;
+        assert_eq!(plan.send_diffs, vec![(1, ObjectId(3), 0)]);
+        assert_eq!(plan.written, vec![(ObjectId(3), 0)]);
+    }
+
+    #[test]
+    fn multi_writer_keeps_home_and_gathers_diffs() {
+        let svc = service(3, true);
+        let results = round(
+            &svc,
+            vec![
+                vec![(ObjectId(5), 8, 1)],
+                vec![(ObjectId(5), 8, 1)],
+                vec![(ObjectId(5), 8, 1)],
+            ],
+        );
+        let plan = &results[0].0;
+        assert_eq!(plan.written, vec![(ObjectId(5), 1)]);
+        // Writers 0 and 2 send to home 1; home itself does not.
+        let mut senders: Vec<NodeId> = plan.send_diffs.iter().map(|&(w, _, _)| w).collect();
+        senders.sort_unstable();
+        assert_eq!(senders, vec![0, 2]);
+        assert!(plan.my_sends(1).next().is_none());
+        assert_eq!(plan.my_sends(0).collect::<Vec<_>>(), vec![(ObjectId(5), 1)]);
+    }
+
+    #[test]
+    fn exit_time_dominated_by_slowest_node() {
+        let svc = service(2, true);
+        let mut handles = Vec::new();
+        for me in 0..2 {
+            let svc = Arc::clone(&svc);
+            handles.push(std::thread::spawn(move || {
+                let c = ctx(me);
+                if me == 1 {
+                    c.clock.advance(SimDuration::from_millis(30)); // slow worker
+                }
+                svc.enter(&c, vec![]);
+                svc.drain(&c);
+                c.clock.now()
+            }));
+        }
+        let times: Vec<SimInstant> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for t in &times {
+            assert!(t.nanos() >= 30_000_000, "exit before slowest entered: {t}");
+        }
+        // Exits are identical up to the (identical) exit message cost.
+        assert_eq!(times[0], times[1]);
+    }
+
+    #[test]
+    fn barrier_reusable_across_rounds_with_increasing_seq() {
+        let svc = service(2, true);
+        for expected_seq in 1..=3u64 {
+            let mut handles = Vec::new();
+            for me in 0..2 {
+                let svc = Arc::clone(&svc);
+                handles.push(std::thread::spawn(move || {
+                    let c = ctx(me);
+                    let plan = svc.enter(&c, vec![]);
+                    let seq = svc.drain(&c);
+                    (plan.seq, seq)
+                }));
+            }
+            for h in handles {
+                let (pseq, dseq) = h.join().unwrap();
+                assert_eq!(pseq, expected_seq);
+                assert_eq!(dseq, expected_seq);
+            }
+        }
+    }
+
+    #[test]
+    fn run_barrier_synchronizes_clocks_only() {
+        let svc = service(3, true);
+        let mut handles = Vec::new();
+        for me in 0..3 {
+            let svc = Arc::clone(&svc);
+            handles.push(std::thread::spawn(move || {
+                let c = ctx(me);
+                c.clock.advance(SimDuration::from_micros(me as u64 * 500));
+                svc.run_barrier(&c);
+                c.clock.now()
+            }));
+        }
+        let times: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(times[0], times[1]);
+        assert_eq!(times[1], times[2]);
+        assert!(times[0].nanos() >= 1_000_000);
+    }
+}

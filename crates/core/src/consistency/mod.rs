@@ -1,0 +1,26 @@
+//! Scope Consistency synchronization services (§3.4).
+//!
+//! Locks implement the homeless write-update side of the mixed
+//! protocol; barriers implement the migrating-home write-invalidate
+//! side. Both are *shared cluster services*: the queueing/rendezvous is
+//! done with real in-process synchronization while the control-message
+//! costs (requests, grants, enter/exit) are charged analytically to the
+//! participants' virtual clocks and traffic counters — see DESIGN.md §2.
+
+pub mod barrier;
+pub mod locks;
+
+use lots_net::TrafficStats;
+use lots_sim::{CpuModel, NetModel, NodeStats, SimClock};
+
+/// Per-node handles the synchronization services need to charge
+/// virtual time and traffic.
+#[derive(Clone)]
+pub struct SyncCtx {
+    pub me: lots_net::NodeId,
+    pub clock: SimClock,
+    pub stats: NodeStats,
+    pub traffic: TrafficStats,
+    pub net: NetModel,
+    pub cpu: CpuModel,
+}

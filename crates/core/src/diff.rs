@@ -1,0 +1,220 @@
+//! Word-granular diffs (§3.5).
+//!
+//! LOTS follows TreadMarks in shipping *diffs* — runtime encodings of
+//! the words an interval changed — instead of whole objects. A diff is
+//! computed by comparing the object against its twin; it is applied by
+//! replaying the changed words. The wire encoding groups consecutive
+//! changed words into runs: `[start_word u32][len u32][len × u32]`.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// One run of consecutive changed words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiffRun {
+    /// Index of the first changed word.
+    pub start: u32,
+    /// New values for words `start..start+len`.
+    pub words: Vec<u32>,
+}
+
+/// A word-granular object diff.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WordDiff {
+    pub runs: Vec<DiffRun>,
+}
+
+impl WordDiff {
+    /// Compare `current` against `twin` (equal lengths, word-aligned)
+    /// and collect the changed words.
+    pub fn compute(twin: &[u8], current: &[u8]) -> WordDiff {
+        assert_eq!(twin.len(), current.len(), "twin/current size mismatch");
+        assert_eq!(current.len() % 4, 0, "objects are word-aligned");
+        let mut runs: Vec<DiffRun> = Vec::new();
+        let words = current.len() / 4;
+        let mut i = 0usize;
+        while i < words {
+            if twin[i * 4..i * 4 + 4] == current[i * 4..i * 4 + 4] {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            let mut vals = Vec::new();
+            while i < words && twin[i * 4..i * 4 + 4] != current[i * 4..i * 4 + 4] {
+                vals.push(u32::from_le_bytes(
+                    current[i * 4..i * 4 + 4].try_into().expect("word"),
+                ));
+                i += 1;
+            }
+            runs.push(DiffRun {
+                start: start as u32,
+                words: vals,
+            });
+        }
+        WordDiff { runs }
+    }
+
+    /// Overwrite `target` with this diff's words.
+    pub fn apply(&self, target: &mut [u8]) {
+        for run in &self.runs {
+            for (k, w) in run.words.iter().enumerate() {
+                let off = (run.start as usize + k) * 4;
+                target[off..off + 4].copy_from_slice(&w.to_le_bytes());
+            }
+        }
+    }
+
+    /// Is there anything in the diff?
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Number of changed words.
+    pub fn changed_words(&self) -> usize {
+        self.runs.iter().map(|r| r.words.len()).sum()
+    }
+
+    /// Bytes this diff occupies on the wire.
+    pub fn wire_size(&self) -> usize {
+        4 + self.runs.iter().map(|r| 8 + 4 * r.words.len()).sum::<usize>()
+    }
+
+    /// Encode to the wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.wire_size());
+        buf.put_u32_le(self.runs.len() as u32);
+        for run in &self.runs {
+            buf.put_u32_le(run.start);
+            buf.put_u32_le(run.words.len() as u32);
+            for w in &run.words {
+                buf.put_u32_le(*w);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decode from the wire format.
+    pub fn decode(data: &[u8]) -> WordDiff {
+        let nruns = u32::from_le_bytes(data[0..4].try_into().expect("count")) as usize;
+        let mut pos = 4usize;
+        let mut runs = Vec::with_capacity(nruns);
+        for _ in 0..nruns {
+            let start = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("start"));
+            let len = u32::from_le_bytes(data[pos + 4..pos + 8].try_into().expect("len")) as usize;
+            pos += 8;
+            let mut words = Vec::with_capacity(len);
+            for _ in 0..len {
+                words.push(u32::from_le_bytes(
+                    data[pos..pos + 4].try_into().expect("word"),
+                ));
+                pos += 4;
+            }
+            runs.push(DiffRun { start, words });
+        }
+        WordDiff { runs }
+    }
+
+    /// Iterate `(word_index, value)` pairs.
+    pub fn iter_words(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.runs.iter().flat_map(|r| {
+            r.words
+                .iter()
+                .enumerate()
+                .map(move |(k, &w)| (r.start + k as u32, w))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_buffers_give_empty_diff() {
+        let a = vec![7u8; 64];
+        let d = WordDiff::compute(&a, &a);
+        assert!(d.is_empty());
+        assert_eq!(d.changed_words(), 0);
+        assert_eq!(d.wire_size(), 4);
+    }
+
+    #[test]
+    fn sparse_update_produces_small_diff() {
+        let twin = vec![0u8; 4096];
+        let mut cur = twin.clone();
+        cur[100 * 4..100 * 4 + 4].copy_from_slice(&99u32.to_le_bytes());
+        let d = WordDiff::compute(&twin, &cur);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.changed_words(), 1);
+        // "If the object update is sparse, sending diffs is more
+        //  favorable than sending whole objects" (§3.5).
+        assert!(d.wire_size() < cur.len() / 10);
+    }
+
+    #[test]
+    fn consecutive_changes_coalesce_into_one_run() {
+        let twin = vec![0u8; 64];
+        let mut cur = twin.clone();
+        for w in 4..9 {
+            cur[w * 4..w * 4 + 4].copy_from_slice(&(w as u32).to_le_bytes());
+        }
+        let d = WordDiff::compute(&twin, &cur);
+        assert_eq!(d.runs.len(), 1);
+        assert_eq!(d.runs[0].start, 4);
+        assert_eq!(d.runs[0].words, vec![4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn apply_reconstructs_current() {
+        let twin: Vec<u8> = (0..256u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut cur = twin.clone();
+        for w in [0usize, 17, 18, 19, 255] {
+            cur[w * 4..w * 4 + 4].copy_from_slice(&0xDEAD_BEEFu32.to_le_bytes());
+        }
+        let d = WordDiff::compute(&twin, &cur);
+        let mut rebuilt = twin.clone();
+        d.apply(&mut rebuilt);
+        assert_eq!(rebuilt, cur);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let twin = vec![0u8; 400];
+        let mut cur = twin.clone();
+        for w in [1usize, 2, 3, 50, 98, 99] {
+            cur[w * 4..w * 4 + 4].copy_from_slice(&((w * 3) as u32).to_le_bytes());
+        }
+        let d = WordDiff::compute(&twin, &cur);
+        let enc = d.encode();
+        assert_eq!(enc.len(), d.wire_size());
+        let dec = WordDiff::decode(&enc);
+        assert_eq!(dec, d);
+    }
+
+    #[test]
+    fn iter_words_lists_every_change() {
+        let twin = vec![0u8; 32];
+        let mut cur = twin.clone();
+        cur[0..4].copy_from_slice(&1u32.to_le_bytes());
+        cur[28..32].copy_from_slice(&2u32.to_le_bytes());
+        let d = WordDiff::compute(&twin, &cur);
+        let pairs: Vec<(u32, u32)> = d.iter_words().collect();
+        assert_eq!(pairs, vec![(0, 1), (7, 2)]);
+    }
+
+    #[test]
+    fn dense_update_diff_larger_than_object() {
+        // Fully rewritten object: diff ≥ data (run headers) — the case
+        // where whole-object transfer would win (§5 future work).
+        let twin = vec![0u8; 64];
+        let cur = vec![1u8; 64];
+        let d = WordDiff::compute(&twin, &cur);
+        assert_eq!(d.changed_words(), 16);
+        assert!(d.wire_size() >= 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_lengths_panic() {
+        WordDiff::compute(&[0u8; 8], &[0u8; 12]);
+    }
+}

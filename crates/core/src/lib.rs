@@ -1,0 +1,66 @@
+//! `lots-core` — a Rust reproduction of **LOTS: A Software DSM
+//! Supporting Large Object Space** (Cheung, Wang, Lau — CLUSTER 2004).
+//!
+//! LOTS is an object-based software distributed shared memory runtime
+//! whose shared object space can exceed the process address space:
+//! object *data* is dynamically and lazily mapped into a fixed DMM
+//! region and swapped to local disk under pressure, while only a trace
+//! of per-object control information stays resident (§1, §3.3). On top
+//! of that live Scope Consistency (§3.4) and a mixed coherence
+//! protocol: homeless write-update at locks, migrating-home
+//! write-invalidate at barriers, with per-field timestamps eliminating
+//! the diff-accumulation problem (§3.5).
+//!
+//! # Quick start
+//!
+//! ```
+//! use lots_core::{run_cluster, ClusterOptions, LotsConfig};
+//! use lots_sim::machine::p4_fedora;
+//!
+//! let opts = ClusterOptions::new(2, LotsConfig::small(64 * 1024), p4_fedora());
+//! let (sums, report) = run_cluster(opts, |dsm| {
+//!     let a = dsm.alloc::<i32>(100).unwrap();
+//!     // Each node writes its half.
+//!     let half = 50 * dsm.me();
+//!     for i in 0..50 {
+//!         a.write(half + i, (half + i) as i32);
+//!     }
+//!     dsm.barrier();
+//!     (0..100).map(|i| a.read(i) as i64).sum::<i64>()
+//! });
+//! assert_eq!(sums, vec![4950, 4950]);
+//! assert!(report.exec_time.nanos() > 0);
+//! ```
+//!
+//! The crate is organized like the system in the paper:
+//!
+//! | paper | module |
+//! |---|---|
+//! | §3.2 allocator, Fig. 4 queues | [`alloc`] |
+//! | Fig. 3 address-space layout | [`layout`] |
+//! | §3.3 dynamic mapper, pinning | [`node`] |
+//! | §3.4 ScC + mixed protocol | [`consistency`] |
+//! | §3.5 diffs, Fig. 7 fix | [`diff`], [`consistency::locks`] |
+//! | §3.6 transport | `lots-net` crate |
+//! | `Pointer<T>` API | [`api`] |
+
+pub mod alloc;
+pub mod api;
+pub mod config;
+pub mod consistency;
+pub mod diff;
+pub mod layout;
+pub mod node;
+pub mod object;
+pub mod pod;
+pub mod protocol;
+pub mod runtime;
+
+pub use api::{Dsm, SharedSlice, StmtGuard};
+pub use config::{DiffMode, LockProtocol, LotsConfig};
+pub use consistency::locks::LockId;
+pub use diff::WordDiff;
+pub use node::LotsError;
+pub use object::ObjectId;
+pub use pod::Pod;
+pub use runtime::{run_cluster, ClusterOptions, ClusterReport, NodeReport};

@@ -1,0 +1,1091 @@
+//! Per-node DSM state: the DMM arena, twin arena, dynamic memory
+//! mapper, pinning, and interval bookkeeping.
+//!
+//! One `NodeState` exists per simulated process, shared (behind a
+//! mutex) between the node's application thread and its comm thread.
+//! It implements §3.2 (allocation), §3.3 (dynamic mapping, swapping,
+//! pinning) and the node-local halves of §3.4/§3.5 (twins, diffs,
+//! lock-update application, barrier bookkeeping).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use lots_disk::{BackingStore, DiskError};
+use lots_net::NodeId;
+use lots_sim::{CpuModel, NodeStats, SimClock, SimDuration, TimeCategory};
+
+use crate::alloc::{AllocError, DmmAllocator};
+use crate::config::LotsConfig;
+use crate::diff::WordDiff;
+use crate::object::{Mapping, ObjCtl, ObjectId, Share};
+
+/// Errors surfaced to applications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LotsError {
+    /// Object exceeds the maximum single-object size (§4.3: bounded by
+    /// the DMM area).
+    ObjectTooLarge { size: usize, max: usize },
+    /// §5: every mapped object is pinned by the current statement and
+    /// nothing can be swapped out.
+    OutOfDmm { requested: usize },
+    /// LOTS-x (no large-object support) requires every object to stay
+    /// mapped; allocation beyond the DMM area is a hard error (§1: "the
+    /// application is too large to fit in the system").
+    LotsXCapacity { requested: usize },
+    /// Backing-store failure (out of disk, missing image).
+    Disk(String),
+}
+
+impl std::fmt::Display for LotsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LotsError::ObjectTooLarge { size, max } => {
+                write!(f, "object of {size} bytes exceeds single-object limit {max}")
+            }
+            LotsError::OutOfDmm { requested } => write!(
+                f,
+                "no swappable object in DMM area for a {requested}-byte mapping \
+                 (all mapped objects pinned by the current statement)"
+            ),
+            LotsError::LotsXCapacity { requested } => write!(
+                f,
+                "LOTS-x: DMM area exhausted allocating {requested} bytes \
+                 (large-object-space support disabled)"
+            ),
+            LotsError::Disk(e) => write!(f, "backing store: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LotsError {}
+
+impl From<DiskError> for LotsError {
+    fn from(e: DiskError) -> LotsError {
+        LotsError::Disk(e.to_string())
+    }
+}
+
+/// Outcome of starting an access: either the object is locally usable,
+/// or a clean copy must be fetched from its home first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    Ready { offset: usize },
+    NeedFetch { home: NodeId },
+}
+
+/// An open critical section: the guarding lock plus CS-entry snapshots
+/// of every object written inside it (used to compute the release
+/// updates of the homeless write-update protocol).
+#[derive(Debug)]
+pub struct CsFrame {
+    pub lock: u32,
+    pub cs_twins: HashMap<u32, Vec<u8>>,
+}
+
+/// Per-node DSM state.
+pub struct NodeState {
+    pub me: NodeId,
+    pub n: usize,
+    pub cfg: LotsConfig,
+    pub cpu: CpuModel,
+    arena: Vec<u8>,
+    twin_arena: Vec<u8>,
+    alloc: DmmAllocator,
+    objects: Vec<ObjCtl>,
+    store: Arc<dyn BackingStore>,
+    pub clock: SimClock,
+    pub stats: NodeStats,
+    /// Statement counter driving the pinning mechanism (§3.3).
+    stmt: u64,
+    /// Nesting depth of explicit statement guards.
+    stmt_depth: u32,
+    /// Open critical sections (innermost last).
+    cs_stack: Vec<CsFrame>,
+    /// Lock updates received for objects not currently materialized;
+    /// applied when the object is next installed. word → (ts, value).
+    pending_lock_updates: HashMap<u32, HashMap<u32, (u64, u32)>>,
+    /// Last-writer-wins guard for the barrier diff phase:
+    /// (object, word) → release-ts already applied.
+    barrier_word_guard: HashMap<(u32, u32), u64>,
+    /// Objects written since the last barrier.
+    dirty: Vec<u32>,
+    /// Release timestamp of this node's last CS write per object.
+    obj_release_ts: HashMap<u32, u64>,
+    /// Diffs cached at barrier entry (so later remote applications
+    /// cannot contaminate them).
+    cached_diffs: HashMap<u32, WordDiff>,
+    /// Write-invalidate lock mode: object → node holding the freshest
+    /// copy, used instead of the home for the next fetch.
+    fetch_override: HashMap<u32, NodeId>,
+}
+
+/// Swap-image layout: `[flags u8][pad ×3][data][twin if flags&1]`.
+/// Flag bit 1 marks an all-zero twin (a fresh object's pre-image),
+/// which is reconstructed instead of stored — this is what keeps the
+/// Table 1 runs at "more than 4 GB written to disk" rather than double
+/// that: a freshly filled object's twin is always the zero page.
+fn encode_image(data: &[u8], twin: Option<&[u8]>) -> Vec<u8> {
+    let zero_twin = twin.map(|t| t.iter().all(|&b| b == 0)).unwrap_or(false);
+    let stored_twin = if zero_twin { None } else { twin };
+    let mut img = Vec::with_capacity(4 + data.len() * (1 + stored_twin.is_some() as usize));
+    img.push(twin.is_some() as u8 | (zero_twin as u8) << 1);
+    img.extend_from_slice(&[0u8; 3]);
+    img.extend_from_slice(data);
+    if let Some(t) = stored_twin {
+        debug_assert_eq!(t.len(), data.len());
+        img.extend_from_slice(t);
+    }
+    img
+}
+
+enum ImageTwin<'a> {
+    None,
+    Zero,
+    Bytes(&'a [u8]),
+}
+
+fn decode_image(img: &[u8], size: usize) -> (&[u8], ImageTwin<'_>) {
+    let flags = img[0];
+    let data = &img[4..4 + size];
+    let twin = if flags & 1 == 0 {
+        ImageTwin::None
+    } else if flags & 2 != 0 {
+        ImageTwin::Zero
+    } else {
+        ImageTwin::Bytes(&img[4 + size..4 + 2 * size])
+    };
+    (data, twin)
+}
+
+impl NodeState {
+    pub fn new(
+        me: NodeId,
+        n: usize,
+        cfg: LotsConfig,
+        cpu: CpuModel,
+        store: Arc<dyn BackingStore>,
+        clock: SimClock,
+        stats: NodeStats,
+    ) -> NodeState {
+        let alloc = DmmAllocator::new(cfg.dmm_bytes, cfg.small_threshold, cfg.large_threshold);
+        NodeState {
+            me,
+            n,
+            arena: vec![0u8; cfg.dmm_bytes],
+            twin_arena: vec![0u8; cfg.dmm_bytes],
+            alloc,
+            objects: Vec::new(),
+            store,
+            clock,
+            stats,
+            cpu,
+            cfg,
+            stmt: 1,
+            stmt_depth: 0,
+            cs_stack: Vec::new(),
+            pending_lock_updates: HashMap::new(),
+            barrier_word_guard: HashMap::new(),
+            dirty: Vec::new(),
+            obj_release_ts: HashMap::new(),
+            cached_diffs: HashMap::new(),
+            fetch_override: HashMap::new(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation (§3.2)
+    // ------------------------------------------------------------------
+
+    /// Register a shared object of `size` bytes (word-aligned up) and
+    /// try to map it eagerly, as `alloc()` does in the paper. Returns
+    /// the cluster-wide object id (deterministic: allocation order).
+    pub fn register_object(&mut self, size: usize) -> Result<ObjectId, LotsError> {
+        let size = size.div_ceil(4) * 4;
+        let id = ObjectId(self.objects.len() as u32);
+        let home = (id.0 as usize) % self.n; // round-robin initial homes
+        self.objects.push(ObjCtl::new(size, home));
+        self.charge(TimeCategory::LargeObject, self.cpu.map_syscall);
+        if self.cfg.large_object_space {
+            // Eager map only while space is free (mmap-like laziness):
+            // allocation must not trigger swap traffic for data that has
+            // never been touched.
+            match self.alloc.alloc(size) {
+                Ok(offset) => {
+                    self.arena[offset..offset + size].fill(0);
+                    self.objects[id.0 as usize].mapping = Mapping::Mapped { offset };
+                    Ok(id)
+                }
+                Err(AllocError::NoSpace { .. }) => Ok(id), // lazy (§3.3)
+                Err(AllocError::TooLarge { size, max }) => {
+                    Err(LotsError::ObjectTooLarge { size, max })
+                }
+            }
+        } else {
+            // LOTS-x: mapping is permanent and mandatory.
+            match self.try_map(id) {
+                Ok(_) => Ok(id),
+                Err(LotsError::OutOfDmm { requested }) | Err(LotsError::LotsXCapacity { requested }) => {
+                    Err(LotsError::LotsXCapacity { requested })
+                }
+                Err(e) => Err(e),
+            }
+        }
+    }
+
+    /// Number of registered objects.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    pub fn object_size(&self, id: ObjectId) -> usize {
+        self.objects[id.0 as usize].size
+    }
+
+    pub fn home_of(&self, id: ObjectId) -> NodeId {
+        self.objects[id.0 as usize].home
+    }
+
+    pub fn ctl(&self, id: ObjectId) -> &ObjCtl {
+        &self.objects[id.0 as usize]
+    }
+
+    fn charge(&self, cat: TimeCategory, d: SimDuration) {
+        self.clock.advance(d);
+        self.stats.charge(cat, d);
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic memory mapping and swapping (§3.3)
+    // ------------------------------------------------------------------
+
+    /// Map `id` into the DMM area, swapping out victims as needed.
+    fn try_map(&mut self, id: ObjectId) -> Result<usize, LotsError> {
+        let idx = id.0 as usize;
+        if let Some(off) = self.objects[idx].offset() {
+            return Ok(off);
+        }
+        let size = self.objects[idx].size;
+        let offset = loop {
+            match self.alloc.alloc(size) {
+                Ok(off) => break off,
+                Err(AllocError::TooLarge { size, max }) => {
+                    return Err(LotsError::ObjectTooLarge { size, max })
+                }
+                Err(AllocError::NoSpace { size }) => {
+                    if !self.cfg.large_object_space {
+                        return Err(LotsError::LotsXCapacity { requested: size });
+                    }
+                    if !self.evict_one()? {
+                        return Err(LotsError::OutOfDmm { requested: size });
+                    }
+                }
+            }
+        };
+        self.charge(TimeCategory::LargeObject, self.cpu.map_syscall);
+        match self.objects[idx].mapping {
+            Mapping::OnDisk => {
+                let (img, t) = self.store.get(id.0 as u64)?;
+                self.charge(TimeCategory::Disk, t);
+                // The image stays on disk: while the in-memory copy is
+                // unmodified, a later eviction is free of disk writes.
+                debug_assert!(self.objects[idx].clean_on_disk);
+                let (data, twin) = decode_image(&img, size);
+                self.arena[offset..offset + size].copy_from_slice(data);
+                // A barrier may have retired the interval while the
+                // object sat on disk; only restore a live twin.
+                if self.objects[idx].twin {
+                    match twin {
+                        ImageTwin::Zero => self.twin_arena[offset..offset + size].fill(0),
+                        ImageTwin::Bytes(tw) => {
+                            self.twin_arena[offset..offset + size].copy_from_slice(tw)
+                        }
+                        ImageTwin::None => unreachable!("dirty object swapped without twin"),
+                    }
+                }
+                self.stats.count_swap_in();
+            }
+            Mapping::Unmapped => {
+                self.arena[offset..offset + size].fill(0);
+            }
+            Mapping::Mapped { .. } => unreachable!("checked above"),
+        }
+        self.objects[idx].mapping = Mapping::Mapped { offset };
+        self.apply_pending_updates(id);
+        Ok(offset)
+    }
+
+    /// Swap out one victim: least-recently-used mapped object not
+    /// pinned by the current statement (§3.3's LRU + pinning policy).
+    fn evict_one(&mut self) -> Result<bool, LotsError> {
+        let mut victim: Option<(u64, usize)> = None; // (last_access, idx)
+        for (idx, ctl) in self.objects.iter().enumerate() {
+            if ctl.offset().is_none() {
+                continue;
+            }
+            if ctl.last_access >= self.stmt {
+                continue; // pinned: accessed by the current statement
+            }
+            match victim {
+                Some((best, _)) if ctl.last_access >= best => {}
+                _ => victim = Some((ctl.last_access, idx)),
+            }
+        }
+        let Some((_, idx)) = victim else {
+            return Ok(false);
+        };
+        self.swap_out(ObjectId(idx as u32))?;
+        Ok(true)
+    }
+
+    /// Write the object (and its twin, if dirty) to the backing store
+    /// and release its DMM block.
+    fn swap_out(&mut self, id: ObjectId) -> Result<(), LotsError> {
+        let idx = id.0 as usize;
+        let (offset, size) = {
+            let ctl = &self.objects[idx];
+            (ctl.offset().expect("swap_out of mapped object"), ctl.size)
+        };
+        if !self.objects[idx].clean_on_disk {
+            let data = &self.arena[offset..offset + size];
+            let twin = self.objects[idx]
+                .twin
+                .then(|| &self.twin_arena[offset..offset + size]);
+            let img = encode_image(data, twin);
+            let t = self.store.put(id.0 as u64, &img)?;
+            self.charge(TimeCategory::Disk, t);
+            self.objects[idx].clean_on_disk = true;
+            self.stats.count_swap_out();
+        }
+        self.charge(TimeCategory::LargeObject, self.cpu.map_syscall);
+        self.alloc.free(offset);
+        self.objects[idx].mapping = Mapping::OnDisk;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Statements and pinning (§3.3)
+    // ------------------------------------------------------------------
+
+    /// Begin an explicit statement: objects accessed until `exit_stmt`
+    /// share one pin scope (like all operands of `a[5]=b[5]+c[5]`).
+    pub fn enter_stmt(&mut self) {
+        if self.stmt_depth == 0 {
+            self.stmt += 1;
+        }
+        self.stmt_depth += 1;
+    }
+
+    pub fn exit_stmt(&mut self) {
+        debug_assert!(self.stmt_depth > 0);
+        self.stmt_depth -= 1;
+    }
+
+    fn current_stmt(&mut self) -> u64 {
+        if self.stmt_depth == 0 {
+            // Implicit statement: each bare access is its own scope.
+            self.stmt += 1;
+        }
+        self.stmt
+    }
+
+    // ------------------------------------------------------------------
+    // Access path (§3.3)
+    // ------------------------------------------------------------------
+
+    /// Run the access check for `checks` element accesses to `id`
+    /// (the §4.2-measured 20–25 ns lookup, plus pinning when the
+    /// large-object space is enabled), map the object, and create twins
+    /// for writes. Returns `NeedFetch` if the local copy is stale — the
+    /// caller fetches from the home and calls [`NodeState::install_fetch`].
+    pub fn begin_access(
+        &mut self,
+        id: ObjectId,
+        write: bool,
+        checks: u64,
+    ) -> Result<Access, LotsError> {
+        let stmt = self.current_stmt();
+        self.stats.count_access_checks(checks);
+        let check_t = self.cpu.checks(checks);
+        self.clock.advance(check_t);
+        self.stats.charge(TimeCategory::AccessCheck, check_t);
+        if self.cfg.large_object_space {
+            let pin_t = SimDuration(self.cpu.pin_update.0 * checks);
+            self.clock.advance(pin_t);
+            self.stats.charge(TimeCategory::LargeObject, pin_t);
+        }
+        let idx = id.0 as usize;
+        if !self.objects[idx].locally_valid() {
+            let target = self
+                .fetch_override
+                .get(&id.0)
+                .copied()
+                .unwrap_or(self.objects[idx].home);
+            return Ok(Access::NeedFetch { home: target });
+        }
+        let offset = self.try_map(id)?;
+        self.objects[idx].last_access = stmt;
+        if write {
+            self.prepare_write(id, offset);
+        }
+        Ok(Access::Ready { offset })
+    }
+
+    /// The in-memory copy is about to diverge from the disk image:
+    /// drop the stale image and clear the clean flag.
+    fn mark_mutated(&mut self, idx: usize) {
+        if self.objects[idx].clean_on_disk {
+            self.store
+                .remove(idx as u64)
+                .expect("clean_on_disk implies a stored image");
+            self.objects[idx].clean_on_disk = false;
+        }
+    }
+
+    /// Twin creation (interval twin + CS twin) ahead of a write.
+    fn prepare_write(&mut self, id: ObjectId, offset: usize) {
+        let idx = id.0 as usize;
+        let size = self.objects[idx].size;
+        self.mark_mutated(idx);
+        if !self.objects[idx].twin {
+            let (arena, twins) = (&self.arena, &mut self.twin_arena);
+            twins[offset..offset + size].copy_from_slice(&arena[offset..offset + size]);
+            self.objects[idx].twin = true;
+            self.charge(TimeCategory::Diffing, self.cpu.diffing(size as u64));
+        }
+        if !self.objects[idx].written {
+            self.objects[idx].written = true;
+            self.dirty.push(id.0);
+        }
+        if let Some(frame) = self.cs_stack.last_mut() {
+            frame
+                .cs_twins
+                .entry(id.0)
+                .or_insert_with(|| self.arena[offset..offset + size].to_vec());
+        }
+    }
+
+    /// Raw bytes of a mapped object (after `begin_access` returned
+    /// `Ready`).
+    pub fn object_bytes(&self, offset: usize, len: usize) -> &[u8] {
+        &self.arena[offset..offset + len]
+    }
+
+    pub fn object_bytes_mut(&mut self, offset: usize, len: usize) -> &mut [u8] {
+        &mut self.arena[offset..offset + len]
+    }
+
+    /// Install a clean copy fetched from the home.
+    pub fn install_fetch(
+        &mut self,
+        id: ObjectId,
+        bytes: &[u8],
+        version: u64,
+    ) -> Result<(), LotsError> {
+        let idx = id.0 as usize;
+        debug_assert_eq!(bytes.len(), self.objects[idx].size);
+        self.objects[idx].share = Share::Valid; // must precede mapping
+        let offset = self.try_map(id)?;
+        self.arena[offset..offset + bytes.len()].copy_from_slice(bytes);
+        self.objects[idx].version = version;
+        self.mark_mutated(idx);
+        self.fetch_override.remove(&id.0);
+        self.apply_pending_updates(id);
+        Ok(())
+    }
+
+    /// Write-invalidate lock mode (§3.4 ablation): drop the local copy
+    /// and redirect the next fetch to the last releaser.
+    pub fn wi_invalidate(&mut self, id: ObjectId, holder: NodeId) -> Result<(), LotsError> {
+        if holder == self.me {
+            return Ok(());
+        }
+        self.invalidate_local(id)?;
+        self.fetch_override.insert(id.0, holder);
+        Ok(())
+    }
+
+    /// Release timestamp of this node's last CS write to `id` this
+    /// interval (0 if the object was only written outside locks).
+    pub fn release_ts_of(&self, id: ObjectId) -> u64 {
+        self.obj_release_ts.get(&id.0).copied().unwrap_or(0)
+    }
+
+    /// Charge `n` bare access checks (workload cost-model hook for
+    /// re-accesses of already-resolved objects, e.g. `b[i][j±1]` after
+    /// `b[i][j]` — each is still a checked access in LOTS).
+    pub fn charge_checks(&mut self, n: u64) {
+        self.stats.count_access_checks(n);
+        let check_t = self.cpu.checks(n);
+        self.clock.advance(check_t);
+        self.stats.charge(TimeCategory::AccessCheck, check_t);
+        if self.cfg.large_object_space {
+            let pin_t = SimDuration(self.cpu.pin_update.0 * n);
+            self.clock.advance(pin_t);
+            self.stats.charge(TimeCategory::LargeObject, pin_t);
+        }
+    }
+
+    /// Serve a read of the full object (comm thread). Usually the home
+    /// serves; under the write-invalidate lock ablation the last
+    /// releaser may serve instead. Either way the local copy must be
+    /// clean — a stale server is a protocol bug.
+    pub fn serve_object(&mut self, id: ObjectId) -> Result<(Vec<u8>, u64), LotsError> {
+        let idx = id.0 as usize;
+        assert!(
+            self.objects[idx].locally_valid(),
+            "node {} asked to serve stale {id} (home {})",
+            self.me,
+            self.objects[idx].home
+        );
+        let offset = self.try_map(id)?;
+        let size = self.objects[idx].size;
+        Ok((
+            self.arena[offset..offset + size].to_vec(),
+            self.objects[idx].version,
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Lock-path updates (§3.4 homeless write-update, §3.5 diffs)
+    // ------------------------------------------------------------------
+
+    /// Open a critical section guarded by `lock`.
+    pub fn enter_cs(&mut self, lock: u32) {
+        self.cs_stack.push(CsFrame {
+            lock,
+            cs_twins: HashMap::new(),
+        });
+    }
+
+    /// Close the innermost critical section and return the updates made
+    /// inside it (per object: the words changed since CS entry).
+    pub fn exit_cs(&mut self, lock: u32, release_ts: u64) -> Vec<(ObjectId, WordDiff)> {
+        let frame = self.cs_stack.pop().expect("exit_cs without enter_cs");
+        debug_assert_eq!(frame.lock, lock, "unbalanced lock nesting");
+        let mut updates = Vec::with_capacity(frame.cs_twins.len());
+        for (obj, snapshot) in frame.cs_twins {
+            let id = ObjectId(obj);
+            let offset = self.objects[obj as usize]
+                .offset()
+                .expect("CS-written object is pinned and mapped");
+            let size = self.objects[obj as usize].size;
+            let diff = WordDiff::compute(&snapshot, &self.arena[offset..offset + size]);
+            self.charge(TimeCategory::Diffing, self.cpu.diffing(size as u64));
+            if !diff.is_empty() {
+                self.obj_release_ts.insert(obj, release_ts);
+                self.stats.count_diff(diff.wire_size() as u64);
+                updates.push((id, diff));
+            }
+        }
+        updates
+    }
+
+    /// Apply updates delivered with a lock grant. Valid mapped copies
+    /// are patched in place (arena + active twin, so the words are not
+    /// re-diffed as local writes); everything else is parked in the
+    /// pending table until the object materializes.
+    pub fn apply_lock_updates(&mut self, updates: &[(ObjectId, Vec<(u32, u64, u32)>)]) {
+        for (id, words) in updates {
+            let idx = id.0 as usize;
+            let applicable = self.objects[idx].locally_valid() && self.objects[idx].offset().is_some();
+            if applicable {
+                let offset = self.objects[idx].offset().expect("checked");
+                self.mark_mutated(idx);
+                for &(word, _ts, val) in words {
+                    let off = offset + word as usize * 4;
+                    self.arena[off..off + 4].copy_from_slice(&val.to_le_bytes());
+                    if self.objects[idx].twin {
+                        self.twin_arena[off..off + 4].copy_from_slice(&val.to_le_bytes());
+                    }
+                }
+                self.charge(
+                    TimeCategory::Diffing,
+                    self.cpu.diffing(words.len() as u64 * 4),
+                );
+            } else {
+                let pend = self.pending_lock_updates.entry(id.0).or_default();
+                for &(word, ts, val) in words {
+                    match pend.get(&word) {
+                        Some(&(old_ts, _)) if old_ts > ts => {}
+                        _ => {
+                            pend.insert(word, (ts, val));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn apply_pending_updates(&mut self, id: ObjectId) {
+        let Some(words) = self.pending_lock_updates.remove(&id.0) else {
+            return;
+        };
+        let idx = id.0 as usize;
+        let offset = self.objects[idx].offset().expect("called after mapping");
+        self.mark_mutated(idx);
+        for (word, (_ts, val)) in words {
+            let off = offset + word as usize * 4;
+            self.arena[off..off + 4].copy_from_slice(&val.to_le_bytes());
+            if self.objects[idx].twin {
+                self.twin_arena[off..off + 4].copy_from_slice(&val.to_le_bytes());
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Barrier-path bookkeeping (§3.4 migrating-home write-invalidate)
+    // ------------------------------------------------------------------
+
+    /// Phase A of a barrier: take the dirty set as write notices. Diffs
+    /// are *not* computed yet — the plan decides which objects are
+    /// multi-writer and actually need one (§3.4 benefit 1: a single
+    /// writer propagates nothing, so nothing is diffed either).
+    pub fn barrier_collect(&mut self) -> Result<Vec<(ObjectId, usize)>, LotsError> {
+        // The barrier opens a fresh statement scope: pins from the last
+        // application statement expire, so dirty objects can be swapped
+        // in even under full DMM pressure.
+        self.stmt += 1;
+        let dirty = std::mem::take(&mut self.dirty);
+        Ok(dirty
+            .into_iter()
+            .map(|obj| (ObjectId(obj), self.objects[obj as usize].size))
+            .collect())
+    }
+
+    /// Phase B preparation, after the plan arrived: compute and cache
+    /// the diffs this node must send, and — where this node is the home
+    /// of a multi-writer object it also wrote — seed the word guard
+    /// with its own writes so older remote timestamps cannot clobber
+    /// newer local CS writes.
+    pub fn barrier_prepare(
+        &mut self,
+        send_diffs: &[(NodeId, ObjectId, NodeId)],
+        me: NodeId,
+    ) -> Result<(), LotsError> {
+        for &(writer, id, home) in send_diffs {
+            let obj = id.0;
+            if writer == me {
+                let offset = self.try_map(id)?;
+                let size = self.objects[obj as usize].size;
+                debug_assert!(self.objects[obj as usize].twin);
+                let diff = WordDiff::compute(
+                    &self.twin_arena[offset..offset + size],
+                    &self.arena[offset..offset + size],
+                );
+                self.charge(TimeCategory::Diffing, self.cpu.diffing(size as u64));
+                self.stats.count_diff(diff.wire_size() as u64);
+                self.cached_diffs.insert(obj, diff);
+            } else if home == me && self.objects[obj as usize].written {
+                // Seed the guard with our own interval writes. Remote
+                // diffs may already have applied (the comm thread races
+                // ahead of this app-thread phase), so merge by maximum:
+                // a blind insert would roll an applied newer timestamp
+                // back and let a stale diff overwrite it.
+                let offset = self.try_map(id)?;
+                let size = self.objects[obj as usize].size;
+                let diff = WordDiff::compute(
+                    &self.twin_arena[offset..offset + size],
+                    &self.arena[offset..offset + size],
+                );
+                self.charge(TimeCategory::Diffing, self.cpu.diffing(size as u64));
+                let ts = self.obj_release_ts.get(&obj).copied().unwrap_or(0);
+                for (word, _) in diff.iter_words() {
+                    let guard = self.barrier_word_guard.entry((obj, word)).or_insert(ts);
+                    *guard = (*guard).max(ts);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The diff cached by [`NodeState::barrier_prepare`] for `id`.
+    pub fn cached_diff(&self, id: ObjectId) -> &WordDiff {
+        &self.cached_diffs[&id.0]
+    }
+
+    /// Home-side application of a remote barrier diff, respecting the
+    /// per-word release-timestamp guard (last CS writer wins).
+    pub fn apply_remote_diff(&mut self, id: ObjectId, diff: &WordDiff, ts: u64) -> Result<(), LotsError> {
+        let offset = self.try_map(id)?;
+        self.mark_mutated(id.0 as usize);
+        let applied: u64 = {
+            let mut count = 0u64;
+            for (word, val) in diff.iter_words() {
+                let key = (id.0, word);
+                let guard = self.barrier_word_guard.get(&key).copied();
+                match guard {
+                    Some(prev) if prev > ts => continue,
+                    _ => {}
+                }
+                let off = offset + word as usize * 4;
+                self.arena[off..off + 4].copy_from_slice(&val.to_le_bytes());
+                self.barrier_word_guard.insert(key, ts);
+                count += 1;
+            }
+            count
+        };
+        self.charge(TimeCategory::Diffing, self.cpu.diffing(applied * 4));
+        Ok(())
+    }
+
+    /// Final barrier phase: apply home migrations, invalidate written
+    /// objects we are not home of, clear twins and interval state.
+    ///
+    /// `written` lists every object any node wrote this interval with
+    /// its (possibly migrated) home; `seq` becomes the new version.
+    pub fn barrier_finish(&mut self, written: &[(ObjectId, NodeId)], seq: u64) -> Result<(), LotsError> {
+        for &(id, home) in written {
+            let idx = id.0 as usize;
+            self.objects[idx].home = home;
+            if home == self.me {
+                // We hold the authoritative copy.
+                self.objects[idx].share = Share::Valid;
+                self.objects[idx].version = seq;
+            } else {
+                self.invalidate_local(id)?;
+            }
+            self.objects[idx].twin = false;
+            self.objects[idx].written = false;
+        }
+        self.barrier_word_guard.clear();
+        self.pending_lock_updates.clear();
+        self.obj_release_ts.clear();
+        self.cached_diffs.clear();
+        self.fetch_override.clear();
+        debug_assert!(self.dirty.is_empty(), "dirty set consumed in collect");
+        Ok(())
+    }
+
+    /// Drop the local copy: free its DMM block or disk image ("free the
+    /// memory storing the updates", §3.4).
+    fn invalidate_local(&mut self, id: ObjectId) -> Result<(), LotsError> {
+        let idx = id.0 as usize;
+        match self.objects[idx].mapping {
+            Mapping::Mapped { offset } => {
+                self.alloc.free(offset);
+                if self.objects[idx].clean_on_disk {
+                    self.store.remove(id.0 as u64)?;
+                }
+            }
+            Mapping::OnDisk => {
+                self.store.remove(id.0 as u64)?;
+            }
+            Mapping::Unmapped => {}
+        }
+        self.objects[idx].clean_on_disk = false;
+        self.objects[idx].mapping = Mapping::Unmapped;
+        self.objects[idx].share = Share::Invalid;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// Bytes currently mapped in the DMM area.
+    pub fn mapped_bytes(&self) -> usize {
+        self.alloc.used_bytes()
+    }
+
+    /// Total logical bytes of all registered objects on this node.
+    pub fn total_object_bytes(&self) -> u64 {
+        self.objects.iter().map(|o| o.size as u64).sum()
+    }
+
+    /// Bytes of swap images held by the backing store.
+    pub fn swapped_bytes(&self) -> u64 {
+        self.store.used_bytes()
+    }
+
+    /// The backing store (shared with the cluster harness).
+    pub fn store(&self) -> &Arc<dyn BackingStore> {
+        &self.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lots_disk::MemStore;
+    use lots_sim::machine::pentium4_2ghz;
+    use lots_sim::DiskModel;
+
+    fn small_node(dmm: usize) -> NodeState {
+        let store = Arc::new(MemStore::new(DiskModel {
+            per_op: SimDuration::from_micros(100),
+            write_bps: 50_000_000,
+            read_bps: 50_000_000,
+        }));
+        NodeState::new(
+            0,
+            1,
+            LotsConfig::small(dmm),
+            pentium4_2ghz(),
+            store,
+            SimClock::new(),
+            NodeStats::new(),
+        )
+    }
+
+    fn write_words(node: &mut NodeState, id: ObjectId, vals: &[(usize, u32)]) {
+        match node.begin_access(id, true, vals.len() as u64).unwrap() {
+            Access::Ready { offset } => {
+                for &(w, v) in vals {
+                    let off = offset + w * 4;
+                    node.object_bytes_mut(off, 4).copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    fn read_word(node: &mut NodeState, id: ObjectId, w: usize) -> u32 {
+        match node.begin_access(id, false, 1).unwrap() {
+            Access::Ready { offset } => {
+                u32::from_le_bytes(node.object_bytes(offset + w * 4, 4).try_into().unwrap())
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_maps_eagerly_and_zero_fills() {
+        let mut n = small_node(64 * 1024);
+        let id = n.register_object(100).unwrap();
+        assert_eq!(n.object_size(id), 100);
+        assert_eq!(read_word(&mut n, id, 0), 0);
+        assert!(matches!(n.ctl(id).mapping, Mapping::Mapped { .. }));
+    }
+
+    #[test]
+    fn swap_out_and_back_preserves_data() {
+        // DMM of 32 KB: lower half 16 KB fits one 9 KB object at a time,
+        // so every access to the other object swaps.
+        let mut n = small_node(32 * 1024);
+        let a = n.register_object(9 * 1024).unwrap();
+        let b = n.register_object(9 * 1024).unwrap();
+        write_words(&mut n, a, &[(0, 111), (5, 55)]);
+        write_words(&mut n, b, &[(0, 222)]); // maps b, evicting dirty a
+        assert!(n.stats.swaps_out() >= 1, "a out at b's mapping");
+        assert_eq!(read_word(&mut n, a, 0), 111);
+        assert_eq!(read_word(&mut n, a, 5), 55);
+        assert!(n.stats.swaps_in() >= 1);
+        assert_eq!(read_word(&mut n, b, 0), 222);
+        assert_eq!(read_word(&mut n, a, 1), 0, "untouched words stay zero");
+        // Dirty evictions wrote to disk once each; the later read-only
+        // crossings re-evict *clean* copies, which skip the disk write
+        // ("every object is swapped out once", §4.3).
+        assert_eq!(n.stats.swaps_out(), 2);
+        assert!(n.stats.swaps_in() >= 3);
+    }
+
+    #[test]
+    fn twin_survives_swap_roundtrip() {
+        let mut n = small_node(32 * 1024);
+        let a = n.register_object(9 * 1024).unwrap();
+        let b = n.register_object(9 * 1024).unwrap();
+        write_words(&mut n, a, &[(3, 9)]);
+        write_words(&mut n, b, &[(0, 1)]); // evicts dirty a with twin
+        let _ = read_word(&mut n, a, 3); // brings a back
+        let notices = n.barrier_collect().unwrap();
+        assert_eq!(notices.len(), 2);
+        // Pretend the plan made us a sender for a: its diff must be
+        // computed against the twin that went through the disk.
+        n.barrier_prepare(&[(0, a, 0)], 0).unwrap();
+        let diff_a = n.cached_diff(a);
+        let words: Vec<(u32, u32)> = diff_a.iter_words().collect();
+        assert_eq!(words, vec![(3, 9)]);
+    }
+
+    #[test]
+    fn pinned_objects_are_not_evicted() {
+        let mut n = small_node(32 * 1024);
+        let a = n.register_object(9 * 1024).unwrap();
+        let b = n.register_object(9 * 1024).unwrap();
+        // One statement touching both: the second mapping may not evict
+        // the first (it is pinned), so there is no room and the access
+        // must fail with the §5 condition.
+        n.enter_stmt();
+        let _ = read_word(&mut n, a, 0);
+        let r = n.begin_access(b, false, 1);
+        n.exit_stmt();
+        assert!(matches!(r, Err(LotsError::OutOfDmm { .. })), "{r:?}");
+        // Outside the statement, eviction is allowed again.
+        assert_eq!(read_word(&mut n, b, 0), 0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut n = small_node(64 * 1024); // lower half 32 KB: two 12 KB fit
+        let a = n.register_object(12 * 1024).unwrap();
+        let b = n.register_object(12 * 1024).unwrap();
+        // No room left: c stays lazily unmapped (mmap-like alloc).
+        let c = n.register_object(12 * 1024).unwrap();
+        assert!(matches!(n.ctl(c).mapping, Mapping::Unmapped));
+        // First touch of c maps it, evicting the LRU (a: lowest stamp).
+        let _ = read_word(&mut n, c, 0);
+        assert!(matches!(n.ctl(a).mapping, Mapping::OnDisk));
+        assert!(matches!(n.ctl(b).mapping, Mapping::Mapped { .. }));
+        // Touch b, then a again: the LRU victim is now c.
+        let _ = read_word(&mut n, b, 0);
+        let _ = read_word(&mut n, a, 0);
+        assert!(matches!(n.ctl(c).mapping, Mapping::OnDisk));
+        assert!(matches!(n.ctl(b).mapping, Mapping::Mapped { .. }));
+    }
+
+    #[test]
+    fn lots_x_rejects_overflow() {
+        let store = Arc::new(MemStore::new(DiskModel {
+            per_op: SimDuration::ZERO,
+            write_bps: 1,
+            read_bps: 1,
+        }));
+        let mut n = NodeState::new(
+            0,
+            1,
+            LotsConfig::lots_x(32 * 1024),
+            pentium4_2ghz(),
+            store,
+            SimClock::new(),
+            NodeStats::new(),
+        );
+        let _a = n.register_object(9 * 1024).unwrap();
+        let r = n.register_object(9 * 1024);
+        assert!(matches!(r, Err(LotsError::LotsXCapacity { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn oversized_object_rejected() {
+        let mut n = small_node(32 * 1024);
+        let r = n.register_object(64 * 1024);
+        assert!(matches!(r, Err(LotsError::ObjectTooLarge { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn cs_twin_yields_release_updates() {
+        let mut n = small_node(64 * 1024);
+        let a = n.register_object(256).unwrap();
+        write_words(&mut n, a, &[(0, 1)]); // pre-CS write
+        n.enter_cs(7);
+        write_words(&mut n, a, &[(2, 42)]);
+        let updates = n.exit_cs(7, 1);
+        assert_eq!(updates.len(), 1);
+        let (id, diff) = &updates[0];
+        assert_eq!(*id, a);
+        let words: Vec<(u32, u32)> = diff.iter_words().collect();
+        assert_eq!(words, vec![(2, 42)], "only CS-era writes in release updates");
+    }
+
+    #[test]
+    fn lock_updates_apply_to_arena_and_twin() {
+        let mut n = small_node(64 * 1024);
+        let a = n.register_object(64).unwrap();
+        write_words(&mut n, a, &[(0, 5)]); // creates twin
+        n.apply_lock_updates(&[(a, vec![(3, 1, 77)])]);
+        assert_eq!(read_word(&mut n, a, 3), 77);
+        // Word 3 came from a grant, not a local write: interval diff
+        // must not contain it.
+        let _ = n.barrier_collect().unwrap();
+        n.barrier_prepare(&[(0, a, 0)], 0).unwrap();
+        let words: Vec<(u32, u32)> = n.cached_diff(a).iter_words().collect();
+        assert_eq!(words, vec![(0, 5)]);
+    }
+
+    #[test]
+    fn pending_updates_apply_on_materialize() {
+        let mut n = small_node(32 * 1024);
+        let a = n.register_object(9 * 1024).unwrap();
+        let b = n.register_object(9 * 1024).unwrap();
+        let _ = read_word(&mut n, b, 0); // a evicted to disk
+        assert!(matches!(n.ctl(a).mapping, Mapping::OnDisk));
+        n.apply_lock_updates(&[(a, vec![(4, 1, 99)])]);
+        assert_eq!(read_word(&mut n, a, 4), 99, "pending update applied on swap-in");
+    }
+
+    #[test]
+    fn barrier_finish_invalidate_and_keep() {
+        let store = Arc::new(MemStore::new(DiskModel {
+            per_op: SimDuration::ZERO,
+            write_bps: u64::MAX,
+            read_bps: u64::MAX,
+        }));
+        let mut n = NodeState::new(
+            1,
+            4,
+            LotsConfig::small(64 * 1024),
+            pentium4_2ghz(),
+            store,
+            SimClock::new(),
+            NodeStats::new(),
+        );
+        let a = n.register_object(64).unwrap(); // home = 0
+        let b = n.register_object(64).unwrap(); // home = 1 (me)
+        write_words(&mut n, a, &[(0, 1)]);
+        write_words(&mut n, b, &[(0, 2)]);
+        let _ = n.barrier_collect().unwrap();
+        // a migrates to node 2; b stays home here.
+        n.barrier_finish(&[(a, 2), (b, 1)], 1).unwrap();
+        assert_eq!(n.ctl(a).share, Share::Invalid);
+        assert_eq!(n.ctl(a).mapping, Mapping::Unmapped);
+        assert_eq!(n.ctl(a).home, 2);
+        assert_eq!(n.ctl(b).share, Share::Valid);
+        assert!(n.ctl(b).offset().is_some());
+        assert!(!n.ctl(b).twin);
+    }
+
+    #[test]
+    fn remote_diff_respects_ts_guard() {
+        let mut n = small_node(64 * 1024);
+        let a = n.register_object(64).unwrap();
+        // Home wrote word 0 under ts 5 (guard seeded in prepare: this
+        // node is home of a multi-writer object it also wrote).
+        n.enter_cs(1);
+        write_words(&mut n, a, &[(0, 50)]);
+        let _ = n.exit_cs(1, 5);
+        let _ = n.barrier_collect().unwrap();
+        n.barrier_prepare(&[(1, a, 0)], 0).unwrap();
+        // A remote writer with older ts must not clobber word 0 but may
+        // write word 1.
+        let mut older = WordDiff::default();
+        older.runs.push(crate::diff::DiffRun {
+            start: 0,
+            words: vec![999, 111],
+        });
+        n.apply_remote_diff(a, &older, 3).unwrap();
+        assert_eq!(read_word(&mut n, a, 0), 50);
+        assert_eq!(read_word(&mut n, a, 1), 111);
+        // A newer ts wins.
+        let mut newer = WordDiff::default();
+        newer.runs.push(crate::diff::DiffRun {
+            start: 0,
+            words: vec![1000],
+        });
+        n.apply_remote_diff(a, &newer, 9).unwrap();
+        assert_eq!(read_word(&mut n, a, 0), 1000);
+    }
+
+    #[test]
+    fn image_encode_decode() {
+        let data = vec![1u8, 2, 3, 4, 5, 6, 7, 8];
+        let twin = vec![9u8, 9, 9, 9, 9, 9, 9, 9];
+        let img = encode_image(&data, Some(&twin));
+        let (d, t) = decode_image(&img, 8);
+        assert_eq!(d, &data[..]);
+        assert!(matches!(t, ImageTwin::Bytes(b) if b == &twin[..]));
+        let img2 = encode_image(&data, None);
+        let (d2, t2) = decode_image(&img2, 8);
+        assert_eq!(d2, &data[..]);
+        assert!(matches!(t2, ImageTwin::None));
+    }
+
+    #[test]
+    fn zero_twin_not_stored_in_image() {
+        let data = vec![5u8; 4096];
+        let zeros = vec![0u8; 4096];
+        let img = encode_image(&data, Some(&zeros));
+        // Image holds header + data only — the zero twin is implicit.
+        assert_eq!(img.len(), 4 + 4096);
+        let (_, t) = decode_image(&img, 4096);
+        assert!(matches!(t, ImageTwin::Zero));
+    }
+}

@@ -1,0 +1,163 @@
+//! Object identity and per-node control information.
+//!
+//! §3.2: declaring a shared object generates "a unique,
+//! known-to-all-machines object ID … the key to access all internal
+//! data structures for the object". Allocation then binds memory and
+//! sets the mapping state to *mapped* and the shared state to
+//! *initial*. The per-object record below is the "trace of control
+//! information" that stays resident while object data itself may be
+//! swapped out — the mechanism that lets the object space exceed the
+//! process space (§1).
+
+use lots_net::NodeId;
+
+/// Cluster-wide unique object identifier. Fits in 4 bytes so the
+/// user-facing handle keeps the size of a C++ pointer (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u32);
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "obj#{}", self.0)
+    }
+}
+
+/// Where the object's data currently lives on this node (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mapping {
+    /// Never materialized here (no local copy yet).
+    Unmapped,
+    /// Mapped in the DMM area at this arena offset.
+    Mapped { offset: usize },
+    /// Swapped out to the local backing store.
+    OnDisk,
+}
+
+/// Coherence state of the local copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Share {
+    /// Freshly allocated (zero-filled) — consistent cluster-wide at
+    /// version 0, so it counts as valid.
+    Initial,
+    /// Clean copy at `version`.
+    Valid,
+    /// Stale: must be refetched from the home on next access.
+    Invalid,
+}
+
+/// Per-node, per-object control information (the control-area record).
+#[derive(Debug, Clone)]
+pub struct ObjCtl {
+    /// Object size in bytes (word-aligned).
+    pub size: usize,
+    /// Current home node. Updated cluster-wide at barrier exit when
+    /// the migrating-home protocol moves it (§3.4).
+    pub home: NodeId,
+    /// Local mapping state.
+    pub mapping: Mapping,
+    /// Local coherence state.
+    pub share: Share,
+    /// Version (barrier epoch) of the local copy.
+    pub version: u64,
+    /// Pinning timestamp: statement counter at last access (§3.3).
+    /// Objects with the current statement's stamp are unswappable.
+    pub last_access: u64,
+    /// Whether an interval twin exists (object written this interval).
+    pub twin: bool,
+    /// Written since the last barrier (drives barrier write notices).
+    pub written: bool,
+    /// The backing store holds a current image of this object — a
+    /// clean re-eviction can skip the disk write ("every object is
+    /// swapped out once", §4.3).
+    pub clean_on_disk: bool,
+}
+
+impl ObjCtl {
+    pub fn new(size: usize, home: NodeId) -> ObjCtl {
+        assert!(size > 0, "zero-sized shared objects are not allocatable");
+        assert_eq!(size % 4, 0, "object sizes are word-aligned");
+        ObjCtl {
+            size,
+            home,
+            mapping: Mapping::Unmapped,
+            share: Share::Initial,
+            version: 0,
+            last_access: 0,
+            twin: false,
+            written: false,
+            clean_on_disk: false,
+        }
+    }
+
+    /// Is the local copy usable without a remote fetch?
+    #[inline]
+    pub fn locally_valid(&self) -> bool {
+        matches!(self.share, Share::Initial | Share::Valid)
+    }
+
+    /// Arena offset if mapped.
+    #[inline]
+    pub fn offset(&self) -> Option<usize> {
+        match self.mapping {
+            Mapping::Mapped { offset } => Some(offset),
+            _ => None,
+        }
+    }
+
+    /// Number of 32-bit words in the object.
+    #[inline]
+    pub fn words(&self) -> usize {
+        self.size / 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_object_is_initial_unmapped() {
+        let c = ObjCtl::new(64, 3);
+        assert_eq!(c.mapping, Mapping::Unmapped);
+        assert_eq!(c.share, Share::Initial);
+        assert!(c.locally_valid());
+        assert_eq!(c.offset(), None);
+        assert_eq!(c.words(), 16);
+        assert_eq!(c.home, 3);
+        assert!(!c.twin);
+        assert!(!c.written);
+    }
+
+    #[test]
+    fn mapped_exposes_offset() {
+        let mut c = ObjCtl::new(8, 0);
+        c.mapping = Mapping::Mapped { offset: 4096 };
+        assert_eq!(c.offset(), Some(4096));
+    }
+
+    #[test]
+    fn invalid_is_not_locally_valid() {
+        let mut c = ObjCtl::new(8, 0);
+        c.share = Share::Invalid;
+        assert!(!c.locally_valid());
+        c.share = Share::Valid;
+        assert!(c.locally_valid());
+    }
+
+    #[test]
+    #[should_panic(expected = "word-aligned")]
+    fn unaligned_size_rejected() {
+        ObjCtl::new(10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized")]
+    fn zero_size_rejected() {
+        ObjCtl::new(0, 0);
+    }
+
+    #[test]
+    fn object_id_display() {
+        assert_eq!(ObjectId(17).to_string(), "obj#17");
+    }
+}

@@ -1,0 +1,93 @@
+//! Plain-old-data element types storable in shared objects.
+//!
+//! The paper's `Pointer<T>` template works for any C type; in safe Rust
+//! the equivalent is a conversion trait to/from little-endian bytes.
+//! Word-granular diffing (§3.5 stores a timestamp per *field*, i.e. per
+//! 32-bit word) requires element sizes to be multiples of 4 bytes.
+
+/// An element type that can live in the shared object space.
+pub trait Pod: Copy + Send + Sync + Default + 'static {
+    /// Size in bytes; must be a positive multiple of 4 so diffs stay
+    /// word-aligned.
+    const SIZE: usize;
+
+    /// Serialize into exactly `Self::SIZE` bytes.
+    fn write_to(&self, out: &mut [u8]);
+
+    /// Deserialize from exactly `Self::SIZE` bytes.
+    fn read_from(data: &[u8]) -> Self;
+}
+
+macro_rules! impl_pod {
+    ($($t:ty),*) => {$(
+        impl Pod for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+
+            #[inline]
+            fn write_to(&self, out: &mut [u8]) {
+                out[..Self::SIZE].copy_from_slice(&self.to_le_bytes());
+            }
+
+            #[inline]
+            fn read_from(data: &[u8]) -> Self {
+                <$t>::from_le_bytes(data[..Self::SIZE].try_into().expect("pod size"))
+            }
+        }
+    )*};
+}
+
+impl_pod!(i32, u32, i64, u64, f32, f64);
+
+/// Pack a slice of elements into a byte vector.
+pub fn pack<T: Pod>(items: &[T]) -> Vec<u8> {
+    let mut out = vec![0u8; items.len() * T::SIZE];
+    for (i, item) in items.iter().enumerate() {
+        item.write_to(&mut out[i * T::SIZE..(i + 1) * T::SIZE]);
+    }
+    out
+}
+
+/// Unpack a byte slice into elements.
+pub fn unpack<T: Pod>(data: &[u8]) -> Vec<T> {
+    assert_eq!(data.len() % T::SIZE, 0, "byte length not a multiple of element size");
+    data.chunks_exact(T::SIZE).map(T::read_from).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_are_word_multiples() {
+        assert_eq!(i32::SIZE % 4, 0);
+        assert_eq!(f64::SIZE % 4, 0);
+        assert_eq!(u64::SIZE, 8);
+    }
+
+    #[test]
+    fn roundtrip_each_type() {
+        let mut buf = [0u8; 8];
+        42i32.write_to(&mut buf);
+        assert_eq!(i32::read_from(&buf), 42);
+        (-7i64).write_to(&mut buf);
+        assert_eq!(i64::read_from(&buf), -7);
+        3.5f64.write_to(&mut buf);
+        assert_eq!(f64::read_from(&buf), 3.5);
+        1.25f32.write_to(&mut buf);
+        assert_eq!(f32::read_from(&buf), 1.25);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let xs: Vec<i64> = vec![1, -2, 3, i64::MAX, i64::MIN];
+        let bytes = pack(&xs);
+        assert_eq!(bytes.len(), 40);
+        assert_eq!(unpack::<i64>(&bytes), xs);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of element size")]
+    fn unpack_rejects_ragged_input() {
+        unpack::<i32>(&[1, 2, 3]);
+    }
+}

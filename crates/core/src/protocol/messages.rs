@@ -1,0 +1,95 @@
+//! Data-plane protocol messages.
+//!
+//! These travel through `lots-net` between node comm threads (the SIGIO
+//! handler analogue): object fetches from homes and the barrier-phase
+//! diff propagation of the migrating-home protocol. Synchronization
+//! control (lock queues, barrier rendezvous) is coordinated through
+//! shared services with analytically charged message costs — see
+//! `DESIGN.md` §2 — so it does not appear here.
+
+use lots_net::WireSize;
+
+use crate::object::ObjectId;
+
+/// Data-plane messages between LOTS nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// Ask the home for a clean copy of the object.
+    ObjReq { obj: ObjectId },
+    /// Home's reply; payload carries the object bytes.
+    ObjReply { obj: ObjectId, version: u64 },
+    /// Barrier diff propagation to the home (multi-writer objects);
+    /// payload carries the encoded [`WordDiff`]. `ts` orders overlapping
+    /// lock-era writes (release timestamp; 0 for plain interval diffs).
+    ///
+    /// [`WordDiff`]: crate::diff::WordDiff
+    DiffSend { obj: ObjectId, ts: u64 },
+    /// Home's acknowledgement that a diff was applied.
+    DiffAck { obj: ObjectId },
+    /// Stop the comm thread (cluster teardown).
+    Shutdown,
+}
+
+impl WireSize for Msg {
+    fn wire_size(&self) -> usize {
+        // Compact C-struct encodings: 2-byte opcode + fields.
+        match self {
+            Msg::ObjReq { .. } => 2 + 4,
+            Msg::ObjReply { .. } => 2 + 4 + 8,
+            Msg::DiffSend { .. } => 2 + 4 + 8,
+            Msg::DiffAck { .. } => 2 + 4,
+            Msg::Shutdown => 2,
+        }
+    }
+}
+
+/// Wire size of the control messages charged analytically by the
+/// shared synchronization services.
+pub mod ctl {
+    /// Lock acquire request (lock id + seen timestamp).
+    pub const LOCK_ACQ: usize = 2 + 4 + 8;
+    /// Lock grant header (payload: updates, accounted separately).
+    pub const LOCK_GRANT: usize = 2 + 4 + 8;
+    /// Lock release header (payload: updates).
+    pub const LOCK_REL: usize = 2 + 4 + 8;
+    /// Barrier enter header; plus per-write-notice bytes.
+    pub const BARRIER_ENTER: usize = 2 + 8;
+    /// One write notice (object id + diff size hint).
+    pub const WRITE_NOTICE: usize = 8;
+    /// Barrier plan/exit headers; plus per-instruction bytes.
+    pub const BARRIER_PLAN: usize = 2 + 8;
+    /// One plan/migration/invalidation entry.
+    pub const PLAN_ENTRY: usize = 8;
+    /// Barrier done notification.
+    pub const BARRIER_DONE: usize = 2 + 8;
+    /// Barrier exit header.
+    pub const BARRIER_EXIT: usize = 2 + 8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_are_compact() {
+        assert_eq!(Msg::ObjReq { obj: ObjectId(1) }.wire_size(), 6);
+        assert_eq!(
+            Msg::ObjReply {
+                obj: ObjectId(1),
+                version: 9
+            }
+            .wire_size(),
+            14
+        );
+        assert_eq!(Msg::DiffSend { obj: ObjectId(1), ts: 0 }.wire_size(), 14);
+        assert_eq!(Msg::DiffAck { obj: ObjectId(1) }.wire_size(), 6);
+        assert_eq!(Msg::Shutdown.wire_size(), 2);
+    }
+
+    #[test]
+    fn control_sizes_positive() {
+        assert!(ctl::LOCK_ACQ > 0);
+        assert!(ctl::WRITE_NOTICE > 0);
+        assert!(ctl::BARRIER_ENTER > 0);
+    }
+}

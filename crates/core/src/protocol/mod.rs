@@ -1,0 +1,5 @@
+//! Data-plane protocol: the messages comm threads exchange.
+
+pub mod messages;
+
+pub use messages::Msg;

@@ -1,0 +1,29 @@
+//! `lots-disk` — swap backing stores for the LOTS dynamic memory mapper.
+//!
+//! §3.3 of the paper swaps objects out of the DMM area "to the local
+//! disk", and §4.3 sizes the shared object space by the free disk space
+//! available (117.77 GB in their Dell PowerEdge test). This crate
+//! provides the [`BackingStore`] trait the mapper uses plus three
+//! implementations:
+//!
+//! * [`MemStore`] — real bytes in memory; default for tests.
+//! * [`FileStore`] — real files in a spool directory; closest to the
+//!   paper's mechanism.
+//! * [`ModeledStore`] — exact logical capacity/timing accounting with
+//!   RLE-compressed images; makes the paper's >4 GB and 117.77 GB
+//!   experiments runnable at laptop scale (see `DESIGN.md`).
+//!
+//! All stores report virtual I/O durations from the platform's
+//! [`lots_sim::DiskModel`]; the caller charges them to its clock.
+
+pub mod file;
+pub mod mem;
+pub mod modeled;
+pub mod rle;
+pub mod store;
+
+pub use file::FileStore;
+pub use mem::MemStore;
+pub use modeled::ModeledStore;
+pub use rle::RleImage;
+pub use store::{BackingStore, DiskError, SwapKey};

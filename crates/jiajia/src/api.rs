@@ -1,0 +1,331 @@
+//! Application-facing JIAJIA API, mirroring the LOTS API shape so the
+//! paper's workloads run unchanged on both systems.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+use lots_core::consistency::SyncCtx;
+use lots_core::pod::Pod;
+use lots_net::{Envelope, NetSender, NodeId, WireSize};
+use lots_sim::{SimInstant, TimeCategory};
+use parking_lot::Mutex;
+
+use crate::node::{JiaError, JiaNode, PageAccess};
+use crate::services::{JiaBarrier, JiaLocks};
+
+/// Data-plane messages between JIAJIA nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JMsg {
+    PageReq { page: u32 },
+    PageReply { page: u32, version: u64 },
+    DiffSend { page: u32 },
+    DiffAck { page: u32 },
+}
+
+impl WireSize for JMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            JMsg::PageReq { .. } => 2 + 4,
+            JMsg::PageReply { .. } => 2 + 4 + 8,
+            JMsg::DiffSend { .. } => 2 + 4,
+            JMsg::DiffAck { .. } => 2 + 4,
+        }
+    }
+}
+
+/// One node's handle on the JIAJIA shared space.
+pub struct JiaDsm {
+    pub(crate) ctx: SyncCtx,
+    pub(crate) node: Arc<Mutex<JiaNode>>,
+    pub(crate) net: NetSender<JMsg>,
+    pub(crate) replies: Receiver<Envelope<JMsg>>,
+    pub(crate) barrier: Arc<JiaBarrier>,
+    pub(crate) locks: Arc<JiaLocks>,
+    pub(crate) me: NodeId,
+    pub(crate) n: usize,
+}
+
+impl JiaDsm {
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn now(&self) -> SimInstant {
+        self.ctx.clock.now()
+    }
+
+    /// `jia_alloc`: allocate a shared array of `len` elements.
+    pub fn alloc<T: Pod>(&self, len: usize) -> Result<JiaSlice<'_, T>, JiaError> {
+        let addr = self.node.lock().jia_alloc(len * T::SIZE)?;
+        Ok(JiaSlice {
+            dsm: self,
+            addr,
+            len,
+            _pd: PhantomData,
+        })
+    }
+
+    /// Charge `ops` element operations of application compute.
+    pub fn charge_compute(&self, ops: u64) {
+        let d = self.ctx.cpu.compute(ops);
+        self.ctx.clock.advance(d);
+        self.ctx.stats.charge(TimeCategory::Compute, d);
+    }
+
+    /// Global barrier: flush diffs to homes, exchange write notices,
+    /// invalidate written pages.
+    pub fn barrier(&self) {
+        let (diffs, notices) = self.node.lock().flush_dirty();
+        self.flush_diffs(diffs);
+        let round = self.barrier.enter(&self.ctx, notices);
+        // A page stays valid at its sole writer (it holds the newest
+        // data); everyone else — including the writers of a falsely
+        // shared page — must refetch from the home.
+        let stale: Vec<u32> = round
+            .written
+            .iter()
+            .filter(|n| n.multi || n.writer != self.me)
+            .map(|n| n.page)
+            .collect();
+        let mut node = self.node.lock();
+        node.invalidate(&stale, round.seq);
+        // Version bookkeeping for pages this node kept.
+        let kept: Vec<u32> = round
+            .written
+            .iter()
+            .filter(|n| !n.multi && n.writer == self.me)
+            .map(|n| n.page)
+            .collect();
+        node.bump_versions(&kept, round.seq);
+    }
+
+    /// Acquire a lock, invalidating pages its notices name.
+    pub fn lock(&self, lock: u32) {
+        let invalidate = self.locks.acquire(lock, &self.ctx);
+        // Version bump is barrier-scoped; locks just invalidate.
+        self.node.lock().invalidate(&invalidate, 0);
+    }
+
+    /// Release a lock: flush this interval's diffs to homes and attach
+    /// the write notices to the lock.
+    pub fn unlock(&self, lock: u32) {
+        let (diffs, notices) = self.node.lock().flush_dirty();
+        self.flush_diffs(diffs);
+        self.locks.release(lock, &self.ctx, notices);
+    }
+
+    pub fn with_lock<R>(&self, lock: u32, f: impl FnOnce() -> R) -> R {
+        self.lock(lock);
+        let r = f();
+        self.unlock(lock);
+        r
+    }
+
+    pub fn stats(&self) -> &lots_sim::NodeStats {
+        &self.ctx.stats
+    }
+
+    pub fn traffic(&self) -> &lots_net::TrafficStats {
+        &self.ctx.traffic
+    }
+
+    fn flush_diffs(&self, diffs: Vec<(u32, lots_core::WordDiff)>) {
+        let mut pending = 0usize;
+        for (page, diff) in diffs {
+            let home = self.node.lock().page_home(page as usize);
+            debug_assert_ne!(home, self.me);
+            let tx = self.net.send(
+                home,
+                JMsg::DiffSend { page },
+                diff.encode(),
+                self.ctx.clock.now(),
+            );
+            self.ctx.clock.advance_to(tx.sender_free);
+            pending += 1;
+        }
+        while pending > 0 {
+            let env = self.recv_reply();
+            match env.msg {
+                JMsg::DiffAck { .. } => {
+                    let before = self.ctx.clock.now();
+                    let now = self.ctx.clock.advance_to(env.arrival);
+                    self.ctx
+                        .stats
+                        .charge(TimeCategory::Network, now.saturating_sub(before));
+                    pending -= 1;
+                }
+                other => panic!("unexpected message during flush: {other:?}"),
+            }
+        }
+    }
+
+    /// Access orchestration: fault in pages until the range is usable.
+    pub(crate) fn with_range<R>(
+        &self,
+        addr: usize,
+        len: usize,
+        write: bool,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> R {
+        loop {
+            let (page, home) = {
+                let mut node = self.node.lock();
+                let access = if write {
+                    node.begin_write(addr, len)
+                } else {
+                    node.begin_read(addr, len)
+                };
+                match access {
+                    PageAccess::Ready => return f(node.bytes_mut(addr, len)),
+                    PageAccess::NeedFetch { page, home } => (page, home),
+                }
+            };
+            self.fetch_page(page, home);
+        }
+    }
+
+    /// Fetch one page from its home (one fault service round trip).
+    fn fetch_page(&self, page: usize, home: NodeId) {
+        self.net.send(
+            home,
+            JMsg::PageReq { page: page as u32 },
+            Bytes::new(),
+            self.ctx.clock.now(),
+        );
+        loop {
+            let env = self.recv_reply();
+            match env.msg {
+                JMsg::PageReply { page, version } => {
+                    let before = self.ctx.clock.now();
+                    let now = self.ctx.clock.advance_to(env.arrival);
+                    self.ctx
+                        .stats
+                        .charge(TimeCategory::Network, now.saturating_sub(before));
+                    self.node
+                        .lock()
+                        .install_page(page as usize, &env.payload, version);
+                    return;
+                }
+                other => panic!("unexpected reply while fetching page: {other:?}"),
+            }
+        }
+    }
+
+    fn recv_reply(&self) -> Envelope<JMsg> {
+        self.replies
+            .recv()
+            .expect("comm thread alive while app running")
+    }
+}
+
+/// A typed handle on a JIAJIA shared array (flat addresses — ordinary
+/// pointers in real JIAJIA).
+pub struct JiaSlice<'d, T: Pod> {
+    dsm: &'d JiaDsm,
+    addr: usize,
+    len: usize,
+    _pd: PhantomData<T>,
+}
+
+impl<T: Pod> Clone for JiaSlice<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: Pod> Copy for JiaSlice<'_, T> {}
+
+impl<'d, T: Pod> JiaSlice<'d, T> {
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Byte address of element 0 (diagnostics; shows page alignment).
+    pub fn addr(&self) -> usize {
+        self.addr
+    }
+
+    /// Pointer arithmetic.
+    pub fn offset(&self, delta: usize) -> JiaSlice<'d, T> {
+        assert!(delta <= self.len);
+        JiaSlice {
+            addr: self.addr + delta * T::SIZE,
+            len: self.len - delta,
+            ..*self
+        }
+    }
+
+    #[inline]
+    fn at(&self, i: usize) -> usize {
+        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
+        self.addr + i * T::SIZE
+    }
+
+    pub fn read(&self, i: usize) -> T {
+        self.dsm
+            .with_range(self.at(i), T::SIZE, false, |b| T::read_from(b))
+    }
+
+    pub fn write(&self, i: usize, v: T) {
+        self.dsm
+            .with_range(self.at(i), T::SIZE, true, |b| v.write_to(b))
+    }
+
+    pub fn update(&self, i: usize, f: impl FnOnce(T) -> T) {
+        self.dsm.with_range(self.at(i), T::SIZE, true, |b| {
+            f(T::read_from(b)).write_to(b)
+        })
+    }
+
+    pub fn read_into(&self, start: usize, out: &mut [T]) {
+        if out.is_empty() {
+            return;
+        }
+        assert!(start + out.len() <= self.len, "bulk read out of bounds");
+        self.dsm
+            .with_range(self.at(start), out.len() * T::SIZE, false, |b| {
+                for (k, slot) in out.iter_mut().enumerate() {
+                    *slot = T::read_from(&b[k * T::SIZE..]);
+                }
+            })
+    }
+
+    pub fn read_vec(&self, start: usize, len: usize) -> Vec<T> {
+        let mut out = vec![T::default(); len];
+        self.read_into(start, &mut out);
+        out
+    }
+
+    pub fn write_from(&self, start: usize, vals: &[T]) {
+        if vals.is_empty() {
+            return;
+        }
+        assert!(start + vals.len() <= self.len, "bulk write out of bounds");
+        self.dsm
+            .with_range(self.at(start), vals.len() * T::SIZE, true, |b| {
+                for (k, v) in vals.iter().enumerate() {
+                    v.write_to(&mut b[k * T::SIZE..]);
+                }
+            })
+    }
+
+    pub fn fill(&self, v: T) {
+        let vals = vec![v; self.len];
+        self.write_from(0, &vals);
+    }
+}
+
+impl<T: Pod> std::fmt::Debug for JiaSlice<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JiaSlice(addr {:#x}, len {})", self.addr, self.len)
+    }
+}

@@ -1,0 +1,371 @@
+//! Per-node state of the JIAJIA baseline: the shared-space mirror,
+//! page cache, twins and diff bookkeeping.
+
+use std::collections::HashMap;
+
+use lots_core::diff::WordDiff;
+use lots_net::NodeId;
+use lots_sim::{CpuModel, NodeStats, SimClock, SimDuration, TimeCategory};
+
+use crate::page::{page_base, split_range, PageCtl, PageState, PAGE_BYTES};
+
+/// Errors surfaced to applications.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JiaError {
+    /// JIAJIA's shared space is bounded (128 MB in v1.1, §2): the
+    /// "application too large to fit" failure mode LOTS removes.
+    OutOfSharedMemory { requested: usize, limit: usize },
+}
+
+impl std::fmt::Display for JiaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JiaError::OutOfSharedMemory { requested, limit } => write!(
+                f,
+                "jia_alloc of {requested} bytes exceeds the {limit}-byte shared space"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JiaError {}
+
+/// Result of a page access attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageAccess {
+    Ready,
+    /// `page` faulted; fetch it from `home` and retry (successive
+    /// SIGSEGVs fault a range in one page at a time).
+    NeedFetch { page: usize, home: NodeId },
+}
+
+/// Per-node JIAJIA state (behind a mutex, shared with the comm thread).
+pub struct JiaNode {
+    pub me: NodeId,
+    pub n: usize,
+    /// Local mirror of the whole shared space.
+    mem: Vec<u8>,
+    pages: Vec<PageCtl>,
+    twins: HashMap<u32, Vec<u8>>,
+    /// Pages this node wrote since the last flush.
+    dirty: Vec<u32>,
+    alloc_cursor: usize,
+    pub clock: SimClock,
+    pub stats: NodeStats,
+    pub cpu: CpuModel,
+}
+
+impl JiaNode {
+    pub fn new(
+        me: NodeId,
+        n: usize,
+        shared_bytes: usize,
+        cpu: CpuModel,
+        clock: SimClock,
+        stats: NodeStats,
+    ) -> JiaNode {
+        assert_eq!(shared_bytes % PAGE_BYTES, 0, "shared space is page-granular");
+        let n_pages = shared_bytes / PAGE_BYTES;
+        JiaNode {
+            me,
+            n,
+            mem: vec![0u8; shared_bytes],
+            // Round-robin home allocation on pages (paper §4.1).
+            pages: (0..n_pages).map(|p| PageCtl::new(p % n)).collect(),
+            twins: HashMap::new(),
+            dirty: Vec::new(),
+            alloc_cursor: 0,
+            clock,
+            stats,
+            cpu,
+        }
+    }
+
+    fn charge(&self, cat: TimeCategory, d: SimDuration) {
+        self.clock.advance(d);
+        self.stats.charge(cat, d);
+    }
+
+    /// Bump-allocate `bytes` of shared space (JIAJIA's `jia_alloc`).
+    /// Every node performs the same allocations, so addresses agree.
+    pub fn jia_alloc(&mut self, bytes: usize) -> Result<usize, JiaError> {
+        let limit = self.mem.len();
+        // jia_alloc rounds to pages, so distinct allocations never
+        // share a page (but rows *within* one allocation do — the false
+        // sharing the paper analyses in LU).
+        let rounded = bytes.div_ceil(PAGE_BYTES) * PAGE_BYTES;
+        if self.alloc_cursor + rounded > limit {
+            return Err(JiaError::OutOfSharedMemory {
+                requested: bytes,
+                limit,
+            });
+        }
+        let addr = self.alloc_cursor;
+        self.alloc_cursor += rounded;
+        Ok(addr)
+    }
+
+    /// Begin a read of `[addr, addr+len)`: returns the first page that
+    /// needs fetching, if any (the caller fetches and retries).
+    pub fn begin_read(&mut self, addr: usize, len: usize) -> PageAccess {
+        for (page, _, _) in split_range(addr, len) {
+            let ctl = &self.pages[page];
+            if ctl.home != self.me && ctl.state == PageState::Invalid {
+                // SIGSEGV read fault + handler.
+                self.stats.count_page_fault();
+                self.charge(TimeCategory::AccessCheck, self.cpu.page_fault);
+                return PageAccess::NeedFetch {
+                    page,
+                    home: ctl.home,
+                };
+            }
+        }
+        PageAccess::Ready
+    }
+
+    /// Begin a write: like a read, plus twin creation (write fault) on
+    /// the first write to each non-home page this interval.
+    pub fn begin_write(&mut self, addr: usize, len: usize) -> PageAccess {
+        for (page, _, _) in split_range(addr, len) {
+            let home = self.pages[page].home;
+            if home != self.me && self.pages[page].state == PageState::Invalid {
+                self.stats.count_page_fault();
+                self.charge(TimeCategory::AccessCheck, self.cpu.page_fault);
+                return PageAccess::NeedFetch { page, home };
+            }
+        }
+        for (page, _, _) in split_range(addr, len) {
+            let is_home = self.pages[page].home == self.me;
+            if !self.pages[page].written {
+                self.pages[page].written = true;
+                self.dirty.push(page as u32);
+            }
+            if !is_home && !self.pages[page].twin {
+                // Write fault: twin the page before first modification.
+                self.stats.count_page_fault();
+                self.charge(TimeCategory::AccessCheck, self.cpu.page_fault);
+                let base = page_base(page);
+                self.twins
+                    .insert(page as u32, self.mem[base..base + PAGE_BYTES].to_vec());
+                self.pages[page].twin = true;
+                self.charge(TimeCategory::Diffing, self.cpu.diffing(PAGE_BYTES as u64));
+            }
+        }
+        PageAccess::Ready
+    }
+
+    /// Raw memory access after `begin_read`/`begin_write` returned
+    /// `Ready`.
+    pub fn bytes(&self, addr: usize, len: usize) -> &[u8] {
+        &self.mem[addr..addr + len]
+    }
+
+    pub fn bytes_mut(&mut self, addr: usize, len: usize) -> &mut [u8] {
+        &mut self.mem[addr..addr + len]
+    }
+
+    /// Install a page fetched from its home.
+    pub fn install_page(&mut self, page: usize, data: &[u8], version: u64) {
+        debug_assert_eq!(data.len(), PAGE_BYTES);
+        let base = page_base(page);
+        self.mem[base..base + PAGE_BYTES].copy_from_slice(data);
+        self.pages[page].state = PageState::Valid;
+        self.pages[page].version = version;
+    }
+
+    /// Home-side page service (comm thread).
+    pub fn serve_page(&mut self, page: usize) -> (Vec<u8>, u64) {
+        debug_assert_eq!(self.pages[page].home, self.me, "page served by home only");
+        let base = page_base(page);
+        (
+            self.mem[base..base + PAGE_BYTES].to_vec(),
+            self.pages[page].version,
+        )
+    }
+
+    /// Home-side diff application (comm thread).
+    pub fn apply_remote_diff(&mut self, page: usize, diff: &WordDiff) {
+        debug_assert_eq!(self.pages[page].home, self.me);
+        let base = page_base(page);
+        diff.apply(&mut self.mem[base..base + PAGE_BYTES]);
+        self.charge(
+            TimeCategory::Diffing,
+            self.cpu.diffing(diff.changed_words() as u64 * 4),
+        );
+    }
+
+    /// Take the current dirty set, producing for each non-home page its
+    /// diff (to flush to the home) and for each page its write notice.
+    /// Twins are consumed; `written` flags reset.
+    pub fn flush_dirty(&mut self) -> (Vec<(u32, WordDiff)>, Vec<u32>) {
+        let dirty = std::mem::take(&mut self.dirty);
+        let mut diffs = Vec::new();
+        let mut notices = Vec::with_capacity(dirty.len());
+        for page in dirty {
+            let p = page as usize;
+            notices.push(page);
+            self.pages[p].written = false;
+            if self.pages[p].home == self.me {
+                continue; // home writes are already in place
+            }
+            let twin = self.twins.remove(&page).expect("dirty non-home page has twin");
+            self.pages[p].twin = false;
+            let base = page_base(p);
+            let diff = WordDiff::compute(&twin, &self.mem[base..base + PAGE_BYTES]);
+            self.charge(TimeCategory::Diffing, self.cpu.diffing(PAGE_BYTES as u64));
+            if !diff.is_empty() {
+                self.stats.count_diff(diff.wire_size() as u64);
+                diffs.push((page, diff));
+            }
+        }
+        (diffs, notices)
+    }
+
+    /// Invalidate cached copies of pages written by other nodes
+    /// (applied at barrier exit / lock acquire).
+    pub fn invalidate(&mut self, pages: &[u32], seq: u64) {
+        for &page in pages {
+            let p = page as usize;
+            if self.pages[p].home == self.me {
+                self.pages[p].version = seq;
+            } else {
+                self.pages[p].state = PageState::Invalid;
+            }
+        }
+    }
+
+    /// Record the barrier epoch on pages whose local copy stayed valid
+    /// (this node was the sole writer).
+    pub fn bump_versions(&mut self, pages: &[u32], seq: u64) {
+        for &page in pages {
+            self.pages[page as usize].version = seq;
+        }
+    }
+
+    /// Number of pages in the shared space.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    pub fn page_home(&self, page: usize) -> NodeId {
+        self.pages[page].home
+    }
+
+    pub fn shared_bytes(&self) -> usize {
+        self.mem.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lots_sim::machine::pentium4_2ghz;
+
+    fn node(me: NodeId, n: usize) -> JiaNode {
+        JiaNode::new(
+            me,
+            n,
+            64 * PAGE_BYTES,
+            pentium4_2ghz(),
+            SimClock::new(),
+            NodeStats::new(),
+        )
+    }
+
+    #[test]
+    fn homes_round_robin() {
+        let n = node(0, 4);
+        assert_eq!(n.page_home(0), 0);
+        assert_eq!(n.page_home(1), 1);
+        assert_eq!(n.page_home(5), 1);
+        assert_eq!(n.page_home(7), 3);
+    }
+
+    #[test]
+    fn alloc_is_page_rounded_and_deterministic() {
+        let mut a = node(0, 2);
+        let mut b = node(1, 2);
+        assert_eq!(a.jia_alloc(100).unwrap(), b.jia_alloc(100).unwrap());
+        assert_eq!(a.jia_alloc(5000).unwrap(), 4096);
+        assert_eq!(b.jia_alloc(5000).unwrap(), 4096);
+        assert_eq!(a.jia_alloc(1).unwrap(), 4096 + 8192);
+    }
+
+    #[test]
+    fn alloc_limit_enforced() {
+        let mut a = node(0, 2);
+        assert!(a.jia_alloc(63 * PAGE_BYTES).is_ok());
+        assert!(matches!(
+            a.jia_alloc(2 * PAGE_BYTES),
+            Err(JiaError::OutOfSharedMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn local_write_then_read() {
+        let mut n = node(0, 2);
+        let addr = n.jia_alloc(8192).unwrap();
+        assert_eq!(n.begin_write(addr, 8), PageAccess::Ready);
+        n.bytes_mut(addr, 8).copy_from_slice(&7u64.to_le_bytes());
+        assert_eq!(n.begin_read(addr, 8), PageAccess::Ready);
+        assert_eq!(u64::from_le_bytes(n.bytes(addr, 8).try_into().unwrap()), 7);
+    }
+
+    #[test]
+    fn non_home_write_creates_twin_and_diff() {
+        let mut n = node(1, 2); // page 0's home is node 0
+        let addr = n.jia_alloc(4096).unwrap();
+        assert_eq!(n.begin_write(addr, 4), PageAccess::Ready);
+        n.bytes_mut(addr, 4).copy_from_slice(&5u32.to_le_bytes());
+        let (diffs, notices) = n.flush_dirty();
+        assert_eq!(notices, vec![0]);
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].0, 0);
+        let words: Vec<(u32, u32)> = diffs[0].1.iter_words().collect();
+        assert_eq!(words, vec![(0, 5)]);
+        assert!(n.stats.page_faults() >= 1, "write fault charged");
+    }
+
+    #[test]
+    fn home_write_produces_notice_but_no_diff() {
+        let mut n = node(0, 2);
+        let addr = n.jia_alloc(4096).unwrap();
+        n.begin_write(addr, 4);
+        n.bytes_mut(addr, 4).copy_from_slice(&5u32.to_le_bytes());
+        let (diffs, notices) = n.flush_dirty();
+        assert!(diffs.is_empty());
+        assert_eq!(notices, vec![0]);
+    }
+
+    #[test]
+    fn invalidation_forces_refetch() {
+        let mut n = node(1, 2);
+        let addr = n.jia_alloc(4096).unwrap();
+        assert_eq!(n.begin_read(addr, 4), PageAccess::Ready, "initially valid zeros");
+        n.invalidate(&[0], 1);
+        assert_eq!(
+            n.begin_read(addr, 4),
+            PageAccess::NeedFetch { page: 0, home: 0 }
+        );
+        n.install_page(0, &vec![9u8; PAGE_BYTES], 1);
+        assert_eq!(n.begin_read(addr, 4), PageAccess::Ready);
+        assert_eq!(n.bytes(addr, 1)[0], 9);
+    }
+
+    #[test]
+    fn home_invalidation_just_bumps_version() {
+        let mut n = node(0, 2);
+        n.invalidate(&[0], 3);
+        assert_eq!(n.begin_read(0, 4), PageAccess::Ready, "home copy never invalid");
+    }
+
+    #[test]
+    fn writes_spanning_pages_dirty_both() {
+        let mut n = node(0, 1);
+        let addr = n.jia_alloc(2 * PAGE_BYTES).unwrap();
+        n.begin_write(addr + PAGE_BYTES - 4, 8);
+        n.bytes_mut(addr + PAGE_BYTES - 4, 8).fill(1);
+        let (_, notices) = n.flush_dirty();
+        assert_eq!(notices, vec![0, 1]);
+    }
+}

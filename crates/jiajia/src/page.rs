@@ -1,0 +1,121 @@
+//! Page table for the JIAJIA baseline.
+//!
+//! JIAJIA v1.1 (Hu, Shi, Tang — HPCN'99) is a *page-based, home-based*
+//! software DSM under Scope Consistency. Shared memory is carved into
+//! 4 KB pages; each page has a fixed home assigned **round-robin** at
+//! allocation (the paper's §4.1 notes this placement when explaining
+//! ME's behaviour). Non-home copies are cached on access and
+//! invalidated when any other node writes the page.
+
+use lots_net::NodeId;
+
+/// Page size (same as the OS page granularity LOTS assumes).
+pub const PAGE_BYTES: usize = 4096;
+
+/// Coherence state of the local copy of one page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// No usable local copy (must fetch from home on access).
+    Invalid,
+    /// Clean local copy (home copies are always valid).
+    Valid,
+}
+
+/// Per-node control record for one shared page.
+#[derive(Debug, Clone)]
+pub struct PageCtl {
+    pub home: NodeId,
+    pub state: PageState,
+    /// Barrier epoch of the local copy.
+    pub version: u64,
+    /// Twin exists (page written by this node this interval).
+    pub twin: bool,
+    /// Written by this node since the last synchronization flush.
+    pub written: bool,
+}
+
+impl PageCtl {
+    pub fn new(home: NodeId) -> PageCtl {
+        PageCtl {
+            home,
+            // Fresh shared memory is zero everywhere: all copies agree.
+            state: PageState::Valid,
+            version: 0,
+            twin: false,
+            written: false,
+        }
+    }
+}
+
+/// Index arithmetic helpers.
+#[inline]
+pub fn page_of(addr: usize) -> usize {
+    addr / PAGE_BYTES
+}
+
+#[inline]
+pub fn page_base(page: usize) -> usize {
+    page * PAGE_BYTES
+}
+
+/// Split the byte range `[addr, addr+len)` into per-page subranges.
+pub fn split_range(addr: usize, len: usize) -> impl Iterator<Item = (usize, usize, usize)> {
+    // Yields (page, offset_in_page, len_in_page).
+    let mut cur = addr;
+    let end = addr + len;
+    std::iter::from_fn(move || {
+        if cur >= end {
+            return None;
+        }
+        let page = page_of(cur);
+        let off = cur - page_base(page);
+        let take = (PAGE_BYTES - off).min(end - cur);
+        cur += take;
+        Some((page, off, take))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_page_is_valid_zero() {
+        let p = PageCtl::new(2);
+        assert_eq!(p.state, PageState::Valid);
+        assert_eq!(p.home, 2);
+        assert!(!p.twin);
+        assert!(!p.written);
+    }
+
+    #[test]
+    fn page_arithmetic() {
+        assert_eq!(page_of(0), 0);
+        assert_eq!(page_of(4095), 0);
+        assert_eq!(page_of(4096), 1);
+        assert_eq!(page_base(3), 12288);
+    }
+
+    #[test]
+    fn split_range_within_one_page() {
+        let parts: Vec<_> = split_range(100, 200).collect();
+        assert_eq!(parts, vec![(0, 100, 200)]);
+    }
+
+    #[test]
+    fn split_range_spanning_pages() {
+        let parts: Vec<_> = split_range(4000, 5000).collect();
+        assert_eq!(
+            parts,
+            vec![(0, 4000, 96), (1, 0, 4096), (2, 0, 808)]
+        );
+        let total: usize = parts.iter().map(|&(_, _, l)| l).sum();
+        assert_eq!(total, 5000);
+    }
+
+    #[test]
+    fn split_range_page_aligned() {
+        let parts: Vec<_> = split_range(8192, 8192).collect();
+        assert_eq!(parts, vec![(2, 0, 4096), (3, 0, 4096)]);
+    }
+}

@@ -1,0 +1,289 @@
+//! JIAJIA cluster bootstrap: app thread + comm (SIGIO) thread per node,
+//! mirroring the LOTS runtime so measurements are comparable.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Sender};
+use lots_core::consistency::SyncCtx;
+use lots_core::diff::WordDiff;
+use lots_net::{cluster, Envelope, NetReceiver, NetSender, NodeId, Recv, TrafficStats};
+use lots_sim::{MachineConfig, NodeStats, SimClock, SimInstant, TimeCategory};
+use parking_lot::Mutex;
+
+use crate::api::{JMsg, JiaDsm};
+use crate::node::JiaNode;
+use crate::services::{JiaBarrier, JiaLocks};
+
+/// Options for a JIAJIA cluster run.
+pub struct JiaOptions {
+    pub n: usize,
+    /// Shared-space size (v1.1 default limit: 128 MB, §2 of the paper).
+    pub shared_bytes: usize,
+    pub machine: MachineConfig,
+}
+
+impl JiaOptions {
+    pub fn new(n: usize, shared_bytes: usize, machine: MachineConfig) -> JiaOptions {
+        JiaOptions {
+            n,
+            shared_bytes,
+            machine,
+        }
+    }
+}
+
+/// Per-node outcome.
+#[derive(Debug, Clone)]
+pub struct JiaNodeReport {
+    pub me: NodeId,
+    pub time: SimInstant,
+    pub stats: NodeStats,
+    pub traffic: TrafficStats,
+}
+
+/// Cluster-wide outcome.
+#[derive(Debug, Clone)]
+pub struct JiaReport {
+    pub nodes: Vec<JiaNodeReport>,
+    pub exec_time: SimInstant,
+}
+
+/// Run an SPMD application on a simulated JIAJIA cluster.
+pub fn run_jiajia_cluster<R, F>(opts: JiaOptions, app: F) -> (Vec<R>, JiaReport)
+where
+    R: Send + 'static,
+    F: Fn(&JiaDsm) -> R + Send + Sync + 'static,
+{
+    let n = opts.n;
+    assert!(n >= 1);
+    let endpoints = cluster::<JMsg>(n, opts.machine.net);
+    let barrier = Arc::new(JiaBarrier::new(n));
+    let locks = Arc::new(JiaLocks::new(n));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let app = Arc::new(app);
+
+    let mut app_threads = Vec::with_capacity(n);
+    let mut comm_threads = Vec::with_capacity(n);
+    let mut probes = Vec::with_capacity(n);
+
+    for (me, (tx, rx)) in endpoints.into_iter().enumerate() {
+        let clock = SimClock::new();
+        let stats = NodeStats::new();
+        let node = Arc::new(Mutex::new(JiaNode::new(
+            me,
+            n,
+            opts.shared_bytes,
+            opts.machine.cpu,
+            clock.clone(),
+            stats.clone(),
+        )));
+        let (reply_tx, reply_rx) = unbounded::<Envelope<JMsg>>();
+        let ctx = SyncCtx {
+            me,
+            clock: clock.clone(),
+            stats: stats.clone(),
+            traffic: tx.stats().clone(),
+            net: opts.machine.net,
+            cpu: opts.machine.cpu,
+        };
+        probes.push((clock, stats, tx.stats().clone()));
+
+        comm_threads.push(
+            std::thread::Builder::new()
+                .name(format!("jia-comm-{me}"))
+                .spawn({
+                    let node = Arc::clone(&node);
+                    let net = tx.clone();
+                    let shutdown = Arc::clone(&shutdown);
+                    move || comm_loop(node, net, rx, reply_tx, shutdown)
+                })
+                .expect("spawn comm thread"),
+        );
+
+        let parts = (ctx, node, tx, reply_rx, Arc::clone(&barrier), Arc::clone(&locks));
+        let app = Arc::clone(&app);
+        app_threads.push(
+            std::thread::Builder::new()
+                .name(format!("jia-app-{me}"))
+                .spawn(move || {
+                    let (ctx, node, net, replies, barrier, locks) = parts;
+                    let dsm = JiaDsm {
+                        ctx,
+                        node,
+                        net,
+                        replies,
+                        barrier,
+                        locks,
+                        me,
+                        n,
+                    };
+                    app(&dsm)
+                })
+                .expect("spawn app thread"),
+        );
+    }
+
+    let results: Vec<R> = app_threads
+        .into_iter()
+        .map(|h| h.join().expect("application thread panicked"))
+        .collect();
+    shutdown.store(true, Ordering::Release);
+    for h in comm_threads {
+        h.join().expect("comm thread panicked");
+    }
+
+    let nodes: Vec<JiaNodeReport> = probes
+        .into_iter()
+        .enumerate()
+        .map(|(me, (clock, stats, traffic))| JiaNodeReport {
+            me,
+            time: clock.now(),
+            stats,
+            traffic,
+        })
+        .collect();
+    let exec_time = nodes
+        .iter()
+        .map(|r| r.time)
+        .max()
+        .unwrap_or(SimInstant::ZERO);
+    (results, JiaReport { nodes, exec_time })
+}
+
+fn comm_loop(
+    node: Arc<Mutex<JiaNode>>,
+    net: NetSender<JMsg>,
+    mut rx: NetReceiver<JMsg>,
+    reply_tx: Sender<Envelope<JMsg>>,
+    shutdown: Arc<AtomicBool>,
+) {
+    loop {
+        match rx.recv_timeout(Duration::from_millis(25)) {
+            Recv::Message(env) => {
+                let src = env.src;
+                match env.msg {
+                    JMsg::PageReq { page } => {
+                        let (bytes, version, done) = {
+                            let mut st = node.lock();
+                            st.stats
+                                .charge(TimeCategory::Handler, st.cpu.handler_entry);
+                            st.clock.advance(st.cpu.handler_entry);
+                            let (b, v) = st.serve_page(page as usize);
+                            (b, v, st.clock.now().max(env.arrival))
+                        };
+                        net.send(src, JMsg::PageReply { page, version }, bytes.into(), done);
+                    }
+                    JMsg::DiffSend { page } => {
+                        let done = {
+                            let mut st = node.lock();
+                            st.stats
+                                .charge(TimeCategory::Handler, st.cpu.handler_entry);
+                            st.clock.advance(st.cpu.handler_entry);
+                            let diff = WordDiff::decode(&env.payload);
+                            st.apply_remote_diff(page as usize, &diff);
+                            st.clock.now().max(env.arrival)
+                        };
+                        net.send(src, JMsg::DiffAck { page }, Default::default(), done);
+                    }
+                    JMsg::PageReply { .. } | JMsg::DiffAck { .. } => {
+                        if reply_tx.send(env).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+            Recv::Timeout => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Recv::Disconnected => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lots_sim::machine::p4_fedora;
+
+    fn opts(n: usize) -> JiaOptions {
+        JiaOptions::new(n, 256 * 4096, p4_fedora())
+    }
+
+    #[test]
+    fn single_node_roundtrip() {
+        let (results, report) = run_jiajia_cluster(opts(1), |dsm| {
+            let a = dsm.alloc::<i32>(100).unwrap();
+            a.write(5, 42);
+            dsm.barrier();
+            a.read(5)
+        });
+        assert_eq!(results, vec![42]);
+        // Home-local accesses cost nothing in a page DSM (no software
+        // checks — §4.1 factor 2); only the barrier accrues time.
+        assert!(report.exec_time.nanos() > 0);
+    }
+
+    #[test]
+    fn writes_visible_after_barrier() {
+        let (results, _) = run_jiajia_cluster(opts(2), |dsm| {
+            let a = dsm.alloc::<i32>(2048).unwrap();
+            if dsm.me() == 1 {
+                // Page 0's home is node 0: node 1 writes a non-home page.
+                a.write(3, 77);
+            }
+            dsm.barrier();
+            a.read(3)
+        });
+        assert_eq!(results, vec![77, 77]);
+    }
+
+    #[test]
+    fn false_sharing_merges_at_home() {
+        let (results, report) = run_jiajia_cluster(opts(4), |dsm| {
+            let a = dsm.alloc::<i32>(8).unwrap(); // one page, 4 writers
+            a.write(dsm.me(), dsm.me() as i32 + 1);
+            dsm.barrier();
+            (0..4).map(|i| a.read(i)).sum::<i32>()
+        });
+        assert_eq!(results, vec![10, 10, 10, 10]);
+        // Write-write false sharing: three non-home writers each sent a
+        // whole-page-fault + diff; readers refetched the page.
+        let faults: u64 = report.nodes.iter().map(|n| n.stats.page_faults()).sum();
+        assert!(faults >= 6, "faults {faults}");
+    }
+
+    #[test]
+    fn lock_transfers_updates_via_home() {
+        let (results, _) = run_jiajia_cluster(opts(2), |dsm| {
+            let a = dsm.alloc::<i32>(4).unwrap();
+            for _ in 0..10 {
+                dsm.lock(1);
+                let v = a.read(0);
+                a.write(0, v + 1);
+                dsm.unlock(1);
+            }
+            dsm.barrier();
+            a.read(0)
+        });
+        assert_eq!(results, vec![20, 20]);
+    }
+
+    #[test]
+    fn page_granularity_traffic() {
+        // Reading one i32 from a remote page moves a whole 4 KB page.
+        let (_, report) = run_jiajia_cluster(opts(2), |dsm| {
+            let a = dsm.alloc::<i32>(2048).unwrap();
+            if dsm.me() == 0 {
+                a.write(0, 1);
+            }
+            dsm.barrier();
+            a.read(0)
+        });
+        let bytes: u64 = report.nodes.iter().map(|n| n.traffic.bytes_sent()).sum();
+        assert!(bytes >= 4096, "page fetch moves ≥ one page, got {bytes}");
+    }
+}

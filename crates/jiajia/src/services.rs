@@ -1,0 +1,301 @@
+//! JIAJIA synchronization services: home-based ScC barrier and locks.
+//!
+//! Like the LOTS services, the rendezvous/queueing is real in-process
+//! synchronization while control-message costs are charged analytically
+//! (DESIGN.md §2). The key protocol differences from LOTS:
+//!
+//! * diffs are **eagerly flushed to fixed homes** at every release and
+//!   barrier entry (home-based, no migration);
+//! * synchronization carries **write notices only** — invalidations,
+//!   never data (write-invalidate on both paths).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use lots_core::consistency::SyncCtx;
+use lots_core::protocol::messages::ctl;
+use lots_net::NodeId;
+use lots_sim::{SimDuration, SimInstant, TimeCategory};
+use parking_lot::{Condvar, Mutex};
+
+/// One aggregated write notice: the page, one of its writers, and
+/// whether more than one node wrote it (write-write false sharing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageNotice {
+    pub page: u32,
+    pub writer: NodeId,
+    pub multi: bool,
+}
+
+/// Barrier outcome: every page written in the interval (union of all
+/// nodes' notices) plus the barrier sequence number.
+pub struct JiaBarrierRound {
+    pub written: Arc<Vec<PageNotice>>,
+    pub seq: u64,
+}
+
+struct BarState {
+    seq: u64,
+    gen: u64,
+    count: usize,
+    enter_max: SimInstant,
+    notices: Vec<(u32, NodeId)>,
+    result: Option<Arc<Vec<PageNotice>>>,
+    exit_time: SimInstant,
+}
+
+/// The cluster barrier (single rendezvous: diffs are acked before
+/// entering, so the exit can carry the invalidation set directly).
+pub struct JiaBarrier {
+    n: usize,
+    state: Mutex<BarState>,
+    cv: Condvar,
+}
+
+impl JiaBarrier {
+    pub fn new(n: usize) -> JiaBarrier {
+        JiaBarrier {
+            n,
+            state: Mutex::new(BarState {
+                seq: 1,
+                gen: 0,
+                count: 0,
+                enter_max: SimInstant::ZERO,
+                notices: Vec::new(),
+                result: None,
+                exit_time: SimInstant::ZERO,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub fn enter(&self, ctx: &SyncCtx, notices: Vec<u32>) -> JiaBarrierRound {
+        let mut st = self.state.lock();
+        let my_gen = st.gen;
+        let wait_from = ctx.clock.now();
+        let bytes = ctl::BARRIER_ENTER + notices.len() * ctl::WRITE_NOTICE;
+        ctx.traffic.record_send(bytes, ctx.net.fragments(bytes));
+        let arrive = ctx.clock.now() + ctx.net.one_way(bytes);
+        st.enter_max = st.enter_max.max(arrive);
+        st.notices.extend(notices.into_iter().map(|p| (p, ctx.me)));
+        st.count += 1;
+        let seq = st.seq;
+        if st.count == self.n {
+            let mut raw = std::mem::take(&mut st.notices);
+            raw.sort_unstable();
+            let mut written: Vec<PageNotice> = Vec::with_capacity(raw.len());
+            for (page, writer) in raw {
+                match written.last_mut() {
+                    Some(last) if last.page == page => last.multi = true,
+                    _ => written.push(PageNotice {
+                        page,
+                        writer,
+                        multi: false,
+                    }),
+                }
+            }
+            st.exit_time = st.enter_max
+                + SimDuration(ctx.cpu.handler_entry.0 * self.n as u64)
+                + SimDuration(250 * written.len() as u64);
+            st.result = Some(Arc::new(written));
+            st.seq += 1;
+            st.count = 0;
+            st.enter_max = SimInstant::ZERO;
+            st.gen += 1;
+            self.cv.notify_all();
+        } else {
+            while st.gen == my_gen {
+                self.cv.wait(&mut st);
+            }
+        }
+        let written = Arc::clone(st.result.as_ref().expect("result set by last arriver"));
+        let exit = st.exit_time;
+        drop(st);
+        let exit_bytes = ctl::BARRIER_EXIT + written.len() * ctl::PLAN_ENTRY;
+        ctx.traffic.record_recv(exit_bytes);
+        let now = ctx.clock.advance_to(exit + ctx.net.one_way(exit_bytes));
+        ctx.stats
+            .charge(TimeCategory::SyncWait, now.saturating_sub(wait_from));
+        JiaBarrierRound { written, seq }
+    }
+}
+
+struct LockState {
+    ts: u64,
+    holder: Option<NodeId>,
+    waiters: VecDeque<NodeId>,
+    release_time: SimInstant,
+    /// Write notices: page → (last release ts, writer).
+    notices: HashMap<u32, (u64, NodeId)>,
+    seen: Vec<u64>,
+}
+
+struct LockEntry {
+    state: Mutex<LockState>,
+    cv: Condvar,
+}
+
+/// Home-based ScC locks: grants carry invalidation notices only.
+pub struct JiaLocks {
+    n: usize,
+    locks: Mutex<HashMap<u32, Arc<LockEntry>>>,
+}
+
+impl JiaLocks {
+    pub fn new(n: usize) -> JiaLocks {
+        JiaLocks {
+            n,
+            locks: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn entry(&self, lock: u32) -> Arc<LockEntry> {
+        let mut locks = self.locks.lock();
+        Arc::clone(locks.entry(lock).or_insert_with(|| {
+            Arc::new(LockEntry {
+                state: Mutex::new(LockState {
+                    ts: 0,
+                    holder: None,
+                    waiters: VecDeque::new(),
+                    release_time: SimInstant::ZERO,
+                    notices: HashMap::new(),
+                    seen: vec![0; self.n],
+                }),
+                cv: Condvar::new(),
+            })
+        }))
+    }
+
+    /// Acquire: blocks FIFO; returns the pages to invalidate.
+    pub fn acquire(&self, lock: u32, ctx: &SyncCtx) -> Vec<u32> {
+        let entry = self.entry(lock);
+        let mut st = entry.state.lock();
+        let wait_from = ctx.clock.now();
+        let req_arrive = ctx.clock.now() + ctx.net.one_way(ctl::LOCK_ACQ);
+        ctx.traffic.record_send(ctl::LOCK_ACQ, 1);
+        st.waiters.push_back(ctx.me);
+        while st.holder.is_some() || st.waiters.front() != Some(&ctx.me) {
+            entry.cv.wait(&mut st);
+        }
+        st.waiters.pop_front();
+        st.holder = Some(ctx.me);
+        let seen = st.seen[ctx.me];
+        let mut invalidate: Vec<u32> = st
+            .notices
+            .iter()
+            .filter(|&(_, &(ts, writer))| ts > seen && writer != ctx.me)
+            .map(|(&p, _)| p)
+            .collect();
+        invalidate.sort_unstable();
+        st.seen[ctx.me] = st.ts;
+        let grant_issued = req_arrive.max(st.release_time) + ctx.cpu.handler_entry;
+        let grant_bytes = ctl::LOCK_GRANT + invalidate.len() * 8;
+        drop(st);
+        ctx.traffic.record_recv(grant_bytes);
+        let now = ctx
+            .clock
+            .advance_to(grant_issued + ctx.net.one_way(grant_bytes));
+        ctx.stats
+            .charge(TimeCategory::SyncWait, now.saturating_sub(wait_from));
+        invalidate
+    }
+
+    /// Release with the pages this node wrote (diffs were already
+    /// flushed to homes by the caller).
+    pub fn release(&self, lock: u32, ctx: &SyncCtx, written: Vec<u32>) {
+        let entry = self.entry(lock);
+        let mut st = entry.state.lock();
+        assert_eq!(st.holder, Some(ctx.me), "releasing a lock not held");
+        st.ts += 1;
+        let ts = st.ts;
+        for page in written {
+            st.notices.insert(page, (ts, ctx.me));
+        }
+        st.seen[ctx.me] = ts;
+        let rel_bytes = ctl::LOCK_REL + 8;
+        ctx.traffic.record_send(rel_bytes, 1);
+        let arrive = ctx.clock.now() + ctx.net.one_way(rel_bytes);
+        st.release_time = st.release_time.max(arrive) + ctx.cpu.handler_entry;
+        st.holder = None;
+        entry.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lots_net::TrafficStats;
+    use lots_sim::machine::{fast_ethernet, pentium4_2ghz};
+    use lots_sim::{NodeStats, SimClock};
+
+    fn ctx(me: NodeId) -> SyncCtx {
+        SyncCtx {
+            me,
+            clock: SimClock::new(),
+            stats: NodeStats::new(),
+            traffic: TrafficStats::new(),
+            net: fast_ethernet(),
+            cpu: pentium4_2ghz(),
+        }
+    }
+
+    #[test]
+    fn barrier_unions_notices_and_marks_false_sharing() {
+        let b = Arc::new(JiaBarrier::new(3));
+        let mut handles = Vec::new();
+        for me in 0..3usize {
+            let b = Arc::clone(&b);
+            handles.push(std::thread::spawn(move || {
+                let c = ctx(me);
+                // Page 5 is written by everyone (false sharing); the
+                // others have single writers.
+                let round = b.enter(&c, vec![me as u32, 10 + me as u32, 5]);
+                (round.written, round.seq)
+            }));
+        }
+        for h in handles {
+            let (written, seq) = h.join().unwrap();
+            assert_eq!(seq, 1);
+            let pages: Vec<u32> = written.iter().map(|n| n.page).collect();
+            assert_eq!(pages, vec![0, 1, 2, 5, 10, 11, 12]);
+            for n in written.iter() {
+                if n.page == 5 {
+                    assert!(n.multi, "page 5 has three writers");
+                } else {
+                    assert!(!n.multi);
+                    assert_eq!(n.writer as u32, n.page % 10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lock_notices_gate_on_seen_ts() {
+        let l = JiaLocks::new(2);
+        let c0 = ctx(0);
+        let c1 = ctx(1);
+        l.acquire(1, &c0);
+        l.release(1, &c0, vec![4, 5]);
+        assert_eq!(l.acquire(1, &c1), vec![4, 5]);
+        l.release(1, &c1, vec![]);
+        // Re-acquire by node 1: nothing new.
+        assert_eq!(l.acquire(1, &c1), Vec::<u32>::new());
+        l.release(1, &c1, vec![]);
+        // Node 0 still sees node 1's... nothing (node 1 wrote nothing).
+        assert_eq!(l.acquire(1, &c0), Vec::<u32>::new());
+        l.release(1, &c0, vec![]);
+    }
+
+    #[test]
+    fn lock_excludes_and_chains_time() {
+        let l = Arc::new(JiaLocks::new(2));
+        let c0 = ctx(0);
+        l.acquire(9, &c0);
+        c0.clock.advance(lots_sim::SimDuration::from_millis(20));
+        l.release(9, &c0, vec![]);
+        let c1 = ctx(1);
+        l.acquire(9, &c1);
+        assert!(c1.clock.now().nanos() >= 20_000_000);
+        l.release(9, &c1, vec![]);
+    }
+}

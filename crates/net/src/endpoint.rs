@@ -1,0 +1,422 @@
+//! Endpoints: the per-node handle on the simulated interconnect.
+//!
+//! An [`Endpoint`] is split into a shareable [`NetSender`] (the app
+//! thread and the comm thread both send) and a single-consumer
+//! [`NetReceiver`] (only the comm thread — the paper's SIGIO handler —
+//! receives). Large payloads are really fragmented at the sender and
+//! really reassembled at the receiver, with virtual-time stamps from the
+//! per-link [`LinkClock`]s.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
+use lots_sim::{NetModel, SimInstant};
+
+use crate::flow::{LinkClock, Transmission};
+use crate::fragment::{split, Fragment, Reassembler};
+use crate::message::{Envelope, NodeId, WireSize};
+use crate::stats::TrafficStats;
+
+/// What actually travels over a channel: one fragment, with the header
+/// riding on fragment 0.
+#[derive(Debug, Clone)]
+struct Packet<M> {
+    src: NodeId,
+    header: Option<M>,
+    frag: Fragment,
+    sent_at: SimInstant,
+    arrival: SimInstant,
+    wire_bytes: usize,
+    fragments: u32,
+}
+
+/// Sending half; cheap to clone and share between threads of one node.
+pub struct NetSender<M> {
+    id: NodeId,
+    model: NetModel,
+    txs: Arc<Vec<Sender<Packet<M>>>>,
+    links: Arc<Vec<LinkClock>>,
+    seq: Arc<AtomicU64>,
+    stats: TrafficStats,
+}
+
+impl<M> Clone for NetSender<M> {
+    fn clone(&self) -> Self {
+        NetSender {
+            id: self.id,
+            model: self.model,
+            txs: Arc::clone(&self.txs),
+            links: Arc::clone(&self.links),
+            seq: Arc::clone(&self.seq),
+            stats: self.stats.clone(),
+        }
+    }
+}
+
+impl<M: WireSize + Send + 'static> NetSender<M> {
+    /// Transmit `msg` + `payload` to `dst`, offered at sender virtual
+    /// time `now`. Returns the modeled transmission timing; the caller
+    /// decides which parts of it to charge to its clock.
+    pub fn send(&self, dst: NodeId, msg: M, payload: Bytes, now: SimInstant) -> Transmission {
+        assert_ne!(dst, self.id, "node {} sending to itself", self.id);
+        let body = msg.wire_size() + payload.len();
+        let tx = self.links[dst].transmit(&self.model, now, body);
+        self.stats.record_send(tx.wire_bytes, tx.fragments);
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let max_frag_payload = self.model.max_datagram;
+        let frags = split(seq, &payload, max_frag_payload);
+        debug_assert_eq!(frags.len() as u32, self.model.fragments(payload.len()));
+        let mut header = Some(msg);
+        let n = frags.len();
+        for frag in frags {
+            let pkt = Packet {
+                src: self.id,
+                header: header.take(),
+                frag,
+                sent_at: now,
+                arrival: tx.arrival,
+                wire_bytes: tx.wire_bytes / n,
+                fragments: tx.fragments,
+            };
+            // Unbounded channel: never blocks, so no deadlock between
+            // comm threads that send while servicing.
+            self.txs[dst]
+                .send(pkt)
+                .expect("destination endpoint dropped while cluster running");
+        }
+        tx
+    }
+
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Cluster size.
+    pub fn cluster_size(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// The network model in force.
+    pub fn model(&self) -> &NetModel {
+        &self.model
+    }
+
+    /// Traffic counters for this node.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+}
+
+/// Receiving half; owned by exactly one thread (the comm thread).
+pub struct NetReceiver<M> {
+    id: NodeId,
+    rx: Receiver<Packet<M>>,
+    reasm: Reassembler,
+    headers: HashMap<(NodeId, u64), PendingHeader<M>>,
+    stats: TrafficStats,
+}
+
+struct PendingHeader<M> {
+    msg: M,
+    sent_at: SimInstant,
+    arrival: SimInstant,
+    wire_bytes: usize,
+    fragments: u32,
+}
+
+/// Outcome of a receive attempt.
+pub enum Recv<M> {
+    /// A complete message was reassembled.
+    Message(Envelope<M>),
+    /// Timed out with no complete message.
+    Timeout,
+    /// All senders disconnected — the cluster is shutting down.
+    Disconnected,
+}
+
+impl<M: WireSize> NetReceiver<M> {
+    /// Block up to `timeout` for the next *complete* message.
+    ///
+    /// Fragments of interleaved large messages are absorbed until one
+    /// message has all its pieces (§5: no decoding of partial messages).
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Recv<M> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            let pkt = match self.rx.recv_deadline(deadline) {
+                Ok(p) => p,
+                Err(RecvTimeoutError::Timeout) => return Recv::Timeout,
+                Err(RecvTimeoutError::Disconnected) => return Recv::Disconnected,
+            };
+            if let Some(env) = self.absorb(pkt) {
+                return Recv::Message(env);
+            }
+        }
+    }
+
+    /// Non-blocking poll for a complete message.
+    pub fn try_recv(&mut self) -> Option<Envelope<M>> {
+        while let Ok(pkt) = self.rx.try_recv() {
+            if let Some(env) = self.absorb(pkt) {
+                return Some(env);
+            }
+        }
+        None
+    }
+
+    fn absorb(&mut self, pkt: Packet<M>) -> Option<Envelope<M>> {
+        let key = (pkt.src, pkt.frag.msg_seq);
+        if let Some(msg) = pkt.header {
+            self.headers.insert(
+                key,
+                PendingHeader {
+                    msg,
+                    sent_at: pkt.sent_at,
+                    arrival: pkt.arrival,
+                    wire_bytes: pkt.wire_bytes * pkt.fragments as usize,
+                    fragments: pkt.fragments,
+                },
+            );
+        }
+        let payload = self.reasm.push(pkt.src, pkt.frag)?;
+        let h = self
+            .headers
+            .remove(&key)
+            .expect("header fragment precedes or accompanies completion");
+        self.stats.record_recv(h.wire_bytes);
+        Some(Envelope {
+            src: pkt.src,
+            msg: h.msg,
+            payload,
+            sent_at: h.sent_at,
+            arrival: h.arrival,
+            wire_bytes: h.wire_bytes,
+            fragments: h.fragments,
+        })
+    }
+
+    /// Messages awaiting more fragments (the §5 memory cost).
+    pub fn pending_reassemblies(&self) -> usize {
+        self.reasm.pending()
+    }
+
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+}
+
+/// Build the two halves of one node's endpoint.
+fn endpoint_pair<M>(
+    id: NodeId,
+    model: NetModel,
+    txs: Vec<Sender<Packet<M>>>,
+    rx: Receiver<Packet<M>>,
+) -> (NetSender<M>, NetReceiver<M>) {
+    let stats = TrafficStats::new();
+    let links = Arc::new((0..txs.len()).map(|_| LinkClock::new()).collect::<Vec<_>>());
+    (
+        NetSender {
+            id,
+            model,
+            txs: Arc::new(txs),
+            links,
+            seq: Arc::new(AtomicU64::new(0)),
+            stats: stats.clone(),
+        },
+        NetReceiver {
+            id,
+            rx,
+            reasm: Reassembler::new(),
+            headers: HashMap::new(),
+            stats,
+        },
+    )
+}
+
+/// Build a fully connected cluster of `n` endpoints.
+pub fn cluster<M: WireSize + Send + 'static>(
+    n: usize,
+    model: NetModel,
+) -> Vec<(NetSender<M>, NetReceiver<M>)> {
+    assert!(n >= 1, "cluster needs at least one node");
+    let mut txs: Vec<Vec<Sender<Packet<M>>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+    let mut rxs: Vec<Receiver<Packet<M>>> = Vec::with_capacity(n);
+    for _dst in 0..n {
+        let (tx, rx) = channel::unbounded::<Packet<M>>();
+        rxs.push(rx);
+        for sender_txs in txs.iter_mut() {
+            sender_txs.push(tx.clone());
+        }
+    }
+    txs.into_iter()
+        .zip(rxs)
+        .enumerate()
+        .map(|(id, (tx, rx))| endpoint_pair(id, model, tx, rx))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lots_sim::SimDuration;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct TestMsg(u32);
+
+    impl WireSize for TestMsg {
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+
+    fn model() -> NetModel {
+        NetModel {
+            latency: SimDuration::from_micros(100),
+            bandwidth_bps: 10_000_000,
+            per_fragment: SimDuration::from_micros(10),
+            max_datagram: 4096,
+            window_frags: 8,
+        }
+    }
+
+    #[test]
+    fn small_message_roundtrip() {
+        let mut eps = cluster::<TestMsg>(2, model());
+        let (tx1, _) = eps.remove(1);
+        let (_, mut rx0) = {
+            let (s, r) = eps.remove(0);
+            (s, r)
+        };
+        let t = tx1.send(0, TestMsg(42), Bytes::from_static(b"hello"), SimInstant(0));
+        assert_eq!(t.fragments, 1);
+        match rx0.recv_timeout(Duration::from_secs(1)) {
+            Recv::Message(env) => {
+                assert_eq!(env.src, 1);
+                assert_eq!(env.msg, TestMsg(42));
+                assert_eq!(&env.payload[..], b"hello");
+                assert_eq!(env.arrival, t.arrival);
+            }
+            _ => panic!("expected message"),
+        }
+    }
+
+    #[test]
+    fn large_message_fragments_and_reassembles() {
+        let mut eps = cluster::<TestMsg>(2, model());
+        let (tx1, _) = eps.remove(1);
+        let (_, mut rx0) = eps.remove(0);
+        let payload: Bytes = (0..20_000u32).map(|i| (i % 256) as u8).collect::<Vec<_>>().into();
+        let t = tx1.send(0, TestMsg(7), payload.clone(), SimInstant(0));
+        assert!(t.fragments >= 5, "fragments={}", t.fragments);
+        match rx0.recv_timeout(Duration::from_secs(1)) {
+            Recv::Message(env) => {
+                assert_eq!(env.payload, payload);
+                assert_eq!(env.fragments, t.fragments);
+            }
+            _ => panic!("expected message"),
+        }
+        assert_eq!(rx0.pending_reassemblies(), 0);
+    }
+
+    #[test]
+    fn messages_from_same_sender_keep_order_and_serialize() {
+        let mut eps = cluster::<TestMsg>(2, model());
+        let (tx1, _) = eps.remove(1);
+        let (_, mut rx0) = eps.remove(0);
+        let t1 = tx1.send(0, TestMsg(1), Bytes::from(vec![0u8; 8000]), SimInstant(0));
+        let t2 = tx1.send(0, TestMsg(2), Bytes::from(vec![1u8; 100]), SimInstant(0));
+        // Link serialization: second departs after first finishes.
+        assert!(t2.arrival > t1.arrival);
+        let a = match rx0.recv_timeout(Duration::from_secs(1)) {
+            Recv::Message(e) => e,
+            _ => panic!(),
+        };
+        let b = match rx0.recv_timeout(Duration::from_secs(1)) {
+            Recv::Message(e) => e,
+            _ => panic!(),
+        };
+        assert_eq!(a.msg, TestMsg(1));
+        assert_eq!(b.msg, TestMsg(2));
+    }
+
+    #[test]
+    fn timeout_when_no_traffic() {
+        let mut eps = cluster::<TestMsg>(2, model());
+        let (_, mut rx0) = eps.remove(0);
+        match rx0.recv_timeout(Duration::from_millis(10)) {
+            Recv::Timeout => {}
+            _ => panic!("expected timeout"),
+        }
+    }
+
+    #[test]
+    fn disconnected_when_all_senders_dropped() {
+        let mut eps = cluster::<TestMsg>(2, model());
+        let (_, mut rx0) = eps.remove(0);
+        drop(eps); // drops node 1's sender (and node 0's own sender clone)
+        match rx0.recv_timeout(Duration::from_secs(1)) {
+            Recv::Disconnected => {}
+            _ => panic!("expected disconnect"),
+        }
+    }
+
+    #[test]
+    fn stats_count_both_directions() {
+        let mut eps = cluster::<TestMsg>(3, model());
+        let (tx2, _) = eps.remove(2);
+        let (_, mut rx0) = eps.remove(0);
+        tx2.send(0, TestMsg(9), Bytes::from(vec![0u8; 1000]), SimInstant(0));
+        assert_eq!(tx2.stats().msgs_sent(), 1);
+        assert!(tx2.stats().bytes_sent() >= 1000);
+        match rx0.recv_timeout(Duration::from_secs(1)) {
+            Recv::Message(_) => {}
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sending to itself")]
+    fn self_send_rejected() {
+        let mut eps = cluster::<TestMsg>(2, model());
+        let (tx0, _) = eps.remove(0);
+        tx0.send(0, TestMsg(0), Bytes::new(), SimInstant(0));
+    }
+
+    #[test]
+    fn concurrent_senders_to_one_receiver() {
+        let eps = cluster::<TestMsg>(4, model());
+        let mut it = eps.into_iter();
+        let (_, mut rx0) = it.next().unwrap();
+        let senders: Vec<_> = it.map(|(s, _)| s).collect();
+        let mut handles = Vec::new();
+        for (i, s) in senders.into_iter().enumerate() {
+            handles.push(std::thread::spawn(move || {
+                for k in 0..25u32 {
+                    s.send(
+                        0,
+                        TestMsg(k),
+                        Bytes::from(vec![i as u8; 6000]),
+                        SimInstant(0),
+                    );
+                }
+            }));
+        }
+        let mut got = 0;
+        while got < 75 {
+            match rx0.recv_timeout(Duration::from_secs(5)) {
+                Recv::Message(env) => {
+                    assert_eq!(env.payload.len(), 6000);
+                    got += 1;
+                }
+                _ => panic!("lost messages: only {got}"),
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Link occupancy and sliding-window flow control timing.
+//!
+//! §3.6: LOTS uses dedicated point-to-point UDP channels with "a simple
+//! flow control algorithm, slightly more efficient than that of the TCP
+//! protocol". Two timing effects matter for the evaluation:
+//!
+//! 1. **Serialization** — a link carries one datagram at a time, so
+//!    back-to-back sends on the same link queue behind each other (this
+//!    is what makes the all-to-all write-update traffic at barriers
+//!    expensive, the very motivation for the mixed protocol of §3.4).
+//! 2. **Window stalls** — after a full window of unacknowledged
+//!    fragments the sender waits one round trip for an ack.
+//!
+//! [`LinkClock`] tracks when each directed link next becomes free and
+//! computes the virtual departure/arrival times of a message.
+
+use lots_sim::{NetModel, SimDuration, SimInstant};
+use parking_lot::Mutex;
+
+/// Timing outcome of transmitting one (possibly fragmented) message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transmission {
+    /// When the first fragment left the sender (after queueing).
+    pub depart: SimInstant,
+    /// When the sender is free again (link released).
+    pub sender_free: SimInstant,
+    /// When the last fragment arrived at the receiver — the earliest
+    /// virtual time the message can be decoded.
+    pub arrival: SimInstant,
+    /// Fragments used.
+    pub fragments: u32,
+    /// Total bytes on the wire, including per-fragment headers.
+    pub wire_bytes: usize,
+}
+
+/// Occupancy clock for one directed link.
+#[derive(Debug, Default)]
+pub struct LinkClock {
+    free_at: Mutex<SimInstant>,
+}
+
+impl LinkClock {
+    pub fn new() -> LinkClock {
+        LinkClock::default()
+    }
+
+    /// Reserve the link for a message of `body_bytes` (header+payload)
+    /// offered at sender-virtual-time `now`; returns the transmission
+    /// timing and advances the link's free time.
+    pub fn transmit(&self, model: &NetModel, now: SimInstant, body_bytes: usize) -> Transmission {
+        let fragments = model.fragments(body_bytes);
+        let wire_bytes = body_bytes + fragments as usize * crate::message::FRAGMENT_HEADER_BYTES;
+        let stalls = fragments.saturating_sub(1) / model.window_frags;
+        // Time the sender's NIC/stack is busy pushing the fragments out,
+        // including flow-control stalls awaiting window acks.
+        let busy = model.wire_time(wire_bytes)
+            + SimDuration(model.per_fragment.0 * fragments as u64)
+            + SimDuration(2 * model.latency.0 * stalls as u64);
+        let mut free_at = self.free_at.lock();
+        let depart = now.max(*free_at);
+        let sender_free = depart + busy;
+        *free_at = sender_free;
+        Transmission {
+            depart,
+            sender_free,
+            arrival: sender_free + model.latency,
+            fragments,
+            wire_bytes,
+        }
+    }
+
+    /// Next time the link is idle (for tests/diagnostics).
+    pub fn free_at(&self) -> SimInstant {
+        *self.free_at.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> NetModel {
+        NetModel {
+            latency: SimDuration::from_micros(100),
+            bandwidth_bps: 10_000_000,
+            per_fragment: SimDuration::from_micros(10),
+            max_datagram: 1024,
+            window_frags: 4,
+        }
+    }
+
+    #[test]
+    fn single_fragment_timing() {
+        let l = LinkClock::new();
+        let m = model();
+        let t = l.transmit(&m, SimInstant(0), 100);
+        assert_eq!(t.fragments, 1);
+        assert_eq!(t.wire_bytes, 100 + 28);
+        assert_eq!(t.depart, SimInstant(0));
+        // busy = wire(128B @10MB/s = 12.8us) + 10us per-frag
+        assert_eq!(t.sender_free, SimInstant(12_800 + 10_000));
+        assert_eq!(t.arrival.0, t.sender_free.0 + 100_000);
+    }
+
+    #[test]
+    fn back_to_back_messages_serialize() {
+        let l = LinkClock::new();
+        let m = model();
+        let t1 = l.transmit(&m, SimInstant(0), 1000);
+        let t2 = l.transmit(&m, SimInstant(0), 1000);
+        assert_eq!(t2.depart, t1.sender_free);
+        assert!(t2.arrival > t1.arrival);
+    }
+
+    #[test]
+    fn idle_link_starts_at_offer_time() {
+        let l = LinkClock::new();
+        let m = model();
+        let t = l.transmit(&m, SimInstant(5_000_000), 10);
+        assert_eq!(t.depart, SimInstant(5_000_000));
+    }
+
+    #[test]
+    fn window_stall_kicks_in_after_full_window() {
+        let l1 = LinkClock::new();
+        let l2 = LinkClock::new();
+        let m = model();
+        // 5 fragments (5KB/1KB): one stall; 4 fragments: none.
+        let with_stall = l1.transmit(&m, SimInstant(0), 5 * 1024 - 28 * 5);
+        let without = l2.transmit(&m, SimInstant(0), 4 * 1024 - 28 * 4);
+        assert_eq!(with_stall.fragments, 5);
+        assert_eq!(without.fragments, 4);
+        let delta = with_stall.sender_free.saturating_sub(without.sender_free);
+        assert!(delta.0 >= 2 * m.latency.0, "delta={delta}");
+    }
+
+    #[test]
+    fn concurrent_transmits_never_overlap() {
+        let l = std::sync::Arc::new(LinkClock::new());
+        let m = model();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let l = l.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..50)
+                    .map(|_| l.transmit(&m, SimInstant(0), 500))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<Transmission> = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        all.sort_by_key(|t| t.depart);
+        for w in all.windows(2) {
+            assert!(w[1].depart >= w[0].sender_free, "overlapping transmissions");
+        }
+    }
+}

@@ -1,0 +1,245 @@
+//! UDP fragmentation and reassembly.
+//!
+//! The paper's transport cannot send datagrams above 64 KB, so large
+//! messages (whole objects, big diff batches) are split and the receiver
+//! must hold *all* fragments before it can rebuild and decode the
+//! message — identified in §5 as a performance bottleneck and a memory
+//! cost. We reproduce that mechanism literally: payload bytes are
+//! chunked into [`Fragment`]s and a [`Reassembler`] rebuilds them,
+//! refusing to deliver anything until the last fragment lands.
+
+use std::collections::HashMap;
+
+use bytes::{Bytes, BytesMut};
+
+use crate::message::NodeId;
+
+/// One UDP-sized piece of a logical message.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// Sender-scoped id of the logical message being reassembled.
+    pub msg_seq: u64,
+    /// Index of this fragment within the message.
+    pub index: u32,
+    /// Total fragment count for the message.
+    pub total: u32,
+    /// This fragment's slice of the payload.
+    pub data: Bytes,
+}
+
+/// Split `payload` into fragments of at most `max_payload` bytes each.
+///
+/// A zero-length payload still produces one (empty) fragment, mirroring
+/// a header-only datagram.
+pub fn split(msg_seq: u64, payload: &Bytes, max_payload: usize) -> Vec<Fragment> {
+    assert!(max_payload > 0, "fragment capacity must be positive");
+    if payload.is_empty() {
+        return vec![Fragment {
+            msg_seq,
+            index: 0,
+            total: 1,
+            data: Bytes::new(),
+        }];
+    }
+    let total = payload.len().div_ceil(max_payload) as u32;
+    let mut out = Vec::with_capacity(total as usize);
+    for (i, start) in (0..payload.len()).step_by(max_payload).enumerate() {
+        let end = (start + max_payload).min(payload.len());
+        out.push(Fragment {
+            msg_seq,
+            index: i as u32,
+            total,
+            data: payload.slice(start..end),
+        });
+    }
+    out
+}
+
+/// Reassembly state for messages arriving from many peers.
+///
+/// Keyed by `(src, msg_seq)`. Fragments may arrive out of order (the
+/// paper's flow control retransmits), but each `(key, index)` arrives
+/// exactly once in this in-process transport.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    partial: HashMap<(NodeId, u64), Partial>,
+}
+
+#[derive(Debug)]
+struct Partial {
+    total: u32,
+    received: u32,
+    chunks: Vec<Option<Bytes>>,
+}
+
+impl Reassembler {
+    pub fn new() -> Reassembler {
+        Reassembler::default()
+    }
+
+    /// Feed one fragment; returns the full payload when the message
+    /// completes, `None` while fragments are still outstanding.
+    pub fn push(&mut self, src: NodeId, frag: Fragment) -> Option<Bytes> {
+        if frag.total == 1 {
+            debug_assert_eq!(frag.index, 0);
+            return Some(frag.data);
+        }
+        let key = (src, frag.msg_seq);
+        let entry = self.partial.entry(key).or_insert_with(|| Partial {
+            total: frag.total,
+            received: 0,
+            chunks: vec![None; frag.total as usize],
+        });
+        assert_eq!(
+            entry.total, frag.total,
+            "fragment total mismatch for message {key:?}"
+        );
+        let slot = &mut entry.chunks[frag.index as usize];
+        assert!(slot.is_none(), "duplicate fragment {key:?}[{}]", frag.index);
+        *slot = Some(frag.data);
+        entry.received += 1;
+        if entry.received < entry.total {
+            return None;
+        }
+        let entry = self.partial.remove(&key).expect("entry just inserted");
+        let mut buf = BytesMut::with_capacity(
+            entry
+                .chunks
+                .iter()
+                .map(|c| c.as_ref().map_or(0, |b| b.len()))
+                .sum(),
+        );
+        for chunk in entry.chunks {
+            buf.extend_from_slice(&chunk.expect("all fragments received"));
+        }
+        Some(buf.freeze())
+    }
+
+    /// Number of messages currently awaiting fragments — the memory
+    /// cost §5 complains about.
+    pub fn pending(&self) -> usize {
+        self.partial.len()
+    }
+
+    /// Bytes buffered for incomplete messages.
+    pub fn pending_bytes(&self) -> usize {
+        self.partial
+            .values()
+            .flat_map(|p| p.chunks.iter())
+            .map(|c| c.as_ref().map_or(0, |b| b.len()))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize) -> Bytes {
+        (0..n).map(|i| (i % 251) as u8).collect::<Vec<u8>>().into()
+    }
+
+    #[test]
+    fn small_message_is_single_fragment() {
+        let p = payload(100);
+        let frags = split(1, &p, 64 * 1024);
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0].total, 1);
+        assert_eq!(frags[0].data, p);
+    }
+
+    #[test]
+    fn empty_payload_still_one_fragment() {
+        let frags = split(7, &Bytes::new(), 1024);
+        assert_eq!(frags.len(), 1);
+        assert!(frags[0].data.is_empty());
+    }
+
+    #[test]
+    fn split_covers_payload_exactly() {
+        let p = payload(10_000);
+        let frags = split(2, &p, 4096);
+        assert_eq!(frags.len(), 3);
+        assert_eq!(frags[0].data.len(), 4096);
+        assert_eq!(frags[1].data.len(), 4096);
+        assert_eq!(frags[2].data.len(), 10_000 - 8192);
+        let total: usize = frags.iter().map(|f| f.data.len()).sum();
+        assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn reassembly_in_order() {
+        let p = payload(9_000);
+        let mut r = Reassembler::new();
+        let frags = split(3, &p, 4096);
+        let n = frags.len();
+        for (i, f) in frags.into_iter().enumerate() {
+            let out = r.push(0, f);
+            if i + 1 < n {
+                assert!(out.is_none());
+                assert_eq!(r.pending(), 1);
+            } else {
+                assert_eq!(out.unwrap(), p);
+            }
+        }
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn reassembly_out_of_order() {
+        let p = payload(12_345);
+        let mut r = Reassembler::new();
+        let mut frags = split(9, &p, 1000);
+        frags.reverse();
+        let n = frags.len();
+        let mut done = None;
+        for (i, f) in frags.into_iter().enumerate() {
+            let out = r.push(5, f);
+            if i + 1 < n {
+                assert!(out.is_none());
+            } else {
+                done = out;
+            }
+        }
+        assert_eq!(done.unwrap(), p);
+    }
+
+    #[test]
+    fn interleaved_messages_from_different_sources() {
+        let pa = payload(5_000);
+        let pb = payload(6_000);
+        let fa = split(1, &pa, 2048);
+        let fb = split(1, &pb, 2048);
+        let mut r = Reassembler::new();
+        // Interleave: a0 b0 a1 b1 a2 b2.
+        let mut out_a = None;
+        let mut out_b = None;
+        for (a, b) in fa.into_iter().zip(fb) {
+            out_a = r.push(10, a);
+            out_b = r.push(11, b);
+        }
+        assert_eq!(out_a.unwrap(), pa);
+        assert_eq!(out_b.unwrap(), pb);
+        assert_eq!(r.pending(), 0);
+        assert_eq!(r.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn pending_bytes_tracks_buffered_data() {
+        let p = payload(8192);
+        let frags = split(4, &p, 4096);
+        let mut r = Reassembler::new();
+        r.push(0, frags[0].clone());
+        assert_eq!(r.pending_bytes(), 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate fragment")]
+    fn duplicate_fragment_panics() {
+        let p = payload(8192);
+        let frags = split(4, &p, 4096);
+        let mut r = Reassembler::new();
+        r.push(0, frags[0].clone());
+        r.push(0, frags[0].clone());
+    }
+}

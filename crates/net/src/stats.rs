@@ -1,0 +1,97 @@
+//! Per-node traffic accounting.
+//!
+//! The paper's §4.1 analysis attributes LOTS-vs-JIAJIA gaps largely to
+//! data traffic (false sharing, home placement, ping-pong patterns);
+//! these counters let the Figure 8 harness report the traffic behind
+//! each timing so the causal story can be checked, not just the curve.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, lock-free traffic counters for one endpoint.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficStats {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    msgs_sent: AtomicU64,
+    msgs_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    fragments_sent: AtomicU64,
+}
+
+impl TrafficStats {
+    pub fn new() -> TrafficStats {
+        TrafficStats::default()
+    }
+
+    /// Record an outgoing message. Called by the endpoint for real
+    /// transfers and by synchronization services for analytically
+    /// modeled control messages (lock/barrier coordination).
+    pub fn record_send(&self, wire_bytes: usize, fragments: u32) {
+        self.inner.msgs_sent.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .bytes_sent
+            .fetch_add(wire_bytes as u64, Ordering::Relaxed);
+        self.inner
+            .fragments_sent
+            .fetch_add(fragments as u64, Ordering::Relaxed);
+    }
+
+    /// Record an incoming message (see [`TrafficStats::record_send`]).
+    pub fn record_recv(&self, wire_bytes: usize) {
+        self.inner.msgs_received.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .bytes_received
+            .fetch_add(wire_bytes as u64, Ordering::Relaxed);
+    }
+
+    pub fn msgs_sent(&self) -> u64 {
+        self.inner.msgs_sent.load(Ordering::Relaxed)
+    }
+
+    pub fn msgs_received(&self) -> u64 {
+        self.inner.msgs_received.load(Ordering::Relaxed)
+    }
+
+    pub fn bytes_sent(&self) -> u64 {
+        self.inner.bytes_sent.load(Ordering::Relaxed)
+    }
+
+    pub fn bytes_received(&self) -> u64 {
+        self.inner.bytes_received.load(Ordering::Relaxed)
+    }
+
+    pub fn fragments_sent(&self) -> u64 {
+        self.inner.fragments_sent.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let s = TrafficStats::new();
+        s.record_send(100, 1);
+        s.record_send(200_000, 4);
+        s.record_recv(64);
+        assert_eq!(s.msgs_sent(), 2);
+        assert_eq!(s.bytes_sent(), 200_100);
+        assert_eq!(s.fragments_sent(), 5);
+        assert_eq!(s.msgs_received(), 1);
+        assert_eq!(s.bytes_received(), 64);
+    }
+
+    #[test]
+    fn clones_share() {
+        let s = TrafficStats::new();
+        let t = s.clone();
+        s.record_send(10, 1);
+        assert_eq!(t.bytes_sent(), 10);
+    }
+}

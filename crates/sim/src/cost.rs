@@ -1,0 +1,242 @@
+//! Cost models that translate work done by the DSM into virtual time.
+//!
+//! Three models cover the three resources the paper's evaluation hinges
+//! on (§4): CPU work (access checking, diffing, protocol handlers),
+//! the 100 Mb Fast-Ethernet/UDP interconnect, and the local disk used as
+//! backing store for the large object space.
+//!
+//! All parameters are plain numbers so experiments can sweep them; the
+//! calibrated per-platform bundles live in [`crate::machine`].
+
+use crate::clock::SimDuration;
+
+/// CPU-side cost model for one node.
+///
+/// The paper reports a 20–25 ns access check on a 2 GHz Pentium IV
+/// (§4.2) and attributes 5–15 % extra runtime to the large-object-space
+/// machinery (mapping-state check + pinning) on access-heavy programs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Cost of one shared-object access check (object-state lookup and
+    /// ID→address translation). Paper: 20–25 ns on a 2 GHz P4.
+    pub access_check: SimDuration,
+    /// Extra per-access cost of the large-object-space support: the
+    /// mapping-state check plus the pinning timestamp update. Charged
+    /// only when large-object support is enabled (LOTS, not LOTS-x).
+    pub pin_update: SimDuration,
+    /// Cost of one arithmetic/move element operation in application
+    /// compute kernels (amortized; used by the workload compute model).
+    pub elem_op: SimDuration,
+    /// Fixed cost to enter a protocol message handler (the SIGIO-handler
+    /// analogue) on the servicing node.
+    pub handler_entry: SimDuration,
+    /// Per-byte cost of creating a twin / applying or creating a diff
+    /// (memory-bandwidth-bound word copy + compare).
+    pub diff_byte: SimDuration,
+    /// Fixed cost of a page fault + fault handler on page-based DSMs
+    /// (JIAJIA baseline); object-based LOTS never pays this.
+    pub page_fault: SimDuration,
+    /// Fixed cost of an mmap/mprotect-style mapping manipulation.
+    pub map_syscall: SimDuration,
+}
+
+impl CpuModel {
+    /// Total time for `n` access checks *without* large-object support.
+    #[inline]
+    pub fn checks(&self, n: u64) -> SimDuration {
+        SimDuration(self.access_check.0 * n)
+    }
+
+    /// Total time for `n` access checks *with* large-object support
+    /// (check + pin timestamp).
+    #[inline]
+    pub fn checks_pinned(&self, n: u64) -> SimDuration {
+        SimDuration((self.access_check.0 + self.pin_update.0) * n)
+    }
+
+    /// Time to perform `n` element operations of application compute.
+    #[inline]
+    pub fn compute(&self, n: u64) -> SimDuration {
+        SimDuration(self.elem_op.0 * n)
+    }
+
+    /// Time to twin/diff `bytes` of object data.
+    #[inline]
+    pub fn diffing(&self, bytes: u64) -> SimDuration {
+        SimDuration(self.diff_byte.0 * bytes)
+    }
+}
+
+/// Interconnect cost model (UDP over Fast Ethernet in the paper).
+///
+/// The paper's transport: dedicated point-to-point sockets, UDP/IP,
+/// ≤64 KB datagrams with fragmentation of larger messages, and a simple
+/// sliding-window flow control "slightly more efficient than TCP" (§3.6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetModel {
+    /// One-way wire + switch + stack latency for a minimal datagram.
+    pub latency: SimDuration,
+    /// Effective bandwidth in bytes per second (100 Mb Ethernet ≈ 11.5 MB/s
+    /// effective after UDP/IP overheads).
+    pub bandwidth_bps: u64,
+    /// Per-fragment CPU+stack overhead charged to the sender (and the
+    /// receiver pays `handler_entry` per fragment via [`CpuModel`]).
+    pub per_fragment: SimDuration,
+    /// Maximum datagram payload; messages larger than this are split.
+    /// Paper: 64 KB (§5).
+    pub max_datagram: usize,
+    /// Flow-control window in fragments: after each full window the
+    /// sender stalls one round-trip waiting for the ack.
+    pub window_frags: u32,
+}
+
+impl NetModel {
+    /// Number of fragments a `bytes`-sized message is split into.
+    #[inline]
+    pub fn fragments(&self, bytes: usize) -> u32 {
+        if bytes == 0 {
+            1
+        } else {
+            bytes.div_ceil(self.max_datagram) as u32
+        }
+    }
+
+    /// Pure serialization time of `bytes` on the wire.
+    #[inline]
+    pub fn wire_time(&self, bytes: usize) -> SimDuration {
+        // bytes / (bytes/sec) in ns, rounded up.
+        SimDuration(((bytes as u128 * 1_000_000_000).div_ceil(self.bandwidth_bps as u128)) as u64)
+    }
+
+    /// One-way transfer time of a whole (possibly fragmented) message:
+    /// latency + wire time + per-fragment overhead + flow-control stalls.
+    pub fn one_way(&self, bytes: usize) -> SimDuration {
+        let frags = self.fragments(bytes);
+        let stalls = (frags.saturating_sub(1)) / self.window_frags;
+        self.latency
+            + self.wire_time(bytes)
+            + SimDuration(self.per_fragment.0 * frags as u64)
+            + SimDuration((2 * self.latency.0) * stalls as u64)
+    }
+
+    /// Round trip of a small request followed by a `reply_bytes` reply.
+    pub fn request_reply(&self, request_bytes: usize, reply_bytes: usize) -> SimDuration {
+        self.one_way(request_bytes) + self.one_way(reply_bytes)
+    }
+}
+
+/// Local-disk cost model for the swap backing store.
+///
+/// Table 1 of the paper is dominated by disk read/write time (e.g.
+/// 1004 s of 1114 s total on RedHat 6.2), so the model only needs a
+/// per-operation overhead (seek + syscall + FS) and a streaming
+/// bandwidth, both of which differ strongly across the paper's
+/// platforms/OS versions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskModel {
+    /// Fixed per-request cost (seek, syscall, filesystem bookkeeping).
+    pub per_op: SimDuration,
+    /// Streaming write bandwidth, bytes/second.
+    pub write_bps: u64,
+    /// Streaming read bandwidth, bytes/second.
+    pub read_bps: u64,
+}
+
+impl DiskModel {
+    #[inline]
+    pub fn write_time(&self, bytes: u64) -> SimDuration {
+        self.per_op + SimDuration(((bytes as u128 * 1_000_000_000) / self.write_bps as u128) as u64)
+    }
+
+    #[inline]
+    pub fn read_time(&self, bytes: u64) -> SimDuration {
+        self.per_op + SimDuration(((bytes as u128 * 1_000_000_000) / self.read_bps as u128) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetModel {
+        NetModel {
+            latency: SimDuration::from_micros(100),
+            bandwidth_bps: 11_500_000,
+            per_fragment: SimDuration::from_micros(20),
+            max_datagram: 64 * 1024,
+            window_frags: 8,
+        }
+    }
+
+    #[test]
+    fn fragment_counts() {
+        let n = net();
+        assert_eq!(n.fragments(0), 1);
+        assert_eq!(n.fragments(1), 1);
+        assert_eq!(n.fragments(64 * 1024), 1);
+        assert_eq!(n.fragments(64 * 1024 + 1), 2);
+        assert_eq!(n.fragments(640 * 1024), 10);
+    }
+
+    #[test]
+    fn wire_time_scales_linearly() {
+        let n = net();
+        let t1 = n.wire_time(11_500_000);
+        // 11.5 MB at 11.5 MB/s = 1 second.
+        assert_eq!(t1, SimDuration(1_000_000_000));
+        assert!(n.wire_time(100) < n.wire_time(200));
+    }
+
+    #[test]
+    fn one_way_includes_flow_control_stalls() {
+        let n = net();
+        // 9 fragments => one full window of 8, one stall of 1 RTT.
+        let nine = 9 * 64 * 1024;
+        let eight = 8 * 64 * 1024;
+        let d9 = n.one_way(nine);
+        let d8 = n.one_way(eight);
+        let extra = d9.saturating_sub(d8);
+        // Stall adds 2*latency on top of the extra fragment's wire time.
+        assert!(extra.0 >= 2 * n.latency.0, "extra={extra}");
+    }
+
+    #[test]
+    fn small_messages_dominated_by_latency() {
+        let n = net();
+        let d = n.one_way(16);
+        assert!(d.0 >= n.latency.0);
+        assert!(d.0 < 2 * n.latency.0 + 100_000);
+    }
+
+    #[test]
+    fn disk_time_monotone_in_size() {
+        let d = DiskModel {
+            per_op: SimDuration::from_micros(500),
+            write_bps: 10_000_000,
+            read_bps: 20_000_000,
+        };
+        assert!(d.write_time(4096) < d.write_time(8192));
+        // Reads are faster than writes here.
+        assert!(d.read_time(1 << 20) < d.write_time(1 << 20));
+        // 10 MB at 10 MB/s ~ 1s + per_op.
+        let t = d.write_time(10_000_000);
+        assert_eq!(t, SimDuration(1_000_000_000) + SimDuration::from_micros(500));
+    }
+
+    #[test]
+    fn cpu_check_costs() {
+        let c = CpuModel {
+            access_check: SimDuration(22),
+            pin_update: SimDuration(4),
+            elem_op: SimDuration(6),
+            handler_entry: SimDuration::from_micros(15),
+            diff_byte: SimDuration(1),
+            page_fault: SimDuration::from_micros(40),
+            map_syscall: SimDuration::from_micros(5),
+        };
+        assert_eq!(c.checks(1_000), SimDuration(22_000));
+        assert_eq!(c.checks_pinned(1_000), SimDuration(26_000));
+        assert_eq!(c.compute(10), SimDuration(60));
+        assert_eq!(c.diffing(100), SimDuration(100));
+    }
+}

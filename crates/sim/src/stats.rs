@@ -1,0 +1,240 @@
+//! Time-breakdown accounting.
+//!
+//! §4.1 of the paper decomposes the LOTS/JIAJIA execution-time gap into
+//! (1) coherence-protocol efficiency, (2) object- vs page-based access
+//! checking, and (3) large-object-space support, and §4.2 reports the
+//! share of time spent in access checking. To reproduce those analyses
+//! every node tracks *where* its virtual time went, per category.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::clock::SimDuration;
+
+/// Category of virtual time spent on a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TimeCategory {
+    /// Application compute (element operations).
+    Compute,
+    /// Shared-object access checking (factor 2 of §4.1).
+    AccessCheck,
+    /// Large-object-space support: pinning + map checks + swap I/O
+    /// (factor 3 of §4.1).
+    LargeObject,
+    /// Waiting on network transfers and remote service.
+    Network,
+    /// Disk I/O for the swap backing store.
+    Disk,
+    /// Twin creation, diff computation/application.
+    Diffing,
+    /// Synchronization stalls (barrier wait, lock wait).
+    SyncWait,
+    /// Protocol handler service on behalf of remote nodes.
+    Handler,
+}
+
+pub const ALL_CATEGORIES: [TimeCategory; 8] = [
+    TimeCategory::Compute,
+    TimeCategory::AccessCheck,
+    TimeCategory::LargeObject,
+    TimeCategory::Network,
+    TimeCategory::Disk,
+    TimeCategory::Diffing,
+    TimeCategory::SyncWait,
+    TimeCategory::Handler,
+];
+
+impl TimeCategory {
+    pub fn name(self) -> &'static str {
+        match self {
+            TimeCategory::Compute => "compute",
+            TimeCategory::AccessCheck => "access-check",
+            TimeCategory::LargeObject => "large-object",
+            TimeCategory::Network => "network",
+            TimeCategory::Disk => "disk",
+            TimeCategory::Diffing => "diffing",
+            TimeCategory::SyncWait => "sync-wait",
+            TimeCategory::Handler => "handler",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            TimeCategory::Compute => 0,
+            TimeCategory::AccessCheck => 1,
+            TimeCategory::LargeObject => 2,
+            TimeCategory::Network => 3,
+            TimeCategory::Disk => 4,
+            TimeCategory::Diffing => 5,
+            TimeCategory::SyncWait => 6,
+            TimeCategory::Handler => 7,
+        }
+    }
+}
+
+/// Lock-free per-node accumulator of virtual time by category, plus
+/// event counters used by the §4.2 analysis.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStats {
+    inner: Arc<NodeStatsInner>,
+}
+
+#[derive(Debug, Default)]
+struct NodeStatsInner {
+    time_ns: [AtomicU64; 8],
+    access_checks: AtomicU64,
+    swaps_out: AtomicU64,
+    swaps_in: AtomicU64,
+    page_faults: AtomicU64,
+    diffs_created: AtomicU64,
+    diff_bytes_sent: AtomicU64,
+}
+
+impl NodeStats {
+    pub fn new() -> NodeStats {
+        NodeStats::default()
+    }
+
+    #[inline]
+    pub fn charge(&self, cat: TimeCategory, d: SimDuration) {
+        self.inner.time_ns[cat.index()].fetch_add(d.0, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn time_in(&self, cat: TimeCategory) -> SimDuration {
+        SimDuration(self.inner.time_ns[cat.index()].load(Ordering::Relaxed))
+    }
+
+    pub fn total_accounted(&self) -> SimDuration {
+        SimDuration(
+            self.inner
+                .time_ns
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .sum(),
+        )
+    }
+
+    #[inline]
+    pub fn count_access_checks(&self, n: u64) {
+        self.inner.access_checks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn access_checks(&self) -> u64 {
+        self.inner.access_checks.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn count_swap_out(&self) {
+        self.inner.swaps_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn count_swap_in(&self) {
+        self.inner.swaps_in.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn swaps_out(&self) -> u64 {
+        self.inner.swaps_out.load(Ordering::Relaxed)
+    }
+
+    pub fn swaps_in(&self) -> u64 {
+        self.inner.swaps_in.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn count_page_fault(&self) {
+        self.inner.page_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn page_faults(&self) -> u64 {
+        self.inner.page_faults.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    pub fn count_diff(&self, bytes_sent: u64) {
+        self.inner.diffs_created.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .diff_bytes_sent
+            .fetch_add(bytes_sent, Ordering::Relaxed);
+    }
+
+    pub fn diffs_created(&self) -> u64 {
+        self.inner.diffs_created.load(Ordering::Relaxed)
+    }
+
+    pub fn diff_bytes_sent(&self) -> u64 {
+        self.inner.diff_bytes_sent.load(Ordering::Relaxed)
+    }
+
+    /// Render a one-line breakdown, for harness output.
+    pub fn breakdown(&self) -> String {
+        let mut parts = Vec::with_capacity(ALL_CATEGORIES.len());
+        for cat in ALL_CATEGORIES {
+            let t = self.time_in(cat);
+            if t > SimDuration::ZERO {
+                parts.push(format!("{}={}", cat.name(), t));
+            }
+        }
+        parts.join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_and_read_back() {
+        let s = NodeStats::new();
+        s.charge(TimeCategory::Compute, SimDuration(100));
+        s.charge(TimeCategory::Compute, SimDuration(50));
+        s.charge(TimeCategory::Disk, SimDuration(7));
+        assert_eq!(s.time_in(TimeCategory::Compute), SimDuration(150));
+        assert_eq!(s.time_in(TimeCategory::Disk), SimDuration(7));
+        assert_eq!(s.time_in(TimeCategory::Network), SimDuration::ZERO);
+        assert_eq!(s.total_accounted(), SimDuration(157));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let s = NodeStats::new();
+        s.count_access_checks(10);
+        s.count_access_checks(5);
+        s.count_swap_out();
+        s.count_swap_in();
+        s.count_swap_in();
+        s.count_diff(128);
+        s.count_diff(64);
+        assert_eq!(s.access_checks(), 15);
+        assert_eq!(s.swaps_out(), 1);
+        assert_eq!(s.swaps_in(), 2);
+        assert_eq!(s.diffs_created(), 2);
+        assert_eq!(s.diff_bytes_sent(), 192);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let s = NodeStats::new();
+        let s2 = s.clone();
+        s.count_page_fault();
+        assert_eq!(s2.page_faults(), 1);
+    }
+
+    #[test]
+    fn breakdown_lists_only_nonzero() {
+        let s = NodeStats::new();
+        s.charge(TimeCategory::Network, SimDuration::from_micros(3));
+        let b = s.breakdown();
+        assert!(b.contains("network="));
+        assert!(!b.contains("compute="));
+    }
+
+    #[test]
+    fn all_categories_have_distinct_indices() {
+        let mut seen = std::collections::HashSet::new();
+        for c in ALL_CATEGORIES {
+            assert!(seen.insert(c.index()));
+        }
+    }
+}

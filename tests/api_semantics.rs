@@ -1,0 +1,161 @@
+//! Public-API semantics: the `Pointer<T>` behaviours §3.2/§3.3 promise
+//! (pointer arithmetic, statement pinning, bulk element accounting)
+//! and their JIAJIA counterparts.
+
+use lots::core::{run_cluster, ClusterOptions, LotsConfig};
+use lots::jiajia::{run_jiajia_cluster, JiaOptions};
+use lots::sim::machine::p4_fedora;
+
+fn lots_opts(dmm: usize) -> ClusterOptions {
+    ClusterOptions::new(1, LotsConfig::small(dmm), p4_fedora())
+}
+
+#[test]
+fn pointer_arithmetic_matches_paper_example() {
+    // "* (a+4) = 1" is valid in LOTS (§3.3).
+    let (results, _) = run_cluster(lots_opts(1 << 20), |dsm| {
+        let a = dsm.alloc::<i32>(16).expect("a");
+        let shifted = a.offset(4);
+        shifted.write(0, 1); // *(a+4) = 1
+        assert_eq!(shifted.len(), 12);
+        let nested = shifted.offset(2); // (a+4)+2
+        nested.write(0, 7);
+        (a.read(4), a.read(6))
+    });
+    assert_eq!(results[0], (1, 7));
+}
+
+#[test]
+// The out-of-bounds panic fires on the app thread and is surfaced by
+// the runtime as an application-thread failure.
+#[should_panic(expected = "application thread panicked")]
+fn pointer_arithmetic_past_the_end_panics() {
+    run_cluster(lots_opts(1 << 20), |dsm| {
+        let a = dsm.alloc::<i32>(8).expect("a");
+        a.offset(9);
+    });
+}
+
+#[test]
+fn update_is_read_modify_write_with_two_checks() {
+    let (results, report) = run_cluster(lots_opts(1 << 20), |dsm| {
+        let a = dsm.alloc::<i64>(4).expect("a");
+        a.write(2, 10);
+        let before = dsm.stats().access_checks();
+        a.update(2, |v| v * 3);
+        let after = dsm.stats().access_checks();
+        (a.read(2), after - before)
+    });
+    assert_eq!(results[0].0, 30);
+    assert_eq!(results[0].1, 2, "a[i] += x is two checked accesses");
+    assert!(report.exec_time.nanos() > 0);
+}
+
+#[test]
+fn bulk_ops_charge_one_check_per_element() {
+    let (results, _) = run_cluster(lots_opts(1 << 20), |dsm| {
+        let a = dsm.alloc::<f64>(100).expect("a");
+        let before = dsm.stats().access_checks();
+        a.write_from(10, &[1.5; 25]);
+        let mid = dsm.stats().access_checks();
+        let v = a.read_vec(10, 25);
+        let after = dsm.stats().access_checks();
+        (mid - before, after - mid, v[24])
+    });
+    assert_eq!(results[0], (25, 25, 1.5));
+}
+
+#[test]
+fn statement_guard_keeps_operands_resident() {
+    // a[5] = b[5] + c[5] with all three objects under one statement:
+    // the mapper may evict none of them mid-statement (§3.3's pinning),
+    // so with room for only two of three the access fails loudly
+    // instead of silently swapping an operand away.
+    let (results, _) = run_cluster(lots_opts(64 * 1024), |dsm| {
+        let a = dsm.alloc::<i64>(1536).expect("a"); // 12 KB each,
+        let b = dsm.alloc::<i64>(1536).expect("b"); // 32 KB lower half
+        let c = dsm.alloc::<i64>(1536).expect("c");
+        b.write(5, 20);
+        c.write(5, 22);
+        // Without a statement guard the three accesses pin one at a
+        // time and eviction keeps the program running.
+        let sum = b.read(5) + c.read(5);
+        a.write(5, sum);
+        let unguarded_ok = a.read(5) == 42;
+        // Under one guard the third operand cannot be mapped.
+        let stmt = dsm.statement();
+        let _ = b.read(5);
+        let _ = c.read(5);
+        let guarded_fails = a.try_read(5).is_err();
+        drop(stmt);
+        (unguarded_ok, guarded_fails)
+    });
+    assert_eq!(results[0], (true, true));
+}
+
+#[test]
+fn jiajia_slice_mirrors_the_api() {
+    let opts = JiaOptions::new(1, 4 << 20, p4_fedora());
+    let (results, _) = run_jiajia_cluster(opts, |dsm| {
+        let a = dsm.alloc::<i32>(64).expect("a");
+        let shifted = a.offset(4);
+        shifted.write(0, 1);
+        shifted.update(0, |v| v + 41);
+        a.write_from(10, &[9; 5]);
+        (a.read(4), a.read_vec(10, 5).iter().sum::<i32>())
+    });
+    assert_eq!(results[0], (42, 45));
+}
+
+#[test]
+fn allocations_agree_across_nodes_spmd_style() {
+    // Object IDs come from allocation order; nodes allocating in the
+    // same order can exchange handles implicitly (the known-to-all
+    // object ID of §3.2).
+    let opts = ClusterOptions::new(3, LotsConfig::small(1 << 20), p4_fedora());
+    let (results, _) = run_cluster(opts, |dsm| {
+        let first = dsm.alloc::<i32>(8).expect("first");
+        let second = dsm.alloc::<i32>(8).expect("second");
+        assert_eq!(first.id().0, 0);
+        assert_eq!(second.id().0, 1);
+        if dsm.me() == 1 {
+            second.write(0, 99);
+        }
+        dsm.barrier();
+        second.read(0)
+    });
+    assert_eq!(results, vec![99, 99, 99]);
+}
+
+#[test]
+fn run_barrier_has_no_memory_effects_but_synchronizes() {
+    let opts = ClusterOptions::new(2, LotsConfig::small(1 << 20), p4_fedora());
+    let (results, _) = run_cluster(opts, |dsm| {
+        let a = dsm.alloc::<i32>(4).expect("a");
+        if dsm.me() == 0 {
+            a.write(0, 5);
+        }
+        dsm.run_barrier(); // event-only (§3.6)
+        let stale = a.read(0); // node 1 still sees its initial zeros
+        dsm.barrier(); // full memory barrier
+        (stale, a.read(0))
+    });
+    assert_eq!(results[0], (5, 5));
+    assert_eq!(results[1].0, 0, "run_barrier must not propagate data");
+    assert_eq!(results[1].1, 5, "the real barrier must");
+}
+
+#[test]
+fn swapped_bytes_reports_backing_store_usage() {
+    let (results, _) = run_cluster(lots_opts(64 * 1024), |dsm| {
+        let a = dsm.alloc::<i64>(1536).expect("a");
+        let b = dsm.alloc::<i64>(1536).expect("b");
+        let c = dsm.alloc::<i64>(1536).expect("c");
+        a.write(0, 1);
+        b.write(0, 2);
+        c.write(0, 3); // evicts a
+        (dsm.swapped_bytes() > 0, dsm.total_object_bytes())
+    });
+    assert!(results[0].0);
+    assert_eq!(results[0].1, 3 * 1536 * 8);
+}

@@ -1,0 +1,90 @@
+//! Figure 5 — the Scope Consistency semantics example.
+//!
+//! The paper's scenario: process P writes `a = 3` *outside* the
+//! critical section and `b = 5` *inside* the section guarded by lock L.
+//! When Q then acquires L, ScC guarantees it sees the updates made
+//! inside the scope (`b == 5`) but says nothing about `a` — the figure
+//! annotates the outcome "Result using ScC: b = 5, a != 3". A process R
+//! that never takes the lock is not involved at all.
+
+use lots::core::{run_cluster, ClusterOptions, LotsConfig};
+use lots::sim::machine::p4_fedora;
+
+const L: u32 = 9;
+
+#[test]
+fn figure5_scope_consistency_example() {
+    let opts = ClusterOptions::new(3, LotsConfig::small(1 << 20), p4_fedora());
+    let (results, _) = run_cluster(opts, |dsm| {
+        let a = dsm.alloc::<i32>(1).expect("a");
+        let b = dsm.alloc::<i32>(1).expect("b");
+        match dsm.me() {
+            0 => {
+                // P: unguarded write of a, guarded write of b.
+                a.write(0, 3);
+                dsm.lock(L);
+                b.write(0, 5);
+                dsm.unlock(L);
+                dsm.run_barrier(); // event-only: no memory effects (§3.6)
+                (a.read(0), b.read(0))
+            }
+            1 => {
+                // Q: acquires the same lock after P released it.
+                dsm.run_barrier();
+                dsm.lock(L);
+                let got = (a.read(0), b.read(0));
+                dsm.unlock(L);
+                got
+            }
+            _ => {
+                // R: uninvolved — sees neither update.
+                dsm.run_barrier();
+                (a.read(0), b.read(0))
+            }
+        }
+    });
+
+    // P of course sees both of its own writes.
+    assert_eq!(results[0], (3, 5));
+    // Q: the scope delivered b = 5; the unguarded a is NOT propagated
+    // ("a != 3" in the figure — here it still reads the initial 0).
+    assert_eq!(results[1].1, 5, "updates inside the scope must arrive");
+    assert_ne!(results[1].0, 3, "updates outside the scope must not");
+    // R never synchronized through L: neither update is visible.
+    assert_eq!(results[2], (0, 0));
+}
+
+#[test]
+fn barrier_propagates_what_the_lock_did_not() {
+    // Follow-up: a *barrier* (global scope) publishes everything,
+    // including the unguarded a.
+    let opts = ClusterOptions::new(3, LotsConfig::small(1 << 20), p4_fedora());
+    let (results, _) = run_cluster(opts, |dsm| {
+        let a = dsm.alloc::<i32>(1).expect("a");
+        if dsm.me() == 0 {
+            a.write(0, 3);
+        }
+        dsm.barrier();
+        a.read(0)
+    });
+    assert_eq!(results, vec![3, 3, 3]);
+}
+
+#[test]
+fn same_lock_guarding_same_object_is_always_correct() {
+    // "the program behavior will be correct as long as the same lock is
+    //  used to guard the access of the same object" (§3.4).
+    let opts = ClusterOptions::new(3, LotsConfig::small(1 << 20), p4_fedora());
+    let (results, _) = run_cluster(opts, |dsm| {
+        let x = dsm.alloc::<i64>(4).expect("x");
+        for _ in 0..25 {
+            dsm.lock(L);
+            let v = x.read(2);
+            x.write(2, v + 1);
+            dsm.unlock(L);
+        }
+        dsm.barrier();
+        x.read(2)
+    });
+    assert_eq!(results, vec![75, 75, 75]);
+}

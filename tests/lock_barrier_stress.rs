@@ -1,0 +1,52 @@
+//! Regression stress for the lock→barrier hand-off: a migratory counter
+//! incremented under one lock by three nodes, then merged at a barrier.
+//! This is the scenario that once exposed a real-time race between the
+//! comm thread applying remote barrier diffs and the app thread seeding
+//! the per-word timestamp guard (fixed by max-merging the guard); it
+//! must survive arbitrary thread interleavings.
+
+use lots::core::{run_cluster, ClusterOptions, LotsConfig};
+use lots::sim::machine::p4_fedora;
+
+#[test]
+fn migratory_counter_survives_interleaving() {
+    for _ in 0..30 {
+        let opts = ClusterOptions::new(3, LotsConfig::small(1 << 20), p4_fedora());
+        let (results, _) = run_cluster(opts, |dsm| {
+            let x = dsm.alloc::<i64>(4).expect("x");
+            for _ in 0..25 {
+                dsm.lock(9);
+                let v = x.read(2);
+                x.write(2, v + 1);
+                dsm.unlock(9);
+            }
+            dsm.barrier();
+            x.read(2)
+        });
+        assert_eq!(results, vec![75, 75, 75], "lost updates across the barrier");
+    }
+}
+
+#[test]
+fn mixed_lock_and_plain_writers_merge_correctly() {
+    // One node updates words under the lock while others write disjoint
+    // words outside any lock: the barrier must merge both kinds.
+    for _ in 0..10 {
+        let opts = ClusterOptions::new(3, LotsConfig::small(1 << 20), p4_fedora());
+        let (results, _) = run_cluster(opts, |dsm| {
+            let x = dsm.alloc::<i64>(8).expect("x");
+            match dsm.me() {
+                0 => {
+                    for _ in 0..5 {
+                        dsm.with_lock(1, || x.update(0, |v| v + 1));
+                    }
+                }
+                1 => x.write(3, 33),
+                _ => x.write(5, 55),
+            }
+            dsm.barrier();
+            (x.read(0), x.read(3), x.read(5))
+        });
+        assert_eq!(results, vec![(5, 33, 55); 3]);
+    }
+}
