@@ -94,11 +94,11 @@ pub fn lu_sequential(params: LuParams) -> u64 {
     for k in 0..n {
         let pivot = a[k].clone();
         let pivot_val = pivot[k];
-        for r in k + 1..n {
-            let factor = a[r][k] / pivot_val;
-            a[r][k] = factor;
+        for row in a.iter_mut().take(n).skip(k + 1) {
+            let factor = row[k] / pivot_val;
+            row[k] = factor;
             for c in k + 1..n {
-                a[r][c] -= factor * pivot[c];
+                row[c] -= factor * pivot[c];
             }
         }
     }
@@ -123,8 +123,7 @@ mod tests {
         assert_eq!(owner(31, 4), 3);
         assert_eq!(owner(32, 4), 0);
         // Every node owns rows for n >> blocks.
-        let owners: std::collections::HashSet<usize> =
-            (0..64).map(|r| owner(r, 4)).collect();
+        let owners: std::collections::HashSet<usize> = (0..64).map(|r| owner(r, 4)).collect();
         assert_eq!(owners.len(), 4);
     }
 
@@ -151,17 +150,18 @@ mod tests {
         let mut a = orig.clone();
         for k in 0..n {
             let pivot = a[k].clone();
-            for r in k + 1..n {
-                let factor = a[r][k] / pivot[k];
-                a[r][k] = factor;
+            for row in a.iter_mut().take(n).skip(k + 1) {
+                let factor = row[k] / pivot[k];
+                row[k] = factor;
                 for c in k + 1..n {
-                    a[r][c] -= factor * pivot[c];
+                    row[c] -= factor * pivot[c];
                 }
             }
         }
         for i in 0..n {
             for j in 0..n {
                 let mut sum = 0.0;
+                #[allow(clippy::needless_range_loop)] // triangular indexing, clearer as indices
                 for k in 0..=i.min(j) {
                     let l = if k == i { 1.0 } else { a[i][k] };
                     let u = if k <= j { a[k][j] } else { 0.0 };

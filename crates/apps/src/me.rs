@@ -96,9 +96,7 @@ pub fn me(dsm: DsmCtx<'_>, params: MeParams) -> AppResult {
             for v in src.read_chunk(chunk) {
                 assert!(v >= prev, "merge result out of order");
                 prev = v;
-                checksum = checksum
-                    .wrapping_mul(1_000_003)
-                    .wrapping_add(v as u64);
+                checksum = checksum.wrapping_mul(1_000_003).wrapping_add(v as u64);
             }
         }
     }

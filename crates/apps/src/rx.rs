@@ -102,7 +102,7 @@ pub fn rx(dsm: DsmCtx<'_>, params: RxParams) -> AppResult {
             let b = my_lo + i;
             debug_assert_eq!(fill_owner(b, p), rank);
             assert!(
-                keys_in_bucket.len() + 1 <= cap,
+                keys_in_bucket.len() < cap,
                 "bucket overflow: {} keys, capacity {cap}",
                 keys_in_bucket.len()
             );

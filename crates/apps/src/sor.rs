@@ -37,12 +37,7 @@ pub fn slice_of(n: usize, p: usize, me: usize) -> (usize, usize) {
 }
 
 /// One stencil update of `dst[r]` from the other matrix's rows.
-fn update_row(
-    dst: &mut [f64],
-    above: Option<&[f64]>,
-    same: &[f64],
-    below: Option<&[f64]>,
-) {
+fn update_row(dst: &mut [f64], above: Option<&[f64]>, same: &[f64], below: Option<&[f64]>) {
     let n = dst.len();
     for c in 0..n {
         let up = above.map_or(0.0, |r| r[c]);
@@ -80,7 +75,11 @@ pub fn sor(dsm: DsmCtx<'_>, params: SorParams) -> AppResult {
     for _ in 0..params.iters {
         // Red sweep reads black, then black sweep reads red.
         for phase in 0..2 {
-            let (src, out) = if phase == 0 { (&black, &red) } else { (&red, &black) };
+            let (src, out) = if phase == 0 {
+                (&black, &red)
+            } else {
+                (&red, &black)
+            };
             for r in lo..hi {
                 let above = (r > 0).then(|| src.read_chunk(r - 1));
                 let same = src.read_chunk(r);

@@ -35,11 +35,7 @@ fn bench_access_check(c: &mut Criterion) {
             std::hint::black_box(sink);
             t0.elapsed().as_nanos() as f64 / reps as f64
         });
-        b.iter_batched(
-            || ns_per,
-            |v| std::hint::black_box(v),
-            BatchSize::SmallInput,
-        );
+        b.iter_batched(|| ns_per, std::hint::black_box, BatchSize::SmallInput);
         eprintln!("  lots fast-path ≈ {ns_per:.1} ns/checked read (paper hardware: 20-25 ns)");
     });
 
@@ -56,11 +52,7 @@ fn bench_access_check(c: &mut Criterion) {
             std::hint::black_box(sink);
             t0.elapsed().as_nanos() as f64 / reps as f64
         });
-        b.iter_batched(
-            || ns_per,
-            |v| std::hint::black_box(v),
-            BatchSize::SmallInput,
-        );
+        b.iter_batched(|| ns_per, std::hint::black_box, BatchSize::SmallInput);
         eprintln!("  lots-x fast-path ≈ {ns_per:.1} ns/checked read");
     });
 
@@ -77,7 +69,7 @@ fn bench_access_check(c: &mut Criterion) {
                     t0.elapsed().as_nanos() as f64 / 1000.0
                 })
             },
-            |v| std::hint::black_box(v),
+            std::hint::black_box,
             BatchSize::SmallInput,
         );
     });

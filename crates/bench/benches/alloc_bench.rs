@@ -59,8 +59,7 @@ fn bench_alloc(c: &mut Criterion) {
             |b, &hole| {
                 b.iter(|| {
                     let mut a = fresh();
-                    let offs: Vec<usize> =
-                        (0..512).map(|_| a.alloc(hole).expect("fill")).collect();
+                    let offs: Vec<usize> = (0..512).map(|_| a.alloc(hole).expect("fill")).collect();
                     for (i, &o) in offs.iter().enumerate() {
                         if i % 2 == 0 {
                             a.free(o);

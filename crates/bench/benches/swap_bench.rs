@@ -44,8 +44,7 @@ fn bench_stores(c: &mut Criterion) {
 
     g.bench_function("modeled_store_patterned", |b| {
         let s = ModeledStore::new(disk());
-        let patterned: Vec<u8> = std::iter::repeat(42u32.to_le_bytes())
-            .take(size / 4)
+        let patterned: Vec<u8> = std::iter::repeat_n(42u32.to_le_bytes(), size / 4)
             .flatten()
             .collect();
         b.iter(|| {
@@ -60,9 +59,13 @@ fn bench_stores(c: &mut Criterion) {
     let mut g = c.benchmark_group("rle");
     for &(name, repetitive) in &[("repetitive", true), ("random", false)] {
         let data: Vec<u8> = if repetitive {
-            std::iter::repeat(7u32.to_le_bytes()).take(size / 4).flatten().collect()
+            std::iter::repeat_n(7u32.to_le_bytes(), size / 4)
+                .flatten()
+                .collect()
         } else {
-            (0..size).map(|i| (i as u32).wrapping_mul(2654435761) as u8).collect()
+            (0..size)
+                .map(|i| (i as u32).wrapping_mul(2654435761) as u8)
+                .collect()
         };
         g.throughput(Throughput::Bytes(size as u64));
         g.bench_with_input(BenchmarkId::new("encode", name), &data, |b, d| {

@@ -10,7 +10,11 @@ fn main() {
         for p in [2usize, 4, 8, 16] {
             let mut line = format!("RX total {total:>7} p={p:>2}:");
             for system in [System::Jiajia, System::Lots, System::LotsX] {
-                let params = rx::RxParams { total, passes: 2, seed: 20040920 };
+                let params = rx::RxParams {
+                    total,
+                    passes: 2,
+                    seed: 20040920,
+                };
                 let cfg = {
                     let mut c = lots_apps::runner::RunConfig::new(system, p, p4_fedora());
                     c.dmm_bytes = 96 << 20;

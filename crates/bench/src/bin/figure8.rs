@@ -36,7 +36,11 @@ fn main() {
     println!("object space support) compared with JIAJIA V1.1");
     println!(
         "testbed: p in {ps:?} nodes, P4-2GHz/Fedora, 100Mb Fast Ethernet{}",
-        if full { " (paper-scale sizes)" } else { " (reduced sizes)" }
+        if full {
+            " (paper-scale sizes)"
+        } else {
+            " (reduced sizes)"
+        }
     );
     println!();
 

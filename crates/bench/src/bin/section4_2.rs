@@ -51,7 +51,11 @@ fn main() {
     println!();
     println!("(3) SOR access-check share (paper: n=1024, p=4, 256 iters ->");
     println!("    ~1.5e9 checks/process, 30-37 s of 55 s in checking):");
-    let (n, iters_note) = if quick { (256, " [--quick: n=256]") } else { (1024, "") };
+    let (n, iters_note) = if quick {
+        (256, " [--quick: n=256]")
+    } else {
+        (1024, "")
+    };
     let pt = measure(App::Sor, System::Lots, 4, n, machine, !quick, no_tweak);
     let o = &pt.outcome;
     let per_process = o.access_checks / 4;

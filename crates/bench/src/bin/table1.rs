@@ -138,9 +138,7 @@ fn main() {
         rows: 1100 / scale,
         row_elems: 1 << 20,
     };
-    println!(
-        "Table 1 — testing the large object space support of LOTS on various platforms"
-    );
+    println!("Table 1 — testing the large object space support of LOTS on various platforms");
     println!(
         "({} nodes, {} rows x 4MB = {:.2} GB of shared objects{})",
         NODES,

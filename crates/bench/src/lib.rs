@@ -137,8 +137,8 @@ pub fn render_panel(app: App, p: usize, points: &[Point]) -> String {
     let _ = writeln!(out, "--- {} , p = {p} (seconds) ---", app.label());
     let _ = writeln!(
         out,
-        "{:>10} {:>10} {:>10} {:>10}   {}",
-        "size", "JIAJIA", "LOTS", "LOTS-x", "LOTS vs JIAJIA"
+        "{:>10} {:>10} {:>10} {:>10}   LOTS vs JIAJIA",
+        "size", "JIAJIA", "LOTS", "LOTS-x"
     );
     let mut sizes: Vec<usize> = points
         .iter()
@@ -216,13 +216,18 @@ mod tests {
     fn measure_one_point_per_system() {
         let mut points = Vec::new();
         for system in [System::Jiajia, System::Lots, System::LotsX] {
-            points.push(measure(App::Lu, system, 2, 32, p4_fedora(), false, no_tweak));
+            points.push(measure(
+                App::Lu,
+                system,
+                2,
+                32,
+                p4_fedora(),
+                false,
+                no_tweak,
+            ));
         }
         // All systems computed the same factorization.
-        let sums: Vec<u64> = points
-            .iter()
-            .map(|p| p.outcome.combined.checksum)
-            .collect();
+        let sums: Vec<u64> = points.iter().map(|p| p.outcome.combined.checksum).collect();
         assert_eq!(sums[0], sums[1]);
         assert_eq!(sums[1], sums[2]);
         let panel = render_panel(App::Lu, 2, &points);

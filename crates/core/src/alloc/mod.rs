@@ -31,10 +31,16 @@ impl std::fmt::Display for AllocError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AllocError::TooLarge { size, max } => {
-                write!(f, "object of {size} bytes exceeds maximum object size {max}")
+                write!(
+                    f,
+                    "object of {size} bytes exceeds maximum object size {max}"
+                )
             }
             AllocError::NoSpace { size } => {
-                write!(f, "no contiguous DMM space for {size} bytes (swap required)")
+                write!(
+                    f,
+                    "no contiguous DMM space for {size} bytes (swap required)"
+                )
             }
         }
     }
@@ -103,7 +109,9 @@ impl DmmAllocator {
             } else {
                 Dir::High // medium: decreasing addresses of the lower half
             };
-            self.lower.alloc(rounded, dir).map(|o| (o, Kind::LowerBlock))
+            self.lower
+                .alloc(rounded, dir)
+                .map(|o| (o, Kind::LowerBlock))
         };
         match offset {
             Some((o, kind)) => {
@@ -196,7 +204,7 @@ mod tests {
         let medium = a.alloc(8 * 1024).unwrap();
         let large = a.alloc(20 * 1024).unwrap();
         assert!(small >= 64 * 1024);
-        assert!(medium < 64 * 1024 && medium >= 32 * 1024);
+        assert!((32 * 1024..64 * 1024).contains(&medium));
         assert_eq!(large, 0);
         a.check_invariants();
     }
@@ -236,8 +244,7 @@ mod tests {
     fn small_objects_fill_pages_before_new_page() {
         let mut a = alloc_128k();
         let offs: Vec<usize> = (0..10).map(|_| a.alloc(400).unwrap()).collect();
-        let pages: std::collections::HashSet<usize> =
-            offs.iter().map(|o| o / PAGE_BYTES).collect();
+        let pages: std::collections::HashSet<usize> = offs.iter().map(|o| o / PAGE_BYTES).collect();
         assert_eq!(pages.len(), 1, "ten 400-byte objects fit one page");
         // 4096/400->408 slot => 10 slots/page; the 11th opens a page.
         let extra = a.alloc(400).unwrap();

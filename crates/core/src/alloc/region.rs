@@ -206,11 +206,7 @@ impl Region {
 
     /// Bytes in neither list (must be zero; helper for the invariant).
     fn gaps(&self) -> usize {
-        let covered: usize = self
-            .free_by_offset
-            .values()
-            .chain(self.used.values())
-            .sum();
+        let covered: usize = self.free_by_offset.values().chain(self.used.values()).sum();
         self.size - covered
     }
 }

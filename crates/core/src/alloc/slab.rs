@@ -88,7 +88,10 @@ impl SlabPages {
         let idx = *page.free_slots.iter().next().expect("open page has slots");
         page.free_slots.remove(&idx);
         if page.full() {
-            self.open.get_mut(&slot).expect("slot class exists").remove(&page_off);
+            self.open
+                .get_mut(&slot)
+                .expect("slot class exists")
+                .remove(&page_off);
         }
         Some(page_off + idx * slot)
     }
@@ -102,9 +105,16 @@ impl SlabPages {
             .get_mut(&page_off)
             .unwrap_or_else(|| panic!("freeing slot in unknown slab page {page_off}"));
         let idx = (offset - page_off) / page.slot_size;
-        debug_assert_eq!((offset - page_off) % page.slot_size, 0, "misaligned slot free");
+        debug_assert_eq!(
+            (offset - page_off) % page.slot_size,
+            0,
+            "misaligned slot free"
+        );
         let was_full = page.full();
-        assert!(page.free_slots.insert(idx), "double free of slab slot {offset}");
+        assert!(
+            page.free_slots.insert(idx),
+            "double free of slab slot {offset}"
+        );
         let slot = page.slot_size;
         if page.empty() {
             self.pages.remove(&page_off);

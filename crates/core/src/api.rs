@@ -110,9 +110,8 @@ impl Dsm {
     /// Release a cluster-wide lock, publishing the critical section's
     /// updates through the homeless write-update protocol.
     pub fn unlock(&self, lock: LockId) {
-        self.locks.release(lock, &self.ctx, |ts| {
-            self.node.lock().exit_cs(lock, ts)
-        });
+        self.locks
+            .release(lock, &self.ctx, |ts| self.node.lock().exit_cs(lock, ts));
     }
 
     /// Run `f` inside the critical section guarded by `lock`.
@@ -126,7 +125,8 @@ impl Dsm {
     /// Global barrier with the migrating-home write-invalidate
     /// protocol (§3.4).
     pub fn barrier(&self) {
-        self.try_barrier().unwrap_or_else(|e| panic!("barrier failed: {e}"))
+        self.try_barrier()
+            .unwrap_or_else(|e| panic!("barrier failed: {e}"))
     }
 
     /// Fallible [`Dsm::barrier`].
@@ -141,16 +141,21 @@ impl Dsm {
         };
         let plan = self.barrier.enter(&self.ctx, notices);
         // Phase B: propagate diffs of multi-writer objects to homes.
-        self.node.lock().barrier_prepare(&plan.send_diffs, self.me)?;
+        self.node
+            .lock()
+            .barrier_prepare(&plan.send_diffs, self.me)?;
         let sends: Vec<(ObjectId, NodeId)> = plan.my_sends(self.me).collect();
         for &(obj, home) in &sends {
             let (payload, ts) = {
                 let node = self.node.lock();
                 (node.cached_diff(obj).encode(), node.release_ts_of(obj))
             };
-            let tx = self
-                .net
-                .send(home, Msg::DiffSend { obj, ts }, payload, self.ctx.clock.now());
+            let tx = self.net.send(
+                home,
+                Msg::DiffSend { obj, ts },
+                payload,
+                self.ctx.clock.now(),
+            );
             self.ctx.clock.advance_to(tx.sender_free);
         }
         let mut pending = sends.len();
@@ -256,19 +261,17 @@ impl Dsm {
             Bytes::new(),
             self.ctx.clock.now(),
         );
-        loop {
-            let env = self.recv_reply();
-            match env.msg {
-                Msg::ObjReply { obj, version } if obj == id => {
-                    let before = self.ctx.clock.now();
-                    let now = self.ctx.clock.advance_to(env.arrival);
-                    self.ctx
-                        .stats
-                        .charge(TimeCategory::Network, now.saturating_sub(before));
-                    return self.node.lock().install_fetch(id, &env.payload, version);
-                }
-                other => panic!("unexpected reply while fetching {id}: {other:?}"),
+        let env = self.recv_reply();
+        match env.msg {
+            Msg::ObjReply { obj, version } if obj == id => {
+                let before = self.ctx.clock.now();
+                let now = self.ctx.clock.advance_to(env.arrival);
+                self.ctx
+                    .stats
+                    .charge(TimeCategory::Network, now.saturating_sub(before));
+                self.node.lock().install_fetch(id, &env.payload, version)
             }
+            other => panic!("unexpected reply while fetching {id}: {other:?}"),
         }
     }
 

@@ -82,6 +82,10 @@ struct BState {
     count_r: usize,
     run_max: SimInstant,
     run_exit: SimInstant,
+    /// Set when a node's app thread panicked: every current and future
+    /// waiter must unblock and propagate instead of waiting for a
+    /// rendezvous that can never complete.
+    poisoned: bool,
 }
 
 /// Cluster-wide barrier service.
@@ -114,6 +118,7 @@ impl BarrierService {
                 count_r: 0,
                 run_max: SimInstant::ZERO,
                 run_exit: SimInstant::ZERO,
+                poisoned: false,
             }),
             cv: Condvar::new(),
         }
@@ -123,9 +128,25 @@ impl BarrierService {
         self.n
     }
 
+    /// Mark the cluster as dead after an app-thread panic and wake all
+    /// waiters so they fail loudly instead of hanging at a rendezvous
+    /// the panicked node will never reach.
+    pub fn poison(&self) {
+        let mut st = self.state.lock();
+        st.poisoned = true;
+        self.cv.notify_all();
+    }
+
+    fn check_poison(st: &BState) {
+        if st.poisoned {
+            panic!("barrier poisoned: a peer app thread panicked (see its panic above)");
+        }
+    }
+
     /// Rendezvous 1: submit write notices, receive the plan.
     pub fn enter(&self, ctx: &SyncCtx, notices: Vec<Notice>) -> Arc<BarrierPlan> {
         let mut st = self.state.lock();
+        Self::check_poison(&st);
         let my_gen = st.gen_a;
         let wait_from = ctx.clock.now();
         let enter_bytes = ctl::BARRIER_ENTER + notices.len() * ctl::WRITE_NOTICE;
@@ -148,6 +169,7 @@ impl BarrierService {
         } else {
             while st.gen_a == my_gen {
                 self.cv.wait(&mut st);
+                Self::check_poison(&st);
             }
         }
         let plan = Arc::clone(st.plan.as_ref().expect("plan built by last arriver"));
@@ -215,6 +237,7 @@ impl BarrierService {
     /// into the caller's clock).
     pub fn drain(&self, ctx: &SyncCtx) -> u64 {
         let mut st = self.state.lock();
+        Self::check_poison(&st);
         let my_gen = st.gen_b;
         let wait_from = ctx.clock.now();
         ctx.traffic.record_send(ctl::BARRIER_DONE, 1);
@@ -227,8 +250,7 @@ impl BarrierService {
             // (all lock-era updates are now reflected at the homes via
             // the writers' interval diffs).
             self.locks.reset_epoch(seq);
-            st.exit_time =
-                st.drain_max + SimDuration(ctx.cpu.handler_entry.0 * self.n as u64);
+            st.exit_time = st.drain_max + SimDuration(ctx.cpu.handler_entry.0 * self.n as u64);
             st.seq += 1;
             st.count_b = 0;
             st.drain_max = SimInstant::ZERO;
@@ -237,6 +259,7 @@ impl BarrierService {
         } else {
             while st.gen_b == my_gen {
                 self.cv.wait(&mut st);
+                Self::check_poison(&st);
             }
         }
         let exit = st.exit_time;
@@ -254,6 +277,7 @@ impl BarrierService {
     /// without any memory consistency actions.
     pub fn run_barrier(&self, ctx: &SyncCtx) {
         let mut st = self.state.lock();
+        Self::check_poison(&st);
         let my_gen = st.gen_r;
         let wait_from = ctx.clock.now();
         ctx.traffic.record_send(ctl::BARRIER_ENTER, 1);
@@ -269,6 +293,7 @@ impl BarrierService {
         } else {
             while st.gen_r == my_gen {
                 self.cv.wait(&mut st);
+                Self::check_poison(&st);
             }
         }
         let exit = st.run_exit;

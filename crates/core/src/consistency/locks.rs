@@ -19,6 +19,7 @@
 //! hence virtual network time) differ.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use lots_net::NodeId;
@@ -35,11 +36,14 @@ use super::SyncCtx;
 /// Application-visible lock identifier.
 pub type LockId = u32;
 
+/// One granted word update: (word index, release timestamp, value).
+pub type WordUpdate = (u32, u64, u32);
+
 /// Updates delivered with a grant, ready for
 /// [`NodeState::apply_lock_updates`].
 ///
 /// [`NodeState::apply_lock_updates`]: crate::node::NodeState::apply_lock_updates
-pub type GrantUpdates = Vec<(ObjectId, Vec<(u32, u64, u32)>)>;
+pub type GrantUpdates = Vec<(ObjectId, Vec<WordUpdate>)>;
 
 /// What a grant tells the acquirer to do (write-update mode carries
 /// updates; write-invalidate mode carries invalidations + fetch hints).
@@ -81,6 +85,9 @@ pub struct LockService {
     diff_mode: DiffMode,
     protocol: LockProtocol,
     locks: Mutex<HashMap<LockId, Arc<LockEntry>>>,
+    /// Set when a node's app thread panicked; waiters unblock and
+    /// propagate instead of waiting on a holder that will never release.
+    poisoned: AtomicBool,
 }
 
 impl LockService {
@@ -90,6 +97,27 @@ impl LockService {
             diff_mode,
             protocol,
             locks: Mutex::new(HashMap::new()),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Mark the cluster as dead after an app-thread panic and wake all
+    /// lock waiters so they fail loudly instead of hanging.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        let locks = self.locks.lock();
+        for entry in locks.values() {
+            // Hold the entry mutex while notifying: a waiter that has
+            // already checked the flag but not yet parked would
+            // otherwise miss this wake-up and sleep forever.
+            let _st = entry.state.lock();
+            entry.cv.notify_all();
+        }
+    }
+
+    fn check_poison(&self) {
+        if self.poisoned.load(Ordering::Acquire) {
+            panic!("lock service poisoned: a peer app thread panicked (see its panic above)");
         }
     }
 
@@ -128,9 +156,11 @@ impl LockService {
         let req_arrive = ctx.clock.now() + ctx.net.one_way(ctl::LOCK_ACQ);
         ctx.traffic.record_send(ctl::LOCK_ACQ, 1);
         let wait_from = ctx.clock.now();
+        self.check_poison();
         st.waiters.push_back(ctx.me);
         while st.holder.is_some() || st.waiters.front() != Some(&ctx.me) {
             entry.cv.wait(&mut st);
+            self.check_poison();
         }
         st.waiters.pop_front();
         st.holder = Some(ctx.me);
@@ -256,14 +286,14 @@ impl LockService {
         // Virtual: the release message (with updates) reaches the
         // manager; the next grant chains after it.
         let rel_bytes = ctl::LOCK_REL + payload;
-        ctx.traffic.record_send(rel_bytes, ctx.net.fragments(rel_bytes));
+        ctx.traffic
+            .record_send(rel_bytes, ctx.net.fragments(rel_bytes));
         let arrive = ctx.clock.now() + ctx.net.one_way(rel_bytes);
         st.release_time = st.release_time.max(arrive) + ctx.cpu.handler_entry;
         st.holder = None;
         entry.cv.notify_all();
         // Sender-side cost of pushing the release out.
-        ctx.clock
-            .advance(SimDuration(ctx.net.per_fragment.0));
+        ctx.clock.advance(SimDuration(ctx.net.per_fragment.0));
     }
 
     /// Barrier-epoch reset (§3.4): after a barrier every update has
@@ -332,7 +362,11 @@ mod tests {
 
     #[test]
     fn uncontended_acquire_grants_immediately() {
-        let svc = LockService::new(2, DiffMode::PerFieldOnDemand, LockProtocol::HomelessWriteUpdate);
+        let svc = LockService::new(
+            2,
+            DiffMode::PerFieldOnDemand,
+            LockProtocol::HomelessWriteUpdate,
+        );
         let c = ctx(0);
         let g = svc.acquire(1, &c);
         assert!(g.updates.is_empty());
@@ -342,7 +376,11 @@ mod tests {
 
     #[test]
     fn updates_flow_to_next_acquirer() {
-        let svc = LockService::new(2, DiffMode::PerFieldOnDemand, LockProtocol::HomelessWriteUpdate);
+        let svc = LockService::new(
+            2,
+            DiffMode::PerFieldOnDemand,
+            LockProtocol::HomelessWriteUpdate,
+        );
         let c0 = ctx(0);
         let c1 = ctx(1);
         svc.acquire(9, &c0);
@@ -361,7 +399,11 @@ mod tests {
 
     #[test]
     fn no_redundant_resend_in_per_field_mode() {
-        let svc = LockService::new(2, DiffMode::PerFieldOnDemand, LockProtocol::HomelessWriteUpdate);
+        let svc = LockService::new(
+            2,
+            DiffMode::PerFieldOnDemand,
+            LockProtocol::HomelessWriteUpdate,
+        );
         let c0 = ctx(0);
         let c1 = ctx(1);
         svc.acquire(1, &c0);
@@ -382,7 +424,10 @@ mod tests {
         // acquirer receives all three copies in accumulated mode but
         // exactly one (the latest) in per-field mode.
         let mk = |mode| LockService::new(3, mode, LockProtocol::HomelessWriteUpdate);
-        for (mode, expected_copies) in [(DiffMode::AccumulatedDiffs, 3), (DiffMode::PerFieldOnDemand, 1)] {
+        for (mode, expected_copies) in [
+            (DiffMode::AccumulatedDiffs, 3),
+            (DiffMode::PerFieldOnDemand, 1),
+        ] {
             let svc = mk(mode);
             let c0 = ctx(0);
             for v in [1u32, 2, 3] {
@@ -451,7 +496,11 @@ mod tests {
 
     #[test]
     fn virtual_time_chains_through_releases() {
-        let svc = LockService::new(2, DiffMode::PerFieldOnDemand, LockProtocol::HomelessWriteUpdate);
+        let svc = LockService::new(
+            2,
+            DiffMode::PerFieldOnDemand,
+            LockProtocol::HomelessWriteUpdate,
+        );
         let c0 = ctx(0);
         svc.acquire(1, &c0);
         c0.clock.advance(SimDuration::from_millis(50)); // long CS
@@ -466,7 +515,11 @@ mod tests {
 
     #[test]
     fn reset_epoch_clears_logs_idempotently() {
-        let svc = LockService::new(2, DiffMode::PerFieldOnDemand, LockProtocol::HomelessWriteUpdate);
+        let svc = LockService::new(
+            2,
+            DiffMode::PerFieldOnDemand,
+            LockProtocol::HomelessWriteUpdate,
+        );
         let c0 = ctx(0);
         svc.acquire(1, &c0);
         svc.release(1, &c0, |_| vec![(ObjectId(0), diff_of(&[(0, 1)]))]);
@@ -482,7 +535,11 @@ mod tests {
 
     #[test]
     fn manager_assignment_round_robin() {
-        let svc = LockService::new(4, DiffMode::PerFieldOnDemand, LockProtocol::HomelessWriteUpdate);
+        let svc = LockService::new(
+            4,
+            DiffMode::PerFieldOnDemand,
+            LockProtocol::HomelessWriteUpdate,
+        );
         assert_eq!(svc.manager_of(0), 0);
         assert_eq!(svc.manager_of(5), 1);
         assert_eq!(svc.manager_of(7), 3);

@@ -75,7 +75,11 @@ impl WordDiff {
 
     /// Bytes this diff occupies on the wire.
     pub fn wire_size(&self) -> usize {
-        4 + self.runs.iter().map(|r| 8 + 4 * r.words.len()).sum::<usize>()
+        4 + self
+            .runs
+            .iter()
+            .map(|r| 8 + 4 * r.words.len())
+            .sum::<usize>()
     }
 
     /// Encode to the wire format.

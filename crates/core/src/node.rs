@@ -16,6 +16,7 @@ use lots_sim::{CpuModel, NodeStats, SimClock, SimDuration, TimeCategory};
 
 use crate::alloc::{AllocError, DmmAllocator};
 use crate::config::LotsConfig;
+use crate::consistency::locks::WordUpdate;
 use crate::diff::WordDiff;
 use crate::object::{Mapping, ObjCtl, ObjectId, Share};
 
@@ -40,7 +41,10 @@ impl std::fmt::Display for LotsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LotsError::ObjectTooLarge { size, max } => {
-                write!(f, "object of {size} bytes exceeds single-object limit {max}")
+                write!(
+                    f,
+                    "object of {size} bytes exceeds single-object limit {max}"
+                )
             }
             LotsError::OutOfDmm { requested } => write!(
                 f,
@@ -224,7 +228,8 @@ impl NodeState {
             // LOTS-x: mapping is permanent and mandatory.
             match self.try_map(id) {
                 Ok(_) => Ok(id),
-                Err(LotsError::OutOfDmm { requested }) | Err(LotsError::LotsXCapacity { requested }) => {
+                Err(LotsError::OutOfDmm { requested })
+                | Err(LotsError::LotsXCapacity { requested }) => {
                     Err(LotsError::LotsXCapacity { requested })
                 }
                 Err(e) => Err(e),
@@ -573,6 +578,19 @@ impl NodeState {
             self.charge(TimeCategory::Diffing, self.cpu.diffing(size as u64));
             if !diff.is_empty() {
                 self.obj_release_ts.insert(obj, release_ts);
+                // Seed the barrier word guard NOW, not at barrier
+                // entry: if this node ends up the object's home, remote
+                // interval diffs with older release timestamps start
+                // arriving on the comm thread the moment the barrier
+                // plan is out, and must not clobber this CS's words.
+                // (Seeding in barrier_prepare is too late — an early
+                // remote diff can overwrite the arena first, making the
+                // local twin diff look empty; see the quickstart lost-
+                // update bug.)
+                for (word, _) in diff.iter_words() {
+                    let guard = self.barrier_word_guard.entry((obj, word)).or_insert(0);
+                    *guard = (*guard).max(release_ts);
+                }
                 self.stats.count_diff(diff.wire_size() as u64);
                 updates.push((id, diff));
             }
@@ -584,10 +602,11 @@ impl NodeState {
     /// are patched in place (arena + active twin, so the words are not
     /// re-diffed as local writes); everything else is parked in the
     /// pending table until the object materializes.
-    pub fn apply_lock_updates(&mut self, updates: &[(ObjectId, Vec<(u32, u64, u32)>)]) {
+    pub fn apply_lock_updates(&mut self, updates: &[(ObjectId, Vec<WordUpdate>)]) {
         for (id, words) in updates {
             let idx = id.0 as usize;
-            let applicable = self.objects[idx].locally_valid() && self.objects[idx].offset().is_some();
+            let applicable =
+                self.objects[idx].locally_valid() && self.objects[idx].offset().is_some();
             if applicable {
                 let offset = self.objects[idx].offset().expect("checked");
                 self.mark_mutated(idx);
@@ -705,7 +724,12 @@ impl NodeState {
 
     /// Home-side application of a remote barrier diff, respecting the
     /// per-word release-timestamp guard (last CS writer wins).
-    pub fn apply_remote_diff(&mut self, id: ObjectId, diff: &WordDiff, ts: u64) -> Result<(), LotsError> {
+    pub fn apply_remote_diff(
+        &mut self,
+        id: ObjectId,
+        diff: &WordDiff,
+        ts: u64,
+    ) -> Result<(), LotsError> {
         let offset = self.try_map(id)?;
         self.mark_mutated(id.0 as usize);
         let applied: u64 = {
@@ -733,7 +757,11 @@ impl NodeState {
     ///
     /// `written` lists every object any node wrote this interval with
     /// its (possibly migrated) home; `seq` becomes the new version.
-    pub fn barrier_finish(&mut self, written: &[(ObjectId, NodeId)], seq: u64) -> Result<(), LotsError> {
+    pub fn barrier_finish(
+        &mut self,
+        written: &[(ObjectId, NodeId)],
+        seq: u64,
+    ) -> Result<(), LotsError> {
         for &(id, home) in written {
             let idx = id.0 as usize;
             self.objects[idx].home = home;
@@ -832,7 +860,8 @@ mod tests {
             Access::Ready { offset } => {
                 for &(w, v) in vals {
                     let off = offset + w * 4;
-                    node.object_bytes_mut(off, 4).copy_from_slice(&v.to_le_bytes());
+                    node.object_bytes_mut(off, 4)
+                        .copy_from_slice(&v.to_le_bytes());
                 }
             }
             other => panic!("unexpected {other:?}"),
@@ -973,7 +1002,11 @@ mod tests {
         let (id, diff) = &updates[0];
         assert_eq!(*id, a);
         let words: Vec<(u32, u32)> = diff.iter_words().collect();
-        assert_eq!(words, vec![(2, 42)], "only CS-era writes in release updates");
+        assert_eq!(
+            words,
+            vec![(2, 42)],
+            "only CS-era writes in release updates"
+        );
     }
 
     #[test]
@@ -999,7 +1032,11 @@ mod tests {
         let _ = read_word(&mut n, b, 0); // a evicted to disk
         assert!(matches!(n.ctl(a).mapping, Mapping::OnDisk));
         n.apply_lock_updates(&[(a, vec![(4, 1, 99)])]);
-        assert_eq!(read_word(&mut n, a, 4), 99, "pending update applied on swap-in");
+        assert_eq!(
+            read_word(&mut n, a, 4),
+            99,
+            "pending update applied on swap-in"
+        );
     }
 
     #[test]

@@ -49,7 +49,11 @@ pub fn pack<T: Pod>(items: &[T]) -> Vec<u8> {
 
 /// Unpack a byte slice into elements.
 pub fn unpack<T: Pod>(data: &[u8]) -> Vec<T> {
-    assert_eq!(data.len() % T::SIZE, 0, "byte length not a multiple of element size");
+    assert_eq!(
+        data.len() % T::SIZE,
+        0,
+        "byte length not a multiple of element size"
+    );
     data.chunks_exact(T::SIZE).map(T::read_from).collect()
 }
 

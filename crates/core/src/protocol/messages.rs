@@ -81,15 +81,22 @@ mod tests {
             .wire_size(),
             14
         );
-        assert_eq!(Msg::DiffSend { obj: ObjectId(1), ts: 0 }.wire_size(), 14);
+        assert_eq!(
+            Msg::DiffSend {
+                obj: ObjectId(1),
+                ts: 0
+            }
+            .wire_size(),
+            14
+        );
         assert_eq!(Msg::DiffAck { obj: ObjectId(1) }.wire_size(), 6);
         assert_eq!(Msg::Shutdown.wire_size(), 2);
     }
 
     #[test]
     fn control_sizes_positive() {
-        assert!(ctl::LOCK_ACQ > 0);
-        assert!(ctl::WRITE_NOTICE > 0);
-        assert!(ctl::BARRIER_ENTER > 0);
+        const { assert!(ctl::LOCK_ACQ > 0) }
+        const { assert!(ctl::WRITE_NOTICE > 0) }
+        const { assert!(ctl::BARRIER_ENTER > 0) }
     }
 }

@@ -138,41 +138,89 @@ where
         };
         probes.push((clock, stats, tx.stats().clone(), Arc::clone(&node)));
 
-        comm_threads.push(std::thread::Builder::new()
-            .name(format!("lots-comm-{me}"))
-            .spawn({
-                let node = Arc::clone(&node);
-                let net = tx.clone();
-                let shutdown = Arc::clone(&shutdown);
-                move || comm_loop(node, net, rx, reply_tx, shutdown)
-            })
-            .expect("spawn comm thread"));
+        comm_threads.push(
+            std::thread::Builder::new()
+                .name(format!("lots-comm-{me}"))
+                .spawn({
+                    let node = Arc::clone(&node);
+                    let net = tx.clone();
+                    let shutdown = Arc::clone(&shutdown);
+                    move || comm_loop(node, net, rx, reply_tx, shutdown)
+                })
+                .expect("spawn comm thread"),
+        );
 
-        let dsm_parts = (ctx, node, tx, reply_rx, Arc::clone(&locks), Arc::clone(&barrier));
+        let dsm_parts = (
+            ctx,
+            node,
+            tx,
+            reply_rx,
+            Arc::clone(&locks),
+            Arc::clone(&barrier),
+        );
         let app = Arc::clone(&app);
-        app_threads.push(std::thread::Builder::new()
-            .name(format!("lots-app-{me}"))
-            .spawn(move || {
-                let (ctx, node, net, replies, locks, barrier) = dsm_parts;
-                let dsm = Dsm {
-                    ctx,
-                    node,
-                    net,
-                    replies,
-                    locks,
-                    barrier,
-                    me,
-                    n,
-                };
-                app(&dsm)
-            })
-            .expect("spawn app thread"));
+        app_threads.push(
+            std::thread::Builder::new()
+                .name(format!("lots-app-{me}"))
+                .spawn(move || {
+                    let (ctx, node, net, replies, locks, barrier) = dsm_parts;
+                    let dsm = Dsm {
+                        ctx,
+                        node,
+                        net,
+                        replies,
+                        locks,
+                        barrier,
+                        me,
+                        n,
+                    };
+                    // A panicking node can never reach the next rendezvous;
+                    // poison the sync services so peers blocked in barriers
+                    // or lock queues fail loudly instead of hanging forever.
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| app(&dsm)));
+                    match result {
+                        Ok(r) => r,
+                        Err(payload) => {
+                            dsm.barrier.poison();
+                            dsm.locks.poison();
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                })
+                .expect("spawn app thread"),
+        );
     }
 
-    let results: Vec<R> = app_threads
-        .into_iter()
-        .map(|h| h.join().expect("application thread panicked"))
-        .collect();
+    // Join everything first, then propagate the *original* panic (not
+    // the secondary "poisoned" panics it induced in peer nodes).
+    let joined: Vec<std::thread::Result<R>> = app_threads.into_iter().map(|h| h.join()).collect();
+    let results: Vec<R> = if joined.iter().all(|r| r.is_ok()) {
+        joined.into_iter().map(|r| r.unwrap()).collect()
+    } else {
+        let mut primary = None;
+        let mut fallback = None;
+        for err in joined.into_iter().filter_map(|r| r.err()) {
+            let msg = err
+                .downcast_ref::<&'static str>()
+                .map(|s| s.to_string())
+                .or_else(|| err.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            let secondary = msg.contains("peer app thread panicked");
+            if secondary {
+                fallback.get_or_insert(err);
+            } else {
+                primary.get_or_insert(err);
+            }
+        }
+        // Don't leak the comm threads while unwinding: stop them and
+        // join (bounded by their 25 ms poll) before re-raising.
+        shutdown.store(true, Ordering::Release);
+        for h in comm_threads.drain(..) {
+            let _ = h.join();
+        }
+        std::panic::resume_unwind(primary.or(fallback).expect("at least one join error"));
+    };
     shutdown.store(true, Ordering::Release);
     for h in comm_threads {
         h.join().expect("comm thread panicked");
@@ -221,8 +269,7 @@ fn comm_loop(
                             // The handler runs when the request arrives
                             // or when the node's own work frees the CPU,
                             // whichever is later; it steals node time.
-                            st.stats
-                                .charge(TimeCategory::Handler, st.cpu.handler_entry);
+                            st.stats.charge(TimeCategory::Handler, st.cpu.handler_entry);
                             st.clock.advance(st.cpu.handler_entry);
                             let t0 = st.clock.now().max(env.arrival);
                             let (b, v) = st
@@ -244,8 +291,7 @@ fn comm_loop(
                     Msg::DiffSend { obj, ts } => {
                         let service_done = {
                             let mut st = node.lock();
-                            st.stats
-                                .charge(TimeCategory::Handler, st.cpu.handler_entry);
+                            st.stats.charge(TimeCategory::Handler, st.cpu.handler_entry);
                             st.clock.advance(st.cpu.handler_entry);
                             let diff = WordDiff::decode(&env.payload);
                             st.apply_remote_diff(obj, &diff, ts)
@@ -352,6 +398,22 @@ mod tests {
         // All 20 increments survive iff every grant carried the prior
         // critical sections' updates (no lost updates).
         assert_eq!(results, vec![20, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "node 2 exploded")]
+    fn peer_panic_fails_loudly_instead_of_hanging() {
+        // Nodes 0, 1 and 3 block at the barrier; node 2 panics before
+        // reaching it. Without poisoning this run would hang forever —
+        // with it, the original panic propagates out of run_cluster.
+        let _ = run_cluster(opts(4, 64 * 1024), |dsm| {
+            let a = dsm.alloc::<i32>(16).unwrap();
+            if dsm.me() == 2 {
+                panic!("node 2 exploded");
+            }
+            dsm.barrier();
+            a.read(0)
+        });
     }
 
     #[test]

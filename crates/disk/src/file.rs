@@ -99,7 +99,8 @@ impl BackingStore for FileStore {
         let mut f = std::io::BufWriter::new(
             fs::File::create(&path).map_err(|e| DiskError::Io(e.to_string()))?,
         );
-        f.write_all(data).map_err(|e| DiskError::Io(e.to_string()))?;
+        f.write_all(data)
+            .map_err(|e| DiskError::Io(e.to_string()))?;
         f.flush().map_err(|e| DiskError::Io(e.to_string()))?;
         inner.sizes.insert(key, data.len() as u64);
         inner.used = new_used;

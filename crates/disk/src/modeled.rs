@@ -49,17 +49,19 @@ impl ModeledStore {
 
     /// Actual host memory held by compressed images (diagnostic).
     pub fn resident_bytes(&self) -> usize {
-        self.inner.lock().images.values().map(|i| i.stored_len()).sum()
+        self.inner
+            .lock()
+            .images
+            .values()
+            .map(|i| i.stored_len())
+            .sum()
     }
 }
 
 impl BackingStore for ModeledStore {
     fn put(&self, key: SwapKey, data: &[u8]) -> Result<SimDuration, DiskError> {
         let mut inner = self.inner.lock();
-        let replaced = inner
-            .images
-            .get(&key)
-            .map_or(0, |i| i.logical_len() as u64);
+        let replaced = inner.images.get(&key).map_or(0, |i| i.logical_len() as u64);
         let new_used = inner.used_logical - replaced + data.len() as u64;
         if let Some(cap) = self.capacity {
             if new_used > cap {
@@ -77,10 +79,7 @@ impl BackingStore for ModeledStore {
     fn get(&self, key: SwapKey) -> Result<(Vec<u8>, SimDuration), DiskError> {
         let inner = self.inner.lock();
         let img = inner.images.get(&key).ok_or(DiskError::NotFound(key))?;
-        Ok((
-            img.decode(),
-            self.model.read_time(img.logical_len() as u64),
-        ))
+        Ok((img.decode(), self.model.read_time(img.logical_len() as u64)))
     }
 
     fn remove(&self, key: SwapKey) -> Result<(), DiskError> {
@@ -119,15 +118,18 @@ mod tests {
     fn gigabytes_of_constant_data_stay_tiny() {
         let s = ModeledStore::new(model());
         // 256 "rows" of 4 MB each = 1 GB logical.
-        let row: Vec<u8> = std::iter::repeat(3u32.to_le_bytes())
-            .take(1 << 20)
+        let row: Vec<u8> = std::iter::repeat_n(3u32.to_le_bytes(), 1 << 20)
             .flatten()
             .collect();
         for k in 0..256 {
             s.put(k, &row).unwrap();
         }
         assert_eq!(s.used_bytes(), 256 * 4 * (1 << 20));
-        assert!(s.resident_bytes() < 256 * 64, "resident={}", s.resident_bytes());
+        assert!(
+            s.resident_bytes() < 256 * 64,
+            "resident={}",
+            s.resident_bytes()
+        );
         let (back, _) = s.get(17).unwrap();
         assert_eq!(back, row);
     }
@@ -138,7 +140,10 @@ mod tests {
         let row = vec![0u8; 10_000_000];
         let t = s.put(0, &row).unwrap();
         // 10 MB at 10 MB/s = 1 s + per_op.
-        assert_eq!(t, SimDuration(1_000_000_000) + SimDuration::from_micros(500));
+        assert_eq!(
+            t,
+            SimDuration(1_000_000_000) + SimDuration::from_micros(500)
+        );
     }
 
     #[test]

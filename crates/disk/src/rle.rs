@@ -79,8 +79,7 @@ mod tests {
 
     #[test]
     fn constant_row_compresses_to_one_run() {
-        let data: Vec<u8> = std::iter::repeat(7u32.to_le_bytes())
-            .take(1_000_000)
+        let data: Vec<u8> = std::iter::repeat_n(7u32.to_le_bytes(), 1_000_000)
             .flatten()
             .collect();
         let img = RleImage::encode(&data);
@@ -126,7 +125,7 @@ mod tests {
 
         #[test]
         fn roundtrip_repetitive(word in any::<u32>(), reps in 0usize..512, tail in proptest::collection::vec(any::<u8>(), 0..4)) {
-            let mut data: Vec<u8> = std::iter::repeat(word.to_le_bytes()).take(reps).flatten().collect();
+            let mut data: Vec<u8> = std::iter::repeat_n(word.to_le_bytes(), reps).flatten().collect();
             data.extend_from_slice(&tail);
             let img = RleImage::encode(&data);
             prop_assert_eq!(img.decode(), data);

@@ -198,22 +198,19 @@ impl JiaDsm {
             Bytes::new(),
             self.ctx.clock.now(),
         );
-        loop {
-            let env = self.recv_reply();
-            match env.msg {
-                JMsg::PageReply { page, version } => {
-                    let before = self.ctx.clock.now();
-                    let now = self.ctx.clock.advance_to(env.arrival);
-                    self.ctx
-                        .stats
-                        .charge(TimeCategory::Network, now.saturating_sub(before));
-                    self.node
-                        .lock()
-                        .install_page(page as usize, &env.payload, version);
-                    return;
-                }
-                other => panic!("unexpected reply while fetching page: {other:?}"),
+        let env = self.recv_reply();
+        match env.msg {
+            JMsg::PageReply { page, version } => {
+                let before = self.ctx.clock.now();
+                let now = self.ctx.clock.advance_to(env.arrival);
+                self.ctx
+                    .stats
+                    .charge(TimeCategory::Network, now.saturating_sub(before));
+                self.node
+                    .lock()
+                    .install_page(page as usize, &env.payload, version);
             }
+            other => panic!("unexpected reply while fetching page: {other:?}"),
         }
     }
 

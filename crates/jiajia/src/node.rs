@@ -36,7 +36,10 @@ pub enum PageAccess {
     Ready,
     /// `page` faulted; fetch it from `home` and retry (successive
     /// SIGSEGVs fault a range in one page at a time).
-    NeedFetch { page: usize, home: NodeId },
+    NeedFetch {
+        page: usize,
+        home: NodeId,
+    },
 }
 
 /// Per-node JIAJIA state (behind a mutex, shared with the comm thread).
@@ -64,7 +67,11 @@ impl JiaNode {
         clock: SimClock,
         stats: NodeStats,
     ) -> JiaNode {
-        assert_eq!(shared_bytes % PAGE_BYTES, 0, "shared space is page-granular");
+        assert_eq!(
+            shared_bytes % PAGE_BYTES,
+            0,
+            "shared space is page-granular"
+        );
         let n_pages = shared_bytes / PAGE_BYTES;
         JiaNode {
             me,
@@ -208,7 +215,10 @@ impl JiaNode {
             if self.pages[p].home == self.me {
                 continue; // home writes are already in place
             }
-            let twin = self.twins.remove(&page).expect("dirty non-home page has twin");
+            let twin = self
+                .twins
+                .remove(&page)
+                .expect("dirty non-home page has twin");
             self.pages[p].twin = false;
             let base = page_base(p);
             let diff = WordDiff::compute(&twin, &self.mem[base..base + PAGE_BYTES]);
@@ -341,7 +351,11 @@ mod tests {
     fn invalidation_forces_refetch() {
         let mut n = node(1, 2);
         let addr = n.jia_alloc(4096).unwrap();
-        assert_eq!(n.begin_read(addr, 4), PageAccess::Ready, "initially valid zeros");
+        assert_eq!(
+            n.begin_read(addr, 4),
+            PageAccess::Ready,
+            "initially valid zeros"
+        );
         n.invalidate(&[0], 1);
         assert_eq!(
             n.begin_read(addr, 4),
@@ -356,7 +370,11 @@ mod tests {
     fn home_invalidation_just_bumps_version() {
         let mut n = node(0, 2);
         n.invalidate(&[0], 3);
-        assert_eq!(n.begin_read(0, 4), PageAccess::Ready, "home copy never invalid");
+        assert_eq!(
+            n.begin_read(0, 4),
+            PageAccess::Ready,
+            "home copy never invalid"
+        );
     }
 
     #[test]

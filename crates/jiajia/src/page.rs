@@ -105,10 +105,7 @@ mod tests {
     #[test]
     fn split_range_spanning_pages() {
         let parts: Vec<_> = split_range(4000, 5000).collect();
-        assert_eq!(
-            parts,
-            vec![(0, 4000, 96), (1, 0, 4096), (2, 0, 808)]
-        );
+        assert_eq!(parts, vec![(0, 4000, 96), (1, 0, 4096), (2, 0, 808)]);
         let total: usize = parts.iter().map(|&(_, _, l)| l).sum();
         assert_eq!(total, 5000);
     }

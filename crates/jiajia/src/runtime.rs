@@ -102,7 +102,14 @@ where
                 .expect("spawn comm thread"),
         );
 
-        let parts = (ctx, node, tx, reply_rx, Arc::clone(&barrier), Arc::clone(&locks));
+        let parts = (
+            ctx,
+            node,
+            tx,
+            reply_rx,
+            Arc::clone(&barrier),
+            Arc::clone(&locks),
+        );
         let app = Arc::clone(&app);
         app_threads.push(
             std::thread::Builder::new()
@@ -119,16 +126,53 @@ where
                         me,
                         n,
                     };
-                    app(&dsm)
+                    // A panicking node can never reach the next
+                    // rendezvous; poison the sync services so peers
+                    // fail loudly instead of hanging forever.
+                    let result =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| app(&dsm)));
+                    match result {
+                        Ok(r) => r,
+                        Err(payload) => {
+                            dsm.barrier.poison();
+                            dsm.locks.poison();
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
                 })
                 .expect("spawn app thread"),
         );
     }
 
-    let results: Vec<R> = app_threads
-        .into_iter()
-        .map(|h| h.join().expect("application thread panicked"))
-        .collect();
+    // Join everything first, then propagate the *original* panic (not
+    // the secondary "poisoned" panics it induced in peer nodes).
+    let joined: Vec<std::thread::Result<R>> = app_threads.into_iter().map(|h| h.join()).collect();
+    let results: Vec<R> = if joined.iter().all(|r| r.is_ok()) {
+        joined.into_iter().map(|r| r.unwrap()).collect()
+    } else {
+        let mut primary = None;
+        let mut fallback = None;
+        for err in joined.into_iter().filter_map(|r| r.err()) {
+            let msg = err
+                .downcast_ref::<&'static str>()
+                .map(|s| s.to_string())
+                .or_else(|| err.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            let secondary = msg.contains("peer app thread panicked");
+            if secondary {
+                fallback.get_or_insert(err);
+            } else {
+                primary.get_or_insert(err);
+            }
+        }
+        // Don't leak the comm threads while unwinding: stop them and
+        // join (bounded by their 25 ms poll) before re-raising.
+        shutdown.store(true, Ordering::Release);
+        for h in comm_threads.drain(..) {
+            let _ = h.join();
+        }
+        std::panic::resume_unwind(primary.or(fallback).expect("at least one join error"));
+    };
     shutdown.store(true, Ordering::Release);
     for h in comm_threads {
         h.join().expect("comm thread panicked");
@@ -167,8 +211,7 @@ fn comm_loop(
                     JMsg::PageReq { page } => {
                         let (bytes, version, done) = {
                             let mut st = node.lock();
-                            st.stats
-                                .charge(TimeCategory::Handler, st.cpu.handler_entry);
+                            st.stats.charge(TimeCategory::Handler, st.cpu.handler_entry);
                             st.clock.advance(st.cpu.handler_entry);
                             let (b, v) = st.serve_page(page as usize);
                             (b, v, st.clock.now().max(env.arrival))
@@ -178,8 +221,7 @@ fn comm_loop(
                     JMsg::DiffSend { page } => {
                         let done = {
                             let mut st = node.lock();
-                            st.stats
-                                .charge(TimeCategory::Handler, st.cpu.handler_entry);
+                            st.stats.charge(TimeCategory::Handler, st.cpu.handler_entry);
                             st.clock.advance(st.cpu.handler_entry);
                             let diff = WordDiff::decode(&env.payload);
                             st.apply_remote_diff(page as usize, &diff);
@@ -270,6 +312,19 @@ mod tests {
             a.read(0)
         });
         assert_eq!(results, vec![20, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "node 1 exploded")]
+    fn peer_panic_fails_loudly_instead_of_hanging() {
+        let _ = run_jiajia_cluster(opts(2), |dsm| {
+            let a = dsm.alloc::<i32>(16).unwrap();
+            if dsm.me() == 1 {
+                panic!("node 1 exploded");
+            }
+            dsm.barrier();
+            a.read(0)
+        });
     }
 
     #[test]

@@ -42,6 +42,9 @@ struct BarState {
     notices: Vec<(u32, NodeId)>,
     result: Option<Arc<Vec<PageNotice>>>,
     exit_time: SimInstant,
+    /// Set when a node's app thread panicked: waiters must unblock and
+    /// propagate instead of waiting for an impossible rendezvous.
+    poisoned: bool,
 }
 
 /// The cluster barrier (single rendezvous: diffs are acked before
@@ -64,13 +67,29 @@ impl JiaBarrier {
                 notices: Vec::new(),
                 result: None,
                 exit_time: SimInstant::ZERO,
+                poisoned: false,
             }),
             cv: Condvar::new(),
         }
     }
 
+    /// Mark the cluster as dead after an app-thread panic and wake all
+    /// waiters so they fail loudly instead of hanging.
+    pub fn poison(&self) {
+        let mut st = self.state.lock();
+        st.poisoned = true;
+        self.cv.notify_all();
+    }
+
+    fn check_poison(st: &BarState) {
+        if st.poisoned {
+            panic!("barrier poisoned: a peer app thread panicked (see its panic above)");
+        }
+    }
+
     pub fn enter(&self, ctx: &SyncCtx, notices: Vec<u32>) -> JiaBarrierRound {
         let mut st = self.state.lock();
+        Self::check_poison(&st);
         let my_gen = st.gen;
         let wait_from = ctx.clock.now();
         let bytes = ctl::BARRIER_ENTER + notices.len() * ctl::WRITE_NOTICE;
@@ -106,6 +125,7 @@ impl JiaBarrier {
         } else {
             while st.gen == my_gen {
                 self.cv.wait(&mut st);
+                Self::check_poison(&st);
             }
         }
         let written = Arc::clone(st.result.as_ref().expect("result set by last arriver"));
@@ -139,6 +159,9 @@ struct LockEntry {
 pub struct JiaLocks {
     n: usize,
     locks: Mutex<HashMap<u32, Arc<LockEntry>>>,
+    /// Set when a node's app thread panicked; waiters unblock and
+    /// propagate instead of waiting on a holder that will never release.
+    poisoned: std::sync::atomic::AtomicBool,
 }
 
 impl JiaLocks {
@@ -146,6 +169,27 @@ impl JiaLocks {
         JiaLocks {
             n,
             locks: Mutex::new(HashMap::new()),
+            poisoned: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// See [`JiaBarrier::poison`].
+    pub fn poison(&self) {
+        self.poisoned
+            .store(true, std::sync::atomic::Ordering::Release);
+        let locks = self.locks.lock();
+        for entry in locks.values() {
+            // Hold the entry mutex while notifying: a waiter that has
+            // already checked the flag but not yet parked would
+            // otherwise miss this wake-up and sleep forever.
+            let _st = entry.state.lock();
+            entry.cv.notify_all();
+        }
+    }
+
+    fn check_poison(&self) {
+        if self.poisoned.load(std::sync::atomic::Ordering::Acquire) {
+            panic!("lock service poisoned: a peer app thread panicked (see its panic above)");
         }
     }
 
@@ -173,9 +217,11 @@ impl JiaLocks {
         let wait_from = ctx.clock.now();
         let req_arrive = ctx.clock.now() + ctx.net.one_way(ctl::LOCK_ACQ);
         ctx.traffic.record_send(ctl::LOCK_ACQ, 1);
+        self.check_poison();
         st.waiters.push_back(ctx.me);
         while st.holder.is_some() || st.waiters.front() != Some(&ctx.me) {
             entry.cv.wait(&mut st);
+            self.check_poison();
         }
         st.waiters.pop_front();
         st.holder = Some(ctx.me);

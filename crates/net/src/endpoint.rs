@@ -309,7 +309,10 @@ mod tests {
         let mut eps = cluster::<TestMsg>(2, model());
         let (tx1, _) = eps.remove(1);
         let (_, mut rx0) = eps.remove(0);
-        let payload: Bytes = (0..20_000u32).map(|i| (i % 256) as u8).collect::<Vec<_>>().into();
+        let payload: Bytes = (0..20_000u32)
+            .map(|i| (i % 256) as u8)
+            .collect::<Vec<_>>()
+            .into();
         let t = tx1.send(0, TestMsg(7), payload.clone(), SimInstant(0));
         assert!(t.fragments >= 5, "fragments={}", t.fragments);
         match rx0.recv_timeout(Duration::from_secs(1)) {

@@ -220,7 +220,10 @@ mod tests {
         assert!(d.read_time(1 << 20) < d.write_time(1 << 20));
         // 10 MB at 10 MB/s ~ 1s + per_op.
         let t = d.write_time(10_000_000);
-        assert_eq!(t, SimDuration(1_000_000_000) + SimDuration::from_micros(500));
+        assert_eq!(
+            t,
+            SimDuration(1_000_000_000) + SimDuration::from_micros(500)
+        );
     }
 
     #[test]

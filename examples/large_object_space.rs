@@ -41,7 +41,11 @@ fn main() {
     });
 
     let total: i64 = results.iter().map(|r| r.sum).sum();
-    assert_eq!(total, expected_sum(params), "swap round trip corrupted data");
+    assert_eq!(
+        total,
+        expected_sum(params),
+        "swap round trip corrupted data"
+    );
     let swaps_out: u64 = results.iter().map(|r| r.swaps_out).sum();
     let swaps_in: u64 = results.iter().map(|r| r.swaps_in).sum();
     println!("checksum OK: {total}");
@@ -56,5 +60,8 @@ fn main() {
             .as_secs_f64()
     );
     println!("{swaps_out} swap-outs / {swaps_in} swap-ins through real files");
-    assert!(swaps_out > 0, "the object space exceeded the DMM area, so swapping must occur");
+    assert!(
+        swaps_out > 0,
+        "the object space exceeded the DMM area, so swapping must occur"
+    );
 }

@@ -44,10 +44,10 @@ fn unrank(mut r: u32) -> [u8; 9] {
     let mut avail: Vec<u8> = (0..9).collect();
     let mut board = [0u8; 9];
     let mut fact = 40_320u32;
-    for i in 0..9 {
+    for (i, cell) in board.iter_mut().enumerate() {
         let idx = (r / fact) as usize;
         r %= fact;
-        board[i] = avail.remove(idx);
+        *cell = avail.remove(idx);
         if i < 8 {
             fact /= (8 - i) as u32;
         }
@@ -128,8 +128,8 @@ fn bfs_node(dsm: &Dsm) -> (u64, usize) {
 
         // Drain queues addressed to me; de-duplicate against my shard.
         frontier.clear();
-        for src in 0..NODES {
-            let q = &queues[src][me];
+        for row in queues.iter().take(NODES) {
+            let q = &row[me];
             let len = q.read(0) as usize;
             for s in q.read_vec(1, len) {
                 if !visited_local[s as usize] {
@@ -160,7 +160,7 @@ fn main() {
     // A 1 MB DMM arena: the visited shards and queues (≈ 3 MB) cannot
     // all stay mapped, so the search continually swaps its tables.
     let opts = ClusterOptions::new(NODES, LotsConfig::small(1 << 20), p4_fedora());
-    let (results, report) = run_cluster(opts, |dsm| bfs_node(dsm));
+    let (results, report) = run_cluster(opts, bfs_node);
 
     let total: u64 = results.iter().map(|&(t, _)| t).sum();
     let depth = results[0].1;

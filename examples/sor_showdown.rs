@@ -24,7 +24,12 @@ fn main() {
     for system in [System::Jiajia, System::Lots, System::LotsX] {
         let cfg = RunConfig::new(system, p, p4_fedora());
         let out = run_app(&cfg, move |dsm: DsmCtx<'_>| sor(dsm, params));
-        assert_eq!(out.combined.checksum, expected, "{} diverged", system.label());
+        assert_eq!(
+            out.combined.checksum,
+            expected,
+            "{} diverged",
+            system.label()
+        );
         println!(
             "{:<7}  {:>8.3} s   {:>8.2} MB traffic   {:>9} faults   {:>11} checks",
             system.label(),

@@ -26,9 +26,9 @@ fn pointer_arithmetic_matches_paper_example() {
 }
 
 #[test]
-// The out-of-bounds panic fires on the app thread and is surfaced by
-// the runtime as an application-thread failure.
-#[should_panic(expected = "application thread panicked")]
+// The out-of-bounds panic fires on the app thread; the runtime poisons
+// the cluster and re-raises the original panic from run_cluster.
+#[should_panic(expected = "pointer arithmetic out of bounds")]
 fn pointer_arithmetic_past_the_end_panics() {
     run_cluster(lots_opts(1 << 20), |dsm| {
         let a = dsm.alloc::<i32>(8).expect("a");

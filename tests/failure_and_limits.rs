@@ -146,11 +146,9 @@ fn single_object_larger_than_dmm_rejected_with_clear_error() {
     // §4.3: "the single object size is only limited by the size of the
     // DMM area".
     let opts = ClusterOptions::new(1, LotsConfig::small(64 * 1024), p4_fedora());
-    let (results, _) = run_cluster(opts, |dsm| {
-        match dsm.alloc::<i64>(64 * 1024) {
-            Err(LotsError::ObjectTooLarge { max, .. }) => max > 0,
-            other => panic!("expected ObjectTooLarge, got {other:?}"),
-        }
+    let (results, _) = run_cluster(opts, |dsm| match dsm.alloc::<i64>(64 * 1024) {
+        Err(LotsError::ObjectTooLarge { max, .. }) => max > 0,
+        other => panic!("expected ObjectTooLarge, got {other:?}"),
     });
     assert!(results[0]);
 }

@@ -28,6 +28,38 @@ fn migratory_counter_survives_interleaving() {
 }
 
 #[test]
+fn home_last_holder_keeps_its_update_across_barrier() {
+    // Quickstart's lost-update shape: every node takes the lock exactly
+    // once per interval and adds its stripe to one shared total. When
+    // the counter's home is the LAST holder, its CS value exists only
+    // in its own arena; an older remote interval diff racing in on the
+    // comm thread before the guard was seeded used to overwrite it (and
+    // make the home's twin diff read empty, so barrier_prepare's
+    // guard-seeding never fired). The guard is now seeded at exit_cs.
+    for _ in 0..20 {
+        let nodes = 4usize;
+        let opts = ClusterOptions::new(nodes, LotsConfig::small(1 << 20), p4_fedora());
+        let (results, _) = run_cluster(opts, |dsm| {
+            // Two allocations so the counter's home is node 1, which
+            // also participates in the lock chain.
+            let _pad = dsm.alloc::<i64>(8).expect("pad"); // home 0
+            let counter = dsm.alloc::<i64>(1).expect("counter"); // home 1
+            let mut total = 0i64;
+            for round in 0..3 {
+                let mine = (round * dsm.n() + dsm.me() + 1) as i64;
+                dsm.with_lock(7, || counter.update(0, |v| v + mine));
+                dsm.barrier();
+                total = counter.read(0);
+                dsm.barrier();
+            }
+            total
+        });
+        let expect: i64 = (1..=(3 * nodes) as i64).sum();
+        assert_eq!(results, vec![expect; nodes], "lost a node's contribution");
+    }
+}
+
+#[test]
 fn mixed_lock_and_plain_writers_merge_correctly() {
     // One node updates words under the lock while others write disjoint
     // words outside any lock: the barrier must merge both kinds.

@@ -21,10 +21,7 @@ fn script_strategy(nodes: usize) -> impl Strategy<Value = Script> {
     (2usize..5, 8usize..33).prop_flat_map(move |(objects, elems)| {
         let per = elems / nodes;
         let interval = proptest::collection::vec(
-            proptest::collection::vec(
-                (0..objects, 0..per.max(1), any::<i32>()),
-                0..6,
-            ),
+            proptest::collection::vec((0..objects, 0..per.max(1), any::<i32>()), 0..6),
             nodes,
         );
         proptest::collection::vec(interval, 1..4).prop_map(move |writes| Script {
@@ -53,7 +50,7 @@ fn checksum(state: &[Vec<i32>]) -> u64 {
     state
         .iter()
         .flat_map(|o| o.iter())
-        .fold(0u64, |acc, &v| acc.wrapping_mul(31).wrapping_add(v as u64 as u64))
+        .fold(0u64, |acc, &v| acc.wrapping_mul(31).wrapping_add(v as u64))
 }
 
 fn run_lots(script: Script, nodes: usize, dmm: usize) -> u64 {
@@ -72,10 +69,7 @@ fn run_lots(script: Script, nodes: usize, dmm: usize) -> u64 {
         }
         // Read back everything in canonical order on node 0.
         if dsm.me() == 0 {
-            let state: Vec<Vec<i32>> = objs
-                .iter()
-                .map(|o| o.read_vec(0, script.elems))
-                .collect();
+            let state: Vec<Vec<i32>> = objs.iter().map(|o| o.read_vec(0, script.elems)).collect();
             checksum(&state)
         } else {
             0
@@ -99,10 +93,7 @@ fn run_jia(script: Script, nodes: usize) -> u64 {
             dsm.barrier();
         }
         if dsm.me() == 0 {
-            let state: Vec<Vec<i32>> = objs
-                .iter()
-                .map(|o| o.read_vec(0, script.elems))
-                .collect();
+            let state: Vec<Vec<i32>> = objs.iter().map(|o| o.read_vec(0, script.elems)).collect();
             checksum(&state)
         } else {
             0
