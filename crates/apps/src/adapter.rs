@@ -1,203 +1,121 @@
-//! One workload source, two DSMs.
+//! One workload source, every DSM.
 //!
 //! The paper ports each application to both LOTS and JIAJIA (§4.1).
-//! [`DsmCtx`] is the thin seam that lets this crate's kernels run
-//! unchanged on either system. [`Chunked`] realizes the paper's data
-//! layout on each: in LOTS every chunk (row, run, bucket) is its own
-//! shared object (§3.2: "LOTS treats each pointer or row as a separate
-//! object"); in JIAJIA the chunks are consecutive ranges of one flat
-//! allocation, so chunks that are not page-multiples share pages —
-//! the false sharing §4.1 analyses in LU.
+//! Here the port is free: workloads are written once against
+//! [`lots_core::DsmApi`]/[`lots_core::DsmSlice`] and run unchanged on
+//! LOTS, LOTS-x and JIAJIA. [`Chunked`] realizes the paper's data
+//! layout on each system through [`DsmApi::alloc_chunks`]: on LOTS
+//! every chunk (row, run, bucket) is its own shared object (§3.2:
+//! "LOTS treats each pointer or row as a separate object"); on JIAJIA
+//! the chunks are consecutive ranges of one flat allocation, so chunks
+//! that are not page-multiples share pages — the false sharing §4.1
+//! analyses in LU.
 
-use lots_core::{Dsm, Pod, SharedSlice};
-use lots_jiajia::{JiaDsm, JiaSlice};
-use lots_sim::SimInstant;
+use lots_core::{DsmApi, DsmSlice, Pod};
+use std::ops::Range;
 
-/// Which DSM a workload runs on.
-#[derive(Clone, Copy)]
-pub enum DsmCtx<'d> {
-    Lots(&'d Dsm),
-    Jia(&'d JiaDsm),
+/// A workload runnable on any [`DsmApi`] implementation — the unit the
+/// runner dispatches. Implemented by each app's parameter struct.
+pub trait DsmProgram: Send + Sync + 'static {
+    /// Run the workload on one node of the cluster.
+    fn run<D: DsmApi>(&self, dsm: &D) -> AppResult;
 }
 
-impl<'d> DsmCtx<'d> {
-    pub fn me(&self) -> usize {
-        match self {
-            DsmCtx::Lots(d) => d.me(),
-            DsmCtx::Jia(d) => d.me(),
-        }
-    }
-
-    pub fn n(&self) -> usize {
-        match self {
-            DsmCtx::Lots(d) => d.n(),
-            DsmCtx::Jia(d) => d.n(),
-        }
-    }
-
-    pub fn now(&self) -> SimInstant {
-        match self {
-            DsmCtx::Lots(d) => d.now(),
-            DsmCtx::Jia(d) => d.now(),
-        }
-    }
-
-    pub fn barrier(&self) {
-        match self {
-            DsmCtx::Lots(d) => d.barrier(),
-            DsmCtx::Jia(d) => d.barrier(),
-        }
-    }
-
-    pub fn lock(&self, l: u32) {
-        match self {
-            DsmCtx::Lots(d) => d.lock(l),
-            DsmCtx::Jia(d) => d.lock(l),
-        }
-    }
-
-    pub fn unlock(&self, l: u32) {
-        match self {
-            DsmCtx::Lots(d) => d.unlock(l),
-            DsmCtx::Jia(d) => d.unlock(l),
-        }
-    }
-
-    pub fn charge_compute(&self, ops: u64) {
-        match self {
-            DsmCtx::Lots(d) => d.charge_compute(ops),
-            DsmCtx::Jia(d) => d.charge_compute(ops),
-        }
-    }
-
-    /// Account per-element accesses a bulk transfer collapsed. Only the
-    /// object-based system pays the software check (§4.1 factor 2).
-    pub fn charge_access_checks(&self, n: u64) {
-        match self {
-            DsmCtx::Lots(d) => d.charge_access_checks(n),
-            DsmCtx::Jia(_) => {}
-        }
-    }
-
-    /// Allocate `chunks × chunk_len` elements in the paper's layout for
-    /// this DSM.
-    pub fn alloc_chunked<T: Pod>(&self, chunks: usize, chunk_len: usize) -> Chunked<'d, T> {
-        assert!(chunks > 0 && chunk_len > 0);
-        let inner = match self {
-            DsmCtx::Lots(d) => ChunkedInner::Lots(
-                (0..chunks)
-                    .map(|_| d.alloc::<T>(chunk_len).expect("LOTS allocation failed"))
-                    .collect(),
-            ),
-            DsmCtx::Jia(d) => ChunkedInner::Jia(
-                d.alloc::<T>(chunks * chunk_len)
-                    .expect("JIAJIA allocation failed"),
-            ),
-        };
-        Chunked {
-            inner,
-            chunks,
-            chunk_len,
-        }
-    }
-}
-
-enum ChunkedInner<'d, T: Pod> {
-    Lots(Vec<SharedSlice<'d, T>>),
-    Jia(JiaSlice<'d, T>),
-}
-
-/// A chunked shared array (matrix rows, sort runs, radix buckets).
-pub struct Chunked<'d, T: Pod> {
-    inner: ChunkedInner<'d, T>,
+/// A chunked shared array (matrix rows, sort runs, radix buckets) in
+/// the owning system's natural layout.
+pub struct Chunked<S> {
+    parts: Vec<S>,
+    /// Number of chunks.
     pub chunks: usize,
+    /// Elements per chunk.
     pub chunk_len: usize,
 }
 
-impl<T: Pod> Chunked<'_, T> {
+/// Allocate `chunks × chunk_len` elements in the paper's layout for
+/// this DSM (one object per chunk on LOTS, one flat page range on
+/// JIAJIA).
+pub fn alloc_chunked<T: Pod, D: DsmApi>(
+    dsm: &D,
+    chunks: usize,
+    chunk_len: usize,
+) -> Chunked<D::Slice<'_, T>> {
+    Chunked {
+        parts: dsm.alloc_chunks(chunks, chunk_len),
+        chunks,
+        chunk_len,
+    }
+}
+
+impl<S: DsmSlice> Chunked<S> {
+    /// Total elements across all chunks.
     pub fn len(&self) -> usize {
         self.chunks * self.chunk_len
     }
 
+    /// Chunked arrays are never empty (allocation asserts non-zero).
     pub fn is_empty(&self) -> bool {
         false
     }
 
-    pub fn read(&self, chunk: usize, i: usize) -> T {
-        debug_assert!(i < self.chunk_len);
-        match &self.inner {
-            ChunkedInner::Lots(objs) => objs[chunk].read(i),
-            ChunkedInner::Jia(a) => a.read(chunk * self.chunk_len + i),
-        }
+    /// The `Pointer<T>` handle of one chunk.
+    pub fn chunk(&self, c: usize) -> S {
+        self.parts[c]
     }
 
-    pub fn write(&self, chunk: usize, i: usize, v: T) {
-        debug_assert!(i < self.chunk_len);
-        match &self.inner {
-            ChunkedInner::Lots(objs) => objs[chunk].write(i, v),
-            ChunkedInner::Jia(a) => a.write(chunk * self.chunk_len + i, v),
-        }
+    /// Bulk read scope over `range` of chunk `c`: one access check.
+    pub fn view(&self, c: usize, range: Range<usize>) -> S::View<'_> {
+        self.parts[c].view(range)
     }
 
-    pub fn update(&self, chunk: usize, i: usize, f: impl FnOnce(T) -> T) {
-        match &self.inner {
-            ChunkedInner::Lots(objs) => objs[chunk].update(i, f),
-            ChunkedInner::Jia(a) => a.update(chunk * self.chunk_len + i, f),
-        }
+    /// Bulk write scope over `range` of chunk `c`: one access check,
+    /// write-back when the guard drops.
+    pub fn view_mut(&self, c: usize, range: Range<usize>) -> S::ViewMut<'_> {
+        self.parts[c].view_mut(range)
     }
 
-    /// Bulk read within one chunk.
-    pub fn read_span_into(&self, chunk: usize, start: usize, out: &mut [T]) {
-        debug_assert!(start + out.len() <= self.chunk_len);
-        match &self.inner {
-            ChunkedInner::Lots(objs) => objs[chunk].read_into(start, out),
-            ChunkedInner::Jia(a) => a.read_into(chunk * self.chunk_len + start, out),
-        }
+    /// Read element `i` of chunk `c` (one access check).
+    pub fn read(&self, c: usize, i: usize) -> S::Elem {
+        self.parts[c].read(i)
     }
 
-    pub fn read_chunk(&self, chunk: usize) -> Vec<T> {
-        let mut out = vec![T::default(); self.chunk_len];
-        self.read_span_into(chunk, 0, &mut out);
-        out
+    /// Write element `i` of chunk `c` (one access check).
+    pub fn write(&self, c: usize, i: usize, v: S::Elem) {
+        self.parts[c].write(i, v)
     }
 
-    /// Bulk write within one chunk.
-    pub fn write_span(&self, chunk: usize, start: usize, vals: &[T]) {
-        debug_assert!(start + vals.len() <= self.chunk_len);
-        match &self.inner {
-            ChunkedInner::Lots(objs) => objs[chunk].write_from(start, vals),
-            ChunkedInner::Jia(a) => a.write_from(chunk * self.chunk_len + start, vals),
-        }
+    /// Read-modify-write element `i` of chunk `c` (two checks).
+    pub fn update(&self, c: usize, i: usize, f: impl FnOnce(S::Elem) -> S::Elem) {
+        self.parts[c].update(i, f)
     }
 
-    pub fn write_chunk(&self, chunk: usize, vals: &[T]) {
-        debug_assert_eq!(vals.len(), self.chunk_len);
-        self.write_span(chunk, 0, vals);
-    }
-
-    /// Bulk read across chunk boundaries, `global` in flat elements.
-    pub fn read_global_into(&self, global: usize, out: &mut [T]) {
+    /// Bulk read of `out.len()` elements starting at flat element
+    /// `global`, crossing chunk boundaries; one view guard (one access
+    /// check) per chunk touched.
+    pub fn gather_into(&self, global: usize, out: &mut [S::Elem]) {
         let mut pos = global;
         let mut done = 0usize;
         while done < out.len() {
             let chunk = pos / self.chunk_len;
             let off = pos % self.chunk_len;
             let take = (self.chunk_len - off).min(out.len() - done);
-            self.read_span_into(chunk, off, &mut out[done..done + take]);
+            out[done..done + take].copy_from_slice(&self.parts[chunk].view(off..off + take));
             pos += take;
             done += take;
         }
     }
 
-    /// Bulk write across chunk boundaries.
-    pub fn write_global(&self, global: usize, vals: &[T]) {
+    /// Bulk write of `vals` starting at flat element `global`, crossing
+    /// chunk boundaries; one view guard per chunk touched.
+    pub fn scatter(&self, global: usize, vals: &[S::Elem]) {
         let mut pos = global;
         let mut done = 0usize;
         while done < vals.len() {
             let chunk = pos / self.chunk_len;
             let off = pos % self.chunk_len;
             let take = (self.chunk_len - off).min(vals.len() - done);
-            self.write_span(chunk, off, &vals[done..done + take]);
+            self.parts[chunk]
+                .view_mut(off..off + take)
+                .copy_from_slice(&vals[done..done + take]);
             pos += take;
             done += take;
         }

@@ -7,10 +7,13 @@
 //! data is written to the disk. It is expected the execution time is to
 //! be dominated by the disk access time."
 //!
-//! LOTS-only: this is precisely the experiment no other DSM of the era
-//! could run at all (JIAJIA caps at 128 MB of shared space).
+//! The kernel is generic over [`DsmApi`] like every other workload; at
+//! paper scale only LOTS can actually run it (JIAJIA's `try_alloc`
+//! fails beyond its 128 MB shared space, LOTS-x beyond the DMM area —
+//! precisely the §1 motivation), and the fallible surface reports that
+//! as an error instead of a panic.
 
-use lots_core::{Dsm, LotsError, SharedSlice};
+use lots_core::{DsmApi, DsmSlice};
 use lots_sim::{SimDuration, TimeCategory};
 
 /// Test 2 parameters: `rows × row_elems` 32-bit integers.
@@ -23,6 +26,7 @@ pub struct LargeObjParams {
 }
 
 impl LargeObjParams {
+    /// Logical size of the shared array.
     pub fn total_bytes(&self) -> u64 {
         self.rows as u64 * self.row_elems as u64 * 4
     }
@@ -31,12 +35,16 @@ impl LargeObjParams {
 /// Per-node outcome.
 #[derive(Debug, Clone, Copy)]
 pub struct LargeObjOutcome {
+    /// This node's partial sum.
     pub sum: i64,
+    /// Virtual time of the timed section.
     pub elapsed: SimDuration,
     /// Virtual time spent in backing-store I/O — the paper's "disk
     /// read/write time due to the large object space support".
     pub disk_time: SimDuration,
+    /// Objects swapped out during the run.
     pub swaps_out: u64,
+    /// Objects swapped back in during the run.
     pub swaps_in: u64,
 }
 
@@ -53,24 +61,28 @@ pub fn expected_sum(params: LargeObjParams) -> i64 {
 }
 
 /// Run Test 2 on one node; call from every node of the cluster.
-pub fn large_object_test(dsm: &Dsm, params: LargeObjParams) -> Result<LargeObjOutcome, LotsError> {
+pub fn large_object_test<D: DsmApi>(
+    dsm: &D,
+    params: LargeObjParams,
+) -> Result<LargeObjOutcome, D::Error> {
     let (p, me) = (dsm.n(), dsm.me());
-    // Every node declares every row (the object IDs are global); each
+    // Every node declares every row (the handles are global); each
     // row's data materializes only where it is touched.
-    let rows: Vec<SharedSlice<'_, i32>> = (0..params.rows)
-        .map(|_| dsm.alloc::<i32>(params.row_elems))
+    let rows: Vec<D::Slice<'_, i32>> = (0..params.rows)
+        .map(|_| dsm.try_alloc::<i32>(params.row_elems))
         .collect::<Result<_, _>>()?;
     dsm.barrier();
     let t0 = dsm.now();
     let disk0 = dsm.stats().time_in(TimeCategory::Disk);
     let (out0, in0) = (dsm.stats().swaps_out(), dsm.stats().swaps_in());
 
-    // Write phase: fill my rows. As the DMM area fills, earlier rows
-    // are swapped out — each exactly once.
-    let mut buf = vec![0i32; params.row_elems];
+    // Write phase: fill my rows, one view guard (one access check) per
+    // row. As the DMM area fills, earlier rows are swapped out — each
+    // exactly once.
     for r in (me..params.rows).step_by(p) {
-        buf.fill(row_value(r));
-        rows[r].write_from(0, &buf);
+        rows[r]
+            .try_view_mut(0..params.row_elems)?
+            .fill(row_value(r));
     }
     dsm.barrier();
 
@@ -78,8 +90,11 @@ pub fn large_object_test(dsm: &Dsm, params: LargeObjParams) -> Result<LargeObjOu
     // the local disk.
     let mut sum = 0i64;
     for r in (me..params.rows).step_by(p) {
-        rows[r].read_into(0, &mut buf);
-        sum += buf.iter().map(|&v| v as i64).sum::<i64>();
+        sum += rows[r]
+            .try_view(0..params.row_elems)?
+            .iter()
+            .map(|&v| v as i64)
+            .sum::<i64>();
         dsm.charge_compute(params.row_elems as u64);
     }
     dsm.barrier();

@@ -1,6 +1,10 @@
-//! `lots-apps` — the paper's evaluation workloads, written once against
-//! a thin adapter and runnable on LOTS, LOTS-x and the JIAJIA baseline
-//! (§4.1), plus the Test 2 large-object-space program (§4.3).
+//! `lots-apps` — the paper's evaluation workloads, written **once**,
+//! generically over [`lots_core::DsmApi`], and runnable on LOTS,
+//! LOTS-x and the JIAJIA baseline (§4.1), plus the Test 2
+//! large-object-space program (§4.3). No kernel contains a per-system
+//! branch; the system-specific data layout lives behind
+//! [`lots_core::DsmApi::alloc_chunks`] and hot loops run through view
+//! guards ([`lots_core::DsmSlice::view`]/[`lots_core::DsmSlice::view_mut`]).
 //!
 //! | app | §4.1 access pattern | favoured protocol |
 //! |---|---|---|
@@ -18,5 +22,5 @@ pub mod runner;
 pub mod rx;
 pub mod sor;
 
-pub use adapter::{combine, AppResult, Chunked, DsmCtx};
+pub use adapter::{alloc_chunked, combine, AppResult, Chunked, DsmProgram};
 pub use runner::{run_app, RunConfig, RunOutcome, System};

@@ -9,13 +9,26 @@
 //! LOTS "each row is a unique object; false sharing will not happen,
 //! since only one process will write to a particular row at any time",
 //! which is where the paper reports up to ~80 % improvement.
+//!
+//! Each elimination step opens one read view of the pivot row and one
+//! mutable view of the tail of every owned row below it: two access
+//! checks per updated row instead of two checks per *element*.
 
-use crate::adapter::{AppResult, DsmCtx};
+use lots_core::DsmApi;
+
+use crate::adapter::{alloc_chunked, AppResult, DsmProgram};
 
 /// LU parameters: the matrix is `n × n`, rows distributed cyclically.
 #[derive(Debug, Clone, Copy)]
 pub struct LuParams {
+    /// Matrix dimension.
     pub n: usize,
+}
+
+impl DsmProgram for LuParams {
+    fn run<D: DsmApi>(&self, dsm: &D) -> AppResult {
+        lu(dsm, *self)
+    }
 }
 
 /// Rows per ownership block (block-cyclic distribution: balances the
@@ -38,36 +51,37 @@ pub fn init_elem(n: usize, r: usize, c: usize) -> f64 {
 }
 
 /// Run LU on one node; call from every node.
-pub fn lu(dsm: DsmCtx<'_>, params: LuParams) -> AppResult {
+pub fn lu<D: DsmApi>(dsm: &D, params: LuParams) -> AppResult {
     let (n, p, me) = (params.n, dsm.n(), dsm.me());
     assert!(n >= p);
-    let a = dsm.alloc_chunked::<f64>(n, n);
+    let a = alloc_chunked::<f64, D>(dsm, n, n);
 
-    // Row owners write their rows.
-    let mut buf = vec![0.0f64; n];
+    // Row owners write their rows (one guard per row).
     for r in (0..n).filter(|&r| owner(r, p) == me) {
-        for (c, v) in buf.iter_mut().enumerate() {
+        let mut row = a.view_mut(r, 0..n);
+        for (c, v) in row.iter_mut().enumerate() {
             *v = init_elem(n, r, c);
         }
-        a.write_chunk(r, &buf);
     }
     dsm.barrier();
     let t0 = dsm.now();
 
     for k in 0..n {
-        // Everyone reads the pivot row (its owner reads locally).
-        let pivot = a.read_chunk(k);
-        let pivot_val = pivot[k];
-        // Update the rows I own below k.
-        for r in (k + 1..n).filter(|&r| owner(r, p) == me) {
-            let mut row = a.read_chunk(r);
-            let factor = row[k] / pivot_val;
-            row[k] = factor; // store the L entry in place (Doolittle)
-            for c in k + 1..n {
-                row[c] -= factor * pivot[c];
+        {
+            // Everyone reads the pivot row (its owner reads locally):
+            // one check, shared by every row update of this step.
+            let pivot = a.view(k, 0..n);
+            let pivot_val = pivot[k];
+            // Update the rows I own below k through the tail view.
+            for r in (k + 1..n).filter(|&r| owner(r, p) == me) {
+                let mut row = a.view_mut(r, k..n);
+                let factor = row[0] / pivot_val;
+                row[0] = factor; // store the L entry in place (Doolittle)
+                for c in k + 1..n {
+                    row[c - k] -= factor * pivot[c];
+                }
+                dsm.charge_compute(2 * (n - k) as u64);
             }
-            dsm.charge_compute(2 * (n - k) as u64);
-            a.write_chunk(r, &row);
         }
         dsm.barrier();
     }
@@ -75,7 +89,7 @@ pub fn lu(dsm: DsmCtx<'_>, params: LuParams) -> AppResult {
     // Checksum over my rows of the factored matrix.
     let mut checksum = 0u64;
     for r in (0..n).filter(|&r| owner(r, p) == me) {
-        for v in a.read_chunk(r) {
+        for v in a.view(r, 0..n).iter() {
             checksum = checksum.wrapping_add(v.to_bits());
         }
     }

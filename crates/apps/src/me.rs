@@ -12,17 +12,26 @@
 //! time is excluded" — the timer here likewise starts after the initial
 //! runs are written and the cluster synchronizes.
 
+use lots_core::DsmApi;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::adapter::{AppResult, DsmCtx};
+use crate::adapter::{alloc_chunked, AppResult, DsmProgram};
 
 /// ME parameters: `total` keys, sorted by `p` processes (`p` must be a
 /// power of two and divide `total`).
 #[derive(Debug, Clone, Copy)]
 pub struct MeParams {
+    /// Number of keys across the cluster.
     pub total: usize,
+    /// RNG seed for the key set.
     pub seed: u64,
+}
+
+impl DsmProgram for MeParams {
+    fn run<D: DsmApi>(&self, dsm: &D) -> AppResult {
+        me(dsm, *self)
+    }
 }
 
 /// The keys node `me` contributes (pre-sorted locally, as in the paper).
@@ -52,18 +61,18 @@ fn merge(a: &[i64], b: &[i64]) -> Vec<i64> {
 }
 
 /// Run ME on one node; call from every node.
-pub fn me(dsm: DsmCtx<'_>, params: MeParams) -> AppResult {
+pub fn me<D: DsmApi>(dsm: &D, params: MeParams) -> AppResult {
     let (p, rank) = (dsm.n(), dsm.me());
     assert!(p.is_power_of_two(), "ME requires a power-of-two cluster");
     assert_eq!(params.total % p, 0);
     let per = params.total / p;
     // Two generations of the key space, ping-ponged between phases.
-    let gen_a = dsm.alloc_chunked::<i64>(p, per);
-    let gen_b = dsm.alloc_chunked::<i64>(p, per);
+    let gen_a = alloc_chunked::<i64, D>(dsm, p, per);
+    let gen_b = alloc_chunked::<i64, D>(dsm, p, per);
 
     // Local sort phase (excluded from timing, §4.1).
     let run = local_run(params, p, rank);
-    gen_a.write_chunk(rank, &run);
+    gen_a.scatter(rank * per, &run);
     dsm.barrier();
     let t0 = dsm.now();
 
@@ -74,14 +83,15 @@ pub fn me(dsm: DsmCtx<'_>, params: MeParams) -> AppResult {
         if rank % group == 0 {
             let half = group / 2;
             let run_len = per * half;
-            // Read the two sorted runs (one ours, one migrating here).
+            // Read the two sorted runs (one ours, one migrating here):
+            // one view guard per chunk, not one check per key.
             let mut left = vec![0i64; run_len];
             let mut right = vec![0i64; run_len];
-            src.read_global_into(rank * per, &mut left);
-            src.read_global_into((rank + half) * per, &mut right);
+            src.gather_into(rank * per, &mut left);
+            src.gather_into((rank + half) * per, &mut right);
             let merged = merge(&left, &right);
             dsm.charge_compute(2 * merged.len() as u64);
-            dst.write_global(rank * per, &merged);
+            dst.scatter(rank * per, &merged);
         }
         dsm.barrier();
         std::mem::swap(&mut src, &mut dst);
@@ -93,7 +103,7 @@ pub fn me(dsm: DsmCtx<'_>, params: MeParams) -> AppResult {
     if rank == 0 {
         let mut prev = i64::MIN;
         for chunk in 0..p {
-            for v in src.read_chunk(chunk) {
+            for &v in src.view(chunk, 0..per).iter() {
                 assert!(v >= prev, "merge result out of order");
                 prev = v;
                 checksum = checksum.wrapping_mul(1_000_003).wrapping_add(v as u64);

@@ -1,23 +1,30 @@
 //! Uniform harness for running a workload on LOTS, LOTS-x or JIAJIA
 //! and harvesting comparable measurements — the shape of every Figure 8
 //! data point.
+//!
+//! Since every workload is generic over [`lots_core::DsmApi`], this is
+//! pure dispatch: pick the system, boot its cluster, hand each node's
+//! handle to the same [`DsmProgram`].
 
 use lots_core::{run_cluster, ClusterOptions, LotsConfig};
 use lots_jiajia::{run_jiajia_cluster, JiaOptions};
 use lots_sim::{MachineConfig, SimDuration, SimInstant, TimeCategory};
 
-use crate::adapter::{combine, AppResult, DsmCtx};
+use crate::adapter::{combine, AppResult, DsmProgram};
 
 /// The three systems of Figure 8.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum System {
+    /// The full LOTS system.
     Lots,
     /// LOTS without large-object-space support (§4.1/§4.2 ablation).
     LotsX,
+    /// The page-based JIAJIA v1.1 baseline.
     Jiajia,
 }
 
 impl System {
+    /// Human-readable label used in tables and plots.
     pub fn label(self) -> &'static str {
         match self {
             System::Lots => "LOTS",
@@ -29,8 +36,11 @@ impl System {
 
 /// One run's configuration.
 pub struct RunConfig {
+    /// Which system executes the workload.
     pub system: System,
+    /// Cluster size.
     pub n: usize,
+    /// Simulated machine (CPU, network, disk models).
     pub machine: MachineConfig,
     /// DMM arena per node (LOTS) — shrink to engage swapping.
     pub dmm_bytes: usize,
@@ -41,6 +51,7 @@ pub struct RunConfig {
 }
 
 impl RunConfig {
+    /// Defaults: 64 MB DMM arenas, 128 MB JIAJIA shared space.
     pub fn new(system: System, n: usize, machine: MachineConfig) -> RunConfig {
         RunConfig {
             system,
@@ -56,21 +67,35 @@ impl RunConfig {
 /// Harvested measurements of one run.
 #[derive(Debug, Clone)]
 pub struct RunOutcome {
+    /// Cluster-combined checksum and timed-section duration.
     pub combined: AppResult,
+    /// Per-node results.
     pub per_node: Vec<AppResult>,
     /// Full virtual execution time (slowest node, includes init).
     pub exec_time: SimInstant,
+    /// Total bytes sent on the interconnect.
     pub bytes_sent: u64,
+    /// Total messages sent on the interconnect.
     pub msgs_sent: u64,
+    /// Software access checks run (object-based systems only).
     pub access_checks: u64,
+    /// SIGSEGV-modeled page faults (page-based systems only).
     pub page_faults: u64,
+    /// Objects swapped out to the backing store.
     pub swaps_out: u64,
+    /// Objects swapped back in.
     pub swaps_in: u64,
+    /// Summed node time in access checking.
     pub time_access_check: SimDuration,
+    /// Summed node time in large-object bookkeeping (mapping, pinning).
     pub time_large_object: SimDuration,
+    /// Summed node time blocked on the network.
     pub time_network: SimDuration,
+    /// Summed node time blocked in synchronization.
     pub time_sync: SimDuration,
+    /// Summed node time in backing-store I/O.
     pub time_disk: SimDuration,
+    /// Summed node time in application compute.
     pub time_compute: SimDuration,
 }
 
@@ -81,11 +106,8 @@ impl RunOutcome {
     }
 }
 
-/// Run `app` on the configured system and cluster size.
-pub fn run_app<F>(cfg: &RunConfig, app: F) -> RunOutcome
-where
-    F: Fn(DsmCtx<'_>) -> AppResult + Send + Sync + 'static,
-{
+/// Run `prog` on the configured system and cluster size.
+pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
     match cfg.system {
         System::Lots | System::LotsX => {
             let mut lots = if cfg.system == System::Lots {
@@ -95,7 +117,7 @@ where
             };
             (cfg.lots_tweak)(&mut lots);
             let opts = ClusterOptions::new(cfg.n, lots, cfg.machine);
-            let (results, report) = run_cluster(opts, move |dsm| app(DsmCtx::Lots(dsm)));
+            let (results, report) = run_cluster(opts, move |dsm| prog.run(dsm));
             let sum = |cat: TimeCategory| -> SimDuration {
                 SimDuration(report.nodes.iter().map(|n| n.stats.time_in(cat).0).sum())
             };
@@ -119,7 +141,7 @@ where
         }
         System::Jiajia => {
             let opts = JiaOptions::new(cfg.n, cfg.shared_bytes, cfg.machine);
-            let (results, report) = run_jiajia_cluster(opts, move |dsm| app(DsmCtx::Jia(dsm)));
+            let (results, report) = run_jiajia_cluster(opts, move |dsm| prog.run(dsm));
             let sum = |cat: TimeCategory| -> SimDuration {
                 SimDuration(report.nodes.iter().map(|n| n.stats.time_in(cat).0).sum())
             };
@@ -147,12 +169,15 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::adapter::alloc_chunked;
+    use lots_core::DsmApi;
     use lots_sim::machine::p4_fedora;
 
-    #[test]
-    fn lots_and_jiajia_agree_on_a_trivial_kernel() {
-        let kernel = |dsm: DsmCtx<'_>| {
-            let a = dsm.alloc_chunked::<i64>(4, 16);
+    struct TrivialKernel;
+
+    impl DsmProgram for TrivialKernel {
+        fn run<D: DsmApi>(&self, dsm: &D) -> AppResult {
+            let a = alloc_chunked::<i64, D>(dsm, 4, 16);
             if dsm.me() == 0 {
                 for c in 0..4 {
                     a.write(c, 3, (c * 10) as i64);
@@ -164,18 +189,23 @@ mod tests {
                 checksum: sum as u64,
                 elapsed: lots_sim::SimDuration::ZERO,
             }
-        };
-        for system in [System::Lots, System::LotsX, System::Jiajia] {
-            let cfg = RunConfig::new(system, 2, p4_fedora());
-            let out = run_app(&cfg, kernel);
-            assert_eq!(out.combined.checksum, 2 * 60, "{}", system.label());
         }
     }
 
     #[test]
-    fn outcome_carries_system_specific_counters() {
-        let kernel = |dsm: DsmCtx<'_>| {
-            let a = dsm.alloc_chunked::<i64>(2, 1024);
+    fn all_systems_agree_on_a_trivial_kernel() {
+        for system in [System::Lots, System::LotsX, System::Jiajia] {
+            let cfg = RunConfig::new(system, 2, p4_fedora());
+            let out = run_app(&cfg, TrivialKernel);
+            assert_eq!(out.combined.checksum, 2 * 60, "{}", system.label());
+        }
+    }
+
+    struct CounterKernel;
+
+    impl DsmProgram for CounterKernel {
+        fn run<D: DsmApi>(&self, dsm: &D) -> AppResult {
+            let a = alloc_chunked::<i64, D>(dsm, 2, 1024);
             a.write(dsm.me() % 2, 0, 1);
             dsm.barrier();
             let _ = a.read(0, 0);
@@ -183,11 +213,18 @@ mod tests {
                 checksum: 0,
                 elapsed: lots_sim::SimDuration::ZERO,
             }
-        };
-        let lots = run_app(&RunConfig::new(System::Lots, 2, p4_fedora()), kernel);
+        }
+    }
+
+    #[test]
+    fn outcome_carries_system_specific_counters() {
+        let lots = run_app(&RunConfig::new(System::Lots, 2, p4_fedora()), CounterKernel);
         assert!(lots.access_checks > 0);
         assert_eq!(lots.page_faults, 0);
-        let jia = run_app(&RunConfig::new(System::Jiajia, 2, p4_fedora()), kernel);
+        let jia = run_app(
+            &RunConfig::new(System::Jiajia, 2, p4_fedora()),
+            CounterKernel,
+        );
         assert_eq!(jia.access_checks, 0);
         assert!(jia.page_faults > 0);
     }

@@ -16,11 +16,13 @@
 //! requested next by the process that originally owns it", which is why
 //! LOTS falls behind JIAJIA at larger p in Figure 8(d).
 
+use lots_core::DsmApi;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::adapter::{AppResult, DsmCtx};
+use crate::adapter::{alloc_chunked, AppResult, DsmProgram};
 
+/// Number of radix buckets (one 8-bit digit).
 pub const BUCKETS: usize = 256;
 /// Elements per page (u32 keys): buckets are page multiples (§4.1).
 const PAGE_ELEMS: usize = 1024;
@@ -29,9 +31,18 @@ const PAGE_ELEMS: usize = 1024;
 /// sort by the low 16 bits — the paper's "small problem sizes").
 #[derive(Debug, Clone, Copy)]
 pub struct RxParams {
+    /// Number of keys across the cluster.
     pub total: usize,
+    /// 8-bit digit passes (1–4).
     pub passes: u32,
+    /// RNG seed for the key set.
     pub seed: u64,
+}
+
+impl DsmProgram for RxParams {
+    fn run<D: DsmApi>(&self, dsm: &D) -> AppResult {
+        rx(dsm, *self)
+    }
 }
 
 /// The process that fills bucket `b` (contiguous digit ranges).
@@ -62,30 +73,30 @@ fn bucket_capacity(total: usize) -> usize {
 }
 
 /// Run RX on one node; call from every node.
-pub fn rx(dsm: DsmCtx<'_>, params: RxParams) -> AppResult {
+pub fn rx<D: DsmApi>(dsm: &D, params: RxParams) -> AppResult {
     let (p, rank) = (dsm.n(), dsm.me());
     assert_eq!(params.total % p, 0);
     assert!(params.passes >= 1 && params.passes <= 4);
     let per = params.total / p;
     let cap = bucket_capacity(params.total);
     // Shared key space, one chunk per process.
-    let keys = dsm.alloc_chunked::<u32>(p, per);
+    let keys = alloc_chunked::<u32, D>(dsm, p, per);
     // 256 bucket objects: slot 0 is the element count.
-    let buckets = dsm.alloc_chunked::<u32>(BUCKETS, cap);
+    let buckets = alloc_chunked::<u32, D>(dsm, BUCKETS, cap);
     // Per-bucket counts for prefix computation (one small shared object).
-    let counts = dsm.alloc_chunked::<u32>(1, BUCKETS);
+    let counts = alloc_chunked::<u32, D>(dsm, 1, BUCKETS);
 
-    keys.write_chunk(rank, &local_keys(params, p, rank));
+    keys.scatter(rank * per, &local_keys(params, p, rank));
     dsm.barrier();
     let t0 = dsm.now();
 
     for pass in 0..params.passes {
         let shift = 8 * pass;
         // ---- fill: each fill owner gathers its digit range from the
-        // whole key space.
+        // whole key space (one view per chunk, not one check per key).
         let all_keys = {
             let mut buf = vec![0u32; params.total];
-            keys.read_global_into(0, &mut buf);
+            keys.gather_into(0, &mut buf);
             buf
         };
         let my_lo = (rank * BUCKETS).div_ceil(p);
@@ -106,17 +117,17 @@ pub fn rx(dsm: DsmCtx<'_>, params: RxParams) -> AppResult {
                 "bucket overflow: {} keys, capacity {cap}",
                 keys_in_bucket.len()
             );
-            let mut img = Vec::with_capacity(keys_in_bucket.len() + 1);
-            img.push(keys_in_bucket.len() as u32);
-            img.extend_from_slice(keys_in_bucket);
-            buckets.write_span(b, 0, &img);
+            let mut img = buckets.view_mut(b, 0..keys_in_bucket.len() + 1);
+            img[0] = keys_in_bucket.len() as u32;
+            img[1..].copy_from_slice(keys_in_bucket);
+            drop(img);
             counts.write(0, b, keys_in_bucket.len() as u32);
         }
         dsm.barrier();
 
         // ---- drain: each drain owner writes its buckets' keys to
         // their global sorted positions and clears the bucket.
-        let all_counts = counts.read_chunk(0);
+        let all_counts: Vec<u32> = counts.view(0, 0..BUCKETS).to_vec();
         let mut offsets = vec![0usize; BUCKETS + 1];
         for b in 0..BUCKETS {
             offsets[b + 1] = offsets[b] + all_counts[b] as usize;
@@ -128,10 +139,9 @@ pub fn rx(dsm: DsmCtx<'_>, params: RxParams) -> AppResult {
             }
             let cnt = all_counts[b] as usize;
             if cnt > 0 {
-                let mut data = vec![0u32; cnt + 1];
-                buckets.read_span_into(b, 0, &mut data);
+                let data = buckets.view(b, 0..cnt + 1);
                 debug_assert_eq!(data[0] as usize, cnt);
-                keys.write_global(offsets[b], &data[1..]);
+                keys.scatter(offsets[b], &data[1..]);
                 dsm.charge_compute(cnt as u64);
             }
             // Clearing the count is the ping-pong write: the bucket's
@@ -143,14 +153,13 @@ pub fn rx(dsm: DsmCtx<'_>, params: RxParams) -> AppResult {
 
     // Checksum my chunk; verify global order from node 0.
     let mask = (1u64 << (8 * params.passes)) - 1;
-    let mine = keys.read_chunk(rank);
     let mut checksum = 0u64;
-    for &v in &mine {
+    for &v in keys.view(rank, 0..per).iter() {
         checksum = checksum.wrapping_add((v as u64) & mask);
     }
     if rank == 0 {
         let mut buf = vec![0u32; params.total];
-        keys.read_global_into(0, &mut buf);
+        keys.gather_into(0, &mut buf);
         assert!(
             buf.windows(2).all(|w| w[0] <= w[1]),
             "radix result out of order"

@@ -3,7 +3,6 @@
 //! curves are only comparable because all three systems compute the
 //! same answer.
 
-use lots_apps::adapter::DsmCtx;
 use lots_apps::runner::{run_app, RunConfig, System};
 use lots_apps::{lu, me, rx, sor};
 use lots_sim::machine::p4_fedora;
@@ -25,7 +24,7 @@ fn sor_matches_sequential_on_all_systems() {
     let expected = sor::sor_sequential(params);
     for system in SYSTEMS {
         for p in [1usize, 2, 4] {
-            let out = run_app(&cfg(system, p), move |d: DsmCtx<'_>| sor::sor(d, params));
+            let out = run_app(&cfg(system, p), params);
             assert_eq!(
                 out.combined.checksum,
                 expected,
@@ -42,7 +41,7 @@ fn lu_matches_sequential_on_all_systems() {
     let expected = lu::lu_sequential(params);
     for system in SYSTEMS {
         for p in [1usize, 2, 4] {
-            let out = run_app(&cfg(system, p), move |d: DsmCtx<'_>| lu::lu(d, params));
+            let out = run_app(&cfg(system, p), params);
             assert_eq!(
                 out.combined.checksum,
                 expected,
@@ -62,7 +61,7 @@ fn me_matches_sequential_on_all_systems() {
         };
         let expected = me::me_sequential(params, p);
         for system in SYSTEMS {
-            let out = run_app(&cfg(system, p), move |d: DsmCtx<'_>| me::me(d, params));
+            let out = run_app(&cfg(system, p), params);
             assert_eq!(
                 out.combined.checksum,
                 expected,
@@ -83,7 +82,7 @@ fn rx_matches_sequential_on_all_systems() {
         };
         let expected = rx::rx_sequential(params, p);
         for system in SYSTEMS {
-            let out = run_app(&cfg(system, p), move |d: DsmCtx<'_>| rx::rx(d, params));
+            let out = run_app(&cfg(system, p), params);
             assert_eq!(
                 out.combined.checksum,
                 expected,
@@ -104,7 +103,7 @@ fn lots_swapping_engages_under_pressure_without_changing_results() {
     let expected = sor::sor_sequential(params);
     let mut c = RunConfig::new(System::Lots, 2, p4_fedora());
     c.dmm_bytes = 96 * 1024;
-    let out = run_app(&c, move |d: DsmCtx<'_>| sor::sor(d, params));
+    let out = run_app(&c, params);
     assert_eq!(out.combined.checksum, expected);
     assert!(out.swaps_out > 0, "swap machinery must engage");
     assert!(out.swaps_in > 0);

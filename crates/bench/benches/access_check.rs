@@ -4,7 +4,7 @@
 //! only) and a bulk access amortizing one check over a row.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use lots_core::{run_cluster, ClusterOptions, LotsConfig};
+use lots_core::{run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig};
 use lots_sim::machine::p4_fedora;
 
 /// Run `f` once inside a single-node LOTS cluster and return its value.
@@ -24,7 +24,7 @@ fn bench_access_check(c: &mut Criterion) {
     g.bench_function("lots_checked_read", |b| {
         // Measure inside the cluster: read a mapped valid object.
         let ns_per = in_cluster(LotsConfig::small(1 << 20), |dsm| {
-            let a = dsm.alloc::<i64>(512).expect("alloc");
+            let a = dsm.alloc::<i64>(512);
             a.fill(3);
             let reps = 300_000u64;
             let t0 = std::time::Instant::now();
@@ -41,7 +41,7 @@ fn bench_access_check(c: &mut Criterion) {
 
     g.bench_function("lots_x_checked_read", |b| {
         let ns_per = in_cluster(LotsConfig::lots_x(1 << 20), |dsm| {
-            let a = dsm.alloc::<i64>(512).expect("alloc");
+            let a = dsm.alloc::<i64>(512);
             a.fill(3);
             let reps = 300_000u64;
             let t0 = std::time::Instant::now();
@@ -60,7 +60,7 @@ fn bench_access_check(c: &mut Criterion) {
         b.iter_batched(
             || {
                 in_cluster(LotsConfig::small(4 << 20), |dsm| {
-                    let a = dsm.alloc::<f64>(1024).expect("alloc");
+                    let a = dsm.alloc::<f64>(1024);
                     a.fill(1.5);
                     let t0 = std::time::Instant::now();
                     for _ in 0..1000 {

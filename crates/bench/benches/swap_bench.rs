@@ -3,7 +3,7 @@
 //! path, plus the RLE compression that makes the modeled store scale).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use lots_core::{run_cluster, ClusterOptions, LotsConfig};
+use lots_core::{run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig};
 use lots_disk::{BackingStore, FileStore, MemStore, ModeledStore, RleImage};
 use lots_sim::machine::p4_fedora;
 use lots_sim::{DiskModel, SimDuration};
@@ -83,8 +83,8 @@ fn bench_swap_cycle(c: &mut Criterion) {
         b.iter(|| {
             let opts = ClusterOptions::new(1, LotsConfig::small(256 * 1024), p4_fedora());
             let (results, _) = run_cluster(opts, |dsm| {
-                let a = dsm.alloc::<i64>(12 * 1024).expect("a"); // 96 KB
-                let b = dsm.alloc::<i64>(12 * 1024).expect("b");
+                let a = dsm.alloc::<i64>(12 * 1024); // 96 KB
+                let b = dsm.alloc::<i64>(12 * 1024);
                 for round in 0..8 {
                     a.write(round, round as i64);
                     b.write(round, round as i64);

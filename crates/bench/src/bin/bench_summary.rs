@@ -1,0 +1,151 @@
+//! Emit a machine-readable `BENCH_summary.json` tracking the repo's
+//! perf trajectory: the quickstart virtual time, the SOR 256×256×32
+//! (p = 4) point on all three systems with its access-check counts,
+//! and the modeled §4.2 access-check cost (the host-measured cost is
+//! printed but kept out of the JSON — it varies by machine).
+//!
+//! ```text
+//! cargo run --release -p lots-bench --bin bench_summary [-- --check]
+//! ```
+//!
+//! The JSON lands in the current directory (the repo root in CI) so
+//! successive PRs can diff it. Virtual *times* vary a few percent
+//! run-to-run (thread scheduling shifts handler charging), so they are
+//! indicative; the access-check *counts* are deterministic, and
+//! `--check` fails if they drift from the committed file — the signal
+//! that a PR changed check accounting without regenerating the
+//! summary.
+
+use std::fmt::Write as _;
+
+use lots_apps::runner::System;
+use lots_bench::{measure, no_tweak, App};
+use lots_core::{run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig};
+use lots_sim::machine::{p4_fedora, pentium4_2ghz};
+
+/// The quickstart example's virtual execution time in milliseconds
+/// (same kernel as `examples/quickstart.rs`).
+fn quickstart_ms() -> f64 {
+    const NODES: usize = 4;
+    const LEN: usize = 1024;
+    let opts = ClusterOptions::new(NODES, LotsConfig::small(4 << 20), p4_fedora());
+    let (_, report) = run_cluster(opts, |dsm| {
+        let data = dsm.alloc::<i64>(LEN);
+        let counter = dsm.alloc::<i64>(1);
+        let per = LEN / dsm.n();
+        let base = dsm.me() * per;
+        for i in 0..per {
+            data.write(base + i, (base + i) as i64);
+        }
+        dsm.barrier();
+        let local = data.view(base..base + per).iter().sum::<i64>();
+        dsm.with_lock(1, || counter.update(0, |v| v + local));
+        dsm.barrier();
+        counter.read(0)
+    });
+    report.exec_time.as_secs_f64() * 1e3
+}
+
+/// Host-measured fast-path cost of one checked read (ns).
+fn host_check_ns() -> f64 {
+    let opts = ClusterOptions::new(1, LotsConfig::small(1 << 20), p4_fedora());
+    let (results, _) = run_cluster(opts, |dsm| {
+        let a = dsm.alloc::<i64>(1024);
+        a.write(0, 1);
+        let reps: u64 = 1_000_000;
+        let t0 = std::time::Instant::now();
+        let mut sink = 0i64;
+        for i in 0..reps {
+            sink = sink.wrapping_add(a.read((i % 1024) as usize));
+        }
+        let elapsed = t0.elapsed();
+        assert!(sink != i64::MIN, "keep the loop alive");
+        elapsed.as_nanos() as f64 / reps as f64
+    });
+    results[0]
+}
+
+/// Extract `"key": value,`-style integer fields from the committed
+/// JSON without a parser dependency.
+fn committed_field(json: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\": ");
+    let at = json.find(&needle)? + needle.len();
+    let tail: String = json[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    tail.parse().ok()
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let committed = std::fs::read_to_string("BENCH_summary.json").ok();
+    let machine = p4_fedora();
+    let cpu = pentium4_2ghz();
+
+    let quick_ms = quickstart_ms();
+
+    // SOR 256×256, 32 iterations, p = 4 — the tracked Figure 8(c)
+    // point (App::run at size 256 with full=false uses 32 iterations).
+    let mut sor = String::new();
+    let mut checksums = Vec::new();
+    let mut drifted = false;
+    for (key, system) in [
+        ("jiajia", System::Jiajia),
+        ("lots", System::Lots),
+        ("lotsx", System::LotsX),
+    ] {
+        let pt = measure(App::Sor, system, 4, 256, machine, false, no_tweak);
+        checksums.push(pt.outcome.combined.checksum);
+        if let Some(old) = committed
+            .as_deref()
+            .and_then(|j| committed_field(j, &format!("{key}_access_checks")))
+        {
+            if old != pt.outcome.access_checks {
+                eprintln!(
+                    "DRIFT: {key}_access_checks committed {old} vs measured {}",
+                    pt.outcome.access_checks
+                );
+                drifted = true;
+            }
+        }
+        let _ = write!(
+            sor,
+            "\n    \"{key}_s\": {:.6},\n    \"{key}_access_checks\": {},",
+            pt.outcome.combined.elapsed.as_secs_f64(),
+            pt.outcome.access_checks
+        );
+        println!(
+            "SOR 256x256x32 p=4 {:<7} {:>7.3} s  {:>12} checks",
+            system.label(),
+            pt.outcome.combined.elapsed.as_secs_f64(),
+            pt.outcome.access_checks
+        );
+    }
+    assert!(
+        checksums.windows(2).all(|w| w[0] == w[1]),
+        "systems disagree on SOR: {checksums:?}"
+    );
+    let sor = sor.trim_end_matches(',').to_string();
+
+    // The JSON holds only virtual-time / modeled numbers, which are
+    // deterministic — CI diffs the committed file against a fresh run.
+    // The host-measured check cost varies by machine, so it goes to
+    // stdout only.
+    let json = format!(
+        "{{\n  \"quickstart_ms\": {quick_ms:.4},\n  \"sor_256_p4\": {{{sor}\n  }},\n  \
+         \"access_check_ns\": {{\n    \"modeled\": {},\n    \"modeled_pin\": {}\n  }}\n}}\n",
+        cpu.access_check.0, cpu.pin_update.0
+    );
+    if check && drifted {
+        eprintln!(
+            "access-check accounting drifted from the committed BENCH_summary.json — \
+             regenerate it with `cargo run --release -p lots-bench --bin bench_summary`"
+        );
+        std::process::exit(1);
+    }
+    std::fs::write("BENCH_summary.json", &json).expect("write BENCH_summary.json");
+    let host_ns = host_check_ns();
+    println!("quickstart {quick_ms:.2} ms; host check {host_ns:.1} ns/read (host-dependent, not in JSON)");
+    println!("wrote BENCH_summary.json");
+}

@@ -1,5 +1,4 @@
 //! Quick calibration probe: one mid-size point per app × p × system.
-use lots_apps::adapter::DsmCtx;
 use lots_apps::runner::System;
 use lots_apps::rx;
 use lots_bench::{measure, no_tweak, App};
@@ -21,7 +20,7 @@ fn main() {
                     c.shared_bytes = 192 << 20;
                     c
                 };
-                let out = lots_apps::runner::run_app(&cfg, move |d: DsmCtx<'_>| rx::rx(d, params));
+                let out = lots_apps::runner::run_app(&cfg, params);
                 line.push_str(&format!(
                     "  {}={:.3}s({:.1}MB)",
                     system.label(),

@@ -95,27 +95,31 @@ fn main() {
         }
         // A lock-heavy microkernel (migratory counter) shows the
         // protocol difference directly.
-        use lots_apps::adapter::{AppResult, DsmCtx};
-        let kernel = |dsm: DsmCtx<'_>| {
-            let a = dsm.alloc_chunked::<i64>(1, 512);
-            let t0 = dsm.now();
-            for _ in 0..200 {
-                dsm.lock(1);
-                let v = a.read(0, 0);
-                a.write(0, 0, v + 1);
-                dsm.unlock(1);
+        use lots_apps::adapter::{alloc_chunked, AppResult, DsmProgram};
+        use lots_core::DsmApi;
+        struct MigratoryCounter;
+        impl DsmProgram for MigratoryCounter {
+            fn run<D: DsmApi>(&self, dsm: &D) -> AppResult {
+                let a = alloc_chunked::<i64, D>(dsm, 1, 512);
+                let t0 = dsm.now();
+                for _ in 0..200 {
+                    dsm.lock(1);
+                    let v = a.read(0, 0);
+                    a.write(0, 0, v + 1);
+                    dsm.unlock(1);
+                }
+                dsm.barrier();
+                AppResult {
+                    checksum: a.read(0, 0) as u64,
+                    elapsed: dsm.now().saturating_sub(t0),
+                }
             }
-            dsm.barrier();
-            AppResult {
-                checksum: a.read(0, 0) as u64,
-                elapsed: dsm.now().saturating_sub(t0),
-            }
-        };
+        }
         for &p in &ps {
             let mk = |tweak: fn(&mut LotsConfig)| {
                 let mut cfg = lots_apps::runner::RunConfig::new(System::Lots, p, machine);
                 cfg.lots_tweak = tweak;
-                lots_apps::runner::run_app(&cfg, kernel)
+                lots_apps::runner::run_app(&cfg, MigratoryCounter)
             };
             let wu = mk(no_tweak);
             let wi = mk(wi_locks);

@@ -72,10 +72,10 @@ fn main() {
 
 /// Measure the real fast-path cost of a checked read on this host.
 fn host_check_cost() -> (u64, f64) {
-    use lots_core::{run_cluster, ClusterOptions, LotsConfig};
+    use lots_core::{run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig};
     let opts = ClusterOptions::new(1, LotsConfig::small(1 << 20), p4_fedora());
     let (results, _) = run_cluster(opts, |dsm| {
-        let a = dsm.alloc::<i64>(1024).expect("alloc");
+        let a = dsm.alloc::<i64>(1024);
         a.write(0, 1);
         let reps: u64 = 2_000_000;
         let t0 = std::time::Instant::now();

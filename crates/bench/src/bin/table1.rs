@@ -14,7 +14,7 @@
 use std::sync::Arc;
 
 use lots_apps::largeobj::{expected_sum, large_object_test, LargeObjParams};
-use lots_core::{run_cluster, ClusterOptions, LotsConfig, LotsError};
+use lots_core::{run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig, LotsError};
 use lots_disk::ModeledStore;
 use lots_sim::machine::{p3_redhat62, p3_redhat90, p4_fedora, poweredge6300};
 use lots_sim::MachineConfig;
@@ -68,9 +68,7 @@ fn max_space_run(quick: bool) {
         .with_stores(move |_| Arc::new(ModeledStore::with_capacity(disk, capacity)));
     let row_elems = (row_bytes / 4) as usize;
     let (results, _report) = run_cluster(opts, move |dsm| {
-        let rows_handles: Vec<_> = (0..rows)
-            .map(|_| dsm.alloc::<i32>(row_elems).expect("allocation"))
-            .collect();
+        let rows_handles: Vec<_> = (0..rows).map(|_| dsm.alloc::<i32>(row_elems)).collect();
         dsm.barrier();
         // Touch every owned row so it materializes and later swaps out.
         for (r, h) in rows_handles.iter().enumerate() {
@@ -81,13 +79,13 @@ fn max_space_run(quick: bool) {
         dsm.barrier();
         // Attempting one more row's worth of data must hit the disk
         // capacity limit — the space really is exhausted.
-        let extra = dsm.alloc::<i32>(row_elems).expect("registering is fine");
+        let extra = dsm.alloc::<i32>(row_elems); // registering is always fine
         let exhausted = if dsm.me() == 0 {
             let mut hit_limit = false;
             // Touch enough extra objects to overflow the backing store.
             'outer: for _ in 0..64 {
                 match dsm
-                    .alloc::<i32>(row_elems)
+                    .try_alloc::<i32>(row_elems)
                     .and_then(|h| h.try_read(0).map(drop))
                 {
                     Ok(()) => {}

@@ -4,9 +4,10 @@
 
 use std::fmt::Write as _;
 
-use lots_apps::adapter::{AppResult, DsmCtx};
+use lots_apps::adapter::{AppResult, DsmProgram};
 use lots_apps::runner::{run_app, RunConfig, RunOutcome, System};
 use lots_apps::{lu, me, rx, sor};
+use lots_core::DsmApi;
 use lots_sim::MachineConfig;
 
 /// The four Figure 8 applications.
@@ -64,8 +65,8 @@ impl App {
         }
     }
 
-    /// Run the app at `size` on the given context.
-    pub fn run(self, dsm: DsmCtx<'_>, size: usize, full: bool) -> AppResult {
+    /// Run the app at `size` on any DSM.
+    pub fn run<D: DsmApi>(self, dsm: &D, size: usize, full: bool) -> AppResult {
         match self {
             App::Me => me::me(
                 dsm,
@@ -91,6 +92,21 @@ impl App {
                 },
             ),
         }
+    }
+}
+
+/// An [`App`] pinned to a problem size — the runnable unit the
+/// runner dispatches ([`DsmProgram`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AppAtSize {
+    pub app: App,
+    pub size: usize,
+    pub full: bool,
+}
+
+impl DsmProgram for AppAtSize {
+    fn run<D: DsmApi>(&self, dsm: &D) -> AppResult {
+        self.app.run(dsm, self.size, self.full)
     }
 }
 
@@ -121,7 +137,7 @@ pub fn measure(
     // that the programs could work on both JIAJIA and LOTS").
     cfg.dmm_bytes = 96 << 20;
     cfg.shared_bytes = 192 << 20;
-    let outcome = run_app(&cfg, move |dsm| app.run(dsm, size, full));
+    let outcome = run_app(&cfg, AppAtSize { app, size, full });
     Point {
         app,
         system,

@@ -22,9 +22,17 @@ use slab::SlabPages;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AllocError {
     /// The object can never fit (exceeds its region's capacity).
-    TooLarge { size: usize, max: usize },
+    TooLarge {
+        /// Requested bytes.
+        size: usize,
+        /// Largest size this allocator can ever satisfy.
+        max: usize,
+    },
     /// No contiguous space right now — the mapper must swap (§3.3).
-    NoSpace { size: usize },
+    NoSpace {
+        /// Requested bytes.
+        size: usize,
+    },
 }
 
 impl std::fmt::Display for AllocError {
@@ -142,10 +150,12 @@ impl DmmAllocator {
         self.lower.free_bytes() + self.lower.used_bytes()
     }
 
+    /// Total bytes managed by the allocator.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
+    /// Bytes currently allocated across both regions.
     pub fn used_bytes(&self) -> usize {
         self.lower.used_bytes() + self.upper.used_bytes()
     }

@@ -16,7 +16,9 @@ use super::classes::{class_of, NUM_CLASSES};
 /// Preferred end of the region for an allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Dir {
+    /// Allocate from the low end (small/medium classes).
     Low,
+    /// Allocate from the high end (large class).
     High,
 }
 
@@ -35,6 +37,7 @@ pub struct Region {
 }
 
 impl Region {
+    /// A region covering `[base, base + size)`.
     pub fn new(base: usize, size: usize) -> Region {
         let mut r = Region {
             base,
@@ -141,19 +144,22 @@ impl Region {
         self.insert_free(start, len);
     }
 
-    /// Size of the block allocated at `offset`, if any.
+    /// Size of the used block starting at `offset`, if any.
     pub fn used_size(&self, offset: usize) -> Option<usize> {
         self.used.get(&offset).copied()
     }
 
+    /// Does `offset` fall inside this region?
     pub fn contains(&self, offset: usize) -> bool {
         offset >= self.base && offset < self.base + self.size
     }
 
+    /// Bytes currently allocated in this region.
     pub fn used_bytes(&self) -> usize {
         self.used_bytes
     }
 
+    /// Bytes currently free in this region.
     pub fn free_bytes(&self) -> usize {
         self.size - self.used_bytes
     }
@@ -168,6 +174,7 @@ impl Region {
             .unwrap_or(0)
     }
 
+    /// Number of live allocations in this region.
     pub fn used_blocks(&self) -> usize {
         self.used.len()
     }

@@ -54,6 +54,7 @@ pub struct SlabPages {
 }
 
 impl SlabPages {
+    /// An empty slab directory.
     pub fn new() -> SlabPages {
         SlabPages::default()
     }

@@ -1,18 +1,66 @@
-//! The application-facing LOTS API.
+//! The application-facing shared-memory API.
 //!
-//! [`Dsm`] is one node's handle on the shared object space (the paper's
-//! runtime library instance); [`SharedSlice`] is the `Pointer<T>` of
-//! §3.2/§3.3 — a small handle holding only the object ID, supporting
-//! pointer arithmetic, whose accessors run the status-checking routine
-//! that C++ LOTS hides behind operator overloading.
+//! This module defines the **one** interface every workload in this
+//! repository programs against, plus its LOTS implementation:
+//!
+//! * [`DsmApi`] — one node's handle on a shared object space (alloc,
+//!   lock/unlock, barrier, cost accounting, stats). Implemented by
+//!   [`Dsm`] here (covering both LOTS and the LOTS-x ablation) and by
+//!   `lots_jiajia::JiaDsm`, so applications are written once and run
+//!   on every system, exactly as the paper ports each app to both
+//!   DSMs (§4.1).
+//! * [`DsmSlice`] — the paper's `Pointer<T>` (§3.2/§3.3): a small
+//!   copyable handle supporting pointer arithmetic whose accessors run
+//!   the status-checking routine that C++ LOTS hides behind operator
+//!   overloading.
+//! * View guards ([`ObjView`]/[`ObjViewMut`] for LOTS) — RAII bulk
+//!   access scopes returned by [`DsmSlice::view`]/[`DsmSlice::view_mut`].
+//!
+//! # Check accounting (§4.2)
+//!
+//! The paper measures 20–25 ns per software access check and shows SOR
+//! spending more than half its time in checks because **every** `a[i]`
+//! is a checked access. The accounting rules here mirror that:
+//!
+//! * **Element ops** ([`DsmSlice::read`], [`DsmSlice::write`],
+//!   [`DsmSlice::read_into`], [`DsmSlice::write_from`], …) charge one
+//!   access check *per element touched* ([`DsmSlice::update`] charges
+//!   two, like `a[i] += x`). They model the paper's original
+//!   per-access-check API.
+//! * **View guards** charge one access check *per guard*, however many
+//!   elements the view spans: the check and miss handling run once at
+//!   guard creation, the object stays pinned (§3.3's statement
+//!   pinning, subsuming [`Dsm::statement`]) for the guard's lifetime,
+//!   and the inner loop runs over a plain `&[T]`/`&mut [T]` with no
+//!   further checks. This is the API change that collapses the §4.2
+//!   overhead on hot loops.
+//! * A guard over an **empty range** touches no object and charges no
+//!   checks.
+//!
+//! Guards buffer their range once at creation (the real system hands
+//! out a direct pointer; the simulated cost model is identical), so
+//! two rules are enforced with panics in both implementations:
+//!
+//! 1. Guards must be dropped before the next synchronization operation
+//!    ([`DsmApi::barrier`], [`DsmApi::lock`], [`DsmApi::unlock`]) —
+//!    sync redefines what the memory contains.
+//! 2. While a guard is live, other accesses to the same data may not
+//!    overlap it: a write may not overlap any live view, and any
+//!    access may not overlap a live mutable view (the buffered
+//!    snapshot would go stale, or clobber the access on write-back).
+//!    Disjoint ranges — e.g. a read view and a mutable view of
+//!    different rows, or of different halves of one object — interleave
+//!    freely.
 
+use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut, Range};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
-use lots_net::{Envelope, NetSender, NodeId};
-use lots_sim::{SimInstant, TimeCategory};
+use lots_net::{Envelope, NetSender, NodeId, TrafficStats};
+use lots_sim::{NodeStats, SimInstant, TimeCategory};
 use parking_lot::Mutex;
 
 use crate::consistency::barrier::BarrierService;
@@ -23,10 +71,317 @@ use crate::object::ObjectId;
 use crate::pod::Pod;
 use crate::protocol::messages::Msg;
 
-/// One node's handle on the LOTS shared object space.
+// ----------------------------------------------------------------------
+// The shared-memory traits
+// ----------------------------------------------------------------------
+
+/// One node's handle on a shared memory space: the single API every
+/// workload is written against (see the module docs).
+///
+/// Implementations: [`Dsm`] (LOTS and LOTS-x) and `lots_jiajia::JiaDsm`.
+pub trait DsmApi {
+    /// Errors surfaced by the fallible (`try_*`) surface.
+    type Error: std::error::Error + Send + Sync + 'static;
+
+    /// The `Pointer<T>` handle type this system hands out.
+    type Slice<'d, T: Pod>: DsmSlice<Elem = T, Error = Self::Error>
+    where
+        Self: 'd;
+
+    /// This node's rank.
+    fn me(&self) -> NodeId;
+
+    /// Cluster size.
+    fn n(&self) -> usize;
+
+    /// Current virtual time on this node.
+    fn now(&self) -> SimInstant;
+
+    /// Allocate a shared array of `len` elements (the paper's
+    /// `Pointer<T> p; p.alloc(len)`). Collective in the SPMD sense:
+    /// every node must perform the same allocations in the same order,
+    /// which is what makes the handles agree cluster-wide.
+    fn try_alloc<T: Pod>(&self, len: usize) -> Result<Self::Slice<'_, T>, Self::Error>;
+
+    /// Panicking [`DsmApi::try_alloc`].
+    fn alloc<T: Pod>(&self, len: usize) -> Self::Slice<'_, T> {
+        self.try_alloc(len)
+            .unwrap_or_else(|e| panic!("alloc of {len} elements: {e}"))
+    }
+
+    /// Allocate `chunks` arrays of `chunk_len` elements each in this
+    /// system's natural data layout. The default allocates one object
+    /// per chunk — §3.2: "LOTS treats each pointer or row as a separate
+    /// object". Page-based systems override this with one flat
+    /// allocation whose chunks share pages (the false sharing §4.1
+    /// analyses in LU).
+    fn alloc_chunks<T: Pod>(&self, chunks: usize, chunk_len: usize) -> Vec<Self::Slice<'_, T>> {
+        assert!(
+            chunks > 0 && chunk_len > 0,
+            "chunked alloc must be non-empty"
+        );
+        (0..chunks).map(|_| self.alloc(chunk_len)).collect()
+    }
+
+    /// Global memory barrier: publish this interval's writes and make
+    /// every other node's writes visible (§3.4).
+    fn barrier(&self);
+
+    /// Acquire a cluster-wide lock, applying the updates that Scope
+    /// Consistency makes visible at this acquire (§3.4).
+    fn lock(&self, lock: LockId);
+
+    /// Release a cluster-wide lock, publishing the critical section's
+    /// updates.
+    fn unlock(&self, lock: LockId);
+
+    /// Run `f` inside the critical section guarded by `lock`.
+    fn with_lock<R>(&self, lock: LockId, f: impl FnOnce() -> R) -> R {
+        self.lock(lock);
+        let r = f();
+        self.unlock(lock);
+        r
+    }
+
+    /// Charge `ops` element operations of application compute to this
+    /// node's virtual clock (the workload cost model).
+    fn charge_compute(&self, ops: u64);
+
+    /// Charge `n` additional access checks without touching data — the
+    /// workload cost-model hook for per-element re-accesses the
+    /// object-based system would check (§4.2). A no-op on systems with
+    /// no software check (JIAJIA).
+    fn charge_access_checks(&self, n: u64);
+
+    /// Node statistics (time breakdown, access-check counts, swaps).
+    fn stats(&self) -> &NodeStats;
+
+    /// Network traffic counters of this node.
+    fn traffic(&self) -> &TrafficStats;
+}
+
+/// A typed handle on a shared array — the paper's `Pointer<T>`.
+///
+/// Copyable like a raw pointer; supports the paper's pointer
+/// arithmetic (§3.3: LOTS "supports a limited set of pointer
+/// operations … such as `*(a+4)=1`") via [`DsmSlice::offset`] and
+/// [`DsmSlice::prefix`]. All data access goes through the element ops
+/// or the view guards; see the module docs for the check-accounting
+/// contract of each.
+pub trait DsmSlice: Copy + std::fmt::Debug {
+    /// Element type stored in the shared array.
+    type Elem: Pod;
+
+    /// Error type of the fallible surface (matches the owning
+    /// [`DsmApi::Error`]).
+    type Error: std::error::Error + Send + Sync + 'static;
+
+    /// Read-only view guard: derefs to `&[Self::Elem]`.
+    type View<'g>: Deref<Target = [Self::Elem]>
+    where
+        Self: 'g;
+
+    /// Mutable view guard: derefs to `&mut [Self::Elem]`, written back
+    /// to the shared object when dropped.
+    type ViewMut<'g>: DerefMut<Target = [Self::Elem]>
+    where
+        Self: 'g;
+
+    /// Elements addressable through this handle.
+    fn len(&self) -> usize;
+
+    /// Pointer arithmetic: a handle shifted forward by `delta`
+    /// elements. `offset(len)` is allowed and yields an explicitly
+    /// **empty tail handle**: `is_empty()` is true, empty views and
+    /// bulk ops over zero elements succeed, and element accessors
+    /// panic with a message naming the empty handle.
+    fn offset(&self, delta: usize) -> Self;
+
+    /// Pointer arithmetic: a handle restricted to the first `len`
+    /// elements.
+    fn prefix(&self, len: usize) -> Self;
+
+    /// Accounting primitive behind every read: a read view over
+    /// `range` charging `checks` access checks. Applications normally
+    /// call [`DsmSlice::view`] (one check per guard); the element-wise
+    /// compat ops call this with per-element check counts.
+    fn try_view_checked(
+        &self,
+        range: Range<usize>,
+        checks: u64,
+    ) -> Result<Self::View<'_>, Self::Error>;
+
+    /// Accounting primitive behind every write: the mutable
+    /// counterpart of [`DsmSlice::try_view_checked`].
+    fn try_view_mut_checked(
+        &self,
+        range: Range<usize>,
+        checks: u64,
+    ) -> Result<Self::ViewMut<'_>, Self::Error>;
+
+    /// True iff the handle addresses zero elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Open a bulk read scope over `range`: one access check, one miss
+    /// resolution, then check-free `&[T]` access for the guard's
+    /// lifetime. The guard buffers the range once at creation (the
+    /// real system would hand out a direct pointer; the simulated cost
+    /// model is identical — no per-element checks).
+    fn view(&self, range: Range<usize>) -> Self::View<'_> {
+        self.try_view(range.clone())
+            .unwrap_or_else(|e| panic!("view {range:?} of {self:?}: {e}"))
+    }
+
+    /// Fallible [`DsmSlice::view`].
+    fn try_view(&self, range: Range<usize>) -> Result<Self::View<'_>, Self::Error> {
+        let checks = !range.is_empty() as u64;
+        self.try_view_checked(range, checks)
+    }
+
+    /// Open a bulk write scope over `range`: one access check at
+    /// creation, check-free `&mut [T]` access for the guard's
+    /// lifetime, write-back on drop. The guard buffers the range once
+    /// at creation; overlapping accesses to the same data while the
+    /// guard is live are rejected with a panic (the snapshot would go
+    /// stale or clobber them on write-back).
+    fn view_mut(&self, range: Range<usize>) -> Self::ViewMut<'_> {
+        self.try_view_mut(range.clone())
+            .unwrap_or_else(|e| panic!("view_mut {range:?} of {self:?}: {e}"))
+    }
+
+    /// Fallible [`DsmSlice::view_mut`].
+    fn try_view_mut(&self, range: Range<usize>) -> Result<Self::ViewMut<'_>, Self::Error> {
+        let checks = !range.is_empty() as u64;
+        self.try_view_mut_checked(range, checks)
+    }
+
+    /// Read element `i` (one access check).
+    fn read(&self, i: usize) -> Self::Elem {
+        self.try_read(i)
+            .unwrap_or_else(|e| panic!("read {self:?}[{i}]: {e}"))
+    }
+
+    /// Fallible [`DsmSlice::read`].
+    fn try_read(&self, i: usize) -> Result<Self::Elem, Self::Error> {
+        element_bounds(self, self.len(), i);
+        Ok(self.try_view_checked(i..i + 1, 1)?[0])
+    }
+
+    /// Write element `i` (one access check).
+    fn write(&self, i: usize, v: Self::Elem) {
+        self.try_write(i, v)
+            .unwrap_or_else(|e| panic!("write {self:?}[{i}]: {e}"))
+    }
+
+    /// Fallible [`DsmSlice::write`].
+    fn try_write(&self, i: usize, v: Self::Elem) -> Result<(), Self::Error> {
+        element_bounds(self, self.len(), i);
+        self.try_view_mut_checked(i..i + 1, 1)?[0] = v;
+        Ok(())
+    }
+
+    /// Read-modify-write element `i` (two access checks, like
+    /// `a[i] += x`).
+    fn update(&self, i: usize, f: impl FnOnce(Self::Elem) -> Self::Elem) {
+        self.try_update(i, f)
+            .unwrap_or_else(|e| panic!("update {self:?}[{i}]: {e}"))
+    }
+
+    /// Fallible [`DsmSlice::update`].
+    fn try_update(
+        &self,
+        i: usize,
+        f: impl FnOnce(Self::Elem) -> Self::Elem,
+    ) -> Result<(), Self::Error> {
+        element_bounds(self, self.len(), i);
+        let mut g = self.try_view_mut_checked(i..i + 1, 2)?;
+        g[0] = f(g[0]);
+        Ok(())
+    }
+
+    /// Bulk read of `out.len()` elements starting at `start`; charged
+    /// as one access check per element, like the element loop it
+    /// replaces (§4.2's accounting).
+    fn read_into(&self, start: usize, out: &mut [Self::Elem]) {
+        self.try_read_into(start, out)
+            .unwrap_or_else(|e| panic!("bulk read of {self:?}: {e}"))
+    }
+
+    /// Fallible [`DsmSlice::read_into`].
+    fn try_read_into(&self, start: usize, out: &mut [Self::Elem]) -> Result<(), Self::Error> {
+        if out.is_empty() {
+            return Ok(());
+        }
+        let v = self.try_view_checked(start..start + out.len(), out.len() as u64)?;
+        out.copy_from_slice(&v);
+        Ok(())
+    }
+
+    /// Bulk read returning a fresh vector (one check per element).
+    fn read_vec(&self, start: usize, len: usize) -> Vec<Self::Elem> {
+        let mut out = vec![Self::Elem::default(); len];
+        self.read_into(start, &mut out);
+        out
+    }
+
+    /// Bulk write of `vals` starting at `start` (one check per
+    /// element).
+    fn write_from(&self, start: usize, vals: &[Self::Elem]) {
+        self.try_write_from(start, vals)
+            .unwrap_or_else(|e| panic!("bulk write of {self:?}: {e}"))
+    }
+
+    /// Fallible [`DsmSlice::write_from`].
+    fn try_write_from(&self, start: usize, vals: &[Self::Elem]) -> Result<(), Self::Error> {
+        if vals.is_empty() {
+            return Ok(());
+        }
+        let mut g = self.try_view_mut_checked(start..start + vals.len(), vals.len() as u64)?;
+        g.copy_from_slice(vals);
+        Ok(())
+    }
+
+    /// Fill the whole slice with `v` (one check per element, one
+    /// write-only pass).
+    fn fill(&self, v: Self::Elem) {
+        self.write_from(0, &vec![v; self.len()]);
+    }
+}
+
+/// Panic with an explicit message when an element accessor is used on
+/// an empty (e.g. `offset(len)`) handle or past the end (shared by the
+/// [`DsmSlice`] implementations; not part of the application API).
+#[doc(hidden)]
+pub fn element_bounds(slice: &impl std::fmt::Debug, len: usize, i: usize) {
+    if len == 0 {
+        panic!("element access on empty handle {slice:?} (offset(len) tail)");
+    }
+    assert!(i < len, "index {i} out of bounds (len {len}) on {slice:?}");
+}
+
+/// Validate a view range against the handle length (shared by the
+/// [`DsmSlice`] implementations; not part of the application API).
+#[doc(hidden)]
+pub fn range_bounds(slice: &impl std::fmt::Debug, len: usize, range: &Range<usize>) {
+    assert!(
+        range.start <= range.end && range.end <= len,
+        "view range {range:?} out of bounds (len {len}) on {slice:?}"
+    );
+}
+
+// ----------------------------------------------------------------------
+// The LOTS implementation
+// ----------------------------------------------------------------------
+
+/// One node's handle on the LOTS shared object space (the paper's
+/// runtime library instance).
 ///
 /// Not `Sync`: each simulated process has exactly one application
-/// thread driving its `Dsm` (SPMD style, as in the paper).
+/// thread driving its `Dsm` (SPMD style, as in the paper). The shared
+/// API lives on the [`DsmApi`] and [`DsmSlice`] traits; LOTS-specific
+/// extras (statement scopes, swap introspection) are inherent methods.
 pub struct Dsm {
     pub(crate) ctx: SyncCtx,
     pub(crate) node: Arc<Mutex<NodeState>>,
@@ -36,30 +391,45 @@ pub struct Dsm {
     pub(crate) barrier: Arc<BarrierService>,
     pub(crate) me: NodeId,
     pub(crate) n: usize,
+    /// Live view guards; synchronization ops assert this is zero.
+    pub(crate) live_views: Cell<u32>,
+    /// Byte spans of live non-empty guards, used to reject conflicting
+    /// same-object accesses (a stale-snapshot/lost-update hazard with
+    /// buffered guards).
+    pub(crate) view_spans: RefCell<Vec<ViewSpan>>,
+    /// Token source for [`ViewSpan`] registration.
+    pub(crate) view_token: Cell<u64>,
 }
 
-impl Dsm {
-    /// This node's rank.
-    pub fn me(&self) -> NodeId {
+/// One live guard's byte extent (see [`Dsm::view_spans`]).
+pub(crate) struct ViewSpan {
+    token: u64,
+    obj: u32,
+    start: usize,
+    end: usize,
+    mutable: bool,
+}
+
+impl DsmApi for Dsm {
+    type Error = LotsError;
+    type Slice<'d, T: Pod> = SharedSlice<'d, T>;
+
+    fn me(&self) -> NodeId {
         self.me
     }
 
-    /// Cluster size.
-    pub fn n(&self) -> usize {
+    fn n(&self) -> usize {
         self.n
     }
 
-    /// Current virtual time on this node.
-    pub fn now(&self) -> SimInstant {
+    fn now(&self) -> SimInstant {
         self.ctx.clock.now()
     }
 
-    /// Allocate a shared array of `len` elements (the paper's
-    /// `Pointer<T> p; p.alloc(len)`). Collective in the SPMD sense:
-    /// every node must perform the same allocations in the same order,
-    /// which is what makes the object IDs agree cluster-wide.
-    pub fn alloc<T: Pod>(&self, len: usize) -> Result<SharedSlice<'_, T>, LotsError> {
-        assert!(len > 0, "cannot allocate an empty shared object");
+    fn try_alloc<T: Pod>(&self, len: usize) -> Result<SharedSlice<'_, T>, LotsError> {
+        if len == 0 {
+            return Err(LotsError::EmptyAlloc);
+        }
         let id = self.node.lock().register_object(len * T::SIZE)?;
         Ok(SharedSlice {
             dsm: self,
@@ -70,33 +440,13 @@ impl Dsm {
         })
     }
 
-    /// Charge `ops` element operations of application compute to this
-    /// node's virtual clock (the workload cost model).
-    pub fn charge_compute(&self, ops: u64) {
-        let d = self.ctx.cpu.compute(ops);
-        self.ctx.clock.advance(d);
-        self.ctx.stats.charge(TimeCategory::Compute, d);
+    fn barrier(&self) {
+        self.try_barrier()
+            .unwrap_or_else(|e| panic!("barrier failed: {e}"))
     }
 
-    /// Charge `n` additional access checks without touching data — used
-    /// by workloads to account for per-element re-accesses that a bulk
-    /// transfer collapsed (every `a[i]` in the paper's C++ runs the
-    /// overloaded-operator check, §4.2).
-    pub fn charge_access_checks(&self, n: u64) {
-        self.node.lock().charge_checks(n);
-    }
-
-    /// Group several accesses into one pinning scope — the equivalent
-    /// of the multi-operand statement `a[5] = b[5] + c[5]` of §3.3:
-    /// every object touched inside stays mapped until the scope ends.
-    pub fn statement(&self) -> StmtGuard<'_> {
-        self.node.lock().enter_stmt();
-        StmtGuard { dsm: self }
-    }
-
-    /// Acquire a cluster-wide lock, applying the updates that Scope
-    /// Consistency makes visible at this acquire (§3.4).
-    pub fn lock(&self, lock: LockId) {
+    fn lock(&self, lock: LockId) {
+        self.assert_no_live_views("lock");
         let grant = self.locks.acquire(lock, &self.ctx);
         let mut node = self.node.lock();
         node.apply_lock_updates(&grant.updates);
@@ -107,30 +457,44 @@ impl Dsm {
         node.enter_cs(lock);
     }
 
-    /// Release a cluster-wide lock, publishing the critical section's
-    /// updates through the homeless write-update protocol.
-    pub fn unlock(&self, lock: LockId) {
+    fn unlock(&self, lock: LockId) {
+        self.assert_no_live_views("unlock");
         self.locks
             .release(lock, &self.ctx, |ts| self.node.lock().exit_cs(lock, ts));
     }
 
-    /// Run `f` inside the critical section guarded by `lock`.
-    pub fn with_lock<R>(&self, lock: LockId, f: impl FnOnce() -> R) -> R {
-        self.lock(lock);
-        let r = f();
-        self.unlock(lock);
-        r
+    fn charge_compute(&self, ops: u64) {
+        let d = self.ctx.cpu.compute(ops);
+        self.ctx.clock.advance(d);
+        self.ctx.stats.charge(TimeCategory::Compute, d);
     }
 
-    /// Global barrier with the migrating-home write-invalidate
-    /// protocol (§3.4).
-    pub fn barrier(&self) {
-        self.try_barrier()
-            .unwrap_or_else(|e| panic!("barrier failed: {e}"))
+    fn charge_access_checks(&self, n: u64) {
+        self.node.lock().charge_checks(n);
     }
 
-    /// Fallible [`Dsm::barrier`].
+    fn stats(&self) -> &NodeStats {
+        &self.ctx.stats
+    }
+
+    fn traffic(&self) -> &TrafficStats {
+        &self.ctx.traffic
+    }
+}
+
+impl Dsm {
+    /// Group several accesses into one pinning scope — the equivalent
+    /// of the multi-operand statement `a[5] = b[5] + c[5]` of §3.3:
+    /// every object touched inside stays mapped until the scope ends.
+    /// View guards open the same kind of scope implicitly.
+    pub fn statement(&self) -> StmtGuard<'_> {
+        self.node.lock().enter_stmt();
+        StmtGuard { dsm: self }
+    }
+
+    /// Fallible [`DsmApi::barrier`].
     pub fn try_barrier(&self) -> Result<(), LotsError> {
+        self.assert_no_live_views("barrier");
         // Phase A: collect notices and receive the plan.
         let notices = {
             let mut node = self.node.lock();
@@ -184,16 +548,6 @@ impl Dsm {
         self.barrier.run_barrier(&self.ctx);
     }
 
-    /// Node statistics (time breakdown, access-check counts, swaps).
-    pub fn stats(&self) -> &lots_sim::NodeStats {
-        &self.ctx.stats
-    }
-
-    /// Network traffic counters of this node.
-    pub fn traffic(&self) -> &lots_net::TrafficStats {
-        &self.ctx.traffic
-    }
-
     /// Bytes of shared objects registered (cluster-wide logical size).
     pub fn total_object_bytes(&self) -> u64 {
         self.node.lock().total_object_bytes()
@@ -218,6 +572,61 @@ impl Dsm {
     /// Bytes currently swapped out to this node's backing store.
     pub fn swapped_bytes(&self) -> u64 {
         self.node.lock().swapped_bytes()
+    }
+
+    fn assert_no_live_views(&self, what: &str) {
+        assert_eq!(
+            self.live_views.get(),
+            0,
+            "{what} while view guards are live — drop views before synchronizing"
+        );
+    }
+
+    /// Reject an access to `obj`'s byte `range` that conflicts with a
+    /// live guard: a write may not overlap any view, a read may not
+    /// overlap a mutable view (the buffered snapshot would go stale or
+    /// clobber the access on write-back).
+    fn check_view_conflict(&self, obj: ObjectId, range: &Range<usize>, write: bool) {
+        if self.live_views.get() == 0 {
+            return;
+        }
+        for s in self.view_spans.borrow().iter() {
+            if s.obj == obj.0 && s.start < range.end && range.start < s.end && (write || s.mutable)
+            {
+                panic!(
+                    "{} bytes {}..{} of {obj} overlap a live {} view ({}..{}) — drop it first",
+                    if write { "write to" } else { "read of" },
+                    range.start,
+                    range.end,
+                    if s.mutable { "mutable" } else { "read" },
+                    s.start,
+                    s.end
+                );
+            }
+        }
+    }
+
+    /// Register a live guard's span (after conflict checking it).
+    fn register_view_span(
+        &self,
+        obj: ObjectId,
+        range: &Range<usize>,
+        mutable: bool,
+    ) -> Option<u64> {
+        if range.is_empty() {
+            return None;
+        }
+        self.check_view_conflict(obj, range, mutable);
+        let token = self.view_token.get();
+        self.view_token.set(token + 1);
+        self.view_spans.borrow_mut().push(ViewSpan {
+            token,
+            obj: obj.0,
+            start: range.start,
+            end: range.end,
+            mutable,
+        });
+        Some(token)
     }
 
     // ------------------------------------------------------------------
@@ -293,11 +702,10 @@ impl Drop for StmtGuard<'_> {
     }
 }
 
-/// A typed handle on a shared object — the paper's `Pointer<T>`.
+/// A typed handle on a LOTS shared object — the paper's `Pointer<T>`.
 ///
-/// Supports pointer arithmetic ([`SharedSlice::offset`], §3.3: LOTS
-/// "supports a limited set of pointer operations … such as
-/// `*(a+4)=1`"). Copyable like a raw pointer.
+/// All access methods live on the [`DsmSlice`] trait; the inherent
+/// surface only exposes the LOTS object identity.
 pub struct SharedSlice<'d, T: Pod> {
     dsm: &'d Dsm,
     id: ObjectId,
@@ -313,23 +721,30 @@ impl<T: Pod> Clone for SharedSlice<'_, T> {
 }
 impl<T: Pod> Copy for SharedSlice<'_, T> {}
 
-impl<'d, T: Pod> SharedSlice<'d, T> {
+impl<T: Pod> SharedSlice<'_, T> {
     /// The object's cluster-wide ID.
     pub fn id(&self) -> ObjectId {
         self.id
     }
+}
 
-    /// Elements addressable through this handle.
-    pub fn len(&self) -> usize {
+impl<'d, T: Pod> DsmSlice for SharedSlice<'d, T> {
+    type Elem = T;
+    type Error = LotsError;
+    type View<'g>
+        = ObjView<'g, T>
+    where
+        Self: 'g;
+    type ViewMut<'g>
+        = ObjViewMut<'g, T>
+    where
+        Self: 'g;
+
+    fn len(&self) -> usize {
         self.len
     }
 
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
-    /// Pointer arithmetic: a handle shifted by `delta` elements.
-    pub fn offset(&self, delta: usize) -> SharedSlice<'d, T> {
+    fn offset(&self, delta: usize) -> Self {
         assert!(delta <= self.len, "pointer arithmetic out of bounds");
         SharedSlice {
             base: self.base + delta,
@@ -338,91 +753,126 @@ impl<'d, T: Pod> SharedSlice<'d, T> {
         }
     }
 
-    #[inline]
-    fn byte_at(&self, i: usize) -> usize {
-        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
-        (self.base + i) * T::SIZE
+    fn prefix(&self, len: usize) -> Self {
+        assert!(len <= self.len, "pointer arithmetic out of bounds");
+        SharedSlice { len, ..*self }
     }
 
-    /// Read element `i` (one access check).
-    pub fn read(&self, i: usize) -> T {
-        let at = self.byte_at(i);
+    fn try_view_checked(
+        &self,
+        range: Range<usize>,
+        checks: u64,
+    ) -> Result<ObjView<'_, T>, LotsError> {
+        range_bounds(self, self.len, &range);
+        let bytes = (self.base + range.start) * T::SIZE..(self.base + range.end) * T::SIZE;
+        let mut view = ObjView {
+            pin: ViewPin::new(self.dsm, self.id, bytes, false),
+            data: Vec::new(),
+        };
+        if !range.is_empty() {
+            let at = (self.base + range.start) * T::SIZE;
+            let n = range.len();
+            view.data = self.dsm.with_object(self.id, false, checks, |bytes| {
+                (0..n)
+                    .map(|k| T::read_from(&bytes[at + k * T::SIZE..]))
+                    .collect()
+            })?;
+        }
+        Ok(view)
+    }
+
+    // Element and bulk ops: the trait defaults (guard-based) are
+    // semantically right but allocate a buffer per call; these direct
+    // overrides keep the §4.2 fast path at one table lookup, exactly
+    // like the seed's element-wise implementation.
+
+    fn try_read(&self, i: usize) -> Result<T, LotsError> {
+        element_bounds(self, self.len, i);
+        let at = (self.base + i) * T::SIZE;
+        self.dsm
+            .check_view_conflict(self.id, &(at..at + T::SIZE), false);
         self.dsm
             .with_object(self.id, false, 1, |bytes| T::read_from(&bytes[at..]))
-            .unwrap_or_else(|e| panic!("read {}[{i}]: {e}", self.id))
     }
 
-    /// Write element `i` (one access check).
-    pub fn write(&self, i: usize, v: T) {
-        let at = self.byte_at(i);
+    fn try_write(&self, i: usize, v: T) -> Result<(), LotsError> {
+        element_bounds(self, self.len, i);
+        let at = (self.base + i) * T::SIZE;
+        self.dsm
+            .check_view_conflict(self.id, &(at..at + T::SIZE), true);
         self.dsm
             .with_object(self.id, true, 1, |bytes| v.write_to(&mut bytes[at..]))
-            .unwrap_or_else(|e| panic!("write {}[{i}]: {e}", self.id))
     }
 
-    /// Read-modify-write element `i` (two access checks, like `a[i]+=x`).
-    pub fn update(&self, i: usize, f: impl FnOnce(T) -> T) {
-        let at = self.byte_at(i);
+    fn try_update(&self, i: usize, f: impl FnOnce(T) -> T) -> Result<(), LotsError> {
+        element_bounds(self, self.len, i);
+        let at = (self.base + i) * T::SIZE;
         self.dsm
-            .with_object(self.id, true, 2, |bytes| {
-                let v = f(T::read_from(&bytes[at..]));
-                v.write_to(&mut bytes[at..]);
-            })
-            .unwrap_or_else(|e| panic!("update {}[{i}]: {e}", self.id))
+            .check_view_conflict(self.id, &(at..at + T::SIZE), true);
+        self.dsm.with_object(self.id, true, 2, |bytes| {
+            let v = f(T::read_from(&bytes[at..]));
+            v.write_to(&mut bytes[at..]);
+        })
     }
 
-    /// Bulk read of `out.len()` elements starting at `start`; charged
-    /// as one access check per element, like the element loop it
-    /// replaces (§4.2's accounting).
-    pub fn read_into(&self, start: usize, out: &mut [T]) {
+    fn try_read_into(&self, start: usize, out: &mut [T]) -> Result<(), LotsError> {
         if out.is_empty() {
-            return;
+            return Ok(());
         }
-        let at = self.byte_at(start);
-        assert!(start + out.len() <= self.len, "bulk read out of bounds");
+        range_bounds(self, self.len, &(start..start + out.len()));
+        let at = (self.base + start) * T::SIZE;
+        self.dsm
+            .check_view_conflict(self.id, &(at..at + out.len() * T::SIZE), false);
         self.dsm
             .with_object(self.id, false, out.len() as u64, |bytes| {
                 for (k, slot) in out.iter_mut().enumerate() {
                     *slot = T::read_from(&bytes[at + k * T::SIZE..]);
                 }
             })
-            .unwrap_or_else(|e| panic!("bulk read {}: {e}", self.id))
     }
 
-    /// Bulk read returning a fresh vector.
-    pub fn read_vec(&self, start: usize, len: usize) -> Vec<T> {
-        let mut out = vec![T::default(); len];
-        self.read_into(start, &mut out);
-        out
-    }
-
-    /// Bulk write of `vals` starting at `start` (one check/element).
-    pub fn write_from(&self, start: usize, vals: &[T]) {
+    fn try_write_from(&self, start: usize, vals: &[T]) -> Result<(), LotsError> {
         if vals.is_empty() {
-            return;
+            return Ok(());
         }
-        let at = self.byte_at(start);
-        assert!(start + vals.len() <= self.len, "bulk write out of bounds");
+        range_bounds(self, self.len, &(start..start + vals.len()));
+        let at = (self.base + start) * T::SIZE;
+        self.dsm
+            .check_view_conflict(self.id, &(at..at + vals.len() * T::SIZE), true);
         self.dsm
             .with_object(self.id, true, vals.len() as u64, |bytes| {
                 for (k, v) in vals.iter().enumerate() {
                     v.write_to(&mut bytes[at + k * T::SIZE..]);
                 }
             })
-            .unwrap_or_else(|e| panic!("bulk write {}: {e}", self.id))
     }
 
-    /// Fill the whole slice with `v`.
-    pub fn fill(&self, v: T) {
-        let vals = vec![v; self.len];
-        self.write_from(0, &vals);
-    }
-
-    /// Fallible element read (for tests exercising error paths).
-    pub fn try_read(&self, i: usize) -> Result<T, LotsError> {
-        let at = self.byte_at(i);
-        self.dsm
-            .with_object(self.id, false, 1, |bytes| T::read_from(&bytes[at..]))
+    fn try_view_mut_checked(
+        &self,
+        range: Range<usize>,
+        checks: u64,
+    ) -> Result<ObjViewMut<'_, T>, LotsError> {
+        range_bounds(self, self.len, &range);
+        let bytes = (self.base + range.start) * T::SIZE..(self.base + range.end) * T::SIZE;
+        let mut view = ObjViewMut {
+            pin: ViewPin::new(self.dsm, self.id, bytes, true),
+            id: self.id,
+            at: (self.base + range.start) * T::SIZE,
+            data: Vec::new(),
+        };
+        if !range.is_empty() {
+            let at = view.at;
+            let n = range.len();
+            // The write access runs the check, resolves a miss, creates
+            // the twin and marks the object dirty once, up front; the
+            // guard's write-back then costs nothing extra.
+            view.data = self.dsm.with_object(self.id, true, checks, |bytes| {
+                (0..n)
+                    .map(|k| T::read_from(&bytes[at + k * T::SIZE..]))
+                    .collect()
+            })?;
+        }
+        Ok(view)
     }
 }
 
@@ -433,5 +883,98 @@ impl<T: Pod> std::fmt::Debug for SharedSlice<'_, T> {
             "SharedSlice({}, base {}, len {})",
             self.id, self.base, self.len
         )
+    }
+}
+
+/// Shared bookkeeping of both guard types: a statement pin scope, the
+/// guard's registered byte span, and the live-view count that sync
+/// operations assert on.
+struct ViewPin<'d> {
+    dsm: &'d Dsm,
+    token: Option<u64>,
+}
+
+impl<'d> ViewPin<'d> {
+    fn new(dsm: &'d Dsm, obj: ObjectId, bytes: Range<usize>, mutable: bool) -> ViewPin<'d> {
+        let token = dsm.register_view_span(obj, &bytes, mutable);
+        dsm.node.lock().enter_stmt();
+        dsm.live_views.set(dsm.live_views.get() + 1);
+        ViewPin { dsm, token }
+    }
+}
+
+impl Drop for ViewPin<'_> {
+    fn drop(&mut self) {
+        if let Some(token) = self.token {
+            self.dsm
+                .view_spans
+                .borrow_mut()
+                .retain(|s| s.token != token);
+        }
+        self.dsm.node.lock().exit_stmt();
+        self.dsm.live_views.set(self.dsm.live_views.get() - 1);
+    }
+}
+
+/// Read view guard over a LOTS object (returned by
+/// [`DsmSlice::view`]): the access check and any miss handling ran
+/// once at creation, and the object stays pinned in the DMM area until
+/// the guard drops.
+pub struct ObjView<'d, T: Pod> {
+    pin: ViewPin<'d>,
+    data: Vec<T>,
+}
+
+impl<T: Pod> Deref for ObjView<'_, T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        let _ = &self.pin;
+        &self.data
+    }
+}
+
+/// Mutable view guard over a LOTS object (returned by
+/// [`DsmSlice::view_mut`]): one access check at creation, the object
+/// pinned for the guard's lifetime, and the buffered elements written
+/// back to the shared object on drop.
+pub struct ObjViewMut<'d, T: Pod> {
+    pin: ViewPin<'d>,
+    id: ObjectId,
+    at: usize,
+    data: Vec<T>,
+}
+
+impl<T: Pod> Deref for ObjViewMut<'_, T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T: Pod> DerefMut for ObjViewMut<'_, T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+impl<T: Pod> Drop for ObjViewMut<'_, T> {
+    fn drop(&mut self) {
+        if self.data.is_empty() {
+            return;
+        }
+        let data = std::mem::take(&mut self.data);
+        let at = self.at;
+        // Zero further checks: the check ran at guard creation, and the
+        // pin guarantees the object is still mapped.
+        self.pin
+            .dsm
+            .with_object(self.id, true, 0, |bytes| {
+                for (k, v) in data.iter().enumerate() {
+                    v.write_to(&mut bytes[at + k * T::SIZE..]);
+                }
+            })
+            .unwrap_or_else(|e| panic!("view_mut write-back of {}: {e}", self.id));
     }
 }

@@ -98,6 +98,8 @@ pub struct BarrierService {
 }
 
 impl BarrierService {
+    /// A barrier service for `n` nodes; `migration` enables the
+    /// migrating-home policy (§3.4).
     pub fn new(n: usize, migration: bool, locks: Arc<LockService>) -> BarrierService {
         BarrierService {
             n,
@@ -124,6 +126,7 @@ impl BarrierService {
         }
     }
 
+    /// Number of nodes this barrier synchronizes.
     pub fn cluster_size(&self) -> usize {
         self.n
     }

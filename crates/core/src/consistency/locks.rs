@@ -49,6 +49,7 @@ pub type GrantUpdates = Vec<(ObjectId, Vec<WordUpdate>)>;
 /// updates; write-invalidate mode carries invalidations + fetch hints).
 #[derive(Debug, Default)]
 pub struct Grant {
+    /// Word updates to apply at acquire (write-update mode).
     pub updates: GrantUpdates,
     /// Objects to invalidate and the node holding the freshest copy
     /// (write-invalidate ablation mode only).
@@ -91,6 +92,8 @@ pub struct LockService {
 }
 
 impl LockService {
+    /// A lock service for `n` nodes under the given diff and protocol
+    /// modes.
     pub fn new(n: usize, diff_mode: DiffMode, protocol: LockProtocol) -> LockService {
         LockService {
             n,

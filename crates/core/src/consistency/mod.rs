@@ -17,10 +17,16 @@ use lots_sim::{CpuModel, NetModel, NodeStats, SimClock};
 /// virtual time and traffic.
 #[derive(Clone)]
 pub struct SyncCtx {
+    /// This node's rank.
     pub me: lots_net::NodeId,
+    /// The node's virtual clock.
     pub clock: SimClock,
+    /// The node's time/counter statistics.
     pub stats: NodeStats,
+    /// The node's traffic counters.
     pub traffic: TrafficStats,
+    /// Interconnect cost model.
     pub net: NetModel,
+    /// CPU cost model.
     pub cpu: CpuModel,
 }

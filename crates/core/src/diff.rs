@@ -20,6 +20,7 @@ pub struct DiffRun {
 /// A word-granular object diff.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct WordDiff {
+    /// Contiguous runs of changed words, ordered by start word.
     pub runs: Vec<DiffRun>,
 }
 

@@ -13,20 +13,30 @@
 //!
 //! # Quick start
 //!
+//! Applications program against the [`DsmApi`]/[`DsmSlice`] traits —
+//! the same code runs on LOTS, the LOTS-x ablation, and the JIAJIA
+//! baseline. View guards open a bulk access scope that runs the §4.2
+//! access check once and exposes a plain slice:
+//!
 //! ```
-//! use lots_core::{run_cluster, ClusterOptions, LotsConfig};
+//! use lots_core::{run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig};
 //! use lots_sim::machine::p4_fedora;
 //!
 //! let opts = ClusterOptions::new(2, LotsConfig::small(64 * 1024), p4_fedora());
 //! let (sums, report) = run_cluster(opts, |dsm| {
-//!     let a = dsm.alloc::<i32>(100).unwrap();
-//!     // Each node writes its half.
+//!     let a = dsm.alloc::<i32>(100);
+//!     // Each node writes its half through one mutable view:
+//!     // one access check, check-free inner loop, write-back on drop.
 //!     let half = 50 * dsm.me();
-//!     for i in 0..50 {
-//!         a.write(half + i, (half + i) as i32);
+//!     {
+//!         let mut mine = a.view_mut(half..half + 50);
+//!         for (i, slot) in mine.iter_mut().enumerate() {
+//!             *slot = (half + i) as i32;
+//!         }
 //!     }
 //!     dsm.barrier();
-//!     (0..100).map(|i| a.read(i) as i64).sum::<i64>()
+//!     let sum = a.view(0..100).iter().map(|&v| v as i64).sum::<i64>();
+//!     sum
 //! });
 //! assert_eq!(sums, vec![4950, 4950]);
 //! assert!(report.exec_time.nanos() > 0);
@@ -44,6 +54,8 @@
 //! | §3.6 transport | `lots-net` crate |
 //! | `Pointer<T>` API | [`api`] |
 
+#![deny(missing_docs)]
+
 pub mod alloc;
 pub mod api;
 pub mod config;
@@ -56,7 +68,7 @@ pub mod pod;
 pub mod protocol;
 pub mod runtime;
 
-pub use api::{Dsm, SharedSlice, StmtGuard};
+pub use api::{Dsm, DsmApi, DsmSlice, ObjView, ObjViewMut, SharedSlice, StmtGuard};
 pub use config::{DiffMode, LockProtocol, LotsConfig};
 pub use consistency::locks::LockId;
 pub use diff::WordDiff;

@@ -25,16 +25,30 @@ use crate::object::{Mapping, ObjCtl, ObjectId, Share};
 pub enum LotsError {
     /// Object exceeds the maximum single-object size (§4.3: bounded by
     /// the DMM area).
-    ObjectTooLarge { size: usize, max: usize },
+    ObjectTooLarge {
+        /// Requested object size in bytes.
+        size: usize,
+        /// Largest single object this configuration can map.
+        max: usize,
+    },
     /// §5: every mapped object is pinned by the current statement and
     /// nothing can be swapped out.
-    OutOfDmm { requested: usize },
+    OutOfDmm {
+        /// Bytes the failed mapping needed.
+        requested: usize,
+    },
     /// LOTS-x (no large-object support) requires every object to stay
     /// mapped; allocation beyond the DMM area is a hard error (§1: "the
     /// application is too large to fit in the system").
-    LotsXCapacity { requested: usize },
+    LotsXCapacity {
+        /// Bytes the failed allocation needed.
+        requested: usize,
+    },
     /// Backing-store failure (out of disk, missing image).
     Disk(String),
+    /// Zero-length allocation: shared objects must hold at least one
+    /// element.
+    EmptyAlloc,
 }
 
 impl std::fmt::Display for LotsError {
@@ -57,6 +71,7 @@ impl std::fmt::Display for LotsError {
                  (large-object-space support disabled)"
             ),
             LotsError::Disk(e) => write!(f, "backing store: {e}"),
+            LotsError::EmptyAlloc => write!(f, "cannot allocate an empty shared object"),
         }
     }
 }
@@ -73,8 +88,16 @@ impl From<DiskError> for LotsError {
 /// or a clean copy must be fetched from its home first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Access {
-    Ready { offset: usize },
-    NeedFetch { home: NodeId },
+    /// The local copy is usable at this arena offset.
+    Ready {
+        /// Byte offset of the object in the DMM arena.
+        offset: usize,
+    },
+    /// The local copy is stale; fetch a clean one from `home` first.
+    NeedFetch {
+        /// Node currently holding the authoritative copy.
+        home: NodeId,
+    },
 }
 
 /// An open critical section: the guarding lock plus CS-entry snapshots
@@ -82,22 +105,30 @@ pub enum Access {
 /// updates of the homeless write-update protocol).
 #[derive(Debug)]
 pub struct CsFrame {
+    /// The guarding lock.
     pub lock: u32,
+    /// CS-entry snapshots of objects written inside, by object id.
     pub cs_twins: HashMap<u32, Vec<u8>>,
 }
 
 /// Per-node DSM state.
 pub struct NodeState {
+    /// This node's rank.
     pub me: NodeId,
+    /// Cluster size.
     pub n: usize,
+    /// Protocol configuration.
     pub cfg: LotsConfig,
+    /// CPU cost model.
     pub cpu: CpuModel,
     arena: Vec<u8>,
     twin_arena: Vec<u8>,
     alloc: DmmAllocator,
     objects: Vec<ObjCtl>,
     store: Arc<dyn BackingStore>,
+    /// The node's virtual clock.
     pub clock: SimClock,
+    /// The node's time/counter statistics.
     pub stats: NodeStats,
     /// Statement counter driving the pinning mechanism (§3.3).
     stmt: u64,
@@ -162,6 +193,8 @@ fn decode_image(img: &[u8], size: usize) -> (&[u8], ImageTwin<'_>) {
 }
 
 impl NodeState {
+    /// Fresh per-node state over the given configuration, cost models
+    /// and backing store.
     pub fn new(
         me: NodeId,
         n: usize,
@@ -242,14 +275,17 @@ impl NodeState {
         self.objects.len()
     }
 
+    /// Size in bytes of object `id`.
     pub fn object_size(&self, id: ObjectId) -> usize {
         self.objects[id.0 as usize].size
     }
 
+    /// Current home node of object `id`.
     pub fn home_of(&self, id: ObjectId) -> NodeId {
         self.objects[id.0 as usize].home
     }
 
+    /// Control state of object `id` (tests/diagnostics).
     pub fn ctl(&self, id: ObjectId) -> &ObjCtl {
         &self.objects[id.0 as usize]
     }
@@ -380,6 +416,8 @@ impl NodeState {
         self.stmt_depth += 1;
     }
 
+    /// Close the innermost statement scope (see
+    /// [`NodeState::enter_stmt`]).
     pub fn exit_stmt(&mut self) {
         debug_assert!(self.stmt_depth > 0);
         self.stmt_depth -= 1;
@@ -475,6 +513,8 @@ impl NodeState {
         &self.arena[offset..offset + len]
     }
 
+    /// Mutable raw bytes of a mapped object (after `begin_access`
+    /// returned `Ready`).
     pub fn object_bytes_mut(&mut self, offset: usize, len: usize) -> &mut [u8] {
         &mut self.arena[offset..offset + len]
     }

@@ -28,7 +28,10 @@ pub enum Mapping {
     /// Never materialized here (no local copy yet).
     Unmapped,
     /// Mapped in the DMM area at this arena offset.
-    Mapped { offset: usize },
+    Mapped {
+        /// Byte offset of the object's block in the DMM arena.
+        offset: usize,
+    },
     /// Swapped out to the local backing store.
     OnDisk,
 }
@@ -73,6 +76,7 @@ pub struct ObjCtl {
 }
 
 impl ObjCtl {
+    /// Control state for a fresh object of `size` bytes homed at `home`.
     pub fn new(size: usize, home: NodeId) -> ObjCtl {
         assert!(size > 0, "zero-sized shared objects are not allocatable");
         assert_eq!(size % 4, 0, "object sizes are word-aligned");

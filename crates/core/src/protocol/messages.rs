@@ -15,17 +15,33 @@ use crate::object::ObjectId;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Msg {
     /// Ask the home for a clean copy of the object.
-    ObjReq { obj: ObjectId },
+    ObjReq {
+        /// Requested object.
+        obj: ObjectId,
+    },
     /// Home's reply; payload carries the object bytes.
-    ObjReply { obj: ObjectId, version: u64 },
+    ObjReply {
+        /// Served object.
+        obj: ObjectId,
+        /// Barrier epoch of the served copy.
+        version: u64,
+    },
     /// Barrier diff propagation to the home (multi-writer objects);
     /// payload carries the encoded [`WordDiff`]. `ts` orders overlapping
     /// lock-era writes (release timestamp; 0 for plain interval diffs).
     ///
     /// [`WordDiff`]: crate::diff::WordDiff
-    DiffSend { obj: ObjectId, ts: u64 },
+    DiffSend {
+        /// Object the diff belongs to.
+        obj: ObjectId,
+        /// Release timestamp ordering overlapping lock-era writes.
+        ts: u64,
+    },
     /// Home's acknowledgement that a diff was applied.
-    DiffAck { obj: ObjectId },
+    DiffAck {
+        /// Object whose diff was applied.
+        obj: ObjectId,
+    },
     /// Stop the comm thread (cluster teardown).
     Shutdown,
 }

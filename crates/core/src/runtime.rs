@@ -27,8 +27,11 @@ use crate::protocol::messages::Msg;
 
 /// Everything needed to start a cluster run.
 pub struct ClusterOptions {
+    /// Cluster size.
     pub n: usize,
+    /// LOTS protocol configuration.
     pub lots: LotsConfig,
+    /// Simulated machine (CPU, network, disk models).
     pub machine: MachineConfig,
     /// Backing-store factory, one store per node. Defaults to
     /// unbounded in-memory stores timed by the machine's disk model.
@@ -36,6 +39,7 @@ pub struct ClusterOptions {
 }
 
 impl ClusterOptions {
+    /// Options with the default in-memory backing stores.
     pub fn new(n: usize, lots: LotsConfig, machine: MachineConfig) -> ClusterOptions {
         let disk = machine.disk;
         ClusterOptions {
@@ -46,6 +50,7 @@ impl ClusterOptions {
         }
     }
 
+    /// Replace the backing-store factory (e.g. file-backed spools).
     pub fn with_stores(
         mut self,
         f: impl Fn(NodeId) -> Arc<dyn BackingStore> + Send + Sync + 'static,
@@ -58,10 +63,13 @@ impl ClusterOptions {
 /// Per-node outcome of a run.
 #[derive(Debug, Clone)]
 pub struct NodeReport {
+    /// The node's rank.
     pub me: NodeId,
     /// Final virtual time (the node's execution time).
     pub time: SimInstant,
+    /// The node's time/counter statistics.
     pub stats: NodeStats,
+    /// The node's traffic counters.
     pub traffic: TrafficStats,
     /// Logical bytes of shared objects registered.
     pub object_bytes: u64,
@@ -72,6 +80,7 @@ pub struct NodeReport {
 /// Cluster-wide outcome.
 #[derive(Debug, Clone)]
 pub struct ClusterReport {
+    /// Per-node reports, indexed by rank.
     pub nodes: Vec<NodeReport>,
     /// Execution time: the slowest node's final virtual clock.
     pub exec_time: SimInstant,
@@ -173,6 +182,9 @@ where
                         barrier,
                         me,
                         n,
+                        live_views: std::cell::Cell::new(0),
+                        view_spans: std::cell::RefCell::new(Vec::new()),
+                        view_token: std::cell::Cell::new(0),
                     };
                     // A panicking node can never reach the next rendezvous;
                     // poison the sync services so peers blocked in barriers
@@ -322,6 +334,7 @@ fn comm_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::api::{DsmApi, DsmSlice};
     use lots_sim::machine::p4_fedora;
 
     fn opts(n: usize, dmm: usize) -> ClusterOptions {
@@ -331,7 +344,7 @@ mod tests {
     #[test]
     fn single_node_roundtrip() {
         let (results, report) = run_cluster(opts(1, 64 * 1024), |dsm| {
-            let a = dsm.alloc::<i32>(100).unwrap();
+            let a = dsm.alloc::<i32>(100);
             a.write(5, 42);
             a.read(5)
         });
@@ -342,7 +355,7 @@ mod tests {
     #[test]
     fn two_nodes_see_writes_after_barrier() {
         let (results, _) = run_cluster(opts(2, 64 * 1024), |dsm| {
-            let a = dsm.alloc::<i32>(16).unwrap();
+            let a = dsm.alloc::<i32>(16);
             if dsm.me() == 0 {
                 a.write(3, 77);
             }
@@ -355,7 +368,7 @@ mod tests {
     #[test]
     fn migrated_home_serves_later_readers() {
         let (results, report) = run_cluster(opts(4, 64 * 1024), |dsm| {
-            let a = dsm.alloc::<i32>(64).unwrap();
+            let a = dsm.alloc::<i32>(64);
             if dsm.me() == 2 {
                 a.fill(9);
             }
@@ -374,7 +387,7 @@ mod tests {
     #[test]
     fn multi_writer_object_merges_at_home() {
         let (results, _) = run_cluster(opts(4, 64 * 1024), |dsm| {
-            let a = dsm.alloc::<i32>(4).unwrap();
+            let a = dsm.alloc::<i32>(4);
             a.write(dsm.me(), dsm.me() as i32 + 1);
             dsm.barrier();
             (0..4).map(|i| a.read(i)).sum::<i32>()
@@ -385,7 +398,7 @@ mod tests {
     #[test]
     fn lock_updates_propagate_without_barrier() {
         let (results, _) = run_cluster(opts(2, 64 * 1024), |dsm| {
-            let a = dsm.alloc::<i32>(8).unwrap();
+            let a = dsm.alloc::<i32>(8);
             for _ in 0..10 {
                 dsm.lock(1);
                 let v = a.read(0);
@@ -407,7 +420,7 @@ mod tests {
         // reaching it. Without poisoning this run would hang forever —
         // with it, the original panic propagates out of run_cluster.
         let _ = run_cluster(opts(4, 64 * 1024), |dsm| {
-            let a = dsm.alloc::<i32>(16).unwrap();
+            let a = dsm.alloc::<i32>(16);
             if dsm.me() == 2 {
                 panic!("node 2 exploded");
             }
@@ -419,7 +432,7 @@ mod tests {
     #[test]
     fn clock_and_traffic_recorded() {
         let (_, report) = run_cluster(opts(2, 64 * 1024), |dsm| {
-            let a = dsm.alloc::<i64>(1024).unwrap();
+            let a = dsm.alloc::<i64>(1024);
             if dsm.me() == 1 {
                 a.fill(7);
             }

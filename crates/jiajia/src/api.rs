@@ -1,15 +1,29 @@
-//! Application-facing JIAJIA API, mirroring the LOTS API shape so the
-//! paper's workloads run unchanged on both systems.
+//! Application-facing JIAJIA API: the same [`DsmApi`]/[`DsmSlice`]
+//! traits the LOTS system implements, so the paper's workloads run
+//! unchanged on both systems (§4.1).
+//!
+//! Accounting differences from LOTS are captured inside the trait
+//! impl: JIAJIA runs no per-access software check (page protection
+//! hardware does the work), so `charge_access_checks` is a no-op and
+//! view guards charge page faults only on actual misses. The flat
+//! address space is captured by the `alloc_chunks` override: chunks of
+//! one allocation are consecutive ranges of shared pages, so chunks
+//! that are not page-multiples share pages — the false sharing §4.1
+//! analyses in LU.
 
+use std::cell::{Cell, RefCell};
 use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut, Range};
 use std::sync::Arc;
 
 use bytes::Bytes;
 use crossbeam::channel::Receiver;
+use lots_core::api::{element_bounds, range_bounds};
 use lots_core::consistency::SyncCtx;
 use lots_core::pod::Pod;
-use lots_net::{Envelope, NetSender, NodeId, WireSize};
-use lots_sim::{SimInstant, TimeCategory};
+use lots_core::{DsmApi, DsmSlice};
+use lots_net::{Envelope, NetSender, NodeId, TrafficStats, WireSize};
+use lots_sim::{NodeStats, SimInstant, TimeCategory};
 use parking_lot::Mutex;
 
 use crate::node::{JiaError, JiaNode, PageAccess};
@@ -18,10 +32,28 @@ use crate::services::{JiaBarrier, JiaLocks};
 /// Data-plane messages between JIAJIA nodes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JMsg {
-    PageReq { page: u32 },
-    PageReply { page: u32, version: u64 },
-    DiffSend { page: u32 },
-    DiffAck { page: u32 },
+    /// Fault-service request for one page.
+    PageReq {
+        /// Page number.
+        page: u32,
+    },
+    /// Home's reply carrying the page bytes.
+    PageReply {
+        /// Page number.
+        page: u32,
+        /// Barrier epoch of the served copy.
+        version: u64,
+    },
+    /// A flushed interval diff for a non-home page.
+    DiffSend {
+        /// Page number.
+        page: u32,
+    },
+    /// Home's acknowledgement of an applied diff.
+    DiffAck {
+        /// Page number.
+        page: u32,
+    },
 }
 
 impl WireSize for JMsg {
@@ -45,23 +77,45 @@ pub struct JiaDsm {
     pub(crate) locks: Arc<JiaLocks>,
     pub(crate) me: NodeId,
     pub(crate) n: usize,
+    /// Live view guards; synchronization ops assert this is zero.
+    pub(crate) live_views: Cell<u32>,
+    /// Byte spans of live non-empty guards (flat shared addresses),
+    /// used to reject conflicting overlapping accesses — the
+    /// stale-snapshot/lost-update hazard of buffered guards.
+    pub(crate) view_spans: RefCell<Vec<ViewSpan>>,
+    /// Token source for [`ViewSpan`] registration.
+    pub(crate) view_token: Cell<u64>,
 }
 
-impl JiaDsm {
-    pub fn me(&self) -> NodeId {
+/// One live guard's byte extent in the flat shared space.
+pub(crate) struct ViewSpan {
+    token: u64,
+    start: usize,
+    end: usize,
+    mutable: bool,
+}
+
+impl DsmApi for JiaDsm {
+    type Error = JiaError;
+    type Slice<'d, T: Pod> = JiaSlice<'d, T>;
+
+    fn me(&self) -> NodeId {
         self.me
     }
 
-    pub fn n(&self) -> usize {
+    fn n(&self) -> usize {
         self.n
     }
 
-    pub fn now(&self) -> SimInstant {
+    fn now(&self) -> SimInstant {
         self.ctx.clock.now()
     }
 
     /// `jia_alloc`: allocate a shared array of `len` elements.
-    pub fn alloc<T: Pod>(&self, len: usize) -> Result<JiaSlice<'_, T>, JiaError> {
+    fn try_alloc<T: Pod>(&self, len: usize) -> Result<JiaSlice<'_, T>, JiaError> {
+        if len == 0 {
+            return Err(JiaError::EmptyAlloc);
+        }
         let addr = self.node.lock().jia_alloc(len * T::SIZE)?;
         Ok(JiaSlice {
             dsm: self,
@@ -71,16 +125,24 @@ impl JiaDsm {
         })
     }
 
-    /// Charge `ops` element operations of application compute.
-    pub fn charge_compute(&self, ops: u64) {
-        let d = self.ctx.cpu.compute(ops);
-        self.ctx.clock.advance(d);
-        self.ctx.stats.charge(TimeCategory::Compute, d);
+    /// One flat allocation carved into `chunks` consecutive ranges —
+    /// real JIAJIA has no object granularity, so chunks share pages
+    /// wherever `chunk_len` is not a page multiple.
+    fn alloc_chunks<T: Pod>(&self, chunks: usize, chunk_len: usize) -> Vec<JiaSlice<'_, T>> {
+        assert!(
+            chunks > 0 && chunk_len > 0,
+            "chunked alloc must be non-empty"
+        );
+        let flat = self.alloc::<T>(chunks * chunk_len);
+        (0..chunks)
+            .map(|c| flat.offset(c * chunk_len).prefix(chunk_len))
+            .collect()
     }
 
     /// Global barrier: flush diffs to homes, exchange write notices,
     /// invalidate written pages.
-    pub fn barrier(&self) {
+    fn barrier(&self) {
+        self.assert_no_live_views("barrier");
         let (diffs, notices) = self.node.lock().flush_dirty();
         self.flush_diffs(diffs);
         let round = self.barrier.enter(&self.ctx, notices);
@@ -106,7 +168,8 @@ impl JiaDsm {
     }
 
     /// Acquire a lock, invalidating pages its notices name.
-    pub fn lock(&self, lock: u32) {
+    fn lock(&self, lock: u32) {
+        self.assert_no_live_views("lock");
         let invalidate = self.locks.acquire(lock, &self.ctx);
         // Version bump is barrier-scoped; locks just invalidate.
         self.node.lock().invalidate(&invalidate, 0);
@@ -114,25 +177,79 @@ impl JiaDsm {
 
     /// Release a lock: flush this interval's diffs to homes and attach
     /// the write notices to the lock.
-    pub fn unlock(&self, lock: u32) {
+    fn unlock(&self, lock: u32) {
+        self.assert_no_live_views("unlock");
         let (diffs, notices) = self.node.lock().flush_dirty();
         self.flush_diffs(diffs);
         self.locks.release(lock, &self.ctx, notices);
     }
 
-    pub fn with_lock<R>(&self, lock: u32, f: impl FnOnce() -> R) -> R {
-        self.lock(lock);
-        let r = f();
-        self.unlock(lock);
-        r
+    fn charge_compute(&self, ops: u64) {
+        let d = self.ctx.cpu.compute(ops);
+        self.ctx.clock.advance(d);
+        self.ctx.stats.charge(TimeCategory::Compute, d);
     }
 
-    pub fn stats(&self) -> &lots_sim::NodeStats {
+    /// No-op: a page-based system runs no software access check —
+    /// §4.1's "factor 2" overhead exists only on the object side.
+    fn charge_access_checks(&self, _n: u64) {}
+
+    fn stats(&self) -> &NodeStats {
         &self.ctx.stats
     }
 
-    pub fn traffic(&self) -> &lots_net::TrafficStats {
+    fn traffic(&self) -> &TrafficStats {
         &self.ctx.traffic
+    }
+}
+
+impl JiaDsm {
+    fn assert_no_live_views(&self, what: &str) {
+        assert_eq!(
+            self.live_views.get(),
+            0,
+            "{what} while view guards are live — drop views before synchronizing"
+        );
+    }
+
+    /// Reject an access to shared bytes `range` conflicting with a
+    /// live guard: a write may not overlap any view, a read may not
+    /// overlap a mutable view (the buffered snapshot would go stale or
+    /// clobber the access on write-back).
+    fn check_view_conflict(&self, range: &Range<usize>, write: bool) {
+        if self.live_views.get() == 0 {
+            return;
+        }
+        for s in self.view_spans.borrow().iter() {
+            if s.start < range.end && range.start < s.end && (write || s.mutable) {
+                panic!(
+                    "{} shared bytes {:#x}..{:#x} overlap a live {} view ({:#x}..{:#x}) — drop it first",
+                    if write { "write to" } else { "read of" },
+                    range.start,
+                    range.end,
+                    if s.mutable { "mutable" } else { "read" },
+                    s.start,
+                    s.end
+                );
+            }
+        }
+    }
+
+    /// Register a live guard's span (after conflict checking it).
+    fn register_view_span(&self, range: &Range<usize>, mutable: bool) -> Option<u64> {
+        if range.is_empty() {
+            return None;
+        }
+        self.check_view_conflict(range, mutable);
+        let token = self.view_token.get();
+        self.view_token.set(token + 1);
+        self.view_spans.borrow_mut().push(ViewSpan {
+            token,
+            start: range.start,
+            end: range.end,
+            mutable,
+        });
+        Some(token)
     }
 
     fn flush_diffs(&self, diffs: Vec<(u32, lots_core::WordDiff)>) {
@@ -222,7 +339,8 @@ impl JiaDsm {
 }
 
 /// A typed handle on a JIAJIA shared array (flat addresses — ordinary
-/// pointers in real JIAJIA).
+/// pointers in real JIAJIA). All access methods live on the
+/// [`DsmSlice`] trait.
 pub struct JiaSlice<'d, T: Pod> {
     dsm: &'d JiaDsm,
     addr: usize,
@@ -237,23 +355,31 @@ impl<T: Pod> Clone for JiaSlice<'_, T> {
 }
 impl<T: Pod> Copy for JiaSlice<'_, T> {}
 
-impl<'d, T: Pod> JiaSlice<'d, T> {
-    pub fn len(&self) -> usize {
-        self.len
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.len == 0
-    }
-
+impl<T: Pod> JiaSlice<'_, T> {
     /// Byte address of element 0 (diagnostics; shows page alignment).
     pub fn addr(&self) -> usize {
         self.addr
     }
+}
 
-    /// Pointer arithmetic.
-    pub fn offset(&self, delta: usize) -> JiaSlice<'d, T> {
-        assert!(delta <= self.len);
+impl<'d, T: Pod> DsmSlice for JiaSlice<'d, T> {
+    type Elem = T;
+    type Error = JiaError;
+    type View<'g>
+        = PageView<'g, T>
+    where
+        Self: 'g;
+    type ViewMut<'g>
+        = PageViewMut<'g, T>
+    where
+        Self: 'g;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn offset(&self, delta: usize) -> Self {
+        assert!(delta <= self.len, "pointer arithmetic out of bounds");
         JiaSlice {
             addr: self.addr + delta * T::SIZE,
             len: self.len - delta,
@@ -261,68 +387,210 @@ impl<'d, T: Pod> JiaSlice<'d, T> {
         }
     }
 
-    #[inline]
-    fn at(&self, i: usize) -> usize {
-        assert!(i < self.len, "index {i} out of bounds (len {})", self.len);
-        self.addr + i * T::SIZE
+    fn prefix(&self, len: usize) -> Self {
+        assert!(len <= self.len, "pointer arithmetic out of bounds");
+        JiaSlice { len, ..*self }
     }
 
-    pub fn read(&self, i: usize) -> T {
-        self.dsm
-            .with_range(self.at(i), T::SIZE, false, |b| T::read_from(b))
-    }
-
-    pub fn write(&self, i: usize, v: T) {
-        self.dsm
-            .with_range(self.at(i), T::SIZE, true, |b| v.write_to(b))
-    }
-
-    pub fn update(&self, i: usize, f: impl FnOnce(T) -> T) {
-        self.dsm.with_range(self.at(i), T::SIZE, true, |b| {
-            f(T::read_from(b)).write_to(b)
-        })
-    }
-
-    pub fn read_into(&self, start: usize, out: &mut [T]) {
-        if out.is_empty() {
-            return;
+    fn try_view_checked(
+        &self,
+        range: Range<usize>,
+        _checks: u64,
+    ) -> Result<PageView<'_, T>, JiaError> {
+        range_bounds(self, self.len, &range);
+        let bytes = self.addr + range.start * T::SIZE..self.addr + range.end * T::SIZE;
+        let mut view = PageView {
+            pin: JiaViewPin::new(self.dsm, bytes, false),
+            data: Vec::new(),
+        };
+        if !range.is_empty() {
+            let addr = self.addr + range.start * T::SIZE;
+            let n = range.len();
+            view.data = self.dsm.with_range(addr, n * T::SIZE, false, |b| {
+                (0..n).map(|k| T::read_from(&b[k * T::SIZE..])).collect()
+            });
         }
-        assert!(start + out.len() <= self.len, "bulk read out of bounds");
+        Ok(view)
+    }
+
+    // Direct element/bulk overrides, mirroring the LOTS impl: keep the
+    // hot path free of per-call buffer allocation.
+
+    fn try_read(&self, i: usize) -> Result<T, JiaError> {
+        element_bounds(self, self.len, i);
+        let at = self.addr + i * T::SIZE;
+        self.dsm.check_view_conflict(&(at..at + T::SIZE), false);
+        Ok(self.dsm.with_range(at, T::SIZE, false, |b| T::read_from(b)))
+    }
+
+    fn try_write(&self, i: usize, v: T) -> Result<(), JiaError> {
+        element_bounds(self, self.len, i);
+        let at = self.addr + i * T::SIZE;
+        self.dsm.check_view_conflict(&(at..at + T::SIZE), true);
+        self.dsm.with_range(at, T::SIZE, true, |b| v.write_to(b));
+        Ok(())
+    }
+
+    fn try_update(&self, i: usize, f: impl FnOnce(T) -> T) -> Result<(), JiaError> {
+        element_bounds(self, self.len, i);
+        let at = self.addr + i * T::SIZE;
+        self.dsm.check_view_conflict(&(at..at + T::SIZE), true);
         self.dsm
-            .with_range(self.at(start), out.len() * T::SIZE, false, |b| {
+            .with_range(at, T::SIZE, true, |b| f(T::read_from(b)).write_to(b));
+        Ok(())
+    }
+
+    fn try_read_into(&self, start: usize, out: &mut [T]) -> Result<(), JiaError> {
+        if out.is_empty() {
+            return Ok(());
+        }
+        range_bounds(self, self.len, &(start..start + out.len()));
+        let at = self.addr + start * T::SIZE;
+        self.dsm
+            .check_view_conflict(&(at..at + out.len() * T::SIZE), false);
+        self.dsm.with_range(
+            self.addr + start * T::SIZE,
+            out.len() * T::SIZE,
+            false,
+            |b| {
                 for (k, slot) in out.iter_mut().enumerate() {
                     *slot = T::read_from(&b[k * T::SIZE..]);
                 }
-            })
+            },
+        );
+        Ok(())
     }
 
-    pub fn read_vec(&self, start: usize, len: usize) -> Vec<T> {
-        let mut out = vec![T::default(); len];
-        self.read_into(start, &mut out);
-        out
-    }
-
-    pub fn write_from(&self, start: usize, vals: &[T]) {
+    fn try_write_from(&self, start: usize, vals: &[T]) -> Result<(), JiaError> {
         if vals.is_empty() {
-            return;
+            return Ok(());
         }
-        assert!(start + vals.len() <= self.len, "bulk write out of bounds");
+        range_bounds(self, self.len, &(start..start + vals.len()));
+        let at = self.addr + start * T::SIZE;
         self.dsm
-            .with_range(self.at(start), vals.len() * T::SIZE, true, |b| {
+            .check_view_conflict(&(at..at + vals.len() * T::SIZE), true);
+        self.dsm.with_range(
+            self.addr + start * T::SIZE,
+            vals.len() * T::SIZE,
+            true,
+            |b| {
                 for (k, v) in vals.iter().enumerate() {
                     v.write_to(&mut b[k * T::SIZE..]);
                 }
-            })
+            },
+        );
+        Ok(())
     }
 
-    pub fn fill(&self, v: T) {
-        let vals = vec![v; self.len];
-        self.write_from(0, &vals);
+    fn try_view_mut_checked(
+        &self,
+        range: Range<usize>,
+        _checks: u64,
+    ) -> Result<PageViewMut<'_, T>, JiaError> {
+        range_bounds(self, self.len, &range);
+        let bytes = self.addr + range.start * T::SIZE..self.addr + range.end * T::SIZE;
+        let mut view = PageViewMut {
+            pin: JiaViewPin::new(self.dsm, bytes, true),
+            addr: self.addr + range.start * T::SIZE,
+            data: Vec::new(),
+        };
+        if !range.is_empty() {
+            let addr = view.addr;
+            let n = range.len();
+            // The write walk faults pages in and twins them once, up
+            // front; the guard's write-back then costs nothing extra.
+            view.data = self.dsm.with_range(addr, n * T::SIZE, true, |b| {
+                (0..n).map(|k| T::read_from(&b[k * T::SIZE..])).collect()
+            });
+        }
+        Ok(view)
     }
 }
 
 impl<T: Pod> std::fmt::Debug for JiaSlice<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "JiaSlice(addr {:#x}, len {})", self.addr, self.len)
+    }
+}
+
+/// Live-view bookkeeping shared by both guard types.
+struct JiaViewPin<'d> {
+    dsm: &'d JiaDsm,
+    token: Option<u64>,
+}
+
+impl<'d> JiaViewPin<'d> {
+    fn new(dsm: &'d JiaDsm, bytes: Range<usize>, mutable: bool) -> JiaViewPin<'d> {
+        let token = dsm.register_view_span(&bytes, mutable);
+        dsm.live_views.set(dsm.live_views.get() + 1);
+        JiaViewPin { dsm, token }
+    }
+}
+
+impl Drop for JiaViewPin<'_> {
+    fn drop(&mut self) {
+        if let Some(token) = self.token {
+            self.dsm
+                .view_spans
+                .borrow_mut()
+                .retain(|s| s.token != token);
+        }
+        self.dsm.live_views.set(self.dsm.live_views.get() - 1);
+    }
+}
+
+/// Read view guard over JIAJIA pages (returned by [`DsmSlice::view`]):
+/// the page-fault walk ran once at creation.
+pub struct PageView<'d, T: Pod> {
+    pin: JiaViewPin<'d>,
+    data: Vec<T>,
+}
+
+impl<T: Pod> Deref for PageView<'_, T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        let _ = &self.pin;
+        &self.data
+    }
+}
+
+/// Mutable view guard over JIAJIA pages (returned by
+/// [`DsmSlice::view_mut`]): pages faulted and twinned once at
+/// creation, buffered elements written back on drop.
+pub struct PageViewMut<'d, T: Pod> {
+    pin: JiaViewPin<'d>,
+    addr: usize,
+    data: Vec<T>,
+}
+
+impl<T: Pod> Deref for PageViewMut<'_, T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        &self.data
+    }
+}
+
+impl<T: Pod> DerefMut for PageViewMut<'_, T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+impl<T: Pod> Drop for PageViewMut<'_, T> {
+    fn drop(&mut self) {
+        if self.data.is_empty() {
+            return;
+        }
+        let data = std::mem::take(&mut self.data);
+        let addr = self.addr;
+        self.pin
+            .dsm
+            .with_range(addr, data.len() * T::SIZE, true, |b| {
+                for (k, v) in data.iter().enumerate() {
+                    v.write_to(&mut b[k * T::SIZE..]);
+                }
+            });
     }
 }

@@ -20,7 +20,7 @@ pub mod page;
 pub mod runtime;
 pub mod services;
 
-pub use api::{JMsg, JiaDsm, JiaSlice};
+pub use api::{JMsg, JiaDsm, JiaSlice, PageView, PageViewMut};
 pub use node::JiaError;
 pub use page::PAGE_BYTES;
 pub use runtime::{run_jiajia_cluster, JiaNodeReport, JiaOptions, JiaReport};

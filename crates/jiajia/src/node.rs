@@ -14,7 +14,15 @@ use crate::page::{page_base, split_range, PageCtl, PageState, PAGE_BYTES};
 pub enum JiaError {
     /// JIAJIA's shared space is bounded (128 MB in v1.1, §2): the
     /// "application too large to fit" failure mode LOTS removes.
-    OutOfSharedMemory { requested: usize, limit: usize },
+    OutOfSharedMemory {
+        /// Bytes the failed allocation needed.
+        requested: usize,
+        /// Total shared-space bytes.
+        limit: usize,
+    },
+    /// Zero-length allocation: shared arrays must hold at least one
+    /// element.
+    EmptyAlloc,
 }
 
 impl std::fmt::Display for JiaError {
@@ -24,6 +32,7 @@ impl std::fmt::Display for JiaError {
                 f,
                 "jia_alloc of {requested} bytes exceeds the {limit}-byte shared space"
             ),
+            JiaError::EmptyAlloc => write!(f, "cannot allocate an empty shared array"),
         }
     }
 }

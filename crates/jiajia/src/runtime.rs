@@ -125,6 +125,9 @@ where
                         locks,
                         me,
                         n,
+                        live_views: std::cell::Cell::new(0),
+                        view_spans: std::cell::RefCell::new(Vec::new()),
+                        view_token: std::cell::Cell::new(0),
                     };
                     // A panicking node can never reach the next
                     // rendezvous; poison the sync services so peers
@@ -249,6 +252,7 @@ fn comm_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lots_core::{DsmApi, DsmSlice};
     use lots_sim::machine::p4_fedora;
 
     fn opts(n: usize) -> JiaOptions {
@@ -258,7 +262,7 @@ mod tests {
     #[test]
     fn single_node_roundtrip() {
         let (results, report) = run_jiajia_cluster(opts(1), |dsm| {
-            let a = dsm.alloc::<i32>(100).unwrap();
+            let a = dsm.alloc::<i32>(100);
             a.write(5, 42);
             dsm.barrier();
             a.read(5)
@@ -272,7 +276,7 @@ mod tests {
     #[test]
     fn writes_visible_after_barrier() {
         let (results, _) = run_jiajia_cluster(opts(2), |dsm| {
-            let a = dsm.alloc::<i32>(2048).unwrap();
+            let a = dsm.alloc::<i32>(2048);
             if dsm.me() == 1 {
                 // Page 0's home is node 0: node 1 writes a non-home page.
                 a.write(3, 77);
@@ -286,7 +290,7 @@ mod tests {
     #[test]
     fn false_sharing_merges_at_home() {
         let (results, report) = run_jiajia_cluster(opts(4), |dsm| {
-            let a = dsm.alloc::<i32>(8).unwrap(); // one page, 4 writers
+            let a = dsm.alloc::<i32>(8); // one page, 4 writers
             a.write(dsm.me(), dsm.me() as i32 + 1);
             dsm.barrier();
             (0..4).map(|i| a.read(i)).sum::<i32>()
@@ -301,7 +305,7 @@ mod tests {
     #[test]
     fn lock_transfers_updates_via_home() {
         let (results, _) = run_jiajia_cluster(opts(2), |dsm| {
-            let a = dsm.alloc::<i32>(4).unwrap();
+            let a = dsm.alloc::<i32>(4);
             for _ in 0..10 {
                 dsm.lock(1);
                 let v = a.read(0);
@@ -318,7 +322,7 @@ mod tests {
     #[should_panic(expected = "node 1 exploded")]
     fn peer_panic_fails_loudly_instead_of_hanging() {
         let _ = run_jiajia_cluster(opts(2), |dsm| {
-            let a = dsm.alloc::<i32>(16).unwrap();
+            let a = dsm.alloc::<i32>(16);
             if dsm.me() == 1 {
                 panic!("node 1 exploded");
             }
@@ -331,7 +335,7 @@ mod tests {
     fn page_granularity_traffic() {
         // Reading one i32 from a remote page moves a whole 4 KB page.
         let (_, report) = run_jiajia_cluster(opts(2), |dsm| {
-            let a = dsm.alloc::<i32>(2048).unwrap();
+            let a = dsm.alloc::<i32>(2048);
             if dsm.me() == 0 {
                 a.write(0, 1);
             }

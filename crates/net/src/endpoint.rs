@@ -1,6 +1,6 @@
 //! Endpoints: the per-node handle on the simulated interconnect.
 //!
-//! An [`Endpoint`] is split into a shareable [`NetSender`] (the app
+//! An endpoint is split into a shareable [`NetSender`] (the app
 //! thread and the comm thread both send) and a single-consumer
 //! [`NetReceiver`] (only the comm thread — the paper's SIGIO handler —
 //! receives). Large payloads are really fragmented at the sender and

@@ -233,7 +233,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specification for [`vec`]: an exact count or a range.
+    /// Length specification for [`vec()`]: an exact count or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         lo: usize,

@@ -10,9 +10,9 @@
 //! cargo run --example quickstart
 //! ```
 //!
-//! [`SharedSlice::offset`]: lots::core::SharedSlice::offset
+//! [`SharedSlice::offset`]: lots::core::DsmSlice::offset
 
-use lots::core::{run_cluster, ClusterOptions, LotsConfig};
+use lots::core::{run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig};
 use lots::sim::machine::p4_fedora;
 
 fn main() {
@@ -24,8 +24,8 @@ fn main() {
         // Declare shared objects — every node performs the same
         // allocations, which is what makes the object IDs agree
         // (the paper's `Pointer<int> iptr; iptr.alloc(...)`).
-        let data = dsm.alloc::<i64>(LEN).expect("alloc data");
-        let counter = dsm.alloc::<i64>(1).expect("alloc counter");
+        let data = dsm.alloc::<i64>(LEN);
+        let counter = dsm.alloc::<i64>(1);
 
         // Each node fills its slice, then a barrier publishes the
         // writes (single-writer slices migrate their home here).

@@ -14,7 +14,7 @@
 //! cargo run --release --example rush_hour
 //! ```
 
-use lots::core::{run_cluster, ClusterOptions, Dsm, LotsConfig, SharedSlice};
+use lots::core::{run_cluster, ClusterOptions, Dsm, DsmApi, DsmSlice, LotsConfig, SharedSlice};
 use lots::sim::machine::p4_fedora;
 
 const NODES: usize = 4;
@@ -81,16 +81,12 @@ fn bfs_node(dsm: &Dsm) -> (u64, usize) {
     // Visited bitmaps: one shard object per owner (only the owner
     // writes its shard, so barriers merge nothing).
     let shards: Vec<SharedSlice<'_, u32>> = (0..NODES)
-        .map(|_| dsm.alloc::<u32>(STATES / 32 + 1).expect("shard"))
+        .map(|_| dsm.alloc::<u32>(STATES / 32 + 1))
         .collect();
     // Routing queues: queue[src][dst] is written by src in one interval
     // and drained by dst in the next (single-writer alternation).
     let queues: Vec<Vec<SharedSlice<'_, u32>>> = (0..NODES)
-        .map(|_| {
-            (0..NODES)
-                .map(|_| dsm.alloc::<u32>(QCAP).expect("queue"))
-                .collect()
-        })
+        .map(|_| (0..NODES).map(|_| dsm.alloc::<u32>(QCAP)).collect())
         .collect();
 
     let root = rank(&[0, 1, 2, 3, 4, 5, 6, 7, 8]);
@@ -143,7 +139,7 @@ fn bfs_node(dsm: &Dsm) -> (u64, usize) {
         // Global termination: does anyone still have work? A fresh flag
         // object per round (allocated by every node, keeping IDs in
         // step); concurrent writers all store the same word value.
-        let work = dsm.alloc::<u32>(1).expect("flag");
+        let work = dsm.alloc::<u32>(1);
         if !frontier.is_empty() {
             work.write(0, 1);
         }

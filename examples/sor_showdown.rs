@@ -6,9 +6,8 @@
 //! cargo run --release --example sor_showdown
 //! ```
 
-use lots::apps::adapter::DsmCtx;
 use lots::apps::runner::{run_app, RunConfig, System};
-use lots::apps::sor::{sor, sor_sequential, SorParams};
+use lots::apps::sor::{sor_sequential, SorParams};
 use lots::sim::machine::p4_fedora;
 
 fn main() {
@@ -23,7 +22,7 @@ fn main() {
     println!();
     for system in [System::Jiajia, System::Lots, System::LotsX] {
         let cfg = RunConfig::new(system, p, p4_fedora());
-        let out = run_app(&cfg, move |dsm: DsmCtx<'_>| sor(dsm, params));
+        let out = run_app(&cfg, params);
         assert_eq!(
             out.combined.checksum,
             expected,

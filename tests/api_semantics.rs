@@ -2,7 +2,7 @@
 //! (pointer arithmetic, statement pinning, bulk element accounting)
 //! and their JIAJIA counterparts.
 
-use lots::core::{run_cluster, ClusterOptions, LotsConfig};
+use lots::core::{run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig};
 use lots::jiajia::{run_jiajia_cluster, JiaOptions};
 use lots::sim::machine::p4_fedora;
 
@@ -14,7 +14,7 @@ fn lots_opts(dmm: usize) -> ClusterOptions {
 fn pointer_arithmetic_matches_paper_example() {
     // "* (a+4) = 1" is valid in LOTS (§3.3).
     let (results, _) = run_cluster(lots_opts(1 << 20), |dsm| {
-        let a = dsm.alloc::<i32>(16).expect("a");
+        let a = dsm.alloc::<i32>(16);
         let shifted = a.offset(4);
         shifted.write(0, 1); // *(a+4) = 1
         assert_eq!(shifted.len(), 12);
@@ -31,7 +31,7 @@ fn pointer_arithmetic_matches_paper_example() {
 #[should_panic(expected = "pointer arithmetic out of bounds")]
 fn pointer_arithmetic_past_the_end_panics() {
     run_cluster(lots_opts(1 << 20), |dsm| {
-        let a = dsm.alloc::<i32>(8).expect("a");
+        let a = dsm.alloc::<i32>(8);
         a.offset(9);
     });
 }
@@ -39,7 +39,7 @@ fn pointer_arithmetic_past_the_end_panics() {
 #[test]
 fn update_is_read_modify_write_with_two_checks() {
     let (results, report) = run_cluster(lots_opts(1 << 20), |dsm| {
-        let a = dsm.alloc::<i64>(4).expect("a");
+        let a = dsm.alloc::<i64>(4);
         a.write(2, 10);
         let before = dsm.stats().access_checks();
         a.update(2, |v| v * 3);
@@ -54,7 +54,7 @@ fn update_is_read_modify_write_with_two_checks() {
 #[test]
 fn bulk_ops_charge_one_check_per_element() {
     let (results, _) = run_cluster(lots_opts(1 << 20), |dsm| {
-        let a = dsm.alloc::<f64>(100).expect("a");
+        let a = dsm.alloc::<f64>(100);
         let before = dsm.stats().access_checks();
         a.write_from(10, &[1.5; 25]);
         let mid = dsm.stats().access_checks();
@@ -72,9 +72,9 @@ fn statement_guard_keeps_operands_resident() {
     // so with room for only two of three the access fails loudly
     // instead of silently swapping an operand away.
     let (results, _) = run_cluster(lots_opts(64 * 1024), |dsm| {
-        let a = dsm.alloc::<i64>(1536).expect("a"); // 12 KB each,
-        let b = dsm.alloc::<i64>(1536).expect("b"); // 32 KB lower half
-        let c = dsm.alloc::<i64>(1536).expect("c");
+        let a = dsm.alloc::<i64>(1536); // 12 KB each,
+        let b = dsm.alloc::<i64>(1536); // 32 KB lower half
+        let c = dsm.alloc::<i64>(1536);
         b.write(5, 20);
         c.write(5, 22);
         // Without a statement guard the three accesses pin one at a
@@ -97,7 +97,7 @@ fn statement_guard_keeps_operands_resident() {
 fn jiajia_slice_mirrors_the_api() {
     let opts = JiaOptions::new(1, 4 << 20, p4_fedora());
     let (results, _) = run_jiajia_cluster(opts, |dsm| {
-        let a = dsm.alloc::<i32>(64).expect("a");
+        let a = dsm.alloc::<i32>(64);
         let shifted = a.offset(4);
         shifted.write(0, 1);
         shifted.update(0, |v| v + 41);
@@ -114,8 +114,8 @@ fn allocations_agree_across_nodes_spmd_style() {
     // object ID of §3.2).
     let opts = ClusterOptions::new(3, LotsConfig::small(1 << 20), p4_fedora());
     let (results, _) = run_cluster(opts, |dsm| {
-        let first = dsm.alloc::<i32>(8).expect("first");
-        let second = dsm.alloc::<i32>(8).expect("second");
+        let first = dsm.alloc::<i32>(8);
+        let second = dsm.alloc::<i32>(8);
         assert_eq!(first.id().0, 0);
         assert_eq!(second.id().0, 1);
         if dsm.me() == 1 {
@@ -131,7 +131,7 @@ fn allocations_agree_across_nodes_spmd_style() {
 fn run_barrier_has_no_memory_effects_but_synchronizes() {
     let opts = ClusterOptions::new(2, LotsConfig::small(1 << 20), p4_fedora());
     let (results, _) = run_cluster(opts, |dsm| {
-        let a = dsm.alloc::<i32>(4).expect("a");
+        let a = dsm.alloc::<i32>(4);
         if dsm.me() == 0 {
             a.write(0, 5);
         }
@@ -148,9 +148,9 @@ fn run_barrier_has_no_memory_effects_but_synchronizes() {
 #[test]
 fn swapped_bytes_reports_backing_store_usage() {
     let (results, _) = run_cluster(lots_opts(64 * 1024), |dsm| {
-        let a = dsm.alloc::<i64>(1536).expect("a");
-        let b = dsm.alloc::<i64>(1536).expect("b");
-        let c = dsm.alloc::<i64>(1536).expect("c");
+        let a = dsm.alloc::<i64>(1536);
+        let b = dsm.alloc::<i64>(1536);
+        let c = dsm.alloc::<i64>(1536);
         a.write(0, 1);
         b.write(0, 2);
         c.write(0, 3); // evicts a

@@ -5,7 +5,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use lots::core::{run_cluster, ClusterOptions, LotsConfig, LotsError};
+use lots::core::{run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig, LotsError};
 use lots::disk::{BackingStore, DiskError, MemStore, SwapKey};
 use lots::sim::machine::p4_fedora;
 use lots::sim::SimDuration;
@@ -64,9 +64,9 @@ fn injected_disk_failure_surfaces_as_error_not_corruption() {
         // Three 12 KB objects in a 32 KB lower half: two fit, the third
         // mapping evicts (swap-out #1 succeeds), and remapping the
         // first needs swap-out #2 — which the store refuses.
-        let a = dsm.alloc::<i64>(1536).expect("a");
-        let b = dsm.alloc::<i64>(1536).expect("b");
-        let c = dsm.alloc::<i64>(1536).expect("c");
+        let a = dsm.alloc::<i64>(1536);
+        let b = dsm.alloc::<i64>(1536);
+        let c = dsm.alloc::<i64>(1536);
         a.write(0, 1);
         b.write(0, 2);
         c.write(0, 3); // swap-out #1 (a) succeeds
@@ -87,9 +87,9 @@ fn backing_store_capacity_exhaustion_is_reported() {
     let (results, _) = run_cluster(opts, |dsm| {
         // Each 12 KB object's swap image slightly exceeds 12 KB; the
         // second eviction exceeds the 20 KB store.
-        let a = dsm.alloc::<i64>(1536).expect("a");
-        let b = dsm.alloc::<i64>(1536).expect("b");
-        let c = dsm.alloc::<i64>(1536).expect("c");
+        let a = dsm.alloc::<i64>(1536);
+        let b = dsm.alloc::<i64>(1536);
+        let c = dsm.alloc::<i64>(1536);
         a.write(0, 1);
         b.write(0, 2);
         c.write(0, 3); // image of a fills most of the 20 KB store
@@ -109,9 +109,9 @@ fn statement_pinning_all_objects_hits_the_section5_condition() {
     // statement" — the documented limitation, reported as an error.
     let opts = ClusterOptions::new(1, LotsConfig::small(64 * 1024), p4_fedora());
     let (results, _) = run_cluster(opts, |dsm| {
-        let a = dsm.alloc::<i64>(1536).expect("a"); // 12 KB each
-        let b = dsm.alloc::<i64>(1536).expect("b");
-        let c = dsm.alloc::<i64>(1536).expect("c");
+        let a = dsm.alloc::<i64>(1536); // 12 KB each
+        let b = dsm.alloc::<i64>(1536);
+        let c = dsm.alloc::<i64>(1536);
         let stmt = dsm.statement();
         let _ = a.read(0);
         let _ = b.read(0);
@@ -131,9 +131,9 @@ fn lots_x_cannot_outgrow_the_dmm_area() {
     // is too large to fit in the system".
     let opts = ClusterOptions::new(1, LotsConfig::lots_x(64 * 1024), p4_fedora());
     let (results, _) = run_cluster(opts, |dsm| {
-        let _a = dsm.alloc::<i64>(1536).expect("first fits");
-        let _b = dsm.alloc::<i64>(1536).expect("second fits");
-        match dsm.alloc::<i64>(1536) {
+        let _a = dsm.alloc::<i64>(1536);
+        let _b = dsm.alloc::<i64>(1536);
+        match dsm.try_alloc::<i64>(1536) {
             Err(LotsError::LotsXCapacity { .. }) => true,
             other => panic!("expected LotsXCapacity, got {other:?}"),
         }
@@ -146,9 +146,30 @@ fn single_object_larger_than_dmm_rejected_with_clear_error() {
     // §4.3: "the single object size is only limited by the size of the
     // DMM area".
     let opts = ClusterOptions::new(1, LotsConfig::small(64 * 1024), p4_fedora());
-    let (results, _) = run_cluster(opts, |dsm| match dsm.alloc::<i64>(64 * 1024) {
+    let (results, _) = run_cluster(opts, |dsm| match dsm.try_alloc::<i64>(64 * 1024) {
         Err(LotsError::ObjectTooLarge { max, .. }) => max > 0,
         other => panic!("expected ObjectTooLarge, got {other:?}"),
     });
     assert!(results[0]);
+}
+
+#[test]
+fn empty_alloc_is_a_recoverable_error_not_a_panic() {
+    let opts = ClusterOptions::new(1, LotsConfig::small(64 * 1024), p4_fedora());
+    let (results, _) = run_cluster(opts, |dsm| {
+        matches!(dsm.try_alloc::<i32>(0), Err(LotsError::EmptyAlloc))
+    });
+    assert!(
+        results[0],
+        "try_alloc(0) must surface LotsError::EmptyAlloc"
+    );
+
+    use lots::jiajia::{run_jiajia_cluster, JiaError, JiaOptions};
+    let (results, _) = run_jiajia_cluster(JiaOptions::new(1, 4 << 20, p4_fedora()), |dsm| {
+        matches!(dsm.try_alloc::<i32>(0), Err(JiaError::EmptyAlloc))
+    });
+    assert!(
+        results[0],
+        "jia try_alloc(0) must surface JiaError::EmptyAlloc"
+    );
 }

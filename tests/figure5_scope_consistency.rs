@@ -7,7 +7,7 @@
 //! annotates the outcome "Result using ScC: b = 5, a != 3". A process R
 //! that never takes the lock is not involved at all.
 
-use lots::core::{run_cluster, ClusterOptions, LotsConfig};
+use lots::core::{run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig};
 use lots::sim::machine::p4_fedora;
 
 const L: u32 = 9;
@@ -16,8 +16,8 @@ const L: u32 = 9;
 fn figure5_scope_consistency_example() {
     let opts = ClusterOptions::new(3, LotsConfig::small(1 << 20), p4_fedora());
     let (results, _) = run_cluster(opts, |dsm| {
-        let a = dsm.alloc::<i32>(1).expect("a");
-        let b = dsm.alloc::<i32>(1).expect("b");
+        let a = dsm.alloc::<i32>(1);
+        let b = dsm.alloc::<i32>(1);
         match dsm.me() {
             0 => {
                 // P: unguarded write of a, guarded write of b.
@@ -60,7 +60,7 @@ fn barrier_propagates_what_the_lock_did_not() {
     // including the unguarded a.
     let opts = ClusterOptions::new(3, LotsConfig::small(1 << 20), p4_fedora());
     let (results, _) = run_cluster(opts, |dsm| {
-        let a = dsm.alloc::<i32>(1).expect("a");
+        let a = dsm.alloc::<i32>(1);
         if dsm.me() == 0 {
             a.write(0, 3);
         }
@@ -76,7 +76,7 @@ fn same_lock_guarding_same_object_is_always_correct() {
     //  used to guard the access of the same object" (§3.4).
     let opts = ClusterOptions::new(3, LotsConfig::small(1 << 20), p4_fedora());
     let (results, _) = run_cluster(opts, |dsm| {
-        let x = dsm.alloc::<i64>(4).expect("x");
+        let x = dsm.alloc::<i64>(4);
         for _ in 0..25 {
             dsm.lock(L);
             let v = x.read(2);

@@ -9,7 +9,7 @@
 //! object written by several nodes keeps its home, which gathers the
 //! diffs, "avoiding the updates of an object to be scattered".
 
-use lots::core::{run_cluster, ClusterOptions, LotsConfig};
+use lots::core::{run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig};
 use lots::sim::machine::p4_fedora;
 
 fn opts(n: usize) -> ClusterOptions {
@@ -19,7 +19,7 @@ fn opts(n: usize) -> ClusterOptions {
 #[test]
 fn lock_updates_arrive_with_the_grant_not_from_a_home() {
     let (results, report) = run_cluster(opts(2), |dsm| {
-        let x = dsm.alloc::<i32>(4096).expect("x"); // 16 KB object
+        let x = dsm.alloc::<i32>(4096); // 16 KB object
         let id = x.id();
         if dsm.me() == 0 {
             dsm.lock(1);
@@ -51,7 +51,7 @@ fn lock_updates_arrive_with_the_grant_not_from_a_home() {
 #[test]
 fn single_writer_migrates_home_with_zero_data_transfer() {
     let (results, report) = run_cluster(opts(4), |dsm| {
-        let x = dsm.alloc::<f64>(2048).expect("x"); // 16 KB object
+        let x = dsm.alloc::<f64>(2048); // 16 KB object
         let id = x.id();
         let original_home = dsm.object_home(id);
         if dsm.me() == 2 {
@@ -76,7 +76,7 @@ fn single_writer_migrates_home_with_zero_data_transfer() {
 #[test]
 fn multi_writer_object_gathers_diffs_at_home_and_invalidates() {
     let (results, report) = run_cluster(opts(4), |dsm| {
-        let x = dsm.alloc::<i32>(1024).expect("x");
+        let x = dsm.alloc::<i32>(1024);
         let id = x.id();
         // All four nodes write disjoint quarters: multi-writer.
         let per = 1024 / dsm.n();
@@ -118,8 +118,8 @@ fn figure6_combined_timeline() {
     // then P3 alone writes y before a barrier → y's home migrates to
     // P3 and the others invalidate.
     let (results, _) = run_cluster(opts(4), |dsm| {
-        let x = dsm.alloc::<i32>(256).expect("x"); // home 0
-        let y = dsm.alloc::<i32>(256).expect("y"); // home 1
+        let x = dsm.alloc::<i32>(256); // home 0
+        let y = dsm.alloc::<i32>(256); // home 1
         match dsm.me() {
             0 => {
                 dsm.lock(5);

@@ -7,7 +7,7 @@
 //! LOTS (Fig. 7b) keeps a timestamp per field and computes the diff on
 //! demand, "hence eliminating outdated data being sent".
 
-use lots::core::{run_cluster, ClusterOptions, DiffMode, LotsConfig};
+use lots::core::{run_cluster, ClusterOptions, DiffMode, DsmApi, DsmSlice, LotsConfig};
 use lots::sim::machine::p4_fedora;
 
 /// The migratory pattern: `rounds` round-robin critical sections, each
@@ -18,7 +18,7 @@ fn migratory_run(mode: DiffMode, rounds: usize) -> (i32, u64) {
     cfg.diff_mode = mode;
     let opts = ClusterOptions::new(4, cfg, p4_fedora());
     let (results, report) = run_cluster(opts, move |dsm| {
-        let x = dsm.alloc::<i32>(64).expect("x");
+        let x = dsm.alloc::<i32>(64);
         // Pass the object around: each node updates it in turn.
         // Event-only run-barriers pin the acquisition order, so the
         // traffic measurement is deterministic.

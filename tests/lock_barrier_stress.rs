@@ -5,7 +5,7 @@
 //! the per-word timestamp guard (fixed by max-merging the guard); it
 //! must survive arbitrary thread interleavings.
 
-use lots::core::{run_cluster, ClusterOptions, LotsConfig};
+use lots::core::{run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig};
 use lots::sim::machine::p4_fedora;
 
 #[test]
@@ -13,7 +13,7 @@ fn migratory_counter_survives_interleaving() {
     for _ in 0..30 {
         let opts = ClusterOptions::new(3, LotsConfig::small(1 << 20), p4_fedora());
         let (results, _) = run_cluster(opts, |dsm| {
-            let x = dsm.alloc::<i64>(4).expect("x");
+            let x = dsm.alloc::<i64>(4);
             for _ in 0..25 {
                 dsm.lock(9);
                 let v = x.read(2);
@@ -42,8 +42,8 @@ fn home_last_holder_keeps_its_update_across_barrier() {
         let (results, _) = run_cluster(opts, |dsm| {
             // Two allocations so the counter's home is node 1, which
             // also participates in the lock chain.
-            let _pad = dsm.alloc::<i64>(8).expect("pad"); // home 0
-            let counter = dsm.alloc::<i64>(1).expect("counter"); // home 1
+            let _pad = dsm.alloc::<i64>(8); // home 0
+            let counter = dsm.alloc::<i64>(1); // home 1
             let mut total = 0i64;
             for round in 0..3 {
                 let mine = (round * dsm.n() + dsm.me() + 1) as i64;
@@ -66,7 +66,7 @@ fn mixed_lock_and_plain_writers_merge_correctly() {
     for _ in 0..10 {
         let opts = ClusterOptions::new(3, LotsConfig::small(1 << 20), p4_fedora());
         let (results, _) = run_cluster(opts, |dsm| {
-            let x = dsm.alloc::<i64>(8).expect("x");
+            let x = dsm.alloc::<i64>(8);
             match dsm.me() {
                 0 => {
                     for _ in 0..5 {

@@ -1,7 +1,7 @@
 //! Property tests: randomized barrier-synchronized programs must agree
 //! with a plain in-memory model, on both DSMs, under swap pressure.
 
-use lots::core::{run_cluster, ClusterOptions, LotsConfig};
+use lots::core::{run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig};
 use lots::jiajia::{run_jiajia_cluster, JiaOptions};
 use lots::sim::machine::p4_fedora;
 use proptest::prelude::*;
@@ -59,7 +59,7 @@ fn run_lots(script: Script, nodes: usize, dmm: usize) -> u64 {
     let (results, _) = run_cluster(opts, move |dsm| {
         let per = script.elems / nodes;
         let objs: Vec<_> = (0..script.objects)
-            .map(|_| dsm.alloc::<i32>(script.elems).expect("alloc"))
+            .map(|_| dsm.alloc::<i32>(script.elems))
             .collect();
         for interval in &script.writes {
             for &(obj, i, v) in &interval[dsm.me()] {
@@ -84,7 +84,7 @@ fn run_jia(script: Script, nodes: usize) -> u64 {
     let (results, _) = run_jiajia_cluster(opts, move |dsm| {
         let per = script.elems / nodes;
         let objs: Vec<_> = (0..script.objects)
-            .map(|_| dsm.alloc::<i32>(script.elems).expect("alloc"))
+            .map(|_| dsm.alloc::<i32>(script.elems))
             .collect();
         for interval in &script.writes {
             for &(obj, i, v) in &interval[dsm.me()] {

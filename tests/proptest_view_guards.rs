@@ -1,0 +1,223 @@
+//! Property tests for the view-guard surface: random programs mixing
+//! interleaved `view`/`view_mut` scopes, pointer arithmetic and bulk
+//! ops must agree **byte-for-byte** with the element-wise API and with
+//! a plain in-memory model — on LOTS, LOTS-x and JIAJIA, including
+//! under LOTS swap pressure.
+
+use lots::core::{run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig};
+use lots::jiajia::{run_jiajia_cluster, JiaOptions};
+use lots::sim::machine::p4_fedora;
+use proptest::prelude::*;
+
+const LEN: usize = 1024;
+
+/// One step of a random single-node program. Fields are raw draws;
+/// the interpreter normalizes them into bounds.
+type RawOp = (usize, usize, usize, i32);
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `a[i] = v` — element write vs one-element `view_mut`.
+    Write { i: usize, v: i32 },
+    /// Read `a[i]` into the checksum.
+    Read { i: usize },
+    /// Bulk write of `[lo, hi)` — `write_from` vs `view_mut`.
+    BulkWrite { lo: usize, hi: usize, v: i32 },
+    /// Bulk read of `[lo, hi)` into the checksum.
+    BulkRead { lo: usize, hi: usize },
+    /// `a[i] ^= v` — `update` vs read-modify-write through a guard.
+    Update { i: usize, v: i32 },
+    /// `dst[k] += src[k]` over two disjoint ranges — element loop vs
+    /// two *interleaved* live guards (a read view and a mutable view).
+    MirrorAdd { lo: usize, span: usize },
+    /// Write through a shifted+truncated handle (`offset`/`prefix`).
+    PtrWrite { delta: usize, v: i32 },
+}
+
+fn decode((kind, x, y, v): RawOp) -> Op {
+    let i = x % LEN;
+    let (lo, hi) = {
+        let (a, b) = (x % LEN, y % LEN);
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    };
+    match kind % 7 {
+        0 => Op::Write { i, v },
+        1 => Op::Read { i },
+        2 => Op::BulkWrite { lo, hi, v },
+        3 => Op::BulkRead { lo, hi },
+        4 => Op::Update { i, v },
+        5 => Op::MirrorAdd {
+            lo: x % (LEN / 2 - 64),
+            span: 1 + y % 64,
+        },
+        _ => Op::PtrWrite { delta: i, v },
+    }
+}
+
+fn bulk_vals(lo: usize, hi: usize, v: i32) -> Vec<i32> {
+    (0..hi - lo).map(|k| v.wrapping_add(k as i32)).collect()
+}
+
+/// The reference interpreter over a plain vector.
+fn note(cksum: &mut u64, v: i32) {
+    *cksum = cksum.wrapping_mul(31).wrapping_add(v as u64);
+}
+
+fn run_model(ops: &[Op]) -> (Vec<i32>, u64) {
+    let mut a = vec![0i32; LEN];
+    let mut cksum = 0u64;
+    for &op in ops {
+        match op {
+            Op::Write { i, v } => a[i] = v,
+            Op::Read { i } => note(&mut cksum, a[i]),
+            Op::BulkWrite { lo, hi, v } => a[lo..hi].copy_from_slice(&bulk_vals(lo, hi, v)),
+            Op::BulkRead { lo, hi } => (lo..hi).for_each(|k| note(&mut cksum, a[k])),
+            Op::Update { i, v } => a[i] ^= v,
+            Op::MirrorAdd { lo, span } => {
+                let dst = lo + LEN / 2;
+                for k in 0..span {
+                    a[dst + k] = a[dst + k].wrapping_add(a[lo + k]);
+                }
+            }
+            Op::PtrWrite { delta, v } => a[delta] = v,
+        }
+    }
+    (a, cksum)
+}
+
+/// The element-wise interpreter (per-element checked accessors).
+fn run_elementwise<S: DsmSlice<Elem = i32>>(a: &S, ops: &[Op]) -> (Vec<i32>, u64) {
+    let mut cksum = 0u64;
+    for &op in ops {
+        match op {
+            Op::Write { i, v } => a.write(i, v),
+            Op::Read { i } => note(&mut cksum, a.read(i)),
+            Op::BulkWrite { lo, hi, v } => a.write_from(lo, &bulk_vals(lo, hi, v)),
+            Op::BulkRead { lo, hi } => a
+                .read_vec(lo, hi - lo)
+                .into_iter()
+                .for_each(|v| note(&mut cksum, v)),
+            Op::Update { i, v } => a.update(i, |x| x ^ v),
+            Op::MirrorAdd { lo, span } => {
+                let dst = lo + LEN / 2;
+                for k in 0..span {
+                    let s = a.read(lo + k);
+                    a.update(dst + k, |x| x.wrapping_add(s));
+                }
+            }
+            Op::PtrWrite { delta, v } => a.offset(delta).prefix(1).write(0, v),
+        }
+    }
+    (a.read_vec(0, LEN), cksum)
+}
+
+/// The guard-based interpreter (views, interleaved scopes, pointer
+/// arithmetic on the handles the guards open from).
+fn run_with_guards<S: DsmSlice<Elem = i32>>(a: &S, ops: &[Op]) -> (Vec<i32>, u64) {
+    let mut cksum = 0u64;
+    for &op in ops {
+        match op {
+            Op::Write { i, v } => a.view_mut(i..i + 1)[0] = v,
+            Op::Read { i } => note(&mut cksum, a.view(i..i + 1)[0]),
+            Op::BulkWrite { lo, hi, v } => {
+                if lo < hi {
+                    a.view_mut(lo..hi).copy_from_slice(&bulk_vals(lo, hi, v));
+                }
+            }
+            Op::BulkRead { lo, hi } => a.view(lo..hi).iter().for_each(|&v| note(&mut cksum, v)),
+            Op::Update { i, v } => {
+                let mut g = a.view_mut(i..i + 1);
+                g[0] ^= v;
+            }
+            Op::MirrorAdd { lo, span } => {
+                // Two live guards at once: a read view of the source
+                // range interleaved with a mutable view of a disjoint
+                // destination range.
+                let src = a.view(lo..lo + span);
+                let upper = a.offset(LEN / 2);
+                let mut dst = upper.view_mut(lo..lo + span);
+                for k in 0..span {
+                    dst[k] = dst[k].wrapping_add(src[k]);
+                }
+            }
+            Op::PtrWrite { delta, v } => a.offset(delta).prefix(1).view_mut(0..1)[0] = v,
+        }
+    }
+    let final_state = a.view(0..LEN).to_vec();
+    (final_state, cksum)
+}
+
+/// Run both interpreters on one node of the given LOTS flavour and
+/// compare against the model.
+fn check_lots(ops: Vec<Op>, cfg: LotsConfig) {
+    let (expect_state, expect_cksum) = run_model(&ops);
+    let opts = ClusterOptions::new(1, cfg, p4_fedora());
+    let ops = std::sync::Arc::new(ops);
+    let (mut results, _) = run_cluster(opts, move |dsm| {
+        let elem = dsm.alloc::<i32>(LEN);
+        let guarded = dsm.alloc::<i32>(LEN);
+        (
+            run_elementwise(&elem, &ops),
+            run_with_guards(&guarded, &ops),
+        )
+    });
+    let (elem, guarded) = results.remove(0);
+    assert_eq!(elem.0, expect_state, "element-wise state diverged");
+    assert_eq!(elem.1, expect_cksum, "element-wise reads diverged");
+    assert_eq!(guarded.0, expect_state, "guard state diverged");
+    assert_eq!(guarded.1, expect_cksum, "guard reads diverged");
+}
+
+fn check_jia(ops: Vec<Op>) {
+    let (expect_state, expect_cksum) = run_model(&ops);
+    let opts = JiaOptions::new(1, 4 << 20, p4_fedora());
+    let ops = std::sync::Arc::new(ops);
+    let (mut results, _) = run_jiajia_cluster(opts, move |dsm| {
+        let elem = dsm.alloc::<i32>(LEN);
+        let guarded = dsm.alloc::<i32>(LEN);
+        (
+            run_elementwise(&elem, &ops),
+            run_with_guards(&guarded, &ops),
+        )
+    });
+    let (elem, guarded) = results.remove(0);
+    assert_eq!(elem.0, expect_state, "element-wise state diverged");
+    assert_eq!(elem.1, expect_cksum, "element-wise reads diverged");
+    assert_eq!(guarded.0, expect_state, "guard state diverged");
+    assert_eq!(guarded.1, expect_cksum, "guard reads diverged");
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec((0usize..7, 0usize..LEN, 0usize..LEN, any::<i32>()), 1..40)
+        .prop_map(|raw| raw.into_iter().map(decode).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn guards_agree_with_elementwise_on_lots(ops in ops_strategy()) {
+        check_lots(ops, LotsConfig::small(1 << 20));
+    }
+
+    #[test]
+    fn guards_agree_with_elementwise_on_lots_under_swap_pressure(ops in ops_strategy()) {
+        // A 12 KB DMM holds only one of the two 4 KB arrays at a time,
+        // so guards constantly pin/swap through the backing store.
+        check_lots(ops, LotsConfig::small(12 * 1024));
+    }
+
+    #[test]
+    fn guards_agree_with_elementwise_on_lots_x(ops in ops_strategy()) {
+        check_lots(ops, LotsConfig::lots_x(1 << 20));
+    }
+
+    #[test]
+    fn guards_agree_with_elementwise_on_jiajia(ops in ops_strategy()) {
+        check_jia(ops);
+    }
+}

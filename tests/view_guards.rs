@@ -1,0 +1,226 @@
+//! View-guard semantics: one access check per guard, statement-style
+//! pinning for the guard's lifetime, write-back on drop, the live-view
+//! sync fence, and the explicit empty-tail handles of `offset(len)`.
+
+use lots::core::{run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig};
+use lots::jiajia::{run_jiajia_cluster, JiaOptions};
+use lots::sim::machine::p4_fedora;
+
+fn lots_opts(dmm: usize) -> ClusterOptions {
+    ClusterOptions::new(1, LotsConfig::small(dmm), p4_fedora())
+}
+
+#[test]
+fn view_charges_one_check_for_any_range() {
+    let (results, _) = run_cluster(lots_opts(1 << 20), |dsm| {
+        let a = dsm.alloc::<i64>(256);
+        a.fill(7);
+        let before = dsm.stats().access_checks();
+        let whole = a.view(0..256);
+        let after_view = dsm.stats().access_checks();
+        let sum: i64 = whole.iter().sum();
+        drop(whole);
+        let after_loop = dsm.stats().access_checks();
+        (after_view - before, after_loop - after_view, sum)
+    });
+    assert_eq!(results[0].0, 1, "one check per guard, not per element");
+    assert_eq!(results[0].1, 0, "inner-loop reads are unchecked");
+    assert_eq!(results[0].2, 7 * 256);
+}
+
+#[test]
+fn view_mut_writes_back_on_drop_with_one_check() {
+    let (results, _) = run_cluster(lots_opts(1 << 20), |dsm| {
+        let a = dsm.alloc::<i32>(64);
+        let before = dsm.stats().access_checks();
+        {
+            let mut w = a.view_mut(8..24);
+            for (k, slot) in w.iter_mut().enumerate() {
+                *slot = k as i32;
+            }
+        }
+        let checks = dsm.stats().access_checks() - before;
+        (checks, a.read(8), a.read(23), a.read(24))
+    });
+    // One check for the whole guarded write scope.
+    assert_eq!(results[0].0, 1);
+    assert_eq!((results[0].1, results[0].2, results[0].3), (0, 15, 0));
+}
+
+#[test]
+fn empty_views_touch_nothing_and_charge_nothing() {
+    let (results, _) = run_cluster(lots_opts(1 << 20), |dsm| {
+        let a = dsm.alloc::<i32>(8);
+        let before = dsm.stats().access_checks();
+        let v = a.view(3..3);
+        assert!(v.is_empty());
+        drop(v);
+        let _w = a.view_mut(0..0);
+        dsm.stats().access_checks() - before
+    });
+    assert_eq!(results[0], 0);
+}
+
+#[test]
+fn guards_pin_like_statements() {
+    // Three 12 KB objects, 32 KB lower half: two fit. Holding views of
+    // two objects pins both (§3.3), so touching the third fails with
+    // the §5 condition; after the guards drop, eviction resumes.
+    let (results, _) = run_cluster(lots_opts(64 * 1024), |dsm| {
+        let a = dsm.alloc::<i64>(1536);
+        let b = dsm.alloc::<i64>(1536);
+        let c = dsm.alloc::<i64>(1536);
+        let va = a.view(0..1);
+        let vb = b.view(0..1);
+        let pinned_fails = c.try_read(0).is_err();
+        drop(vb);
+        drop(va);
+        let after_ok = c.try_read(0).is_ok();
+        (pinned_fails, after_ok)
+    });
+    assert_eq!(results[0], (true, true));
+}
+
+#[test]
+#[should_panic(expected = "barrier while view guards are live")]
+fn barrier_inside_a_live_view_panics() {
+    run_cluster(lots_opts(1 << 20), |dsm| {
+        let a = dsm.alloc::<i32>(16);
+        let _v = a.view(0..16);
+        dsm.barrier();
+    });
+}
+
+#[test]
+#[should_panic(expected = "lock while view guards are live")]
+fn jiajia_lock_inside_a_live_view_panics() {
+    run_jiajia_cluster(JiaOptions::new(1, 4 << 20, p4_fedora()), |dsm| {
+        let a = dsm.alloc::<i32>(16);
+        let _v = a.view_mut(0..16);
+        dsm.lock(1);
+    });
+}
+
+#[test]
+fn jiajia_views_mirror_lots_views() {
+    let (results, _) = run_jiajia_cluster(JiaOptions::new(1, 4 << 20, p4_fedora()), |dsm| {
+        let a = dsm.alloc::<i64>(100);
+        {
+            let mut w = a.view_mut(10..20);
+            w.fill(5);
+        }
+        let sum = a.view(0..100).iter().sum::<i64>();
+        sum
+    });
+    assert_eq!(results[0], 50);
+}
+
+#[test]
+#[should_panic(expected = "overlap a live mutable view")]
+fn overlapping_mutable_views_are_rejected() {
+    run_cluster(lots_opts(1 << 20), |dsm| {
+        let a = dsm.alloc::<i32>(64);
+        let _g1 = a.view_mut(0..8);
+        let _g2 = a.view_mut(4..12); // overlaps g1: last-drop would clobber
+    });
+}
+
+#[test]
+#[should_panic(expected = "overlap a live mutable view")]
+fn element_read_under_a_live_mutable_view_is_rejected() {
+    run_cluster(lots_opts(1 << 20), |dsm| {
+        let a = dsm.alloc::<i32>(64);
+        let mut g = a.view_mut(0..8);
+        g[0] = 5; // pending in the buffer only
+        let _ = a.read(0); // would observe the stale pre-guard value
+    });
+}
+
+#[test]
+#[should_panic(expected = "overlap a live read view")]
+fn jiajia_write_under_a_live_read_view_is_rejected() {
+    run_jiajia_cluster(JiaOptions::new(1, 4 << 20, p4_fedora()), |dsm| {
+        let a = dsm.alloc::<i32>(64);
+        let _g = a.view(0..8);
+        a.write(3, 1); // the live view's snapshot would go stale
+    });
+}
+
+#[test]
+fn disjoint_views_interleave_freely() {
+    let (results, _) = run_cluster(lots_opts(1 << 20), |dsm| {
+        let a = dsm.alloc::<i32>(64);
+        a.write_from(0, &[1; 32]);
+        // Read view of the lower half + mutable view of the upper half
+        // of the *same object*, plus element ops outside both.
+        let src = a.view(0..32);
+        let upper = a.offset(32);
+        let mut dst = upper.view_mut(0..16);
+        for k in 0..16 {
+            dst[k] = src[k] + 1;
+        }
+        drop(dst);
+        drop(src);
+        (a.read(32), a.read(47), a.read(48))
+    });
+    assert_eq!(results[0], (2, 2, 0));
+}
+
+// ----------------------------------------------------------------------
+// offset(len): explicit empty-tail handles (regression)
+// ----------------------------------------------------------------------
+
+#[test]
+fn offset_len_yields_explicit_empty_tail() {
+    let (results, _) = run_cluster(lots_opts(1 << 20), |dsm| {
+        let a = dsm.alloc::<i32>(8);
+        let tail = a.offset(8);
+        assert!(tail.is_empty());
+        assert_eq!(tail.len(), 0);
+        // Empty bulk ops and views succeed without touching the object.
+        tail.write_from(0, &[]);
+        let mut out: [i32; 0] = [];
+        tail.read_into(0, &mut out);
+        tail.fill(1);
+        assert!(tail.view(0..0).is_empty());
+        assert!(tail.try_view_mut(0..0).is_ok());
+        // Nested arithmetic at the end stays legal.
+        assert!(tail.offset(0).is_empty());
+        assert!(tail.prefix(0).is_empty());
+        true
+    });
+    assert!(results[0]);
+}
+
+#[test]
+#[should_panic(expected = "empty handle")]
+fn empty_tail_element_read_panics_with_clear_message() {
+    run_cluster(lots_opts(1 << 20), |dsm| {
+        let a = dsm.alloc::<i32>(8);
+        a.offset(8).read(0);
+    });
+}
+
+#[test]
+#[should_panic(expected = "empty handle")]
+fn jiajia_empty_tail_write_panics_with_clear_message() {
+    run_jiajia_cluster(JiaOptions::new(1, 4 << 20, p4_fedora()), |dsm| {
+        let a = dsm.alloc::<i32>(8);
+        a.offset(8).write(0, 1);
+    });
+}
+
+#[test]
+fn prefix_restricts_the_handle() {
+    let (results, _) = run_cluster(lots_opts(1 << 20), |dsm| {
+        let a = dsm.alloc::<i32>(16);
+        a.write(4, 42);
+        let mid = a.offset(4).prefix(4); // elements 4..8
+        assert_eq!(mid.len(), 4);
+        (
+            mid.read(0),
+            mid.try_view(0..4).map(|v| v.len()).unwrap_or(0),
+        )
+    });
+    assert_eq!(results[0], (42, 4));
+}
