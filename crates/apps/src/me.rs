@@ -63,6 +63,12 @@ fn merge(a: &[i64], b: &[i64]) -> Vec<i64> {
 /// Run ME on one node; call from every node.
 pub fn me<D: DsmApi>(dsm: &D, params: MeParams) -> AppResult {
     let (p, rank) = (dsm.n(), dsm.me());
+    // Fold the cluster seed in so one `ClusterOptions::seed` (default
+    // 0: a no-op) reproduces the whole data set end to end.
+    let params = MeParams {
+        seed: params.seed ^ dsm.seed(),
+        ..params
+    };
     assert!(p.is_power_of_two(), "ME requires a power-of-two cluster");
     assert_eq!(params.total % p, 0);
     let per = params.total / p;

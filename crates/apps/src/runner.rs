@@ -8,7 +8,7 @@
 
 use lots_core::{run_cluster, ClusterOptions, LotsConfig};
 use lots_jiajia::{run_jiajia_cluster, JiaOptions};
-use lots_sim::{MachineConfig, SimDuration, SimInstant, TimeCategory};
+use lots_sim::{FaultPlan, MachineConfig, SchedulerMode, SimDuration, SimInstant, TimeCategory};
 
 use crate::adapter::{combine, AppResult, DsmProgram};
 
@@ -48,10 +48,18 @@ pub struct RunConfig {
     pub shared_bytes: usize,
     /// Protocol knobs for ablations (applied to LOTS/LOTS-x).
     pub lots_tweak: fn(&mut LotsConfig),
+    /// Cluster seed: folded into the seeded workloads' RNG streams and
+    /// surfaced in the reports.
+    pub seed: u64,
+    /// Execution model (deterministic turnstile by default).
+    pub scheduler: SchedulerMode,
+    /// Seeded fault injection.
+    pub faults: FaultPlan,
 }
 
 impl RunConfig {
-    /// Defaults: 64 MB DMM arenas, 128 MB JIAJIA shared space.
+    /// Defaults: 64 MB DMM arenas, 128 MB JIAJIA shared space, the
+    /// deterministic scheduler, seed 0, no faults.
     pub fn new(system: System, n: usize, machine: MachineConfig) -> RunConfig {
         RunConfig {
             system,
@@ -60,6 +68,9 @@ impl RunConfig {
             dmm_bytes: 64 << 20,
             shared_bytes: 128 << 20,
             lots_tweak: |_| {},
+            seed: 0,
+            scheduler: SchedulerMode::Deterministic,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -116,7 +127,10 @@ pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
                 LotsConfig::lots_x(cfg.dmm_bytes)
             };
             (cfg.lots_tweak)(&mut lots);
-            let opts = ClusterOptions::new(cfg.n, lots, cfg.machine);
+            let opts = ClusterOptions::new(cfg.n, lots, cfg.machine)
+                .with_seed(cfg.seed)
+                .with_scheduler(cfg.scheduler)
+                .with_faults(cfg.faults.clone());
             let (results, report) = run_cluster(opts, move |dsm| prog.run(dsm));
             let sum = |cat: TimeCategory| -> SimDuration {
                 SimDuration(report.nodes.iter().map(|n| n.stats.time_in(cat).0).sum())
@@ -140,7 +154,10 @@ pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
             }
         }
         System::Jiajia => {
-            let opts = JiaOptions::new(cfg.n, cfg.shared_bytes, cfg.machine);
+            let opts = JiaOptions::new(cfg.n, cfg.shared_bytes, cfg.machine)
+                .with_seed(cfg.seed)
+                .with_scheduler(cfg.scheduler)
+                .with_faults(cfg.faults.clone());
             let (results, report) = run_jiajia_cluster(opts, move |dsm| prog.run(dsm));
             let sum = |cat: TimeCategory| -> SimDuration {
                 SimDuration(report.nodes.iter().map(|n| n.stats.time_in(cat).0).sum())

@@ -75,6 +75,12 @@ fn bucket_capacity(total: usize) -> usize {
 /// Run RX on one node; call from every node.
 pub fn rx<D: DsmApi>(dsm: &D, params: RxParams) -> AppResult {
     let (p, rank) = (dsm.n(), dsm.me());
+    // Fold the cluster seed in so one `ClusterOptions::seed` (default
+    // 0: a no-op) reproduces the whole data set end to end.
+    let params = RxParams {
+        seed: params.seed ^ dsm.seed(),
+        ..params
+    };
     assert_eq!(params.total % p, 0);
     assert!(params.passes >= 1 && params.passes <= 4);
     let per = params.total / p;

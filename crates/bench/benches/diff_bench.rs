@@ -20,6 +20,7 @@ fn ctx(me: usize) -> SyncCtx {
         traffic: TrafficStats::new(),
         net: fast_ethernet(),
         cpu: pentium4_2ghz(),
+        sched: None,
     }
 }
 

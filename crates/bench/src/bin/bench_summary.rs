@@ -9,18 +9,17 @@
 //! ```
 //!
 //! The JSON lands in the current directory (the repo root in CI) so
-//! successive PRs can diff it. Virtual *times* vary a few percent
-//! run-to-run (thread scheduling shifts handler charging), so they are
-//! indicative; the access-check *counts* are deterministic, and
-//! `--check` fails if they drift from the committed file — the signal
-//! that a PR changed check accounting without regenerating the
-//! summary.
+//! successive PRs can diff it. Under the deterministic scheduler
+//! (PR 3) every number in the file — including the virtual *times* —
+//! is a pure function of the committed code, so `--check` fails on ANY
+//! drift: a changed time or check count means a PR changed the
+//! execution or cost model without regenerating the summary.
 
 use std::fmt::Write as _;
 
 use lots_apps::runner::System;
 use lots_bench::{measure, no_tweak, App};
-use lots_core::{run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig};
+use lots_core::{run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig, SchedulerMode};
 use lots_sim::machine::{p4_fedora, pentium4_2ghz};
 
 /// The quickstart example's virtual execution time in milliseconds
@@ -46,9 +45,11 @@ fn quickstart_ms() -> f64 {
     report.exec_time.as_secs_f64() * 1e3
 }
 
-/// Host-measured fast-path cost of one checked read (ns).
+/// Host-measured fast-path cost of one checked read (ns). Free-running
+/// mode: this times host nanoseconds, not virtual time.
 fn host_check_ns() -> f64 {
-    let opts = ClusterOptions::new(1, LotsConfig::small(1 << 20), p4_fedora());
+    let opts = ClusterOptions::new(1, LotsConfig::small(1 << 20), p4_fedora())
+        .with_scheduler(SchedulerMode::FreeRunning);
     let (results, _) = run_cluster(opts, |dsm| {
         let a = dsm.alloc::<i64>(1024);
         a.write(0, 1);
@@ -65,16 +66,16 @@ fn host_check_ns() -> f64 {
     results[0]
 }
 
-/// Extract `"key": value,`-style integer fields from the committed
-/// JSON without a parser dependency.
-fn committed_field(json: &str, key: &str) -> Option<u64> {
+/// Extract the literal text of a `"key": value,`-style numeric field
+/// from the committed JSON without a parser dependency.
+fn committed_text(json: &str, key: &str) -> Option<String> {
     let needle = format!("\"{key}\": ");
     let at = json.find(&needle)? + needle.len();
     let tail: String = json[at..]
         .chars()
-        .take_while(|c| c.is_ascii_digit())
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
         .collect();
-    tail.parse().ok()
+    (!tail.is_empty()).then_some(tail)
 }
 
 fn main() {
@@ -82,14 +83,25 @@ fn main() {
     let committed = std::fs::read_to_string("BENCH_summary.json").ok();
     let machine = p4_fedora();
     let cpu = pentium4_2ghz();
+    let mut drifted = false;
+    // Deterministic scheduler: the committed field must match the
+    // fresh measurement *textually* — times included.
+    let mut gate = |key: &str, fresh: &str| {
+        if let Some(old) = committed.as_deref().and_then(|j| committed_text(j, key)) {
+            if old != fresh {
+                eprintln!("DRIFT: {key} committed {old} vs measured {fresh}");
+                drifted = true;
+            }
+        }
+    };
 
     let quick_ms = quickstart_ms();
+    gate("quickstart_ms", &format!("{quick_ms:.4}"));
 
     // SOR 256×256, 32 iterations, p = 4 — the tracked Figure 8(c)
     // point (App::run at size 256 with full=false uses 32 iterations).
     let mut sor = String::new();
     let mut checksums = Vec::new();
-    let mut drifted = false;
     for (key, system) in [
         ("jiajia", System::Jiajia),
         ("lots", System::Lots),
@@ -97,23 +109,13 @@ fn main() {
     ] {
         let pt = measure(App::Sor, system, 4, 256, machine, false, no_tweak);
         checksums.push(pt.outcome.combined.checksum);
-        if let Some(old) = committed
-            .as_deref()
-            .and_then(|j| committed_field(j, &format!("{key}_access_checks")))
-        {
-            if old != pt.outcome.access_checks {
-                eprintln!(
-                    "DRIFT: {key}_access_checks committed {old} vs measured {}",
-                    pt.outcome.access_checks
-                );
-                drifted = true;
-            }
-        }
+        let secs = format!("{:.6}", pt.outcome.combined.elapsed.as_secs_f64());
+        let checks = format!("{}", pt.outcome.access_checks);
+        gate(&format!("{key}_s"), &secs);
+        gate(&format!("{key}_access_checks"), &checks);
         let _ = write!(
             sor,
-            "\n    \"{key}_s\": {:.6},\n    \"{key}_access_checks\": {},",
-            pt.outcome.combined.elapsed.as_secs_f64(),
-            pt.outcome.access_checks
+            "\n    \"{key}_s\": {secs},\n    \"{key}_access_checks\": {checks},"
         );
         println!(
             "SOR 256x256x32 p=4 {:<7} {:>7.3} s  {:>12} checks",
@@ -128,10 +130,10 @@ fn main() {
     );
     let sor = sor.trim_end_matches(',').to_string();
 
-    // The JSON holds only virtual-time / modeled numbers, which are
-    // deterministic — CI diffs the committed file against a fresh run.
-    // The host-measured check cost varies by machine, so it goes to
-    // stdout only.
+    // Every number in the JSON is virtual/modeled and — under the
+    // deterministic scheduler — exactly reproducible, so CI gates the
+    // whole file. The host-measured check cost varies by machine, so
+    // it goes to stdout only.
     let json = format!(
         "{{\n  \"quickstart_ms\": {quick_ms:.4},\n  \"sor_256_p4\": {{{sor}\n  }},\n  \
          \"access_check_ns\": {{\n    \"modeled\": {},\n    \"modeled_pin\": {}\n  }}\n}}\n",
@@ -139,8 +141,10 @@ fn main() {
     );
     if check && drifted {
         eprintln!(
-            "access-check accounting drifted from the committed BENCH_summary.json — \
-             regenerate it with `cargo run --release -p lots-bench --bin bench_summary`"
+            "virtual times or access-check counts drifted from the committed \
+             BENCH_summary.json — under the deterministic scheduler that means the \
+             execution or cost model changed; regenerate with \
+             `cargo run --release -p lots-bench --bin bench_summary`"
         );
         std::process::exit(1);
     }

@@ -58,7 +58,7 @@ use std::ops::{Deref, DerefMut, Range};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{Receiver, TryRecvError};
 use lots_net::{Envelope, NetSender, NodeId, TrafficStats};
 use lots_sim::{NodeStats, SimInstant, TimeCategory};
 use parking_lot::Mutex;
@@ -96,6 +96,11 @@ pub trait DsmApi {
 
     /// Current virtual time on this node.
     fn now(&self) -> SimInstant;
+
+    /// The cluster seed (`ClusterOptions::seed` / `JiaOptions::seed`,
+    /// default 0). Seeded workloads fold it into their RNG streams so
+    /// a run's data set is reproducible end to end from one `u64`.
+    fn seed(&self) -> u64;
 
     /// Allocate a shared array of `len` elements (the paper's
     /// `Pointer<T> p; p.alloc(len)`). Collective in the SPMD sense:
@@ -391,6 +396,12 @@ pub struct Dsm {
     pub(crate) barrier: Arc<BarrierService>,
     pub(crate) me: NodeId,
     pub(crate) n: usize,
+    /// Cluster seed surfaced through [`DsmApi::seed`].
+    pub(crate) seed: u64,
+    /// Fault injection: panic on entering this (1-based) barrier.
+    pub(crate) fault_barrier: Option<u64>,
+    /// Barriers this node has entered (drives `fault_barrier`).
+    pub(crate) barriers_entered: Cell<u64>,
     /// Live view guards; synchronization ops assert this is zero.
     pub(crate) live_views: Cell<u32>,
     /// Byte spans of live non-empty guards, used to reject conflicting
@@ -424,6 +435,10 @@ impl DsmApi for Dsm {
 
     fn now(&self) -> SimInstant {
         self.ctx.clock.now()
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
     }
 
     fn try_alloc<T: Pod>(&self, len: usize) -> Result<SharedSlice<'_, T>, LotsError> {
@@ -495,6 +510,14 @@ impl Dsm {
     /// Fallible [`DsmApi::barrier`].
     pub fn try_barrier(&self) -> Result<(), LotsError> {
         self.assert_no_live_views("barrier");
+        let entered = self.barriers_entered.get() + 1;
+        self.barriers_entered.set(entered);
+        if self.fault_barrier == Some(entered) {
+            panic!(
+                "fault injection: node {} killed entering barrier {entered}",
+                self.me
+            );
+        }
         // Phase A: collect notices and receive the plan.
         let notices = {
             let mut node = self.node.lock();
@@ -685,9 +708,24 @@ impl Dsm {
     }
 
     fn recv_reply(&self) -> Envelope<Msg> {
-        self.replies
-            .recv()
-            .expect("comm thread alive while app running")
+        if let Some(h) = &self.ctx.sched {
+            // Deterministic mode: park on the turnstile; the comm task
+            // wakes us (with the reply's arrival time) after it
+            // forwards the envelope.
+            loop {
+                match self.replies.try_recv() {
+                    Ok(env) => return env,
+                    Err(TryRecvError::Empty) => h.block(),
+                    Err(TryRecvError::Disconnected) => {
+                        panic!("comm thread gone while app waiting for a reply")
+                    }
+                }
+            }
+        } else {
+            self.replies
+                .recv()
+                .expect("comm thread alive while app running")
+        }
     }
 }
 

@@ -24,8 +24,8 @@
 use std::sync::Arc;
 
 use lots_net::NodeId;
-use lots_sim::{SimDuration, SimInstant, TimeCategory};
-use parking_lot::{Condvar, Mutex};
+use lots_sim::{SchedHandle, SimDuration, SimInstant, TimeCategory};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::object::ObjectId;
 use crate::protocol::messages::ctl;
@@ -86,6 +86,11 @@ struct BState {
     /// waiter must unblock and propagate instead of waiting for a
     /// rendezvous that can never complete.
     poisoned: bool,
+    /// Deterministic mode: tasks parked in any of the three rendezvous
+    /// (they re-register on every spurious wake, so one shared list
+    /// suffices). Drained and woken by whoever completes a rendezvous
+    /// or poisons the service.
+    sched_waiters: Vec<SchedHandle>,
 }
 
 /// Cluster-wide barrier service.
@@ -121,6 +126,7 @@ impl BarrierService {
                 run_max: SimInstant::ZERO,
                 run_exit: SimInstant::ZERO,
                 poisoned: false,
+                sched_waiters: Vec::new(),
             }),
             cv: Condvar::new(),
         }
@@ -138,12 +144,29 @@ impl BarrierService {
         let mut st = self.state.lock();
         st.poisoned = true;
         self.cv.notify_all();
+        Self::wake_sched(&mut st);
     }
 
     fn check_poison(st: &BState) {
         if st.poisoned {
             panic!("barrier poisoned: a peer app thread panicked (see its panic above)");
         }
+    }
+
+    /// Wake every turnstile-parked waiter (deterministic mode).
+    fn wake_sched(st: &mut BState) {
+        for w in st.sched_waiters.drain(..) {
+            w.wake();
+        }
+    }
+
+    /// [`super::sched_wait_step`] against this service's state.
+    fn sched_wait<'a>(
+        &'a self,
+        st: MutexGuard<'a, BState>,
+        h: &SchedHandle,
+    ) -> MutexGuard<'a, BState> {
+        super::sched_wait_step(&self.state, st, |s| &mut s.sched_waiters, h)
     }
 
     /// Rendezvous 1: submit write notices, receive the plan.
@@ -169,6 +192,12 @@ impl BarrierService {
             st.notices.clear();
             st.gen_a += 1;
             self.cv.notify_all();
+            Self::wake_sched(&mut st);
+        } else if let Some(h) = ctx.sched.clone() {
+            while st.gen_a == my_gen {
+                st = self.sched_wait(st, &h);
+                Self::check_poison(&st);
+            }
         } else {
             while st.gen_a == my_gen {
                 self.cv.wait(&mut st);
@@ -259,6 +288,12 @@ impl BarrierService {
             st.drain_max = SimInstant::ZERO;
             st.gen_b += 1;
             self.cv.notify_all();
+            Self::wake_sched(&mut st);
+        } else if let Some(h) = ctx.sched.clone() {
+            while st.gen_b == my_gen {
+                st = self.sched_wait(st, &h);
+                Self::check_poison(&st);
+            }
         } else {
             while st.gen_b == my_gen {
                 self.cv.wait(&mut st);
@@ -293,6 +328,12 @@ impl BarrierService {
             st.run_max = SimInstant::ZERO;
             st.gen_r += 1;
             self.cv.notify_all();
+            Self::wake_sched(&mut st);
+        } else if let Some(h) = ctx.sched.clone() {
+            while st.gen_r == my_gen {
+                st = self.sched_wait(st, &h);
+                Self::check_poison(&st);
+            }
         } else {
             while st.gen_r == my_gen {
                 self.cv.wait(&mut st);
@@ -326,6 +367,7 @@ mod tests {
             traffic: TrafficStats::new(),
             net: fast_ethernet(),
             cpu: pentium4_2ghz(),
+            sched: None,
         }
     }
 

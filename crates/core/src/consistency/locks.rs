@@ -23,7 +23,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use lots_net::NodeId;
-use lots_sim::{SimDuration, SimInstant, TimeCategory};
+use lots_sim::{SchedHandle, SimDuration, SimInstant, TimeCategory};
 use parking_lot::{Condvar, Mutex};
 
 use crate::config::{DiffMode, LockProtocol};
@@ -73,6 +73,9 @@ struct LockState {
     seen: Vec<u64>,
     /// Epoch marker: barrier seq at which this lock was last reset.
     epoch: u64,
+    /// Deterministic mode: tasks parked waiting for this lock
+    /// (re-registered on every wake; woken by release/poison).
+    sched_waiters: Vec<SchedHandle>,
 }
 
 struct LockEntry {
@@ -113,8 +116,11 @@ impl LockService {
             // Hold the entry mutex while notifying: a waiter that has
             // already checked the flag but not yet parked would
             // otherwise miss this wake-up and sleep forever.
-            let _st = entry.state.lock();
+            let mut st = entry.state.lock();
             entry.cv.notify_all();
+            for w in st.sched_waiters.drain(..) {
+                w.wake();
+            }
         }
     }
 
@@ -143,6 +149,7 @@ impl LockService {
                     obj_meta: HashMap::new(),
                     seen: vec![0; self.n],
                     epoch: 0,
+                    sched_waiters: Vec::new(),
                 }),
                 cv: Condvar::new(),
             })
@@ -161,9 +168,16 @@ impl LockService {
         let wait_from = ctx.clock.now();
         self.check_poison();
         st.waiters.push_back(ctx.me);
-        while st.holder.is_some() || st.waiters.front() != Some(&ctx.me) {
-            entry.cv.wait(&mut st);
-            self.check_poison();
+        if let Some(h) = ctx.sched.clone() {
+            while st.holder.is_some() || st.waiters.front() != Some(&ctx.me) {
+                st = super::sched_wait_step(&entry.state, st, |s| &mut s.sched_waiters, &h);
+                self.check_poison();
+            }
+        } else {
+            while st.holder.is_some() || st.waiters.front() != Some(&ctx.me) {
+                entry.cv.wait(&mut st);
+                self.check_poison();
+            }
         }
         st.waiters.pop_front();
         st.holder = Some(ctx.me);
@@ -295,6 +309,9 @@ impl LockService {
         st.release_time = st.release_time.max(arrive) + ctx.cpu.handler_entry;
         st.holder = None;
         entry.cv.notify_all();
+        for w in st.sched_waiters.drain(..) {
+            w.wake();
+        }
         // Sender-side cost of pushing the release out.
         ctx.clock.advance(SimDuration(ctx.net.per_fragment.0));
     }
@@ -349,6 +366,7 @@ mod tests {
             traffic: TrafficStats::new(),
             net: fast_ethernet(),
             cpu: pentium4_2ghz(),
+            sched: None,
         }
     }
 

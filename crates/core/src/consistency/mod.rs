@@ -11,7 +11,31 @@ pub mod barrier;
 pub mod locks;
 
 use lots_net::TrafficStats;
-use lots_sim::{CpuModel, NetModel, NodeStats, SimClock};
+use lots_sim::{CpuModel, NetModel, NodeStats, SchedHandle, SimClock};
+use parking_lot::{Mutex, MutexGuard};
+
+/// One deterministic-mode wait step, shared by every sync service
+/// (LOTS and JIAJIA barriers and locks): register the calling task in
+/// the service's waiter list, hand the execution token back to the
+/// scheduler, and re-acquire the state lock once woken. Callers loop
+/// on their rendezvous condition (re-checking poison) around this —
+/// wakes are collective, so spurious wakeups are expected.
+///
+/// The registration happens under the same mutex the waker drains, and
+/// no other task runs between the guard drop and [`SchedHandle::block`]
+/// (the turnstile admits one task at a time; external wakes are sticky),
+/// so the step is lost-wakeup-free.
+pub fn sched_wait_step<'a, T>(
+    mutex: &'a Mutex<T>,
+    mut guard: MutexGuard<'a, T>,
+    waiters: impl FnOnce(&mut T) -> &mut Vec<SchedHandle>,
+    h: &SchedHandle,
+) -> MutexGuard<'a, T> {
+    waiters(&mut guard).push(h.clone());
+    drop(guard);
+    h.block();
+    mutex.lock()
+}
 
 /// Per-node handles the synchronization services need to charge
 /// virtual time and traffic.
@@ -29,4 +53,9 @@ pub struct SyncCtx {
     pub net: NetModel,
     /// CPU cost model.
     pub cpu: CpuModel,
+    /// Deterministic mode: the calling (application) task's scheduler
+    /// handle. When present, the services park through the turnstile
+    /// instead of waiting on condition variables; `None` selects the
+    /// free-running condvar path.
+    pub sched: Option<SchedHandle>,
 }

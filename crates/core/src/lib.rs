@@ -72,6 +72,7 @@ pub use api::{Dsm, DsmApi, DsmSlice, ObjView, ObjViewMut, SharedSlice, StmtGuard
 pub use config::{DiffMode, LockProtocol, LotsConfig};
 pub use consistency::locks::LockId;
 pub use diff::WordDiff;
+pub use lots_sim::{FaultPlan, PanicFault, SchedulerMode};
 pub use node::LotsError;
 pub use object::ObjectId;
 pub use pod::Pod;

@@ -42,8 +42,6 @@ pub enum Msg {
         /// Object whose diff was applied.
         obj: ObjectId,
     },
-    /// Stop the comm thread (cluster teardown).
-    Shutdown,
 }
 
 impl WireSize for Msg {
@@ -54,7 +52,6 @@ impl WireSize for Msg {
             Msg::ObjReply { .. } => 2 + 4 + 8,
             Msg::DiffSend { .. } => 2 + 4 + 8,
             Msg::DiffAck { .. } => 2 + 4,
-            Msg::Shutdown => 2,
         }
     }
 }
@@ -106,7 +103,6 @@ mod tests {
             14
         );
         assert_eq!(Msg::DiffAck { obj: ObjectId(1) }.wire_size(), 6);
-        assert_eq!(Msg::Shutdown.wire_size(), 2);
     }
 
     #[test]

@@ -5,6 +5,24 @@
 //! analogue of the paper's SIGIO handler (§3.6) — that services
 //! data-plane requests (object fetches, barrier diff propagation)
 //! against the node's shared state.
+//!
+//! Two execution models are supported, selected by
+//! [`ClusterOptions::scheduler`]:
+//!
+//! * [`SchedulerMode::Deterministic`] (default) — all `2n` threads are
+//!   tasks on a cooperative lowest-clock-first turnstile
+//!   ([`lots_sim::sched`]). Message delivery, barrier rendezvous and
+//!   lock hand-offs park/unpark through the scheduler; nothing waits
+//!   on wall-clock timeouts, and two runs with the same
+//!   [`ClusterOptions::seed`] produce byte-identical
+//!   [`ClusterReport`]s.
+//! * [`SchedulerMode::FreeRunning`] — the pre-deterministic model
+//!   (threads race the OS scheduler, comm threads poll with a 25 ms
+//!   timeout as a safety net). Virtual times vary a few percent
+//!   run-to-run; retained for host-nanosecond microbenchmarks.
+//!
+//! Shutdown is prompt in both modes: teardown pokes every comm thread
+//! ([`NetSender::wake`]) instead of waiting out a poll interval.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -12,8 +30,11 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Sender};
 use lots_disk::{BackingStore, MemStore};
-use lots_net::{cluster, Envelope, NetReceiver, NetSender, NodeId, Recv, TrafficStats};
-use lots_sim::{MachineConfig, NodeStats, SimClock, SimInstant, TimeCategory};
+use lots_net::{cluster_ext, Envelope, NetReceiver, NetSender, NodeId, Recv, TrafficStats};
+use lots_sim::{
+    FaultPlan, MachineConfig, NodeStats, SchedHandle, Scheduler, SchedulerMode, SimClock,
+    SimInstant, TimeCategory,
+};
 use parking_lot::Mutex;
 
 use crate::api::Dsm;
@@ -36,10 +57,20 @@ pub struct ClusterOptions {
     /// Backing-store factory, one store per node. Defaults to
     /// unbounded in-memory stores timed by the machine's disk model.
     pub store_factory: Box<dyn Fn(NodeId) -> Arc<dyn BackingStore> + Send + Sync>,
+    /// Execution model: deterministic turnstile (default) or
+    /// free-running threads.
+    pub scheduler: SchedulerMode,
+    /// Cluster seed: surfaced to applications via
+    /// [`crate::DsmApi::seed`] (seeded workloads fold it into their
+    /// RNG streams) and echoed in [`ClusterReport::seed`].
+    pub seed: u64,
+    /// Seeded fault injection (delays, stragglers, node panics).
+    pub faults: FaultPlan,
 }
 
 impl ClusterOptions {
-    /// Options with the default in-memory backing stores.
+    /// Options with the default in-memory backing stores, the
+    /// deterministic scheduler, seed 0 and no faults.
     pub fn new(n: usize, lots: LotsConfig, machine: MachineConfig) -> ClusterOptions {
         let disk = machine.disk;
         ClusterOptions {
@@ -47,6 +78,9 @@ impl ClusterOptions {
             lots,
             machine,
             store_factory: Box::new(move |_| Arc::new(MemStore::new(disk))),
+            scheduler: SchedulerMode::Deterministic,
+            seed: 0,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -56,6 +90,24 @@ impl ClusterOptions {
         f: impl Fn(NodeId) -> Arc<dyn BackingStore> + Send + Sync + 'static,
     ) -> ClusterOptions {
         self.store_factory = Box::new(f);
+        self
+    }
+
+    /// Select the execution model.
+    pub fn with_scheduler(mut self, mode: SchedulerMode) -> ClusterOptions {
+        self.scheduler = mode;
+        self
+    }
+
+    /// Set the cluster seed (workload data reproducibility).
+    pub fn with_seed(mut self, seed: u64) -> ClusterOptions {
+        self.seed = seed;
+        self
+    }
+
+    /// Attach a fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> ClusterOptions {
+        self.faults = faults;
         self
     }
 }
@@ -84,6 +136,8 @@ pub struct ClusterReport {
     pub nodes: Vec<NodeReport>,
     /// Execution time: the slowest node's final virtual clock.
     pub exec_time: SimInstant,
+    /// The seed the cluster ran with (see [`ClusterOptions::seed`]).
+    pub seed: u64,
 }
 
 impl ClusterReport {
@@ -97,7 +151,8 @@ impl ClusterReport {
 ///
 /// `app` is invoked once per node with that node's [`Dsm`]; the call
 /// returns each node's result plus the cluster report (virtual
-/// execution time, per-node stats and traffic).
+/// execution time, per-node stats and traffic). Under the default
+/// deterministic scheduler, same options ⇒ byte-identical report.
 pub fn run_cluster<R, F>(opts: ClusterOptions, app: F) -> (Vec<R>, ClusterReport)
 where
     R: Send + 'static,
@@ -105,7 +160,29 @@ where
 {
     let n = opts.n;
     assert!(n >= 1, "cluster needs at least one node");
-    let endpoints = cluster::<Msg>(n, opts.machine.net);
+    let clocks: Vec<SimClock> = (0..n).map(|_| SimClock::new()).collect();
+    // Deterministic mode: app tasks get ids 0..n, comm tasks n..2n, so
+    // clock ties resolve app-first in rank order.
+    let (sched, app_tasks, comm_tasks) = match opts.scheduler {
+        SchedulerMode::Deterministic => {
+            let s = Scheduler::new();
+            let apps: Vec<SchedHandle> = (0..n)
+                .map(|i| s.register(format!("lots-app-{i}"), clocks[i].clone(), false))
+                .collect();
+            let comms: Vec<SchedHandle> = (0..n)
+                .map(|i| s.register(format!("lots-comm-{i}"), clocks[i].clone(), true))
+                .collect();
+            (Some(s), Some(apps), Some(comms))
+        }
+        SchedulerMode::FreeRunning => (None, None, None),
+    };
+    // delay_for() short-circuits when no delay is configured, so the
+    // net layer can take the whole plan whenever anything is active.
+    let fault_delays = opts
+        .faults
+        .is_active()
+        .then(|| Arc::new(opts.faults.clone()));
+    let endpoints = cluster_ext::<Msg>(n, opts.machine.net, comm_tasks.clone(), fault_delays);
     let locks = Arc::new(LockService::new(
         n,
         opts.lots.diff_mode,
@@ -122,16 +199,19 @@ where
     let mut app_threads = Vec::with_capacity(n);
     let mut comm_threads = Vec::with_capacity(n);
     let mut probes = Vec::with_capacity(n);
+    let mut poker: Option<NetSender<Msg>> = None;
 
     for (me, (tx, rx)) in endpoints.into_iter().enumerate() {
-        let clock = SimClock::new();
+        poker.get_or_insert_with(|| tx.clone());
+        let clock = clocks[me].clone();
         let stats = NodeStats::new();
+        let cpu = opts.machine.cpu.scaled(opts.faults.cpu_factor(me));
         let store = (opts.store_factory)(me);
         let node = Arc::new(Mutex::new(NodeState::new(
             me,
             n,
             opts.lots.clone(),
-            opts.machine.cpu,
+            cpu,
             store,
             clock.clone(),
             stats.clone(),
@@ -143,7 +223,8 @@ where
             stats: stats.clone(),
             traffic: tx.stats().clone(),
             net: opts.machine.net,
-            cpu: opts.machine.cpu,
+            cpu,
+            sched: app_tasks.as_ref().map(|t| t[me].clone()),
         };
         probes.push((clock, stats, tx.stats().clone(), Arc::clone(&node)));
 
@@ -151,10 +232,42 @@ where
             std::thread::Builder::new()
                 .name(format!("lots-comm-{me}"))
                 .spawn({
-                    let node = Arc::clone(&node);
-                    let net = tx.clone();
-                    let shutdown = Arc::clone(&shutdown);
-                    move || comm_loop(node, net, rx, reply_tx, shutdown)
+                    let comm = CommThread {
+                        node: Arc::clone(&node),
+                        net: tx.clone(),
+                        rx,
+                        reply_tx,
+                        shutdown: Arc::clone(&shutdown),
+                        me_task: comm_tasks.as_ref().map(|t| t[me].clone()),
+                        app_task: app_tasks.as_ref().map(|t| t[me].clone()),
+                    };
+                    let barrier = Arc::clone(&barrier);
+                    let locks = Arc::clone(&locks);
+                    move || {
+                        let me_task = comm.me_task.clone();
+                        let r =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| comm.run()));
+                        match r {
+                            Ok(()) => {
+                                if let Some(t) = &me_task {
+                                    t.finish();
+                                }
+                            }
+                            Err(payload) => {
+                                // A dead comm thread strands its peers:
+                                // poison so they fail loudly — BEFORE
+                                // finish(), whose dispatch would otherwise
+                                // trip the deadlock detector on the still-
+                                // blocked peers and mask this panic.
+                                barrier.poison();
+                                locks.poison();
+                                if let Some(t) = &me_task {
+                                    t.finish();
+                                }
+                                std::panic::resume_unwind(payload);
+                            }
+                        }
+                    }
                 })
                 .expect("spawn comm thread"),
         );
@@ -168,10 +281,16 @@ where
             Arc::clone(&barrier),
         );
         let app = Arc::clone(&app);
+        let my_task = app_tasks.as_ref().map(|t| t[me].clone());
+        let seed = opts.seed;
+        let fault_barrier = opts.faults.panic_barrier_for(me);
         app_threads.push(
             std::thread::Builder::new()
                 .name(format!("lots-app-{me}"))
                 .spawn(move || {
+                    if let Some(t) = &my_task {
+                        t.attach();
+                    }
                     let (ctx, node, net, replies, locks, barrier) = dsm_parts;
                     let dsm = Dsm {
                         ctx,
@@ -182,6 +301,9 @@ where
                         barrier,
                         me,
                         n,
+                        seed,
+                        fault_barrier,
+                        barriers_entered: std::cell::Cell::new(0),
                         live_views: std::cell::Cell::new(0),
                         view_spans: std::cell::RefCell::new(Vec::new()),
                         view_token: std::cell::Cell::new(0),
@@ -192,10 +314,18 @@ where
                     let result =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| app(&dsm)));
                     match result {
-                        Ok(r) => r,
+                        Ok(r) => {
+                            if let Some(t) = &my_task {
+                                t.finish();
+                            }
+                            r
+                        }
                         Err(payload) => {
                             dsm.barrier.poison();
                             dsm.locks.poison();
+                            if let Some(t) = &my_task {
+                                t.finish();
+                            }
                             std::panic::resume_unwind(payload);
                         }
                     }
@@ -203,6 +333,10 @@ where
                 .expect("spawn app thread"),
         );
     }
+    if let Some(s) = &sched {
+        s.launch();
+    }
+    let poker = poker.expect("n >= 1");
 
     // Join everything first, then propagate the *original* panic (not
     // the secondary "poisoned" panics it induced in peer nodes).
@@ -225,15 +359,23 @@ where
                 primary.get_or_insert(err);
             }
         }
-        // Don't leak the comm threads while unwinding: stop them and
-        // join (bounded by their 25 ms poll) before re-raising.
+        // Don't leak the comm threads while unwinding: stop them, poke
+        // them awake, and join before re-raising.
         shutdown.store(true, Ordering::Release);
+        for dst in 0..n {
+            poker.wake(dst);
+        }
         for h in comm_threads.drain(..) {
             let _ = h.join();
         }
         std::panic::resume_unwind(primary.or(fallback).expect("at least one join error"));
     };
     shutdown.store(true, Ordering::Release);
+    // Prompt teardown: poke every comm thread (and in deterministic
+    // mode wake its task) instead of waiting out the poll timeout.
+    for dst in 0..n {
+        poker.wake(dst);
+    }
     for h in comm_threads {
         h.join().expect("comm thread panicked");
     }
@@ -258,76 +400,123 @@ where
         .map(|r| r.time)
         .max()
         .unwrap_or(SimInstant::ZERO);
-    (results, ClusterReport { nodes, exec_time })
+    (
+        results,
+        ClusterReport {
+            nodes,
+            exec_time,
+            seed: opts.seed,
+        },
+    )
 }
 
 /// The comm thread: service data-plane requests, forward replies to
 /// the application thread.
-fn comm_loop(
+struct CommThread {
     node: Arc<Mutex<NodeState>>,
     net: NetSender<Msg>,
-    mut rx: NetReceiver<Msg>,
+    rx: NetReceiver<Msg>,
     reply_tx: Sender<Envelope<Msg>>,
     shutdown: Arc<AtomicBool>,
-) {
-    loop {
-        match rx.recv_timeout(Duration::from_millis(25)) {
-            Recv::Message(env) => {
-                let src = env.src;
-                match env.msg {
-                    Msg::ObjReq { obj } => {
-                        let (bytes, version, service_done) = {
-                            let mut st = node.lock();
-                            // The handler runs when the request arrives
-                            // or when the node's own work frees the CPU,
-                            // whichever is later; it steals node time.
-                            st.stats.charge(TimeCategory::Handler, st.cpu.handler_entry);
-                            st.clock.advance(st.cpu.handler_entry);
-                            let t0 = st.clock.now().max(env.arrival);
-                            let (b, v) = st
-                                .serve_object(obj)
-                                .unwrap_or_else(|e| panic!("serving {obj}: {e}"));
-                            // Disk time charged inside serve_object has
-                            // already advanced the clock; the reply can
-                            // leave at the later of arrival and now.
-                            let done = st.clock.now().max(t0);
-                            (b, v, done)
-                        };
-                        net.send(
-                            src,
-                            Msg::ObjReply { obj, version },
-                            bytes.into(),
-                            service_done,
-                        );
+    /// Deterministic mode: this comm thread's own task.
+    me_task: Option<SchedHandle>,
+    /// Deterministic mode: the sibling app task, woken when a reply is
+    /// forwarded to it.
+    app_task: Option<SchedHandle>,
+}
+
+impl CommThread {
+    fn run(mut self) {
+        if let Some(me) = self.me_task.clone() {
+            // Deterministic: park on the turnstile between messages —
+            // senders wake this task with the message's arrival time.
+            me.attach();
+            loop {
+                while let Some(env) = self.rx.try_recv() {
+                    if !self.handle(env) {
+                        return;
                     }
-                    Msg::DiffSend { obj, ts } => {
-                        let service_done = {
-                            let mut st = node.lock();
-                            st.stats.charge(TimeCategory::Handler, st.cpu.handler_entry);
-                            st.clock.advance(st.cpu.handler_entry);
-                            let diff = WordDiff::decode(&env.payload);
-                            st.apply_remote_diff(obj, &diff, ts)
-                                .unwrap_or_else(|e| panic!("applying diff for {obj}: {e}"));
-                            st.clock.now().max(env.arrival)
-                        };
-                        net.send(src, Msg::DiffAck { obj }, Default::default(), service_done);
-                    }
-                    Msg::ObjReply { .. } | Msg::DiffAck { .. } => {
-                        // Replies to this node's app thread.
-                        if reply_tx.send(env).is_err() {
-                            return; // app thread gone: shutting down
-                        }
-                    }
-                    Msg::Shutdown => return,
                 }
-            }
-            Recv::Timeout => {
-                if shutdown.load(Ordering::Acquire) {
+                if self.shutdown.load(Ordering::Acquire) {
                     return;
                 }
+                me.block();
             }
-            Recv::Disconnected => return,
+        } else {
+            // Free-running: poll with a timeout; the shutdown path
+            // pokes the channel so teardown does not wait it out.
+            loop {
+                match self.rx.recv_timeout(Duration::from_millis(25)) {
+                    Recv::Message(env) => {
+                        if !self.handle(env) {
+                            return;
+                        }
+                    }
+                    Recv::Timeout => {
+                        if self.shutdown.load(Ordering::Acquire) {
+                            return;
+                        }
+                    }
+                    Recv::Disconnected => return,
+                }
+            }
         }
+    }
+
+    /// Service one message; `false` means the loop should exit.
+    fn handle(&mut self, env: Envelope<Msg>) -> bool {
+        let src = env.src;
+        match env.msg {
+            Msg::ObjReq { obj } => {
+                let (bytes, version, service_done) = {
+                    let mut st = self.node.lock();
+                    // The handler runs when the request arrives
+                    // or when the node's own work frees the CPU,
+                    // whichever is later; it steals node time.
+                    st.stats.charge(TimeCategory::Handler, st.cpu.handler_entry);
+                    st.clock.advance(st.cpu.handler_entry);
+                    let t0 = st.clock.now().max(env.arrival);
+                    let (b, v) = st
+                        .serve_object(obj)
+                        .unwrap_or_else(|e| panic!("serving {obj}: {e}"));
+                    // Disk time charged inside serve_object has
+                    // already advanced the clock; the reply can
+                    // leave at the later of arrival and now.
+                    let done = st.clock.now().max(t0);
+                    (b, v, done)
+                };
+                self.net.send(
+                    src,
+                    Msg::ObjReply { obj, version },
+                    bytes.into(),
+                    service_done,
+                );
+            }
+            Msg::DiffSend { obj, ts } => {
+                let service_done = {
+                    let mut st = self.node.lock();
+                    st.stats.charge(TimeCategory::Handler, st.cpu.handler_entry);
+                    st.clock.advance(st.cpu.handler_entry);
+                    let diff = WordDiff::decode(&env.payload);
+                    st.apply_remote_diff(obj, &diff, ts)
+                        .unwrap_or_else(|e| panic!("applying diff for {obj}: {e}"));
+                    st.clock.now().max(env.arrival)
+                };
+                self.net
+                    .send(src, Msg::DiffAck { obj }, Default::default(), service_done);
+            }
+            Msg::ObjReply { .. } | Msg::DiffAck { .. } => {
+                // Replies to this node's app thread.
+                let arrival = env.arrival;
+                if self.reply_tx.send(env).is_err() {
+                    return false; // app thread gone: shutting down
+                }
+                if let Some(app) = &self.app_task {
+                    app.wake_at(arrival);
+                }
+            }
+        }
+        true
     }
 }
 
@@ -336,6 +525,7 @@ mod tests {
     use super::*;
     use crate::api::{DsmApi, DsmSlice};
     use lots_sim::machine::p4_fedora;
+    use lots_sim::PanicFault;
 
     fn opts(n: usize, dmm: usize) -> ClusterOptions {
         ClusterOptions::new(n, LotsConfig::small(dmm), p4_fedora())
@@ -430,6 +620,20 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "node 1 exploded")]
+    fn peer_panic_fails_loudly_in_free_running_mode() {
+        let o = opts(2, 64 * 1024).with_scheduler(SchedulerMode::FreeRunning);
+        let _ = run_cluster(o, |dsm| {
+            let a = dsm.alloc::<i32>(16);
+            if dsm.me() == 1 {
+                panic!("node 1 exploded");
+            }
+            dsm.barrier();
+            a.read(0)
+        });
+    }
+
+    #[test]
     fn clock_and_traffic_recorded() {
         let (_, report) = run_cluster(opts(2, 64 * 1024), |dsm| {
             let a = dsm.alloc::<i64>(1024);
@@ -444,5 +648,109 @@ mod tests {
             assert!(node.stats.access_checks() > 0);
         }
         assert!(report.exec_time >= report.nodes[0].time);
+    }
+
+    fn fingerprint(report: &ClusterReport) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for nd in &report.nodes {
+            let _ = write!(
+                out,
+                "{}:{}:{}:{}:{}:{};",
+                nd.me,
+                nd.time.nanos(),
+                nd.stats.access_checks(),
+                nd.traffic.bytes_sent(),
+                nd.traffic.msgs_sent(),
+                nd.stats.time_in(TimeCategory::SyncWait).nanos(),
+            );
+        }
+        out
+    }
+
+    fn contended_kernel(dsm: &Dsm) -> i64 {
+        let a = dsm.alloc::<i64>(256);
+        let per = 256 / dsm.n();
+        let base = dsm.me() * per;
+        for i in 0..per {
+            a.write(base + i, (base + i) as i64);
+        }
+        dsm.barrier();
+        let mut sum = 0;
+        for _ in 0..4 {
+            dsm.lock(1);
+            let v = a.read(0);
+            a.write(0, v + 1);
+            dsm.unlock(1);
+        }
+        dsm.barrier();
+        for i in 0..256 {
+            sum += a.read(i);
+        }
+        sum
+    }
+
+    #[test]
+    fn deterministic_mode_reproduces_reports_exactly() {
+        let run = || {
+            let (results, report) = run_cluster(opts(4, 256 * 1024), contended_kernel);
+            (results, fingerprint(&report))
+        };
+        let (r1, f1) = run();
+        let (r2, f2) = run();
+        assert_eq!(r1, r2);
+        assert_eq!(f1, f2, "same seed must give byte-identical reports");
+    }
+
+    #[test]
+    fn free_running_mode_still_computes_correctly() {
+        let o = opts(4, 256 * 1024).with_scheduler(SchedulerMode::FreeRunning);
+        let (results, report) = run_cluster(o, contended_kernel);
+        assert_eq!(results.len(), 4);
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+        assert!(report.exec_time.nanos() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "fault injection")]
+    fn fault_plan_panics_the_chosen_node() {
+        let o = opts(2, 64 * 1024).with_faults(FaultPlan {
+            panic_node: Some(PanicFault {
+                node: 1,
+                at_barrier: 1,
+            }),
+            ..FaultPlan::none()
+        });
+        let _ = run_cluster(o, |dsm| {
+            let a = dsm.alloc::<i32>(4);
+            a.write(dsm.me(), 1);
+            dsm.barrier();
+            a.read(0)
+        });
+    }
+
+    #[test]
+    fn fault_delays_and_slowdowns_change_times_not_values() {
+        let base = run_cluster(opts(2, 64 * 1024), contended_kernel);
+        let o = opts(2, 64 * 1024).with_faults(FaultPlan {
+            seed: 99,
+            max_msg_delay: lots_sim::SimDuration::from_millis(2),
+            cpu_slowdown: vec![(1, 2.0)],
+            ..FaultPlan::none()
+        });
+        let perturbed = run_cluster(o, contended_kernel);
+        assert_eq!(base.0, perturbed.0, "faulted run must compute same values");
+        assert!(
+            perturbed.1.exec_time > base.1.exec_time,
+            "delays + a straggler must cost virtual time ({} vs {})",
+            perturbed.1.exec_time,
+            base.1.exec_time
+        );
+    }
+
+    #[test]
+    fn report_carries_seed() {
+        let (_, report) = run_cluster(opts(1, 64 * 1024).with_seed(777), |dsm| dsm.seed());
+        assert_eq!(report.seed, 777);
     }
 }

@@ -17,7 +17,7 @@ use std::ops::{Deref, DerefMut, Range};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use crossbeam::channel::Receiver;
+use crossbeam::channel::{Receiver, TryRecvError};
 use lots_core::api::{element_bounds, range_bounds};
 use lots_core::consistency::SyncCtx;
 use lots_core::pod::Pod;
@@ -77,6 +77,12 @@ pub struct JiaDsm {
     pub(crate) locks: Arc<JiaLocks>,
     pub(crate) me: NodeId,
     pub(crate) n: usize,
+    /// Cluster seed surfaced through [`DsmApi::seed`].
+    pub(crate) seed: u64,
+    /// Fault injection: panic on entering this (1-based) barrier.
+    pub(crate) fault_barrier: Option<u64>,
+    /// Barriers this node has entered (drives `fault_barrier`).
+    pub(crate) barriers_entered: Cell<u64>,
     /// Live view guards; synchronization ops assert this is zero.
     pub(crate) live_views: Cell<u32>,
     /// Byte spans of live non-empty guards (flat shared addresses),
@@ -111,6 +117,10 @@ impl DsmApi for JiaDsm {
         self.ctx.clock.now()
     }
 
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// `jia_alloc`: allocate a shared array of `len` elements.
     fn try_alloc<T: Pod>(&self, len: usize) -> Result<JiaSlice<'_, T>, JiaError> {
         if len == 0 {
@@ -143,6 +153,14 @@ impl DsmApi for JiaDsm {
     /// invalidate written pages.
     fn barrier(&self) {
         self.assert_no_live_views("barrier");
+        let entered = self.barriers_entered.get() + 1;
+        self.barriers_entered.set(entered);
+        if self.fault_barrier == Some(entered) {
+            panic!(
+                "fault injection: node {} killed entering barrier {entered}",
+                self.me
+            );
+        }
         let (diffs, notices) = self.node.lock().flush_dirty();
         self.flush_diffs(diffs);
         let round = self.barrier.enter(&self.ctx, notices);
@@ -332,9 +350,23 @@ impl JiaDsm {
     }
 
     fn recv_reply(&self) -> Envelope<JMsg> {
-        self.replies
-            .recv()
-            .expect("comm thread alive while app running")
+        if let Some(h) = &self.ctx.sched {
+            // Deterministic mode: park on the turnstile; the comm task
+            // wakes us after forwarding the envelope.
+            loop {
+                match self.replies.try_recv() {
+                    Ok(env) => return env,
+                    Err(TryRecvError::Empty) => h.block(),
+                    Err(TryRecvError::Disconnected) => {
+                        panic!("comm thread gone while app waiting for a reply")
+                    }
+                }
+            }
+        } else {
+            self.replies
+                .recv()
+                .expect("comm thread alive while app running")
+        }
     }
 }
 

@@ -1,5 +1,9 @@
 //! JIAJIA cluster bootstrap: app thread + comm (SIGIO) thread per node,
-//! mirroring the LOTS runtime so measurements are comparable.
+//! mirroring the LOTS runtime so measurements are comparable — the
+//! same deterministic lowest-clock-first scheduler (default), the same
+//! seed/fault plumbing, the same prompt-shutdown pokes. Keeping the
+//! execution models identical is what makes LOTS-vs-JIAJIA deltas
+//! attributable to the protocols, not the harness.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -8,8 +12,11 @@ use std::time::Duration;
 use crossbeam::channel::{unbounded, Sender};
 use lots_core::consistency::SyncCtx;
 use lots_core::diff::WordDiff;
-use lots_net::{cluster, Envelope, NetReceiver, NetSender, NodeId, Recv, TrafficStats};
-use lots_sim::{MachineConfig, NodeStats, SimClock, SimInstant, TimeCategory};
+use lots_net::{cluster_ext, Envelope, NetReceiver, NetSender, NodeId, Recv, TrafficStats};
+use lots_sim::{
+    FaultPlan, MachineConfig, NodeStats, SchedHandle, Scheduler, SchedulerMode, SimClock,
+    SimInstant, TimeCategory,
+};
 use parking_lot::Mutex;
 
 use crate::api::{JMsg, JiaDsm};
@@ -18,36 +25,75 @@ use crate::services::{JiaBarrier, JiaLocks};
 
 /// Options for a JIAJIA cluster run.
 pub struct JiaOptions {
+    /// Cluster size.
     pub n: usize,
     /// Shared-space size (v1.1 default limit: 128 MB, §2 of the paper).
     pub shared_bytes: usize,
+    /// Simulated machine (CPU, network, disk models).
     pub machine: MachineConfig,
+    /// Execution model: deterministic turnstile (default) or
+    /// free-running threads.
+    pub scheduler: SchedulerMode,
+    /// Cluster seed, surfaced via `DsmApi::seed` and the report.
+    pub seed: u64,
+    /// Seeded fault injection (delays, stragglers, node panics).
+    pub faults: FaultPlan,
 }
 
 impl JiaOptions {
+    /// Options with the deterministic scheduler, seed 0, no faults.
     pub fn new(n: usize, shared_bytes: usize, machine: MachineConfig) -> JiaOptions {
         JiaOptions {
             n,
             shared_bytes,
             machine,
+            scheduler: SchedulerMode::Deterministic,
+            seed: 0,
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// Select the execution model.
+    pub fn with_scheduler(mut self, mode: SchedulerMode) -> JiaOptions {
+        self.scheduler = mode;
+        self
+    }
+
+    /// Set the cluster seed.
+    pub fn with_seed(mut self, seed: u64) -> JiaOptions {
+        self.seed = seed;
+        self
+    }
+
+    /// Attach a fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> JiaOptions {
+        self.faults = faults;
+        self
     }
 }
 
 /// Per-node outcome.
 #[derive(Debug, Clone)]
 pub struct JiaNodeReport {
+    /// The node's rank.
     pub me: NodeId,
+    /// Final virtual time.
     pub time: SimInstant,
+    /// The node's time/counter statistics.
     pub stats: NodeStats,
+    /// The node's traffic counters.
     pub traffic: TrafficStats,
 }
 
 /// Cluster-wide outcome.
 #[derive(Debug, Clone)]
 pub struct JiaReport {
+    /// Per-node reports, indexed by rank.
     pub nodes: Vec<JiaNodeReport>,
+    /// Execution time: the slowest node's final virtual clock.
     pub exec_time: SimInstant,
+    /// The seed the cluster ran with.
+    pub seed: u64,
 }
 
 /// Run an SPMD application on a simulated JIAJIA cluster.
@@ -58,7 +104,27 @@ where
 {
     let n = opts.n;
     assert!(n >= 1);
-    let endpoints = cluster::<JMsg>(n, opts.machine.net);
+    let clocks: Vec<SimClock> = (0..n).map(|_| SimClock::new()).collect();
+    let (sched, app_tasks, comm_tasks) = match opts.scheduler {
+        SchedulerMode::Deterministic => {
+            let s = Scheduler::new();
+            let apps: Vec<SchedHandle> = (0..n)
+                .map(|i| s.register(format!("jia-app-{i}"), clocks[i].clone(), false))
+                .collect();
+            let comms: Vec<SchedHandle> = (0..n)
+                .map(|i| s.register(format!("jia-comm-{i}"), clocks[i].clone(), true))
+                .collect();
+            (Some(s), Some(apps), Some(comms))
+        }
+        SchedulerMode::FreeRunning => (None, None, None),
+    };
+    // delay_for() short-circuits when no delay is configured, so the
+    // net layer can take the whole plan whenever anything is active.
+    let fault_delays = opts
+        .faults
+        .is_active()
+        .then(|| Arc::new(opts.faults.clone()));
+    let endpoints = cluster_ext::<JMsg>(n, opts.machine.net, comm_tasks.clone(), fault_delays);
     let barrier = Arc::new(JiaBarrier::new(n));
     let locks = Arc::new(JiaLocks::new(n));
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -67,15 +133,18 @@ where
     let mut app_threads = Vec::with_capacity(n);
     let mut comm_threads = Vec::with_capacity(n);
     let mut probes = Vec::with_capacity(n);
+    let mut poker: Option<NetSender<JMsg>> = None;
 
     for (me, (tx, rx)) in endpoints.into_iter().enumerate() {
-        let clock = SimClock::new();
+        poker.get_or_insert_with(|| tx.clone());
+        let clock = clocks[me].clone();
         let stats = NodeStats::new();
+        let cpu = opts.machine.cpu.scaled(opts.faults.cpu_factor(me));
         let node = Arc::new(Mutex::new(JiaNode::new(
             me,
             n,
             opts.shared_bytes,
-            opts.machine.cpu,
+            cpu,
             clock.clone(),
             stats.clone(),
         )));
@@ -86,7 +155,8 @@ where
             stats: stats.clone(),
             traffic: tx.stats().clone(),
             net: opts.machine.net,
-            cpu: opts.machine.cpu,
+            cpu,
+            sched: app_tasks.as_ref().map(|t| t[me].clone()),
         };
         probes.push((clock, stats, tx.stats().clone()));
 
@@ -94,10 +164,40 @@ where
             std::thread::Builder::new()
                 .name(format!("jia-comm-{me}"))
                 .spawn({
-                    let node = Arc::clone(&node);
-                    let net = tx.clone();
-                    let shutdown = Arc::clone(&shutdown);
-                    move || comm_loop(node, net, rx, reply_tx, shutdown)
+                    let comm = CommThread {
+                        node: Arc::clone(&node),
+                        net: tx.clone(),
+                        rx,
+                        reply_tx,
+                        shutdown: Arc::clone(&shutdown),
+                        me_task: comm_tasks.as_ref().map(|t| t[me].clone()),
+                        app_task: app_tasks.as_ref().map(|t| t[me].clone()),
+                    };
+                    let barrier = Arc::clone(&barrier);
+                    let locks = Arc::clone(&locks);
+                    move || {
+                        let me_task = comm.me_task.clone();
+                        let r =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| comm.run()));
+                        match r {
+                            Ok(()) => {
+                                if let Some(t) = &me_task {
+                                    t.finish();
+                                }
+                            }
+                            Err(payload) => {
+                                // Poison BEFORE finish(): finish's dispatch
+                                // would otherwise trip the deadlock detector
+                                // on still-blocked peers and mask this panic.
+                                barrier.poison();
+                                locks.poison();
+                                if let Some(t) = &me_task {
+                                    t.finish();
+                                }
+                                std::panic::resume_unwind(payload);
+                            }
+                        }
+                    }
                 })
                 .expect("spawn comm thread"),
         );
@@ -111,10 +211,16 @@ where
             Arc::clone(&locks),
         );
         let app = Arc::clone(&app);
+        let my_task = app_tasks.as_ref().map(|t| t[me].clone());
+        let seed = opts.seed;
+        let fault_barrier = opts.faults.panic_barrier_for(me);
         app_threads.push(
             std::thread::Builder::new()
                 .name(format!("jia-app-{me}"))
                 .spawn(move || {
+                    if let Some(t) = &my_task {
+                        t.attach();
+                    }
                     let (ctx, node, net, replies, barrier, locks) = parts;
                     let dsm = JiaDsm {
                         ctx,
@@ -125,6 +231,9 @@ where
                         locks,
                         me,
                         n,
+                        seed,
+                        fault_barrier,
+                        barriers_entered: std::cell::Cell::new(0),
                         live_views: std::cell::Cell::new(0),
                         view_spans: std::cell::RefCell::new(Vec::new()),
                         view_token: std::cell::Cell::new(0),
@@ -135,10 +244,18 @@ where
                     let result =
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| app(&dsm)));
                     match result {
-                        Ok(r) => r,
+                        Ok(r) => {
+                            if let Some(t) = &my_task {
+                                t.finish();
+                            }
+                            r
+                        }
                         Err(payload) => {
                             dsm.barrier.poison();
                             dsm.locks.poison();
+                            if let Some(t) = &my_task {
+                                t.finish();
+                            }
                             std::panic::resume_unwind(payload);
                         }
                     }
@@ -146,6 +263,10 @@ where
                 .expect("spawn app thread"),
         );
     }
+    if let Some(s) = &sched {
+        s.launch();
+    }
+    let poker = poker.expect("n >= 1");
 
     // Join everything first, then propagate the *original* panic (not
     // the secondary "poisoned" panics it induced in peer nodes).
@@ -168,15 +289,21 @@ where
                 primary.get_or_insert(err);
             }
         }
-        // Don't leak the comm threads while unwinding: stop them and
-        // join (bounded by their 25 ms poll) before re-raising.
+        // Don't leak the comm threads while unwinding: stop them, poke
+        // them awake, and join before re-raising.
         shutdown.store(true, Ordering::Release);
+        for dst in 0..n {
+            poker.wake(dst);
+        }
         for h in comm_threads.drain(..) {
             let _ = h.join();
         }
         std::panic::resume_unwind(primary.or(fallback).expect("at least one join error"));
     };
     shutdown.store(true, Ordering::Release);
+    for dst in 0..n {
+        poker.wake(dst);
+    }
     for h in comm_threads {
         h.join().expect("comm thread panicked");
     }
@@ -196,56 +323,98 @@ where
         .map(|r| r.time)
         .max()
         .unwrap_or(SimInstant::ZERO);
-    (results, JiaReport { nodes, exec_time })
+    (
+        results,
+        JiaReport {
+            nodes,
+            exec_time,
+            seed: opts.seed,
+        },
+    )
 }
 
-fn comm_loop(
+/// The comm thread (see the LOTS counterpart in `lots_core::runtime`).
+struct CommThread {
     node: Arc<Mutex<JiaNode>>,
     net: NetSender<JMsg>,
-    mut rx: NetReceiver<JMsg>,
+    rx: NetReceiver<JMsg>,
     reply_tx: Sender<Envelope<JMsg>>,
     shutdown: Arc<AtomicBool>,
-) {
-    loop {
-        match rx.recv_timeout(Duration::from_millis(25)) {
-            Recv::Message(env) => {
-                let src = env.src;
-                match env.msg {
-                    JMsg::PageReq { page } => {
-                        let (bytes, version, done) = {
-                            let mut st = node.lock();
-                            st.stats.charge(TimeCategory::Handler, st.cpu.handler_entry);
-                            st.clock.advance(st.cpu.handler_entry);
-                            let (b, v) = st.serve_page(page as usize);
-                            (b, v, st.clock.now().max(env.arrival))
-                        };
-                        net.send(src, JMsg::PageReply { page, version }, bytes.into(), done);
+    me_task: Option<SchedHandle>,
+    app_task: Option<SchedHandle>,
+}
+
+impl CommThread {
+    fn run(mut self) {
+        if let Some(me) = self.me_task.clone() {
+            me.attach();
+            loop {
+                while let Some(env) = self.rx.try_recv() {
+                    if !self.handle(env) {
+                        return;
                     }
-                    JMsg::DiffSend { page } => {
-                        let done = {
-                            let mut st = node.lock();
-                            st.stats.charge(TimeCategory::Handler, st.cpu.handler_entry);
-                            st.clock.advance(st.cpu.handler_entry);
-                            let diff = WordDiff::decode(&env.payload);
-                            st.apply_remote_diff(page as usize, &diff);
-                            st.clock.now().max(env.arrival)
-                        };
-                        net.send(src, JMsg::DiffAck { page }, Default::default(), done);
-                    }
-                    JMsg::PageReply { .. } | JMsg::DiffAck { .. } => {
-                        if reply_tx.send(env).is_err() {
+                }
+                if self.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                me.block();
+            }
+        } else {
+            loop {
+                match self.rx.recv_timeout(Duration::from_millis(25)) {
+                    Recv::Message(env) => {
+                        if !self.handle(env) {
                             return;
                         }
                     }
+                    Recv::Timeout => {
+                        if self.shutdown.load(Ordering::Acquire) {
+                            return;
+                        }
+                    }
+                    Recv::Disconnected => return,
                 }
             }
-            Recv::Timeout => {
-                if shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-            }
-            Recv::Disconnected => return,
         }
+    }
+
+    fn handle(&mut self, env: Envelope<JMsg>) -> bool {
+        let src = env.src;
+        match env.msg {
+            JMsg::PageReq { page } => {
+                let (bytes, version, done) = {
+                    let mut st = self.node.lock();
+                    st.stats.charge(TimeCategory::Handler, st.cpu.handler_entry);
+                    st.clock.advance(st.cpu.handler_entry);
+                    let (b, v) = st.serve_page(page as usize);
+                    (b, v, st.clock.now().max(env.arrival))
+                };
+                self.net
+                    .send(src, JMsg::PageReply { page, version }, bytes.into(), done);
+            }
+            JMsg::DiffSend { page } => {
+                let done = {
+                    let mut st = self.node.lock();
+                    st.stats.charge(TimeCategory::Handler, st.cpu.handler_entry);
+                    st.clock.advance(st.cpu.handler_entry);
+                    let diff = WordDiff::decode(&env.payload);
+                    st.apply_remote_diff(page as usize, &diff);
+                    st.clock.now().max(env.arrival)
+                };
+                self.net
+                    .send(src, JMsg::DiffAck { page }, Default::default(), done);
+            }
+            JMsg::PageReply { .. } | JMsg::DiffAck { .. } => {
+                let arrival = env.arrival;
+                if self.reply_tx.send(env).is_err() {
+                    return false;
+                }
+                if let Some(app) = &self.app_task {
+                    app.wake_at(arrival);
+                }
+            }
+        }
+        true
     }
 }
 
@@ -344,5 +513,41 @@ mod tests {
         });
         let bytes: u64 = report.nodes.iter().map(|n| n.traffic.bytes_sent()).sum();
         assert!(bytes >= 4096, "page fetch moves ≥ one page, got {bytes}");
+    }
+
+    #[test]
+    fn deterministic_mode_reproduces_reports_exactly() {
+        let kernel = |dsm: &JiaDsm| {
+            let a = dsm.alloc::<i32>(2048);
+            a.write(dsm.me() * 8, dsm.me() as i32 + 1);
+            dsm.barrier();
+            dsm.lock(3);
+            let v = a.read(0);
+            a.write(0, v + 1);
+            dsm.unlock(3);
+            dsm.barrier();
+            a.read(0) + a.read(8)
+        };
+        let run = || {
+            let (results, report) = run_jiajia_cluster(opts(3), kernel);
+            let fp: String = report
+                .nodes
+                .iter()
+                .map(|nd| {
+                    format!(
+                        "{}:{}:{}:{};",
+                        nd.me,
+                        nd.time.nanos(),
+                        nd.stats.page_faults(),
+                        nd.traffic.bytes_sent()
+                    )
+                })
+                .collect();
+            (results, fp)
+        };
+        let (r1, f1) = run();
+        let (r2, f2) = run();
+        assert_eq!(r1, r2);
+        assert_eq!(f1, f2, "same seed must give byte-identical reports");
     }
 }

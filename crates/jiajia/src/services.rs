@@ -15,7 +15,7 @@ use std::sync::Arc;
 use lots_core::consistency::SyncCtx;
 use lots_core::protocol::messages::ctl;
 use lots_net::NodeId;
-use lots_sim::{SimDuration, SimInstant, TimeCategory};
+use lots_sim::{SchedHandle, SimDuration, SimInstant, TimeCategory};
 use parking_lot::{Condvar, Mutex};
 
 /// One aggregated write notice: the page, one of its writers, and
@@ -45,6 +45,9 @@ struct BarState {
     /// Set when a node's app thread panicked: waiters must unblock and
     /// propagate instead of waiting for an impossible rendezvous.
     poisoned: bool,
+    /// Deterministic mode: turnstile-parked waiters (re-registered on
+    /// every wake; drained by the last arriver or by poison).
+    sched_waiters: Vec<SchedHandle>,
 }
 
 /// The cluster barrier (single rendezvous: diffs are acked before
@@ -68,6 +71,7 @@ impl JiaBarrier {
                 result: None,
                 exit_time: SimInstant::ZERO,
                 poisoned: false,
+                sched_waiters: Vec::new(),
             }),
             cv: Condvar::new(),
         }
@@ -79,6 +83,9 @@ impl JiaBarrier {
         let mut st = self.state.lock();
         st.poisoned = true;
         self.cv.notify_all();
+        for w in st.sched_waiters.drain(..) {
+            w.wake();
+        }
     }
 
     fn check_poison(st: &BarState) {
@@ -122,6 +129,19 @@ impl JiaBarrier {
             st.enter_max = SimInstant::ZERO;
             st.gen += 1;
             self.cv.notify_all();
+            for w in st.sched_waiters.drain(..) {
+                w.wake();
+            }
+        } else if let Some(h) = ctx.sched.clone() {
+            while st.gen == my_gen {
+                st = lots_core::consistency::sched_wait_step(
+                    &self.state,
+                    st,
+                    |s| &mut s.sched_waiters,
+                    &h,
+                );
+                Self::check_poison(&st);
+            }
         } else {
             while st.gen == my_gen {
                 self.cv.wait(&mut st);
@@ -148,6 +168,8 @@ struct LockState {
     /// Write notices: page → (last release ts, writer).
     notices: HashMap<u32, (u64, NodeId)>,
     seen: Vec<u64>,
+    /// Deterministic mode: turnstile-parked waiters on this lock.
+    sched_waiters: Vec<SchedHandle>,
 }
 
 struct LockEntry {
@@ -182,8 +204,11 @@ impl JiaLocks {
             // Hold the entry mutex while notifying: a waiter that has
             // already checked the flag but not yet parked would
             // otherwise miss this wake-up and sleep forever.
-            let _st = entry.state.lock();
+            let mut st = entry.state.lock();
             entry.cv.notify_all();
+            for w in st.sched_waiters.drain(..) {
+                w.wake();
+            }
         }
     }
 
@@ -204,6 +229,7 @@ impl JiaLocks {
                     release_time: SimInstant::ZERO,
                     notices: HashMap::new(),
                     seen: vec![0; self.n],
+                    sched_waiters: Vec::new(),
                 }),
                 cv: Condvar::new(),
             })
@@ -219,9 +245,21 @@ impl JiaLocks {
         ctx.traffic.record_send(ctl::LOCK_ACQ, 1);
         self.check_poison();
         st.waiters.push_back(ctx.me);
-        while st.holder.is_some() || st.waiters.front() != Some(&ctx.me) {
-            entry.cv.wait(&mut st);
-            self.check_poison();
+        if let Some(h) = ctx.sched.clone() {
+            while st.holder.is_some() || st.waiters.front() != Some(&ctx.me) {
+                st = lots_core::consistency::sched_wait_step(
+                    &entry.state,
+                    st,
+                    |s| &mut s.sched_waiters,
+                    &h,
+                );
+                self.check_poison();
+            }
+        } else {
+            while st.holder.is_some() || st.waiters.front() != Some(&ctx.me) {
+                entry.cv.wait(&mut st);
+                self.check_poison();
+            }
         }
         st.waiters.pop_front();
         st.holder = Some(ctx.me);
@@ -264,6 +302,9 @@ impl JiaLocks {
         st.release_time = st.release_time.max(arrive) + ctx.cpu.handler_entry;
         st.holder = None;
         entry.cv.notify_all();
+        for w in st.sched_waiters.drain(..) {
+            w.wake();
+        }
     }
 }
 
@@ -282,6 +323,7 @@ mod tests {
             traffic: TrafficStats::new(),
             net: fast_ethernet(),
             cpu: pentium4_2ghz(),
+            sched: None,
         }
     }
 

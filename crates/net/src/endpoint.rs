@@ -14,7 +14,7 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
-use lots_sim::{NetModel, SimInstant};
+use lots_sim::{FaultPlan, NetModel, SchedHandle, SimInstant};
 
 use crate::flow::{LinkClock, Transmission};
 use crate::fragment::{split, Fragment, Reassembler};
@@ -34,14 +34,28 @@ struct Packet<M> {
     fragments: u32,
 }
 
+/// One channel element: a data fragment, or an out-of-band poke that
+/// makes a blocked receiver return immediately (used for prompt
+/// shutdown instead of waiting out the receive timeout).
+#[derive(Debug, Clone)]
+enum Wire<M> {
+    Pkt(Packet<M>),
+    Wake,
+}
+
 /// Sending half; cheap to clone and share between threads of one node.
 pub struct NetSender<M> {
     id: NodeId,
     model: NetModel,
-    txs: Arc<Vec<Sender<Packet<M>>>>,
+    txs: Arc<Vec<Sender<Wire<M>>>>,
     links: Arc<Vec<LinkClock>>,
     seq: Arc<AtomicU64>,
     stats: TrafficStats,
+    /// Deterministic mode: the comm task of each node, woken (with the
+    /// message's virtual arrival time) whenever something is sent to it.
+    wakers: Option<Arc<Vec<SchedHandle>>>,
+    /// Seeded per-message delay injection (fault plans).
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl<M> Clone for NetSender<M> {
@@ -53,6 +67,8 @@ impl<M> Clone for NetSender<M> {
             links: Arc::clone(&self.links),
             seq: Arc::clone(&self.seq),
             stats: self.stats.clone(),
+            wakers: self.wakers.clone(),
+            faults: self.faults.clone(),
         }
     }
 }
@@ -64,9 +80,14 @@ impl<M: WireSize + Send + 'static> NetSender<M> {
     pub fn send(&self, dst: NodeId, msg: M, payload: Bytes, now: SimInstant) -> Transmission {
         assert_ne!(dst, self.id, "node {} sending to itself", self.id);
         let body = msg.wire_size() + payload.len();
-        let tx = self.links[dst].transmit(&self.model, now, body);
+        let mut tx = self.links[dst].transmit(&self.model, now, body);
         self.stats.record_send(tx.wire_bytes, tx.fragments);
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if let Some(f) = &self.faults {
+            // Injected in-flight jitter: stretches the arrival only
+            // (the sender's link occupancy is unaffected).
+            tx.arrival += f.delay_for(self.id, dst, seq);
+        }
         let max_frag_payload = self.model.max_datagram;
         let frags = split(seq, &payload, max_frag_payload);
         debug_assert_eq!(frags.len() as u32, self.model.fragments(payload.len()));
@@ -85,10 +106,25 @@ impl<M: WireSize + Send + 'static> NetSender<M> {
             // Unbounded channel: never blocks, so no deadlock between
             // comm threads that send while servicing.
             self.txs[dst]
-                .send(pkt)
+                .send(Wire::Pkt(pkt))
                 .expect("destination endpoint dropped while cluster running");
         }
+        if let Some(w) = &self.wakers {
+            w[dst].wake_at(tx.arrival);
+        }
         tx
+    }
+
+    /// Poke `dst`'s receiver so a blocked `recv_timeout` returns
+    /// [`Recv::Timeout`] immediately (and, in deterministic mode, its
+    /// comm task is woken). Used for prompt shutdown: the receiver
+    /// re-checks its shutdown flag instead of sleeping out the poll
+    /// interval. Sending to a dropped endpoint is a no-op.
+    pub fn wake(&self, dst: NodeId) {
+        let _ = self.txs[dst].send(Wire::Wake);
+        if let Some(w) = &self.wakers {
+            w[dst].wake();
+        }
     }
 
     /// This node's id.
@@ -115,7 +151,7 @@ impl<M: WireSize + Send + 'static> NetSender<M> {
 /// Receiving half; owned by exactly one thread (the comm thread).
 pub struct NetReceiver<M> {
     id: NodeId,
-    rx: Receiver<Packet<M>>,
+    rx: Receiver<Wire<M>>,
     reasm: Reassembler,
     headers: HashMap<(NodeId, u64), PendingHeader<M>>,
     stats: TrafficStats,
@@ -148,7 +184,10 @@ impl<M: WireSize> NetReceiver<M> {
         let deadline = std::time::Instant::now() + timeout;
         loop {
             let pkt = match self.rx.recv_deadline(deadline) {
-                Ok(p) => p,
+                Ok(Wire::Pkt(p)) => p,
+                // Out-of-band poke: report an early timeout so the
+                // caller re-checks its shutdown flag immediately.
+                Ok(Wire::Wake) => return Recv::Timeout,
                 Err(RecvTimeoutError::Timeout) => return Recv::Timeout,
                 Err(RecvTimeoutError::Disconnected) => return Recv::Disconnected,
             };
@@ -158,9 +197,11 @@ impl<M: WireSize> NetReceiver<M> {
         }
     }
 
-    /// Non-blocking poll for a complete message.
+    /// Non-blocking poll for a complete message. Wake pokes are
+    /// swallowed (the caller is already awake).
     pub fn try_recv(&mut self) -> Option<Envelope<M>> {
-        while let Ok(pkt) = self.rx.try_recv() {
+        while let Ok(wire) = self.rx.try_recv() {
+            let Wire::Pkt(pkt) = wire else { continue };
             if let Some(env) = self.absorb(pkt) {
                 return Some(env);
             }
@@ -213,8 +254,10 @@ impl<M: WireSize> NetReceiver<M> {
 fn endpoint_pair<M>(
     id: NodeId,
     model: NetModel,
-    txs: Vec<Sender<Packet<M>>>,
-    rx: Receiver<Packet<M>>,
+    txs: Vec<Sender<Wire<M>>>,
+    rx: Receiver<Wire<M>>,
+    wakers: Option<Arc<Vec<SchedHandle>>>,
+    faults: Option<Arc<FaultPlan>>,
 ) -> (NetSender<M>, NetReceiver<M>) {
     let stats = TrafficStats::new();
     let links = Arc::new((0..txs.len()).map(|_| LinkClock::new()).collect::<Vec<_>>());
@@ -226,6 +269,8 @@ fn endpoint_pair<M>(
             links,
             seq: Arc::new(AtomicU64::new(0)),
             stats: stats.clone(),
+            wakers,
+            faults,
         },
         NetReceiver {
             id,
@@ -242,11 +287,28 @@ pub fn cluster<M: WireSize + Send + 'static>(
     n: usize,
     model: NetModel,
 ) -> Vec<(NetSender<M>, NetReceiver<M>)> {
+    cluster_ext(n, model, None, None)
+}
+
+/// [`cluster`] with the deterministic-mode hooks: `wakers` holds the
+/// scheduler task of each node's receiver (its comm task), woken with
+/// the virtual arrival time on every send addressed to it; `faults`
+/// injects seeded per-message delays.
+pub fn cluster_ext<M: WireSize + Send + 'static>(
+    n: usize,
+    model: NetModel,
+    wakers: Option<Vec<SchedHandle>>,
+    faults: Option<Arc<FaultPlan>>,
+) -> Vec<(NetSender<M>, NetReceiver<M>)> {
     assert!(n >= 1, "cluster needs at least one node");
-    let mut txs: Vec<Vec<Sender<Packet<M>>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
-    let mut rxs: Vec<Receiver<Packet<M>>> = Vec::with_capacity(n);
+    if let Some(w) = &wakers {
+        assert_eq!(w.len(), n, "one waker per node");
+    }
+    let wakers = wakers.map(Arc::new);
+    let mut txs: Vec<Vec<Sender<Wire<M>>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+    let mut rxs: Vec<Receiver<Wire<M>>> = Vec::with_capacity(n);
     for _dst in 0..n {
-        let (tx, rx) = channel::unbounded::<Packet<M>>();
+        let (tx, rx) = channel::unbounded::<Wire<M>>();
         rxs.push(rx);
         for sender_txs in txs.iter_mut() {
             sender_txs.push(tx.clone());
@@ -255,7 +317,7 @@ pub fn cluster<M: WireSize + Send + 'static>(
     txs.into_iter()
         .zip(rxs)
         .enumerate()
-        .map(|(id, (tx, rx))| endpoint_pair(id, model, tx, rx))
+        .map(|(id, (tx, rx))| endpoint_pair(id, model, tx, rx, wakers.clone(), faults.clone()))
         .collect()
 }
 
@@ -354,6 +416,45 @@ mod tests {
             Recv::Timeout => {}
             _ => panic!("expected timeout"),
         }
+    }
+
+    #[test]
+    fn wake_poke_cuts_receive_timeout_short() {
+        // Shutdown latency: a blocked receiver returns as soon as it is
+        // poked, not after its (here huge) poll timeout.
+        let mut eps = cluster::<TestMsg>(2, model());
+        let (tx1, _) = eps.remove(1);
+        let (_, mut rx0) = eps.remove(0);
+        let t = std::thread::spawn(move || {
+            let started = std::time::Instant::now();
+            match rx0.recv_timeout(Duration::from_secs(30)) {
+                Recv::Timeout => started.elapsed(),
+                _ => panic!("expected early timeout from the wake poke"),
+            }
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        tx1.wake(0);
+        let waited = t.join().unwrap();
+        assert!(waited < Duration::from_secs(5), "poke ignored: {waited:?}");
+    }
+
+    #[test]
+    fn fault_delays_stretch_arrival_only() {
+        use lots_sim::{FaultPlan, SimDuration};
+        let max = SimDuration::from_millis(5);
+        let plain = cluster::<TestMsg>(2, model());
+        let faulty =
+            cluster_ext::<TestMsg>(2, model(), None, Some(Arc::new(FaultPlan::delays(7, max))));
+        let send = |eps: &[(NetSender<TestMsg>, NetReceiver<TestMsg>)]| {
+            eps[1]
+                .0
+                .send(0, TestMsg(1), Bytes::from_static(b"x"), SimInstant(0))
+        };
+        let a = send(&plain);
+        let b = send(&faulty);
+        assert_eq!(a.sender_free, b.sender_free, "link occupancy unchanged");
+        assert!(b.arrival >= a.arrival);
+        assert!(b.arrival.saturating_sub(a.arrival) <= max);
     }
 
     #[test]

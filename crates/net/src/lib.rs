@@ -13,7 +13,7 @@ pub mod fragment;
 pub mod message;
 pub mod stats;
 
-pub use endpoint::{cluster, NetReceiver, NetSender, Recv};
+pub use endpoint::{cluster, cluster_ext, NetReceiver, NetSender, Recv};
 pub use flow::{LinkClock, Transmission};
 pub use fragment::{split, Fragment, Reassembler};
 pub use message::{Envelope, NodeId, WireSize, FRAGMENT_HEADER_BYTES};

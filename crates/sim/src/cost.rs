@@ -65,6 +65,24 @@ impl CpuModel {
     pub fn diffing(&self, bytes: u64) -> SimDuration {
         SimDuration(self.diff_byte.0 * bytes)
     }
+
+    /// This CPU uniformly slowed down by `factor` (≥ 1.0) — the
+    /// fault-injection model of a straggler node. `factor == 1.0`
+    /// returns the model unchanged.
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> CpuModel {
+        assert!(factor >= 1.0, "cpu slowdown factor must be ≥ 1.0");
+        let s = |d: SimDuration| SimDuration((d.0 as f64 * factor).round() as u64);
+        CpuModel {
+            access_check: s(self.access_check),
+            pin_update: s(self.pin_update),
+            elem_op: s(self.elem_op),
+            handler_entry: s(self.handler_entry),
+            diff_byte: s(self.diff_byte),
+            page_fault: s(self.page_fault),
+            map_syscall: s(self.map_syscall),
+        }
+    }
 }
 
 /// Interconnect cost model (UDP over Fast Ethernet in the paper).

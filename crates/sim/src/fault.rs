@@ -1,0 +1,155 @@
+//! Seeded fault injection for deterministic cluster runs.
+//!
+//! Under the deterministic scheduler ([`crate::sched`]) every run is a
+//! pure function of its inputs, which makes faults *replayable*: a
+//! [`FaultPlan`] perturbs the simulation — per-message network jitter,
+//! per-node CPU slowdown, a node panic at a chosen barrier — and the
+//! same plan reproduces the same perturbed run bit-for-bit. Message
+//! delays are a pure hash of `(plan seed, src, dst, message sequence)`,
+//! so they do not even depend on scheduling order.
+//!
+//! The invariant the test suite enforces: faults that only stretch
+//! time (delays, slowdowns) may change every clock and traffic timing
+//! in the report, but never an application result — Scope Consistency
+//! hides latency, not values. Node panics ride the PR 1 poisoning
+//! path: peers fail loudly at their next synchronization instead of
+//! hanging.
+
+use crate::clock::SimDuration;
+
+/// One injected node failure: the node panics on entering its
+/// `at_barrier`-th barrier (1-based), exercising the poisoning path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PanicFault {
+    /// Rank of the node to kill.
+    pub node: usize,
+    /// Which of the node's barrier entries triggers the panic
+    /// (1 = its first barrier).
+    pub at_barrier: u64,
+}
+
+/// A seeded, fully deterministic perturbation of a cluster run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the per-message delay hash.
+    pub seed: u64,
+    /// Maximum extra in-flight delay per message (uniform in
+    /// `[0, max]`); [`SimDuration::ZERO`] disables delay injection.
+    pub max_msg_delay: SimDuration,
+    /// Per-node CPU slowdown factors `(node, factor ≥ 1.0)`; nodes not
+    /// listed run at full speed.
+    pub cpu_slowdown: Vec<(usize, f64)>,
+    /// Optional injected node panic.
+    pub panic_node: Option<PanicFault>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the default).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A delay-only plan: every message gets a seeded jitter in
+    /// `[0, max]`.
+    pub fn delays(seed: u64, max: SimDuration) -> FaultPlan {
+        FaultPlan {
+            seed,
+            max_msg_delay: max,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Does this plan perturb anything at all?
+    pub fn is_active(&self) -> bool {
+        self.max_msg_delay > SimDuration::ZERO
+            || !self.cpu_slowdown.is_empty()
+            || self.panic_node.is_some()
+    }
+
+    /// The injected in-flight delay for the `seq`-th message a sender
+    /// `src` addressed to `dst`. A pure hash — independent of
+    /// scheduling, wall clock, and every other message.
+    pub fn delay_for(&self, src: usize, dst: usize, seq: u64) -> SimDuration {
+        if self.max_msg_delay == SimDuration::ZERO {
+            return SimDuration::ZERO;
+        }
+        let h = mix64(
+            self.seed
+                ^ (src as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (dst as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                ^ seq.wrapping_mul(0x1656_67B1_9E37_79F9),
+        );
+        // Uniform in [0, max] via multiply-shift.
+        SimDuration(((h as u128 * (self.max_msg_delay.0 as u128 + 1)) >> 64) as u64)
+    }
+
+    /// CPU slowdown factor of `node` (1.0 when unlisted).
+    pub fn cpu_factor(&self, node: usize) -> f64 {
+        self.cpu_slowdown
+            .iter()
+            .find(|&&(n, _)| n == node)
+            .map(|&(_, f)| f)
+            .unwrap_or(1.0)
+    }
+
+    /// If `node` is scheduled to panic, the (1-based) barrier entry at
+    /// which it does.
+    pub fn panic_barrier_for(&self, node: usize) -> Option<u64> {
+        self.panic_node
+            .filter(|p| p.node == node)
+            .map(|p| p.at_barrier)
+    }
+}
+
+/// SplitMix64 finalizer.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inactive_by_default() {
+        let p = FaultPlan::none();
+        assert!(!p.is_active());
+        assert_eq!(p.delay_for(0, 1, 7), SimDuration::ZERO);
+        assert_eq!(p.cpu_factor(3), 1.0);
+        assert_eq!(p.panic_barrier_for(0), None);
+    }
+
+    #[test]
+    fn delays_are_pure_bounded_and_seed_sensitive() {
+        let p = FaultPlan::delays(42, SimDuration::from_micros(100));
+        let q = FaultPlan::delays(43, SimDuration::from_micros(100));
+        let mut differs = false;
+        for seq in 0..1000 {
+            let d = p.delay_for(0, 1, seq);
+            assert_eq!(d, p.delay_for(0, 1, seq), "pure function");
+            assert!(d <= SimDuration::from_micros(100));
+            differs |= d != q.delay_for(0, 1, seq);
+        }
+        assert!(differs, "different seeds give different jitter");
+    }
+
+    #[test]
+    fn per_node_knobs() {
+        let p = FaultPlan {
+            cpu_slowdown: vec![(2, 1.5)],
+            panic_node: Some(PanicFault {
+                node: 1,
+                at_barrier: 3,
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(p.is_active());
+        assert_eq!(p.cpu_factor(2), 1.5);
+        assert_eq!(p.cpu_factor(0), 1.0);
+        assert_eq!(p.panic_barrier_for(1), Some(3));
+        assert_eq!(p.panic_barrier_for(2), None);
+    }
+}

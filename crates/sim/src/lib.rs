@@ -14,10 +14,14 @@
 
 pub mod clock;
 pub mod cost;
+pub mod fault;
 pub mod machine;
+pub mod sched;
 pub mod stats;
 
 pub use clock::{SimClock, SimDuration, SimInstant};
 pub use cost::{CpuModel, DiskModel, NetModel};
+pub use fault::{FaultPlan, PanicFault};
 pub use machine::MachineConfig;
+pub use sched::{SchedHandle, Scheduler, SchedulerMode};
 pub use stats::{NodeStats, TimeCategory, ALL_CATEGORIES};

@@ -1,0 +1,556 @@
+//! Deterministic cooperative virtual-time scheduling — the turnstile.
+//!
+//! The free-running runtimes let every node thread race the host OS
+//! scheduler: comm threads poll with wall-clock timeouts, condvar
+//! waiters wake in arbitrary order, and the virtual times reported for
+//! a run drift a few percent between executions even though all the
+//! *work* is deterministic. This module replaces that with cooperative
+//! execution under one rule:
+//!
+//! > **Lowest clock first.** At most one task runs at a time. Whenever
+//! > the running task blocks (on a message, a lock grant, a barrier
+//! > rendezvous) or finishes, the scheduler resumes the runnable task
+//! > whose virtual *ready time* is smallest, breaking ties by task id.
+//!
+//! This is the classic conservative discrete-event rule: the task with
+//! the lowest timestamp is the one whose past can no longer be
+//! affected, so running it next is always safe. It matches the paper's
+//! cost model, where every latency is an analytic function of virtual
+//! time (link serialization, handler entry, barrier fan-in): given the
+//! same inputs, the event order — and therefore every clock, counter
+//! and traffic total — is a pure function of the seed. Two runs of the
+//! same cluster produce *byte-identical* reports, so CI can gate exact
+//! virtual times instead of tolerating drift.
+//!
+//! Tasks are ordinary OS threads that park between turns, so a p = 64
+//! cluster costs 128 parked threads and zero polling, not 64 threads
+//! spinning on 25 ms receive timeouts.
+//!
+//! # Integration contract
+//!
+//! * Each node thread registers a task ([`Scheduler::register`]) and
+//!   calls [`SchedHandle::attach`] first thing on its thread.
+//! * A task must never hold an application lock across
+//!   [`SchedHandle::block`] — release, block, re-acquire (the wait
+//!   loops in the sync services do exactly this).
+//! * Whoever makes a blocked task's wait condition true calls
+//!   [`SchedHandle::wake`]/[`SchedHandle::wake_at`] on it. Wakes are
+//!   sticky: waking a *running* task makes its next `block` return
+//!   immediately, so check-then-block races with external threads
+//!   (e.g. the shutdown path on the main thread) are lost-wakeup-free.
+//! * Comm threads are registered as *daemons*: they may stay blocked
+//!   forever without tripping the deadlock detector, and are woken
+//!   externally at shutdown.
+//!
+//! If no task is runnable while a non-daemon is still blocked, no wake
+//! can ever arrive (only running tasks and the external shutdown path
+//! produce wakes), so the scheduler declares a virtual-time deadlock
+//! and panics every parked thread rather than hanging the test suite.
+
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::Thread;
+
+use crate::clock::{SimClock, SimInstant};
+
+/// Which execution model a cluster runtime should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerMode {
+    /// Cooperative lowest-clock-first scheduling (this module):
+    /// bit-reproducible runs, no wall-clock polling.
+    #[default]
+    Deterministic,
+    /// The pre-PR-3 model: free-running threads, wall-clock receive
+    /// timeouts, OS-scheduled condvar wakes. Virtual times vary a few
+    /// percent run-to-run. Retained for host-nanosecond microbenches,
+    /// where cooperative switching would pollute wall-time readings.
+    FreeRunning,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    Runnable,
+    Running,
+    Blocked,
+    Finished,
+}
+
+struct Task {
+    name: String,
+    clock: SimClock,
+    daemon: bool,
+    state: TaskState,
+    /// Virtual instant used to order this task in the runnable queue:
+    /// its clock when it blocked, or the wake hint (e.g. a message
+    /// arrival time) supplied by whoever woke it.
+    ready_at: u64,
+    /// Sticky wake delivered while the task was running; consumed by
+    /// its next `block`, which then returns immediately.
+    wake_pending: bool,
+    /// The parked OS thread to unpark on dispatch (set by `attach`).
+    thread: Option<Thread>,
+}
+
+#[derive(Default)]
+struct State {
+    tasks: Vec<Task>,
+    running: Option<usize>,
+    launched: bool,
+    deadlocked: bool,
+}
+
+/// The cluster-wide turnstile coordinator (see the module docs).
+pub struct Scheduler {
+    state: Mutex<State>,
+}
+
+/// One task's identity on a [`Scheduler`]: the handle node threads use
+/// to attach, block and get woken. Cheap to clone; any thread may call
+/// [`SchedHandle::wake`], but [`SchedHandle::attach`],
+/// [`SchedHandle::block`] and [`SchedHandle::finish`] belong to the
+/// owning thread.
+#[derive(Clone)]
+pub struct SchedHandle {
+    sched: Arc<Scheduler>,
+    id: usize,
+}
+
+impl std::fmt::Debug for SchedHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SchedHandle(task {})", self.id)
+    }
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler {
+            state: Mutex::new(State::default()),
+        }
+    }
+}
+
+impl Scheduler {
+    /// A fresh scheduler with no tasks.
+    pub fn new() -> Arc<Scheduler> {
+        Arc::new(Scheduler::default())
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // Tolerate poisoning: the deadlock detector panics while the
+        // guard is held, and every other thread must still be able to
+        // observe the `deadlocked` flag to fail loudly.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Register a task before [`Scheduler::launch`]. `clock` is the
+    /// node clock this task advances (used for ready-time ordering);
+    /// `daemon` marks service tasks (comm threads) that legitimately
+    /// stay blocked until an external shutdown wake.
+    pub fn register(
+        self: &Arc<Self>,
+        name: impl Into<String>,
+        clock: SimClock,
+        daemon: bool,
+    ) -> SchedHandle {
+        let mut st = self.lock();
+        assert!(!st.launched, "register after launch");
+        let ready_at = clock.now().nanos();
+        st.tasks.push(Task {
+            name: name.into(),
+            clock,
+            daemon,
+            state: TaskState::Runnable,
+            ready_at,
+            wake_pending: false,
+            thread: None,
+        });
+        SchedHandle {
+            sched: Arc::clone(self),
+            id: st.tasks.len() - 1,
+        }
+    }
+
+    /// Start execution: dispatch the lowest-clock task. Call once,
+    /// after all tasks are registered and their threads spawned.
+    pub fn launch(&self) {
+        let mut st = self.lock();
+        assert!(!st.launched, "launch called twice");
+        st.launched = true;
+        Self::dispatch(&mut st);
+    }
+
+    /// Pick the next task to run. Caller must have cleared `running`.
+    fn dispatch(st: &mut State) {
+        debug_assert!(st.running.is_none());
+        if st.deadlocked {
+            return; // everyone is being panicked awake; stop dispatching
+        }
+        let next = st
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == TaskState::Runnable)
+            .min_by_key(|&(i, t)| (t.ready_at, i))
+            .map(|(i, _)| i);
+        if let Some(i) = next {
+            st.tasks[i].state = TaskState::Running;
+            st.running = Some(i);
+            if let Some(th) = &st.tasks[i].thread {
+                th.unpark();
+            }
+            return;
+        }
+        // Nothing runnable. Daemons blocked while all workers are done
+        // is the normal idle state before the external shutdown wake;
+        // a blocked *worker* with nothing runnable can never be woken.
+        if st
+            .tasks
+            .iter()
+            .any(|t| !t.daemon && t.state == TaskState::Blocked)
+        {
+            st.deadlocked = true;
+            let snapshot = Self::render(st);
+            for t in &st.tasks {
+                if let Some(th) = &t.thread {
+                    th.unpark();
+                }
+            }
+            panic!(
+                "virtual-time deadlock: no task is runnable but workers are blocked\n{snapshot}"
+            );
+        }
+    }
+
+    fn render(st: &State) -> String {
+        let mut out = String::new();
+        for (i, t) in st.tasks.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  task {i} {:<14} {:?}{} clock {} ready {}",
+                t.name,
+                t.state,
+                if t.daemon { " (daemon)" } else { "" },
+                t.clock.now(),
+                SimInstant(t.ready_at),
+            );
+        }
+        out
+    }
+}
+
+impl SchedHandle {
+    /// This task's id (registration order; also the tie-breaker).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Bind the calling thread to this task and park until dispatched.
+    /// Must be the first scheduler call on the task's own thread.
+    pub fn attach(&self) {
+        {
+            let mut st = self.sched.lock();
+            st.tasks[self.id].thread = Some(std::thread::current());
+        }
+        self.wait_until_running();
+    }
+
+    /// Hand the execution token back: park this task until another
+    /// task (or the external shutdown path) wakes it. If a wake
+    /// arrived while this task was running, returns immediately —
+    /// callers always re-check their wait condition in a loop.
+    pub fn block(&self) {
+        {
+            let mut st = self.sched.lock();
+            debug_assert_eq!(st.running, Some(self.id), "block() by a non-running task");
+            let t = &mut st.tasks[self.id];
+            if t.wake_pending {
+                t.wake_pending = false;
+                return;
+            }
+            t.state = TaskState::Blocked;
+            t.ready_at = t.clock.now().nanos();
+            st.running = None;
+            Scheduler::dispatch(&mut st);
+        }
+        self.wait_until_running();
+    }
+
+    /// Make this task runnable at its current clock.
+    pub fn wake(&self) {
+        self.wake_inner(None);
+    }
+
+    /// Make this task runnable with an explicit virtual ready time
+    /// (e.g. the arrival instant of the message that unblocks it).
+    pub fn wake_at(&self, at: SimInstant) {
+        self.wake_inner(Some(at));
+    }
+
+    fn wake_inner(&self, at: Option<SimInstant>) {
+        let mut st = self.sched.lock();
+        let launched = st.launched;
+        let idle = st.running.is_none();
+        let t = &mut st.tasks[self.id];
+        match t.state {
+            TaskState::Blocked => {
+                t.state = TaskState::Runnable;
+                t.ready_at = at
+                    .map(SimInstant::nanos)
+                    .unwrap_or_else(|| t.clock.now().nanos());
+                if launched && idle {
+                    // External wake (shutdown path) while the cluster
+                    // is idle: restart dispatching ourselves.
+                    Scheduler::dispatch(&mut st);
+                }
+            }
+            TaskState::Running => t.wake_pending = true,
+            TaskState::Runnable => {
+                if let Some(a) = at {
+                    t.ready_at = t.ready_at.min(a.nanos());
+                }
+            }
+            TaskState::Finished => {}
+        }
+    }
+
+    /// Retire this task and dispatch the next one. Idempotent.
+    pub fn finish(&self) {
+        let mut st = self.sched.lock();
+        let t = &mut st.tasks[self.id];
+        t.state = TaskState::Finished;
+        t.wake_pending = false;
+        if st.running == Some(self.id) {
+            st.running = None;
+            Scheduler::dispatch(&mut st);
+        }
+    }
+
+    fn wait_until_running(&self) {
+        loop {
+            {
+                let st = self.sched.lock();
+                if st.deadlocked {
+                    panic!(
+                        "virtual-time deadlock detected while task {} ({}) was parked\n{}",
+                        self.id,
+                        st.tasks[self.id].name,
+                        Scheduler::render(&st)
+                    );
+                }
+                if st.tasks[self.id].state == TaskState::Running {
+                    return;
+                }
+            }
+            std::thread::park();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimDuration;
+    use std::sync::Mutex as StdMutex;
+
+    fn log_push(log: &Arc<StdMutex<Vec<(usize, u64)>>>, id: usize, t: u64) {
+        log.lock().unwrap().push((id, t));
+    }
+
+    #[test]
+    fn lowest_ready_time_runs_first() {
+        let sched = Scheduler::new();
+        let log: Arc<StdMutex<Vec<(usize, u64)>>> = Arc::new(StdMutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        // Tasks 0/1/2 start with clocks 30/10/20: expect 1, 2, 0.
+        for (i, start) in [(0usize, 30u64), (1, 10), (2, 20)] {
+            let clock = SimClock::new();
+            clock.advance(SimDuration(start));
+            let h = sched.register(format!("t{i}"), clock.clone(), false);
+            let log = Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                h.attach();
+                log_push(&log, i, clock.now().nanos());
+                h.finish();
+            }));
+        }
+        sched.launch();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(*log.lock().unwrap(), vec![(1, 10), (2, 20), (0, 30)]);
+    }
+
+    #[test]
+    fn ping_pong_is_deterministic_and_clock_ordered() {
+        // Two tasks alternate; each wakes the other, then blocks. The
+        // interleaving must follow the clocks exactly, every run.
+        let run = || {
+            let sched = Scheduler::new();
+            let log: Arc<StdMutex<Vec<(usize, u64)>>> = Arc::new(StdMutex::new(Vec::new()));
+            let c0 = SimClock::new();
+            let c1 = SimClock::new();
+            let h0 = sched.register("a", c0.clone(), false);
+            let h1 = sched.register("b", c1.clone(), false);
+            let peers = [h1.clone(), h0.clone()];
+            let mut threads = Vec::new();
+            for (i, (h, c)) in [(h0, c0), (h1, c1)].into_iter().enumerate() {
+                let log = Arc::clone(&log);
+                let peer = peers[i].clone();
+                threads.push(std::thread::spawn(move || {
+                    h.attach();
+                    for step in 0..4u64 {
+                        log_push(&log, i, c.now().nanos());
+                        // Task 0 takes bigger steps than task 1, so the
+                        // turnstile must interleave them unevenly.
+                        c.advance(SimDuration(if i == 0 { 30 } else { 10 } * (step + 1)));
+                        peer.wake();
+                        h.block();
+                    }
+                    peer.wake();
+                    h.finish();
+                }));
+            }
+            sched.launch();
+            for t in threads {
+                t.join().unwrap();
+            }
+            let log = log.lock().unwrap().clone();
+            log
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same program, same schedule");
+        // Every dispatch picked the lowest-clock runnable task: the
+        // fast task (short steps) gets dispatched whenever its clock
+        // trails, regardless of OS thread timing.
+        assert_eq!(
+            a,
+            vec![
+                (0, 0),
+                (1, 0),
+                (0, 30),
+                (1, 10),
+                (0, 90),
+                (1, 30),
+                (0, 180),
+                (1, 60),
+            ]
+        );
+    }
+
+    #[test]
+    fn sticky_wake_prevents_lost_wakeups() {
+        let sched = Scheduler::new();
+        let c = SimClock::new();
+        let h = sched.register("worker", c.clone(), false);
+        let ext = h.clone();
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let gate2 = Arc::clone(&gate);
+        let t = std::thread::spawn(move || {
+            h.attach();
+            // Wait for the external wake to land while we are Running:
+            // it must be recorded sticky so the block below returns
+            // immediately instead of parking forever (there is no
+            // other task to wake us).
+            while !gate2.load(std::sync::atomic::Ordering::Acquire) {
+                std::thread::yield_now();
+            }
+            let _ = c.now();
+            h.block();
+            h.finish();
+        });
+        sched.launch(); // dispatch: the task is Running from here on
+        ext.wake(); // lands on a Running task → wake_pending
+        gate.store(true, std::sync::atomic::Ordering::Release);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn idle_scheduler_restarts_on_external_wake() {
+        let sched = Scheduler::new();
+        let clock = SimClock::new();
+        let h = sched.register("daemon", clock.clone(), true);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let (hx, stop2) = (h.clone(), Arc::clone(&stop));
+        let t = std::thread::spawn(move || {
+            hx.attach();
+            while !stop2.load(std::sync::atomic::Ordering::Acquire) {
+                hx.block();
+            }
+            hx.finish();
+        });
+        sched.launch();
+        // The daemon blocks and the scheduler goes idle; an external
+        // wake must restart dispatching.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        stop.store(true, std::sync::atomic::Ordering::Release);
+        h.wake();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn deadlock_is_detected_not_hung() {
+        let sched = Scheduler::new();
+        let c = SimClock::new();
+        let h = sched.register("stuck", c, false);
+        let t = std::thread::spawn(move || {
+            h.attach();
+            h.block(); // nobody will ever wake us
+            unreachable!("block must panic on deadlock");
+        });
+        sched.launch();
+        let err = t.join().unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("virtual-time deadlock"), "got: {msg}");
+    }
+
+    #[test]
+    fn wake_at_orders_runnable_tasks() {
+        // A controller wakes daemon 0 at t=500 and daemon 1 at t=100
+        // while it is still running; once it finishes, the t=100
+        // daemon must be dispatched first despite its higher id.
+        let sched = Scheduler::new();
+        let log: Arc<StdMutex<Vec<(usize, u64)>>> = Arc::new(StdMutex::new(Vec::new()));
+        // The controller's clock starts at 10, so both daemons (at 0)
+        // run — and block — before it is dispatched.
+        let ctl_clock = SimClock::new();
+        ctl_clock.advance(SimDuration(10));
+        let ctl = sched.register("ctl", ctl_clock, false);
+        let mut daemons = Vec::new();
+        let mut threads = Vec::new();
+        for i in 1..=2usize {
+            let c = SimClock::new();
+            let h = sched.register(format!("d{i}"), c, true);
+            daemons.push(h.clone());
+            let log = Arc::clone(&log);
+            threads.push(std::thread::spawn(move || {
+                h.attach();
+                h.block(); // park until the controller's hint arrives
+                log_push(&log, i, 0);
+                h.finish();
+            }));
+        }
+        {
+            let h = ctl.clone();
+            let targets = daemons.clone();
+            threads.push(std::thread::spawn(move || {
+                h.attach();
+                targets[0].wake_at(SimInstant(500));
+                targets[1].wake_at(SimInstant(100));
+                h.finish();
+            }));
+        }
+        sched.launch();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(
+            log.lock()
+                .unwrap()
+                .iter()
+                .map(|&(i, _)| i)
+                .collect::<Vec<_>>(),
+            vec![2, 1]
+        );
+    }
+}
