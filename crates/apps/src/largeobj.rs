@@ -46,6 +46,14 @@ pub struct LargeObjOutcome {
     pub swaps_out: u64,
     /// Objects swapped back in during the run.
     pub swaps_in: u64,
+    /// Bytes actually written to the backing store (post-compression).
+    pub swap_out_bytes: u64,
+    /// Bytes actually read back from the backing store.
+    pub swap_in_bytes: u64,
+    /// Batched eviction trips booked on the disk device.
+    pub swap_batches: u64,
+    /// Swap-ins served from the read-ahead buffer.
+    pub prefetch_hits: u64,
 }
 
 /// Deterministic fill value of row `r`.
@@ -75,6 +83,8 @@ pub fn large_object_test<D: DsmApi>(
     let t0 = dsm.now();
     let disk0 = dsm.stats().time_in(TimeCategory::Disk);
     let (out0, in0) = (dsm.stats().swaps_out(), dsm.stats().swaps_in());
+    let (ob0, ib0) = (dsm.stats().swap_out_bytes(), dsm.stats().swap_in_bytes());
+    let (bat0, pre0) = (dsm.stats().swap_batches(), dsm.stats().prefetch_hits());
 
     // Write phase: fill my rows, one view guard (one access check) per
     // row. As the DMM area fills, earlier rows are swapped out — each
@@ -108,6 +118,10 @@ pub fn large_object_test<D: DsmApi>(
             .saturating_sub(disk0),
         swaps_out: dsm.stats().swaps_out() - out0,
         swaps_in: dsm.stats().swaps_in() - in0,
+        swap_out_bytes: dsm.stats().swap_out_bytes() - ob0,
+        swap_in_bytes: dsm.stats().swap_in_bytes() - ib0,
+        swap_batches: dsm.stats().swap_batches() - bat0,
+        prefetch_hits: dsm.stats().prefetch_hits() - pre0,
     })
 }
 

@@ -96,6 +96,12 @@ pub struct RunOutcome {
     pub swaps_out: u64,
     /// Objects swapped back in.
     pub swaps_in: u64,
+    /// Bytes actually written to the backing stores (post-compression).
+    pub swap_out_bytes: u64,
+    /// Batched eviction trips booked on the disk devices.
+    pub swap_batches: u64,
+    /// Swap-ins served from the read-ahead buffers.
+    pub prefetch_hits: u64,
     /// Summed node time in access checking.
     pub time_access_check: SimDuration,
     /// Summed node time in large-object bookkeeping (mapping, pinning).
@@ -145,6 +151,9 @@ pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
                 page_faults: 0,
                 swaps_out: report.total(|n| n.stats.swaps_out()),
                 swaps_in: report.total(|n| n.stats.swaps_in()),
+                swap_out_bytes: report.total(|n| n.stats.swap_out_bytes()),
+                swap_batches: report.total(|n| n.stats.swap_batches()),
+                prefetch_hits: report.total(|n| n.stats.prefetch_hits()),
                 time_access_check: sum(TimeCategory::AccessCheck),
                 time_large_object: sum(TimeCategory::LargeObject),
                 time_network: sum(TimeCategory::Network),
@@ -172,6 +181,9 @@ pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
                 page_faults: report.nodes.iter().map(|n| n.stats.page_faults()).sum(),
                 swaps_out: 0,
                 swaps_in: 0,
+                swap_out_bytes: 0,
+                swap_batches: 0,
+                prefetch_hits: 0,
                 time_access_check: sum(TimeCategory::AccessCheck),
                 time_large_object: SimDuration::ZERO,
                 time_network: sum(TimeCategory::Network),

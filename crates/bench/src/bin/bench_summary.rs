@@ -17,9 +17,12 @@
 
 use std::fmt::Write as _;
 
+use lots_apps::largeobj::{expected_sum, large_object_test, LargeObjParams};
 use lots_apps::runner::System;
 use lots_bench::{measure, no_tweak, App};
-use lots_core::{run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig, SchedulerMode};
+use lots_core::{
+    run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig, SchedulerMode, SwapConfig,
+};
 use lots_sim::machine::{p4_fedora, pentium4_2ghz};
 
 /// The quickstart example's virtual execution time in milliseconds
@@ -43,6 +46,45 @@ fn quickstart_ms() -> f64 {
         counter.read(0)
     });
     report.exec_time.as_secs_f64() * 1e3
+}
+
+/// Swap-subsystem counters of one shrunken large-object run (Test 2 at
+/// 8 MB through 1 MB arenas): virtual seconds, swaps, bytes actually
+/// written/read (compressed for the tuned bundle), batched trips and
+/// read-ahead hits — all deterministic, all gated by `--check`.
+struct SwapPoint {
+    secs: f64,
+    swaps_out: u64,
+    swaps_in: u64,
+    out_bytes: u64,
+    batches: u64,
+    prefetch_hits: u64,
+}
+
+fn large_object_swap(swap: SwapConfig) -> SwapPoint {
+    const NODES: usize = 2;
+    let params = LargeObjParams {
+        rows: 64,
+        row_elems: 32 * 1024, // 128 KB rows → 8 MB of shared objects
+    };
+    let opts = ClusterOptions::new(
+        NODES,
+        LotsConfig::small(1 << 20).with_swap(swap),
+        p4_fedora(),
+    );
+    let (results, report) = run_cluster(opts, move |dsm| {
+        large_object_test(dsm, params).expect("large-object bench")
+    });
+    let total: i64 = results.iter().map(|r| r.sum).sum();
+    assert_eq!(total, expected_sum(params), "swap corrupted the bench");
+    SwapPoint {
+        secs: report.exec_time.as_secs_f64(),
+        swaps_out: results.iter().map(|r| r.swaps_out).sum(),
+        swaps_in: results.iter().map(|r| r.swaps_in).sum(),
+        out_bytes: results.iter().map(|r| r.swap_out_bytes).sum(),
+        batches: results.iter().map(|r| r.swap_batches).sum(),
+        prefetch_hits: results.iter().map(|r| r.prefetch_hits).sum(),
+    }
 }
 
 /// Host-measured fast-path cost of one checked read (ns). Free-running
@@ -130,12 +172,41 @@ fn main() {
     );
     let sor = sor.trim_end_matches(',').to_string();
 
+    // Large-object swap subsystem: the legacy path vs the tuned bundle
+    // (segmented LRU + batched write-behind + read-ahead + compressed
+    // images) on an 8× overcommitted arena.
+    let mut swap = String::new();
+    for (key, cfg) in [
+        ("legacy", SwapConfig::legacy()),
+        ("tuned", SwapConfig::tuned()),
+    ] {
+        let pt = large_object_swap(cfg);
+        for (field, fresh) in [
+            (format!("{key}_s"), format!("{:.6}", pt.secs)),
+            (format!("{key}_swaps_out"), pt.swaps_out.to_string()),
+            (format!("{key}_swaps_in"), pt.swaps_in.to_string()),
+            (format!("{key}_out_bytes"), pt.out_bytes.to_string()),
+            (format!("{key}_batches"), pt.batches.to_string()),
+            (format!("{key}_prefetch_hits"), pt.prefetch_hits.to_string()),
+        ] {
+            gate(&field, &fresh);
+            let _ = write!(swap, "\n    \"{field}\": {fresh},");
+        }
+        println!(
+            "large-object 8MB/1MB p=2 {key:<7} {:>7.3} s  {} out / {} in, {} B written, \
+             {} trips, {} read-ahead hits",
+            pt.secs, pt.swaps_out, pt.swaps_in, pt.out_bytes, pt.batches, pt.prefetch_hits
+        );
+    }
+    let swap = swap.trim_end_matches(',').to_string();
+
     // Every number in the JSON is virtual/modeled and — under the
     // deterministic scheduler — exactly reproducible, so CI gates the
     // whole file. The host-measured check cost varies by machine, so
     // it goes to stdout only.
     let json = format!(
         "{{\n  \"quickstart_ms\": {quick_ms:.4},\n  \"sor_256_p4\": {{{sor}\n  }},\n  \
+         \"large_object_swap\": {{{swap}\n  }},\n  \
          \"access_check_ns\": {{\n    \"modeled\": {},\n    \"modeled_pin\": {}\n  }}\n}}\n",
         cpu.access_check.0, cpu.pin_update.0
     );

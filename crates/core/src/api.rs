@@ -592,9 +592,17 @@ impl Dsm {
         self.node.lock().ctl(id).offset().is_some()
     }
 
-    /// Bytes currently swapped out to this node's backing store.
+    /// Bytes currently held by this node's backing store — the actual
+    /// (post-compression) store-resident size.
     pub fn swapped_bytes(&self) -> u64 {
         self.node.lock().swapped_bytes()
+    }
+
+    /// Snapshot and cross-check the node's swap accounting (resident
+    /// vs swapped vs materialized bytes); panics if the incremental
+    /// counters drifted from the mapping states.
+    pub fn swap_accounting(&self) -> crate::node::SwapAccounting {
+        self.node.lock().swap_accounting()
     }
 
     fn assert_no_live_views(&self, what: &str) {

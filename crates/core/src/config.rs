@@ -27,6 +27,103 @@ pub enum DiffMode {
     AccumulatedDiffs,
 }
 
+/// Which eviction policy the dynamic memory mapper uses when the DMM
+/// area is out of contiguous space (§3.3). Every policy respects the
+/// statement-pinning fence — objects touched by the current statement
+/// are never candidates — and every policy produces byte-identical
+/// application results; they differ only in *which* unpinned victim
+/// goes to disk, and therefore in swap traffic and virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwapPolicyKind {
+    /// Least-recently-used by statement stamp — the paper's §3.3 policy
+    /// and the historical default.
+    #[default]
+    Lru,
+    /// CLOCK / second-chance: a rotating hand skips (and clears) a
+    /// referenced bit before evicting, approximating LRU at O(1)
+    /// bookkeeping per access.
+    Clock,
+    /// Pin-aware segmented LRU: objects re-referenced since they were
+    /// mapped in (the hot barrier-interval working set) are protected;
+    /// single-touch streaming objects are evicted first.
+    SegLru,
+}
+
+impl SwapPolicyKind {
+    /// Stable label used in reports and bench summaries.
+    pub fn label(self) -> &'static str {
+        match self {
+            SwapPolicyKind::Lru => "lru",
+            SwapPolicyKind::Clock => "clock",
+            SwapPolicyKind::SegLru => "seglru",
+        }
+    }
+
+    /// All selectable policies (test matrices sweep this).
+    pub const ALL: [SwapPolicyKind; 3] = [
+        SwapPolicyKind::Lru,
+        SwapPolicyKind::Clock,
+        SwapPolicyKind::SegLru,
+    ];
+}
+
+/// Swap-subsystem knobs: eviction policy, write-back batching,
+/// read-ahead and image compression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapConfig {
+    /// Victim-selection policy.
+    pub policy: SwapPolicyKind,
+    /// Maximum victims written back per eviction trip (≥ 1). A batch
+    /// pays the disk's per-operation cost once, so batching amortizes
+    /// seeks under heavy eviction churn.
+    pub batch_evict: usize,
+    /// Stride read-ahead: on a demand swap-in, predict the next
+    /// swapped-out object from the recent swap-in stride and start its
+    /// disk read early.
+    pub read_ahead: bool,
+    /// RLE-compress swap images (data section plus the interval twin
+    /// stored as a delta against the data). Disk time and backing-store
+    /// capacity are charged for the bytes actually stored.
+    pub compress: bool,
+}
+
+impl Default for SwapConfig {
+    fn default() -> SwapConfig {
+        SwapConfig {
+            policy: SwapPolicyKind::Lru,
+            batch_evict: 1,
+            read_ahead: false,
+            compress: true,
+        }
+    }
+}
+
+impl SwapConfig {
+    /// The throughput-tuned bundle used by the large-object benchmarks:
+    /// segmented LRU, 8-victim write-back batches, stride read-ahead
+    /// and compressed images.
+    pub fn tuned() -> SwapConfig {
+        SwapConfig {
+            policy: SwapPolicyKind::SegLru,
+            batch_evict: 8,
+            read_ahead: true,
+            compress: true,
+        }
+    }
+
+    /// The pre-overhaul swap path: linear-scan LRU, one victim per
+    /// trip, no read-ahead, verbatim images. Benchmarks use this as the
+    /// comparison baseline.
+    pub fn legacy() -> SwapConfig {
+        SwapConfig {
+            policy: SwapPolicyKind::Lru,
+            batch_evict: 1,
+            read_ahead: false,
+            compress: false,
+        }
+    }
+}
+
 /// Configuration of one LOTS cluster run.
 #[derive(Debug, Clone)]
 pub struct LotsConfig {
@@ -51,6 +148,10 @@ pub struct LotsConfig {
     /// the lower half; sizes in between are "medium", allocated
     /// downward (§3.2).
     pub large_threshold: usize,
+    /// Swap-subsystem configuration (policy, batching, read-ahead,
+    /// compression). Only meaningful when
+    /// [`LotsConfig::large_object_space`] is enabled.
+    pub swap: SwapConfig,
 }
 
 impl Default for LotsConfig {
@@ -63,6 +164,7 @@ impl Default for LotsConfig {
             home_migration: true,
             small_threshold: 1024,
             large_threshold: 64 * 1024,
+            swap: SwapConfig::default(),
         }
     }
 }
@@ -84,6 +186,13 @@ impl LotsConfig {
             large_object_space: false,
             ..LotsConfig::default()
         }
+    }
+
+    /// Replace the swap-subsystem configuration.
+    #[must_use]
+    pub fn with_swap(mut self, swap: SwapConfig) -> LotsConfig {
+        self.swap = swap;
+        self
     }
 }
 
@@ -112,5 +221,26 @@ mod tests {
     fn thresholds_ordered() {
         let c = LotsConfig::default();
         assert!(c.small_threshold < c.large_threshold);
+    }
+
+    #[test]
+    fn swap_defaults_keep_lru_single_victim() {
+        let c = LotsConfig::default();
+        assert_eq!(c.swap.policy, SwapPolicyKind::Lru);
+        assert_eq!(c.swap.batch_evict, 1);
+        assert!(!c.swap.read_ahead);
+        assert!(c.swap.compress);
+        let legacy = SwapConfig::legacy();
+        assert!(!legacy.compress);
+        let tuned = SwapConfig::tuned();
+        assert_eq!(tuned.policy, SwapPolicyKind::SegLru);
+        assert!(tuned.batch_evict > 1);
+        assert!(tuned.read_ahead);
+    }
+
+    #[test]
+    fn policy_labels_are_stable() {
+        let labels: Vec<&str> = SwapPolicyKind::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, vec!["lru", "clock", "seglru"]);
     }
 }

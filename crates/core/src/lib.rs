@@ -67,13 +67,15 @@ pub mod object;
 pub mod pod;
 pub mod protocol;
 pub mod runtime;
+pub mod swap;
 
 pub use api::{Dsm, DsmApi, DsmSlice, ObjView, ObjViewMut, SharedSlice, StmtGuard};
-pub use config::{DiffMode, LockProtocol, LotsConfig};
+pub use config::{DiffMode, LockProtocol, LotsConfig, SwapConfig, SwapPolicyKind};
 pub use consistency::locks::LockId;
 pub use diff::WordDiff;
 pub use lots_sim::{FaultPlan, PanicFault, SchedulerMode};
-pub use node::LotsError;
+pub use node::{LotsError, SwapAccounting};
 pub use object::ObjectId;
 pub use pod::Pod;
 pub use runtime::{run_cluster, ClusterOptions, ClusterReport, NodeReport};
+pub use swap::SwapPolicy;

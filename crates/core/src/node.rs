@@ -12,13 +12,14 @@ use std::sync::Arc;
 
 use lots_disk::{BackingStore, DiskError};
 use lots_net::NodeId;
-use lots_sim::{CpuModel, NodeStats, SimClock, SimDuration, TimeCategory};
+use lots_sim::{CpuModel, DiskQueue, NodeStats, SimClock, SimDuration, SimInstant, TimeCategory};
 
 use crate::alloc::{AllocError, DmmAllocator};
 use crate::config::LotsConfig;
 use crate::consistency::locks::WordUpdate;
 use crate::diff::WordDiff;
 use crate::object::{Mapping, ObjCtl, ObjectId, Share};
+use crate::swap::{build_policy, Candidate, ImageTwin, SwapImage, SwapPolicy};
 
 /// Errors surfaced to applications.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -152,44 +153,37 @@ pub struct NodeState {
     /// Write-invalidate lock mode: object → node holding the freshest
     /// copy, used instead of the home for the next fetch.
     fetch_override: HashMap<u32, NodeId>,
+    /// Victim-selection policy (see [`crate::swap`]).
+    policy: Box<dyn SwapPolicy>,
+    /// The local disk as a virtual-time device: batched write-behind,
+    /// blocking reads, serial service.
+    diskq: DiskQueue,
+    /// Read-ahead buffer: swap key → (encoded image, completion time of
+    /// its in-flight device read).
+    prefetched: HashMap<u64, (Vec<u8>, SimInstant)>,
+    /// Last demand swap-in, driving the stride predictor.
+    last_swapin: Option<u32>,
+    /// Logical bytes of objects currently mapped in the DMM area.
+    resident_logical: u64,
+    /// Logical bytes of objects currently swapped out (`OnDisk`).
+    swapped_logical: u64,
 }
 
-/// Swap-image layout: `[flags u8][pad ×3][data][twin if flags&1]`.
-/// Flag bit 1 marks an all-zero twin (a fresh object's pre-image),
-/// which is reconstructed instead of stored — this is what keeps the
-/// Table 1 runs at "more than 4 GB written to disk" rather than double
-/// that: a freshly filled object's twin is always the zero page.
-fn encode_image(data: &[u8], twin: Option<&[u8]>) -> Vec<u8> {
-    let zero_twin = twin.map(|t| t.iter().all(|&b| b == 0)).unwrap_or(false);
-    let stored_twin = if zero_twin { None } else { twin };
-    let mut img = Vec::with_capacity(4 + data.len() * (1 + stored_twin.is_some() as usize));
-    img.push(twin.is_some() as u8 | (zero_twin as u8) << 1);
-    img.extend_from_slice(&[0u8; 3]);
-    img.extend_from_slice(data);
-    if let Some(t) = stored_twin {
-        debug_assert_eq!(t.len(), data.len());
-        img.extend_from_slice(t);
-    }
-    img
-}
-
-enum ImageTwin<'a> {
-    None,
-    Zero,
-    Bytes(&'a [u8]),
-}
-
-fn decode_image(img: &[u8], size: usize) -> (&[u8], ImageTwin<'_>) {
-    let flags = img[0];
-    let data = &img[4..4 + size];
-    let twin = if flags & 1 == 0 {
-        ImageTwin::None
-    } else if flags & 2 != 0 {
-        ImageTwin::Zero
-    } else {
-        ImageTwin::Bytes(&img[4 + size..4 + 2 * size])
-    };
-    (data, twin)
+/// A consistent snapshot of the node's swap accounting, used by the
+/// `resident + swapped == allocated` invariant tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapAccounting {
+    /// Logical bytes of mapped objects (incremental counter).
+    pub resident_logical: u64,
+    /// Logical bytes of swapped-out objects (incremental counter).
+    pub swapped_logical: u64,
+    /// Logical bytes of all locally materialized objects — every
+    /// object whose data lives here, mapped or on disk (independent
+    /// scan of the mapping states).
+    pub materialized: u64,
+    /// Bytes the backing store actually holds (compressed; includes
+    /// retained clean images of currently mapped objects).
+    pub store_resident: u64,
 }
 
 impl NodeState {
@@ -205,6 +199,8 @@ impl NodeState {
         stats: NodeStats,
     ) -> NodeState {
         let alloc = DmmAllocator::new(cfg.dmm_bytes, cfg.small_threshold, cfg.large_threshold);
+        let policy = build_policy(cfg.swap.policy);
+        let diskq = DiskQueue::new(store.model());
         NodeState {
             me,
             n,
@@ -226,6 +222,12 @@ impl NodeState {
             obj_release_ts: HashMap::new(),
             cached_diffs: HashMap::new(),
             fetch_override: HashMap::new(),
+            policy,
+            diskq,
+            prefetched: HashMap::new(),
+            last_swapin: None,
+            resident_logical: 0,
+            swapped_logical: 0,
         }
     }
 
@@ -250,6 +252,7 @@ impl NodeState {
                 Ok(offset) => {
                     self.arena[offset..offset + size].fill(0);
                     self.objects[id.0 as usize].mapping = Mapping::Mapped { offset };
+                    self.resident_logical += size as u64;
                     Ok(id)
                 }
                 Err(AllocError::NoSpace { .. }) => Ok(id), // lazy (§3.3)
@@ -316,7 +319,7 @@ impl NodeState {
                     if !self.cfg.large_object_space {
                         return Err(LotsError::LotsXCapacity { requested: size });
                     }
-                    if !self.evict_one()? {
+                    if !self.evict_some()? {
                         return Err(LotsError::OutOfDmm { requested: size });
                     }
                 }
@@ -325,25 +328,31 @@ impl NodeState {
         self.charge(TimeCategory::LargeObject, self.cpu.map_syscall);
         match self.objects[idx].mapping {
             Mapping::OnDisk => {
-                let (img, t) = self.store.get(id.0 as u64)?;
-                self.charge(TimeCategory::Disk, t);
                 // The image stays on disk: while the in-memory copy is
                 // unmodified, a later eviction is free of disk writes.
                 debug_assert!(self.objects[idx].clean_on_disk);
-                let (data, twin) = decode_image(&img, size);
-                self.arena[offset..offset + size].copy_from_slice(data);
+                let img = self.fetch_image(id.0 as u64)?;
+                let (data, twin) = SwapImage::decode(&img, size);
+                if self.cfg.swap.compress {
+                    // One decode pass over the object's words.
+                    self.charge(TimeCategory::LargeObject, self.cpu.diffing(size as u64));
+                }
+                self.arena[offset..offset + size].copy_from_slice(&data);
                 // A barrier may have retired the interval while the
                 // object sat on disk; only restore a live twin.
                 if self.objects[idx].twin {
                     match twin {
                         ImageTwin::Zero => self.twin_arena[offset..offset + size].fill(0),
                         ImageTwin::Bytes(tw) => {
-                            self.twin_arena[offset..offset + size].copy_from_slice(tw)
+                            self.twin_arena[offset..offset + size].copy_from_slice(&tw)
                         }
                         ImageTwin::None => unreachable!("dirty object swapped without twin"),
                     }
                 }
-                self.stats.count_swap_in();
+                self.swapped_logical -= size as u64;
+                if self.cfg.swap.read_ahead {
+                    self.issue_read_ahead(id.0);
+                }
             }
             Mapping::Unmapped => {
                 self.arena[offset..offset + size].fill(0);
@@ -351,55 +360,144 @@ impl NodeState {
             Mapping::Mapped { .. } => unreachable!("checked above"),
         }
         self.objects[idx].mapping = Mapping::Mapped { offset };
+        self.resident_logical += size as u64;
         self.apply_pending_updates(id);
         Ok(offset)
     }
 
-    /// Swap out one victim: least-recently-used mapped object not
-    /// pinned by the current statement (§3.3's LRU + pinning policy).
-    fn evict_one(&mut self) -> Result<bool, LotsError> {
-        let mut victim: Option<(u64, usize)> = None; // (last_access, idx)
-        for (idx, ctl) in self.objects.iter().enumerate() {
-            if ctl.offset().is_none() {
-                continue;
+    /// Obtain the encoded swap image of `key`, either from the
+    /// read-ahead buffer or through a demand read on the disk device,
+    /// waiting (in virtual time) for the device to deliver it.
+    fn fetch_image(&mut self, key: u64) -> Result<Vec<u8>, LotsError> {
+        let (img, ready) = match self.prefetched.remove(&key) {
+            Some(hit) => {
+                self.stats.count_prefetch_hit();
+                hit
             }
-            if ctl.last_access >= self.stmt {
-                continue; // pinned: accessed by the current statement
+            None => {
+                // The store's own duration is superseded by the device
+                // queue, which also orders this read after any pending
+                // write-back.
+                let (img, _store_time) = self.store.get(key)?;
+                let op = self.diskq.read(self.clock.now(), img.len() as u64);
+                (img, op.done)
             }
-            match victim {
-                Some((best, _)) if ctl.last_access >= best => {}
-                _ => victim = Some((ctl.last_access, idx)),
+        };
+        let before = self.clock.now();
+        let now = self.clock.advance_to(ready);
+        self.stats
+            .charge(TimeCategory::Disk, now.saturating_sub(before));
+        self.stats.count_swap_in(img.len() as u64);
+        Ok(img)
+    }
+
+    /// Stride read-ahead: after the demand swap-in of `obj`, predict
+    /// the next swapped-out object from the recent swap-in stride and
+    /// start its device read so the data is (often) already local when
+    /// the predicted access arrives.
+    fn issue_read_ahead(&mut self, obj: u32) {
+        let predicted = match self.last_swapin {
+            Some(last) if last != obj => {
+                let p = obj as i64 + (obj as i64 - last as i64);
+                (p >= 0 && (p as usize) < self.objects.len()).then_some(p as u32)
+            }
+            _ => None,
+        };
+        self.last_swapin = Some(obj);
+        let Some(pred) = predicted else { return };
+        let key = pred as u64;
+        if self.prefetched.contains_key(&key)
+            || self.objects[pred as usize].mapping != Mapping::OnDisk
+        {
+            return;
+        }
+        let Ok((img, _store_time)) = self.store.get(key) else {
+            return;
+        };
+        let op = self.diskq.read(self.clock.now(), img.len() as u64);
+        self.prefetched.insert(key, (img, op.done));
+    }
+
+    /// Free DMM space by evicting up to [`crate::config::SwapConfig::batch_evict`]
+    /// policy-chosen victims in one batched write-back trip. Only
+    /// objects untouched by the current statement are candidates — the
+    /// pinning fence of §3.3, enforced here and not in the policy.
+    /// Returns `false` when everything mapped is pinned.
+    fn evict_some(&mut self) -> Result<bool, LotsError> {
+        let mut candidates: Vec<Candidate> = self
+            .objects
+            .iter()
+            .enumerate()
+            .filter(|(_, ctl)| ctl.offset().is_some() && ctl.last_access < self.stmt)
+            .map(|(idx, ctl)| Candidate {
+                obj: idx as u32,
+                last_access: ctl.last_access,
+                size: ctl.size,
+            })
+            .collect();
+        if candidates.is_empty() {
+            return Ok(false);
+        }
+        let batch = self.cfg.swap.batch_evict.max(1).min(candidates.len());
+        let mut victims = Vec::with_capacity(batch);
+        for _ in 0..batch {
+            let v = self
+                .policy
+                .choose(&candidates)
+                // A policy declining to choose defers to LRU order.
+                .or_else(|| crate::swap::LruPolicy.choose(&candidates))
+                .expect("LRU always picks from a non-empty candidate list");
+            candidates.retain(|c| c.obj != v);
+            victims.push(v);
+            if candidates.is_empty() {
+                break;
             }
         }
-        let Some((_, idx)) = victim else {
-            return Ok(false);
-        };
-        self.swap_out(ObjectId(idx as u32))?;
+        self.swap_out_batch(&victims)?;
         Ok(true)
     }
 
-    /// Write the object (and its twin, if dirty) to the backing store
-    /// and release its DMM block.
-    fn swap_out(&mut self, id: ObjectId) -> Result<(), LotsError> {
-        let idx = id.0 as usize;
-        let (offset, size) = {
-            let ctl = &self.objects[idx];
-            (ctl.offset().expect("swap_out of mapped object"), ctl.size)
-        };
-        if !self.objects[idx].clean_on_disk {
-            let data = &self.arena[offset..offset + size];
-            let twin = self.objects[idx]
-                .twin
-                .then(|| &self.twin_arena[offset..offset + size]);
-            let img = encode_image(data, twin);
-            let t = self.store.put(id.0 as u64, &img)?;
-            self.charge(TimeCategory::Disk, t);
-            self.objects[idx].clean_on_disk = true;
-            self.stats.count_swap_out();
+    /// Write the victims' images (for those whose disk copy is stale)
+    /// in one batched device trip and release their DMM blocks. The
+    /// write-back is asynchronous: the application does not stall on
+    /// it — a later read on the busy device absorbs the cost.
+    fn swap_out_batch(&mut self, victims: &[u32]) -> Result<(), LotsError> {
+        let mut write_sizes = Vec::with_capacity(victims.len());
+        for &v in victims {
+            let idx = v as usize;
+            let (offset, size) = {
+                let ctl = &self.objects[idx];
+                (ctl.offset().expect("victims are mapped"), ctl.size)
+            };
+            if !self.objects[idx].clean_on_disk {
+                let data = &self.arena[offset..offset + size];
+                let twin = self.objects[idx]
+                    .twin
+                    .then(|| &self.twin_arena[offset..offset + size]);
+                let img = SwapImage::encode(data, twin, self.cfg.swap.compress);
+                if self.cfg.swap.compress {
+                    // One encode pass over the object's words.
+                    self.charge(TimeCategory::LargeObject, self.cpu.diffing(size as u64));
+                }
+                let stored = img.len() as u64;
+                // Store the bytes now (host-side); the device trip below
+                // carries the virtual-time cost.
+                self.store.put(v as u64, &img)?;
+                self.objects[idx].clean_on_disk = true;
+                self.stats.count_swap_out(stored);
+                write_sizes.push(stored);
+            }
+            self.charge(TimeCategory::LargeObject, self.cpu.map_syscall);
+            self.alloc.free(offset);
+            self.objects[idx].mapping = Mapping::OnDisk;
+            self.resident_logical -= size as u64;
+            self.swapped_logical += size as u64;
+            self.policy.on_remove(v);
         }
-        self.charge(TimeCategory::LargeObject, self.cpu.map_syscall);
-        self.alloc.free(offset);
-        self.objects[idx].mapping = Mapping::OnDisk;
+        if !write_sizes.is_empty() {
+            self.diskq.write_batch(self.clock.now(), &write_sizes);
+            self.stats.count_swap_batch();
+        }
         Ok(())
     }
 
@@ -466,6 +564,11 @@ impl NodeState {
             return Ok(Access::NeedFetch { home: target });
         }
         let offset = self.try_map(id)?;
+        if self.objects[idx].last_access != stmt {
+            // One policy touch per distinct statement: reference bits
+            // and segment promotion track statements, not element ops.
+            self.policy.on_access(id.0);
+        }
         self.objects[idx].last_access = stmt;
         if write {
             self.prepare_write(id, offset);
@@ -821,6 +924,11 @@ impl NodeState {
         self.cached_diffs.clear();
         self.fetch_override.clear();
         debug_assert!(self.dirty.is_empty(), "dirty set consumed in collect");
+        #[cfg(debug_assertions)]
+        {
+            // Cross-check the swap counters at every interval boundary.
+            let _ = self.swap_accounting();
+        }
         Ok(())
     }
 
@@ -828,18 +936,23 @@ impl NodeState {
     /// memory storing the updates", §3.4).
     fn invalidate_local(&mut self, id: ObjectId) -> Result<(), LotsError> {
         let idx = id.0 as usize;
+        let size = self.objects[idx].size as u64;
         match self.objects[idx].mapping {
             Mapping::Mapped { offset } => {
                 self.alloc.free(offset);
+                self.resident_logical -= size;
                 if self.objects[idx].clean_on_disk {
                     self.store.remove(id.0 as u64)?;
                 }
             }
             Mapping::OnDisk => {
+                self.swapped_logical -= size;
+                self.prefetched.remove(&(id.0 as u64));
                 self.store.remove(id.0 as u64)?;
             }
             Mapping::Unmapped => {}
         }
+        self.policy.on_remove(id.0);
         self.objects[idx].clean_on_disk = false;
         self.objects[idx].mapping = Mapping::Unmapped;
         self.objects[idx].share = Share::Invalid;
@@ -860,9 +973,52 @@ impl NodeState {
         self.objects.iter().map(|o| o.size as u64).sum()
     }
 
-    /// Bytes of swap images held by the backing store.
+    /// Bytes of swap images held by the backing store — the bytes
+    /// *actually* stored (post-compression), which is what counts
+    /// against the platform's free disk space.
     pub fn swapped_bytes(&self) -> u64 {
         self.store.used_bytes()
+    }
+
+    /// Logical bytes of objects currently swapped out (`OnDisk`).
+    pub fn swapped_logical_bytes(&self) -> u64 {
+        self.swapped_logical
+    }
+
+    /// Logical bytes of objects currently mapped in the DMM area.
+    pub fn resident_logical_bytes(&self) -> u64 {
+        self.resident_logical
+    }
+
+    /// Snapshot the swap accounting and cross-check the incremental
+    /// counters against an independent scan of the mapping states.
+    /// Invariant: every locally materialized byte is either resident or
+    /// swapped — `resident + swapped == allocated`-and-materialized.
+    pub fn swap_accounting(&self) -> SwapAccounting {
+        let mut resident = 0u64;
+        let mut swapped = 0u64;
+        for ctl in &self.objects {
+            match ctl.mapping {
+                Mapping::Mapped { .. } => resident += ctl.size as u64,
+                Mapping::OnDisk => swapped += ctl.size as u64,
+                Mapping::Unmapped => {}
+            }
+        }
+        let acct = SwapAccounting {
+            resident_logical: self.resident_logical,
+            swapped_logical: self.swapped_logical,
+            materialized: resident + swapped,
+            store_resident: self.store.used_bytes(),
+        };
+        assert_eq!(
+            acct.resident_logical, resident,
+            "resident counter drifted from the mapping states"
+        );
+        assert_eq!(
+            acct.swapped_logical, swapped,
+            "swapped counter drifted from the mapping states"
+        );
+        acct
     }
 
     /// The backing store (shared with the cluster harness).
@@ -1142,27 +1298,97 @@ mod tests {
     }
 
     #[test]
-    fn image_encode_decode() {
-        let data = vec![1u8, 2, 3, 4, 5, 6, 7, 8];
-        let twin = vec![9u8, 9, 9, 9, 9, 9, 9, 9];
-        let img = encode_image(&data, Some(&twin));
-        let (d, t) = decode_image(&img, 8);
-        assert_eq!(d, &data[..]);
-        assert!(matches!(t, ImageTwin::Bytes(b) if b == &twin[..]));
-        let img2 = encode_image(&data, None);
-        let (d2, t2) = decode_image(&img2, 8);
-        assert_eq!(d2, &data[..]);
-        assert!(matches!(t2, ImageTwin::None));
+    fn swap_accounting_invariant_holds_through_churn() {
+        let mut n = small_node(32 * 1024);
+        let a = n.register_object(9 * 1024).unwrap();
+        let b = n.register_object(9 * 1024).unwrap();
+        write_words(&mut n, a, &[(0, 1)]);
+        write_words(&mut n, b, &[(0, 2)]); // evicts a
+        let acct = n.swap_accounting();
+        assert_eq!(
+            acct.resident_logical + acct.swapped_logical,
+            acct.materialized,
+            "resident + swapped == allocated-and-materialized"
+        );
+        assert_eq!(acct.swapped_logical, 9 * 1024);
+        // The dirty eviction wrote a compressed image: actual store
+        // bytes are far below the logical 9 KB (constant-ish data).
+        assert!(acct.store_resident > 0);
+        assert!(acct.store_resident < acct.swapped_logical);
+        let _ = read_word(&mut n, a, 0); // swap b out, a back in
+        let acct = n.swap_accounting();
+        assert_eq!(
+            acct.resident_logical + acct.swapped_logical,
+            acct.materialized
+        );
     }
 
     #[test]
-    fn zero_twin_not_stored_in_image() {
-        let data = vec![5u8; 4096];
-        let zeros = vec![0u8; 4096];
-        let img = encode_image(&data, Some(&zeros));
-        // Image holds header + data only — the zero twin is implicit.
-        assert_eq!(img.len(), 4 + 4096);
-        let (_, t) = decode_image(&img, 4096);
-        assert!(matches!(t, ImageTwin::Zero));
+    fn batched_eviction_frees_multiple_victims_in_one_trip() {
+        let store = Arc::new(MemStore::new(DiskModel {
+            per_op: SimDuration::from_micros(100),
+            write_bps: 50_000_000,
+            read_bps: 50_000_000,
+        }));
+        let mut cfg = LotsConfig::small(64 * 1024);
+        cfg.swap.batch_evict = 4;
+        let mut n = NodeState::new(
+            0,
+            1,
+            cfg,
+            pentium4_2ghz(),
+            store,
+            SimClock::new(),
+            NodeStats::new(),
+        );
+        // Lower half 32 KB: four 8001-byte mediums fit (rounded to
+        // 8008); mapping a fifth evicts a whole batch of four.
+        let objs: Vec<ObjectId> = (0..5).map(|_| n.register_object(8001).unwrap()).collect();
+        for (k, &o) in objs.iter().take(4).enumerate() {
+            write_words(&mut n, o, &[(0, k as u32 + 1)]);
+        }
+        let _ = read_word(&mut n, objs[4], 0);
+        assert_eq!(n.stats.swaps_out(), 4, "one trip evicted the batch");
+        assert_eq!(n.stats.swap_batches(), 1);
+        for (k, &o) in objs.iter().take(4).enumerate() {
+            assert_eq!(read_word(&mut n, o, 0), k as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn read_ahead_prefetches_the_strided_next_object() {
+        let store = Arc::new(MemStore::new(DiskModel {
+            per_op: SimDuration::from_micros(100),
+            write_bps: 50_000_000,
+            read_bps: 50_000_000,
+        }));
+        let mut cfg = LotsConfig::small(32 * 1024);
+        cfg.swap.read_ahead = true;
+        let mut n = NodeState::new(
+            0,
+            1,
+            cfg,
+            pentium4_2ghz(),
+            store,
+            SimClock::new(),
+            NodeStats::new(),
+        );
+        // Three 9 KB objects through a 16 KB lower half: streaming
+        // over them swaps constantly with stride 1.
+        let objs: Vec<ObjectId> = (0..3)
+            .map(|_| n.register_object(9 * 1024).unwrap())
+            .collect();
+        for pass in 0..3u32 {
+            for (k, &o) in objs.iter().enumerate() {
+                write_words(&mut n, o, &[(1, pass + k as u32)]);
+            }
+        }
+        assert!(
+            n.stats.prefetch_hits() > 0,
+            "strided streaming must hit the read-ahead buffer"
+        );
+        for (k, &o) in objs.iter().enumerate() {
+            assert_eq!(read_word(&mut n, o, 1), 2 + k as u32);
+        }
     }
 }

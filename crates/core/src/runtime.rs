@@ -125,8 +125,13 @@ pub struct NodeReport {
     pub traffic: TrafficStats,
     /// Logical bytes of shared objects registered.
     pub object_bytes: u64,
-    /// Bytes left in the swap store at exit.
+    /// Bytes left in the swap store at exit — actual store-resident
+    /// (post-compression) bytes, what counts against free disk space.
     pub swapped_bytes: u64,
+    /// Logical bytes of objects swapped out at exit.
+    pub swapped_logical_bytes: u64,
+    /// Logical bytes of objects still mapped in the DMM area at exit.
+    pub resident_bytes: u64,
 }
 
 /// Cluster-wide outcome.
@@ -392,6 +397,8 @@ where
                 traffic,
                 object_bytes: node.total_object_bytes(),
                 swapped_bytes: node.swapped_bytes(),
+                swapped_logical_bytes: node.swapped_logical_bytes(),
+                resident_bytes: node.resident_logical_bytes(),
             }
         })
         .collect();

@@ -83,6 +83,10 @@ impl Drop for FileStore {
 }
 
 impl BackingStore for FileStore {
+    fn model(&self) -> DiskModel {
+        self.model
+    }
+
     fn put(&self, key: SwapKey, data: &[u8]) -> Result<SimDuration, DiskError> {
         let mut inner = self.inner.lock();
         let replaced = inner.sizes.get(&key).copied().unwrap_or(0);

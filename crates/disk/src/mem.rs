@@ -44,6 +44,10 @@ impl MemStore {
 }
 
 impl BackingStore for MemStore {
+    fn model(&self) -> DiskModel {
+        self.model
+    }
+
     fn put(&self, key: SwapKey, data: &[u8]) -> Result<SimDuration, DiskError> {
         let mut inner = self.inner.lock();
         let replaced = inner.images.get(&key).map_or(0, |v| v.len() as u64);

@@ -59,6 +59,10 @@ impl ModeledStore {
 }
 
 impl BackingStore for ModeledStore {
+    fn model(&self) -> DiskModel {
+        self.model
+    }
+
     fn put(&self, key: SwapKey, data: &[u8]) -> Result<SimDuration, DiskError> {
         let mut inner = self.inner.lock();
         let replaced = inner.images.get(&key).map_or(0, |i| i.logical_len() as u64);

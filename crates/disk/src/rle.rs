@@ -70,6 +70,50 @@ impl RleImage {
     pub fn stored_len(&self) -> usize {
         self.runs.len() * std::mem::size_of::<Run>() + self.tail.len()
     }
+
+    /// Serialize to a self-describing byte stream (the on-disk form of
+    /// a compressed swap image): `[runs u32][(count u32, word u32)…]`
+    /// `[tail_len u8][tail…]`, all little-endian.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.runs.len() * 8 + 1 + self.tail.len());
+        out.extend_from_slice(&(self.runs.len() as u32).to_le_bytes());
+        for r in &self.runs {
+            out.extend_from_slice(&r.count.to_le_bytes());
+            out.extend_from_slice(&r.word.to_le_bytes());
+        }
+        debug_assert!(self.tail.len() < 4);
+        out.push(self.tail.len() as u8);
+        out.extend_from_slice(&self.tail);
+        out
+    }
+
+    /// Parse a stream produced by [`RleImage::to_bytes`]. Returns the
+    /// image and the number of bytes consumed (streams concatenate).
+    pub fn from_bytes(bytes: &[u8]) -> (RleImage, usize) {
+        let n_runs = u32::from_le_bytes(bytes[0..4].try_into().expect("rle header")) as usize;
+        let mut runs = Vec::with_capacity(n_runs);
+        let mut at = 4;
+        let mut words = 0usize;
+        for _ in 0..n_runs {
+            let count = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("run count"));
+            let word = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("run word"));
+            runs.push(Run { count, word });
+            words += count as usize;
+            at += 8;
+        }
+        let tail_len = bytes[at] as usize;
+        at += 1;
+        let tail = bytes[at..at + tail_len].to_vec();
+        at += tail_len;
+        (
+            RleImage {
+                runs,
+                tail,
+                len: words * 4 + tail_len,
+            },
+            at,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -115,12 +159,30 @@ mod tests {
         assert_eq!(img.decode(), data);
     }
 
+    #[test]
+    fn byte_stream_roundtrip_and_concatenation() {
+        let a = RleImage::encode(&[7u8; 4096]);
+        let b = RleImage::encode(&[1u8, 2, 3, 4, 5, 6, 7]);
+        let mut stream = a.to_bytes();
+        stream.extend_from_slice(&b.to_bytes());
+        let (a2, used_a) = RleImage::from_bytes(&stream);
+        let (b2, used_b) = RleImage::from_bytes(&stream[used_a..]);
+        assert_eq!(a2, a);
+        assert_eq!(b2, b);
+        assert_eq!(used_a + used_b, stream.len());
+        assert_eq!(a2.decode(), vec![7u8; 4096]);
+        assert_eq!(b2.decode(), vec![1u8, 2, 3, 4, 5, 6, 7]);
+    }
+
     proptest! {
         #[test]
         fn roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
             let img = RleImage::encode(&data);
             prop_assert_eq!(img.decode(), data.clone());
             prop_assert_eq!(img.logical_len(), data.len());
+            let (back, used) = RleImage::from_bytes(&img.to_bytes());
+            prop_assert_eq!(used, img.to_bytes().len());
+            prop_assert_eq!(back.decode(), data);
         }
 
         #[test]

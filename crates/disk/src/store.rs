@@ -6,7 +6,7 @@
 //! mapper only needs put/get/remove plus capacity accounting, so that is
 //! the whole trait; three implementations trade realism for scale.
 
-use lots_sim::SimDuration;
+use lots_sim::{DiskModel, SimDuration};
 
 /// Key identifying a swapped-out object's image on disk.
 pub type SwapKey = u64;
@@ -39,6 +39,12 @@ impl std::error::Error for DiskError {}
 /// A swap backing store. All methods are `&self`: stores are shared
 /// between a node's app thread and comm thread.
 pub trait BackingStore: Send + Sync {
+    /// The disk cost model this store charges time with. The swap
+    /// subsystem builds its virtual-time device queue
+    /// (`lots_sim::DiskQueue`) from the same model, so queued and
+    /// store-reported timings agree.
+    fn model(&self) -> DiskModel;
+
     /// Store (or replace) the image for `key`; returns the modeled disk
     /// time for the write.
     fn put(&self, key: SwapKey, data: &[u8]) -> Result<SimDuration, DiskError>;

@@ -1,0 +1,162 @@
+//! The virtual-time disk device behind the swap subsystem.
+//!
+//! Before this module, every swap-out/in charged its modeled disk time
+//! *synchronously* to the node's clock — the disk was an instantaneous
+//! cost add, invisible to the deterministic turnstile's event ordering
+//! and unable to overlap with computation. [`DiskQueue`] turns the
+//! local disk into a modeled device on the virtual timeline:
+//!
+//! * The device is **serial** (one spindle): every operation starts at
+//!   the later of "now" and the device's `busy_until`, and pushes
+//!   `busy_until` to its own completion. Read-after-write ordering per
+//!   key is therefore free — a read issued after a write can never
+//!   start before that write completed.
+//! * **Write-back is asynchronous.** [`DiskQueue::write_batch`] books a
+//!   whole eviction batch as one trip — a single [`DiskModel::per_op`]
+//!   seek/syscall overhead amortized over all victims — and returns
+//!   each image's completion instant. The caller does *not* advance its
+//!   clock to completion: eviction overlaps with application progress,
+//!   and the cost surfaces only when a later read finds the device
+//!   still busy.
+//! * **Reads block.** [`DiskQueue::read`] returns the completion
+//!   instant the caller must advance its clock to (charging the wait as
+//!   disk time). Read-ahead issues a read early so the wait has often
+//!   already elapsed by the time the data is needed.
+//!
+//! All arithmetic is over virtual instants, so under the deterministic
+//! scheduler the queue — like everything else — is a pure function of
+//! the run's inputs.
+
+use crate::clock::{SimDuration, SimInstant};
+use crate::cost::DiskModel;
+
+/// One scheduled device operation: when the device started serving it
+/// and when it completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiskOp {
+    /// Instant the device began the operation (≥ issue time).
+    pub start: SimInstant,
+    /// Instant the operation completes on the device.
+    pub done: SimInstant,
+}
+
+/// A serial virtual-time disk device (see the module docs).
+#[derive(Debug, Clone)]
+pub struct DiskQueue {
+    model: DiskModel,
+    busy_until: SimInstant,
+}
+
+impl DiskQueue {
+    /// A fresh, idle device over `model`.
+    pub fn new(model: DiskModel) -> DiskQueue {
+        DiskQueue {
+            model,
+            busy_until: SimInstant::ZERO,
+        }
+    }
+
+    /// The cost model this device charges with.
+    pub fn model(&self) -> DiskModel {
+        self.model
+    }
+
+    /// Instant until which the device is busy with already-queued work.
+    pub fn busy_until(&self) -> SimInstant {
+        self.busy_until
+    }
+
+    /// Book a batched write of images with the given byte sizes as one
+    /// trip: one `per_op` overhead, then each image's streaming time in
+    /// order. Returns one completion instant per image (the last one is
+    /// the trip's end). The caller keeps running — write-back is
+    /// asynchronous.
+    pub fn write_batch(&mut self, now: SimInstant, sizes: &[u64]) -> Vec<SimInstant> {
+        debug_assert!(!sizes.is_empty(), "empty write batch");
+        let mut t = self.busy_until.max(now) + self.model.per_op;
+        let mut dones = Vec::with_capacity(sizes.len());
+        for &bytes in sizes {
+            t += stream_time(bytes, self.model.write_bps);
+            dones.push(t);
+        }
+        self.busy_until = t;
+        dones
+    }
+
+    /// Book a read of `bytes`. The caller must advance its clock to
+    /// `done` before using the data (the device may still be draining
+    /// earlier write-back).
+    pub fn read(&mut self, now: SimInstant, bytes: u64) -> DiskOp {
+        let start = self.busy_until.max(now);
+        let done = start + self.model.per_op + stream_time(bytes, self.model.read_bps);
+        self.busy_until = done;
+        DiskOp { start, done }
+    }
+}
+
+/// Pure streaming transfer time of `bytes` at `bps` (no per-op cost).
+fn stream_time(bytes: u64, bps: u64) -> SimDuration {
+    SimDuration(((bytes as u128 * 1_000_000_000) / bps as u128) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> DiskModel {
+        DiskModel {
+            per_op: SimDuration::from_micros(500),
+            write_bps: 10_000_000,
+            read_bps: 20_000_000,
+        }
+    }
+
+    #[test]
+    fn batch_pays_one_per_op() {
+        let mut q = DiskQueue::new(model());
+        // Two 1 MB images: per_op once, then 100 ms each at 10 MB/s.
+        let dones = q.write_batch(SimInstant(0), &[1_000_000, 1_000_000]);
+        assert_eq!(dones[0], SimInstant(500_000 + 100_000_000));
+        assert_eq!(dones[1], SimInstant(500_000 + 200_000_000));
+        assert_eq!(q.busy_until(), dones[1]);
+        // The same images as two separate trips pay per_op twice.
+        let mut q2 = DiskQueue::new(model());
+        let a = q2.write_batch(SimInstant(0), &[1_000_000]);
+        let b = q2.write_batch(SimInstant(0), &[1_000_000]);
+        assert!(b[0] > dones[1], "{} vs {}", b[0], dones[1]);
+        assert_eq!(b[0].nanos() - a[0].nanos(), 500_000 + 100_000_000);
+    }
+
+    #[test]
+    fn read_waits_for_pending_writeback() {
+        let mut q = DiskQueue::new(model());
+        let dones = q.write_batch(SimInstant(0), &[10_000_000]); // 1 s
+        let op = q.read(SimInstant(1_000), 1_000_000);
+        assert_eq!(op.start, dones[0], "device is serial");
+        assert_eq!(
+            op.done,
+            dones[0] + SimDuration(500_000) + SimDuration(50_000_000)
+        );
+    }
+
+    #[test]
+    fn idle_device_starts_immediately() {
+        let mut q = DiskQueue::new(model());
+        let op = q.read(SimInstant(7_000), 2_000_000);
+        assert_eq!(op.start, SimInstant(7_000));
+        assert_eq!(op.done, SimInstant(7_000 + 500_000 + 100_000_000));
+        // A later request after the device drained also starts at once.
+        let op2 = q.read(SimInstant(op.done.nanos() + 5), 0);
+        assert_eq!(op2.start, SimInstant(op.done.nanos() + 5));
+    }
+
+    #[test]
+    fn single_write_matches_disk_model() {
+        let mut q = DiskQueue::new(model());
+        let dones = q.write_batch(SimInstant(0), &[4096]);
+        assert_eq!(
+            dones[0].saturating_sub(SimInstant(0)),
+            model().write_time(4096)
+        );
+    }
+}

@@ -14,6 +14,7 @@
 
 pub mod clock;
 pub mod cost;
+pub mod diskq;
 pub mod fault;
 pub mod machine;
 pub mod sched;
@@ -21,6 +22,7 @@ pub mod stats;
 
 pub use clock::{SimClock, SimDuration, SimInstant};
 pub use cost::{CpuModel, DiskModel, NetModel};
+pub use diskq::{DiskOp, DiskQueue};
 pub use fault::{FaultPlan, PanicFault};
 pub use machine::MachineConfig;
 pub use sched::{SchedHandle, Scheduler, SchedulerMode};

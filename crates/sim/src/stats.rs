@@ -85,6 +85,10 @@ struct NodeStatsInner {
     access_checks: AtomicU64,
     swaps_out: AtomicU64,
     swaps_in: AtomicU64,
+    swap_out_bytes: AtomicU64,
+    swap_in_bytes: AtomicU64,
+    swap_batches: AtomicU64,
+    prefetch_hits: AtomicU64,
     page_faults: AtomicU64,
     diffs_created: AtomicU64,
     diff_bytes_sent: AtomicU64,
@@ -124,14 +128,36 @@ impl NodeStats {
         self.inner.access_checks.load(Ordering::Relaxed)
     }
 
+    /// Record one object swapped out, with the bytes actually written
+    /// to the backing store (compressed size when compression is on).
     #[inline]
-    pub fn count_swap_out(&self) {
+    pub fn count_swap_out(&self, stored_bytes: u64) {
         self.inner.swaps_out.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .swap_out_bytes
+            .fetch_add(stored_bytes, Ordering::Relaxed);
     }
 
+    /// Record one object swapped back in, with the bytes actually read
+    /// from the backing store.
     #[inline]
-    pub fn count_swap_in(&self) {
+    pub fn count_swap_in(&self, stored_bytes: u64) {
         self.inner.swaps_in.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .swap_in_bytes
+            .fetch_add(stored_bytes, Ordering::Relaxed);
+    }
+
+    /// Record one batched eviction trip to the disk device.
+    #[inline]
+    pub fn count_swap_batch(&self) {
+        self.inner.swap_batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a swap-in served from the read-ahead buffer.
+    #[inline]
+    pub fn count_prefetch_hit(&self) {
+        self.inner.prefetch_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn swaps_out(&self) -> u64 {
@@ -140,6 +166,29 @@ impl NodeStats {
 
     pub fn swaps_in(&self) -> u64 {
         self.inner.swaps_in.load(Ordering::Relaxed)
+    }
+
+    /// Bytes written to the backing store by swap-outs (post-compression).
+    pub fn swap_out_bytes(&self) -> u64 {
+        self.inner.swap_out_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes read from the backing store by swap-ins (post-compression).
+    pub fn swap_in_bytes(&self) -> u64 {
+        self.inner.swap_in_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Batched eviction trips booked on the disk device. The mean batch
+    /// size is `swaps_out_written / swap_batches` (clean re-evictions
+    /// skip the disk and belong to no batch).
+    pub fn swap_batches(&self) -> u64 {
+        self.inner.swap_batches.load(Ordering::Relaxed)
+    }
+
+    /// Swap-ins that hit the read-ahead buffer instead of issuing a
+    /// demand read.
+    pub fn prefetch_hits(&self) -> u64 {
+        self.inner.prefetch_hits.load(Ordering::Relaxed)
     }
 
     #[inline]
@@ -201,14 +250,20 @@ mod tests {
         let s = NodeStats::new();
         s.count_access_checks(10);
         s.count_access_checks(5);
-        s.count_swap_out();
-        s.count_swap_in();
-        s.count_swap_in();
+        s.count_swap_out(100);
+        s.count_swap_in(60);
+        s.count_swap_in(40);
+        s.count_swap_batch();
+        s.count_prefetch_hit();
         s.count_diff(128);
         s.count_diff(64);
         assert_eq!(s.access_checks(), 15);
         assert_eq!(s.swaps_out(), 1);
         assert_eq!(s.swaps_in(), 2);
+        assert_eq!(s.swap_out_bytes(), 100);
+        assert_eq!(s.swap_in_bytes(), 100);
+        assert_eq!(s.swap_batches(), 1);
+        assert_eq!(s.prefetch_hits(), 1);
         assert_eq!(s.diffs_created(), 2);
         assert_eq!(s.diff_bytes_sent(), 192);
     }

@@ -5,10 +5,12 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use lots::core::{run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig, LotsError};
+use lots::core::{
+    run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig, LotsError, SwapConfig,
+};
 use lots::disk::{BackingStore, DiskError, MemStore, SwapKey};
 use lots::sim::machine::p4_fedora;
-use lots::sim::SimDuration;
+use lots::sim::{DiskModel, SimDuration};
 
 /// A store that starts failing writes after `fail_after` puts.
 struct FlakyStore {
@@ -28,6 +30,10 @@ impl FlakyStore {
 }
 
 impl BackingStore for FlakyStore {
+    fn model(&self) -> DiskModel {
+        self.inner.model()
+    }
+
     fn put(&self, key: SwapKey, data: &[u8]) -> Result<SimDuration, DiskError> {
         if self.puts.fetch_add(1, Ordering::Relaxed) >= self.fail_after {
             return Err(DiskError::Io("injected write failure".into()));
@@ -82,7 +88,11 @@ fn injected_disk_failure_surfaces_as_error_not_corruption() {
 #[test]
 fn backing_store_capacity_exhaustion_is_reported() {
     let disk = p4_fedora().disk;
-    let opts = ClusterOptions::new(1, LotsConfig::small(64 * 1024), p4_fedora())
+    // Verbatim (uncompressed) images: this test sizes the store in
+    // logical bytes; compression would shrink the zero-heavy images
+    // far below the 20 KB limit.
+    let lots = LotsConfig::small(64 * 1024).with_swap(SwapConfig::legacy());
+    let opts = ClusterOptions::new(1, lots, p4_fedora())
         .with_stores(move |_| Arc::new(MemStore::with_capacity(disk, 20 * 1024)));
     let (results, _) = run_cluster(opts, |dsm| {
         // Each 12 KB object's swap image slightly exceeds 12 KB; the
