@@ -1,0 +1,297 @@
+//! Object-churn workload: a rolling working set under alloc/free
+//! pressure — the dynamic-allocation behaviour Sears & van Ingen's
+//! fragmentation study says large-object stores live or die by, and
+//! the §3.2 "large object space" claim exercised the way a
+//! long-running application would.
+//!
+//! Every phase allocates a fresh generation of objects (cycling
+//! through the [`Placement`] policies), fills it, publishes it at a
+//! barrier, samples the live window, and frees the generation that
+//! fell out of the window — so the **cumulative** allocation history
+//! grows without bound while the live set stays fixed. Address and
+//! slot reuse is what lets the run complete inside a fixed DMM arena
+//! (LOTS), a fixed mapped space (LOTS-x) and a fixed shared space
+//! (JIAJIA).
+//!
+//! Each phase also stages one **named** checkpoint object from a
+//! single node (`alloc_named`, no lockstep-allocation), which every
+//! node attaches to by [`lookup`] one barrier later, reads, and a
+//! single (different) node frees — covering the whole lifecycle API
+//! on all three systems.
+//!
+//! The checksum every node accumulates is reproduced bit-for-bit by
+//! [`model_checksum`], a plain sequential model, so any corruption
+//! through swap, reuse, reclamation or the name directory is caught.
+//!
+//! [`lookup`]: lots_core::DsmApi::lookup
+
+use std::collections::VecDeque;
+
+use lots_core::{DsmApi, DsmSlice, Placement};
+
+use crate::adapter::{AppResult, DsmProgram};
+
+/// Elements of the leading bulk-view sample per object.
+const SAMPLE: usize = 16;
+
+/// Churn parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ChurnParams {
+    /// Phases (generations) to run.
+    pub phases: usize,
+    /// Objects allocated per generation.
+    pub objs_per_phase: usize,
+    /// `u32` elements per object.
+    pub elems: usize,
+    /// Generations kept live after their phase (the rolling window).
+    pub retain: usize,
+    /// Elements of each phase's named checkpoint object.
+    pub ckpt_elems: usize,
+}
+
+impl ChurnParams {
+    /// The CI/bench configuration: 64 generations of 4 × 64 KB objects
+    /// with a one-generation window — 16 MB of cumulative allocations
+    /// through a working set under 1 MB.
+    pub fn smoke() -> ChurnParams {
+        ChurnParams {
+            phases: 64,
+            objs_per_phase: 4,
+            elems: 16 * 1024,
+            retain: 1,
+            ckpt_elems: 16,
+        }
+    }
+
+    /// Cumulative logical bytes allocated over the whole run
+    /// (generations plus named checkpoints) — the number that must
+    /// dwarf the fixed arena.
+    pub fn cumulative_bytes(&self) -> u64 {
+        let gens = (self.phases * self.objs_per_phase * self.elems * 4) as u64;
+        let ckpts = (self.phases * self.ckpt_elems * 4) as u64;
+        gens + ckpts
+    }
+
+    /// Total allocations performed (generations plus checkpoints).
+    pub fn total_allocations(&self) -> u64 {
+        (self.phases * self.objs_per_phase + self.phases) as u64
+    }
+
+    /// Peak concurrently-allocated logical bytes: the live window,
+    /// the freshly allocated generation, and the tombstoned one
+    /// awaiting its barrier, plus up to three live checkpoints.
+    pub fn peak_live_bytes(&self) -> u64 {
+        let gens = ((self.retain + 2) * self.objs_per_phase * self.elems * 4) as u64;
+        gens + 3 * (self.ckpt_elems * 4) as u64
+    }
+}
+
+/// SplitMix64 finalizer.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic fill value of element `i` of object `obj` in
+/// generation `gen`.
+pub fn fill_value(seed: u64, gen: usize, obj: usize, i: usize) -> u32 {
+    mix(seed ^ ((gen as u64) << 42) ^ ((obj as u64) << 21) ^ i as u64) as u32
+}
+
+/// Deterministic value of element `j` of generation `gen`'s named
+/// checkpoint.
+pub fn ckpt_value(seed: u64, gen: usize, j: usize) -> u32 {
+    fill_value(seed, gen, 0x1F_FFFF, j)
+}
+
+/// The placement policy generation `gen` allocates under (cycles
+/// through all three; results are placement-independent by
+/// construction, so the checksum also proves placement correctness).
+pub fn placement_for(gen: usize, n: usize) -> Placement {
+    match gen % 3 {
+        0 => Placement::RoundRobin,
+        1 => Placement::FirstTouch,
+        _ => Placement::Fixed(gen % n),
+    }
+}
+
+fn ckpt_name(gen: usize) -> String {
+    format!("ckpt-{gen}")
+}
+
+/// The per-object sample the checksum accumulates: one bulk view over
+/// the first [`SAMPLE`] elements plus three spot reads.
+fn sample_indices(elems: usize) -> [usize; 3] {
+    [0, elems / 3, elems - 1]
+}
+
+/// What [`run_churn`]'s sampling of one object contributes, computed
+/// from the value function alone (the sequential model's side).
+fn model_sample(seed: u64, gen: usize, obj: usize, elems: usize) -> u64 {
+    let mut sum = (0..SAMPLE)
+        .map(|i| fill_value(seed, gen, obj, i) as u64)
+        .fold(0u64, |a, v| a.wrapping_add(v));
+    for i in sample_indices(elems) {
+        sum = sum.wrapping_add(fill_value(seed, gen, obj, i) as u64);
+    }
+    sum
+}
+
+/// The checksum every node of a [`run_churn`] run must report: a
+/// plain sequential replay of the sampling schedule.
+pub fn model_checksum(params: &ChurnParams, seed: u64) -> u64 {
+    let mut checksum = 0u64;
+    let mut live: VecDeque<usize> = VecDeque::new();
+    for p in 0..params.phases {
+        live.push_back(p);
+        if p >= 1 {
+            for j in 0..params.ckpt_elems {
+                checksum = checksum.wrapping_add(ckpt_value(seed, p - 1, j) as u64);
+            }
+        }
+        for &q in &live {
+            for k in 0..params.objs_per_phase {
+                checksum = checksum.wrapping_add(model_sample(seed, q, k, params.elems));
+            }
+        }
+        while live.len() > params.retain {
+            live.pop_front();
+        }
+    }
+    checksum
+}
+
+/// Run the churn workload on one node; call from every node.
+pub fn run_churn<D: DsmApi>(dsm: &D, params: &ChurnParams) -> AppResult {
+    let (n, me, seed) = (dsm.n(), dsm.me(), dsm.seed());
+    let t0 = dsm.now();
+    let mut checksum = 0u64;
+    let mut live: VecDeque<(usize, Vec<D::Slice<'_, u32>>)> = VecDeque::new();
+    for p in 0..params.phases {
+        // A fresh generation, cycling the placement policies. Plain
+        // allocs are SPMD-collective, so every node participates.
+        let gen: Vec<D::Slice<'_, u32>> = (0..params.objs_per_phase)
+            .map(|_| dsm.alloc_placed::<u32>(params.elems, placement_for(p, n)))
+            .collect();
+        // One node (alone!) stages this phase's named checkpoint; it
+        // materializes for everyone at the barrier below.
+        if me == p % n {
+            dsm.alloc_named::<u32>(&ckpt_name(p), params.ckpt_elems);
+        }
+        // Fill my share of the generation: one mutable view (one
+        // access check) per object.
+        for (k, s) in gen.iter().enumerate() {
+            if k % n == me {
+                {
+                    let mut v = s.view_mut(0..params.elems);
+                    for (i, slot) in v.iter_mut().enumerate() {
+                        *slot = fill_value(seed, p, k, i);
+                    }
+                }
+                dsm.charge_compute(params.elems as u64);
+            }
+        }
+        live.push_back((p, gen));
+        // Publishes the fills, commits the named checkpoint, and
+        // reclaims the generation freed last phase.
+        dsm.barrier();
+        // The checkpoint owner writes it (readable after the *next*
+        // barrier, per Scope Consistency).
+        if me == p % n {
+            let ck = dsm.lookup::<u32>(&ckpt_name(p));
+            let vals: Vec<u32> = (0..params.ckpt_elems)
+                .map(|j| ckpt_value(seed, p, j))
+                .collect();
+            ck.write_from(0, &vals);
+            dsm.charge_compute(params.ckpt_elems as u64);
+        }
+        // Every node attaches to the previous checkpoint by name,
+        // reads it, and one node (not necessarily the writer) frees it.
+        if p >= 1 {
+            let ck = dsm.lookup::<u32>(&ckpt_name(p - 1));
+            let sum: u64 = ck
+                .view(0..params.ckpt_elems)
+                .iter()
+                .map(|&v| v as u64)
+                .fold(0u64, |a, v| a.wrapping_add(v));
+            checksum = checksum.wrapping_add(sum);
+            dsm.charge_compute(params.ckpt_elems as u64);
+            if me == p % n {
+                dsm.free(ck);
+            }
+        }
+        // Sample the live window.
+        for (_q, gen) in &live {
+            for s in gen.iter() {
+                let mut sum: u64 = s
+                    .view(0..SAMPLE)
+                    .iter()
+                    .map(|&v| v as u64)
+                    .fold(0u64, |a, v| a.wrapping_add(v));
+                for i in sample_indices(params.elems) {
+                    sum = sum.wrapping_add(s.read(i) as u64);
+                }
+                checksum = checksum.wrapping_add(sum);
+                dsm.charge_compute((SAMPLE + 3) as u64);
+            }
+        }
+        // Retire the generation that fell out of the window: each
+        // object is freed by the single node that filled it.
+        while live.len() > params.retain {
+            let (_q, gen) = live.pop_front().expect("non-empty");
+            for (k, s) in gen.into_iter().enumerate() {
+                if k % n == me {
+                    dsm.free(s);
+                }
+            }
+        }
+    }
+    // Reclaim the tail of staged frees so exit-time accounting (store
+    // emptiness, fragmentation) reflects the retired history.
+    dsm.barrier();
+    AppResult {
+        checksum,
+        elapsed: dsm.now().saturating_sub(t0),
+    }
+}
+
+impl DsmProgram for ChurnParams {
+    fn run<D: DsmApi>(&self, dsm: &D) -> AppResult {
+        run_churn(dsm, self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_is_deterministic_and_seed_sensitive() {
+        let p = ChurnParams {
+            phases: 5,
+            objs_per_phase: 2,
+            elems: 64,
+            retain: 1,
+            ckpt_elems: 4,
+        };
+        assert_eq!(model_checksum(&p, 7), model_checksum(&p, 7));
+        assert_ne!(model_checksum(&p, 7), model_checksum(&p, 8));
+    }
+
+    #[test]
+    fn placement_cycles_all_policies() {
+        assert_eq!(placement_for(0, 4), Placement::RoundRobin);
+        assert_eq!(placement_for(1, 4), Placement::FirstTouch);
+        assert_eq!(placement_for(2, 4), Placement::Fixed(2));
+        assert_eq!(placement_for(5, 4), Placement::Fixed(1));
+    }
+
+    #[test]
+    fn smoke_params_overcommit_by_8x() {
+        let p = ChurnParams::smoke();
+        assert!(p.cumulative_bytes() >= 8 * (1 << 20));
+        assert!(p.peak_live_bytes() < (1 << 20));
+    }
+}

@@ -13,8 +13,10 @@
 //! | [`sor`] red-black | single writer per row, edge rows read-shared | migrating home |
 //! | [`rx`] radix sort | 1/p buckets single-owner, rest ping-pong | fixed home (JIAJIA) at large p |
 //! | [`largeobj`] Test 2 | streaming writes/reads over > 4 GB | LOTS only |
+//! | [`churn`] object churn | rolling alloc/free window, named checkpoints | the lifecycle API (free/named/placement) |
 
 pub mod adapter;
+pub mod churn;
 pub mod largeobj;
 pub mod lu;
 pub mod me;

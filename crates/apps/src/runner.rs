@@ -102,6 +102,18 @@ pub struct RunOutcome {
     pub swap_batches: u64,
     /// Swap-ins served from the read-ahead buffers.
     pub prefetch_hits: u64,
+    /// Reclamation events of the lifecycle API summed over nodes:
+    /// every node reclaims its local slot of a freed object, so one
+    /// cluster-wide `free` counts `n` times here (divide by the
+    /// cluster size for distinct objects).
+    pub objects_freed: u64,
+    /// Worst per-node external fragmentation of the DMM allocator at
+    /// exit, in permille (LOTS/LOTS-x; 0 on page-based systems).
+    pub frag_permille_max: u64,
+    /// Largest per-node object-table slot count at exit (LOTS/LOTS-x;
+    /// 0 on page-based systems). Bounded under churn while cumulative
+    /// allocations grow — the control-space half of address reuse.
+    pub object_slots_max: usize,
     /// Summed node time in access checking.
     pub time_access_check: SimDuration,
     /// Summed node time in large-object bookkeeping (mapping, pinning).
@@ -154,6 +166,19 @@ pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
                 swap_out_bytes: report.total(|n| n.stats.swap_out_bytes()),
                 swap_batches: report.total(|n| n.stats.swap_batches()),
                 prefetch_hits: report.total(|n| n.stats.prefetch_hits()),
+                objects_freed: report.total(|n| n.stats.objects_freed()),
+                frag_permille_max: report
+                    .nodes
+                    .iter()
+                    .map(|n| n.frag.external_frag_permille)
+                    .max()
+                    .unwrap_or(0),
+                object_slots_max: report
+                    .nodes
+                    .iter()
+                    .map(|n| n.object_slots)
+                    .max()
+                    .unwrap_or(0),
                 time_access_check: sum(TimeCategory::AccessCheck),
                 time_large_object: sum(TimeCategory::LargeObject),
                 time_network: sum(TimeCategory::Network),
@@ -184,6 +209,9 @@ pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
                 swap_out_bytes: 0,
                 swap_batches: 0,
                 prefetch_hits: 0,
+                objects_freed: report.nodes.iter().map(|n| n.stats.objects_freed()).sum(),
+                frag_permille_max: 0,
+                object_slots_max: 0,
                 time_access_check: sum(TimeCategory::AccessCheck),
                 time_large_object: SimDuration::ZERO,
                 time_network: sum(TimeCategory::Network),

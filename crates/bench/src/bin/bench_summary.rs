@@ -17,8 +17,9 @@
 
 use std::fmt::Write as _;
 
+use lots_apps::churn::{model_checksum, ChurnParams};
 use lots_apps::largeobj::{expected_sum, large_object_test, LargeObjParams};
-use lots_apps::runner::System;
+use lots_apps::runner::{run_app, RunConfig, System};
 use lots_bench::{measure, no_tweak, App};
 use lots_core::{
     run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig, SchedulerMode, SwapConfig,
@@ -200,6 +201,69 @@ fn main() {
     }
     let swap = swap.trim_end_matches(',').to_string();
 
+    // Object lifecycle under churn: 16 MB of cumulative allocations
+    // (free/reuse, named checkpoints, cycling placements) through
+    // fixed arenas on all three systems; the checksum is gated against
+    // the sequential model, the lifecycle counters against drift.
+    let mut churn = String::new();
+    {
+        let params = ChurnParams::smoke();
+        let model = model_checksum(&params, 0);
+        let mut freed = Vec::new();
+        for (key, system, arena) in [
+            ("lots", System::Lots, 1usize << 20),
+            ("lotsx", System::LotsX, 2 << 20),
+            ("jiajia", System::Jiajia, 2 << 20),
+        ] {
+            let mut cfg = RunConfig::new(system, 4, machine);
+            cfg.dmm_bytes = arena;
+            cfg.shared_bytes = 2 << 20;
+            let out = run_app(&cfg, params);
+            for r in &out.per_node {
+                assert_eq!(r.checksum, model, "{key}: churn checksum vs model");
+            }
+            freed.push(out.objects_freed);
+            let mut fields = vec![(
+                format!("{key}_churn_s"),
+                format!("{:.6}", out.combined.elapsed.as_secs_f64()),
+            )];
+            if system == System::Lots {
+                fields.push(("lots_churn_swaps_out".into(), out.swaps_out.to_string()));
+                fields.push(("lots_churn_slots".into(), out.object_slots_max.to_string()));
+                fields.push((
+                    "lots_churn_frag_permille".into(),
+                    out.frag_permille_max.to_string(),
+                ));
+            }
+            for (field, fresh) in fields {
+                gate(&field, &fresh);
+                let _ = write!(churn, "\n    \"{field}\": {fresh},");
+            }
+            println!(
+                "object churn p=4 {:<7} {:>7.3} s  {} frees/node, checksum OK",
+                system.label(),
+                out.combined.elapsed.as_secs_f64(),
+                out.objects_freed / 4,
+            );
+        }
+        assert!(
+            freed.windows(2).all(|w| w[0] == w[1]),
+            "systems disagree on reclaimed objects: {freed:?}"
+        );
+        for (field, fresh) in [
+            ("churn_checksum".to_string(), model.to_string()),
+            (
+                "churn_cumulative_bytes".to_string(),
+                params.cumulative_bytes().to_string(),
+            ),
+            ("churn_reclaim_events".to_string(), freed[0].to_string()),
+        ] {
+            gate(&field, &fresh);
+            let _ = write!(churn, "\n    \"{field}\": {fresh},");
+        }
+    }
+    let churn = churn.trim_end_matches(',').to_string();
+
     // Every number in the JSON is virtual/modeled and — under the
     // deterministic scheduler — exactly reproducible, so CI gates the
     // whole file. The host-measured check cost varies by machine, so
@@ -207,6 +271,7 @@ fn main() {
     let json = format!(
         "{{\n  \"quickstart_ms\": {quick_ms:.4},\n  \"sor_256_p4\": {{{sor}\n  }},\n  \
          \"large_object_swap\": {{{swap}\n  }},\n  \
+         \"object_churn\": {{{churn}\n  }},\n  \
          \"access_check_ns\": {{\n    \"modeled\": {},\n    \"modeled_pin\": {}\n  }}\n}}\n",
         cpu.access_check.0, cpu.pin_update.0
     );

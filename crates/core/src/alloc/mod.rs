@@ -13,10 +13,42 @@ pub mod slab;
 
 use std::collections::HashMap;
 
+use crate::config::FitPolicy;
 use crate::layout::PAGE_BYTES;
 use classes::round_up;
 use region::{Dir, Region};
 use slab::SlabPages;
+
+/// A point-in-time snapshot of the allocator's fragmentation state —
+/// the §3.2 health metrics surfaced through `NodeStats`, `NodeReport`
+/// and `BENCH_summary` (Sears & van Ingen: large-object stores live or
+/// die by their allocate/free churn behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FragStats {
+    /// Bytes currently free across both DMM regions.
+    pub free_bytes: u64,
+    /// Largest single free extent (the biggest object mappable without
+    /// swapping).
+    pub largest_hole: u64,
+    /// External fragmentation in permille: `1000 × (1 − largest_hole /
+    /// free_bytes)`, 0 when nothing is free. 0 means all free space is
+    /// one hole; 999 means the free space is shattered.
+    pub external_frag_permille: u64,
+}
+
+impl FragStats {
+    /// Compute the ratio form from the two gauges.
+    pub fn from_gauges(free_bytes: u64, largest_hole: u64) -> FragStats {
+        let external_frag_permille = (largest_hole * 1000)
+            .checked_div(free_bytes)
+            .map_or(0, |filled| 1000 - filled);
+        FragStats {
+            free_bytes,
+            largest_hole,
+            external_frag_permille,
+        }
+    }
+}
 
 /// Allocation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,14 +104,32 @@ pub struct DmmAllocator {
     small_threshold: usize,
     large_threshold: usize,
     capacity: usize,
+    fit: FitPolicy,
 }
 
 impl DmmAllocator {
-    /// Build an allocator for an arena of `capacity` bytes.
+    /// Build an allocator for an arena of `capacity` bytes with the
+    /// default best-fit extent selection.
     /// `small_threshold`/`large_threshold` come from [`LotsConfig`].
     ///
     /// [`LotsConfig`]: crate::config::LotsConfig
     pub fn new(capacity: usize, small_threshold: usize, large_threshold: usize) -> DmmAllocator {
+        DmmAllocator::with_fit(
+            capacity,
+            small_threshold,
+            large_threshold,
+            FitPolicy::BestFit,
+        )
+    }
+
+    /// Build an allocator with an explicit [`FitPolicy`] (see
+    /// [`crate::config::AllocConfig`]).
+    pub fn with_fit(
+        capacity: usize,
+        small_threshold: usize,
+        large_threshold: usize,
+        fit: FitPolicy,
+    ) -> DmmAllocator {
         assert!(capacity >= 2 * PAGE_BYTES, "arena too small to partition");
         assert!(small_threshold <= PAGE_BYTES);
         assert!(small_threshold <= large_threshold);
@@ -93,6 +143,7 @@ impl DmmAllocator {
             small_threshold,
             large_threshold,
             capacity,
+            fit,
         }
     }
 
@@ -100,10 +151,11 @@ impl DmmAllocator {
     pub fn alloc(&mut self, size: usize) -> Result<usize, AllocError> {
         assert!(size > 0);
         let rounded = round_up(size);
+        let fit = self.fit;
         let offset = if rounded < self.small_threshold {
             let upper = &mut self.upper;
             self.slabs
-                .alloc(rounded, || upper.alloc(PAGE_BYTES, Dir::Low))
+                .alloc(rounded, || upper.alloc(PAGE_BYTES, Dir::Low, fit))
                 .map(|o| (o, Kind::Small))
         } else {
             if rounded > self.max_object_size() {
@@ -118,7 +170,7 @@ impl DmmAllocator {
                 Dir::High // medium: decreasing addresses of the lower half
             };
             self.lower
-                .alloc(rounded, dir)
+                .alloc(rounded, dir, fit)
                 .map(|o| (o, Kind::LowerBlock))
         };
         match offset {
@@ -164,6 +216,28 @@ impl DmmAllocator {
     /// swap decision for medium/large objects).
     pub fn largest_free_lower(&self) -> usize {
         self.lower.largest_free()
+    }
+
+    /// Largest contiguous free extent anywhere in the arena.
+    pub fn largest_free(&self) -> usize {
+        self.lower.largest_free().max(self.upper.largest_free())
+    }
+
+    /// Snapshot the fragmentation gauges: total free bytes and largest
+    /// hole over the whole arena, with the external-fragmentation
+    /// ratio computed over the *lower* region only — the upper half is
+    /// slab-packed, so its fragmentation is internal by construction
+    /// and would dilute the ratio.
+    pub fn frag_stats(&self) -> FragStats {
+        let lower = FragStats::from_gauges(
+            self.lower.free_bytes() as u64,
+            self.lower.largest_free() as u64,
+        );
+        FragStats {
+            free_bytes: (self.capacity - self.used_bytes()) as u64,
+            largest_hole: self.largest_free() as u64,
+            external_frag_permille: lower.external_frag_permille,
+        }
     }
 
     /// Invariant check for tests.
@@ -288,5 +362,51 @@ mod tests {
         a.alloc(8 * 1024).unwrap();
         a.alloc(20 * 1024).unwrap();
         assert_eq!(a.used_bytes(), PAGE_BYTES + 8 * 1024 + 20 * 1024);
+    }
+
+    #[test]
+    fn first_fit_reuses_the_nearest_hole_not_the_snuggest() {
+        // Large class grows upward: carve [used 16K][hole 16K][used
+        // 16K][free tail], then allocate 16K twice — first fit takes
+        // the lowest-addressed hole first, then the tail. Best fit
+        // would agree on the first but the test pins the address-order
+        // scan.
+        let mut a = DmmAllocator::with_fit(128 * 1024, 1024, 16 * 1024, FitPolicy::FirstFit);
+        let _keep0 = a.alloc(16 * 1024).unwrap();
+        let hole = a.alloc(16 * 1024).unwrap();
+        let keep1 = a.alloc(16 * 1024).unwrap();
+        a.free(hole);
+        let b = a.alloc(16 * 1024).unwrap();
+        assert_eq!(b, hole, "first fit takes the lowest-addressed hole");
+        let c = a.alloc(16 * 1024).unwrap();
+        assert_eq!(c, keep1 + 16 * 1024, "then the tail");
+        a.check_invariants();
+    }
+
+    #[test]
+    fn frag_stats_track_holes() {
+        let mut a = alloc_128k();
+        let whole = a.frag_stats();
+        assert_eq!(
+            whole.external_frag_permille, 0,
+            "untouched arena: one hole per region"
+        );
+        let blocks: Vec<usize> = (0..4).map(|_| a.alloc(8 * 1024).unwrap()).collect();
+        a.free(blocks[0]);
+        a.free(blocks[2]);
+        let frag = a.frag_stats();
+        assert_eq!(frag.free_bytes, (128 * 1024 - 2 * 8 * 1024) as u64);
+        assert!(
+            frag.largest_hole >= 32 * 1024,
+            "large-class space still contiguous"
+        );
+        assert!(frag.external_frag_permille > 0, "interleaved frees shatter");
+    }
+
+    #[test]
+    fn frag_stats_from_gauges_edge_cases() {
+        assert_eq!(FragStats::from_gauges(0, 0).external_frag_permille, 0);
+        assert_eq!(FragStats::from_gauges(100, 100).external_frag_permille, 0);
+        assert_eq!(FragStats::from_gauges(100, 25).external_frag_permille, 750);
     }
 }

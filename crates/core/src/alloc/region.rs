@@ -11,6 +11,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use crate::config::FitPolicy;
+
 use super::classes::{class_of, NUM_CLASSES};
 
 /// Preferred end of the region for an allocation.
@@ -65,15 +67,40 @@ impl Region {
         self.free_by_offset.remove(&offset);
     }
 
-    /// Best-fit allocation of `size` bytes (already grain-rounded).
+    /// Allocate `size` bytes (already grain-rounded) under `fit`.
     ///
-    /// Scans size classes from the request's class upward; inside the
-    /// first class with a fitting extent takes the smallest fitting
-    /// extent (ties broken toward `dir`), then splits it leaving the
-    /// remainder on the side away from `dir`.
-    pub fn alloc(&mut self, size: usize, dir: Dir) -> Option<usize> {
+    /// [`FitPolicy::BestFit`] scans size classes from the request's
+    /// class upward; inside the first class with a fitting extent it
+    /// takes the smallest fitting extent (ties broken toward `dir`),
+    /// then splits it leaving the remainder on the side away from
+    /// `dir`. [`FitPolicy::FirstFit`] takes the fitting extent nearest
+    /// the preferred end in address order.
+    pub fn alloc(&mut self, size: usize, dir: Dir, fit: FitPolicy) -> Option<usize> {
         debug_assert!(size > 0);
-        let mut chosen: Option<(usize, usize)> = None;
+        let chosen: Option<(usize, usize)> = match fit {
+            FitPolicy::BestFit => self.best_fit(size, dir),
+            FitPolicy::FirstFit => self.first_fit(size, dir),
+        };
+        let (len, offset) = chosen?;
+        self.remove_free(offset, len);
+        let alloc_off = match dir {
+            Dir::Low => offset,
+            Dir::High => offset + len - size,
+        };
+        if len > size {
+            match dir {
+                Dir::Low => self.insert_free(offset + size, len - size),
+                Dir::High => self.insert_free(offset, len - size),
+            }
+        }
+        self.used.insert(alloc_off, size);
+        self.used_bytes += size;
+        Some(alloc_off)
+    }
+
+    /// The Figure 4 best-fit scan: smallest fitting extent, ties toward
+    /// `dir`. Returns `(len, offset)` of the chosen free extent.
+    fn best_fit(&self, size: usize, dir: Dir) -> Option<(usize, usize)> {
         for class in class_of(size)..NUM_CLASSES {
             let set = &self.free_by_class[class];
             if set.is_empty() {
@@ -95,26 +122,30 @@ impl Region {
                     Some(_) => break,
                 }
             }
-            if let Some(hit) = best {
-                chosen = Some(hit);
-                break;
+            if best.is_some() {
+                return best;
             }
         }
-        let (len, offset) = chosen?;
-        self.remove_free(offset, len);
-        let alloc_off = match dir {
-            Dir::Low => offset,
-            Dir::High => offset + len - size,
-        };
-        if len > size {
-            match dir {
-                Dir::Low => self.insert_free(offset + size, len - size),
-                Dir::High => self.insert_free(offset, len - size),
-            }
+        None
+    }
+
+    /// First fit in address order from the preferred end: the
+    /// lowest-addressed fitting extent for [`Dir::Low`], the highest
+    /// for [`Dir::High`].
+    fn first_fit(&self, size: usize, dir: Dir) -> Option<(usize, usize)> {
+        match dir {
+            Dir::Low => self
+                .free_by_offset
+                .iter()
+                .find(|&(_, &len)| len >= size)
+                .map(|(&off, &len)| (len, off)),
+            Dir::High => self
+                .free_by_offset
+                .iter()
+                .rev()
+                .find(|&(_, &len)| len >= size)
+                .map(|(&off, &len)| (len, off)),
         }
-        self.used.insert(alloc_off, size);
-        self.used_bytes += size;
-        Some(alloc_off)
     }
 
     /// Free the block at `offset`, coalescing with free neighbours.
@@ -225,9 +256,9 @@ mod tests {
     #[test]
     fn alloc_low_takes_lowest_fit() {
         let mut r = Region::new(0, 1024);
-        let a = r.alloc(128, Dir::Low).unwrap();
+        let a = r.alloc(128, Dir::Low, FitPolicy::BestFit).unwrap();
         assert_eq!(a, 0);
-        let b = r.alloc(128, Dir::Low).unwrap();
+        let b = r.alloc(128, Dir::Low, FitPolicy::BestFit).unwrap();
         assert_eq!(b, 128);
         r.check_invariants();
     }
@@ -235,9 +266,9 @@ mod tests {
     #[test]
     fn alloc_high_takes_highest_fit() {
         let mut r = Region::new(0, 1024);
-        let a = r.alloc(128, Dir::High).unwrap();
+        let a = r.alloc(128, Dir::High, FitPolicy::BestFit).unwrap();
         assert_eq!(a, 1024 - 128);
-        let b = r.alloc(64, Dir::High).unwrap();
+        let b = r.alloc(64, Dir::High, FitPolicy::BestFit).unwrap();
         assert_eq!(b, 1024 - 128 - 64);
         r.check_invariants();
     }
@@ -245,8 +276,8 @@ mod tests {
     #[test]
     fn opposite_directions_grow_toward_each_other() {
         let mut r = Region::new(0, 4096);
-        let large = r.alloc(1024, Dir::Low).unwrap();
-        let medium = r.alloc(512, Dir::High).unwrap();
+        let large = r.alloc(1024, Dir::Low, FitPolicy::BestFit).unwrap();
+        let medium = r.alloc(512, Dir::High, FitPolicy::BestFit).unwrap();
         assert_eq!(large, 0);
         assert_eq!(medium, 4096 - 512);
         assert_eq!(r.free_bytes(), 4096 - 1536);
@@ -258,12 +289,12 @@ mod tests {
     fn best_fit_prefers_snuggest_extent() {
         let mut r = Region::new(0, 4096);
         // Carve: [used 512][free 512][used 512][free 2560]
-        let a = r.alloc(512, Dir::Low).unwrap(); // 0
-        let hole = r.alloc(512, Dir::Low).unwrap(); // 512
-        let _c = r.alloc(512, Dir::Low).unwrap(); // 1024
+        let a = r.alloc(512, Dir::Low, FitPolicy::BestFit).unwrap(); // 0
+        let hole = r.alloc(512, Dir::Low, FitPolicy::BestFit).unwrap(); // 512
+        let _c = r.alloc(512, Dir::Low, FitPolicy::BestFit).unwrap(); // 1024
         r.free(hole);
         // A 384-byte request best-fits the 512 hole, not the big tail.
-        let d = r.alloc(384, Dir::Low).unwrap();
+        let d = r.alloc(384, Dir::Low, FitPolicy::BestFit).unwrap();
         assert_eq!(d, 512);
         r.check_invariants();
         let _ = a;
@@ -272,9 +303,9 @@ mod tests {
     #[test]
     fn free_coalesces_neighbours() {
         let mut r = Region::new(0, 1024);
-        let a = r.alloc(256, Dir::Low).unwrap();
-        let b = r.alloc(256, Dir::Low).unwrap();
-        let c = r.alloc(256, Dir::Low).unwrap();
+        let a = r.alloc(256, Dir::Low, FitPolicy::BestFit).unwrap();
+        let b = r.alloc(256, Dir::Low, FitPolicy::BestFit).unwrap();
+        let c = r.alloc(256, Dir::Low, FitPolicy::BestFit).unwrap();
         r.free(a);
         r.free(c);
         assert_eq!(r.largest_free(), 512); // tail 256 + c 256
@@ -287,15 +318,17 @@ mod tests {
     #[test]
     fn exhaustion_returns_none() {
         let mut r = Region::new(0, 256);
-        assert!(r.alloc(512, Dir::Low).is_none());
-        let _a = r.alloc(256, Dir::Low).unwrap();
-        assert!(r.alloc(8, Dir::Low).is_none());
+        assert!(r.alloc(512, Dir::Low, FitPolicy::BestFit).is_none());
+        let _a = r.alloc(256, Dir::Low, FitPolicy::BestFit).unwrap();
+        assert!(r.alloc(8, Dir::Low, FitPolicy::BestFit).is_none());
     }
 
     #[test]
     fn fragmentation_blocks_contiguous_request() {
         let mut r = Region::new(0, 1024);
-        let blocks: Vec<usize> = (0..8).map(|_| r.alloc(128, Dir::Low).unwrap()).collect();
+        let blocks: Vec<usize> = (0..8)
+            .map(|_| r.alloc(128, Dir::Low, FitPolicy::BestFit).unwrap())
+            .collect();
         // Free alternating blocks: 512 free total, max contiguous 128.
         for (i, &b) in blocks.iter().enumerate() {
             if i % 2 == 0 {
@@ -304,7 +337,10 @@ mod tests {
         }
         assert_eq!(r.free_bytes(), 512);
         assert_eq!(r.largest_free(), 128);
-        assert!(r.alloc(256, Dir::Low).is_none(), "must require swapping");
+        assert!(
+            r.alloc(256, Dir::Low, FitPolicy::BestFit).is_none(),
+            "must require swapping"
+        );
         r.check_invariants();
     }
 
@@ -312,7 +348,7 @@ mod tests {
     #[should_panic(expected = "freeing unallocated")]
     fn double_free_panics() {
         let mut r = Region::new(0, 256);
-        let a = r.alloc(64, Dir::Low).unwrap();
+        let a = r.alloc(64, Dir::Low, FitPolicy::BestFit).unwrap();
         r.free(a);
         r.free(a);
     }
@@ -320,7 +356,7 @@ mod tests {
     #[test]
     fn nonzero_base_respected() {
         let mut r = Region::new(4096, 1024);
-        let a = r.alloc(100, Dir::Low).unwrap();
+        let a = r.alloc(100, Dir::Low, FitPolicy::BestFit).unwrap();
         assert!(a >= 4096);
         assert!(r.contains(a));
         assert!(!r.contains(0));

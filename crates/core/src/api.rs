@@ -63,11 +63,12 @@ use lots_net::{Envelope, NetSender, NodeId, TrafficStats};
 use lots_sim::{NodeStats, SimInstant, TimeCategory};
 use parking_lot::Mutex;
 
+use crate::config::Placement;
 use crate::consistency::barrier::BarrierService;
 use crate::consistency::locks::{LockId, LockService};
 use crate::consistency::SyncCtx;
 use crate::node::{Access, LotsError, NodeState};
-use crate::object::ObjectId;
+use crate::object::{NamedAllocReq, ObjectId};
 use crate::pod::Pod;
 use crate::protocol::messages::Msg;
 
@@ -103,15 +104,126 @@ pub trait DsmApi {
     fn seed(&self) -> u64;
 
     /// Allocate a shared array of `len` elements (the paper's
-    /// `Pointer<T> p; p.alloc(len)`). Collective in the SPMD sense:
-    /// every node must perform the same allocations in the same order,
-    /// which is what makes the handles agree cluster-wide.
+    /// `Pointer<T> p; p.alloc(len)`) under the configuration's default
+    /// [`Placement`]. Collective in the SPMD sense: every node must
+    /// perform the same allocations in the same order, which is what
+    /// makes the handles agree cluster-wide (named allocations lift
+    /// this restriction — see [`DsmApi::try_alloc_named`]).
     fn try_alloc<T: Pod>(&self, len: usize) -> Result<Self::Slice<'_, T>, Self::Error>;
 
     /// Panicking [`DsmApi::try_alloc`].
     fn alloc<T: Pod>(&self, len: usize) -> Self::Slice<'_, T> {
         self.try_alloc(len)
             .unwrap_or_else(|e| panic!("alloc of {len} elements: {e}"))
+    }
+
+    /// [`DsmApi::try_alloc`] with an explicit initial-home
+    /// [`Placement`] (collective like `try_alloc`; every node must
+    /// pass the same placement).
+    fn try_alloc_placed<T: Pod>(
+        &self,
+        len: usize,
+        placement: Placement,
+    ) -> Result<Self::Slice<'_, T>, Self::Error>;
+
+    /// Panicking [`DsmApi::try_alloc_placed`].
+    fn alloc_placed<T: Pod>(&self, len: usize, placement: Placement) -> Self::Slice<'_, T> {
+        self.try_alloc_placed(len, placement)
+            .unwrap_or_else(|e| panic!("alloc of {len} elements ({placement:?}): {e}"))
+    }
+
+    /// Free a shared object. The handle must cover the whole original
+    /// allocation (no `offset`/`prefix` sub-slices). The object is
+    /// tombstoned immediately — any further access through any handle
+    /// panics like the view-guard fences — and its DMM/twin/control
+    /// space, swap image and directory entries are reclaimed
+    /// **cluster-wide at the next barrier**, riding the barrier's
+    /// diff-propagation round; the freed id is then reused by later
+    /// allocations. Unlike `alloc`, `free` is *not* collective: any
+    /// one node's free reclaims the object everywhere.
+    ///
+    /// # Fence durability
+    ///
+    /// Handles are `Copy`, so stale copies can outlive the free — as
+    /// dangling pointers do in the real systems — and the fence is
+    /// best-effort beyond the tombstone window:
+    ///
+    /// * **LOTS** keeps the freeing node's fence through reclamation
+    ///   (the slot stays `Free`) and drops it only when a later
+    ///   allocation *reuses* the slot — from then on a stale handle
+    ///   aliases the new object, exactly like a dangling `Pointer<T>`
+    ///   in the C++ runtime.
+    /// * **JIAJIA** fences tombstoned pages only until the reclaiming
+    ///   barrier re-zeroes them: pages, like raw memory, carry no
+    ///   identity afterwards, so a stale handle silently reads the
+    ///   fresh zero fill (or a later allocation's data). Page-based
+    ///   systems cannot do better — one of the object-vs-page contrasts
+    ///   the paper draws.
+    fn try_free<T: Pod>(&self, slice: Self::Slice<'_, T>) -> Result<(), Self::Error>;
+
+    /// Panicking [`DsmApi::try_free`].
+    fn free<T: Pod>(&self, slice: Self::Slice<'_, T>) {
+        self.try_free(slice)
+            .unwrap_or_else(|e| panic!("free failed: {e}"))
+    }
+
+    /// Stage a named allocation of `len` elements under the
+    /// configuration's default placement. Named allocations are *not*
+    /// collective: any subset of nodes (typically one) stages them,
+    /// and they materialize cluster-wide at the next barrier, after
+    /// which **every** node — the allocator included — attaches via
+    /// [`DsmApi::try_lookup`]. Staging the same name twice (locally or
+    /// from two nodes in one interval) is an error/panic.
+    fn try_alloc_named<T: Pod>(&self, name: &str, len: usize) -> Result<(), Self::Error>;
+
+    /// Panicking [`DsmApi::try_alloc_named`].
+    fn alloc_named<T: Pod>(&self, name: &str, len: usize) {
+        self.try_alloc_named::<T>(name, len)
+            .unwrap_or_else(|e| panic!("alloc_named({name:?}, {len}): {e}"))
+    }
+
+    /// [`DsmApi::try_alloc_named`] with an explicit [`Placement`].
+    fn try_alloc_named_placed<T: Pod>(
+        &self,
+        name: &str,
+        len: usize,
+        placement: Placement,
+    ) -> Result<(), Self::Error>;
+
+    /// Panicking [`DsmApi::try_alloc_named_placed`].
+    fn alloc_named_placed<T: Pod>(&self, name: &str, len: usize, placement: Placement) {
+        self.try_alloc_named_placed::<T>(name, len, placement)
+            .unwrap_or_else(|e| panic!("alloc_named({name:?}, {len}, {placement:?}): {e}"))
+    }
+
+    /// Resolve a committed name into a handle. The element type must
+    /// match the staging `alloc_named::<T>` call (checked through the
+    /// element size recorded in the replicated directory). Names
+    /// staged this interval are not yet visible — they commit at the
+    /// next barrier.
+    fn try_lookup<T: Pod>(&self, name: &str) -> Result<Self::Slice<'_, T>, Self::Error>;
+
+    /// Panicking [`DsmApi::try_lookup`].
+    fn lookup<T: Pod>(&self, name: &str) -> Self::Slice<'_, T> {
+        self.try_lookup(name)
+            .unwrap_or_else(|e| panic!("lookup({name:?}): {e}"))
+    }
+
+    /// Fallible [`DsmApi::alloc_chunks`]: `chunks == 0` or
+    /// `chunk_len == 0` is rejected with the same error as
+    /// `try_alloc(0)` (`EmptyAlloc`), on every system.
+    fn try_alloc_chunks<T: Pod>(
+        &self,
+        chunks: usize,
+        chunk_len: usize,
+    ) -> Result<Vec<Self::Slice<'_, T>>, Self::Error> {
+        if chunks == 0 || chunk_len == 0 {
+            // Reject exactly like a zero-length alloc, whatever this
+            // system's error type calls it.
+            self.try_alloc::<T>(0)?;
+            unreachable!("try_alloc(0) must return the empty-alloc error");
+        }
+        (0..chunks).map(|_| self.try_alloc(chunk_len)).collect()
     }
 
     /// Allocate `chunks` arrays of `chunk_len` elements each in this
@@ -121,11 +233,8 @@ pub trait DsmApi {
     /// allocation whose chunks share pages (the false sharing §4.1
     /// analyses in LU).
     fn alloc_chunks<T: Pod>(&self, chunks: usize, chunk_len: usize) -> Vec<Self::Slice<'_, T>> {
-        assert!(
-            chunks > 0 && chunk_len > 0,
-            "chunked alloc must be non-empty"
-        );
-        (0..chunks).map(|_| self.alloc(chunk_len)).collect()
+        self.try_alloc_chunks(chunks, chunk_len)
+            .unwrap_or_else(|e| panic!("alloc of {chunks} chunks × {chunk_len} elements: {e}"))
     }
 
     /// Global memory barrier: publish this interval's writes and make
@@ -455,6 +564,78 @@ impl DsmApi for Dsm {
         })
     }
 
+    fn try_alloc_placed<T: Pod>(
+        &self,
+        len: usize,
+        placement: Placement,
+    ) -> Result<SharedSlice<'_, T>, LotsError> {
+        if len == 0 {
+            return Err(LotsError::EmptyAlloc);
+        }
+        let id = self
+            .node
+            .lock()
+            .register_object_placed(len * T::SIZE, placement)?;
+        Ok(SharedSlice {
+            dsm: self,
+            id,
+            base: 0,
+            len,
+            _pd: PhantomData,
+        })
+    }
+
+    fn try_free<T: Pod>(&self, slice: SharedSlice<'_, T>) -> Result<(), LotsError> {
+        // Same fence as the sync operations: a buffered guard over a
+        // dying object would write back into a reclaimed slot.
+        self.assert_no_views_of(slice.id, "free");
+        if slice.base != 0 {
+            return Err(LotsError::BadFree {
+                obj: slice.id,
+                reason: format!(
+                    "handle is offset {} elements into the object — free \
+                     needs the original allocation handle",
+                    slice.base
+                ),
+            });
+        }
+        self.node.lock().free_object(slice.id, slice.len * T::SIZE)
+    }
+
+    fn try_alloc_named<T: Pod>(&self, name: &str, len: usize) -> Result<(), LotsError> {
+        let placement = self.node.lock().cfg.alloc.placement;
+        self.try_alloc_named_placed::<T>(name, len, placement)
+    }
+
+    fn try_alloc_named_placed<T: Pod>(
+        &self,
+        name: &str,
+        len: usize,
+        placement: Placement,
+    ) -> Result<(), LotsError> {
+        if len == 0 {
+            return Err(LotsError::EmptyAlloc);
+        }
+        self.node.lock().stage_named(NamedAllocReq {
+            name: name.to_string(),
+            bytes: len * T::SIZE,
+            elem_size: T::SIZE,
+            len,
+            placement,
+        })
+    }
+
+    fn try_lookup<T: Pod>(&self, name: &str) -> Result<SharedSlice<'_, T>, LotsError> {
+        let (id, len) = self.node.lock().lookup_named(name, T::SIZE)?;
+        Ok(SharedSlice {
+            dsm: self,
+            id,
+            base: 0,
+            len,
+            _pd: PhantomData,
+        })
+    }
+
     fn barrier(&self) {
         self.try_barrier()
             .unwrap_or_else(|e| panic!("barrier failed: {e}"))
@@ -518,15 +699,15 @@ impl Dsm {
                 self.me
             );
         }
-        // Phase A: collect notices and receive the plan.
-        let notices = {
+        // Phase A: collect notices plus the interval's staged frees
+        // and named allocations, and receive the plan.
+        let (notices, frees, named) = {
             let mut node = self.node.lock();
-            let raw = node.barrier_collect()?;
-            raw.into_iter()
-                .map(|(id, size)| (id, size, node.home_of(id)))
-                .collect::<Vec<_>>()
+            let notices = node.barrier_collect()?;
+            let (frees, named) = node.take_lifecycle();
+            (notices, frees, named)
         };
-        let plan = self.barrier.enter(&self.ctx, notices);
+        let plan = self.barrier.enter(&self.ctx, notices, frees, named);
         // Phase B: propagate diffs of multi-writer objects to homes.
         self.node
             .lock()
@@ -560,9 +741,12 @@ impl Dsm {
                 other => panic!("unexpected message during barrier: {other:?}"),
             }
         }
-        // Phase C: drain, then apply migrations/invalidations.
+        // Phase C: drain, then apply migrations/invalidations, reclaim
+        // the freed set, and commit named allocations.
         let seq = self.barrier.drain(&self.ctx);
-        self.node.lock().barrier_finish(&plan.written, seq)?;
+        self.node
+            .lock()
+            .barrier_finish(&plan.written, &plan.freed, &plan.named, seq)?;
         Ok(())
     }
 
@@ -599,10 +783,25 @@ impl Dsm {
     }
 
     /// Snapshot and cross-check the node's swap accounting (resident
-    /// vs swapped vs materialized bytes); panics if the incremental
+    /// vs swapped vs materialized bytes, including the cumulative
+    /// free/dematerialization counters); panics if the incremental
     /// counters drifted from the mapping states.
     pub fn swap_accounting(&self) -> crate::node::SwapAccounting {
         self.node.lock().swap_accounting()
+    }
+
+    /// Fragmentation snapshot of this node's DMM allocator (free
+    /// bytes, largest hole, external-fragmentation ratio).
+    pub fn frag_stats(&self) -> crate::alloc::FragStats {
+        self.node.lock().frag_stats()
+    }
+
+    /// Object-table slots on this node (live + tombstoned + reusable).
+    /// Bounded by the peak working set under alloc/free churn, however
+    /// large the cumulative allocation history grows — the control-
+    /// space half of address reuse.
+    pub fn object_slots(&self) -> usize {
+        self.node.lock().object_count()
     }
 
     fn assert_no_live_views(&self, what: &str) {
@@ -610,6 +809,14 @@ impl Dsm {
             self.live_views.get(),
             0,
             "{what} while view guards are live — drop views before synchronizing"
+        );
+    }
+
+    /// Panic (fence-style) if any live guard covers `obj`.
+    fn assert_no_views_of(&self, obj: ObjectId, what: &str) {
+        assert!(
+            !self.view_spans.borrow().iter().any(|s| s.obj == obj.0),
+            "{what} of {obj} while a view guard over it is live — drop it first"
         );
     }
 

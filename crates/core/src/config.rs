@@ -1,6 +1,79 @@
 //! Runtime configuration for a LOTS cluster.
 
+use lots_net::NodeId;
+
 use crate::layout::SEGMENT_BYTES;
+
+/// Initial-home placement policy for a shared-object allocation
+/// (chosen per-alloc via `DsmApi::try_alloc_placed` or per-config via
+/// [`AllocConfig::placement`]).
+///
+/// Placement only picks the *initial* home; the §3.4 migrating-home
+/// protocol still moves single-writer objects to their writer at every
+/// barrier, so placement composes with migration rather than replacing
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Home = object id modulo cluster size — the historical behaviour
+    /// (and JIAJIA's page placement, §4.1).
+    #[default]
+    RoundRobin,
+    /// Home pinned to one node (data that one rank owns logically,
+    /// e.g. a coordinator structure).
+    Fixed(NodeId),
+    /// Home deferred to the first barrier at which the object was
+    /// written: the single writer — or the lowest-ranked of several
+    /// writers — becomes the home ("first touch" at interval
+    /// granularity). Until then every copy is the valid zero-fill, so
+    /// no fetch can observe the provisional home.
+    FirstTouch,
+}
+
+impl Placement {
+    /// Stable label used in reports and bench summaries.
+    pub fn label(self) -> &'static str {
+        match self {
+            Placement::RoundRobin => "round-robin",
+            Placement::Fixed(_) => "fixed",
+            Placement::FirstTouch => "first-touch",
+        }
+    }
+}
+
+/// Which free extent the DMM allocator picks when several fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FitPolicy {
+    /// Approximate best fit through the Figure 4 size-class queues —
+    /// the paper's allocator and the historical default.
+    #[default]
+    BestFit,
+    /// First fit in address order (from the region end the size class
+    /// grows from): cheaper per allocation, more external
+    /// fragmentation under churn — the trade-off the fragmentation
+    /// counters in `NodeStats` make visible.
+    FirstFit,
+}
+
+impl FitPolicy {
+    /// Stable label used in reports and bench summaries.
+    pub fn label(self) -> &'static str {
+        match self {
+            FitPolicy::BestFit => "best-fit",
+            FitPolicy::FirstFit => "first-fit",
+        }
+    }
+}
+
+/// Object-lifecycle knobs: how the DMM allocator picks free extents
+/// and where fresh objects are homed by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocConfig {
+    /// Free-extent selection policy of the DMM allocator.
+    pub fit: FitPolicy,
+    /// Default initial-home placement for `alloc`/`alloc_named`
+    /// (overridable per allocation with the `*_placed` variants).
+    pub placement: Placement,
+}
 
 /// How lock-protected updates propagate (§3.4; the paper's choice is
 /// [`LockProtocol::HomelessWriteUpdate`], the ablation keeps the
@@ -152,6 +225,9 @@ pub struct LotsConfig {
     /// compression). Only meaningful when
     /// [`LotsConfig::large_object_space`] is enabled.
     pub swap: SwapConfig,
+    /// Object-lifecycle configuration (allocator fit policy, default
+    /// placement).
+    pub alloc: AllocConfig,
 }
 
 impl Default for LotsConfig {
@@ -165,6 +241,7 @@ impl Default for LotsConfig {
             small_threshold: 1024,
             large_threshold: 64 * 1024,
             swap: SwapConfig::default(),
+            alloc: AllocConfig::default(),
         }
     }
 }
@@ -192,6 +269,13 @@ impl LotsConfig {
     #[must_use]
     pub fn with_swap(mut self, swap: SwapConfig) -> LotsConfig {
         self.swap = swap;
+        self
+    }
+
+    /// Replace the object-lifecycle configuration.
+    #[must_use]
+    pub fn with_alloc(mut self, alloc: AllocConfig) -> LotsConfig {
+        self.alloc = alloc;
         self
     }
 }
@@ -242,5 +326,21 @@ mod tests {
     fn policy_labels_are_stable() {
         let labels: Vec<&str> = SwapPolicyKind::ALL.iter().map(|p| p.label()).collect();
         assert_eq!(labels, vec!["lru", "clock", "seglru"]);
+    }
+
+    #[test]
+    fn alloc_defaults_preserve_seed_behavior() {
+        let c = LotsConfig::default();
+        assert_eq!(c.alloc.fit, FitPolicy::BestFit);
+        assert_eq!(c.alloc.placement, Placement::RoundRobin);
+    }
+
+    #[test]
+    fn placement_and_fit_labels_are_stable() {
+        assert_eq!(Placement::RoundRobin.label(), "round-robin");
+        assert_eq!(Placement::Fixed(3).label(), "fixed");
+        assert_eq!(Placement::FirstTouch.label(), "first-touch");
+        assert_eq!(FitPolicy::BestFit.label(), "best-fit");
+        assert_eq!(FitPolicy::FirstFit.label(), "first-fit");
     }
 }

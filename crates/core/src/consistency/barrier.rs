@@ -21,13 +21,14 @@
 //! cluster. Control traffic is charged to each participant's counters
 //! (manager-side fan-out is folded into the per-node accounting).
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use lots_net::NodeId;
 use lots_sim::{SchedHandle, SimDuration, SimInstant, TimeCategory};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
-use crate::object::ObjectId;
+use crate::object::{NamedAllocReq, ObjectId};
 use crate::protocol::messages::ctl;
 
 use super::locks::LockService;
@@ -46,6 +47,15 @@ pub struct BarrierPlan {
     /// Every object written this interval with its (possibly migrated)
     /// new home.
     pub written: Vec<(ObjectId, NodeId)>,
+    /// Objects freed this interval (union over all nodes, sorted):
+    /// every node reclaims them on exit. A freed object is dropped
+    /// from `written`/`send_diffs` — its updates die with it.
+    pub freed: Vec<ObjectId>,
+    /// Named allocations staged this interval, in deterministic commit
+    /// order (by staging node, then staging order): every node commits
+    /// them on exit, which is what keeps object ids and the replicated
+    /// name directory cluster-consistent.
+    pub named: Vec<NamedAllocReq>,
     /// Virtual time the plan was ready at the manager.
     pub plan_time: SimInstant,
 }
@@ -60,9 +70,10 @@ impl BarrierPlan {
     }
 }
 
-/// One write notice: object, its diff's wire size, and the reporting
-/// node's (cluster-consistent) view of the object's home.
-pub type Notice = (ObjectId, usize, NodeId);
+/// One write notice: object, its diff's wire size, the reporting
+/// node's (cluster-consistent) view of the object's home, and whether
+/// a first-touch home assignment is still pending.
+pub type Notice = (ObjectId, usize, NodeId, bool);
 
 struct BState {
     seq: u64,
@@ -70,7 +81,12 @@ struct BState {
     gen_a: u64,
     count_a: usize,
     enter_max: SimInstant,
-    notices: Vec<(ObjectId, NodeId, usize, NodeId)>, // (obj, writer, diff size, home)
+    notices: Vec<(ObjectId, NodeId, usize, NodeId, bool)>, // (obj, writer, diff size, home, pending)
+    /// Freed objects reported this round (union; sorted by id).
+    frees: BTreeSet<u32>,
+    /// Named allocations staged this round, keyed for deterministic
+    /// commit order: (staging node, staging index, request).
+    named: Vec<(NodeId, usize, NamedAllocReq)>,
     plan: Option<Arc<BarrierPlan>>,
     // Drain/exit rendezvous.
     gen_b: u64,
@@ -116,6 +132,8 @@ impl BarrierService {
                 count_a: 0,
                 enter_max: SimInstant::ZERO,
                 notices: Vec::new(),
+                frees: BTreeSet::new(),
+                named: Vec::new(),
                 plan: None,
                 gen_b: 0,
                 count_b: 0,
@@ -169,19 +187,34 @@ impl BarrierService {
         super::sched_wait_step(&self.state, st, |s| &mut s.sched_waiters, h)
     }
 
-    /// Rendezvous 1: submit write notices, receive the plan.
-    pub fn enter(&self, ctx: &SyncCtx, notices: Vec<Notice>) -> Arc<BarrierPlan> {
+    /// Rendezvous 1: submit write notices plus this interval's staged
+    /// frees and named allocations, receive the plan.
+    pub fn enter(
+        &self,
+        ctx: &SyncCtx,
+        notices: Vec<Notice>,
+        frees: Vec<ObjectId>,
+        named: Vec<NamedAllocReq>,
+    ) -> Arc<BarrierPlan> {
         let mut st = self.state.lock();
         Self::check_poison(&st);
         let my_gen = st.gen_a;
         let wait_from = ctx.clock.now();
-        let enter_bytes = ctl::BARRIER_ENTER + notices.len() * ctl::WRITE_NOTICE;
+        let named_bytes: usize = named.iter().map(|r| ctl::WRITE_NOTICE + r.name.len()).sum();
+        let enter_bytes = ctl::BARRIER_ENTER
+            + notices.len() * ctl::WRITE_NOTICE
+            + frees.len() * ctl::PLAN_ENTRY
+            + named_bytes;
         ctx.traffic
             .record_send(enter_bytes, ctx.net.fragments(enter_bytes));
         let arrive = ctx.clock.now() + ctx.net.one_way(enter_bytes);
         st.enter_max = st.enter_max.max(arrive);
-        for (obj, size, home) in notices {
-            st.notices.push((obj, ctx.me, size, home));
+        for (obj, size, home, pending) in notices {
+            st.notices.push((obj, ctx.me, size, home, pending));
+        }
+        st.frees.extend(frees.into_iter().map(|o| o.0));
+        for (idx, req) in named.into_iter().enumerate() {
+            st.named.push((ctx.me, idx, req));
         }
         st.count_a += 1;
         if st.count_a == self.n {
@@ -190,6 +223,8 @@ impl BarrierService {
             st.count_a = 0;
             st.enter_max = SimInstant::ZERO;
             st.notices.clear();
+            st.frees.clear();
+            st.named.clear();
             st.gen_a += 1;
             self.cv.notify_all();
             Self::wake_sched(&mut st);
@@ -206,7 +241,14 @@ impl BarrierService {
         }
         let plan = Arc::clone(st.plan.as_ref().expect("plan built by last arriver"));
         drop(st);
-        let plan_bytes = ctl::BARRIER_PLAN + plan.written.len() * ctl::PLAN_ENTRY;
+        let plan_named_bytes: usize = plan
+            .named
+            .iter()
+            .map(|r| ctl::WRITE_NOTICE + r.name.len())
+            .sum();
+        let plan_bytes = ctl::BARRIER_PLAN
+            + (plan.written.len() + plan.freed.len()) * ctl::PLAN_ENTRY
+            + plan_named_bytes;
         ctx.traffic.record_recv(plan_bytes);
         let now = ctx
             .clock
@@ -217,21 +259,39 @@ impl BarrierService {
     }
 
     fn build_plan(&self, st: &mut BState, ctx: &SyncCtx) -> BarrierPlan {
-        // Group notices by object.
-        let mut by_obj: std::collections::BTreeMap<u32, (NodeId, Vec<NodeId>)> =
+        // Group notices by object. A freed object is dropped first: the
+        // free wins over concurrent writes, so no diff is ever
+        // scheduled (or computed, §3.4 benefit 1) for it.
+        let mut by_obj: std::collections::BTreeMap<u32, (NodeId, bool, Vec<NodeId>)> =
             std::collections::BTreeMap::new();
-        for &(obj, writer, _size, home) in &st.notices {
-            let entry = by_obj.entry(obj.0).or_insert((home, Vec::new()));
-            debug_assert_eq!(entry.0, home, "inconsistent home views for {obj}");
-            entry.1.push(writer);
+        for &(obj, writer, _size, home, pending) in &st.notices {
+            if st.frees.contains(&obj.0) {
+                continue;
+            }
+            let entry = by_obj.entry(obj.0).or_insert((home, pending, Vec::new()));
+            debug_assert_eq!(
+                (entry.0, entry.1),
+                (home, pending),
+                "inconsistent home views for {obj}"
+            );
+            entry.2.push(writer);
         }
         let mut send_diffs = Vec::new();
         let mut written = Vec::new();
-        for (obj, (home, writers)) in by_obj {
+        for (obj, (home, pending, writers)) in by_obj {
             let obj = ObjectId(obj);
+            // First-touch placement: the first write barrier assigns
+            // the home — the single writer, or the lowest-ranked of
+            // several (the provisional round-robin home never served,
+            // since every copy was the valid zero-fill until now).
+            let home = if pending {
+                *writers.iter().min().expect("noticed objects have writers")
+            } else {
+                home
+            };
             if writers.len() == 1 {
                 let w = writers[0];
-                if self.migration {
+                if self.migration || pending {
                     // Single writer: migrate the home to it; the data
                     // is already there, zero transfer (§3.4 benefit 1).
                     written.push((obj, w));
@@ -254,12 +314,21 @@ impl BarrierService {
                 written.push((obj, home));
             }
         }
+        let freed: Vec<ObjectId> = st.frees.iter().map(|&o| ObjectId(o)).collect();
+        // Commit order: by staging node, then staging order — a pure
+        // function of the interval's calls, independent of rendezvous
+        // arrival order, so faulted runs replay identically.
+        let mut named_keyed = std::mem::take(&mut st.named);
+        named_keyed.sort_by_key(|k| (k.0, k.1));
+        let named: Vec<NamedAllocReq> = named_keyed.into_iter().map(|(_, _, r)| r).collect();
         let processing = SimDuration(ctx.cpu.handler_entry.0 * self.n as u64)
-            + SimDuration(PLAN_ENTRY_COST.0 * written.len() as u64);
+            + SimDuration(PLAN_ENTRY_COST.0 * (written.len() + freed.len() + named.len()) as u64);
         BarrierPlan {
             seq: st.seq,
             send_diffs,
             written,
+            freed,
+            named,
             plan_time: st.enter_max + processing,
         }
     }
@@ -385,12 +454,23 @@ mod tests {
         svc: &Arc<BarrierService>,
         notices: Vec<Vec<Notice>>,
     ) -> Vec<(Arc<BarrierPlan>, SimInstant)> {
+        round_lifecycle(
+            svc,
+            notices.into_iter().map(|n| (n, vec![], vec![])).collect(),
+        )
+    }
+
+    /// Like [`round`], with per-node staged frees and named allocs.
+    fn round_lifecycle(
+        svc: &Arc<BarrierService>,
+        inputs: Vec<(Vec<Notice>, Vec<ObjectId>, Vec<NamedAllocReq>)>,
+    ) -> Vec<(Arc<BarrierPlan>, SimInstant)> {
         let mut handles = Vec::new();
-        for (me, n) in notices.into_iter().enumerate() {
+        for (me, (n, frees, named)) in inputs.into_iter().enumerate() {
             let svc = Arc::clone(svc);
             handles.push(std::thread::spawn(move || {
                 let c = ctx(me);
-                let plan = svc.enter(&c, n);
+                let plan = svc.enter(&c, n, frees, named);
                 svc.drain(&c);
                 (plan, c.clock.now())
             }));
@@ -404,7 +484,7 @@ mod tests {
         let results = round(
             &svc,
             vec![
-                vec![(ObjectId(7), 40, 0)], // node 0 wrote obj7 (home 0)... home=0
+                vec![(ObjectId(7), 40, 0, false)], // node 0 wrote obj7 (home 0)... home=0
                 vec![],
                 vec![],
             ],
@@ -413,7 +493,10 @@ mod tests {
         assert!(plan.send_diffs.is_empty(), "no data transfer on migration");
         assert_eq!(plan.written, vec![(ObjectId(7), 0)]);
         // Writer elsewhere migrates home to the writer.
-        let results = round(&svc, vec![vec![], vec![(ObjectId(7), 40, 0)], vec![]]);
+        let results = round(
+            &svc,
+            vec![vec![], vec![(ObjectId(7), 40, 0, false)], vec![]],
+        );
         let plan = &results[0].0;
         assert!(plan.send_diffs.is_empty());
         assert_eq!(plan.written, vec![(ObjectId(7), 1)]);
@@ -422,7 +505,7 @@ mod tests {
     #[test]
     fn fixed_home_mode_sends_diff_home() {
         let svc = service(2, false);
-        let results = round(&svc, vec![vec![], vec![(ObjectId(3), 16, 0)]]);
+        let results = round(&svc, vec![vec![], vec![(ObjectId(3), 16, 0, false)]]);
         let plan = &results[0].0;
         assert_eq!(plan.send_diffs, vec![(1, ObjectId(3), 0)]);
         assert_eq!(plan.written, vec![(ObjectId(3), 0)]);
@@ -434,9 +517,9 @@ mod tests {
         let results = round(
             &svc,
             vec![
-                vec![(ObjectId(5), 8, 1)],
-                vec![(ObjectId(5), 8, 1)],
-                vec![(ObjectId(5), 8, 1)],
+                vec![(ObjectId(5), 8, 1, false)],
+                vec![(ObjectId(5), 8, 1, false)],
+                vec![(ObjectId(5), 8, 1, false)],
             ],
         );
         let plan = &results[0].0;
@@ -450,6 +533,72 @@ mod tests {
     }
 
     #[test]
+    fn freed_objects_drop_out_of_the_plan_and_union() {
+        let svc = service(3, true);
+        // Node 0 and node 1 both write obj 4; node 2 frees it (and obj
+        // 9, which nobody wrote). Node 1 also frees obj 4 — the union
+        // dedups.
+        let results = round_lifecycle(
+            &svc,
+            vec![
+                (vec![(ObjectId(4), 8, 1, false)], vec![], vec![]),
+                (vec![(ObjectId(4), 8, 1, false)], vec![ObjectId(4)], vec![]),
+                (vec![], vec![ObjectId(4), ObjectId(9)], vec![]),
+            ],
+        );
+        let plan = &results[0].0;
+        assert!(plan.written.is_empty(), "free wins over concurrent writes");
+        assert!(plan.send_diffs.is_empty(), "no diffs for dead objects");
+        assert_eq!(plan.freed, vec![ObjectId(4), ObjectId(9)]);
+    }
+
+    #[test]
+    fn named_commits_order_by_node_then_stage_order() {
+        let svc = service(2, true);
+        let req = |name: &str| NamedAllocReq {
+            name: name.into(),
+            bytes: 64,
+            elem_size: 4,
+            len: 16,
+            placement: crate::config::Placement::RoundRobin,
+        };
+        let results = round_lifecycle(
+            &svc,
+            vec![
+                (vec![], vec![], vec![req("n0-a"), req("n0-b")]),
+                (vec![], vec![], vec![req("n1-a")]),
+            ],
+        );
+        for (plan, _) in &results {
+            let names: Vec<&str> = plan.named.iter().map(|r| r.name.as_str()).collect();
+            assert_eq!(names, vec!["n0-a", "n0-b", "n1-a"]);
+        }
+    }
+
+    #[test]
+    fn first_touch_pending_home_goes_to_lowest_writer() {
+        // Multi-writer pending object: home = lowest-ranked writer.
+        let svc = service(3, true);
+        let results = round(
+            &svc,
+            vec![
+                vec![],
+                vec![(ObjectId(2), 8, 2, true)],
+                vec![(ObjectId(2), 8, 2, true)],
+            ],
+        );
+        let plan = &results[0].0;
+        assert_eq!(plan.written, vec![(ObjectId(2), 1)]);
+        assert_eq!(plan.send_diffs, vec![(2, ObjectId(2), 1)]);
+        // Single pending writer becomes home even without migration.
+        let svc = service(3, false);
+        let results = round(&svc, vec![vec![], vec![], vec![(ObjectId(7), 8, 1, true)]]);
+        let plan = &results[0].0;
+        assert_eq!(plan.written, vec![(ObjectId(7), 2)]);
+        assert!(plan.send_diffs.is_empty());
+    }
+
+    #[test]
     fn exit_time_dominated_by_slowest_node() {
         let svc = service(2, true);
         let mut handles = Vec::new();
@@ -460,7 +609,7 @@ mod tests {
                 if me == 1 {
                     c.clock.advance(SimDuration::from_millis(30)); // slow worker
                 }
-                svc.enter(&c, vec![]);
+                svc.enter(&c, vec![], vec![], vec![]);
                 svc.drain(&c);
                 c.clock.now()
             }));
@@ -482,7 +631,7 @@ mod tests {
                 let svc = Arc::clone(&svc);
                 handles.push(std::thread::spawn(move || {
                     let c = ctx(me);
-                    let plan = svc.enter(&c, vec![]);
+                    let plan = svc.enter(&c, vec![], vec![], vec![]);
                     let seq = svc.drain(&c);
                     (plan.seq, seq)
                 }));

@@ -69,13 +69,17 @@ pub mod protocol;
 pub mod runtime;
 pub mod swap;
 
+pub use alloc::FragStats;
 pub use api::{Dsm, DsmApi, DsmSlice, ObjView, ObjViewMut, SharedSlice, StmtGuard};
-pub use config::{DiffMode, LockProtocol, LotsConfig, SwapConfig, SwapPolicyKind};
+pub use config::{
+    AllocConfig, DiffMode, FitPolicy, LockProtocol, LotsConfig, Placement, SwapConfig,
+    SwapPolicyKind,
+};
 pub use consistency::locks::LockId;
 pub use diff::WordDiff;
 pub use lots_sim::{FaultPlan, PanicFault, SchedulerMode};
 pub use node::{LotsError, SwapAccounting};
-pub use object::ObjectId;
+pub use object::{Life, NamedAllocReq, ObjectId};
 pub use pod::Pod;
 pub use runtime::{run_cluster, ClusterOptions, ClusterReport, NodeReport};
 pub use swap::SwapPolicy;

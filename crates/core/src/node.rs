@@ -7,18 +7,18 @@
 //! pinning) and the node-local halves of §3.4/§3.5 (twins, diffs,
 //! lock-update application, barrier bookkeeping).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use lots_disk::{BackingStore, DiskError};
 use lots_net::NodeId;
 use lots_sim::{CpuModel, DiskQueue, NodeStats, SimClock, SimDuration, SimInstant, TimeCategory};
 
-use crate::alloc::{AllocError, DmmAllocator};
-use crate::config::LotsConfig;
+use crate::alloc::{AllocError, DmmAllocator, FragStats};
+use crate::config::{LotsConfig, Placement};
 use crate::consistency::locks::WordUpdate;
 use crate::diff::WordDiff;
-use crate::object::{Mapping, ObjCtl, ObjectId, Share};
+use crate::object::{Life, Mapping, NamedAllocReq, ObjCtl, ObjectId, Share};
 use crate::swap::{build_policy, Candidate, ImageTwin, SwapImage, SwapPolicy};
 
 /// Errors surfaced to applications.
@@ -50,6 +50,46 @@ pub enum LotsError {
     /// Zero-length allocation: shared objects must hold at least one
     /// element.
     EmptyAlloc,
+    /// Access through a handle to a freed object — the lifecycle
+    /// analogue of the view-guard fences. Raised from `free` to the
+    /// barrier that reclaims the slot, and forever after through any
+    /// stale handle.
+    UseAfterFree {
+        /// The freed object.
+        obj: ObjectId,
+    },
+    /// `free` called with a handle that does not cover the whole
+    /// original allocation (an `offset`/`prefix` sub-slice, a length
+    /// mismatch, or a foreign handle).
+    BadFree {
+        /// The object the handle points into.
+        obj: ObjectId,
+        /// What was wrong with the handle.
+        reason: String,
+    },
+    /// `lookup` of a name with no committed directory entry (never
+    /// allocated, not yet committed at a barrier, or reclaimed by a
+    /// free).
+    NameNotFound {
+        /// The looked-up name.
+        name: String,
+    },
+    /// Typed `lookup::<T>` where `T`'s size disagrees with the element
+    /// size the object was allocated with.
+    NameTypeMismatch {
+        /// The looked-up name.
+        name: String,
+        /// Element size recorded in the directory.
+        expected: usize,
+        /// Element size of the requested `T`.
+        actual: usize,
+    },
+    /// `alloc_named` with a name already in the directory or already
+    /// staged locally this interval.
+    DuplicateName {
+        /// The conflicting name.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for LotsError {
@@ -73,6 +113,31 @@ impl std::fmt::Display for LotsError {
             ),
             LotsError::Disk(e) => write!(f, "backing store: {e}"),
             LotsError::EmptyAlloc => write!(f, "cannot allocate an empty shared object"),
+            LotsError::UseAfterFree { obj } => write!(
+                f,
+                "use after free: {obj} was freed — handles to it are fenced off \
+                 like the view-guard fences"
+            ),
+            LotsError::BadFree { obj, reason } => {
+                write!(f, "free of {obj} rejected: {reason}")
+            }
+            LotsError::NameNotFound { name } => write!(
+                f,
+                "no committed object named {name:?} (named allocations materialize \
+                 at the next barrier)"
+            ),
+            LotsError::NameTypeMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "object {name:?} holds {expected}-byte elements, lookup asked for \
+                 {actual}-byte elements"
+            ),
+            LotsError::DuplicateName { name } => {
+                write!(f, "an object named {name:?} already exists")
+            }
         }
     }
 }
@@ -167,10 +232,43 @@ pub struct NodeState {
     resident_logical: u64,
     /// Logical bytes of objects currently swapped out (`OnDisk`).
     swapped_logical: u64,
+    /// Cumulative logical bytes ever materialized locally (zero-fill
+    /// maps and home fetches; swap round trips do not re-count).
+    materialized_cum: u64,
+    /// Cumulative logical bytes de-materialized locally (barrier
+    /// invalidations and free reclamation).
+    dematerialized_cum: u64,
+    /// Object-table slots reclaimed by frees, awaiting reuse (lowest
+    /// id first, so reuse is deterministic cluster-wide).
+    free_ids: BTreeSet<u32>,
+    /// Replicated name directory: name → (slot, element size, len).
+    /// Identical on every node — entries change only at barriers.
+    names: HashMap<String, NamedEntry>,
+    /// Objects freed this interval (tombstoned; reclaimed cluster-wide
+    /// at the next barrier).
+    freed_pending: Vec<u32>,
+    /// Named allocations staged this interval (committed cluster-wide
+    /// at the next barrier).
+    pending_named: Vec<NamedAllocReq>,
+}
+
+/// One replicated name-directory entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct NamedEntry {
+    id: u32,
+    elem_size: usize,
+    len: usize,
 }
 
 /// A consistent snapshot of the node's swap accounting, used by the
 /// `resident + swapped == allocated` invariant tests.
+///
+/// With the object-lifecycle API the invariant extends across frees:
+/// `resident + swapped + dematerialized == cumulative materialized`,
+/// where *dematerialized* counts bytes released by barrier
+/// invalidations **and** by free reclamation — every byte that was
+/// ever locally materialized is either still here or was accounted
+/// out.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwapAccounting {
     /// Logical bytes of mapped objects (incremental counter).
@@ -184,6 +282,14 @@ pub struct SwapAccounting {
     /// Bytes the backing store actually holds (compressed; includes
     /// retained clean images of currently mapped objects).
     pub store_resident: u64,
+    /// Cumulative logical bytes ever materialized locally.
+    pub materialized_cum: u64,
+    /// Cumulative logical bytes released by invalidations and frees.
+    pub dematerialized_cum: u64,
+    /// Cumulative logical bytes of objects reclaimed by `free` on this
+    /// node (whether or not their data was locally materialized at
+    /// reclaim time; from the `objects_freed` counters).
+    pub freed_bytes: u64,
 }
 
 impl NodeState {
@@ -198,7 +304,12 @@ impl NodeState {
         clock: SimClock,
         stats: NodeStats,
     ) -> NodeState {
-        let alloc = DmmAllocator::new(cfg.dmm_bytes, cfg.small_threshold, cfg.large_threshold);
+        let alloc = DmmAllocator::with_fit(
+            cfg.dmm_bytes,
+            cfg.small_threshold,
+            cfg.large_threshold,
+            cfg.alloc.fit,
+        );
         let policy = build_policy(cfg.swap.policy);
         let diskq = DiskQueue::new(store.model());
         NodeState {
@@ -228,6 +339,12 @@ impl NodeState {
             last_swapin: None,
             resident_logical: 0,
             swapped_logical: 0,
+            materialized_cum: 0,
+            dematerialized_cum: 0,
+            free_ids: BTreeSet::new(),
+            names: HashMap::new(),
+            freed_pending: Vec::new(),
+            pending_named: Vec::new(),
         }
     }
 
@@ -235,16 +352,33 @@ impl NodeState {
     // Allocation (§3.2)
     // ------------------------------------------------------------------
 
+    /// Register a shared object of `size` bytes under the configured
+    /// default placement (see [`NodeState::register_object_placed`]).
+    pub fn register_object(&mut self, size: usize) -> Result<ObjectId, LotsError> {
+        self.register_object_placed(size, self.cfg.alloc.placement)
+    }
+
     /// Register a shared object of `size` bytes (word-aligned up) and
     /// try to map it eagerly, as `alloc()` does in the paper. Returns
-    /// the cluster-wide object id (deterministic: allocation order).
-    pub fn register_object(&mut self, size: usize) -> Result<ObjectId, LotsError> {
+    /// the cluster-wide object id — deterministic: the lowest
+    /// free-reclaimed slot, else a fresh one, so allocation order plus
+    /// the barrier-agreed reclamation history make ids agree
+    /// cluster-wide.
+    pub fn register_object_placed(
+        &mut self,
+        size: usize,
+        placement: Placement,
+    ) -> Result<ObjectId, LotsError> {
+        let req_bytes = size;
         let size = size.div_ceil(4) * 4;
-        let id = ObjectId(self.objects.len() as u32);
-        let home = (id.0 as usize) % self.n; // round-robin initial homes
-        self.objects.push(ObjCtl::new(size, home));
+        let id = self.take_slot();
+        let (home, home_pending) = self.resolve_placement(id, placement);
+        let mut ctl = ObjCtl::new(size, home);
+        ctl.req_bytes = req_bytes;
+        ctl.home_pending = home_pending;
+        self.objects[id.0 as usize] = ctl;
         self.charge(TimeCategory::LargeObject, self.cpu.map_syscall);
-        if self.cfg.large_object_space {
+        let out = if self.cfg.large_object_space {
             // Eager map only while space is free (mmap-like laziness):
             // allocation must not trigger swap traffic for data that has
             // never been touched.
@@ -253,6 +387,7 @@ impl NodeState {
                     self.arena[offset..offset + size].fill(0);
                     self.objects[id.0 as usize].mapping = Mapping::Mapped { offset };
                     self.resident_logical += size as u64;
+                    self.materialized_cum += size as u64;
                     Ok(id)
                 }
                 Err(AllocError::NoSpace { .. }) => Ok(id), // lazy (§3.3)
@@ -270,12 +405,213 @@ impl NodeState {
                 }
                 Err(e) => Err(e),
             }
+        };
+        if out.is_err() {
+            // A failed registration must not consume the slot: the
+            // recoverable try_alloc surface would otherwise leak a
+            // phantom Live object (and a reclaimed id) per failure.
+            let ctl = &mut self.objects[id.0 as usize];
+            debug_assert_eq!(ctl.mapping, Mapping::Unmapped, "failed register never maps");
+            ctl.life = Life::Free;
+            self.free_ids.insert(id.0);
+        }
+        self.sync_frag_gauges();
+        out
+    }
+
+    /// Lowest reclaimed slot, else a fresh one.
+    fn take_slot(&mut self) -> ObjectId {
+        match self.free_ids.iter().next().copied() {
+            Some(id) => {
+                self.free_ids.remove(&id);
+                debug_assert_eq!(self.objects[id as usize].life, Life::Free);
+                ObjectId(id)
+            }
+            None => {
+                let id = self.objects.len() as u32;
+                // Placeholder; the caller overwrites the slot.
+                self.objects.push(ObjCtl::new(4, 0));
+                ObjectId(id)
+            }
         }
     }
 
-    /// Number of registered objects.
+    /// Resolve a [`Placement`] into (initial home, home-pending flag).
+    fn resolve_placement(&self, id: ObjectId, placement: Placement) -> (NodeId, bool) {
+        let round_robin = (id.0 as usize) % self.n;
+        match placement {
+            Placement::RoundRobin => (round_robin, false),
+            Placement::Fixed(node) => {
+                assert!(node < self.n, "Placement::Fixed({node}) outside cluster");
+                (node, false)
+            }
+            // Provisional home; never serves a fetch (all copies stay
+            // zero-valid until the first write barrier assigns the
+            // real home to the first writer).
+            Placement::FirstTouch => (round_robin, true),
+        }
+    }
+
+    /// Refresh the fragmentation gauges mirrored into [`NodeStats`].
+    fn sync_frag_gauges(&self) {
+        let frag = self.alloc.frag_stats();
+        self.stats
+            .set_dmm_gauges(frag.free_bytes, frag.largest_hole);
+    }
+
+    /// Snapshot the DMM allocator's fragmentation state.
+    pub fn frag_stats(&self) -> FragStats {
+        self.alloc.frag_stats()
+    }
+
+    // ------------------------------------------------------------------
+    // Object lifecycle: free, named objects (tombstone → barrier
+    // reclamation; see the module docs of `api`)
+    // ------------------------------------------------------------------
+
+    /// Free a live object: tombstone it immediately (every further
+    /// application access errors with [`LotsError::UseAfterFree`]) and
+    /// stage it for cluster-wide reclamation at the next barrier.
+    /// `req_bytes` must match the original allocation — sub-slice
+    /// handles cannot free.
+    pub fn free_object(&mut self, id: ObjectId, req_bytes: usize) -> Result<(), LotsError> {
+        let idx = id.0 as usize;
+        if idx >= self.objects.len() || self.objects[idx].life != Life::Live {
+            return Err(LotsError::UseAfterFree { obj: id });
+        }
+        if self.objects[idx].req_bytes != req_bytes {
+            return Err(LotsError::BadFree {
+                obj: id,
+                reason: format!(
+                    "handle covers {req_bytes} bytes, the allocation holds {}",
+                    self.objects[idx].req_bytes
+                ),
+            });
+        }
+        self.objects[idx].life = Life::Tombstoned;
+        // The tombstone publishes nothing: drop any pending write
+        // notice so the barrier plan never schedules diffs for it.
+        self.dirty.retain(|&o| o != id.0);
+        self.freed_pending.push(id.0);
+        Ok(())
+    }
+
+    /// Stage a named allocation for commit at the next barrier.
+    pub fn stage_named(&mut self, req: NamedAllocReq) -> Result<(), LotsError> {
+        if self.names.contains_key(&req.name)
+            || self.pending_named.iter().any(|p| p.name == req.name)
+        {
+            return Err(LotsError::DuplicateName { name: req.name });
+        }
+        if req.len == 0 {
+            return Err(LotsError::EmptyAlloc);
+        }
+        self.pending_named.push(req);
+        Ok(())
+    }
+
+    /// Resolve a committed name into its object, checking the element
+    /// size recorded in the replicated directory.
+    pub fn lookup_named(
+        &self,
+        name: &str,
+        elem_size: usize,
+    ) -> Result<(ObjectId, usize), LotsError> {
+        let entry = self
+            .names
+            .get(name)
+            .ok_or_else(|| LotsError::NameNotFound {
+                name: name.to_string(),
+            })?;
+        if self.objects[entry.id as usize].life != Life::Live {
+            return Err(LotsError::UseAfterFree {
+                obj: ObjectId(entry.id),
+            });
+        }
+        if entry.elem_size != elem_size {
+            return Err(LotsError::NameTypeMismatch {
+                name: name.to_string(),
+                expected: entry.elem_size,
+                actual: elem_size,
+            });
+        }
+        Ok((ObjectId(entry.id), entry.len))
+    }
+
+    /// Take the interval's staged frees and named allocations for the
+    /// barrier rendezvous.
+    pub fn take_lifecycle(&mut self) -> (Vec<ObjectId>, Vec<NamedAllocReq>) {
+        let frees = std::mem::take(&mut self.freed_pending)
+            .into_iter()
+            .map(ObjectId)
+            .collect();
+        (frees, std::mem::take(&mut self.pending_named))
+    }
+
+    /// Reclaim one freed slot at a barrier: release its DMM block or
+    /// swap image (through the same path barrier invalidation uses),
+    /// drop its directory entry, and return the id to the free list
+    /// for reuse.
+    fn reclaim(&mut self, id: ObjectId) -> Result<(), LotsError> {
+        let idx = id.0 as usize;
+        debug_assert_ne!(
+            self.objects[idx].life,
+            Life::Free,
+            "{id} reclaimed twice in one barrier"
+        );
+        let size = self.objects[idx].size as u64;
+        self.invalidate_local(id)?;
+        debug_assert!(
+            matches!(self.store.get(id.0 as u64), Err(DiskError::NotFound(_))),
+            "freed {id} must leave no swap image behind"
+        );
+        // The munmap/unlink analogue of the reclamation pass.
+        self.charge(TimeCategory::LargeObject, self.cpu.map_syscall);
+        self.stats.count_object_freed(size);
+        if let Some(name) = self.objects[idx].name.take() {
+            self.names.remove(&name);
+        }
+        let ctl = &mut self.objects[idx];
+        ctl.twin = false;
+        ctl.written = false;
+        ctl.home_pending = false;
+        ctl.life = Life::Free;
+        self.free_ids.insert(id.0);
+        Ok(())
+    }
+
+    /// Commit one barrier-agreed named allocation (every node replays
+    /// the same list in the same order, so the ids agree).
+    fn commit_named(&mut self, req: &NamedAllocReq) -> Result<(), LotsError> {
+        assert!(
+            !self.names.contains_key(&req.name),
+            "named object {:?} committed twice (two nodes staged the same name \
+             in one interval)",
+            req.name
+        );
+        let id = self.register_object_placed(req.bytes, req.placement)?;
+        self.objects[id.0 as usize].name = Some(req.name.clone());
+        self.names.insert(
+            req.name.clone(),
+            NamedEntry {
+                id: id.0,
+                elem_size: req.elem_size,
+                len: req.len,
+            },
+        );
+        Ok(())
+    }
+
+    /// Number of object-table slots (live + tombstoned + reusable):
+    /// the resident control-space footprint. Churn workloads assert
+    /// this stays bounded while cumulative allocations grow unbounded.
     pub fn object_count(&self) -> usize {
         self.objects.len()
+    }
+
+    /// Slots currently reclaimed and awaiting reuse.
+    pub fn free_slots(&self) -> usize {
+        self.free_ids.len()
     }
 
     /// Size in bytes of object `id`.
@@ -356,11 +692,13 @@ impl NodeState {
             }
             Mapping::Unmapped => {
                 self.arena[offset..offset + size].fill(0);
+                self.materialized_cum += size as u64;
             }
             Mapping::Mapped { .. } => unreachable!("checked above"),
         }
         self.objects[idx].mapping = Mapping::Mapped { offset };
         self.resident_logical += size as u64;
+        self.sync_frag_gauges();
         self.apply_pending_updates(id);
         Ok(offset)
     }
@@ -498,6 +836,7 @@ impl NodeState {
             self.diskq.write_batch(self.clock.now(), &write_sizes);
             self.stats.count_swap_batch();
         }
+        self.sync_frag_gauges();
         Ok(())
     }
 
@@ -544,6 +883,11 @@ impl NodeState {
         write: bool,
         checks: u64,
     ) -> Result<Access, LotsError> {
+        if self.objects[id.0 as usize].life != Life::Live {
+            // The status-checking routine is exactly where a freed
+            // object is fenced off — same mechanism as a swap check.
+            return Err(LotsError::UseAfterFree { obj: id });
+        }
         let stmt = self.current_stmt();
         self.stats.count_access_checks(checks);
         let check_t = self.cpu.checks(checks);
@@ -644,7 +988,7 @@ impl NodeState {
     /// Write-invalidate lock mode (§3.4 ablation): drop the local copy
     /// and redirect the next fetch to the last releaser.
     pub fn wi_invalidate(&mut self, id: ObjectId, holder: NodeId) -> Result<(), LotsError> {
-        if holder == self.me {
+        if holder == self.me || self.objects[id.0 as usize].life != Life::Live {
             return Ok(());
         }
         self.invalidate_local(id)?;
@@ -748,6 +1092,12 @@ impl NodeState {
     pub fn apply_lock_updates(&mut self, updates: &[(ObjectId, Vec<WordUpdate>)]) {
         for (id, words) in updates {
             let idx = id.0 as usize;
+            if self.objects[idx].life != Life::Live {
+                // Updates for a tombstoned object die with it at the
+                // next barrier; applying (or parking) them would leak
+                // into a reused slot.
+                continue;
+            }
             let applicable =
                 self.objects[idx].locally_valid() && self.objects[idx].offset().is_some();
             if applicable {
@@ -798,11 +1148,13 @@ impl NodeState {
     // Barrier-path bookkeeping (§3.4 migrating-home write-invalidate)
     // ------------------------------------------------------------------
 
-    /// Phase A of a barrier: take the dirty set as write notices. Diffs
+    /// Phase A of a barrier: take the dirty set as write notices
+    /// (object, size, this node's consistent view of its home, and
+    /// whether a first-touch home assignment is still pending). Diffs
     /// are *not* computed yet — the plan decides which objects are
     /// multi-writer and actually need one (§3.4 benefit 1: a single
     /// writer propagates nothing, so nothing is diffed either).
-    pub fn barrier_collect(&mut self) -> Result<Vec<(ObjectId, usize)>, LotsError> {
+    pub fn barrier_collect(&mut self) -> Result<Vec<(ObjectId, usize, NodeId, bool)>, LotsError> {
         // The barrier opens a fresh statement scope: pins from the last
         // application statement expire, so dirty objects can be swapped
         // in even under full DMM pressure.
@@ -810,7 +1162,10 @@ impl NodeState {
         let dirty = std::mem::take(&mut self.dirty);
         Ok(dirty
             .into_iter()
-            .map(|obj| (ObjectId(obj), self.objects[obj as usize].size))
+            .map(|obj| {
+                let ctl = &self.objects[obj as usize];
+                (ObjectId(obj), ctl.size, ctl.home, ctl.home_pending)
+            })
             .collect())
     }
 
@@ -895,19 +1250,24 @@ impl NodeState {
         Ok(())
     }
 
-    /// Final barrier phase: apply home migrations, invalidate written
-    /// objects we are not home of, clear twins and interval state.
+    /// Final barrier phase: apply home migrations (clearing first-touch
+    /// pending flags the plan resolved), invalidate written objects we
+    /// are not home of, reclaim the barrier-agreed freed set, commit
+    /// the barrier-agreed named allocations, and clear interval state.
     ///
     /// `written` lists every object any node wrote this interval with
     /// its (possibly migrated) home; `seq` becomes the new version.
     pub fn barrier_finish(
         &mut self,
         written: &[(ObjectId, NodeId)],
+        freed: &[ObjectId],
+        named: &[NamedAllocReq],
         seq: u64,
     ) -> Result<(), LotsError> {
         for &(id, home) in written {
             let idx = id.0 as usize;
             self.objects[idx].home = home;
+            self.objects[idx].home_pending = false;
             if home == self.me {
                 // We hold the authoritative copy.
                 self.objects[idx].share = Share::Valid;
@@ -917,6 +1277,14 @@ impl NodeState {
             }
             self.objects[idx].twin = false;
             self.objects[idx].written = false;
+        }
+        // Frees before named commits, so a commit can reuse a slot
+        // reclaimed at this same barrier.
+        for &id in freed {
+            self.reclaim(id)?;
+        }
+        for req in named {
+            self.commit_named(req)?;
         }
         self.barrier_word_guard.clear();
         self.pending_lock_updates.clear();
@@ -941,12 +1309,14 @@ impl NodeState {
             Mapping::Mapped { offset } => {
                 self.alloc.free(offset);
                 self.resident_logical -= size;
+                self.dematerialized_cum += size;
                 if self.objects[idx].clean_on_disk {
                     self.store.remove(id.0 as u64)?;
                 }
             }
             Mapping::OnDisk => {
                 self.swapped_logical -= size;
+                self.dematerialized_cum += size;
                 self.prefetched.remove(&(id.0 as u64));
                 self.store.remove(id.0 as u64)?;
             }
@@ -956,6 +1326,7 @@ impl NodeState {
         self.objects[idx].clean_on_disk = false;
         self.objects[idx].mapping = Mapping::Unmapped;
         self.objects[idx].share = Share::Invalid;
+        self.sync_frag_gauges();
         Ok(())
     }
 
@@ -968,9 +1339,14 @@ impl NodeState {
         self.alloc.used_bytes()
     }
 
-    /// Total logical bytes of all registered objects on this node.
+    /// Total logical bytes of all live (and tombstoned-but-unreclaimed)
+    /// objects on this node.
     pub fn total_object_bytes(&self) -> u64 {
-        self.objects.iter().map(|o| o.size as u64).sum()
+        self.objects
+            .iter()
+            .filter(|o| o.life != Life::Free)
+            .map(|o| o.size as u64)
+            .sum()
     }
 
     /// Bytes of swap images held by the backing store — the bytes
@@ -1009,6 +1385,9 @@ impl NodeState {
             swapped_logical: self.swapped_logical,
             materialized: resident + swapped,
             store_resident: self.store.used_bytes(),
+            materialized_cum: self.materialized_cum,
+            dematerialized_cum: self.dematerialized_cum,
+            freed_bytes: self.stats.freed_object_bytes(),
         };
         assert_eq!(
             acct.resident_logical, resident,
@@ -1017,6 +1396,12 @@ impl NodeState {
         assert_eq!(
             acct.swapped_logical, swapped,
             "swapped counter drifted from the mapping states"
+        );
+        assert_eq!(
+            acct.resident_logical + acct.swapped_logical + acct.dematerialized_cum,
+            acct.materialized_cum,
+            "resident + swapped + dematerialized (invalidated or freed) must \
+             equal the cumulative materialized bytes"
         );
         acct
     }
@@ -1187,6 +1572,26 @@ mod tests {
     }
 
     #[test]
+    fn failed_registration_releases_its_slot() {
+        let mut n = small_node(32 * 1024);
+        let a = n.register_object(64).unwrap();
+        let bytes_before = n.total_object_bytes();
+        // A recoverable failure must not leak a phantom Live object
+        // or burn an id: probe-and-recover allocation stays bounded.
+        for _ in 0..3 {
+            assert!(matches!(
+                n.register_object(64 * 1024),
+                Err(LotsError::ObjectTooLarge { .. })
+            ));
+        }
+        assert_eq!(n.total_object_bytes(), bytes_before);
+        assert_eq!(n.free_slots(), 1, "the failed slot awaits reuse");
+        let b = n.register_object(64).unwrap();
+        assert_eq!(b.0, a.0 + 1, "the released slot is reused");
+        assert_eq!(n.object_count(), 2);
+    }
+
+    #[test]
     fn cs_twin_yields_release_updates() {
         let mut n = small_node(64 * 1024);
         let a = n.register_object(256).unwrap();
@@ -1257,7 +1662,7 @@ mod tests {
         write_words(&mut n, b, &[(0, 2)]);
         let _ = n.barrier_collect().unwrap();
         // a migrates to node 2; b stays home here.
-        n.barrier_finish(&[(a, 2), (b, 1)], 1).unwrap();
+        n.barrier_finish(&[(a, 2), (b, 1)], &[], &[], 1).unwrap();
         assert_eq!(n.ctl(a).share, Share::Invalid);
         assert_eq!(n.ctl(a).mapping, Mapping::Unmapped);
         assert_eq!(n.ctl(a).home, 2);
@@ -1353,6 +1758,151 @@ mod tests {
         for (k, &o) in objs.iter().take(4).enumerate() {
             assert_eq!(read_word(&mut n, o, 0), k as u32 + 1);
         }
+    }
+
+    #[test]
+    fn free_tombstones_then_barrier_reclaims_and_reuses_the_slot() {
+        let mut n = small_node(64 * 1024);
+        let a = n.register_object(256).unwrap();
+        let b = n.register_object(256).unwrap();
+        write_words(&mut n, a, &[(0, 7)]);
+        n.free_object(a, 256).unwrap();
+        // Tombstoned: fenced off immediately, slot still consumed.
+        assert!(matches!(
+            n.begin_access(a, false, 1),
+            Err(LotsError::UseAfterFree { .. })
+        ));
+        assert!(matches!(
+            n.free_object(a, 256),
+            Err(LotsError::UseAfterFree { .. })
+        ));
+        assert_eq!(n.object_count(), 2);
+        // The write never becomes a notice; the free rides the barrier.
+        let notices = n.barrier_collect().unwrap();
+        assert!(notices.is_empty(), "freed object publishes nothing");
+        let (frees, named) = n.take_lifecycle();
+        assert_eq!(frees, vec![a]);
+        assert!(named.is_empty());
+        n.barrier_finish(&[], &frees, &[], 1).unwrap();
+        assert_eq!(n.free_slots(), 1);
+        assert_eq!(n.ctl(a).life, Life::Free);
+        // Reuse: the next registration takes the reclaimed id.
+        let c = n.register_object(64).unwrap();
+        assert_eq!(c, a, "lowest reclaimed slot is reused");
+        assert_eq!(n.object_count(), 2);
+        assert_eq!(read_word(&mut n, c, 0), 0, "reused slot is zero-filled");
+        let _ = b;
+    }
+
+    #[test]
+    fn free_of_swapped_out_object_drops_the_disk_image() {
+        let mut n = small_node(32 * 1024);
+        let a = n.register_object(9 * 1024).unwrap();
+        let b = n.register_object(9 * 1024).unwrap();
+        write_words(&mut n, a, &[(0, 1)]);
+        write_words(&mut n, b, &[(0, 2)]); // evicts dirty a to disk
+        assert!(matches!(n.ctl(a).mapping, Mapping::OnDisk));
+        let store_before = n.swapped_bytes();
+        assert!(store_before > 0);
+        n.free_object(a, 9 * 1024).unwrap();
+        let (frees, _) = n.take_lifecycle();
+        let _ = n.barrier_collect().unwrap();
+        n.barrier_finish(&[(b, 0)], &frees, &[], 1).unwrap();
+        assert_eq!(n.swapped_bytes(), 0, "freed image leaves the store");
+        let acct = n.swap_accounting();
+        assert_eq!(acct.freed_bytes, 9 * 1024);
+        assert_eq!(
+            acct.resident_logical + acct.swapped_logical + acct.dematerialized_cum,
+            acct.materialized_cum
+        );
+        assert_eq!(n.stats.objects_freed(), 1);
+    }
+
+    #[test]
+    fn bad_free_rejects_size_mismatch() {
+        let mut n = small_node(64 * 1024);
+        let a = n.register_object(256).unwrap();
+        assert!(matches!(
+            n.free_object(a, 128),
+            Err(LotsError::BadFree { .. })
+        ));
+        assert_eq!(n.ctl(a).life, Life::Live);
+    }
+
+    #[test]
+    fn named_commit_and_lookup_roundtrip() {
+        let mut n = small_node(64 * 1024);
+        n.stage_named(NamedAllocReq {
+            name: "grid".into(),
+            bytes: 64,
+            elem_size: 4,
+            len: 16,
+            placement: Placement::RoundRobin,
+        })
+        .unwrap();
+        // Duplicate staging rejected before commit.
+        assert!(matches!(
+            n.stage_named(NamedAllocReq {
+                name: "grid".into(),
+                bytes: 4,
+                elem_size: 4,
+                len: 1,
+                placement: Placement::RoundRobin,
+            }),
+            Err(LotsError::DuplicateName { .. })
+        ));
+        // Not visible before the barrier.
+        assert!(matches!(
+            n.lookup_named("grid", 4),
+            Err(LotsError::NameNotFound { .. })
+        ));
+        let (frees, named) = n.take_lifecycle();
+        n.barrier_finish(&[], &frees, &named, 1).unwrap();
+        let (id, len) = n.lookup_named("grid", 4).unwrap();
+        assert_eq!(len, 16);
+        assert_eq!(n.object_size(id), 64);
+        // Wrong element size is a typed-lookup error.
+        assert!(matches!(
+            n.lookup_named("grid", 8),
+            Err(LotsError::NameTypeMismatch { .. })
+        ));
+        // Freeing the named object removes the directory entry.
+        n.free_object(id, 64).unwrap();
+        let (frees, _) = n.take_lifecycle();
+        n.barrier_finish(&[], &frees, &[], 2).unwrap();
+        assert!(matches!(
+            n.lookup_named("grid", 4),
+            Err(LotsError::NameNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn placement_resolves_homes() {
+        let store = Arc::new(MemStore::new(DiskModel {
+            per_op: SimDuration::ZERO,
+            write_bps: u64::MAX,
+            read_bps: u64::MAX,
+        }));
+        let mut n = NodeState::new(
+            1,
+            4,
+            LotsConfig::small(64 * 1024),
+            pentium4_2ghz(),
+            store,
+            SimClock::new(),
+            NodeStats::new(),
+        );
+        let rr = n.register_object_placed(64, Placement::RoundRobin).unwrap();
+        assert_eq!(n.home_of(rr), rr.0 as usize % 4);
+        assert!(!n.ctl(rr).home_pending);
+        let fx = n.register_object_placed(64, Placement::Fixed(3)).unwrap();
+        assert_eq!(n.home_of(fx), 3);
+        let ft = n.register_object_placed(64, Placement::FirstTouch).unwrap();
+        assert!(n.ctl(ft).home_pending);
+        // The barrier's written list assigns the real home.
+        n.barrier_finish(&[(ft, 2)], &[], &[], 1).unwrap();
+        assert_eq!(n.home_of(ft), 2);
+        assert!(!n.ctl(ft).home_pending);
     }
 
     #[test]

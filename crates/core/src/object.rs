@@ -11,6 +11,27 @@
 
 use lots_net::NodeId;
 
+use crate::config::Placement;
+
+/// A staged named allocation, committed cluster-wide at the next
+/// barrier: every node replays the same deterministic commit list, so
+/// object ids (and the replicated name directory) agree without any
+/// lockstep-allocation assumption — the allocating node can be the
+/// only caller.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NamedAllocReq {
+    /// Directory name (`lookup` key).
+    pub name: String,
+    /// Requested byte size (element count × element size).
+    pub bytes: usize,
+    /// Element size, checked by typed `lookup::<T>` calls.
+    pub elem_size: usize,
+    /// Element count.
+    pub len: usize,
+    /// Initial-home placement of the committed object.
+    pub placement: Placement,
+}
+
 /// Cluster-wide unique object identifier. Fits in 4 bytes so the
 /// user-facing handle keeps the size of a C++ pointer (§3.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -34,6 +55,30 @@ pub enum Mapping {
     },
     /// Swapped out to the local backing store.
     OnDisk,
+}
+
+/// Lifecycle state of an object-table slot.
+///
+/// `free(slice)` tombstones the object immediately — every further
+/// application access panics like the view-guard fences — and the
+/// slot's DMM/twin/control space, swap image and directory entries are
+/// reclaimed cluster-wide at the next barrier, after which the slot
+/// (and its [`ObjectId`]) is reused by later allocations. The fence
+/// persists through the `Free` state, but once the slot is *reused* a
+/// stale `Copy` of the old handle aliases the new object — the
+/// dangling-pointer hazard of the real system (handles stay 4 bytes,
+/// §3.3, so there is no generation tag to catch it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Life {
+    /// Allocated and accessible.
+    #[default]
+    Live,
+    /// Freed this interval: data still materialized (the home must
+    /// keep serving remote readers until the barrier) but local
+    /// application access panics.
+    Tombstoned,
+    /// Reclaimed at a barrier; the slot awaits reuse.
+    Free,
 }
 
 /// Coherence state of the local copy.
@@ -73,6 +118,17 @@ pub struct ObjCtl {
     /// clean re-eviction can skip the disk write ("every object is
     /// swapped out once", §4.3).
     pub clean_on_disk: bool,
+    /// Lifecycle state of this slot (see [`Life`]).
+    pub life: Life,
+    /// Requested (pre-word-rounding) byte size — `free` validates that
+    /// the handle covers the whole original allocation.
+    pub req_bytes: usize,
+    /// Name in the replicated directory, if this object was allocated
+    /// through `alloc_named` (cleared when the slot is reclaimed).
+    pub name: Option<String>,
+    /// First-touch placement: the home is provisional until the first
+    /// barrier at which the object was written assigns the real one.
+    pub home_pending: bool,
 }
 
 impl ObjCtl {
@@ -90,6 +146,10 @@ impl ObjCtl {
             twin: false,
             written: false,
             clean_on_disk: false,
+            life: Life::Live,
+            req_bytes: size,
+            name: None,
+            home_pending: false,
         }
     }
 

@@ -132,6 +132,12 @@ pub struct NodeReport {
     pub swapped_logical_bytes: u64,
     /// Logical bytes of objects still mapped in the DMM area at exit.
     pub resident_bytes: u64,
+    /// DMM fragmentation snapshot at exit (free bytes, largest hole,
+    /// external-fragmentation ratio).
+    pub frag: crate::alloc::FragStats,
+    /// Object-table slots at exit (control-space footprint; bounded
+    /// under churn while cumulative allocations grow).
+    pub object_slots: usize,
 }
 
 /// Cluster-wide outcome.
@@ -399,6 +405,8 @@ where
                 swapped_bytes: node.swapped_bytes(),
                 swapped_logical_bytes: node.swapped_logical_bytes(),
                 resident_bytes: node.resident_logical_bytes(),
+                frag: node.frag_stats(),
+                object_slots: node.object_count(),
             }
         })
         .collect();

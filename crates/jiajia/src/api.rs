@@ -21,7 +21,7 @@ use crossbeam::channel::{Receiver, TryRecvError};
 use lots_core::api::{element_bounds, range_bounds};
 use lots_core::consistency::SyncCtx;
 use lots_core::pod::Pod;
-use lots_core::{DsmApi, DsmSlice};
+use lots_core::{DsmApi, DsmSlice, NamedAllocReq, Placement};
 use lots_net::{Envelope, NetSender, NodeId, TrafficStats, WireSize};
 use lots_sim::{NodeStats, SimInstant, TimeCategory};
 use parking_lot::Mutex;
@@ -135,18 +135,84 @@ impl DsmApi for JiaDsm {
         })
     }
 
+    /// `jia_alloc` with an explicit page placement ([`Placement`]
+    /// drives the per-page home assignment of §4.1).
+    fn try_alloc_placed<T: Pod>(
+        &self,
+        len: usize,
+        placement: Placement,
+    ) -> Result<JiaSlice<'_, T>, JiaError> {
+        if len == 0 {
+            return Err(JiaError::EmptyAlloc);
+        }
+        let addr = self
+            .node
+            .lock()
+            .jia_alloc_placed(len * T::SIZE, placement)?;
+        Ok(JiaSlice {
+            dsm: self,
+            addr,
+            len,
+            _pd: PhantomData,
+        })
+    }
+
+    /// Page-granular free: tombstones the allocation's pages
+    /// immediately and reclaims the range cluster-wide at the next
+    /// barrier.
+    fn try_free<T: Pod>(&self, slice: JiaSlice<'_, T>) -> Result<(), JiaError> {
+        self.assert_no_views_over(slice.addr, slice.len * T::SIZE, "free");
+        self.node.lock().free_alloc(slice.addr, slice.len * T::SIZE)
+    }
+
+    fn try_alloc_named<T: Pod>(&self, name: &str, len: usize) -> Result<(), JiaError> {
+        let placement = self.node.lock().default_placement;
+        self.try_alloc_named_placed::<T>(name, len, placement)
+    }
+
+    fn try_alloc_named_placed<T: Pod>(
+        &self,
+        name: &str,
+        len: usize,
+        placement: Placement,
+    ) -> Result<(), JiaError> {
+        if len == 0 {
+            return Err(JiaError::EmptyAlloc);
+        }
+        self.node.lock().stage_named(NamedAllocReq {
+            name: name.to_string(),
+            bytes: len * T::SIZE,
+            elem_size: T::SIZE,
+            len,
+            placement,
+        })
+    }
+
+    fn try_lookup<T: Pod>(&self, name: &str) -> Result<JiaSlice<'_, T>, JiaError> {
+        let (addr, len) = self.node.lock().lookup_named(name, T::SIZE)?;
+        Ok(JiaSlice {
+            dsm: self,
+            addr,
+            len,
+            _pd: PhantomData,
+        })
+    }
+
     /// One flat allocation carved into `chunks` consecutive ranges —
     /// real JIAJIA has no object granularity, so chunks share pages
     /// wherever `chunk_len` is not a page multiple.
-    fn alloc_chunks<T: Pod>(&self, chunks: usize, chunk_len: usize) -> Vec<JiaSlice<'_, T>> {
-        assert!(
-            chunks > 0 && chunk_len > 0,
-            "chunked alloc must be non-empty"
-        );
-        let flat = self.alloc::<T>(chunks * chunk_len);
-        (0..chunks)
+    fn try_alloc_chunks<T: Pod>(
+        &self,
+        chunks: usize,
+        chunk_len: usize,
+    ) -> Result<Vec<JiaSlice<'_, T>>, JiaError> {
+        if chunks == 0 || chunk_len == 0 {
+            return Err(JiaError::EmptyAlloc);
+        }
+        let flat = self.try_alloc::<T>(chunks * chunk_len)?;
+        Ok((0..chunks)
             .map(|c| flat.offset(c * chunk_len).prefix(chunk_len))
-            .collect()
+            .collect())
     }
 
     /// Global barrier: flush diffs to homes, exchange write notices,
@@ -163,7 +229,12 @@ impl DsmApi for JiaDsm {
         }
         let (diffs, notices) = self.node.lock().flush_dirty();
         self.flush_diffs(diffs);
-        let round = self.barrier.enter(&self.ctx, notices);
+        let (frees, named) = self.node.lock().take_lifecycle();
+        let round = self.barrier.enter(&self.ctx, notices, frees, named);
+        let mut node = self.node.lock();
+        // First-touch placement resolves before invalidation, so the
+        // new home keeps its (authoritative) copy.
+        node.resolve_pending_homes(&round.written);
         // A page stays valid at its sole writer (it holds the newest
         // data); everyone else — including the writers of a falsely
         // shared page — must refetch from the home.
@@ -173,7 +244,6 @@ impl DsmApi for JiaDsm {
             .filter(|n| n.multi || n.writer != self.me)
             .map(|n| n.page)
             .collect();
-        let mut node = self.node.lock();
         node.invalidate(&stale, round.seq);
         // Version bookkeeping for pages this node kept.
         let kept: Vec<u32> = round
@@ -183,6 +253,9 @@ impl DsmApi for JiaDsm {
             .map(|n| n.page)
             .collect();
         node.bump_versions(&kept, round.seq);
+        // Reclaim the cluster-agreed freed ranges and commit the named
+        // allocations (deterministic order on every node).
+        node.finish_lifecycle(&round.freed, &round.named, round.seq);
     }
 
     /// Acquire a lock, invalidating pages its notices name.
@@ -227,6 +300,21 @@ impl JiaDsm {
             self.live_views.get(),
             0,
             "{what} while view guards are live — drop views before synchronizing"
+        );
+    }
+
+    /// Panic (fence-style) if any live guard overlaps
+    /// `[addr, addr + len)`.
+    fn assert_no_views_over(&self, addr: usize, len: usize, what: &str) {
+        assert!(
+            !self
+                .view_spans
+                .borrow()
+                .iter()
+                .any(|s| s.start < addr + len && addr < s.end),
+            "{what} of shared bytes {addr:#x}..{:#x} while a view guard over them \
+             is live — drop it first",
+            addr + len
         );
     }
 

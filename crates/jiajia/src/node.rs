@@ -1,9 +1,12 @@
 //! Per-node state of the JIAJIA baseline: the shared-space mirror,
-//! page cache, twins and diff bookkeeping.
+//! page cache, twins and diff bookkeeping — plus the page-granular
+//! object lifecycle (free-list allocation, free/reclaim, the
+//! replicated name directory) mirroring the LOTS surface.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use lots_core::diff::WordDiff;
+use lots_core::{NamedAllocReq, Placement};
 use lots_net::NodeId;
 use lots_sim::{CpuModel, NodeStats, SimClock, SimDuration, TimeCategory};
 
@@ -23,6 +26,39 @@ pub enum JiaError {
     /// Zero-length allocation: shared arrays must hold at least one
     /// element.
     EmptyAlloc,
+    /// Access through a handle to a freed allocation — the lifecycle
+    /// analogue of the view-guard fences.
+    UseAfterFree {
+        /// Base address of the freed allocation.
+        addr: usize,
+    },
+    /// `free` called with a handle that does not cover one whole
+    /// original allocation.
+    BadFree {
+        /// Address the handle points at.
+        addr: usize,
+        /// What was wrong with the handle.
+        reason: String,
+    },
+    /// `lookup` of a name with no committed directory entry.
+    NameNotFound {
+        /// The looked-up name.
+        name: String,
+    },
+    /// Typed `lookup::<T>` with the wrong element size.
+    NameTypeMismatch {
+        /// The looked-up name.
+        name: String,
+        /// Element size recorded in the directory.
+        expected: usize,
+        /// Element size of the requested `T`.
+        actual: usize,
+    },
+    /// `alloc_named` with a name already in the directory or staged.
+    DuplicateName {
+        /// The conflicting name.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for JiaError {
@@ -33,6 +69,31 @@ impl std::fmt::Display for JiaError {
                 "jia_alloc of {requested} bytes exceeds the {limit}-byte shared space"
             ),
             JiaError::EmptyAlloc => write!(f, "cannot allocate an empty shared array"),
+            JiaError::UseAfterFree { addr } => write!(
+                f,
+                "use after free: allocation at {addr:#x} was freed — handles to it \
+                 are fenced off like the view-guard fences"
+            ),
+            JiaError::BadFree { addr, reason } => {
+                write!(f, "free of allocation at {addr:#x} rejected: {reason}")
+            }
+            JiaError::NameNotFound { name } => write!(
+                f,
+                "no committed object named {name:?} (named allocations materialize \
+                 at the next barrier)"
+            ),
+            JiaError::NameTypeMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "object {name:?} holds {expected}-byte elements, lookup asked for \
+                 {actual}-byte elements"
+            ),
+            JiaError::DuplicateName { name } => {
+                write!(f, "an object named {name:?} already exists")
+            }
         }
     }
 }
@@ -51,6 +112,28 @@ pub enum PageAccess {
     },
 }
 
+/// One live allocation (page-granular, as `jia_alloc` rounds to
+/// pages).
+#[derive(Debug, Clone)]
+struct JiaAlloc {
+    /// Pages covered.
+    pages: usize,
+    /// Requested byte size (pre-rounding); `free` must match it.
+    bytes: usize,
+    /// Freed this interval (tombstoned until the barrier reclaims).
+    tombstoned: bool,
+    /// Directory name, if allocated through `alloc_named`.
+    name: Option<String>,
+}
+
+/// One replicated name-directory entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct JiaNamedEntry {
+    addr: usize,
+    elem_size: usize,
+    len: usize,
+}
+
 /// Per-node JIAJIA state (behind a mutex, shared with the comm thread).
 pub struct JiaNode {
     pub me: NodeId,
@@ -61,7 +144,21 @@ pub struct JiaNode {
     twins: HashMap<u32, Vec<u8>>,
     /// Pages this node wrote since the last flush.
     dirty: Vec<u32>,
-    alloc_cursor: usize,
+    /// Free page extents: first page → page count (first-fit lowest,
+    /// coalesced on reclaim). Every node performs the same allocations
+    /// and replays the same barrier-agreed reclamations, so addresses
+    /// agree cluster-wide.
+    free_pages: BTreeMap<usize, usize>,
+    /// Live (and tombstoned) allocations by base address.
+    allocs: BTreeMap<usize, JiaAlloc>,
+    /// Replicated name directory (changes only at barriers).
+    names: HashMap<String, JiaNamedEntry>,
+    /// Freed allocations staged this interval: (first page, pages).
+    freed_pending: Vec<(u32, u32)>,
+    /// Named allocations staged this interval.
+    pending_named: Vec<NamedAllocReq>,
+    /// Default placement for unadorned allocs.
+    pub default_placement: Placement,
     pub clock: SimClock,
     pub stats: NodeStats,
     pub cpu: CpuModel,
@@ -90,7 +187,12 @@ impl JiaNode {
             pages: (0..n_pages).map(|p| PageCtl::new(p % n)).collect(),
             twins: HashMap::new(),
             dirty: Vec::new(),
-            alloc_cursor: 0,
+            free_pages: std::iter::once((0, n_pages)).collect(),
+            allocs: BTreeMap::new(),
+            names: HashMap::new(),
+            freed_pending: Vec::new(),
+            pending_named: Vec::new(),
+            default_placement: Placement::RoundRobin,
             clock,
             stats,
             cpu,
@@ -102,28 +204,271 @@ impl JiaNode {
         self.stats.charge(cat, d);
     }
 
-    /// Bump-allocate `bytes` of shared space (JIAJIA's `jia_alloc`).
-    /// Every node performs the same allocations, so addresses agree.
+    /// Allocate `bytes` of shared space (JIAJIA's `jia_alloc`) under
+    /// the node's default placement. Collective: every node performs
+    /// the same allocations, so addresses agree.
     pub fn jia_alloc(&mut self, bytes: usize) -> Result<usize, JiaError> {
+        self.jia_alloc_placed(bytes, self.default_placement)
+    }
+
+    /// [`JiaNode::jia_alloc`] with an explicit page placement.
+    /// First-fit over the free page extents: the lowest-addressed
+    /// extent that fits — freed ranges are *reused*, so a cumulative
+    /// allocation history far beyond `shared_bytes` fits a fixed
+    /// space. `jia_alloc` rounds to pages, so distinct allocations
+    /// never share a page (but rows *within* one allocation do — the
+    /// false sharing the paper analyses in LU).
+    pub fn jia_alloc_placed(
+        &mut self,
+        bytes: usize,
+        placement: Placement,
+    ) -> Result<usize, JiaError> {
         let limit = self.mem.len();
-        // jia_alloc rounds to pages, so distinct allocations never
-        // share a page (but rows *within* one allocation do — the false
-        // sharing the paper analyses in LU).
-        let rounded = bytes.div_ceil(PAGE_BYTES) * PAGE_BYTES;
-        if self.alloc_cursor + rounded > limit {
+        let pages = bytes.div_ceil(PAGE_BYTES).max(1);
+        let Some(first) = self
+            .free_pages
+            .iter()
+            .find(|&(_, &len)| len >= pages)
+            .map(|(&p, _)| p)
+        else {
             return Err(JiaError::OutOfSharedMemory {
                 requested: bytes,
                 limit,
             });
+        };
+        let extent = self.free_pages.remove(&first).expect("extent exists");
+        if extent > pages {
+            self.free_pages.insert(first + pages, extent - pages);
         }
-        let addr = self.alloc_cursor;
-        self.alloc_cursor += rounded;
-        Ok(addr)
+        for p in first..first + pages {
+            let (home, pending) = match placement {
+                Placement::RoundRobin => (p % self.n, false),
+                Placement::Fixed(node) => {
+                    assert!(node < self.n, "Placement::Fixed({node}) outside cluster");
+                    (node, false)
+                }
+                Placement::FirstTouch => (p % self.n, true),
+            };
+            let mut ctl = PageCtl::new(home);
+            ctl.pending = pending;
+            ctl.version = self.pages[p].version;
+            self.pages[p] = ctl;
+        }
+        self.allocs.insert(
+            page_base(first),
+            JiaAlloc {
+                pages,
+                bytes,
+                tombstoned: false,
+                name: None,
+            },
+        );
+        Ok(page_base(first))
+    }
+
+    // ------------------------------------------------------------------
+    // Object lifecycle: free, named objects (tombstone → barrier
+    // reclamation, page-granular)
+    // ------------------------------------------------------------------
+
+    /// Free a live allocation: tombstone its pages immediately (every
+    /// further application access panics with the use-after-free
+    /// fence) and stage the range for cluster-wide reclamation at the
+    /// next barrier.
+    pub fn free_alloc(&mut self, addr: usize, bytes: usize) -> Result<(), JiaError> {
+        let Some(info) = self.allocs.get(&addr) else {
+            return Err(JiaError::BadFree {
+                addr,
+                reason: "not the base address of a live allocation — free needs \
+                         the original allocation handle"
+                    .into(),
+            });
+        };
+        if info.tombstoned {
+            return Err(JiaError::UseAfterFree { addr });
+        }
+        if info.bytes != bytes {
+            return Err(JiaError::BadFree {
+                addr,
+                reason: format!(
+                    "handle covers {bytes} bytes, the allocation holds {}",
+                    info.bytes
+                ),
+            });
+        }
+        let pages = info.pages;
+        let first = addr / PAGE_BYTES;
+        self.allocs.get_mut(&addr).expect("checked").tombstoned = true;
+        for p in first..first + pages {
+            self.pages[p].freed = true;
+            // The tombstone publishes nothing: drop pending diffs.
+            self.twins.remove(&(p as u32));
+            self.pages[p].twin = false;
+        }
+        self.dirty
+            .retain(|&p| !(first..first + pages).contains(&(p as usize)));
+        self.freed_pending.push((first as u32, pages as u32));
+        Ok(())
+    }
+
+    /// Stage a named allocation for commit at the next barrier.
+    pub fn stage_named(&mut self, req: NamedAllocReq) -> Result<(), JiaError> {
+        if self.names.contains_key(&req.name)
+            || self.pending_named.iter().any(|p| p.name == req.name)
+        {
+            return Err(JiaError::DuplicateName { name: req.name });
+        }
+        if req.len == 0 {
+            return Err(JiaError::EmptyAlloc);
+        }
+        self.pending_named.push(req);
+        Ok(())
+    }
+
+    /// Resolve a committed name, checking the recorded element size.
+    pub fn lookup_named(&self, name: &str, elem_size: usize) -> Result<(usize, usize), JiaError> {
+        let entry = self.names.get(name).ok_or_else(|| JiaError::NameNotFound {
+            name: name.to_string(),
+        })?;
+        if self.allocs.get(&entry.addr).is_none_or(|a| a.tombstoned) {
+            return Err(JiaError::UseAfterFree { addr: entry.addr });
+        }
+        if entry.elem_size != elem_size {
+            return Err(JiaError::NameTypeMismatch {
+                name: name.to_string(),
+                expected: entry.elem_size,
+                actual: elem_size,
+            });
+        }
+        Ok((entry.addr, entry.len))
+    }
+
+    /// Take the interval's staged frees and named allocations for the
+    /// barrier rendezvous.
+    pub fn take_lifecycle(&mut self) -> (Vec<(u32, u32)>, Vec<NamedAllocReq>) {
+        (
+            std::mem::take(&mut self.freed_pending),
+            std::mem::take(&mut self.pending_named),
+        )
+    }
+
+    /// First-touch resolution at barrier exit: a pending page written
+    /// this interval is re-homed to its (lowest-ranked) writer when it
+    /// had exactly one — safe, because the writer's copy equals the
+    /// provisional home's copy once the diff flush is acknowledged.
+    /// Multi-writer pending pages keep the provisional home (the diffs
+    /// already merged there).
+    pub fn resolve_pending_homes(&mut self, written: &[crate::services::PageNotice]) {
+        for notice in written {
+            let p = notice.page as usize;
+            if !self.pages[p].pending || self.pages[p].freed {
+                continue;
+            }
+            if !notice.multi {
+                self.pages[p].home = notice.writer;
+            }
+            self.pages[p].pending = false;
+        }
+    }
+
+    /// Barrier exit: reclaim the cluster-agreed freed ranges (zero the
+    /// pages back to the fresh-allocation state on every node, return
+    /// the range to the free list, drop directory entries) and commit
+    /// the agreed named allocations in deterministic order.
+    pub fn finish_lifecycle(&mut self, freed: &[(u32, u32)], named: &[NamedAllocReq], seq: u64) {
+        for &(first, pages) in freed {
+            self.reclaim_range(first as usize, pages as usize, seq);
+        }
+        for req in named {
+            assert!(
+                !self.names.contains_key(&req.name),
+                "named object {:?} committed twice (two nodes staged the same \
+                 name in one interval)",
+                req.name
+            );
+            let addr = self
+                .jia_alloc_placed(req.bytes, req.placement)
+                .unwrap_or_else(|e| panic!("committing named {:?}: {e}", req.name));
+            self.allocs.get_mut(&addr).expect("just allocated").name = Some(req.name.clone());
+            self.names.insert(
+                req.name.clone(),
+                JiaNamedEntry {
+                    addr,
+                    elem_size: req.elem_size,
+                    len: req.len,
+                },
+            );
+        }
+    }
+
+    /// Reclaim one freed page range: every node resets the pages to
+    /// the fresh state (zero bytes, valid, round-robin home at `seq`),
+    /// so a reuse starts from a cluster-consistent zero fill.
+    fn reclaim_range(&mut self, first: usize, pages: usize, seq: u64) {
+        let addr = page_base(first);
+        if let Some(info) = self.allocs.remove(&addr) {
+            debug_assert_eq!(info.pages, pages, "free range disagrees with allocation");
+            if let Some(name) = info.name {
+                self.names.remove(&name);
+            }
+            self.stats.count_object_freed((pages * PAGE_BYTES) as u64);
+        }
+        for p in first..first + pages {
+            self.twins.remove(&(p as u32));
+            self.mem[page_base(p)..page_base(p) + PAGE_BYTES].fill(0);
+            let mut ctl = PageCtl::new(p % self.n);
+            ctl.version = seq;
+            self.pages[p] = ctl;
+        }
+        self.dirty
+            .retain(|&p| !(first..first + pages).contains(&(p as usize)));
+        // Return the range to the free list, coalescing neighbours.
+        let mut start = first;
+        let mut len = pages;
+        if let Some((&p_off, &p_len)) = self.free_pages.range(..first).next_back() {
+            if p_off + p_len == first {
+                self.free_pages.remove(&p_off);
+                start = p_off;
+                len += p_len;
+            }
+        }
+        if let Some(&n_len) = self.free_pages.get(&(first + pages)) {
+            self.free_pages.remove(&(first + pages));
+            len += n_len;
+        }
+        self.free_pages.insert(start, len);
+    }
+
+    /// Free shared pages (diagnostics; the space a fresh allocation
+    /// could still take).
+    pub fn free_page_count(&self) -> usize {
+        self.free_pages.values().sum()
+    }
+
+    /// Live (non-tombstoned) allocations.
+    pub fn live_allocs(&self) -> usize {
+        self.allocs.values().filter(|a| !a.tombstoned).count()
+    }
+
+    /// Panic with the use-after-free fence if any page of
+    /// `[addr, addr+len)` is tombstoned.
+    fn fence_freed(&self, addr: usize, len: usize) {
+        for (page, _, _) in split_range(addr, len) {
+            assert!(
+                !self.pages[page].freed,
+                "use after free: shared bytes {:#x}..{:#x} belong to a freed \
+                 allocation — handles to it are fenced off like the view-guard \
+                 fences",
+                addr,
+                addr + len
+            );
+        }
     }
 
     /// Begin a read of `[addr, addr+len)`: returns the first page that
     /// needs fetching, if any (the caller fetches and retries).
     pub fn begin_read(&mut self, addr: usize, len: usize) -> PageAccess {
+        self.fence_freed(addr, len);
         for (page, _, _) in split_range(addr, len) {
             let ctl = &self.pages[page];
             if ctl.home != self.me && ctl.state == PageState::Invalid {
@@ -142,6 +487,7 @@ impl JiaNode {
     /// Begin a write: like a read, plus twin creation (write fault) on
     /// the first write to each non-home page this interval.
     pub fn begin_write(&mut self, addr: usize, len: usize) -> PageAccess {
+        self.fence_freed(addr, len);
         for (page, _, _) in split_range(addr, len) {
             let home = self.pages[page].home;
             if home != self.me && self.pages[page].state == PageState::Invalid {
@@ -384,6 +730,98 @@ mod tests {
             PageAccess::Ready,
             "home copy never invalid"
         );
+    }
+
+    #[test]
+    fn free_tombstones_pages_then_reclaim_reuses_the_range() {
+        let mut n = node(0, 2);
+        let a = n.jia_alloc(2 * PAGE_BYTES).unwrap();
+        let b = n.jia_alloc(PAGE_BYTES).unwrap();
+        assert_eq!(n.begin_write(a, 8), PageAccess::Ready);
+        n.bytes_mut(a, 4).copy_from_slice(&7u32.to_le_bytes());
+        n.free_alloc(a, 2 * PAGE_BYTES).unwrap();
+        // Double free and size mismatch are rejected.
+        assert!(matches!(
+            n.free_alloc(a, 2 * PAGE_BYTES),
+            Err(JiaError::UseAfterFree { .. })
+        ));
+        assert!(matches!(n.free_alloc(b, 17), Err(JiaError::BadFree { .. })));
+        // The freed write never flushes.
+        let (diffs, notices) = n.flush_dirty();
+        assert!(diffs.is_empty());
+        assert!(notices.is_empty(), "freed pages publish nothing");
+        let (frees, _) = n.take_lifecycle();
+        assert_eq!(frees, vec![(0, 2)]);
+        n.finish_lifecycle(&frees, &[], 1);
+        assert_eq!(n.bytes(a, 4), &[0, 0, 0, 0], "reclaim zero-fills");
+        assert_eq!(n.live_allocs(), 1);
+        // Reuse: the next two-page allocation takes the freed range.
+        let c = n.jia_alloc(2 * PAGE_BYTES).unwrap();
+        assert_eq!(c, a, "lowest freed range is reused first");
+    }
+
+    #[test]
+    #[should_panic(expected = "use after free")]
+    fn tombstoned_page_access_is_fenced() {
+        let mut n = node(0, 2);
+        let a = n.jia_alloc(PAGE_BYTES).unwrap();
+        n.free_alloc(a, PAGE_BYTES).unwrap();
+        let _ = n.begin_read(a, 4);
+    }
+
+    #[test]
+    fn named_commit_lookup_and_free() {
+        let mut n = node(0, 2);
+        n.stage_named(NamedAllocReq {
+            name: "grid".into(),
+            bytes: 64,
+            elem_size: 4,
+            len: 16,
+            placement: Placement::RoundRobin,
+        })
+        .unwrap();
+        assert!(matches!(
+            n.lookup_named("grid", 4),
+            Err(JiaError::NameNotFound { .. })
+        ));
+        let (frees, named) = n.take_lifecycle();
+        n.finish_lifecycle(&frees, &named, 1);
+        let (addr, len) = n.lookup_named("grid", 4).unwrap();
+        assert_eq!(len, 16);
+        assert!(matches!(
+            n.lookup_named("grid", 8),
+            Err(JiaError::NameTypeMismatch { .. })
+        ));
+        n.free_alloc(addr, 64).unwrap();
+        let (frees, _) = n.take_lifecycle();
+        n.finish_lifecycle(&frees, &[], 2);
+        assert!(matches!(
+            n.lookup_named("grid", 4),
+            Err(JiaError::NameNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn placement_homes_pages() {
+        let mut n = node(0, 4);
+        let fixed = n
+            .jia_alloc_placed(2 * PAGE_BYTES, Placement::Fixed(3))
+            .unwrap();
+        assert_eq!(n.page_home(fixed / PAGE_BYTES), 3);
+        assert_eq!(n.page_home(fixed / PAGE_BYTES + 1), 3);
+        let ft = n
+            .jia_alloc_placed(PAGE_BYTES, Placement::FirstTouch)
+            .unwrap();
+        let p = ft / PAGE_BYTES;
+        assert!(n.pages[p].pending);
+        // A single-writer notice re-homes the pending page.
+        n.resolve_pending_homes(&[crate::services::PageNotice {
+            page: p as u32,
+            writer: 2,
+            multi: false,
+        }]);
+        assert_eq!(n.page_home(p), 2);
+        assert!(!n.pages[p].pending);
     }
 
     #[test]

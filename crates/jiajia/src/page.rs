@@ -32,6 +32,13 @@ pub struct PageCtl {
     pub twin: bool,
     /// Written by this node since the last synchronization flush.
     pub written: bool,
+    /// The allocation covering this page was freed this interval:
+    /// application access panics (use-after-free fence) until the next
+    /// barrier reclaims and re-zeroes the page.
+    pub freed: bool,
+    /// First-touch placement: the home is provisional until the first
+    /// barrier at which the page was written assigns the real one.
+    pub pending: bool,
 }
 
 impl PageCtl {
@@ -43,6 +50,8 @@ impl PageCtl {
             version: 0,
             twin: false,
             written: false,
+            freed: false,
+            pending: false,
         }
     }
 }

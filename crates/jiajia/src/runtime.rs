@@ -12,6 +12,7 @@ use std::time::Duration;
 use crossbeam::channel::{unbounded, Sender};
 use lots_core::consistency::SyncCtx;
 use lots_core::diff::WordDiff;
+use lots_core::Placement;
 use lots_net::{cluster_ext, Envelope, NetReceiver, NetSender, NodeId, Recv, TrafficStats};
 use lots_sim::{
     FaultPlan, MachineConfig, NodeStats, SchedHandle, Scheduler, SchedulerMode, SimClock,
@@ -38,10 +39,14 @@ pub struct JiaOptions {
     pub seed: u64,
     /// Seeded fault injection (delays, stragglers, node panics).
     pub faults: FaultPlan,
+    /// Default page placement for unadorned allocations (the
+    /// per-alloc `*_placed` variants override it).
+    pub placement: Placement,
 }
 
 impl JiaOptions {
-    /// Options with the deterministic scheduler, seed 0, no faults.
+    /// Options with the deterministic scheduler, seed 0, no faults,
+    /// round-robin placement.
     pub fn new(n: usize, shared_bytes: usize, machine: MachineConfig) -> JiaOptions {
         JiaOptions {
             n,
@@ -50,7 +55,14 @@ impl JiaOptions {
             scheduler: SchedulerMode::Deterministic,
             seed: 0,
             faults: FaultPlan::none(),
+            placement: Placement::RoundRobin,
         }
+    }
+
+    /// Set the default page placement.
+    pub fn with_placement(mut self, placement: Placement) -> JiaOptions {
+        self.placement = placement;
+        self
     }
 
     /// Select the execution model.
@@ -140,14 +152,11 @@ where
         let clock = clocks[me].clone();
         let stats = NodeStats::new();
         let cpu = opts.machine.cpu.scaled(opts.faults.cpu_factor(me));
-        let node = Arc::new(Mutex::new(JiaNode::new(
-            me,
-            n,
-            opts.shared_bytes,
-            cpu,
-            clock.clone(),
-            stats.clone(),
-        )));
+        let node = Arc::new(Mutex::new({
+            let mut jn = JiaNode::new(me, n, opts.shared_bytes, cpu, clock.clone(), stats.clone());
+            jn.default_placement = opts.placement;
+            jn
+        }));
         let (reply_tx, reply_rx) = unbounded::<Envelope<JMsg>>();
         let ctx = SyncCtx {
             me,

@@ -9,11 +9,12 @@
 //! * synchronization carries **write notices only** — invalidations,
 //!   never data (write-invalidate on both paths).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 use lots_core::consistency::SyncCtx;
 use lots_core::protocol::messages::ctl;
+use lots_core::NamedAllocReq;
 use lots_net::NodeId;
 use lots_sim::{SchedHandle, SimDuration, SimInstant, TimeCategory};
 use parking_lot::{Condvar, Mutex};
@@ -28,9 +29,15 @@ pub struct PageNotice {
 }
 
 /// Barrier outcome: every page written in the interval (union of all
-/// nodes' notices) plus the barrier sequence number.
+/// nodes' notices), the freed page ranges and named allocations every
+/// node must replay on exit, plus the barrier sequence number.
 pub struct JiaBarrierRound {
     pub written: Arc<Vec<PageNotice>>,
+    /// Freed ranges (first page, pages), union over nodes, sorted.
+    pub freed: Arc<Vec<(u32, u32)>>,
+    /// Named allocations in deterministic commit order (staging node,
+    /// then staging order).
+    pub named: Arc<Vec<NamedAllocReq>>,
     pub seq: u64,
 }
 
@@ -40,7 +47,11 @@ struct BarState {
     count: usize,
     enter_max: SimInstant,
     notices: Vec<(u32, NodeId)>,
+    frees: BTreeSet<(u32, u32)>,
+    named: Vec<(NodeId, usize, NamedAllocReq)>,
     result: Option<Arc<Vec<PageNotice>>>,
+    freed_result: Option<Arc<Vec<(u32, u32)>>>,
+    named_result: Option<Arc<Vec<NamedAllocReq>>>,
     exit_time: SimInstant,
     /// Set when a node's app thread panicked: waiters must unblock and
     /// propagate instead of waiting for an impossible rendezvous.
@@ -68,7 +79,11 @@ impl JiaBarrier {
                 count: 0,
                 enter_max: SimInstant::ZERO,
                 notices: Vec::new(),
+                frees: BTreeSet::new(),
+                named: Vec::new(),
                 result: None,
+                freed_result: None,
+                named_result: None,
                 exit_time: SimInstant::ZERO,
                 poisoned: false,
                 sched_waiters: Vec::new(),
@@ -94,23 +109,47 @@ impl JiaBarrier {
         }
     }
 
-    pub fn enter(&self, ctx: &SyncCtx, notices: Vec<u32>) -> JiaBarrierRound {
+    pub fn enter(
+        &self,
+        ctx: &SyncCtx,
+        notices: Vec<u32>,
+        frees: Vec<(u32, u32)>,
+        named: Vec<NamedAllocReq>,
+    ) -> JiaBarrierRound {
         let mut st = self.state.lock();
         Self::check_poison(&st);
         let my_gen = st.gen;
         let wait_from = ctx.clock.now();
-        let bytes = ctl::BARRIER_ENTER + notices.len() * ctl::WRITE_NOTICE;
+        let named_bytes: usize = named.iter().map(|r| ctl::WRITE_NOTICE + r.name.len()).sum();
+        let bytes = ctl::BARRIER_ENTER
+            + notices.len() * ctl::WRITE_NOTICE
+            + frees.len() * ctl::PLAN_ENTRY
+            + named_bytes;
         ctx.traffic.record_send(bytes, ctx.net.fragments(bytes));
         let arrive = ctx.clock.now() + ctx.net.one_way(bytes);
         st.enter_max = st.enter_max.max(arrive);
         st.notices.extend(notices.into_iter().map(|p| (p, ctx.me)));
+        st.frees.extend(frees);
+        for (idx, req) in named.into_iter().enumerate() {
+            st.named.push((ctx.me, idx, req));
+        }
         st.count += 1;
         let seq = st.seq;
         if st.count == self.n {
             let mut raw = std::mem::take(&mut st.notices);
             raw.sort_unstable();
+            // Pages of a freed allocation drop out of the round: the
+            // free wins over concurrent writes.
+            let freed_pages: BTreeSet<u32> = st
+                .frees
+                .iter()
+                .flat_map(|&(first, pages)| first..first + pages)
+                .collect();
             let mut written: Vec<PageNotice> = Vec::with_capacity(raw.len());
             for (page, writer) in raw {
+                if freed_pages.contains(&page) {
+                    continue;
+                }
                 match written.last_mut() {
                     Some(last) if last.page == page => last.multi = true,
                     _ => written.push(PageNotice {
@@ -120,10 +159,20 @@ impl JiaBarrier {
                     }),
                 }
             }
+            let freed: Vec<(u32, u32)> = std::mem::take(&mut st.frees).into_iter().collect();
+            // Commit order: staging node, then staging order — a pure
+            // function of the interval's calls, independent of the
+            // rendezvous arrival order.
+            let mut named_keyed = std::mem::take(&mut st.named);
+            named_keyed.sort_by_key(|k| (k.0, k.1));
+            let named_list: Vec<NamedAllocReq> =
+                named_keyed.into_iter().map(|(_, _, r)| r).collect();
             st.exit_time = st.enter_max
                 + SimDuration(ctx.cpu.handler_entry.0 * self.n as u64)
-                + SimDuration(250 * written.len() as u64);
+                + SimDuration(250 * (written.len() + freed.len() + named_list.len()) as u64);
             st.result = Some(Arc::new(written));
+            st.freed_result = Some(Arc::new(freed));
+            st.named_result = Some(Arc::new(named_list));
             st.seq += 1;
             st.count = 0;
             st.enter_max = SimInstant::ZERO;
@@ -149,14 +198,23 @@ impl JiaBarrier {
             }
         }
         let written = Arc::clone(st.result.as_ref().expect("result set by last arriver"));
+        let freed = Arc::clone(st.freed_result.as_ref().expect("set by last arriver"));
+        let named = Arc::clone(st.named_result.as_ref().expect("set by last arriver"));
         let exit = st.exit_time;
         drop(st);
-        let exit_bytes = ctl::BARRIER_EXIT + written.len() * ctl::PLAN_ENTRY;
+        let exit_named_bytes: usize = named.iter().map(|r| ctl::WRITE_NOTICE + r.name.len()).sum();
+        let exit_bytes =
+            ctl::BARRIER_EXIT + (written.len() + freed.len()) * ctl::PLAN_ENTRY + exit_named_bytes;
         ctx.traffic.record_recv(exit_bytes);
         let now = ctx.clock.advance_to(exit + ctx.net.one_way(exit_bytes));
         ctx.stats
             .charge(TimeCategory::SyncWait, now.saturating_sub(wait_from));
-        JiaBarrierRound { written, seq }
+        JiaBarrierRound {
+            written,
+            freed,
+            named,
+            seq,
+        }
     }
 }
 
@@ -337,7 +395,7 @@ mod tests {
                 let c = ctx(me);
                 // Page 5 is written by everyone (false sharing); the
                 // others have single writers.
-                let round = b.enter(&c, vec![me as u32, 10 + me as u32, 5]);
+                let round = b.enter(&c, vec![me as u32, 10 + me as u32, 5], vec![], vec![]);
                 (round.written, round.seq)
             }));
         }

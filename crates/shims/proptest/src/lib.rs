@@ -363,6 +363,16 @@ macro_rules! prop_assert_eq {
             r
         );
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`: {}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
 }
 
 #[macro_export]

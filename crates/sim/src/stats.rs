@@ -92,6 +92,10 @@ struct NodeStatsInner {
     page_faults: AtomicU64,
     diffs_created: AtomicU64,
     diff_bytes_sent: AtomicU64,
+    objects_freed: AtomicU64,
+    freed_object_bytes: AtomicU64,
+    dmm_free_bytes: AtomicU64,
+    dmm_largest_hole: AtomicU64,
 }
 
 impl NodeStats {
@@ -191,6 +195,49 @@ impl NodeStats {
         self.inner.prefetch_hits.load(Ordering::Relaxed)
     }
 
+    /// Record one object reclaimed by the lifecycle API, with its
+    /// logical byte size.
+    #[inline]
+    pub fn count_object_freed(&self, logical_bytes: u64) {
+        self.inner.objects_freed.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .freed_object_bytes
+            .fetch_add(logical_bytes, Ordering::Relaxed);
+    }
+
+    /// Objects reclaimed by `free` (counted at barrier reclamation).
+    pub fn objects_freed(&self) -> u64 {
+        self.inner.objects_freed.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative logical bytes of objects reclaimed by `free`.
+    pub fn freed_object_bytes(&self) -> u64 {
+        self.inner.freed_object_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Mirror the DMM allocator's fragmentation gauges (free bytes and
+    /// largest free extent); updated by the owning node on every
+    /// allocator transition.
+    #[inline]
+    pub fn set_dmm_gauges(&self, free_bytes: u64, largest_hole: u64) {
+        self.inner
+            .dmm_free_bytes
+            .store(free_bytes, Ordering::Relaxed);
+        self.inner
+            .dmm_largest_hole
+            .store(largest_hole, Ordering::Relaxed);
+    }
+
+    /// Bytes currently free in the DMM arena (gauge).
+    pub fn dmm_free_bytes(&self) -> u64 {
+        self.inner.dmm_free_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Largest contiguous free DMM extent (gauge).
+    pub fn dmm_largest_hole(&self) -> u64 {
+        self.inner.dmm_largest_hole.load(Ordering::Relaxed)
+    }
+
     #[inline]
     pub fn count_page_fault(&self) {
         self.inner.page_faults.fetch_add(1, Ordering::Relaxed);
@@ -266,6 +313,19 @@ mod tests {
         assert_eq!(s.prefetch_hits(), 1);
         assert_eq!(s.diffs_created(), 2);
         assert_eq!(s.diff_bytes_sent(), 192);
+    }
+
+    #[test]
+    fn lifecycle_counters_and_gauges() {
+        let s = NodeStats::new();
+        s.count_object_freed(4096);
+        s.count_object_freed(1024);
+        assert_eq!(s.objects_freed(), 2);
+        assert_eq!(s.freed_object_bytes(), 5120);
+        s.set_dmm_gauges(1000, 400);
+        s.set_dmm_gauges(800, 300); // gauges overwrite, not accumulate
+        assert_eq!(s.dmm_free_bytes(), 800);
+        assert_eq!(s.dmm_largest_hole(), 300);
     }
 
     #[test]
