@@ -126,6 +126,11 @@ pub struct RunOutcome {
     pub time_disk: SimDuration,
     /// Summed node time in application compute.
     pub time_compute: SimDuration,
+    /// Whole-run scheduler counters (`None` under free-running mode).
+    /// `turns`/`wakes`/`epochs` are pure functions of the simulated
+    /// schedule and agree between `Deterministic` and `Parallel`;
+    /// `max_concurrent`/`worker_busy_ns` describe host execution only.
+    pub sched: Option<lots_sim::SchedSummary>,
 }
 
 impl RunOutcome {
@@ -185,6 +190,7 @@ pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
                 time_sync: sum(TimeCategory::SyncWait),
                 time_disk: sum(TimeCategory::Disk),
                 time_compute: sum(TimeCategory::Compute),
+                sched: report.sched,
             }
         }
         System::Jiajia => {
@@ -218,6 +224,7 @@ pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
                 time_sync: sum(TimeCategory::SyncWait),
                 time_disk: SimDuration::ZERO,
                 time_compute: sum(TimeCategory::Compute),
+                sched: report.sched,
             }
         }
     }

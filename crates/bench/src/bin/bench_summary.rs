@@ -1,25 +1,34 @@
 //! Emit a machine-readable `BENCH_summary.json` tracking the repo's
 //! perf trajectory: the quickstart virtual time, the SOR 256×256×32
 //! (p = 4) point on all three systems with its access-check counts,
-//! and the modeled §4.2 access-check cost (the host-measured cost is
-//! printed but kept out of the JSON — it varies by machine).
+//! a weak-scaling sweep (SOR + object churn at p = 4/16/64/256) with
+//! its scheduler counters, and the modeled §4.2 access-check cost (the
+//! host-measured cost is printed but kept out of the JSON — it varies
+//! by machine).
 //!
 //! ```text
-//! cargo run --release -p lots-bench --bin bench_summary [-- --check]
+//! cargo run --release -p lots-bench --bin bench_summary \
+//!     [-- --check] [--engine det|par[:N]] [--out PATH] [--stable]
 //! ```
 //!
 //! The JSON lands in the current directory (the repo root in CI) so
-//! successive PRs can diff it. Under the deterministic scheduler
-//! (PR 3) every number in the file — including the virtual *times* —
-//! is a pure function of the committed code, so `--check` fails on ANY
-//! drift: a changed time or check count means a PR changed the
-//! execution or cost model without regenerating the summary.
+//! successive PRs can diff it. Under the virtual-time engine every
+//! *virtual* number in the file — times, counters, scheduler
+//! turns/wakes/epochs — is a pure function of the committed code
+//! **regardless of `--engine`** (the conservative parallel engine is
+//! byte-identical to the sequential oracle), so `--check` fails on ANY
+//! drift of those. Host wall-clock seconds and `max_concurrent` are
+//! informative only: their *keys* are gated, their values are not, and
+//! `--stable` zeroes them so CI can `cmp` a `--engine det` output
+//! against a `--engine par` one byte for byte.
 
 use std::fmt::Write as _;
+use std::time::Instant;
 
 use lots_apps::churn::{model_checksum, ChurnParams};
 use lots_apps::largeobj::{expected_sum, large_object_test, LargeObjParams};
 use lots_apps::runner::{run_app, RunConfig, System};
+use lots_apps::sor::SorParams;
 use lots_bench::{measure, no_tweak, App};
 use lots_core::{
     run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig, SchedulerMode, SwapConfig,
@@ -28,10 +37,11 @@ use lots_sim::machine::{p4_fedora, pentium4_2ghz};
 
 /// The quickstart example's virtual execution time in milliseconds
 /// (same kernel as `examples/quickstart.rs`).
-fn quickstart_ms() -> f64 {
+fn quickstart_ms(engine: SchedulerMode) -> f64 {
     const NODES: usize = 4;
     const LEN: usize = 1024;
-    let opts = ClusterOptions::new(NODES, LotsConfig::small(4 << 20), p4_fedora());
+    let opts =
+        ClusterOptions::new(NODES, LotsConfig::small(4 << 20), p4_fedora()).with_scheduler(engine);
     let (_, report) = run_cluster(opts, |dsm| {
         let data = dsm.alloc::<i64>(LEN);
         let counter = dsm.alloc::<i64>(1);
@@ -62,7 +72,7 @@ struct SwapPoint {
     prefetch_hits: u64,
 }
 
-fn large_object_swap(swap: SwapConfig) -> SwapPoint {
+fn large_object_swap(swap: SwapConfig, engine: SchedulerMode) -> SwapPoint {
     const NODES: usize = 2;
     let params = LargeObjParams {
         rows: 64,
@@ -72,7 +82,8 @@ fn large_object_swap(swap: SwapConfig) -> SwapPoint {
         NODES,
         LotsConfig::small(1 << 20).with_swap(swap),
         p4_fedora(),
-    );
+    )
+    .with_scheduler(engine);
     let (results, report) = run_cluster(opts, move |dsm| {
         large_object_test(dsm, params).expect("large-object bench")
     });
@@ -122,27 +133,72 @@ fn committed_text(json: &str, key: &str) -> Option<String> {
 }
 
 fn main() {
-    let check = std::env::args().any(|a| a == "--check");
+    let args: Vec<String> = std::env::args().collect();
+    let check = args.iter().any(|a| a == "--check");
+    let stable = args.iter().any(|a| a == "--stable");
+    let flag_value = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let engine = match flag_value("--engine").as_deref() {
+        None | Some("det") => SchedulerMode::Deterministic,
+        Some("par") => SchedulerMode::Parallel {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        },
+        Some(par_n) => {
+            let workers = par_n
+                .strip_prefix("par:")
+                .and_then(|n| n.parse().ok())
+                .unwrap_or_else(|| panic!("--engine expects det|par|par:N, got {par_n}"));
+            SchedulerMode::Parallel { workers }
+        }
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_summary.json".to_string());
     let committed = std::fs::read_to_string("BENCH_summary.json").ok();
     let machine = p4_fedora();
     let cpu = pentium4_2ghz();
-    let mut drifted = false;
-    // Deterministic scheduler: the committed field must match the
-    // fresh measurement *textually* — times included.
-    let mut gate = |key: &str, fresh: &str| {
+    let drifted = std::cell::Cell::new(false);
+    // Virtual-time engine: the committed field must match the fresh
+    // measurement *textually* — times included, whatever --engine is.
+    let gate = |key: &str, fresh: &str| {
         if let Some(old) = committed.as_deref().and_then(|j| committed_text(j, key)) {
             if old != fresh {
                 eprintln!("DRIFT: {key} committed {old} vs measured {fresh}");
-                drifted = true;
+                drifted.set(true);
             }
         }
     };
+    // Informative fields (host wall-clock, dispatch concurrency): the
+    // key must stay in the file, the value is free to vary by host.
+    let gate_key = |key: &str| {
+        if let Some(json) = committed.as_deref() {
+            if committed_text(json, key).is_none() {
+                eprintln!("DRIFT: informative key {key} missing from committed JSON");
+                drifted.set(true);
+            }
+        }
+    };
+    // Render an informative (host-side) value: zeroed under --stable
+    // so two engines' outputs can be byte-compared.
+    let informative = |v: f64| {
+        if stable {
+            "0".to_string()
+        } else {
+            format!("{v:.4}")
+        }
+    };
 
-    let quick_ms = quickstart_ms();
+    let t_quick = Instant::now();
+    let quick_ms = quickstart_ms(engine);
+    let quick_wall = t_quick.elapsed().as_secs_f64();
     gate("quickstart_ms", &format!("{quick_ms:.4}"));
 
     // SOR 256×256, 32 iterations, p = 4 — the tracked Figure 8(c)
     // point (App::run at size 256 with full=false uses 32 iterations).
+    let t_sor = Instant::now();
     let mut sor = String::new();
     let mut checksums = Vec::new();
     for (key, system) in [
@@ -172,16 +228,18 @@ fn main() {
         "systems disagree on SOR: {checksums:?}"
     );
     let sor = sor.trim_end_matches(',').to_string();
+    let sor_wall = t_sor.elapsed().as_secs_f64();
 
     // Large-object swap subsystem: the legacy path vs the tuned bundle
     // (segmented LRU + batched write-behind + read-ahead + compressed
     // images) on an 8× overcommitted arena.
+    let t_swap = Instant::now();
     let mut swap = String::new();
     for (key, cfg) in [
         ("legacy", SwapConfig::legacy()),
         ("tuned", SwapConfig::tuned()),
     ] {
-        let pt = large_object_swap(cfg);
+        let pt = large_object_swap(cfg, engine);
         for (field, fresh) in [
             (format!("{key}_s"), format!("{:.6}", pt.secs)),
             (format!("{key}_swaps_out"), pt.swaps_out.to_string()),
@@ -200,11 +258,13 @@ fn main() {
         );
     }
     let swap = swap.trim_end_matches(',').to_string();
+    let swap_wall = t_swap.elapsed().as_secs_f64();
 
     // Object lifecycle under churn: 16 MB of cumulative allocations
     // (free/reuse, named checkpoints, cycling placements) through
     // fixed arenas on all three systems; the checksum is gated against
     // the sequential model, the lifecycle counters against drift.
+    let t_churn = Instant::now();
     let mut churn = String::new();
     {
         let params = ChurnParams::smoke();
@@ -218,6 +278,7 @@ fn main() {
             let mut cfg = RunConfig::new(system, 4, machine);
             cfg.dmm_bytes = arena;
             cfg.shared_bytes = 2 << 20;
+            cfg.scheduler = engine;
             let out = run_app(&cfg, params);
             for r in &out.per_node {
                 assert_eq!(r.checksum, model, "{key}: churn checksum vs model");
@@ -263,29 +324,122 @@ fn main() {
         }
     }
     let churn = churn.trim_end_matches(',').to_string();
+    let churn_wall = t_churn.elapsed().as_secs_f64();
 
-    // Every number in the JSON is virtual/modeled and — under the
-    // deterministic scheduler — exactly reproducible, so CI gates the
-    // whole file. The host-measured check cost varies by machine, so
-    // it goes to stdout only.
+    // Weak scaling under the engine: SOR with two rows per node and a
+    // fixed-shape churn program at p = 4/16/64/256. Virtual seconds
+    // and the scheduler's turns/wakes/epochs are engine-invariant and
+    // gated; host wall seconds and max_concurrent are informative.
+    let t_weak = Instant::now();
+    let mut weak = String::new();
+    for p in [4usize, 16, 64, 256] {
+        let sor_params = SorParams { n: 2 * p, iters: 2 };
+        let churn_params = ChurnParams {
+            phases: 4,
+            objs_per_phase: 1,
+            elems: 1024,
+            retain: 1,
+            ckpt_elems: 16,
+        };
+        for (wl, run) in [
+            ("sor", {
+                let mut cfg = RunConfig::new(System::Lots, p, machine);
+                cfg.dmm_bytes = 4 << 20;
+                cfg.scheduler = engine;
+                let t0 = Instant::now();
+                let out = run_app(&cfg, sor_params);
+                (out, t0.elapsed().as_secs_f64())
+            }),
+            ("churn", {
+                let mut cfg = RunConfig::new(System::Lots, p, machine);
+                cfg.dmm_bytes = 4 << 20;
+                cfg.scheduler = engine;
+                let t0 = Instant::now();
+                let out = run_app(&cfg, churn_params);
+                (out, t0.elapsed().as_secs_f64())
+            }),
+        ] {
+            let (out, wall) = run;
+            let sched = out.sched.as_ref().expect("engine mode records counters");
+            for (field, fresh) in [
+                (
+                    format!("{wl}_p{p}_s"),
+                    format!("{:.6}", out.exec_time.as_secs_f64()),
+                ),
+                (format!("{wl}_p{p}_turns"), sched.turns.to_string()),
+                (format!("{wl}_p{p}_wakes"), sched.wakes.to_string()),
+                (format!("{wl}_p{p}_epochs"), sched.epochs.to_string()),
+            ] {
+                gate(&field, &fresh);
+                let _ = write!(weak, "\n    \"{field}\": {fresh},");
+            }
+            for (field, fresh) in [
+                (
+                    format!("{wl}_p{p}_max_concurrent"),
+                    if stable {
+                        "0".to_string()
+                    } else {
+                        sched.max_concurrent.to_string()
+                    },
+                ),
+                (format!("{wl}_p{p}_host_wall_s"), informative(wall)),
+            ] {
+                gate_key(&field);
+                let _ = write!(weak, "\n    \"{field}\": {fresh},");
+            }
+            println!(
+                "weak scaling {wl:<5} p={p:<3} {:>9.3} virtual s  {:>7.2} host s  \
+                 {} turns / {} wakes / {} epochs",
+                out.exec_time.as_secs_f64(),
+                wall,
+                sched.turns,
+                sched.wakes,
+                sched.epochs
+            );
+        }
+    }
+    let weak = weak.trim_end_matches(',').to_string();
+    let weak_wall = t_weak.elapsed().as_secs_f64();
+
+    // Host wall-clock per section: keys gated, values informative
+    // (zeroed under --stable).
+    let mut wall = String::new();
+    for (field, secs) in [
+        ("quickstart_host_wall_s", quick_wall),
+        ("sor_host_wall_s", sor_wall),
+        ("swap_host_wall_s", swap_wall),
+        ("churn_host_wall_s", churn_wall),
+        ("weak_scaling_host_wall_s", weak_wall),
+    ] {
+        gate_key(field);
+        let _ = write!(wall, "\n    \"{field}\": {},", informative(secs));
+    }
+    let wall = wall.trim_end_matches(',').to_string();
+
+    // Every gated number in the JSON is virtual/modeled and — under
+    // the virtual-time engine, sequential or parallel — exactly
+    // reproducible, so CI gates the whole file. The host-measured
+    // check cost varies by machine, so it goes to stdout only.
     let json = format!(
         "{{\n  \"quickstart_ms\": {quick_ms:.4},\n  \"sor_256_p4\": {{{sor}\n  }},\n  \
          \"large_object_swap\": {{{swap}\n  }},\n  \
          \"object_churn\": {{{churn}\n  }},\n  \
+         \"weak_scaling\": {{{weak}\n  }},\n  \
+         \"host_wall\": {{{wall}\n  }},\n  \
          \"access_check_ns\": {{\n    \"modeled\": {},\n    \"modeled_pin\": {}\n  }}\n}}\n",
         cpu.access_check.0, cpu.pin_update.0
     );
-    if check && drifted {
+    if check && drifted.get() {
         eprintln!(
-            "virtual times or access-check counts drifted from the committed \
-             BENCH_summary.json — under the deterministic scheduler that means the \
+            "virtual times or counters drifted from the committed \
+             BENCH_summary.json — under the virtual-time engine that means the \
              execution or cost model changed; regenerate with \
              `cargo run --release -p lots-bench --bin bench_summary`"
         );
         std::process::exit(1);
     }
-    std::fs::write("BENCH_summary.json", &json).expect("write BENCH_summary.json");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     let host_ns = host_check_ns();
     println!("quickstart {quick_ms:.2} ms; host check {host_ns:.1} ns/read (host-dependent, not in JSON)");
-    println!("wrote BENCH_summary.json");
+    println!("wrote {out_path}");
 }

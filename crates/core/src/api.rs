@@ -924,13 +924,15 @@ impl Dsm {
 
     fn recv_reply(&self) -> Envelope<Msg> {
         if let Some(h) = &self.ctx.sched {
-            // Deterministic mode: park on the turnstile; the comm task
-            // wakes us (with the reply's arrival time) after it
-            // forwards the envelope.
+            // Engine modes: park on the scheduler; the comm task wakes
+            // us (with the reply's arrival time) after it forwards the
+            // envelope. The `Reply` reason tells the conservative
+            // lock-grant gate this task cannot issue a lock request
+            // before the reply's (lookahead-bounded) arrival.
             loop {
                 match self.replies.try_recv() {
                     Ok(env) => return env,
-                    Err(TryRecvError::Empty) => h.block(),
+                    Err(TryRecvError::Empty) => h.block_with(lots_sim::BlockReason::Reply),
                     Err(TryRecvError::Disconnected) => {
                         panic!("comm thread gone while app waiting for a reply")
                     }

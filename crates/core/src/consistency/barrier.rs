@@ -25,7 +25,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use lots_net::NodeId;
-use lots_sim::{SchedHandle, SimDuration, SimInstant, TimeCategory};
+use lots_sim::{BlockReason, SchedHandle, SimDuration, SimInstant, TimeCategory};
 use parking_lot::{Condvar, Mutex, MutexGuard};
 
 use crate::object::{NamedAllocReq, ObjectId};
@@ -75,12 +75,43 @@ impl BarrierPlan {
 /// a first-touch home assignment is still pending.
 pub type Notice = (ObjectId, usize, NodeId, bool);
 
+/// The *virtual* last arriver of a rendezvous: lex-max `(arrive, node)`,
+/// carrying that node's per-entry handler cost. Manager-side processing
+/// is charged at this node's CPU speed — a pure function of virtual
+/// time, unlike "whichever thread got here last", which diverges under
+/// per-node CPU-slowdown faults once rendezvous arrivals race.
+#[derive(Clone, Copy)]
+struct LastArriver {
+    arrive: SimInstant,
+    node: NodeId,
+    handler_entry: SimDuration,
+}
+
+impl LastArriver {
+    const ZERO: LastArriver = LastArriver {
+        arrive: SimInstant::ZERO,
+        node: 0,
+        handler_entry: SimDuration::ZERO,
+    };
+
+    fn merge(&mut self, arrive: SimInstant, ctx: &SyncCtx) {
+        if (arrive, ctx.me) >= (self.arrive, self.node) {
+            *self = LastArriver {
+                arrive,
+                node: ctx.me,
+                handler_entry: ctx.cpu.handler_entry,
+            };
+        }
+    }
+}
+
 struct BState {
     seq: u64,
     // Enter/plan rendezvous.
     gen_a: u64,
     count_a: usize,
     enter_max: SimInstant,
+    enter_last: LastArriver,
     notices: Vec<(ObjectId, NodeId, usize, NodeId, bool)>, // (obj, writer, diff size, home, pending)
     /// Freed objects reported this round (union; sorted by id).
     frees: BTreeSet<u32>,
@@ -92,11 +123,13 @@ struct BState {
     gen_b: u64,
     count_b: usize,
     drain_max: SimInstant,
+    drain_last: LastArriver,
     exit_time: SimInstant,
     // Event-only run-barrier rendezvous (§3.6).
     gen_r: u64,
     count_r: usize,
     run_max: SimInstant,
+    run_last: LastArriver,
     run_exit: SimInstant,
     /// Set when a node's app thread panicked: every current and future
     /// waiter must unblock and propagate instead of waiting for a
@@ -131,6 +164,7 @@ impl BarrierService {
                 gen_a: 0,
                 count_a: 0,
                 enter_max: SimInstant::ZERO,
+                enter_last: LastArriver::ZERO,
                 notices: Vec::new(),
                 frees: BTreeSet::new(),
                 named: Vec::new(),
@@ -138,10 +172,12 @@ impl BarrierService {
                 gen_b: 0,
                 count_b: 0,
                 drain_max: SimInstant::ZERO,
+                drain_last: LastArriver::ZERO,
                 exit_time: SimInstant::ZERO,
                 gen_r: 0,
                 count_r: 0,
                 run_max: SimInstant::ZERO,
+                run_last: LastArriver::ZERO,
                 run_exit: SimInstant::ZERO,
                 poisoned: false,
                 sched_waiters: Vec::new(),
@@ -184,7 +220,13 @@ impl BarrierService {
         st: MutexGuard<'a, BState>,
         h: &SchedHandle,
     ) -> MutexGuard<'a, BState> {
-        super::sched_wait_step(&self.state, st, |s| &mut s.sched_waiters, h)
+        super::sched_wait_step(
+            &self.state,
+            st,
+            |s| &mut s.sched_waiters,
+            h,
+            BlockReason::Barrier,
+        )
     }
 
     /// Rendezvous 1: submit write notices plus this interval's staged
@@ -209,6 +251,7 @@ impl BarrierService {
             .record_send(enter_bytes, ctx.net.fragments(enter_bytes));
         let arrive = ctx.clock.now() + ctx.net.one_way(enter_bytes);
         st.enter_max = st.enter_max.max(arrive);
+        st.enter_last.merge(arrive, ctx);
         for (obj, size, home, pending) in notices {
             st.notices.push((obj, ctx.me, size, home, pending));
         }
@@ -218,10 +261,11 @@ impl BarrierService {
         }
         st.count_a += 1;
         if st.count_a == self.n {
-            let plan = Arc::new(self.build_plan(&mut st, ctx));
+            let plan = Arc::new(self.build_plan(&mut st));
             st.plan = Some(plan);
             st.count_a = 0;
             st.enter_max = SimInstant::ZERO;
+            st.enter_last = LastArriver::ZERO;
             st.notices.clear();
             st.frees.clear();
             st.named.clear();
@@ -258,7 +302,7 @@ impl BarrierService {
         plan
     }
 
-    fn build_plan(&self, st: &mut BState, ctx: &SyncCtx) -> BarrierPlan {
+    fn build_plan(&self, st: &mut BState) -> BarrierPlan {
         // Group notices by object. A freed object is dropped first: the
         // free wins over concurrent writes, so no diff is ever
         // scheduled (or computed, §3.4 benefit 1) for it.
@@ -321,7 +365,10 @@ impl BarrierService {
         let mut named_keyed = std::mem::take(&mut st.named);
         named_keyed.sort_by_key(|k| (k.0, k.1));
         let named: Vec<NamedAllocReq> = named_keyed.into_iter().map(|(_, _, r)| r).collect();
-        let processing = SimDuration(ctx.cpu.handler_entry.0 * self.n as u64)
+        // Manager processing charged at the virtual last arriver's CPU
+        // speed (not whichever thread physically completed the
+        // rendezvous — that races under the parallel engine).
+        let processing = SimDuration(st.enter_last.handler_entry.0 * self.n as u64)
             + SimDuration(PLAN_ENTRY_COST.0 * (written.len() + freed.len() + named.len()) as u64);
         BarrierPlan {
             seq: st.seq,
@@ -344,6 +391,7 @@ impl BarrierService {
         ctx.traffic.record_send(ctl::BARRIER_DONE, 1);
         let arrive = ctx.clock.now() + ctx.net.one_way(ctl::BARRIER_DONE);
         st.drain_max = st.drain_max.max(arrive);
+        st.drain_last.merge(arrive, ctx);
         st.count_b += 1;
         let seq = st.seq;
         if st.count_b == self.n {
@@ -351,10 +399,12 @@ impl BarrierService {
             // (all lock-era updates are now reflected at the homes via
             // the writers' interval diffs).
             self.locks.reset_epoch(seq);
-            st.exit_time = st.drain_max + SimDuration(ctx.cpu.handler_entry.0 * self.n as u64);
+            st.exit_time =
+                st.drain_max + SimDuration(st.drain_last.handler_entry.0 * self.n as u64);
             st.seq += 1;
             st.count_b = 0;
             st.drain_max = SimInstant::ZERO;
+            st.drain_last = LastArriver::ZERO;
             st.gen_b += 1;
             self.cv.notify_all();
             Self::wake_sched(&mut st);
@@ -390,11 +440,13 @@ impl BarrierService {
         ctx.traffic.record_send(ctl::BARRIER_ENTER, 1);
         let arrive = ctx.clock.now() + ctx.net.one_way(ctl::BARRIER_ENTER);
         st.run_max = st.run_max.max(arrive);
+        st.run_last.merge(arrive, ctx);
         st.count_r += 1;
         if st.count_r == self.n {
-            st.run_exit = st.run_max + SimDuration(ctx.cpu.handler_entry.0 * self.n as u64);
+            st.run_exit = st.run_max + SimDuration(st.run_last.handler_entry.0 * self.n as u64);
             st.count_r = 0;
             st.run_max = SimInstant::ZERO;
+            st.run_last = LastArriver::ZERO;
             st.gen_r += 1;
             self.cv.notify_all();
             Self::wake_sched(&mut st);

@@ -18,12 +18,12 @@
 //! application at the acquirer is identical; only the wire bytes (and
 //! hence virtual network time) differ.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use lots_net::NodeId;
-use lots_sim::{SchedHandle, SimDuration, SimInstant, TimeCategory};
+use lots_sim::{BlockReason, SchedHandle, SimDuration, SimInstant, TimeCategory};
 use parking_lot::{Condvar, Mutex};
 
 use crate::config::{DiffMode, LockProtocol};
@@ -61,7 +61,12 @@ pub struct Grant {
 struct LockState {
     ts: u64,
     holder: Option<NodeId>,
-    waiters: VecDeque<NodeId>,
+    /// Waiters ordered by the *virtual arrival* of their acquire
+    /// request at the manager, `(req_arrive, node)` — not by physical
+    /// FIFO. This makes the grant order a pure function of virtual
+    /// time, so the parallel engine grants in exactly the order the
+    /// sequential oracle does regardless of host thread timing.
+    waiters: BTreeSet<(u64, NodeId)>,
     release_time: SimInstant,
     /// Per-field mode: obj → word → (ts, value).
     per_field: HashMap<u32, HashMap<u32, (u64, u32)>>,
@@ -142,7 +147,7 @@ impl LockService {
                 state: Mutex::new(LockState {
                     ts: 0,
                     holder: None,
-                    waiters: VecDeque::new(),
+                    waiters: BTreeSet::new(),
                     release_time: SimInstant::ZERO,
                     per_field: HashMap::new(),
                     accumulated: Vec::new(),
@@ -156,9 +161,21 @@ impl LockService {
         }))
     }
 
-    /// Acquire `lock` for `ctx.me`: blocks (FIFO) until granted, then
-    /// returns the grant with its virtual arrival already merged into
-    /// the caller's clock.
+    /// Acquire `lock` for `ctx.me`: blocks until granted in virtual
+    /// request-arrival order, then returns the grant with its virtual
+    /// arrival already merged into the caller's clock.
+    ///
+    /// Under the virtual-time engine the wait has two stages. While
+    /// the lock is held or earlier-keyed requests are queued ahead,
+    /// the task waits in the service's waiter list (reason
+    /// `LockQueue`), re-woken by each release. Once it is the front
+    /// waiter of a free lock it parks on the engine's conservative
+    /// grant gate ([`SchedHandle::block_gated`]), which resumes it
+    /// only when no other task could still issue a request sorting
+    /// ahead of its `(req_arrive, node)` key — that is what makes the
+    /// grant order independent of host thread timing. The gate bounds
+    /// competing *requests*, not the previous holder's release, so the
+    /// grant condition is re-checked after promotion.
     pub fn acquire(&self, lock: LockId, ctx: &SyncCtx) -> Grant {
         let entry = self.entry(lock);
         let mut st = entry.state.lock();
@@ -167,19 +184,39 @@ impl LockService {
         ctx.traffic.record_send(ctl::LOCK_ACQ, 1);
         let wait_from = ctx.clock.now();
         self.check_poison();
-        st.waiters.push_back(ctx.me);
+        let key = (req_arrive.nanos(), ctx.me);
+        st.waiters.insert(key);
         if let Some(h) = ctx.sched.clone() {
-            while st.holder.is_some() || st.waiters.front() != Some(&ctx.me) {
-                st = super::sched_wait_step(&entry.state, st, |s| &mut s.sched_waiters, &h);
-                self.check_poison();
+            loop {
+                if st.holder.is_none() && st.waiters.first() == Some(&key) {
+                    drop(st);
+                    h.block_gated(req_arrive, ctx.me);
+                    st = entry.state.lock();
+                    self.check_poison();
+                    if st.holder.is_none() && st.waiters.first() == Some(&key) {
+                        break;
+                    }
+                } else {
+                    st = super::sched_wait_step(
+                        &entry.state,
+                        st,
+                        |s| &mut s.sched_waiters,
+                        &h,
+                        BlockReason::LockQueue {
+                            at: req_arrive.nanos(),
+                            rank: ctx.me,
+                        },
+                    );
+                    self.check_poison();
+                }
             }
         } else {
-            while st.holder.is_some() || st.waiters.front() != Some(&ctx.me) {
+            while st.holder.is_some() || st.waiters.first() != Some(&key) {
                 entry.cv.wait(&mut st);
                 self.check_poison();
             }
         }
-        st.waiters.pop_front();
+        st.waiters.remove(&key);
         st.holder = Some(ctx.me);
         // Virtual: grant issued when both the request has arrived and
         // the previous holder has released.

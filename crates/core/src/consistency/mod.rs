@@ -11,29 +11,33 @@ pub mod barrier;
 pub mod locks;
 
 use lots_net::TrafficStats;
-use lots_sim::{CpuModel, NetModel, NodeStats, SchedHandle, SimClock};
+use lots_sim::{BlockReason, CpuModel, NetModel, NodeStats, SchedHandle, SimClock};
 use parking_lot::{Mutex, MutexGuard};
 
-/// One deterministic-mode wait step, shared by every sync service
+/// One virtual-time-engine wait step, shared by every sync service
 /// (LOTS and JIAJIA barriers and locks): register the calling task in
 /// the service's waiter list, hand the execution token back to the
-/// scheduler, and re-acquire the state lock once woken. Callers loop
-/// on their rendezvous condition (re-checking poison) around this —
-/// wakes are collective, so spurious wakeups are expected.
+/// scheduler (declaring `reason` so the deadlock detector and the
+/// conservative lock-grant gate can classify the wait), and re-acquire
+/// the state lock once woken. Callers loop on their rendezvous
+/// condition (re-checking poison) around this — wakes are collective,
+/// so spurious wakeups are expected.
 ///
 /// The registration happens under the same mutex the waker drains, and
-/// no other task runs between the guard drop and [`SchedHandle::block`]
-/// (the turnstile admits one task at a time; external wakes are sticky),
-/// so the step is lost-wakeup-free.
+/// wakes delivered between the guard drop and [`SchedHandle::block_with`]
+/// are sticky (the block returns immediately), so the step is
+/// lost-wakeup-free — under the sequential turnstile *and* under the
+/// parallel engine, where the waker may be a concurrent batch member.
 pub fn sched_wait_step<'a, T>(
     mutex: &'a Mutex<T>,
     mut guard: MutexGuard<'a, T>,
     waiters: impl FnOnce(&mut T) -> &mut Vec<SchedHandle>,
     h: &SchedHandle,
+    reason: BlockReason,
 ) -> MutexGuard<'a, T> {
     waiters(&mut guard).push(h.clone());
     drop(guard);
-    h.block();
+    h.block_with(reason);
     mutex.lock()
 }
 

@@ -30,7 +30,9 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Sender};
 use lots_disk::{BackingStore, MemStore};
-use lots_net::{cluster_ext, Envelope, NetReceiver, NetSender, NodeId, Recv, TrafficStats};
+use lots_net::{
+    cluster_ext, Buffered, Envelope, NetReceiver, NetSender, NodeId, Recv, TrafficStats,
+};
 use lots_sim::{
     FaultPlan, MachineConfig, NodeStats, SchedHandle, Scheduler, SchedulerMode, SimClock,
     SimInstant, TimeCategory,
@@ -138,6 +140,13 @@ pub struct NodeReport {
     /// Object-table slots at exit (control-space footprint; bounded
     /// under churn while cumulative allocations grow).
     pub object_slots: usize,
+    /// Scheduler dispatches of this node's app + comm tasks (0 under
+    /// free-running mode). A pure function of the simulated schedule:
+    /// identical across `Deterministic` and `Parallel` runs.
+    pub sched_turns: u64,
+    /// Wakes delivered to this node's app + comm tasks (0 under
+    /// free-running mode); deterministic like `sched_turns`.
+    pub sched_wakes: u64,
 }
 
 /// Cluster-wide outcome.
@@ -149,6 +158,10 @@ pub struct ClusterReport {
     pub exec_time: SimInstant,
     /// The seed the cluster ran with (see [`ClusterOptions::seed`]).
     pub seed: u64,
+    /// Whole-run scheduler counters (`None` under free-running mode).
+    /// `turns`/`wakes`/`epochs` are engine-independent; the worker
+    /// fields describe host execution only.
+    pub sched: Option<lots_sim::SchedSummary>,
 }
 
 impl ClusterReport {
@@ -172,20 +185,21 @@ where
     let n = opts.n;
     assert!(n >= 1, "cluster needs at least one node");
     let clocks: Vec<SimClock> = (0..n).map(|_| SimClock::new()).collect();
-    // Deterministic mode: app tasks get ids 0..n, comm tasks n..2n, so
-    // clock ties resolve app-first in rank order.
-    let (sched, app_tasks, comm_tasks) = match opts.scheduler {
-        SchedulerMode::Deterministic => {
-            let s = Scheduler::new();
-            let apps: Vec<SchedHandle> = (0..n)
-                .map(|i| s.register(format!("lots-app-{i}"), clocks[i].clone(), false))
-                .collect();
-            let comms: Vec<SchedHandle> = (0..n)
-                .map(|i| s.register(format!("lots-comm-{i}"), clocks[i].clone(), true))
-                .collect();
-            (Some(s), Some(apps), Some(comms))
-        }
-        SchedulerMode::FreeRunning => (None, None, None),
+    // Engine modes: app tasks get ids 0..n, comm tasks n..2n, so clock
+    // ties resolve app-first in rank order; both tasks of node i carry
+    // node index i (one task per node per epoch). The lookahead window
+    // is the network's minimum link latency.
+    let (sched, app_tasks, comm_tasks) = if opts.scheduler.uses_engine() {
+        let s = Scheduler::new(opts.scheduler, opts.machine.net.min_latency());
+        let apps: Vec<SchedHandle> = (0..n)
+            .map(|i| s.register(format!("lots-app-{i}"), clocks[i].clone(), i, false))
+            .collect();
+        let comms: Vec<SchedHandle> = (0..n)
+            .map(|i| s.register(format!("lots-comm-{i}"), clocks[i].clone(), i, true))
+            .collect();
+        (Some(s), Some(apps), Some(comms))
+    } else {
+        (None, None, None)
     };
     // delay_for() short-circuits when no delay is configured, so the
     // net layer can take the whole plan whenever anything is active.
@@ -396,6 +410,13 @@ where
         .enumerate()
         .map(|(me, (clock, stats, traffic, node))| {
             let node = node.lock();
+            let (sched_turns, sched_wakes) = match (&app_tasks, &comm_tasks) {
+                (Some(apps), Some(comms)) => (
+                    apps[me].turns() + comms[me].turns(),
+                    apps[me].wakes() + comms[me].wakes(),
+                ),
+                _ => (0, 0),
+            };
             NodeReport {
                 me,
                 time: clock.now(),
@@ -407,6 +428,8 @@ where
                 resident_bytes: node.resident_logical_bytes(),
                 frag: node.frag_stats(),
                 object_slots: node.object_count(),
+                sched_turns,
+                sched_wakes,
             }
         })
         .collect();
@@ -421,6 +444,7 @@ where
             nodes,
             exec_time,
             seed: opts.seed,
+            sched: sched.as_ref().map(|s| s.summary()),
         },
     )
 }
@@ -443,19 +467,43 @@ struct CommThread {
 impl CommThread {
     fn run(mut self) {
         if let Some(me) = self.me_task.clone() {
-            // Deterministic: park on the turnstile between messages —
-            // senders wake this task with the message's arrival time.
+            // Engine modes: buffer arrivals in virtual order and only
+            // service those strictly inside the current turn's horizon
+            // — anything a concurrent batch member sends arrives at or
+            // beyond the horizon, so the serviced set (and order) is
+            // independent of host thread timing. Senders wake this
+            // task with each message's arrival time.
             me.attach();
+            let mut heap: std::collections::BinaryHeap<Buffered<Msg>> =
+                std::collections::BinaryHeap::new();
             loop {
                 while let Some(env) = self.rx.try_recv() {
+                    heap.push(Buffered::new(env));
+                }
+                let horizon = me.horizon().nanos();
+                while heap.peek().is_some_and(|b| b.arrival_ns() < horizon) {
+                    let env = heap.pop().expect("peeked").into_env();
                     if !self.handle(env) {
                         return;
+                    }
+                    // Servicing may have replied; pick up anything that
+                    // landed meanwhile before deciding whether to park.
+                    while let Some(env) = self.rx.try_recv() {
+                        heap.push(Buffered::new(env));
                     }
                 }
                 if self.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                me.block();
+                match heap.peek() {
+                    // Future traffic buffered: runnable again at its
+                    // arrival — it competes in batch selection like any
+                    // other virtual event.
+                    Some(b) => me.yield_until(SimInstant(b.arrival_ns())),
+                    // Nothing pending: park at virtual infinity until a
+                    // sender (or the shutdown poke) wakes us.
+                    None => me.block_with(lots_sim::BlockReason::Idle),
+                }
             }
         } else {
             // Free-running: poll with a timeout; the shutdown path

@@ -13,7 +13,9 @@ use crossbeam::channel::{unbounded, Sender};
 use lots_core::consistency::SyncCtx;
 use lots_core::diff::WordDiff;
 use lots_core::Placement;
-use lots_net::{cluster_ext, Envelope, NetReceiver, NetSender, NodeId, Recv, TrafficStats};
+use lots_net::{
+    cluster_ext, Buffered, Envelope, NetReceiver, NetSender, NodeId, Recv, TrafficStats,
+};
 use lots_sim::{
     FaultPlan, MachineConfig, NodeStats, SchedHandle, Scheduler, SchedulerMode, SimClock,
     SimInstant, TimeCategory,
@@ -95,6 +97,13 @@ pub struct JiaNodeReport {
     pub stats: NodeStats,
     /// The node's traffic counters.
     pub traffic: TrafficStats,
+    /// Scheduler dispatches of this node's app + comm tasks (0 under
+    /// free-running mode). A pure function of the simulated schedule:
+    /// identical across `Deterministic` and `Parallel` runs.
+    pub sched_turns: u64,
+    /// Wakes delivered to this node's app + comm tasks (0 under
+    /// free-running mode); deterministic like `sched_turns`.
+    pub sched_wakes: u64,
 }
 
 /// Cluster-wide outcome.
@@ -106,6 +115,10 @@ pub struct JiaReport {
     pub exec_time: SimInstant,
     /// The seed the cluster ran with.
     pub seed: u64,
+    /// Whole-run scheduler counters (`None` under free-running mode).
+    /// `turns`/`wakes`/`epochs` are engine-independent; the worker
+    /// fields describe host execution only.
+    pub sched: Option<lots_sim::SchedSummary>,
 }
 
 /// Run an SPMD application on a simulated JIAJIA cluster.
@@ -117,18 +130,17 @@ where
     let n = opts.n;
     assert!(n >= 1);
     let clocks: Vec<SimClock> = (0..n).map(|_| SimClock::new()).collect();
-    let (sched, app_tasks, comm_tasks) = match opts.scheduler {
-        SchedulerMode::Deterministic => {
-            let s = Scheduler::new();
-            let apps: Vec<SchedHandle> = (0..n)
-                .map(|i| s.register(format!("jia-app-{i}"), clocks[i].clone(), false))
-                .collect();
-            let comms: Vec<SchedHandle> = (0..n)
-                .map(|i| s.register(format!("jia-comm-{i}"), clocks[i].clone(), true))
-                .collect();
-            (Some(s), Some(apps), Some(comms))
-        }
-        SchedulerMode::FreeRunning => (None, None, None),
+    let (sched, app_tasks, comm_tasks) = if opts.scheduler.uses_engine() {
+        let s = Scheduler::new(opts.scheduler, opts.machine.net.min_latency());
+        let apps: Vec<SchedHandle> = (0..n)
+            .map(|i| s.register(format!("jia-app-{i}"), clocks[i].clone(), i, false))
+            .collect();
+        let comms: Vec<SchedHandle> = (0..n)
+            .map(|i| s.register(format!("jia-comm-{i}"), clocks[i].clone(), i, true))
+            .collect();
+        (Some(s), Some(apps), Some(comms))
+    } else {
+        (None, None, None)
     };
     // delay_for() short-circuits when no delay is configured, so the
     // net layer can take the whole plan whenever anything is active.
@@ -320,11 +332,22 @@ where
     let nodes: Vec<JiaNodeReport> = probes
         .into_iter()
         .enumerate()
-        .map(|(me, (clock, stats, traffic))| JiaNodeReport {
-            me,
-            time: clock.now(),
-            stats,
-            traffic,
+        .map(|(me, (clock, stats, traffic))| {
+            let (sched_turns, sched_wakes) = match (&app_tasks, &comm_tasks) {
+                (Some(apps), Some(comms)) => (
+                    apps[me].turns() + comms[me].turns(),
+                    apps[me].wakes() + comms[me].wakes(),
+                ),
+                _ => (0, 0),
+            };
+            JiaNodeReport {
+                me,
+                time: clock.now(),
+                stats,
+                traffic,
+                sched_turns,
+                sched_wakes,
+            }
         })
         .collect();
     let exec_time = nodes
@@ -338,6 +361,7 @@ where
             nodes,
             exec_time,
             seed: opts.seed,
+            sched: sched.as_ref().map(|s| s.summary()),
         },
     )
 }
@@ -356,17 +380,33 @@ struct CommThread {
 impl CommThread {
     fn run(mut self) {
         if let Some(me) = self.me_task.clone() {
+            // Engine modes: buffer arrivals in virtual order and only
+            // service those strictly inside the current turn's horizon
+            // (see the LOTS comm loop for the full argument).
             me.attach();
+            let mut heap: std::collections::BinaryHeap<Buffered<JMsg>> =
+                std::collections::BinaryHeap::new();
             loop {
                 while let Some(env) = self.rx.try_recv() {
+                    heap.push(Buffered::new(env));
+                }
+                let horizon = me.horizon().nanos();
+                while heap.peek().is_some_and(|b| b.arrival_ns() < horizon) {
+                    let env = heap.pop().expect("peeked").into_env();
                     if !self.handle(env) {
                         return;
+                    }
+                    while let Some(env) = self.rx.try_recv() {
+                        heap.push(Buffered::new(env));
                     }
                 }
                 if self.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                me.block();
+                match heap.peek() {
+                    Some(b) => me.yield_until(SimInstant(b.arrival_ns())),
+                    None => me.block_with(lots_sim::BlockReason::Idle),
+                }
             }
         } else {
             loop {

@@ -9,14 +9,14 @@
 //! * synchronization carries **write notices only** — invalidations,
 //!   never data (write-invalidate on both paths).
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 use lots_core::consistency::SyncCtx;
 use lots_core::protocol::messages::ctl;
 use lots_core::NamedAllocReq;
 use lots_net::NodeId;
-use lots_sim::{SchedHandle, SimDuration, SimInstant, TimeCategory};
+use lots_sim::{BlockReason, SchedHandle, SimDuration, SimInstant, TimeCategory};
 use parking_lot::{Condvar, Mutex};
 
 /// One aggregated write notice: the page, one of its writers, and
@@ -46,6 +46,11 @@ struct BarState {
     gen: u64,
     count: usize,
     enter_max: SimInstant,
+    /// The *virtual* last arriver — lex-max `(arrive, node)` — and its
+    /// per-entry handler cost. Exit processing is charged at this
+    /// node's CPU speed, not the physically-last thread's (which races
+    /// under the parallel engine once CPU-slowdown faults differ).
+    enter_last: (SimInstant, NodeId, SimDuration),
     notices: Vec<(u32, NodeId)>,
     frees: BTreeSet<(u32, u32)>,
     named: Vec<(NodeId, usize, NamedAllocReq)>,
@@ -78,6 +83,7 @@ impl JiaBarrier {
                 gen: 0,
                 count: 0,
                 enter_max: SimInstant::ZERO,
+                enter_last: (SimInstant::ZERO, 0, SimDuration::ZERO),
                 notices: Vec::new(),
                 frees: BTreeSet::new(),
                 named: Vec::new(),
@@ -128,6 +134,9 @@ impl JiaBarrier {
         ctx.traffic.record_send(bytes, ctx.net.fragments(bytes));
         let arrive = ctx.clock.now() + ctx.net.one_way(bytes);
         st.enter_max = st.enter_max.max(arrive);
+        if (arrive, ctx.me) >= (st.enter_last.0, st.enter_last.1) {
+            st.enter_last = (arrive, ctx.me, ctx.cpu.handler_entry);
+        }
         st.notices.extend(notices.into_iter().map(|p| (p, ctx.me)));
         st.frees.extend(frees);
         for (idx, req) in named.into_iter().enumerate() {
@@ -168,7 +177,7 @@ impl JiaBarrier {
             let named_list: Vec<NamedAllocReq> =
                 named_keyed.into_iter().map(|(_, _, r)| r).collect();
             st.exit_time = st.enter_max
-                + SimDuration(ctx.cpu.handler_entry.0 * self.n as u64)
+                + SimDuration(st.enter_last.2 .0 * self.n as u64)
                 + SimDuration(250 * (written.len() + freed.len() + named_list.len()) as u64);
             st.result = Some(Arc::new(written));
             st.freed_result = Some(Arc::new(freed));
@@ -176,6 +185,7 @@ impl JiaBarrier {
             st.seq += 1;
             st.count = 0;
             st.enter_max = SimInstant::ZERO;
+            st.enter_last = (SimInstant::ZERO, 0, SimDuration::ZERO);
             st.gen += 1;
             self.cv.notify_all();
             for w in st.sched_waiters.drain(..) {
@@ -188,6 +198,7 @@ impl JiaBarrier {
                     st,
                     |s| &mut s.sched_waiters,
                     &h,
+                    BlockReason::Barrier,
                 );
                 Self::check_poison(&st);
             }
@@ -221,7 +232,10 @@ impl JiaBarrier {
 struct LockState {
     ts: u64,
     holder: Option<NodeId>,
-    waiters: VecDeque<NodeId>,
+    /// Waiters ordered by virtual request arrival `(req_arrive, node)`
+    /// — the grant order is a pure function of virtual time (see the
+    /// LOTS lock service for the full argument).
+    waiters: BTreeSet<(u64, NodeId)>,
     release_time: SimInstant,
     /// Write notices: page → (last release ts, writer).
     notices: HashMap<u32, (u64, NodeId)>,
@@ -283,7 +297,7 @@ impl JiaLocks {
                 state: Mutex::new(LockState {
                     ts: 0,
                     holder: None,
-                    waiters: VecDeque::new(),
+                    waiters: BTreeSet::new(),
                     release_time: SimInstant::ZERO,
                     notices: HashMap::new(),
                     seen: vec![0; self.n],
@@ -294,7 +308,13 @@ impl JiaLocks {
         }))
     }
 
-    /// Acquire: blocks FIFO; returns the pages to invalidate.
+    /// Acquire: blocks in virtual request-arrival order; returns the
+    /// pages to invalidate. Under the virtual-time engine the front
+    /// waiter of a free lock parks on the conservative grant gate
+    /// ([`SchedHandle::block_gated`]) so a grant is observed only once
+    /// no earlier-sorting request can still appear; the gate bounds
+    /// competing requests, not the holder's release, so the condition
+    /// is re-checked after promotion.
     pub fn acquire(&self, lock: u32, ctx: &SyncCtx) -> Vec<u32> {
         let entry = self.entry(lock);
         let mut st = entry.state.lock();
@@ -302,24 +322,39 @@ impl JiaLocks {
         let req_arrive = ctx.clock.now() + ctx.net.one_way(ctl::LOCK_ACQ);
         ctx.traffic.record_send(ctl::LOCK_ACQ, 1);
         self.check_poison();
-        st.waiters.push_back(ctx.me);
+        let key = (req_arrive.nanos(), ctx.me);
+        st.waiters.insert(key);
         if let Some(h) = ctx.sched.clone() {
-            while st.holder.is_some() || st.waiters.front() != Some(&ctx.me) {
-                st = lots_core::consistency::sched_wait_step(
-                    &entry.state,
-                    st,
-                    |s| &mut s.sched_waiters,
-                    &h,
-                );
-                self.check_poison();
+            loop {
+                if st.holder.is_none() && st.waiters.first() == Some(&key) {
+                    drop(st);
+                    h.block_gated(req_arrive, ctx.me);
+                    st = entry.state.lock();
+                    self.check_poison();
+                    if st.holder.is_none() && st.waiters.first() == Some(&key) {
+                        break;
+                    }
+                } else {
+                    st = lots_core::consistency::sched_wait_step(
+                        &entry.state,
+                        st,
+                        |s| &mut s.sched_waiters,
+                        &h,
+                        BlockReason::LockQueue {
+                            at: req_arrive.nanos(),
+                            rank: ctx.me,
+                        },
+                    );
+                    self.check_poison();
+                }
             }
         } else {
-            while st.holder.is_some() || st.waiters.front() != Some(&ctx.me) {
+            while st.holder.is_some() || st.waiters.first() != Some(&key) {
                 entry.cv.wait(&mut st);
                 self.check_poison();
             }
         }
-        st.waiters.pop_front();
+        st.waiters.remove(&key);
         st.holder = Some(ctx.me);
         let seen = st.seen[ctx.me];
         let mut invalidate: Vec<u32> = st

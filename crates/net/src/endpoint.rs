@@ -223,6 +223,7 @@ impl<M: WireSize> NetReceiver<M> {
                 },
             );
         }
+        let seq = pkt.frag.msg_seq;
         let payload = self.reasm.push(pkt.src, pkt.frag)?;
         let h = self
             .headers
@@ -237,6 +238,7 @@ impl<M: WireSize> NetReceiver<M> {
             arrival: h.arrival,
             wire_bytes: h.wire_bytes,
             fragments: h.fragments,
+            seq,
         })
     }
 

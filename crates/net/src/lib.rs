@@ -16,5 +16,5 @@ pub mod stats;
 pub use endpoint::{cluster, cluster_ext, NetReceiver, NetSender, Recv};
 pub use flow::{LinkClock, Transmission};
 pub use fragment::{split, Fragment, Reassembler};
-pub use message::{Envelope, NodeId, WireSize, FRAGMENT_HEADER_BYTES};
+pub use message::{Buffered, Envelope, NodeId, WireSize, FRAGMENT_HEADER_BYTES};
 pub use stats::TrafficStats;

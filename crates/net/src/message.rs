@@ -47,11 +47,67 @@ pub struct Envelope<M> {
     pub wire_bytes: usize,
     /// Number of UDP fragments the message was split into.
     pub fragments: u32,
+    /// Sender-side send sequence number: position of this message in
+    /// the total order of everything `src` has ever sent (to any
+    /// destination). `(arrival, src, seq)` is therefore a unique,
+    /// schedule-independent key — comm loops use it to consume buffered
+    /// messages in a deterministic order under the parallel engine.
+    pub seq: u64,
 }
 
 /// Per-fragment UDP/LOTS header overhead, modeled after a UDP header
 /// plus the sequence/reassembly fields a runtime DSM prepends.
 pub const FRAGMENT_HEADER_BYTES: usize = 28;
+
+/// A received envelope buffered in virtual-arrival order.
+///
+/// The key `(arrival, src, seq)` is unique and schedule-independent, so
+/// the service order of concurrently delivered messages is a pure
+/// function of virtual time — the parallel engine and the sequential
+/// oracle drain the buffer identically. `Ord` is reversed so that a
+/// `std::collections::BinaryHeap<Buffered<M>>` pops the *earliest* key.
+#[derive(Debug)]
+pub struct Buffered<M> {
+    key: (u64, NodeId, u64),
+    env: Envelope<M>,
+}
+
+impl<M> Buffered<M> {
+    pub fn new(env: Envelope<M>) -> Buffered<M> {
+        Buffered {
+            key: (env.arrival.nanos(), env.src, env.seq),
+            env,
+        }
+    }
+
+    /// Virtual arrival time of the buffered envelope, in nanoseconds.
+    pub fn arrival_ns(&self) -> u64 {
+        self.key.0
+    }
+
+    /// Consume the wrapper, yielding the envelope.
+    pub fn into_env(self) -> Envelope<M> {
+        self.env
+    }
+}
+
+impl<M> PartialEq for Buffered<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<M> Eq for Buffered<M> {}
+impl<M> PartialOrd for Buffered<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Buffered<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest key.
+        other.key.cmp(&self.key)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -72,6 +128,7 @@ mod tests {
             arrival: SimInstant(10),
             wire_bytes: 31,
             fragments: 1,
+            seq: 0,
         };
         let f = e.clone();
         assert_eq!(f.src, 3);

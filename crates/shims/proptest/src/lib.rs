@@ -166,7 +166,9 @@ pub mod strategy {
         (A, B, C),
         (A, B, C, D),
         (A, B, C, D, E),
-        (A, B, C, D, E, G)
+        (A, B, C, D, E, G),
+        (A, B, C, D, E, G, H),
+        (A, B, C, D, E, G, H, I)
     );
 
     /// Strategy yielding a constant value on every case.

@@ -119,6 +119,16 @@ impl NetModel {
         }
     }
 
+    /// Minimum virtual delay between any send and its delivery — the
+    /// conservative-DES lookahead window. `one_way` is `latency` plus
+    /// strictly non-negative terms, and fault injection only *adds*
+    /// delay, so no envelope can ever arrive sooner than this after it
+    /// was sent.
+    #[inline]
+    pub fn min_latency(&self) -> SimDuration {
+        self.latency
+    }
+
     /// Pure serialization time of `bytes` on the wire.
     #[inline]
     pub fn wire_time(&self, bytes: usize) -> SimDuration {

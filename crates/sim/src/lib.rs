@@ -25,5 +25,5 @@ pub use cost::{CpuModel, DiskModel, NetModel};
 pub use diskq::{DiskOp, DiskQueue};
 pub use fault::{FaultPlan, PanicFault};
 pub use machine::MachineConfig;
-pub use sched::{SchedHandle, Scheduler, SchedulerMode};
-pub use stats::{NodeStats, TimeCategory, ALL_CATEGORIES};
+pub use sched::{BlockReason, SchedHandle, Scheduler, SchedulerMode};
+pub use stats::{NodeStats, SchedSummary, TimeCategory, ALL_CATEGORIES};

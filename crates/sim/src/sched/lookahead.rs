@@ -1,0 +1,98 @@
+//! The conservative lock-grant gate.
+//!
+//! Lock services order their waiter queues by *virtual request
+//! arrival* `(at, rank)` instead of physical FIFO, which makes the
+//! grant **order** a pure function of virtual time. What remains is
+//! the grant **decision**: the front waiter may only proceed once no
+//! other task could still issue a request that would sort ahead of it.
+//! That is exactly a conservative-DES null-message bound, and this
+//! module computes it from the engine's global task table.
+//!
+//! For a gated front waiter with key `(at, rank)`, every other
+//! unfinished non-daemon task `o` contributes a lower bound on the
+//! earliest virtual arrival of any lock request it could still make:
+//!
+//! * **Runnable / generic-blocked** — `(ready_o, id_o)`: it resumes at
+//!   its ready time and a fresh request costs at least one wire
+//!   latency more; using the ready time itself is conservative.
+//! * **Lock queue / lock gate** — its current request key: granting and
+//!   releasing (then re-requesting) only moves it later.
+//! * **Reply wait** — `(m + L, id_o)`: its reply is carried by a comm
+//!   daemon whose next event is at or after the global runnable
+//!   minimum `m`, and the reply rides a link of latency ≥ `L`; any
+//!   request it makes after resuming is strictly later than `m + L`.
+//! * **Barrier wait** — excluded: barrier exit requires every node to
+//!   enter, *including the gated requester's*, which cannot happen
+//!   before the gated grant completes — a request from `o` cannot
+//!   precede the grant, by causality.
+//! * **Daemons** — excluded: comm tasks never acquire application
+//!   locks (their in-flight deliveries are covered through `m`).
+//!
+//! The gate passes iff `(at, rank) <` every bound. Bounds only grow as
+//! virtual time advances, so a passed gate stays passed; and the
+//! lexicographically least gated key always beats every other gated
+//! key, so gate evaluation can never deadlock on its own — if nothing
+//! is promotable while non-daemons are blocked, the cluster is
+//! genuinely deadlocked and the engine panics with the reasons.
+
+use super::task::{BlockReason, Task, TaskState};
+
+/// Lower bound on the earliest virtual arrival (as a `(time, rank)`
+/// key) of any future lock request by task `o`; `None` = can be ruled
+/// out entirely.
+fn bound(o: &Task, id: usize, m_plus_l: u64) -> Option<(u64, usize)> {
+    if o.daemon {
+        return None;
+    }
+    match o.state {
+        TaskState::Finished => None,
+        TaskState::Runnable | TaskState::Running => Some((o.ready_at, id)),
+        TaskState::Blocked => match o.reason {
+            BlockReason::Other => Some((o.ready_at, id)),
+            BlockReason::Reply => Some((m_plus_l, id)),
+            BlockReason::LockQueue { at, rank } | BlockReason::LockGate { at, rank } => {
+                Some((at, rank))
+            }
+            BlockReason::Barrier => None,
+            // Idle is daemon-only; unreachable for non-daemons, but
+            // treat it conservatively as a generic block if it happens.
+            BlockReason::Idle => Some((o.ready_at, id)),
+        },
+    }
+}
+
+/// Ids of gate-blocked tasks whose grant is now safe, evaluated
+/// against a single snapshot of the task table (promoting one cannot
+/// invalidate another: both keys beat every bound in the snapshot,
+/// and a promoted task's future requests sort after its own key).
+pub(crate) fn promotable(tasks: &[Task], lookahead: u64) -> Vec<usize> {
+    let m = tasks
+        .iter()
+        .filter(|t| t.state == TaskState::Runnable)
+        .map(|t| t.ready_at)
+        .min()
+        .unwrap_or(u64::MAX);
+    let m_plus_l = m.saturating_add(lookahead);
+    let mut out = Vec::new();
+    'gated: for (id, t) in tasks.iter().enumerate() {
+        let BlockReason::LockGate { at, rank } = t.reason else {
+            continue;
+        };
+        if t.state != TaskState::Blocked {
+            continue;
+        }
+        let key = (at, rank);
+        for (oid, o) in tasks.iter().enumerate() {
+            if oid == id {
+                continue;
+            }
+            if let Some(b) = bound(o, oid, m_plus_l) {
+                if b <= key {
+                    continue 'gated;
+                }
+            }
+        }
+        out.push(id);
+    }
+    out
+}

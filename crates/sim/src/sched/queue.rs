@@ -1,0 +1,62 @@
+//! Per-node run queues and epoch batch selection.
+//!
+//! An epoch's batch is chosen under one rule: a runnable task may join
+//! the batch iff its ready time lies strictly inside the lookahead
+//! window `[m, m + L)`, where `m` is the minimum ready time over all
+//! runnable tasks and `L` the minimum link latency — no message sent
+//! by any batch member can arrive before `m + L`, so nothing a member
+//! does can land in a co-member's consumable past. Two refinements:
+//!
+//! * **One task per node.** App and comm tasks of a node share the
+//!   node's clock (and its `NodeState`); only the node's min-key task
+//!   joins, the other waits for a later epoch.
+//! * **Never empty.** When the window admits nobody (`L = 0`, or a
+//!   lone straggler), the global min-key task runs solo with an
+//!   infinite horizon — the pure turnstile regime, trivially safe
+//!   because nothing else runs.
+
+use super::task::{Task, TaskState};
+
+/// Outcome of batch selection: the chosen task ids in dispatch order
+/// (ascending (ready, id)) and the epoch horizon.
+pub(crate) struct Batch {
+    pub members: Vec<usize>,
+    pub horizon: u64,
+}
+
+/// Select the next epoch's batch. Returns `None` when nothing is
+/// runnable (idle, or deadlock — the caller distinguishes).
+pub(crate) fn select(tasks: &[Task], lookahead: u64) -> Option<Batch> {
+    // Per-node minima first: at most one task per node may run.
+    let mut per_node: Vec<(u64, usize)> = Vec::new(); // (ready, id), min per node
+    for (id, t) in tasks.iter().enumerate() {
+        if t.state != TaskState::Runnable {
+            continue;
+        }
+        let key = t.key(id);
+        match per_node.iter_mut().find(|(_, i)| tasks[*i].node == t.node) {
+            Some(slot) => {
+                if key < (slot.0, slot.1) {
+                    *slot = key;
+                }
+            }
+            None => per_node.push(key),
+        }
+    }
+    let &(m, min_id) = per_node.iter().min()?;
+    let bound = m.saturating_add(lookahead);
+    let mut members: Vec<(u64, usize)> = per_node
+        .iter()
+        .copied()
+        .filter(|&(ready, _)| ready < bound)
+        .collect();
+    if members.is_empty() {
+        members.push((m, min_id));
+    }
+    members.sort_unstable();
+    let horizon = if members.len() == 1 { u64::MAX } else { bound };
+    Some(Batch {
+        members: members.into_iter().map(|(_, id)| id).collect(),
+        horizon,
+    })
+}

@@ -276,6 +276,32 @@ impl NodeStats {
     }
 }
 
+/// Whole-run counters from the virtual-time scheduler, reported once
+/// per cluster run (`None`/empty under free-running mode).
+///
+/// `turns`, `wakes`, and `epochs` are pure functions of the simulated
+/// schedule: identical across `Deterministic` and `Parallel` runs of
+/// the same workload, and part of the byte-identity contract.
+/// `max_concurrent` and `worker_busy_ns` describe the *host* execution
+/// (how wide batches got against the worker cap, wall time each pool
+/// slot spent running tasks); they are informative only and excluded
+/// from cross-engine comparisons.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedSummary {
+    /// Task dispatches over the whole run.
+    pub turns: u64,
+    /// Wake calls delivered (including sticky wakes and hints).
+    pub wakes: u64,
+    /// Epoch barriers crossed (batch selections).
+    pub epochs: u64,
+    /// Largest number of tasks dispatched concurrently in any epoch,
+    /// capped by the worker pool width. Host-side; informative only.
+    pub max_concurrent: usize,
+    /// Host nanoseconds each worker-pool slot spent running tasks.
+    /// Host-side; informative only.
+    pub worker_busy_ns: Vec<u64>,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,21 +1,26 @@
-//! PR 3 acceptance: the deterministic virtual-time scheduler makes
-//! whole cluster runs bit-reproducible.
+//! PR 3/PR 6 acceptance: the virtual-time engine makes whole cluster
+//! runs bit-reproducible — and the conservative parallel engine is
+//! byte-identical to the sequential oracle.
 //!
 //! * Same seed ⇒ byte-identical reports (clocks, stats, traffic) on
 //!   all three systems (LOTS, LOTS-x, JIAJIA), for SOR and RX.
+//! * `Parallel { workers }` reproduces the `Deterministic` oracle's
+//!   fingerprint exactly on SOR, RX and object churn — including the
+//!   deterministic scheduler counters (turns/wakes/epochs).
 //! * Seeds actually steer the seeded workloads' data end to end.
-//! * Random `FaultPlan` message delays and CPU slowdowns change only
-//!   *times*, never application results (Scope Consistency hides
-//!   latency, not values) — property-tested.
-//! * An injected node panic rides the PR 1 poisoning path.
-//! * A p = 16 SOR run is deterministic (the CI smoke job; `--ignored`
-//!   locally to keep the default suite snappy).
+//! * Random `FaultPlan` message delays, CPU slowdowns and barrier
+//!   panics perturb every engine *identically* — property-tested
+//!   across `Deterministic`, `Parallel{1}` and `Parallel{N}`.
+//! * A seeded lock-order deadlock panics (never hangs) under both
+//!   engines, with the same virtual-time snapshot headline.
+//! * p = 16 and p = 256 smoke runs are deterministic (the CI jobs;
+//!   `--ignored` locally to keep the default suite snappy).
 
 use lots::apps::runner::{run_app, RunConfig, RunOutcome, System};
-use lots::apps::{rx::RxParams, sor::SorParams};
+use lots::apps::{churn::ChurnParams, rx::RxParams, sor::SorParams};
 use lots::core::{run_cluster, ClusterOptions, ClusterReport, DsmApi, DsmSlice, LotsConfig};
 use lots::sim::machine::p4_fedora;
-use lots::sim::{FaultPlan, PanicFault, SimDuration, TimeCategory, ALL_CATEGORIES};
+use lots::sim::{FaultPlan, PanicFault, SchedulerMode, SimDuration, TimeCategory, ALL_CATEGORIES};
 use proptest::prelude::*;
 
 const SOR_SMALL: SorParams = SorParams { n: 64, iters: 8 };
@@ -55,6 +60,17 @@ fn outcome_fingerprint(o: &RunOutcome) -> String {
     }
     for (i, n) in o.per_node.iter().enumerate() {
         let _ = write!(s, " n{i}=({},{})", n.checksum, n.elapsed.nanos());
+    }
+    // Scheduler counters: turns/wakes/epochs are pure functions of the
+    // simulated schedule and must agree across engines. The host-side
+    // fields (max_concurrent, worker busy time) are deliberately
+    // excluded — they describe host execution, not the simulation.
+    if let Some(sched) = &o.sched {
+        let _ = write!(
+            s,
+            " sched=({},{},{})",
+            sched.turns, sched.wakes, sched.epochs
+        );
     }
     s
 }
@@ -240,6 +256,231 @@ fn free_running_mode_remains_correct() {
     let det = run_app(&cfg(System::Lots, 4, 42), SOR_SMALL);
     assert_eq!(out.combined.checksum, det.combined.checksum);
     assert_eq!(out.access_checks, det.access_checks);
+}
+
+// ---------------------------------------------------------------------
+// PR 6: the conservative parallel engine vs. the sequential oracle.
+// ---------------------------------------------------------------------
+
+/// The engine matrix every parallel test sweeps: the sequential oracle,
+/// a one-worker parallel engine (same epochs, degenerate concurrency)
+/// and a genuinely concurrent pool.
+const ENGINES: [SchedulerMode; 3] = [
+    SchedulerMode::Deterministic,
+    SchedulerMode::Parallel { workers: 1 },
+    SchedulerMode::Parallel { workers: 4 },
+];
+
+fn cfg_with(system: System, n: usize, seed: u64, mode: SchedulerMode) -> RunConfig {
+    let mut c = cfg(system, n, seed);
+    c.scheduler = mode;
+    c
+}
+
+/// A churn configuration small enough for the default suite.
+const CHURN_SMALL: ChurnParams = ChurnParams {
+    phases: 6,
+    objs_per_phase: 2,
+    elems: 2048,
+    retain: 1,
+    ckpt_elems: 16,
+};
+
+#[test]
+fn parallel_engine_matches_sequential_oracle_on_sor() {
+    let oracle = outcome_fingerprint(&run_app(
+        &cfg_with(System::Lots, 4, 42, SchedulerMode::Deterministic),
+        SOR_SMALL,
+    ));
+    for mode in ENGINES {
+        let got = outcome_fingerprint(&run_app(&cfg_with(System::Lots, 4, 42, mode), SOR_SMALL));
+        assert_eq!(got, oracle, "SOR diverged from the oracle under {mode:?}");
+    }
+}
+
+#[test]
+fn parallel_engine_matches_sequential_oracle_on_rx() {
+    let oracle = outcome_fingerprint(&run_app(
+        &cfg_with(System::Lots, 4, 42, SchedulerMode::Deterministic),
+        RX_SMALL,
+    ));
+    for mode in ENGINES {
+        let got = outcome_fingerprint(&run_app(&cfg_with(System::Lots, 4, 42, mode), RX_SMALL));
+        assert_eq!(got, oracle, "RX diverged from the oracle under {mode:?}");
+    }
+}
+
+#[test]
+fn parallel_engine_matches_sequential_oracle_on_object_churn() {
+    let oracle = outcome_fingerprint(&run_app(
+        &cfg_with(System::Lots, 4, 42, SchedulerMode::Deterministic),
+        CHURN_SMALL,
+    ));
+    for mode in ENGINES {
+        let got = outcome_fingerprint(&run_app(&cfg_with(System::Lots, 4, 42, mode), CHURN_SMALL));
+        assert_eq!(got, oracle, "churn diverged from the oracle under {mode:?}");
+    }
+}
+
+#[test]
+fn parallel_engine_matches_oracle_on_jiajia_too() {
+    let oracle = outcome_fingerprint(&run_app(
+        &cfg_with(System::Jiajia, 4, 42, SchedulerMode::Deterministic),
+        SOR_SMALL,
+    ));
+    for mode in ENGINES {
+        let got = outcome_fingerprint(&run_app(&cfg_with(System::Jiajia, 4, 42, mode), SOR_SMALL));
+        assert_eq!(
+            got, oracle,
+            "JIAJIA SOR diverged from oracle under {mode:?}"
+        );
+    }
+}
+
+/// Run an app, capturing either its fingerprint or its panic message —
+/// faults that kill a node must kill it *identically* on every engine.
+fn fingerprint_or_panic(cfg: &RunConfig, prog: impl lots::apps::adapter::DsmProgram) -> String {
+    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        outcome_fingerprint(&run_app(cfg, prog))
+    }));
+    match res {
+        Ok(fp) => format!("ok:{fp}"),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&'static str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic".to_string());
+            format!("panic:{msg}")
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random fault plans — message jitter, a straggler node, and an
+    /// optional barrier kill — produce byte-identical outcomes (or
+    /// byte-identical panics) across the sequential oracle and both
+    /// parallel pool widths, on all three committed workload shapes.
+    #[test]
+    fn random_faults_are_engine_invariant(
+        fault_seed in any::<u64>(),
+        delay_us in 0u64..400,
+        slow_node in 0usize..4,
+        slow_pct in 0u64..150,
+        kill_roll in 0u64..10,
+        kill_node in 0usize..4,
+        kill_barrier in 1u64..3,
+    ) {
+        // ~30% of cases also kill a node at a barrier.
+        let kill = (kill_roll < 3).then_some((kill_node, kill_barrier));
+        let faults = FaultPlan {
+            seed: fault_seed,
+            max_msg_delay: SimDuration::from_micros(delay_us),
+            cpu_slowdown: vec![(slow_node, 1.0 + slow_pct as f64 / 100.0)],
+            panic_node: kill.map(|(node, at_barrier)| PanicFault { node, at_barrier }),
+        };
+        for (label, prog) in [("sor", Ok(SOR_SMALL)), ("rx", Err(RX_SMALL))] {
+            let run = |mode: SchedulerMode| {
+                let mut c = cfg_with(System::Lots, 4, 9, mode);
+                c.faults = faults.clone();
+                match prog {
+                    Ok(p) => fingerprint_or_panic(&c, p),
+                    Err(p) => fingerprint_or_panic(&c, p),
+                }
+            };
+            let oracle = run(SchedulerMode::Deterministic);
+            for mode in ENGINES {
+                prop_assert_eq!(
+                    run(mode),
+                    oracle.clone(),
+                    "{} fault outcome diverged under {:?}",
+                    label,
+                    mode
+                );
+            }
+        }
+    }
+}
+
+/// Satellite (b): a seeded lock-order deadlock (AB–BA across two nodes)
+/// must panic with the engine's virtual-time snapshot — never hang —
+/// and do so under both the sequential oracle and the parallel pool.
+#[test]
+fn seeded_deadlock_panics_identically_under_both_engines() {
+    let deadlock = |mode: SchedulerMode| {
+        let opts =
+            ClusterOptions::new(2, LotsConfig::small(1 << 20), p4_fedora()).with_scheduler(mode);
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_cluster(opts, |dsm| {
+                let a = dsm.alloc::<i64>(64);
+                let (first, second) = if dsm.me() == 0 { (1, 2) } else { (2, 1) };
+                dsm.lock(first);
+                // Force real lock overlap: both nodes hold their first
+                // lock across a data exchange before requesting the
+                // other's — the classic AB-BA cycle.
+                a.write(dsm.me(), 1);
+                let _ = a.read(1 - dsm.me());
+                dsm.lock(second);
+                dsm.unlock(second);
+                dsm.unlock(first);
+            })
+        }));
+        let payload = res.expect_err("AB-BA deadlock must panic, not hang");
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| {
+                payload
+                    .downcast_ref::<&'static str>()
+                    .map(|s| s.to_string())
+            })
+            .expect("panic payload should be a string")
+    };
+    let seq = deadlock(SchedulerMode::Deterministic);
+    let par = deadlock(SchedulerMode::Parallel { workers: 2 });
+    // Which thread's deadlock panic wins the propagation race varies
+    // (detector vs. parked task), but every one of them carries the
+    // virtual-time deadlock headline — the reason-annotated snapshot
+    // itself is unit-tested in `lots_sim::sched`.
+    assert!(
+        seq.contains("virtual-time deadlock"),
+        "sequential engine must name the deadlock: {seq}"
+    );
+    assert!(
+        par.contains("virtual-time deadlock"),
+        "parallel engine must name the deadlock: {par}"
+    );
+}
+
+/// The p = 256 weak-scaling smoke (CI: `--ignored`): SOR and object
+/// churn complete in seconds under the parallel pool, and the parallel
+/// fingerprint equals the sequential oracle's at full scale.
+#[test]
+#[ignore = "CI weak-scaling job: run explicitly with --ignored"]
+fn p256_parallel_matches_oracle_smoke() {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let sor = SorParams { n: 512, iters: 2 };
+    let churn = ChurnParams {
+        phases: 4,
+        objs_per_phase: 1,
+        elems: 1024,
+        retain: 1,
+        ckpt_elems: 16,
+    };
+    let mut cseq = cfg_with(System::Lots, 256, 2004, SchedulerMode::Deterministic);
+    let mut cpar = cfg_with(System::Lots, 256, 2004, SchedulerMode::Parallel { workers });
+    cseq.dmm_bytes = 4 << 20;
+    cpar.dmm_bytes = 4 << 20;
+    let a = outcome_fingerprint(&run_app(&cseq, sor));
+    let b = outcome_fingerprint(&run_app(&cpar, sor));
+    assert_eq!(a, b, "p=256 SOR: parallel diverged from the oracle");
+    let a = outcome_fingerprint(&run_app(&cseq, churn));
+    let b = outcome_fingerprint(&run_app(&cpar, churn));
+    assert_eq!(a, b, "p=256 churn: parallel diverged from the oracle");
 }
 
 #[test]
