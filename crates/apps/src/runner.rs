@@ -6,7 +6,7 @@
 //! pure dispatch: pick the system, boot its cluster, hand each node's
 //! handle to the same [`DsmProgram`].
 
-use lots_core::{run_cluster, ClusterOptions, LotsConfig};
+use lots_core::{run_cluster, AnalyzeConfig, ClusterOptions, LotsConfig, RaceReport};
 use lots_jiajia::{run_jiajia_cluster, JiaOptions};
 use lots_sim::{FaultPlan, MachineConfig, SchedulerMode, SimDuration, SimInstant, TimeCategory};
 
@@ -55,6 +55,9 @@ pub struct RunConfig {
     pub scheduler: SchedulerMode,
     /// Seeded fault injection.
     pub faults: FaultPlan,
+    /// Correctness analysis (off by default; enabling it never
+    /// changes virtual times or workload results).
+    pub analyze: AnalyzeConfig,
 }
 
 impl RunConfig {
@@ -71,6 +74,7 @@ impl RunConfig {
             seed: 0,
             scheduler: SchedulerMode::Deterministic,
             faults: FaultPlan::none(),
+            analyze: AnalyzeConfig::off(),
         }
     }
 }
@@ -131,6 +135,9 @@ pub struct RunOutcome {
     /// schedule and agree between `Deterministic` and `Parallel`;
     /// `max_concurrent`/`worker_busy_ns` describe host execution only.
     pub sched: Option<lots_sim::SchedSummary>,
+    /// Race-detector report (`Some` iff [`RunConfig::analyze`] asked
+    /// for race detection).
+    pub races: Option<RaceReport>,
 }
 
 impl RunOutcome {
@@ -153,7 +160,8 @@ pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
             let opts = ClusterOptions::new(cfg.n, lots, cfg.machine)
                 .with_seed(cfg.seed)
                 .with_scheduler(cfg.scheduler)
-                .with_faults(cfg.faults.clone());
+                .with_faults(cfg.faults.clone())
+                .with_analyze(cfg.analyze);
             let (results, report) = run_cluster(opts, move |dsm| prog.run(dsm));
             let sum = |cat: TimeCategory| -> SimDuration {
                 SimDuration(report.nodes.iter().map(|n| n.stats.time_in(cat).0).sum())
@@ -191,13 +199,15 @@ pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
                 time_disk: sum(TimeCategory::Disk),
                 time_compute: sum(TimeCategory::Compute),
                 sched: report.sched,
+                races: report.races,
             }
         }
         System::Jiajia => {
             let opts = JiaOptions::new(cfg.n, cfg.shared_bytes, cfg.machine)
                 .with_seed(cfg.seed)
                 .with_scheduler(cfg.scheduler)
-                .with_faults(cfg.faults.clone());
+                .with_faults(cfg.faults.clone())
+                .with_analyze(cfg.analyze);
             let (results, report) = run_jiajia_cluster(opts, move |dsm| prog.run(dsm));
             let sum = |cat: TimeCategory| -> SimDuration {
                 SimDuration(report.nodes.iter().map(|n| n.stats.time_in(cat).0).sum())
@@ -225,6 +235,7 @@ pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
                 time_disk: SimDuration::ZERO,
                 time_compute: sum(TimeCategory::Compute),
                 sched: report.sched,
+                races: report.races,
             }
         }
     }

@@ -59,6 +59,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, TryRecvError};
+use lots_analyze::RaceDetector;
 use lots_net::{Envelope, NetSender, NodeId, TrafficStats};
 use lots_sim::{NodeStats, SimInstant, TimeCategory};
 use parking_lot::Mutex;
@@ -519,6 +520,10 @@ pub struct Dsm {
     pub(crate) view_spans: RefCell<Vec<ViewSpan>>,
     /// Token source for [`ViewSpan`] registration.
     pub(crate) view_token: Cell<u64>,
+    /// ScC race detector, shared cluster-wide when analysis is on
+    /// (see [`lots_analyze::AnalyzeConfig`]). `None` costs one branch
+    /// per access and leaves virtual times untouched.
+    pub(crate) analyze: Option<Arc<RaceDetector>>,
 }
 
 /// One live guard's byte extent (see [`Dsm::view_spans`]).
@@ -644,6 +649,11 @@ impl DsmApi for Dsm {
     fn lock(&self, lock: LockId) {
         self.assert_no_live_views("lock");
         let grant = self.locks.acquire(lock, &self.ctx);
+        // Happens-before edge lands only once the grant is actually
+        // held, so a racing acquirer can't observe it early.
+        if let Some(d) = &self.analyze {
+            d.on_lock_acquire(self.me, lock);
+        }
         let mut node = self.node.lock();
         node.apply_lock_updates(&grant.updates);
         for &(obj, holder) in &grant.invalidate {
@@ -655,6 +665,11 @@ impl DsmApi for Dsm {
 
     fn unlock(&self, lock: LockId) {
         self.assert_no_live_views("unlock");
+        // Publish the clock before the service hands the lock on —
+        // the next acquirer must join everything done in this CS.
+        if let Some(d) = &self.analyze {
+            d.on_lock_release(self.me, lock);
+        }
         self.locks
             .release(lock, &self.ctx, |ts| self.node.lock().exit_cs(lock, ts));
     }
@@ -698,6 +713,11 @@ impl Dsm {
                 "fault injection: node {} killed entering barrier {entered}",
                 self.me
             );
+        }
+        // Stamp the detector before the rendezvous: the node that
+        // completes the barrier must see every earlier node's clock.
+        if let Some(d) = &self.analyze {
+            d.on_barrier_enter(self.me);
         }
         // Phase A: collect notices plus the interval's staged frees
         // and named allocations, and receive the plan.
@@ -747,10 +767,20 @@ impl Dsm {
         self.node
             .lock()
             .barrier_finish(&plan.written, &plan.freed, &plan.named, seq)?;
+        // Only after the full rendezvous: the exit clock joins every
+        // node's enter stamp, starting a fresh interval.
+        if let Some(d) = &self.analyze {
+            d.on_barrier_exit(self.me);
+        }
         Ok(())
     }
 
     /// Event-only barrier (`run_barrier()`, §3.6): no memory effects.
+    ///
+    /// Deliberately invisible to the race detector: the paper defines
+    /// it as a pure rendezvous with no memory semantics, so it orders
+    /// *events*, not accesses — treating it as a happens-before edge
+    /// would hide real ScC races.
     pub fn run_barrier(&self) {
         self.barrier.run_barrier(&self.ctx);
     }
@@ -844,6 +874,14 @@ impl Dsm {
         }
     }
 
+    /// Record an application access with the race detector. A no-op
+    /// branch when analysis is off; never advances virtual time.
+    fn analyze_access(&self, obj: ObjectId, range: &Range<usize>, write: bool) {
+        if let Some(d) = &self.analyze {
+            d.on_access(self.me, obj.0, range.start as u64, range.end as u64, write);
+        }
+    }
+
     /// Register a live guard's span (after conflict checking it).
     fn register_view_span(
         &self,
@@ -855,6 +893,9 @@ impl Dsm {
             return None;
         }
         self.check_view_conflict(obj, range, mutable);
+        // A guard is one logical access over its whole span: mutable
+        // views count as writes, read views as reads.
+        self.analyze_access(obj, range, mutable);
         let token = self.view_token.get();
         self.view_token.set(token + 1);
         self.view_spans.borrow_mut().push(ViewSpan {
@@ -1046,6 +1087,7 @@ impl<'d, T: Pod> DsmSlice for SharedSlice<'d, T> {
         let at = (self.base + i) * T::SIZE;
         self.dsm
             .check_view_conflict(self.id, &(at..at + T::SIZE), false);
+        self.dsm.analyze_access(self.id, &(at..at + T::SIZE), false);
         self.dsm
             .with_object(self.id, false, 1, |bytes| T::read_from(&bytes[at..]))
     }
@@ -1055,6 +1097,7 @@ impl<'d, T: Pod> DsmSlice for SharedSlice<'d, T> {
         let at = (self.base + i) * T::SIZE;
         self.dsm
             .check_view_conflict(self.id, &(at..at + T::SIZE), true);
+        self.dsm.analyze_access(self.id, &(at..at + T::SIZE), true);
         self.dsm
             .with_object(self.id, true, 1, |bytes| v.write_to(&mut bytes[at..]))
     }
@@ -1064,6 +1107,7 @@ impl<'d, T: Pod> DsmSlice for SharedSlice<'d, T> {
         let at = (self.base + i) * T::SIZE;
         self.dsm
             .check_view_conflict(self.id, &(at..at + T::SIZE), true);
+        self.dsm.analyze_access(self.id, &(at..at + T::SIZE), true);
         self.dsm.with_object(self.id, true, 2, |bytes| {
             let v = f(T::read_from(&bytes[at..]));
             v.write_to(&mut bytes[at..]);
@@ -1078,6 +1122,8 @@ impl<'d, T: Pod> DsmSlice for SharedSlice<'d, T> {
         let at = (self.base + start) * T::SIZE;
         self.dsm
             .check_view_conflict(self.id, &(at..at + out.len() * T::SIZE), false);
+        self.dsm
+            .analyze_access(self.id, &(at..at + out.len() * T::SIZE), false);
         self.dsm
             .with_object(self.id, false, out.len() as u64, |bytes| {
                 for (k, slot) in out.iter_mut().enumerate() {
@@ -1094,6 +1140,8 @@ impl<'d, T: Pod> DsmSlice for SharedSlice<'d, T> {
         let at = (self.base + start) * T::SIZE;
         self.dsm
             .check_view_conflict(self.id, &(at..at + vals.len() * T::SIZE), true);
+        self.dsm
+            .analyze_access(self.id, &(at..at + vals.len() * T::SIZE), true);
         self.dsm
             .with_object(self.id, true, vals.len() as u64, |bytes| {
                 for (k, v) in vals.iter().enumerate() {

@@ -18,7 +18,7 @@
 //! application at the acquirer is identical; only the wire bytes (and
 //! hence virtual network time) differ.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -68,12 +68,14 @@ struct LockState {
     /// sequential oracle does regardless of host thread timing.
     waiters: BTreeSet<(u64, NodeId)>,
     release_time: SimInstant,
-    /// Per-field mode: obj → word → (ts, value).
-    per_field: HashMap<u32, HashMap<u32, (u64, u32)>>,
+    /// Per-field mode: obj → word → (ts, value). `BTreeMap`s so the
+    /// grant payload is (obj, word)-ordered by construction —
+    /// iteration order here reaches the wire.
+    per_field: BTreeMap<u32, BTreeMap<u32, (u64, u32)>>,
     /// Accumulated mode: (release ts, obj, whole diff).
     accumulated: Vec<(u64, u32, WordDiff)>,
-    /// obj → (last update ts, last writer).
-    obj_meta: HashMap<u32, (u64, NodeId)>,
+    /// obj → (last update ts, last writer); ordered like `per_field`.
+    obj_meta: BTreeMap<u32, (u64, NodeId)>,
     /// Per node: highest release ts already delivered.
     seen: Vec<u64>,
     /// Epoch marker: barrier seq at which this lock was last reset.
@@ -93,7 +95,7 @@ pub struct LockService {
     n: usize,
     diff_mode: DiffMode,
     protocol: LockProtocol,
-    locks: Mutex<HashMap<LockId, Arc<LockEntry>>>,
+    locks: Mutex<BTreeMap<LockId, Arc<LockEntry>>>,
     /// Set when a node's app thread panicked; waiters unblock and
     /// propagate instead of waiting on a holder that will never release.
     poisoned: AtomicBool,
@@ -107,7 +109,7 @@ impl LockService {
             n,
             diff_mode,
             protocol,
-            locks: Mutex::new(HashMap::new()),
+            locks: Mutex::new(BTreeMap::new()),
             poisoned: AtomicBool::new(false),
         }
     }
@@ -149,9 +151,9 @@ impl LockService {
                     holder: None,
                     waiters: BTreeSet::new(),
                     release_time: SimInstant::ZERO,
-                    per_field: HashMap::new(),
+                    per_field: BTreeMap::new(),
                     accumulated: Vec::new(),
-                    obj_meta: HashMap::new(),
+                    obj_meta: BTreeMap::new(),
                     seen: vec![0; self.n],
                     epoch: 0,
                     sched_waiters: Vec::new(),
@@ -237,13 +239,14 @@ impl LockService {
         let seen = st.seen[me];
         match self.protocol {
             LockProtocol::WriteInvalidate => {
+                // obj_meta is a BTreeMap: the list comes out
+                // object-ordered, no defensive sort needed.
                 let mut invalidate = Vec::new();
                 for (&obj, &(ts, writer)) in &st.obj_meta {
                     if ts > seen && writer != me {
                         invalidate.push((ObjectId(obj), writer));
                     }
                 }
-                invalidate.sort_by_key(|(o, _)| o.0);
                 let payload = invalidate.len() * 8;
                 Grant {
                     updates: Vec::new(),
@@ -255,13 +258,12 @@ impl LockService {
                 DiffMode::PerFieldOnDemand => {
                     // Fig. 7b: on-demand diff — only words newer than
                     // the requester's timestamp.
+                    // per_field's BTreeMaps iterate (obj, word)-ordered,
+                    // so the update list is sorted by construction.
                     let mut updates: GrantUpdates = Vec::new();
                     let mut payload = 0usize;
-                    let mut objs: Vec<_> = st.per_field.keys().copied().collect();
-                    objs.sort_unstable();
-                    for obj in objs {
-                        let words = &st.per_field[&obj];
-                        let mut fresh: Vec<(u32, u64, u32)> = words
+                    for (&obj, words) in &st.per_field {
+                        let fresh: Vec<(u32, u64, u32)> = words
                             .iter()
                             .filter(|&(_, &(ts, _))| ts > seen)
                             .map(|(&w, &(ts, v))| (w, ts, v))
@@ -269,7 +271,6 @@ impl LockService {
                         if fresh.is_empty() {
                             continue;
                         }
-                        fresh.sort_unstable_by_key(|&(w, _, _)| w);
                         payload += 8 + fresh.len() * 8; // obj hdr + (word,val)
                         updates.push((ObjectId(obj), fresh));
                     }

@@ -77,7 +77,8 @@ pub use config::{
 };
 pub use consistency::locks::LockId;
 pub use diff::WordDiff;
-pub use lots_sim::{FaultPlan, PanicFault, SchedulerMode};
+pub use lots_analyze::{AnalyzeConfig, RaceReport};
+pub use lots_sim::{FaultPlan, PanicFault, ScheduleScript, SchedulerMode};
 pub use node::{LotsError, SwapAccounting};
 pub use object::{Life, NamedAllocReq, ObjectId};
 pub use pod::Pod;

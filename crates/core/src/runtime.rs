@@ -29,13 +29,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Sender};
+use lots_analyze::{AnalyzeConfig, RaceDetector, RaceReport};
 use lots_disk::{BackingStore, MemStore};
 use lots_net::{
     cluster_ext, Buffered, Envelope, NetReceiver, NetSender, NodeId, Recv, TrafficStats,
 };
 use lots_sim::{
-    FaultPlan, MachineConfig, NodeStats, SchedHandle, Scheduler, SchedulerMode, SimClock,
-    SimInstant, TimeCategory,
+    FaultPlan, MachineConfig, NodeStats, SchedHandle, ScheduleScript, Scheduler, SchedulerMode,
+    SimClock, SimInstant, TimeCategory,
 };
 use parking_lot::Mutex;
 
@@ -68,6 +69,13 @@ pub struct ClusterOptions {
     pub seed: u64,
     /// Seeded fault injection (delays, stragglers, node panics).
     pub faults: FaultPlan,
+    /// Correctness analysis (off by default — a disabled config adds
+    /// one branch per access and leaves virtual times untouched).
+    pub analyze: AnalyzeConfig,
+    /// Schedule script for [`SchedulerMode::Explore`]: pins the
+    /// dispatch order among equivalent-batch permutations. Installed
+    /// on the scheduler before launch; `None` means canonical order.
+    pub explore: Option<ScheduleScript>,
 }
 
 impl ClusterOptions {
@@ -83,6 +91,8 @@ impl ClusterOptions {
             scheduler: SchedulerMode::Deterministic,
             seed: 0,
             faults: FaultPlan::none(),
+            analyze: AnalyzeConfig::off(),
+            explore: None,
         }
     }
 
@@ -110,6 +120,18 @@ impl ClusterOptions {
     /// Attach a fault plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> ClusterOptions {
         self.faults = faults;
+        self
+    }
+
+    /// Enable correctness analysis (e.g. [`AnalyzeConfig::races`]).
+    pub fn with_analyze(mut self, analyze: AnalyzeConfig) -> ClusterOptions {
+        self.analyze = analyze;
+        self
+    }
+
+    /// Install a schedule script (see [`SchedulerMode::Explore`]).
+    pub fn with_explore_script(mut self, script: ScheduleScript) -> ClusterOptions {
+        self.explore = Some(script);
         self
     }
 }
@@ -162,6 +184,10 @@ pub struct ClusterReport {
     /// `turns`/`wakes`/`epochs` are engine-independent; the worker
     /// fields describe host execution only.
     pub sched: Option<lots_sim::SchedSummary>,
+    /// Race-detector report (`Some` iff analysis was enabled via
+    /// [`ClusterOptions::analyze`]); deterministic under the engine
+    /// scheduler modes.
+    pub races: Option<RaceReport>,
 }
 
 impl ClusterReport {
@@ -191,6 +217,9 @@ where
     // is the network's minimum link latency.
     let (sched, app_tasks, comm_tasks) = if opts.scheduler.uses_engine() {
         let s = Scheduler::new(opts.scheduler, opts.machine.net.min_latency());
+        if let Some(script) = &opts.explore {
+            s.set_script(script.clone());
+        }
         let apps: Vec<SchedHandle> = (0..n)
             .map(|i| s.register(format!("lots-app-{i}"), clocks[i].clone(), i, false))
             .collect();
@@ -220,6 +249,12 @@ where
     ));
     let shutdown = Arc::new(AtomicBool::new(false));
     let app = Arc::new(app);
+    // One detector instance spans the cluster: nodes stamp it through
+    // their Dsm hooks, the report is drained after the join below.
+    let detector = opts
+        .analyze
+        .race_detect
+        .then(|| Arc::new(RaceDetector::new(n)));
 
     let mut app_threads = Vec::with_capacity(n);
     let mut comm_threads = Vec::with_capacity(n);
@@ -309,6 +344,7 @@ where
         let my_task = app_tasks.as_ref().map(|t| t[me].clone());
         let seed = opts.seed;
         let fault_barrier = opts.faults.panic_barrier_for(me);
+        let analyze = detector.clone();
         app_threads.push(
             std::thread::Builder::new()
                 .name(format!("lots-app-{me}"))
@@ -332,6 +368,7 @@ where
                         live_views: std::cell::Cell::new(0),
                         view_spans: std::cell::RefCell::new(Vec::new()),
                         view_token: std::cell::Cell::new(0),
+                        analyze,
                     };
                     // A panicking node can never reach the next rendezvous;
                     // poison the sync services so peers blocked in barriers
@@ -445,6 +482,7 @@ where
             exec_time,
             seed: opts.seed,
             sched: sched.as_ref().map(|s| s.summary()),
+            races: detector.map(|d| d.report()),
         },
     )
 }

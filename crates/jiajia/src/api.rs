@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use crossbeam::channel::{Receiver, TryRecvError};
+use lots_analyze::RaceDetector;
 use lots_core::api::{element_bounds, range_bounds};
 use lots_core::consistency::SyncCtx;
 use lots_core::pod::Pod;
@@ -91,6 +92,10 @@ pub struct JiaDsm {
     pub(crate) view_spans: RefCell<Vec<ViewSpan>>,
     /// Token source for [`ViewSpan`] registration.
     pub(crate) view_token: Cell<u64>,
+    /// ScC race detector, shared cluster-wide when analysis is on
+    /// (see [`lots_analyze::AnalyzeConfig`]). Race objects on the
+    /// JIAJIA side are *pages*: accesses are split on page bounds.
+    pub(crate) analyze: Option<Arc<RaceDetector>>,
 }
 
 /// One live guard's byte extent in the flat shared space.
@@ -230,6 +235,11 @@ impl DsmApi for JiaDsm {
         let (diffs, notices) = self.node.lock().flush_dirty();
         self.flush_diffs(diffs);
         let (frees, named) = self.node.lock().take_lifecycle();
+        // Stamp the detector before the rendezvous: the node that
+        // completes the barrier must see every earlier node's clock.
+        if let Some(d) = &self.analyze {
+            d.on_barrier_enter(self.me);
+        }
         let round = self.barrier.enter(&self.ctx, notices, frees, named);
         let mut node = self.node.lock();
         // First-touch placement resolves before invalidation, so the
@@ -256,12 +266,23 @@ impl DsmApi for JiaDsm {
         // Reclaim the cluster-agreed freed ranges and commit the named
         // allocations (deterministic order on every node).
         node.finish_lifecycle(&round.freed, &round.named, round.seq);
+        drop(node);
+        // Only after the full rendezvous: the exit clock joins every
+        // node's enter stamp, starting a fresh interval.
+        if let Some(d) = &self.analyze {
+            d.on_barrier_exit(self.me);
+        }
     }
 
     /// Acquire a lock, invalidating pages its notices name.
     fn lock(&self, lock: u32) {
         self.assert_no_live_views("lock");
         let invalidate = self.locks.acquire(lock, &self.ctx);
+        // Happens-before edge lands only once the grant is actually
+        // held, so a racing acquirer can't observe it early.
+        if let Some(d) = &self.analyze {
+            d.on_lock_acquire(self.me, lock);
+        }
         // Version bump is barrier-scoped; locks just invalidate.
         self.node.lock().invalidate(&invalidate, 0);
     }
@@ -272,6 +293,11 @@ impl DsmApi for JiaDsm {
         self.assert_no_live_views("unlock");
         let (diffs, notices) = self.node.lock().flush_dirty();
         self.flush_diffs(diffs);
+        // Publish the clock before the service hands the lock on —
+        // the next acquirer must join everything done in this CS.
+        if let Some(d) = &self.analyze {
+            d.on_lock_release(self.me, lock);
+        }
         self.locks.release(lock, &self.ctx, notices);
     }
 
@@ -396,6 +422,19 @@ impl JiaDsm {
         write: bool,
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> R {
+        // Race objects are pages here (the system's coherence unit):
+        // split the flat range on page bounds, one record per page.
+        if let Some(d) = &self.analyze {
+            for (page, off, chunk) in crate::page::split_range(addr, len) {
+                d.on_access(
+                    self.me,
+                    page as u32,
+                    off as u64,
+                    (off + chunk) as u64,
+                    write,
+                );
+            }
+        }
         loop {
             let (page, home) = {
                 let mut node = self.node.lock();

@@ -10,6 +10,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Sender};
+use lots_analyze::{AnalyzeConfig, RaceDetector, RaceReport};
 use lots_core::consistency::SyncCtx;
 use lots_core::diff::WordDiff;
 use lots_core::Placement;
@@ -17,8 +18,8 @@ use lots_net::{
     cluster_ext, Buffered, Envelope, NetReceiver, NetSender, NodeId, Recv, TrafficStats,
 };
 use lots_sim::{
-    FaultPlan, MachineConfig, NodeStats, SchedHandle, Scheduler, SchedulerMode, SimClock,
-    SimInstant, TimeCategory,
+    FaultPlan, MachineConfig, NodeStats, SchedHandle, ScheduleScript, Scheduler, SchedulerMode,
+    SimClock, SimInstant, TimeCategory,
 };
 use parking_lot::Mutex;
 
@@ -44,6 +45,12 @@ pub struct JiaOptions {
     /// Default page placement for unadorned allocations (the
     /// per-alloc `*_placed` variants override it).
     pub placement: Placement,
+    /// Correctness analysis (off by default — a disabled config adds
+    /// one branch per access and leaves virtual times untouched).
+    pub analyze: AnalyzeConfig,
+    /// Schedule script for [`SchedulerMode::Explore`]: pins the
+    /// dispatch order among equivalent-batch permutations.
+    pub explore: Option<ScheduleScript>,
 }
 
 impl JiaOptions {
@@ -58,6 +65,8 @@ impl JiaOptions {
             seed: 0,
             faults: FaultPlan::none(),
             placement: Placement::RoundRobin,
+            analyze: AnalyzeConfig::off(),
+            explore: None,
         }
     }
 
@@ -82,6 +91,18 @@ impl JiaOptions {
     /// Attach a fault plan.
     pub fn with_faults(mut self, faults: FaultPlan) -> JiaOptions {
         self.faults = faults;
+        self
+    }
+
+    /// Enable correctness analysis (e.g. [`AnalyzeConfig::races`]).
+    pub fn with_analyze(mut self, analyze: AnalyzeConfig) -> JiaOptions {
+        self.analyze = analyze;
+        self
+    }
+
+    /// Install a schedule script (see [`SchedulerMode::Explore`]).
+    pub fn with_explore_script(mut self, script: ScheduleScript) -> JiaOptions {
+        self.explore = Some(script);
         self
     }
 }
@@ -119,6 +140,10 @@ pub struct JiaReport {
     /// `turns`/`wakes`/`epochs` are engine-independent; the worker
     /// fields describe host execution only.
     pub sched: Option<lots_sim::SchedSummary>,
+    /// Race-detector report (`Some` iff analysis was enabled via
+    /// [`JiaOptions::analyze`]); deterministic under the engine
+    /// scheduler modes.
+    pub races: Option<RaceReport>,
 }
 
 /// Run an SPMD application on a simulated JIAJIA cluster.
@@ -132,6 +157,9 @@ where
     let clocks: Vec<SimClock> = (0..n).map(|_| SimClock::new()).collect();
     let (sched, app_tasks, comm_tasks) = if opts.scheduler.uses_engine() {
         let s = Scheduler::new(opts.scheduler, opts.machine.net.min_latency());
+        if let Some(script) = &opts.explore {
+            s.set_script(script.clone());
+        }
         let apps: Vec<SchedHandle> = (0..n)
             .map(|i| s.register(format!("jia-app-{i}"), clocks[i].clone(), i, false))
             .collect();
@@ -153,6 +181,12 @@ where
     let locks = Arc::new(JiaLocks::new(n));
     let shutdown = Arc::new(AtomicBool::new(false));
     let app = Arc::new(app);
+    // One detector instance spans the cluster: nodes stamp it through
+    // their JiaDsm hooks, the report is drained after the join below.
+    let detector = opts
+        .analyze
+        .race_detect
+        .then(|| Arc::new(RaceDetector::new(n)));
 
     let mut app_threads = Vec::with_capacity(n);
     let mut comm_threads = Vec::with_capacity(n);
@@ -235,6 +269,7 @@ where
         let my_task = app_tasks.as_ref().map(|t| t[me].clone());
         let seed = opts.seed;
         let fault_barrier = opts.faults.panic_barrier_for(me);
+        let analyze = detector.clone();
         app_threads.push(
             std::thread::Builder::new()
                 .name(format!("jia-app-{me}"))
@@ -258,6 +293,7 @@ where
                         live_views: std::cell::Cell::new(0),
                         view_spans: std::cell::RefCell::new(Vec::new()),
                         view_token: std::cell::Cell::new(0),
+                        analyze,
                     };
                     // A panicking node can never reach the next
                     // rendezvous; poison the sync services so peers
@@ -362,6 +398,7 @@ where
             exec_time,
             seed: opts.seed,
             sched: sched.as_ref().map(|s| s.summary()),
+            races: detector.map(|d| d.report()),
         },
     )
 }

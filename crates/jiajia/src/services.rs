@@ -9,7 +9,7 @@
 //! * synchronization carries **write notices only** — invalidations,
 //!   never data (write-invalidate on both paths).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use lots_core::consistency::SyncCtx;
@@ -237,8 +237,10 @@ struct LockState {
     /// LOTS lock service for the full argument).
     waiters: BTreeSet<(u64, NodeId)>,
     release_time: SimInstant,
-    /// Write notices: page → (last release ts, writer).
-    notices: HashMap<u32, (u64, NodeId)>,
+    /// Write notices: page → (last release ts, writer). A `BTreeMap`
+    /// so the grant's invalidation list is page-ordered by
+    /// construction — iteration order here reaches the wire.
+    notices: BTreeMap<u32, (u64, NodeId)>,
     seen: Vec<u64>,
     /// Deterministic mode: turnstile-parked waiters on this lock.
     sched_waiters: Vec<SchedHandle>,
@@ -252,7 +254,7 @@ struct LockEntry {
 /// Home-based ScC locks: grants carry invalidation notices only.
 pub struct JiaLocks {
     n: usize,
-    locks: Mutex<HashMap<u32, Arc<LockEntry>>>,
+    locks: Mutex<BTreeMap<u32, Arc<LockEntry>>>,
     /// Set when a node's app thread panicked; waiters unblock and
     /// propagate instead of waiting on a holder that will never release.
     poisoned: std::sync::atomic::AtomicBool,
@@ -262,7 +264,7 @@ impl JiaLocks {
     pub fn new(n: usize) -> JiaLocks {
         JiaLocks {
             n,
-            locks: Mutex::new(HashMap::new()),
+            locks: Mutex::new(BTreeMap::new()),
             poisoned: std::sync::atomic::AtomicBool::new(false),
         }
     }
@@ -299,7 +301,7 @@ impl JiaLocks {
                     holder: None,
                     waiters: BTreeSet::new(),
                     release_time: SimInstant::ZERO,
-                    notices: HashMap::new(),
+                    notices: BTreeMap::new(),
                     seen: vec![0; self.n],
                     sched_waiters: Vec::new(),
                 }),
@@ -357,13 +359,14 @@ impl JiaLocks {
         st.waiters.remove(&key);
         st.holder = Some(ctx.me);
         let seen = st.seen[ctx.me];
-        let mut invalidate: Vec<u32> = st
+        // BTreeMap iteration is page-ordered, so the invalidation
+        // list needs no defensive sort.
+        let invalidate: Vec<u32> = st
             .notices
             .iter()
             .filter(|&(_, &(ts, writer))| ts > seen && writer != ctx.me)
             .map(|(&p, _)| p)
             .collect();
-        invalidate.sort_unstable();
         st.seen[ctx.me] = st.ts;
         let grant_issued = req_arrive.max(st.release_time) + ctx.cpu.handler_entry;
         let grant_bytes = ctl::LOCK_GRANT + invalidate.len() * 8;

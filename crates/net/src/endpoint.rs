@@ -180,7 +180,16 @@ impl<M: WireSize> NetReceiver<M> {
     ///
     /// Fragments of interleaved large messages are absorbed until one
     /// message has all its pieces (§5: no decoding of partial messages).
+    ///
+    /// Host-time audit: this wall-clock deadline is only reachable from
+    /// the *free-running* comm loops (`SchedulerMode::FreeRunning`),
+    /// which poll as a shutdown safety net. The virtual-time engine
+    /// paths never call it — they use [`NetReceiver::try_recv`] plus
+    /// scheduler parking (`yield_until`/`block_with`), so no engine-mode
+    /// schedule ever depends on a host clock.
     pub fn recv_timeout(&mut self, timeout: Duration) -> Recv<M> {
+        // det:allow(host-time): free-running-mode poll deadline only;
+        // engine modes use try_recv + virtual-time parking (see above).
         let deadline = std::time::Instant::now() + timeout;
         loop {
             let pkt = match self.rx.recv_deadline(deadline) {

@@ -25,5 +25,5 @@ pub use cost::{CpuModel, DiskModel, NetModel};
 pub use diskq::{DiskOp, DiskQueue};
 pub use fault::{FaultPlan, PanicFault};
 pub use machine::MachineConfig;
-pub use sched::{BlockReason, SchedHandle, Scheduler, SchedulerMode};
+pub use sched::{BlockReason, Choice, SchedHandle, ScheduleScript, Scheduler, SchedulerMode};
 pub use stats::{NodeStats, SchedSummary, TimeCategory, ALL_CATEGORIES};

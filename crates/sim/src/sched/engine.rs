@@ -79,6 +79,7 @@ use std::time::Instant;
 use crate::clock::{SimDuration, SimInstant};
 use crate::stats::SchedSummary;
 
+use super::explore::ScheduleScript;
 use super::lookahead;
 use super::queue;
 use super::task::{BlockReason, Task, TaskState};
@@ -87,6 +88,9 @@ use super::SchedulerMode;
 #[derive(Default)]
 struct State {
     tasks: Vec<Task>,
+    /// [`SchedulerMode::Explore`]: the decision stream that reorders
+    /// multi-member epoch batches. `None` keeps the canonical order.
+    script: Option<ScheduleScript>,
     /// Selected batch members not yet dispatched, in dispatch order.
     pending: Vec<usize>,
     /// Index into `pending` of the next member to dispatch.
@@ -139,7 +143,11 @@ impl Scheduler {
     /// [`crate::cost::NetModel::min_latency`].
     pub fn new(mode: SchedulerMode, lookahead: SimDuration) -> Arc<Scheduler> {
         let cap = match mode {
-            SchedulerMode::Deterministic => 1,
+            // Explore permutes within-epoch order but dispatches one
+            // task at a time, like the sequential oracle — a schedule
+            // is a total dispatch order, so it must be sequential to
+            // be a *schedule* at all.
+            SchedulerMode::Deterministic | SchedulerMode::Explore { .. } => 1,
             SchedulerMode::Parallel { workers } => workers.max(1),
             SchedulerMode::FreeRunning => {
                 panic!("free-running mode does not use the virtual-time engine")
@@ -191,6 +199,15 @@ impl Scheduler {
         }
     }
 
+    /// Install the schedule script that [`SchedulerMode::Explore`]
+    /// consults at every multi-member epoch. Call before
+    /// [`Scheduler::launch`].
+    pub fn set_script(&self, script: ScheduleScript) {
+        let mut st = self.lock();
+        assert!(!st.launched, "set_script after launch");
+        st.script = Some(script);
+    }
+
     /// Start execution: select and dispatch the first epoch. Call
     /// once, after all tasks are registered and their threads spawned.
     pub fn launch(&self) {
@@ -215,7 +232,21 @@ impl Scheduler {
             t.reason = BlockReason::Other;
         }
         match queue::select(&st.tasks, lookahead) {
-            Some(batch) => {
+            Some(mut batch) => {
+                // Explore mode: let the script pick the dispatch order
+                // of a multi-member batch. Selecting repeatedly among
+                // the remaining members enumerates all k! orders of a
+                // k-member batch; the conservative safety argument
+                // says every one must yield the same report.
+                if batch.members.len() > 1 {
+                    if let Some(script) = &st.script {
+                        let mut rest = std::mem::take(&mut batch.members);
+                        while rest.len() > 1 {
+                            batch.members.push(rest.remove(script.choose(rest.len())));
+                        }
+                        batch.members.extend(rest);
+                    }
+                }
                 st.horizon = batch.horizon;
                 st.pending = batch.members;
                 st.next = 0;
@@ -280,6 +311,9 @@ impl Scheduler {
                 .iter()
                 .position(|s| s.is_none())
                 .expect("running < cap implies a free slot");
+            // det:allow(host-time): worker busy-time observability only
+            // (`worker_busy_ns`); host nanoseconds never feed virtual
+            // state, reports or fingerprints.
             st.slots[slot] = Some(Instant::now());
             let horizon = st.horizon;
             st.running += 1;

@@ -51,11 +51,13 @@
 //!   [`SchedHandle::yield_until`].
 
 pub mod engine;
+pub mod explore;
 pub(crate) mod lookahead;
 pub(crate) mod queue;
 pub(crate) mod task;
 
 pub use engine::{SchedHandle, Scheduler};
+pub use explore::{Choice, ScheduleScript};
 pub use task::BlockReason;
 
 /// Which execution model a cluster runtime should use.
@@ -72,6 +74,18 @@ pub enum SchedulerMode {
     /// same options (gated by `tests/determinism.rs`); host wall time
     /// shrinks with available cores.
     Parallel { workers: usize },
+    /// Sequential engine driven by a [`ScheduleScript`]: at every
+    /// epoch whose batch has more than one member, the dispatch order
+    /// is chosen by the script instead of the canonical ascending
+    /// `(ready, id)` order. A DFS driver (see `lots-analyze`)
+    /// enumerates up to `max_schedules` distinct dispatch orders —
+    /// exactly the orders the conservative-lookahead safety argument
+    /// claims are equivalent — and checks that every one produces the
+    /// same report fingerprint (or exposes the same deadlock).
+    /// `max_schedules` bounds the driver's enumeration; a single run
+    /// under this mode behaves like [`SchedulerMode::Deterministic`]
+    /// with a permuted within-epoch order.
+    Explore { max_schedules: usize },
     /// The pre-PR-3 model: free-running threads, wall-clock receive
     /// timeouts, OS-scheduled condvar wakes. Virtual times vary a few
     /// percent run-to-run. Retained for host-nanosecond microbenches,

@@ -34,6 +34,7 @@
 //! assert_eq!(sums, vec![10, 10, 10, 10]);
 //! ```
 
+pub use lots_analyze as analyze;
 pub use lots_apps as apps;
 pub use lots_core as core;
 pub use lots_disk as disk;
