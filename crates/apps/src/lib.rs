@@ -14,9 +14,11 @@
 //! | [`rx`] radix sort | 1/p buckets single-owner, rest ping-pong | fixed home (JIAJIA) at large p |
 //! | [`largeobj`] Test 2 | streaming writes/reads over > 4 GB | LOTS only |
 //! | [`churn`] object churn | rolling alloc/free window, named checkpoints | the lifecycle API (free/named/placement) |
+//! | [`hotobj`] hot object | many readers + rotating writers on one large object | striping (per-segment homes + snapshots) |
 
 pub mod adapter;
 pub mod churn;
+pub mod hotobj;
 pub mod largeobj;
 pub mod lu;
 pub mod me;

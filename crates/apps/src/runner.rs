@@ -106,6 +106,20 @@ pub struct RunOutcome {
     pub swap_batches: u64,
     /// Swap-ins served from the read-ahead buffers.
     pub prefetch_hits: u64,
+    /// Object/page requests this cluster's homes served (summed).
+    pub home_requests_served: u64,
+    /// Payload bytes those home replies carried (summed).
+    pub home_bytes_served: u64,
+    /// Hottest-home load imbalance: max per-node `home_bytes_served`
+    /// over the per-node mean, in permille (1000 = perfectly even;
+    /// `n × 1000` = one node served everything; 0 = no home traffic).
+    pub home_load_ratio_permille: u64,
+    /// Immutable segment versions published at barriers (striped
+    /// objects; LOTS/LOTS-x only).
+    pub versions_published: u64,
+    /// Superseded segment versions reclaimed at barriers (striped
+    /// objects; LOTS/LOTS-x only).
+    pub versions_reclaimed: u64,
     /// Reclamation events of the lifecycle API summed over nodes:
     /// every node reclaims its local slot of a freed object, so one
     /// cluster-wide `free` counts `n` times here (divide by the
@@ -147,6 +161,20 @@ impl RunOutcome {
     }
 }
 
+/// Hottest-home-over-mean ratio in permille for a per-node
+/// `home_bytes_served` series (the same math as
+/// `lots_core::ClusterReport::home_load_ratio_permille`, for systems
+/// whose report lacks the helper).
+fn home_load_ratio_permille(per_node: impl Iterator<Item = u64>) -> u64 {
+    let (mut max, mut total, mut n) = (0u64, 0u64, 0u64);
+    for b in per_node {
+        max = max.max(b);
+        total += b;
+        n += 1;
+    }
+    (max * n * 1000).checked_div(total).unwrap_or(0)
+}
+
 /// Run `prog` on the configured system and cluster size.
 pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
     match cfg.system {
@@ -179,6 +207,11 @@ pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
                 swap_out_bytes: report.total(|n| n.stats.swap_out_bytes()),
                 swap_batches: report.total(|n| n.stats.swap_batches()),
                 prefetch_hits: report.total(|n| n.stats.prefetch_hits()),
+                home_requests_served: report.total(|n| n.stats.home_requests_served()),
+                home_bytes_served: report.total(|n| n.stats.home_bytes_served()),
+                home_load_ratio_permille: report.home_load_ratio_permille(),
+                versions_published: report.total(|n| n.stats.versions_published()),
+                versions_reclaimed: report.total(|n| n.stats.versions_reclaimed()),
                 objects_freed: report.total(|n| n.stats.objects_freed()),
                 frag_permille_max: report
                     .nodes
@@ -225,6 +258,21 @@ pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
                 swap_out_bytes: 0,
                 swap_batches: 0,
                 prefetch_hits: 0,
+                home_requests_served: report
+                    .nodes
+                    .iter()
+                    .map(|n| n.stats.home_requests_served())
+                    .sum(),
+                home_bytes_served: report
+                    .nodes
+                    .iter()
+                    .map(|n| n.stats.home_bytes_served())
+                    .sum(),
+                home_load_ratio_permille: home_load_ratio_permille(
+                    report.nodes.iter().map(|n| n.stats.home_bytes_served()),
+                ),
+                versions_published: 0,
+                versions_reclaimed: 0,
                 objects_freed: report.nodes.iter().map(|n| n.stats.objects_freed()).sum(),
                 frag_permille_max: 0,
                 object_slots_max: 0,

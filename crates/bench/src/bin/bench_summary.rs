@@ -2,7 +2,10 @@
 //! perf trajectory: the quickstart virtual time, the SOR 256×256×32
 //! (p = 4) point on all three systems with its access-check counts,
 //! a weak-scaling sweep (SOR + object churn at p = 4/16/64/256) with
-//! its scheduler counters, and the modeled §4.2 access-check cost (the
+//! its scheduler counters, the hot-object striping benchmark (one
+//! 256 MB object, rotating writers + all-node readers, striped
+//! p = 4/16/64 vs a single-home baseline), and the modeled §4.2
+//! access-check cost (the
 //! host-measured cost is printed but kept out of the JSON — it varies
 //! by machine).
 //!
@@ -401,6 +404,133 @@ fn main() {
     let weak = weak.trim_end_matches(',').to_string();
     let weak_wall = t_weak.elapsed().as_secs_f64();
 
+    // Hot object: one 256 MB named object, every node bulk-reading a
+    // rotating chunk while a rotating writer rewrites its own — the
+    // single-home bottleneck benchmark. Striped (4 MB segments,
+    // per-segment homes settled by the init writes) at p = 4/16/64
+    // against the single-home baseline (all segments Fixed(0), home
+    // migration off) at p = 16. Aggregate read MB/s is virtual bytes
+    // over virtual seconds — deterministic, gated. Checksums on every
+    // run must match the sequential visibility model.
+    let t_hot = Instant::now();
+    let mut hot = String::new();
+    {
+        use lots_apps::hotobj::{model_node_checksum, HotParams};
+        use lots_core::{Placement, Striping};
+        let params = HotParams::bench();
+        let run_hot = |p: usize, single_home: bool| {
+            let mut cfg = RunConfig::new(System::Lots, p, machine);
+            cfg.dmm_bytes = 448 << 20;
+            cfg.scheduler = engine;
+            cfg.lots_tweak = if single_home {
+                |c: &mut LotsConfig| {
+                    c.striping = Some(Striping {
+                        segment_bytes: 4 << 20,
+                        placement: Placement::Fixed(0),
+                    });
+                    c.home_migration = false;
+                }
+            } else {
+                |c: &mut LotsConfig| {
+                    c.striping = Some(Striping::segments_of(4 << 20));
+                }
+            };
+            let out = run_app(
+                &cfg,
+                HotParams {
+                    single_home,
+                    ..params
+                },
+            );
+            for (me, r) in out.per_node.iter().enumerate() {
+                assert_eq!(
+                    r.checksum,
+                    model_node_checksum(&params, cfg.seed, p, me),
+                    "hot_object p={p} single_home={single_home}: node {me} checksum vs model"
+                );
+            }
+            let mbps = params.read_bytes() as f64 / out.combined.elapsed.as_secs_f64() / 1e6;
+            (out, mbps)
+        };
+        let mut striped_mbps = Vec::new();
+        for p in [4usize, 16, 64] {
+            let (out, mbps) = run_hot(p, false);
+            assert!(out.versions_published > 0, "p={p}: no versions published");
+            assert!(out.versions_reclaimed > 0, "p={p}: no versions reclaimed");
+            striped_mbps.push(mbps);
+            for (field, fresh) in [
+                (
+                    format!("hot_p{p}_s"),
+                    format!("{:.6}", out.combined.elapsed.as_secs_f64()),
+                ),
+                (format!("hot_p{p}_read_mbps"), format!("{mbps:.3}")),
+                (
+                    format!("hot_p{p}_home_ratio_permille"),
+                    out.home_load_ratio_permille.to_string(),
+                ),
+                (
+                    format!("hot_p{p}_versions_published"),
+                    out.versions_published.to_string(),
+                ),
+                (
+                    format!("hot_p{p}_versions_reclaimed"),
+                    out.versions_reclaimed.to_string(),
+                ),
+            ] {
+                gate(&field, &fresh);
+                let _ = write!(hot, "\n    \"{field}\": {fresh},");
+            }
+            println!(
+                "hot object 256MB striped  p={p:<3} {:>8.3} s  {:>9.1} MB/s read  \
+                 home ratio {} permille, {} versions published / {} reclaimed",
+                out.combined.elapsed.as_secs_f64(),
+                mbps,
+                out.home_load_ratio_permille,
+                out.versions_published,
+                out.versions_reclaimed
+            );
+        }
+        let (base, base_mbps) = run_hot(16, true);
+        for (field, fresh) in [
+            (
+                "hot_single16_s".to_string(),
+                format!("{:.6}", base.combined.elapsed.as_secs_f64()),
+            ),
+            (
+                "hot_single16_read_mbps".to_string(),
+                format!("{base_mbps:.3}"),
+            ),
+            (
+                "hot_single16_home_ratio_permille".to_string(),
+                base.home_load_ratio_permille.to_string(),
+            ),
+        ] {
+            gate(&field, &fresh);
+            let _ = write!(hot, "\n    \"{field}\": {fresh},");
+        }
+        println!(
+            "hot object 256MB 1-home   p=16  {:>8.3} s  {:>9.1} MB/s read  \
+             home ratio {} permille",
+            base.combined.elapsed.as_secs_f64(),
+            base_mbps,
+            base.home_load_ratio_permille
+        );
+        // The tentpole's acceptance bars: striping beats the single
+        // home ≥ 3× at p = 16 and read throughput keeps climbing with
+        // the node count.
+        assert!(
+            striped_mbps[1] >= 3.0 * base_mbps,
+            "striping too slow: {:.1} MB/s vs 3x single-home {base_mbps:.1} MB/s",
+            striped_mbps[1]
+        );
+        assert!(
+            striped_mbps.windows(2).all(|w| w[1] > w[0]),
+            "read throughput must scale with p: {striped_mbps:?}"
+        );
+    }
+    let hot = hot.trim_end_matches(',').to_string();
+    let hot_wall = t_hot.elapsed().as_secs_f64();
+
     // Host wall-clock per section: keys gated, values informative
     // (zeroed under --stable).
     let mut wall = String::new();
@@ -410,6 +540,7 @@ fn main() {
         ("swap_host_wall_s", swap_wall),
         ("churn_host_wall_s", churn_wall),
         ("weak_scaling_host_wall_s", weak_wall),
+        ("hot_object_host_wall_s", hot_wall),
     ] {
         gate_key(field);
         let _ = write!(wall, "\n    \"{field}\": {},", informative(secs));
@@ -425,6 +556,7 @@ fn main() {
          \"large_object_swap\": {{{swap}\n  }},\n  \
          \"object_churn\": {{{churn}\n  }},\n  \
          \"weak_scaling\": {{{weak}\n  }},\n  \
+         \"hot_object\": {{{hot}\n  }},\n  \
          \"host_wall\": {{{wall}\n  }},\n  \
          \"access_check_ns\": {{\n    \"modeled\": {},\n    \"modeled_pin\": {}\n  }}\n}}\n",
         cpu.access_check.0, cpu.pin_update.0

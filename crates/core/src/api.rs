@@ -68,7 +68,7 @@ use crate::config::Placement;
 use crate::consistency::barrier::BarrierService;
 use crate::consistency::locks::{LockId, LockService};
 use crate::consistency::SyncCtx;
-use crate::node::{Access, LotsError, NodeState};
+use crate::node::{LotsError, NodeState, RangeAccess};
 use crate::object::{NamedAllocReq, ObjectId};
 use crate::pod::Pod;
 use crate::protocol::messages::Msg;
@@ -559,12 +559,17 @@ impl DsmApi for Dsm {
         if len == 0 {
             return Err(LotsError::EmptyAlloc);
         }
-        let id = self.node.lock().register_object(len * T::SIZE)?;
+        let (id, striped) = {
+            let mut node = self.node.lock();
+            let id = node.register_object(len * T::SIZE)?;
+            (id, node.stripe_of(id).is_some())
+        };
         Ok(SharedSlice {
             dsm: self,
             id,
             base: 0,
             len,
+            striped,
             _pd: PhantomData,
         })
     }
@@ -577,15 +582,17 @@ impl DsmApi for Dsm {
         if len == 0 {
             return Err(LotsError::EmptyAlloc);
         }
-        let id = self
-            .node
-            .lock()
-            .register_object_placed(len * T::SIZE, placement)?;
+        let (id, striped) = {
+            let mut node = self.node.lock();
+            let id = node.register_object_placed(len * T::SIZE, placement)?;
+            (id, node.stripe_of(id).is_some())
+        };
         Ok(SharedSlice {
             dsm: self,
             id,
             base: 0,
             len,
+            striped,
             _pd: PhantomData,
         })
     }
@@ -609,7 +616,7 @@ impl DsmApi for Dsm {
 
     fn try_alloc_named<T: Pod>(&self, name: &str, len: usize) -> Result<(), LotsError> {
         let placement = self.node.lock().cfg.alloc.placement;
-        self.try_alloc_named_placed::<T>(name, len, placement)
+        self.stage_named_req::<T>(name, len, placement, false)
     }
 
     fn try_alloc_named_placed<T: Pod>(
@@ -618,25 +625,21 @@ impl DsmApi for Dsm {
         len: usize,
         placement: Placement,
     ) -> Result<(), LotsError> {
-        if len == 0 {
-            return Err(LotsError::EmptyAlloc);
-        }
-        self.node.lock().stage_named(NamedAllocReq {
-            name: name.to_string(),
-            bytes: len * T::SIZE,
-            elem_size: T::SIZE,
-            len,
-            placement,
-        })
+        self.stage_named_req::<T>(name, len, placement, true)
     }
 
     fn try_lookup<T: Pod>(&self, name: &str) -> Result<SharedSlice<'_, T>, LotsError> {
-        let (id, len) = self.node.lock().lookup_named(name, T::SIZE)?;
+        let (id, len, striped) = {
+            let node = self.node.lock();
+            let (id, len) = node.lookup_named(name, T::SIZE)?;
+            (id, len, node.stripe_of(id).is_some())
+        };
         Ok(SharedSlice {
             dsm: self,
             id,
             base: 0,
             len,
+            striped,
             _pd: PhantomData,
         })
     }
@@ -876,7 +879,18 @@ impl Dsm {
 
     /// Record an application access with the race detector. A no-op
     /// branch when analysis is off; never advances virtual time.
-    fn analyze_access(&self, obj: ObjectId, range: &Range<usize>, write: bool) {
+    ///
+    /// Reads of **striped** objects are not recorded: a striped read
+    /// pins the segment versions published at the last barrier (the
+    /// snapshot the writer can no longer touch), so a concurrent
+    /// in-flight write is not a data race — the reader provably sees
+    /// the pre-write version. Writes are still recorded: two writers
+    /// hitting one segment in the same interval race exactly as they
+    /// would on an unstriped object.
+    fn analyze_access(&self, obj: ObjectId, range: &Range<usize>, write: bool, striped: bool) {
+        if striped && !write {
+            return;
+        }
         if let Some(d) = &self.analyze {
             d.on_access(self.me, obj.0, range.start as u64, range.end as u64, write);
         }
@@ -888,6 +902,7 @@ impl Dsm {
         obj: ObjectId,
         range: &Range<usize>,
         mutable: bool,
+        striped: bool,
     ) -> Option<u64> {
         if range.is_empty() {
             return None;
@@ -895,7 +910,7 @@ impl Dsm {
         self.check_view_conflict(obj, range, mutable);
         // A guard is one logical access over its whole span: mutable
         // views count as writes, read views as reads.
-        self.analyze_access(obj, range, mutable);
+        self.analyze_access(obj, range, mutable, striped);
         let token = self.view_token.get();
         self.view_token.set(token + 1);
         self.view_spans.borrow_mut().push(ViewSpan {
@@ -908,59 +923,128 @@ impl Dsm {
         Some(token)
     }
 
+    /// Stage a named allocation, recording whether the placement was an
+    /// explicit `*_placed` choice (explicit placements override the
+    /// striping config's per-segment default).
+    fn stage_named_req<T: Pod>(
+        &self,
+        name: &str,
+        len: usize,
+        placement: Placement,
+        placement_explicit: bool,
+    ) -> Result<(), LotsError> {
+        if len == 0 {
+            return Err(LotsError::EmptyAlloc);
+        }
+        self.node.lock().stage_named(NamedAllocReq {
+            name: name.to_string(),
+            bytes: len * T::SIZE,
+            elem_size: T::SIZE,
+            len,
+            placement,
+            placement_explicit,
+        })
+    }
+
+    /// Number of segments backing `id`: the stripe-child count of a
+    /// striped object, `1` for an ordinary single-home object
+    /// (tests/diagnostics).
+    pub fn segment_count(&self, id: ObjectId) -> usize {
+        self.node
+            .lock()
+            .stripe_of(id)
+            .map_or(1, |s| s.children.len())
+    }
+
+    /// Current home of every segment of `id`, in segment order — a
+    /// one-element vector for unstriped objects (tests/diagnostics;
+    /// homes move at barriers under the migrating-home protocol).
+    pub fn segment_homes(&self, id: ObjectId) -> Vec<NodeId> {
+        let node = self.node.lock();
+        match node.stripe_of(id) {
+            Some(s) => {
+                let children = s.children.clone();
+                children
+                    .into_iter()
+                    .map(|c| node.home_of(ObjectId(c)))
+                    .collect()
+            }
+            None => vec![node.home_of(id)],
+        }
+    }
+
     // ------------------------------------------------------------------
     // Access plumbing
     // ------------------------------------------------------------------
 
-    /// Run `f` over the object's bytes once the access check passes,
-    /// fetching a clean copy from the home on a miss.
-    pub(crate) fn with_object<R>(
+    /// Run `f` over byte range `bytes` of object `id` once the access
+    /// check passes, fetching whatever the range needs from its home —
+    /// or, for a striped object, from every covered segment's home in
+    /// one parallel fan-out. `f` sees exactly the range's bytes
+    /// (`bytes.len()` long), not the whole object.
+    pub(crate) fn with_range<R>(
         &self,
         id: ObjectId,
+        bytes: Range<usize>,
         write: bool,
         checks: u64,
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> Result<R, LotsError> {
+        let mut f = Some(f);
         let mut checks = checks;
         loop {
-            let fetch_target = {
+            let fetches = {
                 let mut node = self.node.lock();
-                match node.begin_access(id, write, checks)? {
-                    Access::Ready { offset } => {
-                        let size = node.object_size(id);
-                        return Ok(f(node.object_bytes_mut(offset, size)));
+                match node.begin_access_range(id, &bytes, write, checks)? {
+                    RangeAccess::Ready { offset } => {
+                        let g = f.take().expect("with_range resolves at most once");
+                        let from = offset + bytes.start;
+                        return Ok(g(node.object_bytes_mut(from, bytes.len())));
                     }
-                    Access::NeedFetch { home } => home,
+                    RangeAccess::Striped => {
+                        let g = f.take().expect("with_range resolves at most once");
+                        return Ok(node.striped_range_run(id, &bytes, write, g));
+                    }
+                    RangeAccess::Fetch(list) => list,
                 }
             };
-            self.fetch_object(id, fetch_target)?;
+            self.fetch_objects(&fetches)?;
             // The retry re-runs the (now cheap) check once, as the real
             // system would on returning from the miss handler.
             checks = 1;
         }
     }
 
-    /// Fetch a clean copy of `id` from `target` through the data plane.
-    fn fetch_object(&self, id: ObjectId, target: NodeId) -> Result<(), LotsError> {
-        assert_ne!(target, self.me, "fetch from self implies corrupted state");
-        self.net.send(
-            target,
-            Msg::ObjReq { obj: id },
-            Bytes::new(),
-            self.ctx.clock.now(),
-        );
-        let env = self.recv_reply();
-        match env.msg {
-            Msg::ObjReply { obj, version } if obj == id => {
-                let before = self.ctx.clock.now();
-                let now = self.ctx.clock.advance_to(env.arrival);
-                self.ctx
-                    .stats
-                    .charge(TimeCategory::Network, now.saturating_sub(before));
-                self.node.lock().install_fetch(id, &env.payload, version)
-            }
-            other => panic!("unexpected reply while fetching {id}: {other:?}"),
+    /// Fetch clean copies of several objects through the data plane in
+    /// one round: all requests leave now (the NIC pipelines the tiny
+    /// request headers), and the replies — served by *distinct* homes
+    /// for a striped range — overlap in flight. The caller's clock
+    /// advances to the last arrival, so a range striped over `k` homes
+    /// pays roughly one segment's transfer time, not `k` of them.
+    fn fetch_objects(&self, targets: &[(ObjectId, NodeId)]) -> Result<(), LotsError> {
+        let t0 = self.ctx.clock.now();
+        for &(id, target) in targets {
+            assert_ne!(target, self.me, "fetch from self implies corrupted state");
+            self.net
+                .send(target, Msg::ObjReq { obj: id }, Bytes::new(), t0);
         }
+        let mut pending = targets.len();
+        while pending > 0 {
+            let env = self.recv_reply();
+            match env.msg {
+                Msg::ObjReply { obj, version } if targets.iter().any(|&(id, _)| id == obj) => {
+                    let before = self.ctx.clock.now();
+                    let now = self.ctx.clock.advance_to(env.arrival);
+                    self.ctx
+                        .stats
+                        .charge(TimeCategory::Network, now.saturating_sub(before));
+                    self.node.lock().install_fetch(obj, &env.payload, version)?;
+                    pending -= 1;
+                }
+                other => panic!("unexpected reply while fetching {targets:?}: {other:?}"),
+            }
+        }
+        Ok(())
     }
 
     fn recv_reply(&self) -> Envelope<Msg> {
@@ -1007,6 +1091,9 @@ pub struct SharedSlice<'d, T: Pod> {
     id: ObjectId,
     base: usize,
     len: usize,
+    /// Whether the object is striped (cached at handle creation; drives
+    /// the snapshot-read exemption in the race detector).
+    striped: bool,
     _pd: PhantomData<T>,
 }
 
@@ -1062,16 +1149,13 @@ impl<'d, T: Pod> DsmSlice for SharedSlice<'d, T> {
         range_bounds(self, self.len, &range);
         let bytes = (self.base + range.start) * T::SIZE..(self.base + range.end) * T::SIZE;
         let mut view = ObjView {
-            pin: ViewPin::new(self.dsm, self.id, bytes, false),
+            pin: ViewPin::new(self.dsm, self.id, bytes.clone(), false, self.striped),
             data: Vec::new(),
         };
         if !range.is_empty() {
-            let at = (self.base + range.start) * T::SIZE;
             let n = range.len();
-            view.data = self.dsm.with_object(self.id, false, checks, |bytes| {
-                (0..n)
-                    .map(|k| T::read_from(&bytes[at + k * T::SIZE..]))
-                    .collect()
+            view.data = self.dsm.with_range(self.id, bytes, false, checks, |b| {
+                (0..n).map(|k| T::read_from(&b[k * T::SIZE..])).collect()
             })?;
         }
         Ok(view)
@@ -1087,9 +1171,10 @@ impl<'d, T: Pod> DsmSlice for SharedSlice<'d, T> {
         let at = (self.base + i) * T::SIZE;
         self.dsm
             .check_view_conflict(self.id, &(at..at + T::SIZE), false);
-        self.dsm.analyze_access(self.id, &(at..at + T::SIZE), false);
         self.dsm
-            .with_object(self.id, false, 1, |bytes| T::read_from(&bytes[at..]))
+            .analyze_access(self.id, &(at..at + T::SIZE), false, self.striped);
+        self.dsm
+            .with_range(self.id, at..at + T::SIZE, false, 1, |b| T::read_from(b))
     }
 
     fn try_write(&self, i: usize, v: T) -> Result<(), LotsError> {
@@ -1097,9 +1182,10 @@ impl<'d, T: Pod> DsmSlice for SharedSlice<'d, T> {
         let at = (self.base + i) * T::SIZE;
         self.dsm
             .check_view_conflict(self.id, &(at..at + T::SIZE), true);
-        self.dsm.analyze_access(self.id, &(at..at + T::SIZE), true);
         self.dsm
-            .with_object(self.id, true, 1, |bytes| v.write_to(&mut bytes[at..]))
+            .analyze_access(self.id, &(at..at + T::SIZE), true, self.striped);
+        self.dsm
+            .with_range(self.id, at..at + T::SIZE, true, 1, |b| v.write_to(b))
     }
 
     fn try_update(&self, i: usize, f: impl FnOnce(T) -> T) -> Result<(), LotsError> {
@@ -1107,11 +1193,13 @@ impl<'d, T: Pod> DsmSlice for SharedSlice<'d, T> {
         let at = (self.base + i) * T::SIZE;
         self.dsm
             .check_view_conflict(self.id, &(at..at + T::SIZE), true);
-        self.dsm.analyze_access(self.id, &(at..at + T::SIZE), true);
-        self.dsm.with_object(self.id, true, 2, |bytes| {
-            let v = f(T::read_from(&bytes[at..]));
-            v.write_to(&mut bytes[at..]);
-        })
+        self.dsm
+            .analyze_access(self.id, &(at..at + T::SIZE), true, self.striped);
+        self.dsm
+            .with_range(self.id, at..at + T::SIZE, true, 2, |b| {
+                let v = f(T::read_from(b));
+                v.write_to(b);
+            })
     }
 
     fn try_read_into(&self, start: usize, out: &mut [T]) -> Result<(), LotsError> {
@@ -1120,14 +1208,13 @@ impl<'d, T: Pod> DsmSlice for SharedSlice<'d, T> {
         }
         range_bounds(self, self.len, &(start..start + out.len()));
         let at = (self.base + start) * T::SIZE;
+        let span = at..at + out.len() * T::SIZE;
+        self.dsm.check_view_conflict(self.id, &span, false);
+        self.dsm.analyze_access(self.id, &span, false, self.striped);
         self.dsm
-            .check_view_conflict(self.id, &(at..at + out.len() * T::SIZE), false);
-        self.dsm
-            .analyze_access(self.id, &(at..at + out.len() * T::SIZE), false);
-        self.dsm
-            .with_object(self.id, false, out.len() as u64, |bytes| {
+            .with_range(self.id, span, false, out.len() as u64, |b| {
                 for (k, slot) in out.iter_mut().enumerate() {
-                    *slot = T::read_from(&bytes[at + k * T::SIZE..]);
+                    *slot = T::read_from(&b[k * T::SIZE..]);
                 }
             })
     }
@@ -1138,14 +1225,13 @@ impl<'d, T: Pod> DsmSlice for SharedSlice<'d, T> {
         }
         range_bounds(self, self.len, &(start..start + vals.len()));
         let at = (self.base + start) * T::SIZE;
+        let span = at..at + vals.len() * T::SIZE;
+        self.dsm.check_view_conflict(self.id, &span, true);
+        self.dsm.analyze_access(self.id, &span, true, self.striped);
         self.dsm
-            .check_view_conflict(self.id, &(at..at + vals.len() * T::SIZE), true);
-        self.dsm
-            .analyze_access(self.id, &(at..at + vals.len() * T::SIZE), true);
-        self.dsm
-            .with_object(self.id, true, vals.len() as u64, |bytes| {
+            .with_range(self.id, span, true, vals.len() as u64, |b| {
                 for (k, v) in vals.iter().enumerate() {
-                    v.write_to(&mut bytes[at + k * T::SIZE..]);
+                    v.write_to(&mut b[k * T::SIZE..]);
                 }
             })
     }
@@ -1158,21 +1244,18 @@ impl<'d, T: Pod> DsmSlice for SharedSlice<'d, T> {
         range_bounds(self, self.len, &range);
         let bytes = (self.base + range.start) * T::SIZE..(self.base + range.end) * T::SIZE;
         let mut view = ObjViewMut {
-            pin: ViewPin::new(self.dsm, self.id, bytes, true),
+            pin: ViewPin::new(self.dsm, self.id, bytes.clone(), true, self.striped),
             id: self.id,
-            at: (self.base + range.start) * T::SIZE,
+            at: bytes.start,
             data: Vec::new(),
         };
         if !range.is_empty() {
-            let at = view.at;
             let n = range.len();
             // The write access runs the check, resolves a miss, creates
             // the twin and marks the object dirty once, up front; the
             // guard's write-back then costs nothing extra.
-            view.data = self.dsm.with_object(self.id, true, checks, |bytes| {
-                (0..n)
-                    .map(|k| T::read_from(&bytes[at + k * T::SIZE..]))
-                    .collect()
+            view.data = self.dsm.with_range(self.id, bytes, true, checks, |b| {
+                (0..n).map(|k| T::read_from(&b[k * T::SIZE..])).collect()
             })?;
         }
         Ok(view)
@@ -1198,8 +1281,14 @@ struct ViewPin<'d> {
 }
 
 impl<'d> ViewPin<'d> {
-    fn new(dsm: &'d Dsm, obj: ObjectId, bytes: Range<usize>, mutable: bool) -> ViewPin<'d> {
-        let token = dsm.register_view_span(obj, &bytes, mutable);
+    fn new(
+        dsm: &'d Dsm,
+        obj: ObjectId,
+        bytes: Range<usize>,
+        mutable: bool,
+        striped: bool,
+    ) -> ViewPin<'d> {
+        let token = dsm.register_view_span(obj, &bytes, mutable, striped);
         dsm.node.lock().enter_stmt();
         dsm.live_views.set(dsm.live_views.get() + 1);
         ViewPin { dsm, token }
@@ -1268,14 +1357,14 @@ impl<T: Pod> Drop for ObjViewMut<'_, T> {
             return;
         }
         let data = std::mem::take(&mut self.data);
-        let at = self.at;
+        let span = self.at..self.at + data.len() * T::SIZE;
         // Zero further checks: the check ran at guard creation, and the
         // pin guarantees the object is still mapped.
         self.pin
             .dsm
-            .with_object(self.id, true, 0, |bytes| {
+            .with_range(self.id, span, true, 0, |b| {
                 for (k, v) in data.iter().enumerate() {
-                    v.write_to(&mut bytes[at + k * T::SIZE..]);
+                    v.write_to(&mut b[k * T::SIZE..]);
                 }
             })
             .unwrap_or_else(|e| panic!("view_mut write-back of {}: {e}", self.id));

@@ -27,6 +27,12 @@ pub enum Placement {
     /// granularity). Until then every copy is the valid zero-fill, so
     /// no fetch can observe the provisional home.
     FirstTouch,
+    /// Home = deterministic hash of `(object id, segment index)` modulo
+    /// cluster size — BlobSeer-style consistent placement that spreads
+    /// the segments of a striped object without the lockstep regularity
+    /// of [`Placement::RoundRobin`]. On an unstriped allocation this
+    /// hashes `(id, 0)`.
+    ConsistentHash,
 }
 
 impl Placement {
@@ -36,6 +42,55 @@ impl Placement {
             Placement::RoundRobin => "round-robin",
             Placement::Fixed(_) => "fixed",
             Placement::FirstTouch => "first-touch",
+            Placement::ConsistentHash => "consistent-hash",
+        }
+    }
+}
+
+/// Striping configuration for large objects (the BlobSeer-inspired
+/// answer to the single-home bottleneck): allocations larger than
+/// [`Striping::segment_bytes`] are split into fixed-size segments, each
+/// an ordinary directory object with its *own* home, so concurrent
+/// misses on one hot object fan out across the cluster instead of
+/// queueing on a single peer.
+///
+/// Segments inherit the full coherence machinery — twins, word diffs,
+/// barrier write notices, swap, home migration — at segment
+/// granularity. Writers publish immutable segment versions at each
+/// barrier; a guard pins the published snapshot for its lifetime and
+/// never observes in-flight writers (see README §"Striped objects &
+/// versioning").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Striping {
+    /// Segment size in bytes (word-aligned, > 0). Objects of at most
+    /// this size stay unstriped; larger ones are split into
+    /// `ceil(size / segment_bytes)` segments.
+    pub segment_bytes: usize,
+    /// Default per-segment placement: [`Placement::RoundRobin`] rotates
+    /// homes by `(id + segment) % n`, [`Placement::ConsistentHash`]
+    /// hashes `(id, segment)`, [`Placement::Fixed`] pins every segment
+    /// to one node, [`Placement::FirstTouch`] defers each segment's
+    /// home to its first writer. An explicit `*_placed` allocation
+    /// overrides this per object.
+    pub placement: Placement,
+}
+
+impl Default for Striping {
+    fn default() -> Striping {
+        Striping {
+            segment_bytes: crate::layout::DEFAULT_STRIPE_SEGMENT_BYTES,
+            placement: Placement::RoundRobin,
+        }
+    }
+}
+
+impl Striping {
+    /// Striping with the given segment size and round-robin segment
+    /// homes.
+    pub fn segments_of(segment_bytes: usize) -> Striping {
+        Striping {
+            segment_bytes,
+            ..Striping::default()
         }
     }
 }
@@ -228,6 +283,12 @@ pub struct LotsConfig {
     /// Object-lifecycle configuration (allocator fit policy, default
     /// placement).
     pub alloc: AllocConfig,
+    /// Large-object striping (`None` keeps every object whole at one
+    /// home — the historical behaviour). When set, allocations larger
+    /// than [`Striping::segment_bytes`] are split into per-segment
+    /// directory objects with independent homes and barrier-published
+    /// snapshot versions.
+    pub striping: Option<Striping>,
 }
 
 impl Default for LotsConfig {
@@ -242,6 +303,7 @@ impl Default for LotsConfig {
             large_threshold: 64 * 1024,
             swap: SwapConfig::default(),
             alloc: AllocConfig::default(),
+            striping: None,
         }
     }
 }
@@ -276,6 +338,13 @@ impl LotsConfig {
     #[must_use]
     pub fn with_alloc(mut self, alloc: AllocConfig) -> LotsConfig {
         self.alloc = alloc;
+        self
+    }
+
+    /// Enable large-object striping with the given configuration.
+    #[must_use]
+    pub fn with_striping(mut self, striping: Striping) -> LotsConfig {
+        self.striping = Some(striping);
         self
     }
 }
@@ -340,7 +409,27 @@ mod tests {
         assert_eq!(Placement::RoundRobin.label(), "round-robin");
         assert_eq!(Placement::Fixed(3).label(), "fixed");
         assert_eq!(Placement::FirstTouch.label(), "first-touch");
+        assert_eq!(Placement::ConsistentHash.label(), "consistent-hash");
         assert_eq!(FitPolicy::BestFit.label(), "best-fit");
         assert_eq!(FitPolicy::FirstFit.label(), "first-fit");
+    }
+
+    #[test]
+    fn striping_is_off_by_default() {
+        assert_eq!(LotsConfig::default().striping, None);
+        assert_eq!(LotsConfig::small(1 << 20).striping, None);
+        assert_eq!(LotsConfig::lots_x(1 << 20).striping, None);
+    }
+
+    #[test]
+    fn with_striping_sets_segment_size() {
+        let c = LotsConfig::default().with_striping(Striping::segments_of(1 << 20));
+        let s = c.striping.unwrap();
+        assert_eq!(s.segment_bytes, 1 << 20);
+        assert_eq!(s.placement, Placement::RoundRobin);
+        assert_eq!(
+            Striping::default().segment_bytes,
+            crate::layout::DEFAULT_STRIPE_SEGMENT_BYTES
+        );
     }
 }

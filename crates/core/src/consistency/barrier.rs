@@ -613,6 +613,7 @@ mod tests {
             elem_size: 4,
             len: 16,
             placement: crate::config::Placement::RoundRobin,
+            placement_explicit: false,
         };
         let results = round_lifecycle(
             &svc,

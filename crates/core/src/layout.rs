@@ -71,6 +71,13 @@ impl DmmAddr {
 /// by the JIAJIA baseline's page granularity.
 pub const PAGE_BYTES: usize = 4096;
 
+/// Default stripe-segment size (4 MB) used by
+/// [`Striping::default`](crate::config::Striping): large enough that a
+/// segment amortizes per-message protocol costs, small enough that a
+/// multi-hundred-MB object spreads over dozens of homes. Distinct from
+/// [`SEGMENT_BYTES`], the Figure 3 *address-space* segment (512 MB).
+pub const DEFAULT_STRIPE_SEGMENT_BYTES: usize = 4 << 20;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -72,7 +72,7 @@ pub mod swap;
 pub use alloc::FragStats;
 pub use api::{Dsm, DsmApi, DsmSlice, ObjView, ObjViewMut, SharedSlice, StmtGuard};
 pub use config::{
-    AllocConfig, DiffMode, FitPolicy, LockProtocol, LotsConfig, Placement, SwapConfig,
+    AllocConfig, DiffMode, FitPolicy, LockProtocol, LotsConfig, Placement, Striping, SwapConfig,
     SwapPolicyKind,
 };
 pub use consistency::locks::LockId;

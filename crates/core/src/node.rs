@@ -8,6 +8,7 @@
 //! lock-update application, barrier bookkeeping).
 
 use std::collections::{BTreeSet, HashMap};
+use std::ops::Range;
 use std::sync::Arc;
 
 use lots_disk::{BackingStore, DiskError};
@@ -18,7 +19,7 @@ use crate::alloc::{AllocError, DmmAllocator, FragStats};
 use crate::config::{LotsConfig, Placement};
 use crate::consistency::locks::WordUpdate;
 use crate::diff::WordDiff;
-use crate::object::{Life, Mapping, NamedAllocReq, ObjCtl, ObjectId, Share};
+use crate::object::{Life, Mapping, NamedAllocReq, ObjCtl, ObjectId, Share, StripeInfo};
 use crate::swap::{build_policy, Candidate, ImageTwin, SwapImage, SwapPolicy};
 
 /// Errors surfaced to applications.
@@ -90,6 +91,15 @@ pub enum LotsError {
         /// The conflicting name.
         name: String,
     },
+    /// [`Placement::Fixed`] names a node outside the cluster — a
+    /// deterministic config error surfaced at alloc time on every
+    /// system, never an index panic mid-protocol.
+    BadPlacement {
+        /// The out-of-range node the placement requested.
+        requested: NodeId,
+        /// Cluster size (valid nodes are `0..n`).
+        n: usize,
+    },
 }
 
 impl std::fmt::Display for LotsError {
@@ -138,6 +148,10 @@ impl std::fmt::Display for LotsError {
             LotsError::DuplicateName { name } => {
                 write!(f, "an object named {name:?} already exists")
             }
+            LotsError::BadPlacement { requested, n } => write!(
+                f,
+                "Placement::Fixed({requested}) outside the cluster (valid nodes are 0..{n})"
+            ),
         }
     }
 }
@@ -164,6 +178,24 @@ pub enum Access {
         /// Node currently holding the authoritative copy.
         home: NodeId,
     },
+}
+
+/// Outcome of starting a byte-range access (the striping-aware
+/// generalization of [`Access`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RangeAccess {
+    /// Unstriped object, locally usable at this arena offset.
+    Ready {
+        /// Byte offset of the object in the DMM arena.
+        offset: usize,
+    },
+    /// Striped object with every covered segment valid, mapped and
+    /// pinned; run the access through
+    /// [`NodeState::striped_range_run`].
+    Striped,
+    /// Stale copies: fetch each `(segment object, home)` pair — from
+    /// *distinct* homes in the striped case — then retry.
+    Fetch(Vec<(ObjectId, NodeId)>),
 }
 
 /// An open critical section: the guarding lock plus CS-entry snapshots
@@ -355,7 +387,18 @@ impl NodeState {
     /// Register a shared object of `size` bytes under the configured
     /// default placement (see [`NodeState::register_object_placed`]).
     pub fn register_object(&mut self, size: usize) -> Result<ObjectId, LotsError> {
-        self.register_object_placed(size, self.cfg.alloc.placement)
+        self.register_object_with(size, self.cfg.alloc.placement, false)
+    }
+
+    /// Register a shared object with an explicitly chosen placement
+    /// (the `*_placed` surface): the placement also overrides the
+    /// striping config's per-segment default.
+    pub fn register_object_placed(
+        &mut self,
+        size: usize,
+        placement: Placement,
+    ) -> Result<ObjectId, LotsError> {
+        self.register_object_with(size, placement, true)
     }
 
     /// Register a shared object of `size` bytes (word-aligned up) and
@@ -364,13 +407,31 @@ impl NodeState {
     /// free-reclaimed slot, else a fresh one, so allocation order plus
     /// the barrier-agreed reclamation history make ids agree
     /// cluster-wide.
-    pub fn register_object_placed(
+    ///
+    /// With striping configured, allocations larger than one segment
+    /// take the striped path: the returned parent id routes to
+    /// per-segment child objects with independent homes.
+    fn register_object_with(
         &mut self,
         size: usize,
         placement: Placement,
+        explicit: bool,
     ) -> Result<ObjectId, LotsError> {
+        self.check_placement(placement)?;
         let req_bytes = size;
         let size = size.div_ceil(4) * 4;
+        if let Some(striping) = self.cfg.striping {
+            let seg_bytes = striping.segment_bytes.max(4).div_ceil(4) * 4;
+            if size > seg_bytes {
+                let seg_placement = if explicit {
+                    placement
+                } else {
+                    striping.placement
+                };
+                self.check_placement(seg_placement)?;
+                return self.register_striped(req_bytes, size, seg_bytes, placement, seg_placement);
+            }
+        }
         let id = self.take_slot();
         let (home, home_pending) = self.resolve_placement(id, placement);
         let mut ctl = ObjCtl::new(size, home);
@@ -436,20 +497,148 @@ impl NodeState {
         }
     }
 
-    /// Resolve a [`Placement`] into (initial home, home-pending flag).
+    /// Validate a [`Placement`] against the cluster size: `Fixed` homes
+    /// outside `0..n` are a deterministic alloc-time config error.
+    fn check_placement(&self, placement: Placement) -> Result<(), LotsError> {
+        match placement {
+            Placement::Fixed(node) if node >= self.n => Err(LotsError::BadPlacement {
+                requested: node,
+                n: self.n,
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Resolve a (pre-validated) [`Placement`] into (initial home,
+    /// home-pending flag).
     fn resolve_placement(&self, id: ObjectId, placement: Placement) -> (NodeId, bool) {
         let round_robin = (id.0 as usize) % self.n;
         match placement {
             Placement::RoundRobin => (round_robin, false),
             Placement::Fixed(node) => {
-                assert!(node < self.n, "Placement::Fixed({node}) outside cluster");
+                debug_assert!(node < self.n, "Fixed placement validated at entry");
                 (node, false)
             }
             // Provisional home; never serves a fetch (all copies stay
             // zero-valid until the first write barrier assigns the
             // real home to the first writer).
             Placement::FirstTouch => (round_robin, true),
+            Placement::ConsistentHash => ((stripe_hash(id.0, 0) as usize) % self.n, false),
         }
+    }
+
+    /// Per-segment home of a striped allocation: the directory's
+    /// `(object, segment) → home` map, evaluated identically on every
+    /// node.
+    fn resolve_segment_placement(
+        &self,
+        parent: u32,
+        seg: u32,
+        placement: Placement,
+    ) -> (NodeId, bool) {
+        let rotated = (parent as usize + seg as usize) % self.n;
+        match placement {
+            Placement::RoundRobin => (rotated, false),
+            Placement::Fixed(node) => {
+                debug_assert!(node < self.n, "Fixed placement validated at entry");
+                (node, false)
+            }
+            Placement::FirstTouch => (rotated, true),
+            Placement::ConsistentHash => ((stripe_hash(parent, seg) as usize) % self.n, false),
+        }
+    }
+
+    /// Striped registration: the parent slot is taken first, then one
+    /// child per segment in segment order, so every node derives the
+    /// same ids from the same allocation history. The parent's data
+    /// never materializes; each child is an ordinary object with its
+    /// own home, twin, swap image and barrier notices.
+    fn register_striped(
+        &mut self,
+        req_bytes: usize,
+        size: usize,
+        seg_bytes: usize,
+        parent_placement: Placement,
+        seg_placement: Placement,
+    ) -> Result<ObjectId, LotsError> {
+        let nsegs = size.div_ceil(seg_bytes);
+        let parent = self.take_slot();
+        let (home, home_pending) = self.resolve_placement(parent, parent_placement);
+        let mut ctl = ObjCtl::new(size, home);
+        ctl.req_bytes = req_bytes;
+        ctl.home_pending = home_pending;
+        self.objects[parent.0 as usize] = ctl;
+        self.charge(TimeCategory::LargeObject, self.cpu.map_syscall);
+        let mut children = Vec::with_capacity(nsegs);
+        let mut failed = None;
+        for s in 0..nsegs {
+            let child_size = seg_bytes.min(size - s * seg_bytes);
+            let cid = self.take_slot();
+            let (chome, cpending) =
+                self.resolve_segment_placement(parent.0, s as u32, seg_placement);
+            let mut cctl = ObjCtl::new(child_size, chome);
+            cctl.home_pending = cpending;
+            cctl.parent = Some((parent.0, s as u32));
+            self.objects[cid.0 as usize] = cctl;
+            children.push(cid.0);
+            self.charge(TimeCategory::LargeObject, self.cpu.map_syscall);
+            if self.cfg.large_object_space {
+                // Same mmap-like laziness as the unstriped path: map
+                // eagerly only while space is free.
+                match self.alloc.alloc(child_size) {
+                    Ok(offset) => {
+                        self.arena[offset..offset + child_size].fill(0);
+                        self.objects[cid.0 as usize].mapping = Mapping::Mapped { offset };
+                        self.resident_logical += child_size as u64;
+                        self.materialized_cum += child_size as u64;
+                    }
+                    Err(AllocError::NoSpace { .. }) => {}
+                    Err(AllocError::TooLarge { size, max }) => {
+                        failed = Some(LotsError::ObjectTooLarge { size, max });
+                        break;
+                    }
+                }
+            } else {
+                // LOTS-x: mapping is permanent and mandatory, segment
+                // by segment.
+                match self.try_map(cid) {
+                    Ok(_) => {}
+                    Err(LotsError::OutOfDmm { requested })
+                    | Err(LotsError::LotsXCapacity { requested }) => {
+                        failed = Some(LotsError::LotsXCapacity { requested });
+                        break;
+                    }
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+        }
+        if let Some(e) = failed {
+            // Unwind: a failed registration must not consume any slot.
+            for &c in children.iter().rev() {
+                let cid = ObjectId(c);
+                if self.objects[c as usize].offset().is_some() {
+                    self.invalidate_local(cid)?;
+                }
+                let cctl = &mut self.objects[c as usize];
+                cctl.parent = None;
+                cctl.life = Life::Free;
+                self.free_ids.insert(c);
+            }
+            let pctl = &mut self.objects[parent.0 as usize];
+            pctl.life = Life::Free;
+            self.free_ids.insert(parent.0);
+            self.sync_frag_gauges();
+            return Err(e);
+        }
+        self.objects[parent.0 as usize].stripe = Some(StripeInfo {
+            seg_bytes,
+            children,
+        });
+        self.sync_frag_gauges();
+        Ok(parent)
     }
 
     /// Refresh the fragmentation gauges mirrored into [`NodeStats`].
@@ -493,10 +682,21 @@ impl NodeState {
         // notice so the barrier plan never schedules diffs for it.
         self.dirty.retain(|&o| o != id.0);
         self.freed_pending.push(id.0);
+        // A striped parent frees its segment children with it: the
+        // whole family is tombstoned now and reclaimed at the barrier.
+        if let Some(stripe) = self.objects[idx].stripe.clone() {
+            for &c in &stripe.children {
+                self.objects[c as usize].life = Life::Tombstoned;
+                self.dirty.retain(|&o| o != c);
+                self.freed_pending.push(c);
+            }
+        }
         Ok(())
     }
 
-    /// Stage a named allocation for commit at the next barrier.
+    /// Stage a named allocation for commit at the next barrier. The
+    /// placement is validated eagerly so a bad `Fixed` home errors at
+    /// alloc time, not inside the barrier's deterministic commit replay.
     pub fn stage_named(&mut self, req: NamedAllocReq) -> Result<(), LotsError> {
         if self.names.contains_key(&req.name)
             || self.pending_named.iter().any(|p| p.name == req.name)
@@ -505,6 +705,12 @@ impl NodeState {
         }
         if req.len == 0 {
             return Err(LotsError::EmptyAlloc);
+        }
+        self.check_placement(req.placement)?;
+        if let Some(striping) = self.cfg.striping {
+            if !req.placement_explicit {
+                self.check_placement(striping.placement)?;
+            }
         }
         self.pending_named.push(req);
         Ok(())
@@ -567,7 +773,12 @@ impl NodeState {
         );
         // The munmap/unlink analogue of the reclamation pass.
         self.charge(TimeCategory::LargeObject, self.cpu.map_syscall);
-        self.stats.count_object_freed(size);
+        // Stripe children ride their parent's reclamation: the parent
+        // alone counts the free (with the full logical size), so the
+        // app-facing counter stays one event per `free` call.
+        if self.objects[idx].parent.is_none() {
+            self.stats.count_object_freed(size);
+        }
         if let Some(name) = self.objects[idx].name.take() {
             self.names.remove(&name);
         }
@@ -575,6 +786,8 @@ impl NodeState {
         ctl.twin = false;
         ctl.written = false;
         ctl.home_pending = false;
+        ctl.stripe = None;
+        ctl.parent = None;
         ctl.life = Life::Free;
         self.free_ids.insert(id.0);
         Ok(())
@@ -589,7 +802,7 @@ impl NodeState {
              in one interval)",
             req.name
         );
-        let id = self.register_object_placed(req.bytes, req.placement)?;
+        let id = self.register_object_with(req.bytes, req.placement, req.placement_explicit)?;
         self.objects[id.0 as usize].name = Some(req.name.clone());
         self.names.insert(
             req.name.clone(),
@@ -729,16 +942,37 @@ impl NodeState {
         Ok(img)
     }
 
+    /// Stride prediction for the read-ahead: two stripe children of the
+    /// same parent stride in *segment* space (so a sequential scan of a
+    /// striped object prefetches the next segment, whatever slot ids
+    /// the children landed on); two plain objects stride in id space as
+    /// before. A mixed pair predicts nothing.
+    fn predict_next(&self, last: u32, obj: u32) -> Option<u32> {
+        match (
+            self.objects[last as usize].parent,
+            self.objects[obj as usize].parent,
+        ) {
+            (Some((lp, ls)), Some((op, os))) if lp == op => {
+                let stripe = self.objects[op as usize].stripe.as_ref()?;
+                let next = os as i64 + (os as i64 - ls as i64);
+                (next >= 0 && (next as usize) < stripe.children.len())
+                    .then(|| stripe.children[next as usize])
+            }
+            (None, None) => {
+                let p = obj as i64 + (obj as i64 - last as i64);
+                (p >= 0 && (p as usize) < self.objects.len()).then_some(p as u32)
+            }
+            _ => None,
+        }
+    }
+
     /// Stride read-ahead: after the demand swap-in of `obj`, predict
     /// the next swapped-out object from the recent swap-in stride and
     /// start its device read so the data is (often) already local when
     /// the predicted access arrives.
     fn issue_read_ahead(&mut self, obj: u32) {
         let predicted = match self.last_swapin {
-            Some(last) if last != obj => {
-                let p = obj as i64 + (obj as i64 - last as i64);
-                (p >= 0 && (p as usize) < self.objects.len()).then_some(p as u32)
-            }
+            Some(last) if last != obj => self.predict_next(last, obj),
             _ => None,
         };
         self.last_swapin = Some(obj);
@@ -920,6 +1154,139 @@ impl NodeState {
         Ok(Access::Ready { offset })
     }
 
+    /// Striping-aware access: run the §4.2 check once per guard on the
+    /// parent handle, then resolve the byte range. Unstriped objects
+    /// delegate to [`NodeState::begin_access`]; striped objects check
+    /// only the *covered* segments, returning every stale one (with its
+    /// own home) in a single [`RangeAccess::Fetch`] so the caller fans
+    /// the fetches out in parallel.
+    pub fn begin_access_range(
+        &mut self,
+        id: ObjectId,
+        bytes: &Range<usize>,
+        write: bool,
+        checks: u64,
+    ) -> Result<RangeAccess, LotsError> {
+        if self.objects[id.0 as usize].life != Life::Live {
+            return Err(LotsError::UseAfterFree { obj: id });
+        }
+        if self.objects[id.0 as usize].stripe.is_none() {
+            return match self.begin_access(id, write, checks)? {
+                Access::Ready { offset } => Ok(RangeAccess::Ready { offset }),
+                Access::NeedFetch { home } => Ok(RangeAccess::Fetch(vec![(id, home)])),
+            };
+        }
+        // One status check per guard (§4.2), charged on the parent —
+        // striping does not multiply the software check cost.
+        let stmt = self.current_stmt();
+        self.stats.count_access_checks(checks);
+        let check_t = self.cpu.checks(checks);
+        self.clock.advance(check_t);
+        self.stats.charge(TimeCategory::AccessCheck, check_t);
+        if self.cfg.large_object_space {
+            let pin_t = SimDuration(self.cpu.pin_update.0 * checks);
+            self.clock.advance(pin_t);
+            self.stats.charge(TimeCategory::LargeObject, pin_t);
+        }
+        let stripe = self.objects[id.0 as usize]
+            .stripe
+            .clone()
+            .expect("checked above");
+        let first = bytes.start / stripe.seg_bytes;
+        let last = bytes.end.saturating_sub(1).max(bytes.start) / stripe.seg_bytes;
+        let mut fetches = Vec::new();
+        for s in first..=last {
+            let c = stripe.children[s];
+            if !self.objects[c as usize].locally_valid() {
+                let target = self
+                    .fetch_override
+                    .get(&c)
+                    .copied()
+                    .unwrap_or(self.objects[c as usize].home);
+                fetches.push((ObjectId(c), target));
+            }
+        }
+        if !fetches.is_empty() {
+            return Ok(RangeAccess::Fetch(fetches));
+        }
+        for s in first..=last {
+            let cid = ObjectId(stripe.children[s]);
+            let offset = self.try_map(cid)?;
+            let cidx = cid.0 as usize;
+            if self.objects[cidx].last_access != stmt {
+                self.policy.on_access(cid.0);
+            }
+            // The pin stamp lands on each covered segment: earlier
+            // segments of this guard are fenced against eviction while
+            // later ones map in.
+            self.objects[cidx].last_access = stmt;
+            if write {
+                self.prepare_write(cid, offset);
+            }
+        }
+        Ok(RangeAccess::Striped)
+    }
+
+    /// Run `f` over the bytes of a striped range whose segments were
+    /// all pinned by [`NodeState::begin_access_range`] returning
+    /// [`RangeAccess::Striped`]. A range inside one segment runs in
+    /// place in the arena; a spanning range gathers into a host-side
+    /// staging buffer and (for writes) scatters back — pure data
+    /// movement with no virtual-time charge, matching the zero-copy
+    /// single-object path.
+    pub fn striped_range_run<R>(
+        &mut self,
+        id: ObjectId,
+        bytes: &Range<usize>,
+        write: bool,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> R {
+        let stripe = self.objects[id.0 as usize]
+            .stripe
+            .clone()
+            .expect("striped_range_run on an unstriped object");
+        let len = bytes.end - bytes.start;
+        let first = bytes.start / stripe.seg_bytes;
+        let last = bytes.end.saturating_sub(1).max(bytes.start) / stripe.seg_bytes;
+        if first == last {
+            let cidx = stripe.children[first] as usize;
+            let off = self.objects[cidx]
+                .offset()
+                .expect("covered segment pinned and mapped");
+            let within = bytes.start - first * stripe.seg_bytes;
+            return f(&mut self.arena[off + within..off + within + len]);
+        }
+        let mut buf = vec![0u8; len];
+        let mut cursor = 0;
+        for s in first..=last {
+            let seg_start = s * stripe.seg_bytes;
+            let cidx = stripe.children[s] as usize;
+            let off = self.objects[cidx]
+                .offset()
+                .expect("covered segment pinned and mapped");
+            let from = bytes.start.max(seg_start) - seg_start;
+            let to = bytes.end.min(seg_start + self.objects[cidx].size) - seg_start;
+            buf[cursor..cursor + (to - from)].copy_from_slice(&self.arena[off + from..off + to]);
+            cursor += to - from;
+        }
+        debug_assert_eq!(cursor, len, "gather covered the whole range");
+        let r = f(&mut buf);
+        if write {
+            let mut cursor = 0;
+            for s in first..=last {
+                let seg_start = s * stripe.seg_bytes;
+                let cidx = stripe.children[s] as usize;
+                let off = self.objects[cidx].offset().expect("still mapped");
+                let from = bytes.start.max(seg_start) - seg_start;
+                let to = bytes.end.min(seg_start + self.objects[cidx].size) - seg_start;
+                self.arena[off + from..off + to]
+                    .copy_from_slice(&buf[cursor..cursor + (to - from)]);
+                cursor += to - from;
+            }
+        }
+        r
+    }
+
     /// The in-memory copy is about to diverge from the disk image:
     /// drop the stale image and clear the clean flag.
     fn mark_mutated(&mut self, idx: usize) {
@@ -1031,6 +1398,17 @@ impl NodeState {
         );
         let offset = self.try_map(id)?;
         let size = self.objects[idx].size;
+        if self.objects[idx].parent.is_some() && self.objects[idx].twin {
+            // Snapshot versioning: a stripe segment being written this
+            // interval serves its *twin* — the immutable copy published
+            // at the last barrier — so readers pin that version and
+            // never observe the in-flight writer. (Untouched segments
+            // serve the arena, which *is* the published version.)
+            return Ok((
+                self.twin_arena[offset..offset + size].to_vec(),
+                self.objects[idx].version,
+            ));
+        }
         Ok((
             self.arena[offset..offset + size].to_vec(),
             self.objects[idx].version,
@@ -1266,14 +1644,25 @@ impl NodeState {
     ) -> Result<(), LotsError> {
         for &(id, home) in written {
             let idx = id.0 as usize;
+            let is_segment = self.objects[idx].parent.is_some();
             self.objects[idx].home = home;
             self.objects[idx].home_pending = false;
             if home == self.me {
                 // We hold the authoritative copy.
                 self.objects[idx].share = Share::Valid;
                 self.objects[idx].version = seq;
+                if is_segment {
+                    // The write-notice round publishes this segment's
+                    // new immutable version, counted at its home.
+                    self.stats.count_version_published();
+                }
             } else {
                 self.invalidate_local(id)?;
+            }
+            if is_segment && self.objects[idx].twin {
+                // Dropping the twin discards the superseded snapshot
+                // version readers pinned last interval.
+                self.stats.count_version_reclaimed();
             }
             self.objects[idx].twin = false;
             self.objects[idx].written = false;
@@ -1340,13 +1729,20 @@ impl NodeState {
     }
 
     /// Total logical bytes of all live (and tombstoned-but-unreclaimed)
-    /// objects on this node.
+    /// objects on this node. Stripe children are excluded: the parent
+    /// already carries the allocation's full logical size.
     pub fn total_object_bytes(&self) -> u64 {
         self.objects
             .iter()
-            .filter(|o| o.life != Life::Free)
+            .filter(|o| o.life != Life::Free && o.parent.is_none())
             .map(|o| o.size as u64)
             .sum()
+    }
+
+    /// Striping record of `id`, if it is a striped parent
+    /// (tests/diagnostics).
+    pub fn stripe_of(&self, id: ObjectId) -> Option<&StripeInfo> {
+        self.objects[id.0 as usize].stripe.as_ref()
     }
 
     /// Bytes of swap images held by the backing store — the bytes
@@ -1410,6 +1806,19 @@ impl NodeState {
     pub fn store(&self) -> &Arc<dyn BackingStore> {
         &self.store
     }
+}
+
+/// FNV-1a over `(parent id, segment index)` — the consistent-hash
+/// directory function behind [`Placement::ConsistentHash`]. Pure and
+/// seedless, so every node computes the same segment home (JIAJIA
+/// reuses it over `(page index, 0)` for page homes).
+pub fn stripe_hash(parent: u32, seg: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in parent.to_le_bytes().into_iter().chain(seg.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 #[cfg(test)]
@@ -1838,6 +2247,7 @@ mod tests {
             elem_size: 4,
             len: 16,
             placement: Placement::RoundRobin,
+            placement_explicit: false,
         })
         .unwrap();
         // Duplicate staging rejected before commit.
@@ -1848,6 +2258,7 @@ mod tests {
                 elem_size: 4,
                 len: 1,
                 placement: Placement::RoundRobin,
+                placement_explicit: false,
             }),
             Err(LotsError::DuplicateName { .. })
         ));
@@ -1903,6 +2314,254 @@ mod tests {
         n.barrier_finish(&[(ft, 2)], &[], &[], 1).unwrap();
         assert_eq!(n.home_of(ft), 2);
         assert!(!n.ctl(ft).home_pending);
+    }
+
+    fn striped_node(me: NodeId, n: usize, dmm: usize, seg: usize) -> NodeState {
+        let store = Arc::new(MemStore::new(DiskModel {
+            per_op: SimDuration::from_micros(100),
+            write_bps: 50_000_000,
+            read_bps: 50_000_000,
+        }));
+        let cfg = LotsConfig::small(dmm).with_striping(crate::config::Striping::segments_of(seg));
+        NodeState::new(
+            me,
+            n,
+            cfg,
+            pentium4_2ghz(),
+            store,
+            SimClock::new(),
+            NodeStats::new(),
+        )
+    }
+
+    #[test]
+    fn striped_registration_spreads_segment_homes() {
+        let mut n = striped_node(0, 4, 256 * 1024, 1024);
+        let id = n.register_object(10 * 1024).unwrap();
+        let stripe = n.stripe_of(id).unwrap().clone();
+        assert_eq!(stripe.children.len(), 10);
+        assert_eq!(stripe.seg_bytes, 1024);
+        // RoundRobin per segment: (parent + seg) % n.
+        for (s, &c) in stripe.children.iter().enumerate() {
+            let ctl = n.ctl(ObjectId(c));
+            assert_eq!(ctl.home, (id.0 as usize + s) % 4);
+            assert_eq!(ctl.parent, Some((id.0, s as u32)));
+            assert_eq!(ctl.size, 1024);
+        }
+        // The parent never materializes; logical bytes count once.
+        assert_eq!(n.ctl(id).mapping, Mapping::Unmapped);
+        assert_eq!(n.total_object_bytes(), 10 * 1024);
+    }
+
+    #[test]
+    fn small_objects_stay_unstriped_under_striping_config() {
+        let mut n = striped_node(0, 4, 256 * 1024, 1024);
+        let id = n.register_object(1024).unwrap();
+        assert!(n.stripe_of(id).is_none());
+        assert_eq!(read_word(&mut n, id, 0), 0);
+    }
+
+    #[test]
+    fn consistent_hash_homes_are_deterministic_and_in_range() {
+        let mut a = striped_node(0, 4, 256 * 1024, 1024);
+        let mut b = striped_node(3, 4, 256 * 1024, 1024);
+        let ida = a
+            .register_object_placed(8 * 1024, Placement::ConsistentHash)
+            .unwrap();
+        let idb = b
+            .register_object_placed(8 * 1024, Placement::ConsistentHash)
+            .unwrap();
+        assert_eq!(ida, idb);
+        let ha: Vec<NodeId> = a
+            .stripe_of(ida)
+            .unwrap()
+            .children
+            .iter()
+            .map(|&c| a.ctl(ObjectId(c)).home)
+            .collect();
+        let hb: Vec<NodeId> = b
+            .stripe_of(idb)
+            .unwrap()
+            .children
+            .iter()
+            .map(|&c| b.ctl(ObjectId(c)).home)
+            .collect();
+        assert_eq!(ha, hb, "every node derives the same segment homes");
+        assert!(ha.iter().all(|&h| h < 4));
+        assert!(
+            ha.iter().collect::<std::collections::HashSet<_>>().len() > 1,
+            "hashing spreads 8 segments over more than one home: {ha:?}"
+        );
+    }
+
+    #[test]
+    fn fixed_placement_out_of_range_errors_at_alloc_time() {
+        let mut n = striped_node(0, 4, 256 * 1024, 1024);
+        let r = n.register_object_placed(64, Placement::Fixed(4));
+        assert_eq!(
+            r,
+            Err(LotsError::BadPlacement { requested: 4, n: 4 }),
+            "no panic, no consumed slot"
+        );
+        assert_eq!(n.object_count(), 0);
+        // Striped path validates too, without leaking child slots.
+        let r = n.register_object_placed(8 * 1024, Placement::Fixed(7));
+        assert_eq!(r, Err(LotsError::BadPlacement { requested: 7, n: 4 }));
+        assert_eq!(n.object_count(), 0);
+        // Staged named allocations validate eagerly at staging time.
+        let r = n.stage_named(NamedAllocReq {
+            name: "bad".into(),
+            bytes: 64,
+            elem_size: 4,
+            len: 16,
+            placement: Placement::Fixed(99),
+            placement_explicit: true,
+        });
+        assert_eq!(
+            r,
+            Err(LotsError::BadPlacement {
+                requested: 99,
+                n: 4
+            })
+        );
+    }
+
+    #[test]
+    fn striped_range_access_pins_and_gathers_across_segments() {
+        let mut n = striped_node(0, 1, 256 * 1024, 1024);
+        let id = n.register_object(4 * 1024).unwrap();
+        // Write a spanning range in one guard: bytes 1020..1032 cross
+        // the seg 0 / seg 1 boundary.
+        let range = 1020..1032;
+        match n.begin_access_range(id, &range, true, 3).unwrap() {
+            RangeAccess::Striped => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        n.striped_range_run(id, &range, true, |bytes| {
+            assert_eq!(bytes.len(), 12);
+            bytes.copy_from_slice(&[7u8; 12]);
+        });
+        // Both covered segments got twins and write notices.
+        let stripe = n.stripe_of(id).unwrap().clone();
+        assert!(n.ctl(ObjectId(stripe.children[0])).twin);
+        assert!(n.ctl(ObjectId(stripe.children[1])).twin);
+        assert!(!n.ctl(ObjectId(stripe.children[2])).twin);
+        // Read back through a fresh guard.
+        let readback = n.begin_access_range(id, &range, false, 1).unwrap();
+        assert_eq!(readback, RangeAccess::Striped);
+        let got = n.striped_range_run(id, &range, false, |bytes| bytes.to_vec());
+        assert_eq!(got, vec![7u8; 12]);
+        // Within-segment ranges run in place.
+        let r2 = 0..8;
+        assert_eq!(
+            n.begin_access_range(id, &r2, false, 1).unwrap(),
+            RangeAccess::Striped
+        );
+        let got = n.striped_range_run(id, &r2, false, |bytes| bytes.to_vec());
+        assert_eq!(got, vec![0u8; 8]);
+    }
+
+    #[test]
+    fn written_segment_serves_its_published_snapshot() {
+        let mut n = striped_node(0, 1, 256 * 1024, 1024);
+        let id = n.register_object(2 * 1024).unwrap();
+        let seg0 = ObjectId(n.stripe_of(id).unwrap().children[0]);
+        let range = 0..4;
+        // Publish version 1 of segment 0 with word 0 = 5.
+        let _ = n.begin_access_range(id, &range, true, 1).unwrap();
+        n.striped_range_run(id, &range, true, |b| b.copy_from_slice(&5u32.to_le_bytes()));
+        let _ = n.barrier_collect().unwrap();
+        n.barrier_finish(&[(seg0, 0)], &[], &[], 1).unwrap();
+        assert_eq!(n.stats.versions_published(), 1);
+        assert_eq!(n.stats.versions_reclaimed(), 1, "the version-0 snapshot");
+        // Start an in-flight write (word 0 = 9, not yet published).
+        let _ = n.begin_access_range(id, &range, true, 1).unwrap();
+        n.striped_range_run(id, &range, true, |b| b.copy_from_slice(&9u32.to_le_bytes()));
+        // A reader's fetch sees the *published* version 1 value.
+        let (bytes, version) = n.serve_object(seg0).unwrap();
+        assert_eq!(version, 1);
+        assert_eq!(&bytes[0..4], &5u32.to_le_bytes());
+        // The next barrier publishes 9 and reclaims the old snapshot.
+        let _ = n.barrier_collect().unwrap();
+        n.barrier_finish(&[(seg0, 0)], &[], &[], 2).unwrap();
+        assert_eq!(n.stats.versions_published(), 2);
+        assert_eq!(n.stats.versions_reclaimed(), 2);
+        let (bytes, version) = n.serve_object(seg0).unwrap();
+        assert_eq!(version, 2);
+        assert_eq!(&bytes[0..4], &9u32.to_le_bytes());
+    }
+
+    #[test]
+    fn freeing_a_striped_parent_reclaims_the_whole_family() {
+        let mut n = striped_node(0, 1, 256 * 1024, 1024);
+        let id = n.register_object(4 * 1024).unwrap();
+        let slots = n.object_count();
+        assert_eq!(slots, 5, "parent + 4 children");
+        n.free_object(id, 4 * 1024).unwrap();
+        assert!(matches!(
+            n.begin_access_range(id, &(0..4), false, 1),
+            Err(LotsError::UseAfterFree { .. })
+        ));
+        let (frees, _) = n.take_lifecycle();
+        assert_eq!(frees.len(), 5);
+        let _ = n.barrier_collect().unwrap();
+        n.barrier_finish(&[], &frees, &[], 1).unwrap();
+        assert_eq!(n.free_slots(), 5);
+        assert_eq!(n.stats.objects_freed(), 1, "one free event per call");
+        assert_eq!(n.swap_accounting().freed_bytes, 4 * 1024);
+        // Reuse: a fresh striped alloc reclaims the same slots.
+        let id2 = n.register_object(4 * 1024).unwrap();
+        assert_eq!(n.object_count(), 5);
+        let _ = id2;
+    }
+
+    #[test]
+    fn striped_scan_prefetches_next_segment() {
+        // dmm 32 KB: lower half 16 KB holds one 9 KB segment at a
+        // time, so a sequential scan of the striped object swaps per
+        // segment; the (parent, seg) stride predictor must hit.
+        let store = Arc::new(MemStore::new(DiskModel {
+            per_op: SimDuration::from_micros(100),
+            write_bps: 50_000_000,
+            read_bps: 50_000_000,
+        }));
+        let mut cfg = LotsConfig::small(32 * 1024)
+            .with_striping(crate::config::Striping::segments_of(9 * 1024));
+        cfg.swap.read_ahead = true;
+        let mut n = NodeState::new(
+            0,
+            1,
+            cfg,
+            pentium4_2ghz(),
+            store,
+            SimClock::new(),
+            NodeStats::new(),
+        );
+        let id = n.register_object(6 * 9 * 1024).unwrap();
+        for pass in 0..3u32 {
+            for s in 0..6usize {
+                let at = s * 9 * 1024;
+                let range = at..at + 4;
+                match n.begin_access_range(id, &range, true, 1).unwrap() {
+                    RangeAccess::Striped => {}
+                    other => panic!("single-node scan never fetches: {other:?}"),
+                }
+                n.striped_range_run(id, &range, true, |b| {
+                    b.copy_from_slice(&(pass + s as u32).to_le_bytes())
+                });
+            }
+        }
+        assert!(
+            n.stats.prefetch_hits() > 0,
+            "sequential striped scan must hit the read-ahead buffer"
+        );
+        for s in 0..6usize {
+            let at = s * 9 * 1024;
+            let range = at..at + 4;
+            let _ = n.begin_access_range(id, &range, false, 1).unwrap();
+            let got = n.striped_range_run(id, &range, false, |b| b.to_vec());
+            assert_eq!(got, (2 + s as u32).to_le_bytes());
+        }
     }
 
     #[test]

@@ -30,6 +30,11 @@ pub struct NamedAllocReq {
     pub len: usize,
     /// Initial-home placement of the committed object.
     pub placement: Placement,
+    /// Whether [`NamedAllocReq::placement`] was chosen explicitly by a
+    /// `*_placed` call (`true`) or inherited from the config default
+    /// (`false`). Explicit placements override the striping config's
+    /// per-segment default.
+    pub placement_explicit: bool,
 }
 
 /// Cluster-wide unique object identifier. Fits in 4 bytes so the
@@ -93,6 +98,29 @@ pub enum Share {
     Invalid,
 }
 
+/// Striping record of a parent object: the application-visible handle
+/// of a striped allocation is the *parent*, whose data never
+/// materializes; each segment is an ordinary directory object (a
+/// *child*) with its own home, twin, version and swap image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StripeInfo {
+    /// Segment size in bytes (word-aligned; the final child may be
+    /// shorter).
+    pub seg_bytes: usize,
+    /// Child object ids in segment order. Allocated as consecutive
+    /// slots right after the parent, so every node derives the same
+    /// list deterministically.
+    pub children: Vec<u32>,
+}
+
+impl StripeInfo {
+    /// The child id covering byte offset `at` of the parent.
+    #[inline]
+    pub fn child_at(&self, at: usize) -> u32 {
+        self.children[at / self.seg_bytes]
+    }
+}
+
 /// Per-node, per-object control information (the control-area record).
 #[derive(Debug, Clone)]
 pub struct ObjCtl {
@@ -129,6 +157,13 @@ pub struct ObjCtl {
     /// First-touch placement: the home is provisional until the first
     /// barrier at which the object was written assigns the real one.
     pub home_pending: bool,
+    /// Striping record if this object is a striped *parent* (its data
+    /// never materializes; accesses route to the children).
+    pub stripe: Option<StripeInfo>,
+    /// `(parent id, segment index)` if this object is a stripe *child*.
+    /// Children are invisible to the application and to the name
+    /// directory; they are reclaimed with their parent.
+    pub parent: Option<(u32, u32)>,
 }
 
 impl ObjCtl {
@@ -150,7 +185,21 @@ impl ObjCtl {
             req_bytes: size,
             name: None,
             home_pending: false,
+            stripe: None,
+            parent: None,
         }
+    }
+
+    /// Is this object a striped parent (data routed to children)?
+    #[inline]
+    pub fn is_striped(&self) -> bool {
+        self.stripe.is_some()
+    }
+
+    /// Is this object a stripe child (invisible segment object)?
+    #[inline]
+    pub fn is_stripe_child(&self) -> bool {
+        self.parent.is_some()
     }
 
     /// Is the local copy usable without a remote fetch?
@@ -223,5 +272,24 @@ mod tests {
     #[test]
     fn object_id_display() {
         assert_eq!(ObjectId(17).to_string(), "obj#17");
+    }
+
+    #[test]
+    fn fresh_object_is_neither_striped_nor_child() {
+        let c = ObjCtl::new(64, 0);
+        assert!(!c.is_striped());
+        assert!(!c.is_stripe_child());
+    }
+
+    #[test]
+    fn stripe_info_maps_offsets_to_children() {
+        let s = StripeInfo {
+            seg_bytes: 1024,
+            children: vec![7, 8, 9],
+        };
+        assert_eq!(s.child_at(0), 7);
+        assert_eq!(s.child_at(1023), 7);
+        assert_eq!(s.child_at(1024), 8);
+        assert_eq!(s.child_at(3071), 9);
     }
 }

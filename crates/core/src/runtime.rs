@@ -195,6 +195,25 @@ impl ClusterReport {
     pub fn total<F: Fn(&NodeReport) -> u64>(&self, f: F) -> u64 {
         self.nodes.iter().map(f).sum()
     }
+
+    /// Home-load imbalance: max-over-nodes of home bytes served,
+    /// divided by the per-node mean, in permille (integer math, so
+    /// deterministic). `1000` is a perfectly balanced cluster; a
+    /// single-home hotspot on an `n`-node cluster reads `n × 1000`;
+    /// `0` means no remote object traffic at all.
+    pub fn home_load_ratio_permille(&self) -> u64 {
+        let loads: Vec<u64> = self
+            .nodes
+            .iter()
+            .map(|r| r.stats.home_bytes_served())
+            .collect();
+        let total: u64 = loads.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let max = loads.iter().copied().max().unwrap_or(0);
+        (max as u128 * loads.len() as u128 * 1000 / total as u128) as u64
+    }
 }
 
 /// Run an SPMD application on a simulated LOTS cluster.
@@ -569,7 +588,7 @@ impl CommThread {
         let src = env.src;
         match env.msg {
             Msg::ObjReq { obj } => {
-                let (bytes, version, service_done) = {
+                let (bytes, version, service_done, striped_child) = {
                     let mut st = self.node.lock();
                     // The handler runs when the request arrives
                     // or when the node's own work frees the CPU,
@@ -577,21 +596,33 @@ impl CommThread {
                     st.stats.charge(TimeCategory::Handler, st.cpu.handler_entry);
                     st.clock.advance(st.cpu.handler_entry);
                     let t0 = st.clock.now().max(env.arrival);
+                    let striped_child = st.ctl(obj).is_stripe_child();
                     let (b, v) = st
                         .serve_object(obj)
                         .unwrap_or_else(|e| panic!("serving {obj}: {e}"));
+                    st.stats.count_home_request(b.len() as u64);
                     // Disk time charged inside serve_object has
                     // already advanced the clock; the reply can
                     // leave at the later of arrival and now.
                     let done = st.clock.now().max(t0);
-                    (b, v, done)
+                    (b, v, done, striped_child)
                 };
-                self.net.send(
+                let tx = self.net.send(
                     src,
                     Msg::ObjReply { obj, version },
                     bytes.into(),
                     service_done,
                 );
+                if striped_child {
+                    // Segment serving occupies the home's NIC until the
+                    // reply is on the wire: concurrent readers of *one*
+                    // home queue behind each other (the single-home
+                    // bottleneck), while readers of a striped object
+                    // fan out over distinct homes and overlap. Plain
+                    // objects keep the seed's accounting bit-for-bit.
+                    let st = self.node.lock();
+                    st.clock.advance_to(tx.sender_free);
+                }
             }
             Msg::DiffSend { obj, ts } => {
                 let service_done = {

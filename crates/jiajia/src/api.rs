@@ -190,6 +190,9 @@ impl DsmApi for JiaDsm {
             elem_size: T::SIZE,
             len,
             placement,
+            // JIAJIA has no striping config to override; the flag only
+            // matters to the LOTS segment-placement logic.
+            placement_explicit: true,
         })
     }
 

@@ -59,6 +59,15 @@ pub enum JiaError {
         /// The conflicting name.
         name: String,
     },
+    /// `Placement::Fixed` naming a node outside the cluster — rejected
+    /// deterministically at allocation (or staging) time, before any
+    /// free-list or directory state changes.
+    BadPlacement {
+        /// The out-of-range node the placement asked for.
+        requested: NodeId,
+        /// Cluster size (valid nodes are `0..n`).
+        n: usize,
+    },
 }
 
 impl std::fmt::Display for JiaError {
@@ -94,6 +103,10 @@ impl std::fmt::Display for JiaError {
             JiaError::DuplicateName { name } => {
                 write!(f, "an object named {name:?} already exists")
             }
+            JiaError::BadPlacement { requested, n } => write!(
+                f,
+                "Placement::Fixed({requested}) outside the cluster (valid nodes are 0..{n})"
+            ),
         }
     }
 }
@@ -223,6 +236,7 @@ impl JiaNode {
         bytes: usize,
         placement: Placement,
     ) -> Result<usize, JiaError> {
+        self.check_placement(placement)?;
         let limit = self.mem.len();
         let pages = bytes.div_ceil(PAGE_BYTES).max(1);
         let Some(first) = self
@@ -244,10 +258,14 @@ impl JiaNode {
             let (home, pending) = match placement {
                 Placement::RoundRobin => (p % self.n, false),
                 Placement::Fixed(node) => {
-                    assert!(node < self.n, "Placement::Fixed({node}) outside cluster");
+                    debug_assert!(node < self.n, "check_placement validated this");
                     (node, false)
                 }
                 Placement::FirstTouch => (p % self.n, true),
+                Placement::ConsistentHash => (
+                    (lots_core::node::stripe_hash(p as u32, 0) as usize) % self.n,
+                    false,
+                ),
             };
             let mut ctl = PageCtl::new(home);
             ctl.pending = pending;
@@ -311,8 +329,22 @@ impl JiaNode {
         Ok(())
     }
 
+    /// Reject a `Fixed` placement naming a node outside the cluster —
+    /// *before* any allocation state changes, so the failure has no
+    /// side effects (mirrors `lots_core`'s `BadPlacement`).
+    fn check_placement(&self, placement: Placement) -> Result<(), JiaError> {
+        match placement {
+            Placement::Fixed(node) if node >= self.n => Err(JiaError::BadPlacement {
+                requested: node,
+                n: self.n,
+            }),
+            _ => Ok(()),
+        }
+    }
+
     /// Stage a named allocation for commit at the next barrier.
     pub fn stage_named(&mut self, req: NamedAllocReq) -> Result<(), JiaError> {
+        self.check_placement(req.placement)?;
         if self.names.contains_key(&req.name)
             || self.pending_named.iter().any(|p| p.name == req.name)
         {
@@ -778,6 +810,7 @@ mod tests {
             elem_size: 4,
             len: 16,
             placement: Placement::RoundRobin,
+            placement_explicit: false,
         })
         .unwrap();
         assert!(matches!(

@@ -473,6 +473,7 @@ impl CommThread {
                     st.stats.charge(TimeCategory::Handler, st.cpu.handler_entry);
                     st.clock.advance(st.cpu.handler_entry);
                     let (b, v) = st.serve_page(page as usize);
+                    st.stats.count_home_request(b.len() as u64);
                     (b, v, st.clock.now().max(env.arrival))
                 };
                 self.net

@@ -96,6 +96,10 @@ struct NodeStatsInner {
     freed_object_bytes: AtomicU64,
     dmm_free_bytes: AtomicU64,
     dmm_largest_hole: AtomicU64,
+    home_requests_served: AtomicU64,
+    home_bytes_served: AtomicU64,
+    versions_published: AtomicU64,
+    versions_reclaimed: AtomicU64,
 }
 
 impl NodeStats {
@@ -238,6 +242,57 @@ impl NodeStats {
         self.inner.dmm_largest_hole.load(Ordering::Relaxed)
     }
 
+    /// Record one copy/page request this node served as home, with the
+    /// payload bytes shipped. The per-node spread of this counter is
+    /// the home-load profile that striping flattens.
+    #[inline]
+    pub fn count_home_request(&self, bytes: u64) {
+        self.inner
+            .home_requests_served
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .home_bytes_served
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Object/page copy requests this node served as home.
+    pub fn home_requests_served(&self) -> u64 {
+        self.inner.home_requests_served.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes this node shipped serving home requests.
+    pub fn home_bytes_served(&self) -> u64 {
+        self.inner.home_bytes_served.load(Ordering::Relaxed)
+    }
+
+    /// Record one immutable segment version published at a barrier
+    /// (counted at the segment's home).
+    #[inline]
+    pub fn count_version_published(&self) {
+        self.inner
+            .versions_published
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Immutable segment versions published at barriers.
+    pub fn versions_published(&self) -> u64 {
+        self.inner.versions_published.load(Ordering::Relaxed)
+    }
+
+    /// Record one superseded segment version reclaimed at a barrier
+    /// (its twin snapshot discarded).
+    #[inline]
+    pub fn count_version_reclaimed(&self) {
+        self.inner
+            .versions_reclaimed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Superseded segment versions reclaimed at barriers.
+    pub fn versions_reclaimed(&self) -> u64 {
+        self.inner.versions_reclaimed.load(Ordering::Relaxed)
+    }
+
     #[inline]
     pub fn count_page_fault(&self) {
         self.inner.page_faults.fetch_add(1, Ordering::Relaxed);
@@ -330,6 +385,15 @@ mod tests {
         s.count_prefetch_hit();
         s.count_diff(128);
         s.count_diff(64);
+        s.count_home_request(4096);
+        s.count_home_request(512);
+        s.count_version_published();
+        s.count_version_published();
+        s.count_version_reclaimed();
+        assert_eq!(s.home_requests_served(), 2);
+        assert_eq!(s.home_bytes_served(), 4608);
+        assert_eq!(s.versions_published(), 2);
+        assert_eq!(s.versions_reclaimed(), 1);
         assert_eq!(s.access_checks(), 15);
         assert_eq!(s.swaps_out(), 1);
         assert_eq!(s.swaps_in(), 2);
