@@ -8,7 +8,9 @@
 
 use lots_core::{run_cluster, AnalyzeConfig, ClusterOptions, LotsConfig, RaceReport};
 use lots_jiajia::{run_jiajia_cluster, JiaOptions};
-use lots_sim::{FaultPlan, MachineConfig, SchedulerMode, SimDuration, SimInstant, TimeCategory};
+use lots_sim::{
+    FaultPlan, MachineConfig, SchedulerMode, SimDuration, SimInstant, TimeCategory, Topology,
+};
 
 use crate::adapter::{combine, AppResult, DsmProgram};
 
@@ -55,6 +57,8 @@ pub struct RunConfig {
     pub scheduler: SchedulerMode,
     /// Seeded fault injection.
     pub faults: FaultPlan,
+    /// Per-link latency/bandwidth overrides (uniform by default).
+    pub topology: Topology,
     /// Correctness analysis (off by default; enabling it never
     /// changes virtual times or workload results).
     pub analyze: AnalyzeConfig,
@@ -74,8 +78,15 @@ impl RunConfig {
             seed: 0,
             scheduler: SchedulerMode::Deterministic,
             faults: FaultPlan::none(),
+            topology: Topology::uniform(),
             analyze: AnalyzeConfig::off(),
         }
+    }
+
+    /// Install per-link latency/bandwidth overrides.
+    pub fn with_topology(mut self, topology: Topology) -> RunConfig {
+        self.topology = topology;
+        self
     }
 }
 
@@ -132,6 +143,17 @@ pub struct RunOutcome {
     /// 0 on page-based systems). Bounded under churn while cumulative
     /// allocations grow — the control-space half of address reuse.
     pub object_slots_max: usize,
+    /// Messages the lossy transport dropped past their retry budget
+    /// (always 0 while retransmission is enabled).
+    pub msgs_dropped: u64,
+    /// Retransmission attempts the reliable layer paid for.
+    pub msgs_retransmitted: u64,
+    /// Duplicates discarded by the receive path's dedupe filters.
+    pub dups_filtered: u64,
+    /// Crash-rejoin rounds completed (LOTS/LOTS-x only).
+    pub rejoin_rounds: u64,
+    /// Directory + rebuilt-master bytes those rejoins transferred.
+    pub rejoin_bytes: u64,
     /// Summed node time in access checking.
     pub time_access_check: SimDuration,
     /// Summed node time in large-object bookkeeping (mapping, pinning).
@@ -189,6 +211,7 @@ pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
                 .with_seed(cfg.seed)
                 .with_scheduler(cfg.scheduler)
                 .with_faults(cfg.faults.clone())
+                .with_topology(cfg.topology.clone())
                 .with_analyze(cfg.analyze);
             let (results, report) = run_cluster(opts, move |dsm| prog.run(dsm));
             let sum = |cat: TimeCategory| -> SimDuration {
@@ -225,6 +248,11 @@ pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
                     .map(|n| n.object_slots)
                     .max()
                     .unwrap_or(0),
+                msgs_dropped: report.total(|n| n.traffic.msgs_dropped()),
+                msgs_retransmitted: report.total(|n| n.traffic.msgs_retransmitted()),
+                dups_filtered: report.total(|n| n.traffic.dups_filtered()),
+                rejoin_rounds: report.total(|n| n.stats.rejoin_rounds()),
+                rejoin_bytes: report.total(|n| n.stats.rejoin_bytes()),
                 time_access_check: sum(TimeCategory::AccessCheck),
                 time_large_object: sum(TimeCategory::LargeObject),
                 time_network: sum(TimeCategory::Network),
@@ -240,6 +268,7 @@ pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
                 .with_seed(cfg.seed)
                 .with_scheduler(cfg.scheduler)
                 .with_faults(cfg.faults.clone())
+                .with_topology(cfg.topology.clone())
                 .with_analyze(cfg.analyze);
             let (results, report) = run_jiajia_cluster(opts, move |dsm| prog.run(dsm));
             let sum = |cat: TimeCategory| -> SimDuration {
@@ -276,6 +305,15 @@ pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
                 objects_freed: report.nodes.iter().map(|n| n.stats.objects_freed()).sum(),
                 frag_permille_max: 0,
                 object_slots_max: 0,
+                msgs_dropped: report.nodes.iter().map(|n| n.traffic.msgs_dropped()).sum(),
+                msgs_retransmitted: report
+                    .nodes
+                    .iter()
+                    .map(|n| n.traffic.msgs_retransmitted())
+                    .sum(),
+                dups_filtered: report.nodes.iter().map(|n| n.traffic.dups_filtered()).sum(),
+                rejoin_rounds: 0,
+                rejoin_bytes: 0,
                 time_access_check: sum(TimeCategory::AccessCheck),
                 time_large_object: SimDuration::ZERO,
                 time_network: sum(TimeCategory::Network),

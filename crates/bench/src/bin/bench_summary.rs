@@ -37,6 +37,7 @@ use lots_core::{
     run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig, SchedulerMode, SwapConfig,
 };
 use lots_sim::machine::{p4_fedora, pentium4_2ghz};
+use lots_sim::{CrashFault, FaultPlan, Partition, SimDuration, SimInstant};
 
 /// The quickstart example's virtual execution time in milliseconds
 /// (same kernel as `examples/quickstart.rs`).
@@ -329,6 +330,75 @@ fn main() {
     let churn = churn.trim_end_matches(',').to_string();
     let churn_wall = t_churn.elapsed().as_secs_f64();
 
+    // Lossy network + crash-rejoin: the same churn program under a
+    // seeded drop/dup/reorder plan, a scheduled minority partition and
+    // one crash-rejoin. The checksum is gated against the identical
+    // sequential model as the fault-free run (loss must be invisible
+    // to applications); the recovery counters are gated so the
+    // reliable layer's behavior cannot drift silently.
+    let t_lossy = Instant::now();
+    let mut lossy = String::new();
+    {
+        let params = ChurnParams::smoke();
+        let model = model_checksum(&params, 0);
+        let mut cfg = RunConfig::new(System::Lots, 4, machine);
+        cfg.dmm_bytes = 1 << 20;
+        cfg.scheduler = engine;
+        cfg.faults = FaultPlan {
+            seed: 42,
+            loss_permille: 15,
+            dup_permille: 10,
+            reorder_permille: 20,
+            partitions: vec![Partition {
+                start: SimInstant(1_000_000),
+                end: SimInstant(5_000_000),
+                islanders: vec![3],
+            }],
+            crash_node: Some(CrashFault {
+                node: 2,
+                at_barrier: 2,
+                reboot: SimDuration::from_millis(20),
+            }),
+            ..FaultPlan::none()
+        };
+        let out = run_app(&cfg, params);
+        for r in &out.per_node {
+            assert_eq!(
+                r.checksum, model,
+                "lossy churn checksum vs fault-free model"
+            );
+        }
+        assert_eq!(
+            out.msgs_dropped, 0,
+            "reliable layer must recover every loss"
+        );
+        assert!(out.msgs_retransmitted > 0, "the plan must exercise loss");
+        for (field, fresh) in [
+            (
+                "lossy_churn_s",
+                format!("{:.6}", out.combined.elapsed.as_secs_f64()),
+            ),
+            ("lossy_retransmits", out.msgs_retransmitted.to_string()),
+            ("lossy_dups_filtered", out.dups_filtered.to_string()),
+            ("lossy_rejoin_rounds", out.rejoin_rounds.to_string()),
+            ("lossy_rejoin_bytes", out.rejoin_bytes.to_string()),
+        ] {
+            gate(field, &fresh);
+            let _ = write!(lossy, "\n    \"{field}\": {fresh},");
+        }
+        println!(
+            "lossy churn p=4 LOTS    {:>7.3} s  {} retransmits, {} dups filtered, \
+             {} rejoin ({} B), checksum OK",
+            out.combined.elapsed.as_secs_f64(),
+            out.msgs_retransmitted,
+            out.dups_filtered,
+            out.rejoin_rounds,
+            out.rejoin_bytes
+        );
+    }
+    let lossy = lossy.trim_end_matches(',').to_string();
+    let lossy_wall = t_lossy.elapsed().as_secs_f64();
+
     // Weak scaling under the engine: SOR with two rows per node and a
     // fixed-shape churn program at p = 4/16/64/256. Virtual seconds
     // and the scheduler's turns/wakes/epochs are engine-invariant and
@@ -539,6 +609,7 @@ fn main() {
         ("sor_host_wall_s", sor_wall),
         ("swap_host_wall_s", swap_wall),
         ("churn_host_wall_s", churn_wall),
+        ("lossy_net_host_wall_s", lossy_wall),
         ("weak_scaling_host_wall_s", weak_wall),
         ("hot_object_host_wall_s", hot_wall),
     ] {
@@ -555,6 +626,7 @@ fn main() {
         "{{\n  \"quickstart_ms\": {quick_ms:.4},\n  \"sor_256_p4\": {{{sor}\n  }},\n  \
          \"large_object_swap\": {{{swap}\n  }},\n  \
          \"object_churn\": {{{churn}\n  }},\n  \
+         \"lossy_net\": {{{lossy}\n  }},\n  \
          \"weak_scaling\": {{{weak}\n  }},\n  \
          \"hot_object\": {{{hot}\n  }},\n  \
          \"host_wall\": {{{wall}\n  }},\n  \

@@ -61,7 +61,7 @@ use bytes::Bytes;
 use crossbeam::channel::{Receiver, TryRecvError};
 use lots_analyze::RaceDetector;
 use lots_net::{Envelope, NetSender, NodeId, TrafficStats};
-use lots_sim::{NodeStats, SimInstant, TimeCategory};
+use lots_sim::{CrashFault, NodeStats, SimInstant, TimeCategory};
 use parking_lot::Mutex;
 
 use crate::config::Placement;
@@ -510,6 +510,9 @@ pub struct Dsm {
     pub(crate) seed: u64,
     /// Fault injection: panic on entering this (1-based) barrier.
     pub(crate) fault_barrier: Option<u64>,
+    /// Fault injection: crash after completing this fault's barrier,
+    /// then rejoin (see [`NodeState::crash_rejoin`]).
+    pub(crate) crash_fault: Option<CrashFault>,
     /// Barriers this node has entered (drives `fault_barrier`).
     pub(crate) barriers_entered: Cell<u64>,
     /// Live view guards; synchronization ops assert this is zero.
@@ -775,6 +778,36 @@ impl Dsm {
         if let Some(d) = &self.analyze {
             d.on_barrier_exit(self.me);
         }
+        if self
+            .crash_fault
+            .as_ref()
+            .is_some_and(|c| c.at_barrier == entered)
+        {
+            self.crash_rejoin_now()?;
+        }
+        Ok(())
+    }
+
+    /// Fault injection: the node dies right after completing the chosen
+    /// barrier and comes back through the rejoin protocol. State moves
+    /// per [`NodeState::crash_rejoin`]; this wrapper charges the reboot
+    /// outage and the analytic directory/image rebuild transfer (the
+    /// same modeling style as the lock/barrier control plane) and
+    /// surfaces the rejoin counters.
+    fn crash_rejoin_now(&self) -> Result<(), LotsError> {
+        let fault = self.crash_fault.as_ref().expect("checked by caller");
+        let summary = self.node.lock().crash_rejoin()?;
+        // The outage: the node is simply gone while it reboots.
+        self.ctx.clock.advance(fault.reboot);
+        self.ctx.stats.charge(TimeCategory::SyncWait, fault.reboot);
+        // Peers re-send the directory, name table and master images.
+        let bytes = summary.directory_bytes + summary.master_bytes;
+        let d = self.ctx.net.request_reply(64, bytes as usize);
+        self.ctx.clock.advance(d);
+        self.ctx.stats.charge(TimeCategory::Network, d);
+        self.ctx.traffic.record_send(64, 1);
+        self.ctx.traffic.record_recv(bytes as usize);
+        self.ctx.stats.count_rejoin(bytes);
         Ok(())
     }
 

@@ -284,6 +284,21 @@ pub struct NodeState {
     pending_named: Vec<NamedAllocReq>,
 }
 
+/// Outcome of a simulated crash + rejoin (see
+/// [`NodeState::crash_rejoin`]): what the rebuild moved, so the caller
+/// can charge virtual time and surface rejoin counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejoinSummary {
+    /// Home-owned masters peers re-sent into the swap store.
+    pub masters_checkpointed: usize,
+    /// Cached copies of remote objects lost with the DMM arena.
+    pub copies_dropped: usize,
+    /// Directory + name-table bytes re-fetched from peers.
+    pub directory_bytes: u64,
+    /// Logical bytes of rebuilt masters transferred from peer copies.
+    pub master_bytes: u64,
+}
+
 /// One replicated name-directory entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct NamedEntry {
@@ -1717,6 +1732,72 @@ impl NodeState {
         self.objects[idx].share = Share::Invalid;
         self.sync_frag_gauges();
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Crash + rejoin
+    // ------------------------------------------------------------------
+
+    /// Simulated crash and rejoin at an interval boundary.
+    ///
+    /// The node dies immediately after completing a barrier: its DMM
+    /// arena (and every in-memory cache) is lost, while its swap store
+    /// — a disk file in the paper's system — survives the reboot. At
+    /// that instant every copy in the cluster is barrier-consistent, so
+    /// peers hold byte-identical images of the masters this node homes;
+    /// the rejoin protocol rebuilds the node's directory entries, name
+    /// table and home-owned object state from those copies plus the
+    /// surviving swap store. We model the rebuilt masters landing in
+    /// the swap store (a batched write of their images, byte-identical
+    /// to what the swap-in path will reload) and the cached
+    /// copies of remote objects simply vanishing; the caller charges
+    /// the reboot outage and the directory/image transfer time.
+    ///
+    /// Values are unchanged everywhere — only virtual time moves — so
+    /// a crash-rejoin run finishes with checksums identical to the
+    /// fault-free run.
+    pub fn crash_rejoin(&mut self) -> Result<RejoinSummary, LotsError> {
+        // The crash dissolves every pin scope.
+        self.stmt += 1;
+        let mut masters: Vec<u32> = Vec::new();
+        let mut lost: Vec<ObjectId> = Vec::new();
+        let mut master_bytes = 0u64;
+        for (idx, ctl) in self.objects.iter().enumerate() {
+            if ctl.offset().is_none() {
+                // Unmapped copies hold no DMM state; OnDisk images live
+                // in the store and survive the reboot as-is.
+                continue;
+            }
+            if ctl.home == self.me {
+                masters.push(idx as u32);
+                master_bytes += ctl.size as u64;
+            } else {
+                lost.push(ObjectId(idx as u32));
+            }
+        }
+        let copies_dropped = lost.len();
+        let masters_checkpointed = masters.len();
+        // Peers re-send the masters this node homes; the rebuilt images
+        // land in the swap store exactly as a swap-out would put them.
+        self.swap_out_batch(&masters)?;
+        // Cached copies of remotely-homed objects died with the arena.
+        for id in lost {
+            self.invalidate_local(id)?;
+        }
+        // In-memory read-ahead state is gone too.
+        self.prefetched.clear();
+        self.last_swapin = None;
+        // Directory + name-table rebuild traffic: one entry per live
+        // object slot (home, version, size, flags) plus the replicated
+        // name directory.
+        let live_slots = self.objects.iter().filter(|o| o.life != Life::Free).count() as u64;
+        let name_bytes: u64 = self.names.keys().map(|k| k.len() as u64 + 16).sum();
+        Ok(RejoinSummary {
+            masters_checkpointed,
+            copies_dropped,
+            directory_bytes: live_slots * 24 + name_bytes,
+            master_bytes,
+        })
     }
 
     // ------------------------------------------------------------------

@@ -32,11 +32,11 @@ use crossbeam::channel::{unbounded, Sender};
 use lots_analyze::{AnalyzeConfig, RaceDetector, RaceReport};
 use lots_disk::{BackingStore, MemStore};
 use lots_net::{
-    cluster_ext, Buffered, Envelope, NetReceiver, NetSender, NodeId, Recv, TrafficStats,
+    cluster_net, Buffered, Envelope, NetReceiver, NetSender, NodeId, Recv, TrafficStats,
 };
 use lots_sim::{
     FaultPlan, MachineConfig, NodeStats, SchedHandle, ScheduleScript, Scheduler, SchedulerMode,
-    SimClock, SimInstant, TimeCategory,
+    SimClock, SimInstant, TimeCategory, Topology,
 };
 use parking_lot::Mutex;
 
@@ -57,6 +57,11 @@ pub struct ClusterOptions {
     pub lots: LotsConfig,
     /// Simulated machine (CPU, network, disk models).
     pub machine: MachineConfig,
+    /// Per-link latency/bandwidth overrides on top of the machine's
+    /// base network model. [`Topology::uniform`] (the default) keeps
+    /// every link on the base model and the scheduler lookahead equal
+    /// to [`lots_sim::NetModel::min_latency`].
+    pub topology: Topology,
     /// Backing-store factory, one store per node. Defaults to
     /// unbounded in-memory stores timed by the machine's disk model.
     pub store_factory: Box<dyn Fn(NodeId) -> Arc<dyn BackingStore> + Send + Sync>,
@@ -87,6 +92,7 @@ impl ClusterOptions {
             n,
             lots,
             machine,
+            topology: Topology::uniform(),
             store_factory: Box::new(move |_| Arc::new(MemStore::new(disk))),
             scheduler: SchedulerMode::Deterministic,
             seed: 0,
@@ -102,6 +108,12 @@ impl ClusterOptions {
         f: impl Fn(NodeId) -> Arc<dyn BackingStore> + Send + Sync + 'static,
     ) -> ClusterOptions {
         self.store_factory = Box::new(f);
+        self
+    }
+
+    /// Install per-link latency/bandwidth overrides.
+    pub fn with_topology(mut self, topology: Topology) -> ClusterOptions {
+        self.topology = topology;
         self
     }
 
@@ -233,9 +245,13 @@ where
     // Engine modes: app tasks get ids 0..n, comm tasks n..2n, so clock
     // ties resolve app-first in rank order; both tasks of node i carry
     // node index i (one task per node per epoch). The lookahead window
-    // is the network's minimum link latency.
+    // is the minimum latency over the topology's live links, floored
+    // above zero so degenerate topologies cannot stall epoch progress.
     let (sched, app_tasks, comm_tasks) = if opts.scheduler.uses_engine() {
-        let s = Scheduler::new(opts.scheduler, opts.machine.net.min_latency());
+        let s = Scheduler::new(
+            opts.scheduler,
+            opts.topology.lookahead(&opts.machine.net, n),
+        );
         if let Some(script) = &opts.explore {
             s.set_script(script.clone());
         }
@@ -255,7 +271,20 @@ where
         .faults
         .is_active()
         .then(|| Arc::new(opts.faults.clone()));
-    let endpoints = cluster_ext::<Msg>(n, opts.machine.net, comm_tasks.clone(), fault_delays);
+    let net = cluster_net::<Msg>(
+        n,
+        opts.machine.net,
+        opts.topology.clone(),
+        comm_tasks.clone(),
+        fault_delays,
+    );
+    let endpoints = net.endpoints;
+    if let Some(s) = &sched {
+        // If a lost message strands a requester and trips the deadlock
+        // detector, its snapshot names the dropped (src, dst, seq).
+        let drops = net.drops.clone();
+        s.set_diagnostic(move || drops.render());
+    }
     let locks = Arc::new(LockService::new(
         n,
         opts.lots.diff_mode,
@@ -363,6 +392,7 @@ where
         let my_task = app_tasks.as_ref().map(|t| t[me].clone());
         let seed = opts.seed;
         let fault_barrier = opts.faults.panic_barrier_for(me);
+        let crash_fault = opts.faults.crash_for(me);
         let analyze = detector.clone();
         app_threads.push(
             std::thread::Builder::new()
@@ -383,6 +413,7 @@ where
                         n,
                         seed,
                         fault_barrier,
+                        crash_fault,
                         barriers_entered: std::cell::Cell::new(0),
                         live_views: std::cell::Cell::new(0),
                         view_spans: std::cell::RefCell::new(Vec::new()),
@@ -878,6 +909,104 @@ mod tests {
             perturbed.1.exec_time,
             base.1.exec_time
         );
+    }
+
+    #[test]
+    fn lossy_network_with_retransmission_preserves_values() {
+        let base = run_cluster(opts(3, 256 * 1024), contended_kernel);
+        let o = opts(3, 256 * 1024).with_faults(FaultPlan {
+            seed: 7,
+            loss_permille: 60,
+            dup_permille: 40,
+            reorder_permille: 80,
+            ..FaultPlan::none()
+        });
+        let lossy = run_cluster(o, contended_kernel);
+        assert_eq!(base.0, lossy.0, "lossy run must compute the same values");
+        let retransmits = lossy.1.total(|n| n.traffic.msgs_retransmitted());
+        assert!(retransmits > 0, "6% loss must force some retransmissions");
+        assert_eq!(
+            lossy.1.total(|n| n.traffic.msgs_dropped()),
+            0,
+            "the reliable layer must recover every loss"
+        );
+        assert!(
+            lossy.1.exec_time > base.1.exec_time,
+            "retransmission timeouts must cost virtual time"
+        );
+    }
+
+    #[test]
+    fn scheduled_partition_heals_and_values_survive() {
+        let base = run_cluster(opts(4, 256 * 1024), contended_kernel);
+        let o = opts(4, 256 * 1024).with_faults(FaultPlan {
+            seed: 11,
+            partitions: vec![lots_sim::Partition {
+                start: SimInstant(50_000),
+                end: SimInstant(3_000_000),
+                islanders: vec![3],
+            }],
+            ..FaultPlan::none()
+        });
+        let cut = run_cluster(o, contended_kernel);
+        assert_eq!(base.0, cut.0, "partitioned run must compute same values");
+        assert_eq!(cut.1.total(|n| n.traffic.msgs_dropped()), 0);
+    }
+
+    #[test]
+    fn crash_rejoin_preserves_values_and_costs_time() {
+        let kernel = |dsm: &Dsm| {
+            let a = dsm.alloc::<i64>(512);
+            let per = 512 / dsm.n();
+            let base = dsm.me() * per;
+            for i in 0..per {
+                a.write(base + i, (base + i) as i64 * 3);
+            }
+            dsm.barrier();
+            let mut sum = 0i64;
+            for i in 0..512 {
+                sum += a.read(i);
+            }
+            dsm.barrier();
+            sum
+        };
+        let base = run_cluster(opts(4, 256 * 1024), kernel);
+        let o = opts(4, 256 * 1024).with_faults(FaultPlan {
+            crash_node: Some(lots_sim::CrashFault {
+                node: 1,
+                at_barrier: 1,
+                reboot: lots_sim::SimDuration::from_millis(50),
+            }),
+            ..FaultPlan::none()
+        });
+        let crashed = run_cluster(o, kernel);
+        assert_eq!(base.0, crashed.0, "rejoin must preserve every value");
+        assert_eq!(crashed.1.total(|n| n.stats.rejoin_rounds()), 1);
+        assert!(crashed.1.total(|n| n.stats.rejoin_bytes()) > 0);
+        assert!(
+            crashed.1.exec_time > base.1.exec_time,
+            "the reboot outage must cost virtual time"
+        );
+    }
+
+    #[test]
+    fn mixed_latency_topology_reproduces_exactly() {
+        let slow = lots_sim::LinkParams {
+            latency: lots_sim::SimDuration::from_micros(900),
+            bandwidth_bps: 10_000_000,
+        };
+        let topo = Topology::uniform().with_symmetric_link(0, 3, slow);
+        let run = |mode| {
+            let o = opts(4, 256 * 1024)
+                .with_topology(topo.clone())
+                .with_scheduler(mode);
+            let (results, report) = run_cluster(o, contended_kernel);
+            (results, fingerprint(&report))
+        };
+        let (rd, fd) = run(SchedulerMode::Deterministic);
+        let (rp, fp) = run(SchedulerMode::Parallel { workers: 4 });
+        assert_eq!(rd, rp);
+        assert_eq!(fd, fp, "parallel engine must match the sequential oracle");
     }
 
     #[test]

@@ -568,8 +568,17 @@ impl JiaNode {
     }
 
     /// Home-side page service (comm thread).
+    ///
+    /// Senders address by the *cluster-agreed* home; this node's own
+    /// table may still lag behind it. Allocation and first-touch
+    /// bookkeeping are replayed by each app thread at its own virtual
+    /// time, so when this node straggles (e.g. blocked on a
+    /// retransmission-delayed fetch), a request for a page it is the
+    /// agreed home of can arrive before the local replay runs. The
+    /// mirror is still authoritative: reclamation zeroed it at least
+    /// one network latency earlier (the freeing barrier's exit), which
+    /// the conservative engine wall-orders before this service.
     pub fn serve_page(&mut self, page: usize) -> (Vec<u8>, u64) {
-        debug_assert_eq!(self.pages[page].home, self.me, "page served by home only");
         let base = page_base(page);
         (
             self.mem[base..base + PAGE_BYTES].to_vec(),
@@ -578,8 +587,13 @@ impl JiaNode {
     }
 
     /// Home-side diff application (comm thread).
+    ///
+    /// Like [`JiaNode::serve_page`], the sender addressed the
+    /// cluster-agreed home; the local table may not have replayed the
+    /// allocation that made this node home yet. Applying the word diff
+    /// touches only the mirror, which commutes with that lagging
+    /// bookkeeping — the table converges at this node's next replay.
     pub fn apply_remote_diff(&mut self, page: usize, diff: &WordDiff) {
-        debug_assert_eq!(self.pages[page].home, self.me);
         let base = page_base(page);
         diff.apply(&mut self.mem[base..base + PAGE_BYTES]);
         self.charge(

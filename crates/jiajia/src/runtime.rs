@@ -15,11 +15,11 @@ use lots_core::consistency::SyncCtx;
 use lots_core::diff::WordDiff;
 use lots_core::Placement;
 use lots_net::{
-    cluster_ext, Buffered, Envelope, NetReceiver, NetSender, NodeId, Recv, TrafficStats,
+    cluster_net, Buffered, Envelope, NetReceiver, NetSender, NodeId, Recv, TrafficStats,
 };
 use lots_sim::{
     FaultPlan, MachineConfig, NodeStats, SchedHandle, ScheduleScript, Scheduler, SchedulerMode,
-    SimClock, SimInstant, TimeCategory,
+    SimClock, SimInstant, TimeCategory, Topology,
 };
 use parking_lot::Mutex;
 
@@ -35,6 +35,9 @@ pub struct JiaOptions {
     pub shared_bytes: usize,
     /// Simulated machine (CPU, network, disk models).
     pub machine: MachineConfig,
+    /// Per-link latency/bandwidth overrides on top of the machine's
+    /// base network model (see [`Topology`]).
+    pub topology: Topology,
     /// Execution model: deterministic turnstile (default) or
     /// free-running threads.
     pub scheduler: SchedulerMode,
@@ -61,6 +64,7 @@ impl JiaOptions {
             n,
             shared_bytes,
             machine,
+            topology: Topology::uniform(),
             scheduler: SchedulerMode::Deterministic,
             seed: 0,
             faults: FaultPlan::none(),
@@ -73,6 +77,12 @@ impl JiaOptions {
     /// Set the default page placement.
     pub fn with_placement(mut self, placement: Placement) -> JiaOptions {
         self.placement = placement;
+        self
+    }
+
+    /// Install per-link latency/bandwidth overrides.
+    pub fn with_topology(mut self, topology: Topology) -> JiaOptions {
+        self.topology = topology;
         self
     }
 
@@ -154,9 +164,17 @@ where
 {
     let n = opts.n;
     assert!(n >= 1);
+    assert!(
+        opts.faults.crash_node.is_none(),
+        "crash-rejoin is a LOTS-only fault: JIAJIA keeps no per-node swap \
+         store to rebuild from (use loss/partition faults here instead)"
+    );
     let clocks: Vec<SimClock> = (0..n).map(|_| SimClock::new()).collect();
     let (sched, app_tasks, comm_tasks) = if opts.scheduler.uses_engine() {
-        let s = Scheduler::new(opts.scheduler, opts.machine.net.min_latency());
+        let s = Scheduler::new(
+            opts.scheduler,
+            opts.topology.lookahead(&opts.machine.net, n),
+        );
         if let Some(script) = &opts.explore {
             s.set_script(script.clone());
         }
@@ -176,7 +194,19 @@ where
         .faults
         .is_active()
         .then(|| Arc::new(opts.faults.clone()));
-    let endpoints = cluster_ext::<JMsg>(n, opts.machine.net, comm_tasks.clone(), fault_delays);
+    let net = cluster_net::<JMsg>(
+        n,
+        opts.machine.net,
+        opts.topology.clone(),
+        comm_tasks.clone(),
+        fault_delays,
+    );
+    let endpoints = net.endpoints;
+    if let Some(s) = &sched {
+        // Deadlock snapshots name any message dropped past its retries.
+        let drops = net.drops.clone();
+        s.set_diagnostic(move || drops.render());
+    }
     let barrier = Arc::new(JiaBarrier::new(n));
     let locks = Arc::new(JiaLocks::new(n));
     let shutdown = Arc::new(AtomicBool::new(false));
@@ -600,6 +630,42 @@ mod tests {
         });
         let bytes: u64 = report.nodes.iter().map(|n| n.traffic.bytes_sent()).sum();
         assert!(bytes >= 4096, "page fetch moves ≥ one page, got {bytes}");
+    }
+
+    #[test]
+    fn lossy_network_with_retransmission_preserves_values() {
+        let kernel = |dsm: &JiaDsm| {
+            let a = dsm.alloc::<i32>(2048);
+            a.write(dsm.me() * 16, dsm.me() as i32 + 1);
+            dsm.barrier();
+            (0..3).map(|i| a.read(i * 16)).sum::<i32>()
+        };
+        let base = run_jiajia_cluster(opts(3), kernel);
+        let o = opts(3).with_faults(FaultPlan {
+            seed: 5,
+            loss_permille: 80,
+            dup_permille: 40,
+            ..FaultPlan::none()
+        });
+        let lossy = run_jiajia_cluster(o, kernel);
+        assert_eq!(base.0, lossy.0, "lossy run must compute the same values");
+        let dropped: u64 = lossy.1.nodes.iter().map(|n| n.traffic.msgs_dropped()).sum();
+        assert_eq!(dropped, 0, "the reliable layer must recover every loss");
+        assert!(lossy.1.exec_time >= base.1.exec_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "crash-rejoin is a LOTS-only fault")]
+    fn crash_fault_is_rejected_up_front() {
+        let o = opts(2).with_faults(FaultPlan {
+            crash_node: Some(lots_sim::CrashFault {
+                node: 1,
+                at_barrier: 1,
+                reboot: lots_sim::SimDuration::from_millis(1),
+            }),
+            ..FaultPlan::none()
+        });
+        let _ = run_jiajia_cluster(o, |dsm| dsm.me());
     }
 
     #[test]

@@ -7,15 +7,16 @@
 //! really reassembled at the receiver, with virtual-time stamps from the
 //! per-link [`LinkClock`]s.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use bytes::Bytes;
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender};
-use lots_sim::{FaultPlan, NetModel, SchedHandle, SimInstant};
+use lots_sim::{Delivery, FaultPlan, NetModel, SchedHandle, SimDuration, SimInstant, Topology};
 
+use crate::droplog::DropLog;
 use crate::flow::{LinkClock, Transmission};
 use crate::fragment::{split, Fragment, Reassembler};
 use crate::message::{Envelope, NodeId, WireSize};
@@ -47,6 +48,8 @@ enum Wire<M> {
 pub struct NetSender<M> {
     id: NodeId,
     model: NetModel,
+    /// Per-link latency/bandwidth overrides over `model`.
+    topo: Arc<Topology>,
     txs: Arc<Vec<Sender<Wire<M>>>>,
     links: Arc<Vec<LinkClock>>,
     seq: Arc<AtomicU64>,
@@ -54,8 +57,10 @@ pub struct NetSender<M> {
     /// Deterministic mode: the comm task of each node, woken (with the
     /// message's virtual arrival time) whenever something is sent to it.
     wakers: Option<Arc<Vec<SchedHandle>>>,
-    /// Seeded per-message delay injection (fault plans).
+    /// Seeded per-message loss/delay/dup/reorder injection.
     faults: Option<Arc<FaultPlan>>,
+    /// Messages whose every transmission attempt was lost.
+    drops: DropLog,
 }
 
 impl<M> Clone for NetSender<M> {
@@ -63,12 +68,14 @@ impl<M> Clone for NetSender<M> {
         NetSender {
             id: self.id,
             model: self.model,
+            topo: Arc::clone(&self.topo),
             txs: Arc::clone(&self.txs),
             links: Arc::clone(&self.links),
             seq: Arc::clone(&self.seq),
             stats: self.stats.clone(),
             wakers: self.wakers.clone(),
             faults: self.faults.clone(),
+            drops: self.drops.clone(),
         }
     }
 }
@@ -77,23 +84,73 @@ impl<M: WireSize + Send + 'static> NetSender<M> {
     /// Transmit `msg` + `payload` to `dst`, offered at sender virtual
     /// time `now`. Returns the modeled transmission timing; the caller
     /// decides which parts of it to charge to its clock.
+    ///
+    /// Under a lossy fault plan the reliable layer is folded in
+    /// analytically: the returned `arrival` already includes every
+    /// retransmission timeout the seeded loss/partition decisions cost
+    /// this message, and a message whose retry budget is exhausted
+    /// enqueues nothing at all (the drop is recorded for the deadlock
+    /// snapshot). Faults only ever *add* delay, so the conservative
+    /// lookahead bound — arrival ≥ send + minimum link latency — holds
+    /// under every plan.
     pub fn send(&self, dst: NodeId, msg: M, payload: Bytes, now: SimInstant) -> Transmission {
         assert_ne!(dst, self.id, "node {} sending to itself", self.id);
         let body = msg.wire_size() + payload.len();
-        let mut tx = self.links[dst].transmit(&self.model, now, body);
+        let eff = self.topo.effective(&self.model, self.id, dst);
+        let mut tx = self.links[dst].transmit(&eff, now, body);
         self.stats.record_send(tx.wire_bytes, tx.fragments);
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut dup_idx = None;
+        let mut shift = 0u64;
         if let Some(f) = &self.faults {
-            // Injected in-flight jitter: stretches the arrival only
-            // (the sender's link occupancy is unaffected).
+            // Injected in-flight jitter and reordering hold-back:
+            // stretch the arrival only (the sender's link occupancy is
+            // unaffected).
             tx.arrival += f.delay_for(self.id, dst, seq);
+            let fallback = SimDuration(4 * eff.latency.0 + 4 * eff.per_fragment.0);
+            let reorder = f.reorder_delay_for(self.id, dst, seq, fallback);
+            shift = reorder.0;
+            tx.arrival += reorder;
+            let flight = tx.arrival.saturating_sub(tx.depart);
+            match f.delivery(self.id, dst, seq, tx.depart, flight) {
+                Delivery::Deliver {
+                    arrival,
+                    retransmits,
+                } => {
+                    if retransmits > 0 {
+                        self.stats.record_retransmits(retransmits);
+                    }
+                    tx.arrival = arrival;
+                }
+                Delivery::Dropped { .. } => {
+                    self.stats.record_drop();
+                    self.drops.record(self.id, dst, seq);
+                    return tx;
+                }
+            }
+            dup_idx = f.dup_index_for(self.id, dst, seq, self.model.fragments(payload.len()));
         }
         let max_frag_payload = self.model.max_datagram;
-        let frags = split(seq, &payload, max_frag_payload);
+        let mut frags = split(seq, &payload, max_frag_payload);
         debug_assert_eq!(frags.len() as u32, self.model.fragments(payload.len()));
-        let mut header = Some(msg);
         let n = frags.len();
+        if n > 1 && shift > 0 {
+            // Reordered messages also scramble their own fragments'
+            // channel order (reassembly is by index, so this only
+            // exercises the receive path's out-of-order tolerance).
+            frags.rotate_left(shift as usize % n);
+        }
+        let mut header = Some(msg);
         for frag in frags {
+            let copy = (dup_idx == Some(frag.index)).then(|| Packet {
+                src: self.id,
+                header: None,
+                frag: frag.clone(),
+                sent_at: now,
+                arrival: tx.arrival,
+                wire_bytes: tx.wire_bytes / n,
+                fragments: tx.fragments,
+            });
             let pkt = Packet {
                 src: self.id,
                 header: header.take(),
@@ -108,6 +165,13 @@ impl<M: WireSize + Send + 'static> NetSender<M> {
             self.txs[dst]
                 .send(Wire::Pkt(pkt))
                 .expect("destination endpoint dropped while cluster running");
+            if let Some(c) = copy {
+                // Duplicate in flight, right behind the original.
+                self.stats.record_dup_sent();
+                self.txs[dst]
+                    .send(Wire::Pkt(c))
+                    .expect("destination endpoint dropped while cluster running");
+            }
         }
         if let Some(w) = &self.wakers {
             w[dst].wake_at(tx.arrival);
@@ -155,6 +219,11 @@ pub struct NetReceiver<M> {
     reasm: Reassembler,
     headers: HashMap<(NodeId, u64), PendingHeader<M>>,
     stats: TrafficStats,
+    /// Dedupe filter keyed by the schedule-independent `(src, seq)`
+    /// message identity: `Some` only when the fault plan can duplicate
+    /// traffic, so fault-free runs pay nothing. Grows with the message
+    /// count — acceptable for bounded simulated runs.
+    delivered: Option<BTreeSet<(NodeId, u64)>>,
 }
 
 struct PendingHeader<M> {
@@ -220,6 +289,20 @@ impl<M: WireSize> NetReceiver<M> {
 
     fn absorb(&mut self, pkt: Packet<M>) -> Option<Envelope<M>> {
         let key = (pkt.src, pkt.frag.msg_seq);
+        if let Some(done) = &self.delivered {
+            // Whole-message duplicate (or a stray fragment of an
+            // already-completed message): filter before reassembly so
+            // it can neither deliver twice nor leave a ghost partial.
+            if done.contains(&key) {
+                self.stats.record_dup_filtered();
+                return None;
+            }
+        }
+        if self.reasm.already_has(pkt.src, &pkt.frag) {
+            // Duplicate fragment of a still-incomplete message.
+            self.stats.record_dup_filtered();
+            return None;
+        }
         if let Some(msg) = pkt.header {
             self.headers.insert(
                 key,
@@ -234,6 +317,9 @@ impl<M: WireSize> NetReceiver<M> {
         }
         let seq = pkt.frag.msg_seq;
         let payload = self.reasm.push(pkt.src, pkt.frag)?;
+        if let Some(done) = &mut self.delivered {
+            done.insert(key);
+        }
         let h = self
             .headers
             .remove(&key)
@@ -262,26 +348,32 @@ impl<M: WireSize> NetReceiver<M> {
 }
 
 /// Build the two halves of one node's endpoint.
+#[allow(clippy::too_many_arguments)]
 fn endpoint_pair<M>(
     id: NodeId,
     model: NetModel,
+    topo: Arc<Topology>,
     txs: Vec<Sender<Wire<M>>>,
     rx: Receiver<Wire<M>>,
     wakers: Option<Arc<Vec<SchedHandle>>>,
     faults: Option<Arc<FaultPlan>>,
+    drops: DropLog,
 ) -> (NetSender<M>, NetReceiver<M>) {
     let stats = TrafficStats::new();
     let links = Arc::new((0..txs.len()).map(|_| LinkClock::new()).collect::<Vec<_>>());
+    let dedupe = faults.as_deref().is_some_and(FaultPlan::needs_dedupe);
     (
         NetSender {
             id,
             model,
+            topo,
             txs: Arc::new(txs),
             links,
             seq: Arc::new(AtomicU64::new(0)),
             stats: stats.clone(),
             wakers,
             faults,
+            drops,
         },
         NetReceiver {
             id,
@@ -289,8 +381,17 @@ fn endpoint_pair<M>(
             reasm: Reassembler::new(),
             headers: HashMap::new(),
             stats,
+            delivered: dedupe.then(BTreeSet::new),
         },
     )
+}
+
+/// A fully built cluster interconnect: the per-node endpoints plus the
+/// shared log of irrecoverably dropped messages (for the deadlock
+/// detector's diagnostics).
+pub struct ClusterNet<M> {
+    pub endpoints: Vec<(NetSender<M>, NetReceiver<M>)>,
+    pub drops: DropLog,
 }
 
 /// Build a fully connected cluster of `n` endpoints.
@@ -304,18 +405,33 @@ pub fn cluster<M: WireSize + Send + 'static>(
 /// [`cluster`] with the deterministic-mode hooks: `wakers` holds the
 /// scheduler task of each node's receiver (its comm task), woken with
 /// the virtual arrival time on every send addressed to it; `faults`
-/// injects seeded per-message delays.
+/// injects seeded per-message delays/loss/duplication/reordering. Uses
+/// the uniform topology and discards the drop log.
 pub fn cluster_ext<M: WireSize + Send + 'static>(
     n: usize,
     model: NetModel,
     wakers: Option<Vec<SchedHandle>>,
     faults: Option<Arc<FaultPlan>>,
 ) -> Vec<(NetSender<M>, NetReceiver<M>)> {
+    cluster_net(n, model, Topology::uniform(), wakers, faults).endpoints
+}
+
+/// The full-feature cluster constructor: [`cluster_ext`] plus per-link
+/// topology overrides, returning the drop log alongside the endpoints.
+pub fn cluster_net<M: WireSize + Send + 'static>(
+    n: usize,
+    model: NetModel,
+    topology: Topology,
+    wakers: Option<Vec<SchedHandle>>,
+    faults: Option<Arc<FaultPlan>>,
+) -> ClusterNet<M> {
     assert!(n >= 1, "cluster needs at least one node");
     if let Some(w) = &wakers {
         assert_eq!(w.len(), n, "one waker per node");
     }
     let wakers = wakers.map(Arc::new);
+    let topo = Arc::new(topology);
+    let drops = DropLog::new();
     let mut txs: Vec<Vec<Sender<Wire<M>>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
     let mut rxs: Vec<Receiver<Wire<M>>> = Vec::with_capacity(n);
     for _dst in 0..n {
@@ -325,11 +441,24 @@ pub fn cluster_ext<M: WireSize + Send + 'static>(
             sender_txs.push(tx.clone());
         }
     }
-    txs.into_iter()
+    let endpoints = txs
+        .into_iter()
         .zip(rxs)
         .enumerate()
-        .map(|(id, (tx, rx))| endpoint_pair(id, model, tx, rx, wakers.clone(), faults.clone()))
-        .collect()
+        .map(|(id, (tx, rx))| {
+            endpoint_pair(
+                id,
+                model,
+                Arc::clone(&topo),
+                tx,
+                rx,
+                wakers.clone(),
+                faults.clone(),
+                drops.clone(),
+            )
+        })
+        .collect();
+    ClusterNet { endpoints, drops }
 }
 
 #[cfg(test)]
@@ -491,6 +620,191 @@ mod tests {
             Recv::Message(_) => {}
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn topology_overrides_one_link_only() {
+        use lots_sim::LinkParams;
+        let slow = LinkParams {
+            latency: SimDuration::from_millis(2),
+            bandwidth_bps: 1_000_000,
+        };
+        let topo = Topology::uniform().with_link(1, 0, slow);
+        let net = cluster_net::<TestMsg>(3, model(), topo, None, None);
+        let eps = net.endpoints;
+        let t_slow = eps[1]
+            .0
+            .send(0, TestMsg(1), Bytes::from_static(b"x"), SimInstant(0));
+        let t_fast = eps[2]
+            .0
+            .send(0, TestMsg(1), Bytes::from_static(b"x"), SimInstant(0));
+        // Same payload, same offer time: only the overridden link pays
+        // the 2 ms latency and the 1 MB/s wire time.
+        assert!(t_slow.arrival.0 >= 2_000_000);
+        assert!(t_slow.arrival > t_fast.arrival);
+        assert!(net.drops.is_empty());
+    }
+
+    #[test]
+    fn loss_with_retransmission_delays_but_delivers_everything() {
+        use lots_sim::FaultPlan;
+        let plan = FaultPlan {
+            seed: 5,
+            loss_permille: 400,
+            ..FaultPlan::default()
+        };
+        let net =
+            cluster_net::<TestMsg>(2, model(), Topology::uniform(), None, Some(Arc::new(plan)));
+        let mut eps = net.endpoints;
+        let (tx1, _) = eps.remove(1);
+        let (_, mut rx0) = eps.remove(0);
+        for k in 0..50u32 {
+            tx1.send(
+                0,
+                TestMsg(k),
+                Bytes::from(vec![k as u8; 100]),
+                SimInstant(0),
+            );
+        }
+        for _ in 0..50 {
+            match rx0.recv_timeout(Duration::from_secs(5)) {
+                Recv::Message(_) => {}
+                _ => panic!("retransmission must deliver every message"),
+            }
+        }
+        assert!(tx1.stats().msgs_retransmitted() > 0, "40% loss, 50 msgs");
+        assert_eq!(tx1.stats().msgs_dropped(), 0);
+        assert!(net.drops.is_empty());
+    }
+
+    #[test]
+    fn loss_without_retransmission_drops_and_logs() {
+        use lots_sim::{FaultPlan, Retransmit};
+        let plan = FaultPlan {
+            seed: 5,
+            loss_permille: 400,
+            retransmit: Retransmit {
+                enabled: false,
+                ..Retransmit::default()
+            },
+            ..FaultPlan::default()
+        };
+        let net =
+            cluster_net::<TestMsg>(2, model(), Topology::uniform(), None, Some(Arc::new(plan)));
+        let mut eps = net.endpoints;
+        let (tx1, _) = eps.remove(1);
+        let (_, mut rx0) = eps.remove(0);
+        for k in 0..50u32 {
+            tx1.send(0, TestMsg(k), Bytes::from_static(b"y"), SimInstant(0));
+        }
+        let mut got = 0;
+        while let Recv::Message(_) = rx0.recv_timeout(Duration::from_millis(50)) {
+            got += 1;
+        }
+        let dropped = tx1.stats().msgs_dropped();
+        assert!(dropped > 0, "40% loss with no retries must drop");
+        assert_eq!(got + dropped, 50);
+        assert_eq!(net.drops.len() as u64, dropped);
+        let rendered = net.drops.render();
+        let (src, dst, seq) = net.drops.entries()[0];
+        assert!(rendered.contains(&format!("node {src} -> node {dst} seq {seq}")));
+    }
+
+    #[test]
+    fn duplicates_are_injected_and_filtered() {
+        use lots_sim::FaultPlan;
+        let plan = FaultPlan {
+            seed: 2,
+            dup_permille: 900,
+            ..FaultPlan::default()
+        };
+        let net =
+            cluster_net::<TestMsg>(2, model(), Topology::uniform(), None, Some(Arc::new(plan)));
+        let mut eps = net.endpoints;
+        let (tx1, _) = eps.remove(1);
+        let (_, mut rx0) = eps.remove(0);
+        // Mix of single-fragment (whole-message dup) and multi-fragment
+        // (duplicate-fragment) messages.
+        for k in 0..20u32 {
+            let len = if k % 2 == 0 { 64 } else { 9000 };
+            tx1.send(
+                0,
+                TestMsg(k),
+                Bytes::from(vec![k as u8; len]),
+                SimInstant(0),
+            );
+        }
+        let mut got = 0;
+        while let Recv::Message(env) = rx0.recv_timeout(Duration::from_millis(100)) {
+            assert_eq!(env.payload[0], env.msg.0 as u8);
+            got += 1;
+        }
+        assert_eq!(got, 20, "each message delivered exactly once");
+        assert!(tx1.stats().dups_sent() > 0, "90% dup rate over 20 msgs");
+        assert_eq!(rx0.stats.dups_filtered(), tx1.stats().dups_sent());
+        assert_eq!(rx0.pending_reassemblies(), 0, "no ghost partials");
+    }
+
+    #[test]
+    fn reordering_scrambles_arrivals_but_loses_nothing() {
+        use lots_sim::FaultPlan;
+        let plan = FaultPlan {
+            seed: 8,
+            reorder_permille: 500,
+            reorder_window: SimDuration::from_millis(2),
+            ..FaultPlan::default()
+        };
+        let net =
+            cluster_net::<TestMsg>(2, model(), Topology::uniform(), None, Some(Arc::new(plan)));
+        let mut eps = net.endpoints;
+        let (tx1, _) = eps.remove(1);
+        let (_, mut rx0) = eps.remove(0);
+        let mut arrivals = Vec::new();
+        for k in 0..40u32 {
+            let len = if k % 4 == 0 { 9000 } else { 32 };
+            let t = tx1.send(0, TestMsg(k), Bytes::from(vec![0u8; len]), SimInstant(0));
+            arrivals.push(t.arrival);
+        }
+        assert!(
+            arrivals.windows(2).any(|w| w[1] < w[0]),
+            "hold-back delays must invert some arrival order"
+        );
+        for _ in 0..40 {
+            match rx0.recv_timeout(Duration::from_secs(5)) {
+                Recv::Message(_) => {}
+                _ => panic!("reordering must not lose messages"),
+            }
+        }
+        assert_eq!(rx0.pending_reassemblies(), 0);
+    }
+
+    #[test]
+    fn partition_with_retransmission_delivers_after_heal() {
+        use lots_sim::{FaultPlan, Partition};
+        let plan = FaultPlan {
+            partitions: vec![Partition {
+                start: SimInstant(0),
+                end: SimInstant(50_000_000),
+                islanders: vec![0],
+            }],
+            ..FaultPlan::default()
+        };
+        let net =
+            cluster_net::<TestMsg>(2, model(), Topology::uniform(), None, Some(Arc::new(plan)));
+        let mut eps = net.endpoints;
+        let (tx1, _) = eps.remove(1);
+        let (_, mut rx0) = eps.remove(0);
+        let t = tx1.send(0, TestMsg(3), Bytes::from_static(b"z"), SimInstant(0));
+        assert!(
+            t.arrival >= SimInstant(50_000_000),
+            "delivery {} must wait out the partition",
+            t.arrival
+        );
+        match rx0.recv_timeout(Duration::from_secs(1)) {
+            Recv::Message(env) => assert_eq!(env.arrival, t.arrival),
+            _ => panic!("expected delivery after heal"),
+        }
+        assert!(tx1.stats().msgs_retransmitted() > 0);
     }
 
     #[test]

@@ -57,12 +57,14 @@ pub fn split(msg_seq: u64, payload: &Bytes, max_payload: usize) -> Vec<Fragment>
 
 /// Reassembly state for messages arriving from many peers.
 ///
-/// Keyed by `(src, msg_seq)`. Fragments may arrive out of order (the
-/// paper's flow control retransmits), but each `(key, index)` arrives
-/// exactly once in this in-process transport.
+/// Keyed by `(src, msg_seq)`. Fragments may arrive out of order and,
+/// under duplication faults (or a retransmitting transport), more than
+/// once; a repeated `(key, index)` is dropped by index without
+/// double-counting bytes or touching the already-buffered chunk.
 #[derive(Debug, Default)]
 pub struct Reassembler {
     partial: HashMap<(NodeId, u64), Partial>,
+    dup_frags: u64,
 }
 
 #[derive(Debug)]
@@ -95,7 +97,12 @@ impl Reassembler {
             "fragment total mismatch for message {key:?}"
         );
         let slot = &mut entry.chunks[frag.index as usize];
-        assert!(slot.is_none(), "duplicate fragment {key:?}[{}]", frag.index);
+        if slot.is_some() {
+            // Duplicate in flight: ignore it — the buffered chunk and
+            // the received count both stay as they are.
+            self.dup_frags += 1;
+            return None;
+        }
         *slot = Some(frag.data);
         entry.received += 1;
         if entry.received < entry.total {
@@ -119,6 +126,19 @@ impl Reassembler {
     /// cost §5 complains about.
     pub fn pending(&self) -> usize {
         self.partial.len()
+    }
+
+    /// Duplicate fragments dropped by index during reassembly.
+    pub fn dup_frags(&self) -> u64 {
+        self.dup_frags
+    }
+
+    /// Does the reassembler already hold this fragment's slot? (Used by
+    /// the receive path to count duplicates before feeding them in.)
+    pub fn already_has(&self, src: NodeId, frag: &Fragment) -> bool {
+        self.partial
+            .get(&(src, frag.msg_seq))
+            .is_some_and(|p| p.chunks[frag.index as usize].is_some())
     }
 
     /// Bytes buffered for incomplete messages.
@@ -234,12 +254,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate fragment")]
-    fn duplicate_fragment_panics() {
+    fn duplicate_fragment_is_ignored_without_double_counting() {
         let p = payload(8192);
         let frags = split(4, &p, 4096);
         let mut r = Reassembler::new();
-        r.push(0, frags[0].clone());
-        r.push(0, frags[0].clone());
+        assert!(r.push(0, frags[0].clone()).is_none());
+        assert!(!r.already_has(0, &frags[1]));
+        assert!(r.already_has(0, &frags[0]));
+        // The duplicate must not complete the message or grow buffers.
+        assert!(r.push(0, frags[0].clone()).is_none());
+        assert_eq!(r.dup_frags(), 1);
+        assert_eq!(r.pending_bytes(), 4096);
+        // The genuinely missing fragment still completes it correctly.
+        assert_eq!(r.push(0, frags[1].clone()).unwrap(), p);
+        assert_eq!(r.pending(), 0);
+    }
+
+    #[test]
+    fn duplicated_and_reordered_fragments_reassemble_intact() {
+        // Satellite regression: a dup+reorder plan at the fragment
+        // level — fragments delivered in reverse order, every
+        // still-incomplete fragment delivered twice — must rebuild the
+        // exact payload. (Duplicates arriving *after* completion are
+        // filtered upstream by the endpoint's delivered-message set.)
+        let p = payload(10_000);
+        let mut frags = split(11, &p, 1000);
+        frags.reverse();
+        let last = frags.pop().unwrap();
+        let mut doubled: Vec<_> = frags.iter().flat_map(|f| [f.clone(), f.clone()]).collect();
+        doubled.push(last);
+        let mut r = Reassembler::new();
+        let mut out = None;
+        for f in doubled {
+            if let Some(done) = r.push(3, f) {
+                assert!(out.is_none(), "message completed twice");
+                out = Some(done);
+            }
+        }
+        assert_eq!(out.unwrap(), p);
+        assert_eq!(r.dup_frags(), 9, "one dup per non-final fragment");
+        assert_eq!(r.pending(), 0);
+        assert_eq!(r.pending_bytes(), 0);
     }
 }

@@ -7,13 +7,15 @@
 //! in-process channels; virtual transfer times come from the
 //! [`lots_sim::NetModel`] in force.
 
+pub mod droplog;
 pub mod endpoint;
 pub mod flow;
 pub mod fragment;
 pub mod message;
 pub mod stats;
 
-pub use endpoint::{cluster, cluster_ext, NetReceiver, NetSender, Recv};
+pub use droplog::DropLog;
+pub use endpoint::{cluster, cluster_ext, cluster_net, ClusterNet, NetReceiver, NetSender, Recv};
 pub use flow::{LinkClock, Transmission};
 pub use fragment::{split, Fragment, Reassembler};
 pub use message::{Buffered, Envelope, NodeId, WireSize, FRAGMENT_HEADER_BYTES};

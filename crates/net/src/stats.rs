@@ -21,6 +21,10 @@ struct Inner {
     bytes_sent: AtomicU64,
     bytes_received: AtomicU64,
     fragments_sent: AtomicU64,
+    msgs_dropped: AtomicU64,
+    msgs_retransmitted: AtomicU64,
+    dups_sent: AtomicU64,
+    dups_filtered: AtomicU64,
 }
 
 impl TrafficStats {
@@ -67,6 +71,51 @@ impl TrafficStats {
 
     pub fn fragments_sent(&self) -> u64 {
         self.inner.fragments_sent.load(Ordering::Relaxed)
+    }
+
+    /// Record a message every transmission attempt of which was lost
+    /// (retransmission disabled or its retry budget exhausted).
+    pub fn record_drop(&self) {
+        self.inner.msgs_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the retransmissions the reliable layer needed to get one
+    /// message through.
+    pub fn record_retransmits(&self, n: u32) {
+        self.inner
+            .msgs_retransmitted
+            .fetch_add(u64::from(n), Ordering::Relaxed);
+    }
+
+    /// Record a duplicate fragment injected in flight (sender side).
+    pub fn record_dup_sent(&self) {
+        self.inner.dups_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a duplicate filtered on the receive path (either a whole
+    /// duplicated message or a duplicate fragment).
+    pub fn record_dup_filtered(&self) {
+        self.inner.dups_filtered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Messages dropped after exhausting every transmission attempt.
+    pub fn msgs_dropped(&self) -> u64 {
+        self.inner.msgs_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Retransmission attempts the reliable layer paid for.
+    pub fn msgs_retransmitted(&self) -> u64 {
+        self.inner.msgs_retransmitted.load(Ordering::Relaxed)
+    }
+
+    /// Duplicate fragments injected in flight by the fault plan.
+    pub fn dups_sent(&self) -> u64 {
+        self.inner.dups_sent.load(Ordering::Relaxed)
+    }
+
+    /// Duplicates discarded by the receive path's dedupe filters.
+    pub fn dups_filtered(&self) -> u64 {
+        self.inner.dups_filtered.load(Ordering::Relaxed)
     }
 }
 

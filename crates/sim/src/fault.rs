@@ -15,7 +15,7 @@
 //! path: peers fail loudly at their next synchronization instead of
 //! hanging.
 
-use crate::clock::SimDuration;
+use crate::clock::{SimDuration, SimInstant};
 
 /// One injected node failure: the node panics on entering its
 /// `at_barrier`-th barrier (1-based), exercising the poisoning path.
@@ -26,6 +26,98 @@ pub struct PanicFault {
     /// Which of the node's barrier entries triggers the panic
     /// (1 = its first barrier).
     pub at_barrier: u64,
+}
+
+/// One injected *recoverable* node failure: the node crashes right
+/// after completing its `at_barrier`-th barrier (1-based), losing all
+/// volatile state (mapped objects, cached remote copies, twins), then
+/// rejoins. Peers' directory replicas plus the node's durable swap
+/// store rebuild its state; the cluster continues with identical
+/// results — unlike [`PanicFault`], which only poisons.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashFault {
+    /// Rank of the node to crash and rejoin.
+    pub node: usize,
+    /// Which of the node's barrier entries triggers the crash
+    /// (1 = its first barrier); the crash lands after the barrier
+    /// completes, so the interval it closed is globally consistent.
+    pub at_barrier: u64,
+    /// Modeled downtime: process restart + state-rebuild handshake.
+    pub reboot: SimDuration,
+}
+
+/// A scheduled network partition in virtual time: from `start`
+/// (inclusive) to `end` (exclusive), every link between an islander
+/// and a non-islander is severed; links within either side stay up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Virtual time the partition starts.
+    pub start: SimInstant,
+    /// Virtual time the partition heals.
+    pub end: SimInstant,
+    /// The nodes cut off from the rest of the cluster.
+    pub islanders: Vec<usize>,
+}
+
+impl Partition {
+    /// Is the directed link `a → b` severed at virtual time `t`?
+    pub fn severs(&self, t: SimInstant, a: usize, b: usize) -> bool {
+        t >= self.start
+            && t < self.end
+            && (self.islanders.contains(&a) != self.islanders.contains(&b))
+    }
+}
+
+/// Retransmission discipline of the reliable wire layer (the UDP
+/// reliability layer of classic SDSM transports): each lost attempt is
+/// retried after a timeout that doubles per retry, up to `max_retries`.
+///
+/// The model is *analytic*: the delivery time of a message under loss
+/// is computed at send time as a pure function of the plan, so no real
+/// timers run and the conservative-PDES lookahead (arrival ≥ send +
+/// min link latency) is preserved — retransmission only ever delays an
+/// arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retransmit {
+    /// Master switch. Disabled, a first-attempt loss drops the message
+    /// outright (and a blocked peer will name it via the drop log).
+    pub enabled: bool,
+    /// Initial retransmission timeout. [`SimDuration::ZERO`] means
+    /// *auto*: twice the message's modeled flight time.
+    pub rto: SimDuration,
+    /// Retry budget. With exponential backoff, `k` retries span
+    /// `rto·(2^k − 1)` — 20 retries outlast any partition window a
+    /// simulated run schedules.
+    pub max_retries: u32,
+}
+
+impl Default for Retransmit {
+    fn default() -> Retransmit {
+        Retransmit {
+            enabled: true,
+            rto: SimDuration::ZERO,
+            max_retries: 20,
+        }
+    }
+}
+
+/// Outcome of the analytic retransmission model for one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// The message (eventually) gets through.
+    Deliver {
+        /// Arrival of the successful attempt; never earlier than the
+        /// fault-free arrival.
+        arrival: SimInstant,
+        /// Retransmissions it took (0 = first attempt succeeded).
+        retransmits: u32,
+    },
+    /// Every attempt was lost (retransmission disabled, or the retry
+    /// budget ran out inside an unhealed partition).
+    Dropped {
+        /// Attempts made (≥ 1).
+        attempts: u32,
+    },
 }
 
 /// A seeded, fully deterministic perturbation of a cluster run.
@@ -41,6 +133,25 @@ pub struct FaultPlan {
     pub cpu_slowdown: Vec<(usize, f64)>,
     /// Optional injected node panic.
     pub panic_node: Option<PanicFault>,
+    /// Per-attempt message loss probability in permille (0–999).
+    pub loss_permille: u16,
+    /// Probability, in permille, that one fragment of a message is
+    /// duplicated in flight (for single-fragment messages this is a
+    /// whole-message duplicate).
+    pub dup_permille: u16,
+    /// Probability, in permille, that a message is reordered: held
+    /// back by an extra seeded delay in `[0, reorder_window]` so it
+    /// arrives after later sends.
+    pub reorder_permille: u16,
+    /// Span of the reordering delay; [`SimDuration::ZERO`] means
+    /// *auto* (a few link latencies, chosen by the transport).
+    pub reorder_window: SimDuration,
+    /// Scheduled partitions/heals in virtual time.
+    pub partitions: Vec<Partition>,
+    /// Retransmission discipline covering loss and partitions.
+    pub retransmit: Retransmit,
+    /// Optional crash + rejoin (recoverable, unlike `panic_node`).
+    pub crash_node: Option<CrashFault>,
 }
 
 impl FaultPlan {
@@ -64,6 +175,21 @@ impl FaultPlan {
         self.max_msg_delay > SimDuration::ZERO
             || !self.cpu_slowdown.is_empty()
             || self.panic_node.is_some()
+            || self.loss_permille > 0
+            || self.dup_permille > 0
+            || self.reorder_permille > 0
+            || !self.partitions.is_empty()
+            || self.crash_node.is_some()
+    }
+
+    /// Can this plan ever lose a message attempt (loss or partitions)?
+    pub fn is_lossy(&self) -> bool {
+        self.loss_permille > 0 || !self.partitions.is_empty()
+    }
+
+    /// Does the receive path need duplicate filtering under this plan?
+    pub fn needs_dedupe(&self) -> bool {
+        self.dup_permille > 0
     }
 
     /// The injected in-flight delay for the `seq`-th message a sender
@@ -99,7 +225,144 @@ impl FaultPlan {
             .filter(|p| p.node == node)
             .map(|p| p.at_barrier)
     }
+
+    /// If `node` is scheduled to crash and rejoin, the (1-based)
+    /// barrier entry after which it does.
+    pub fn crash_for(&self, node: usize) -> Option<CrashFault> {
+        self.crash_node.filter(|c| c.node == node)
+    }
+
+    /// Is the directed link `src → dst` severed by a scheduled
+    /// partition at virtual time `t`?
+    pub fn severed_at(&self, t: SimInstant, src: usize, dst: usize) -> bool {
+        self.partitions.iter().any(|p| p.severs(t, src, dst))
+    }
+
+    /// Is the `attempt`-th transmission attempt (0 = the original) of
+    /// message `(src, dst, seq)` lost to random loss? A pure hash, like
+    /// [`FaultPlan::delay_for`].
+    pub fn attempt_lost(&self, src: usize, dst: usize, seq: u64, attempt: u32) -> bool {
+        if self.loss_permille == 0 {
+            return false;
+        }
+        let h = self.msg_hash(
+            SALT_LOSS ^ u64::from(attempt).wrapping_mul(K_ATTEMPT),
+            src,
+            dst,
+            seq,
+        );
+        h % 1000 < u64::from(self.loss_permille)
+    }
+
+    /// If message `(src, dst, seq)` has a fragment duplicated in
+    /// flight, the index (in `[0, total)`) of the duplicated fragment.
+    pub fn dup_index_for(&self, src: usize, dst: usize, seq: u64, total: u32) -> Option<u32> {
+        if self.dup_permille == 0 || total == 0 {
+            return None;
+        }
+        let h = self.msg_hash(SALT_DUP, src, dst, seq);
+        (h % 1000 < u64::from(self.dup_permille))
+            .then(|| ((mix64(h) as u128 * u128::from(total)) >> 64) as u32)
+    }
+
+    /// The extra hold-back delay of a reordered message: zero for most
+    /// messages, uniform in `[0, window]` for the selected fraction.
+    /// `fallback_window` applies when the plan leaves `reorder_window`
+    /// at *auto* (zero).
+    pub fn reorder_delay_for(
+        &self,
+        src: usize,
+        dst: usize,
+        seq: u64,
+        fallback_window: SimDuration,
+    ) -> SimDuration {
+        if self.reorder_permille == 0 {
+            return SimDuration::ZERO;
+        }
+        let h = self.msg_hash(SALT_REORDER, src, dst, seq);
+        if h % 1000 >= u64::from(self.reorder_permille) {
+            return SimDuration::ZERO;
+        }
+        let window = if self.reorder_window > SimDuration::ZERO {
+            self.reorder_window
+        } else {
+            fallback_window
+        };
+        SimDuration(((mix64(h) as u128 * (window.0 as u128 + 1)) >> 64) as u64)
+    }
+
+    /// Analytic retransmission: when (and whether) message
+    /// `(src, dst, seq)`, departing at `depart` with a modeled flight
+    /// time of `flight`, actually reaches `dst` under this plan's loss
+    /// and partitions.
+    ///
+    /// Attempt 0 departs at `depart`; attempt *i+1* departs one RTO
+    /// (doubling per retry) after attempt *i*. An attempt is lost if
+    /// the loss hash fires for it or the link is severed at its
+    /// departure. The arrival of the successful attempt is its
+    /// departure plus `flight`, so delivery is never earlier than the
+    /// fault-free arrival — delays only add, preserving the PDES
+    /// lookahead bound.
+    pub fn delivery(
+        &self,
+        src: usize,
+        dst: usize,
+        seq: u64,
+        depart: SimInstant,
+        flight: SimDuration,
+    ) -> Delivery {
+        if !self.is_lossy() {
+            return Delivery::Deliver {
+                arrival: depart + flight,
+                retransmits: 0,
+            };
+        }
+        let mut rto = if self.retransmit.rto > SimDuration::ZERO {
+            self.retransmit.rto
+        } else {
+            // Auto: twice the flight time (≥ 2 ns — flight includes
+            // latency, per-fragment overhead and ≥ 1 ns of wire time).
+            SimDuration(flight.0.saturating_mul(2).max(2))
+        };
+        let mut at = depart;
+        let mut attempt = 0u32;
+        loop {
+            let lost = self.attempt_lost(src, dst, seq, attempt) || self.severed_at(at, src, dst);
+            if !lost {
+                return Delivery::Deliver {
+                    arrival: at + flight,
+                    retransmits: attempt,
+                };
+            }
+            if !self.retransmit.enabled || attempt >= self.retransmit.max_retries {
+                return Delivery::Dropped {
+                    attempts: attempt + 1,
+                };
+            }
+            at += rto;
+            rto = SimDuration(rto.0.saturating_mul(2));
+            attempt += 1;
+        }
+    }
+
+    /// The shared per-message hash behind every seeded decision; each
+    /// decision mixes in its own salt so loss, duplication and
+    /// reordering draw independent streams.
+    fn msg_hash(&self, salt: u64, src: usize, dst: usize, seq: u64) -> u64 {
+        mix64(
+            self.seed
+                ^ salt
+                ^ (src as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (dst as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                ^ seq.wrapping_mul(0x1656_67B1_9E37_79F9),
+        )
+    }
 }
+
+const SALT_LOSS: u64 = 0xA24B_AED4_963E_E407;
+const SALT_DUP: u64 = 0x9FB2_1C65_1E98_DF25;
+const SALT_REORDER: u64 = 0xD6E8_FEB8_6659_FD93;
+const K_ATTEMPT: u64 = 0x2545_F491_4F6C_DD1D;
 
 /// SplitMix64 finalizer.
 fn mix64(mut x: u64) -> u64 {
@@ -134,6 +397,208 @@ mod tests {
             differs |= d != q.delay_for(0, 1, seq);
         }
         assert!(differs, "different seeds give different jitter");
+    }
+
+    #[test]
+    fn lossy_knobs_activate_plan() {
+        let loss = FaultPlan {
+            loss_permille: 10,
+            ..FaultPlan::default()
+        };
+        assert!(loss.is_active() && loss.is_lossy() && !loss.needs_dedupe());
+        let dup = FaultPlan {
+            dup_permille: 5,
+            ..FaultPlan::default()
+        };
+        assert!(dup.is_active() && !dup.is_lossy() && dup.needs_dedupe());
+        let part = FaultPlan {
+            partitions: vec![Partition {
+                start: SimInstant(0),
+                end: SimInstant(100),
+                islanders: vec![2],
+            }],
+            ..FaultPlan::default()
+        };
+        assert!(part.is_active() && part.is_lossy());
+        let crash = FaultPlan {
+            crash_node: Some(CrashFault {
+                node: 1,
+                at_barrier: 2,
+                reboot: SimDuration::from_millis(50),
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(crash.is_active());
+        assert_eq!(crash.crash_for(1).unwrap().at_barrier, 2);
+        assert_eq!(crash.crash_for(0), None);
+    }
+
+    #[test]
+    fn partition_severs_only_across_the_cut_and_only_in_window() {
+        let p = Partition {
+            start: SimInstant(100),
+            end: SimInstant(200),
+            islanders: vec![0, 3],
+        };
+        // Across the cut, inside the window.
+        assert!(p.severs(SimInstant(100), 0, 1));
+        assert!(p.severs(SimInstant(199), 2, 3));
+        // Within one side.
+        assert!(!p.severs(SimInstant(150), 0, 3));
+        assert!(!p.severs(SimInstant(150), 1, 2));
+        // Outside the window (end is exclusive).
+        assert!(!p.severs(SimInstant(99), 0, 1));
+        assert!(!p.severs(SimInstant(200), 0, 1));
+    }
+
+    #[test]
+    fn loss_hash_is_pure_and_attempt_sensitive() {
+        let p = FaultPlan {
+            seed: 11,
+            loss_permille: 500,
+            ..FaultPlan::default()
+        };
+        let mut attempt_differs = false;
+        let mut lost = 0u32;
+        for seq in 0..1000 {
+            assert_eq!(
+                p.attempt_lost(0, 1, seq, 0),
+                p.attempt_lost(0, 1, seq, 0),
+                "pure function"
+            );
+            lost += u32::from(p.attempt_lost(0, 1, seq, 0));
+            attempt_differs |= p.attempt_lost(0, 1, seq, 0) != p.attempt_lost(0, 1, seq, 1);
+        }
+        // ~50% loss rate, generously bracketed.
+        assert!((300..700).contains(&lost), "lost={lost}");
+        assert!(attempt_differs, "retries must re-roll the loss hash");
+    }
+
+    #[test]
+    fn delivery_retries_through_loss_and_counts_retransmits() {
+        let p = FaultPlan {
+            seed: 3,
+            loss_permille: 700,
+            ..FaultPlan::default()
+        };
+        let flight = SimDuration::from_micros(120);
+        let mut retried = false;
+        for seq in 0..200 {
+            match p.delivery(0, 1, seq, SimInstant(1000), flight) {
+                Delivery::Deliver {
+                    arrival,
+                    retransmits,
+                } => {
+                    assert!(arrival >= SimInstant(1000) + flight, "arrival only delays");
+                    retried |= retransmits > 0;
+                }
+                Delivery::Dropped { .. } => panic!("70% loss must not exhaust 20 retries"),
+            }
+        }
+        assert!(retried);
+    }
+
+    #[test]
+    fn delivery_without_retransmission_drops_on_first_loss() {
+        let p = FaultPlan {
+            seed: 3,
+            loss_permille: 700,
+            retransmit: Retransmit {
+                enabled: false,
+                ..Retransmit::default()
+            },
+            ..FaultPlan::default()
+        };
+        let flight = SimDuration::from_micros(120);
+        let dropped = (0..200)
+            .filter(|&seq| {
+                matches!(
+                    p.delivery(0, 1, seq, SimInstant(0), flight),
+                    Delivery::Dropped { attempts: 1 }
+                )
+            })
+            .count();
+        assert!((80..200).contains(&dropped), "dropped={dropped}");
+    }
+
+    #[test]
+    fn delivery_waits_out_a_healing_partition() {
+        let p = FaultPlan {
+            partitions: vec![Partition {
+                start: SimInstant(0),
+                end: SimInstant(1_000_000),
+                islanders: vec![1],
+            }],
+            ..FaultPlan::default()
+        };
+        let flight = SimDuration::from_micros(100);
+        match p.delivery(0, 1, 7, SimInstant(0), flight) {
+            Delivery::Deliver {
+                arrival,
+                retransmits,
+            } => {
+                assert!(arrival >= SimInstant(1_000_000), "delivered before heal");
+                assert!(retransmits > 0);
+            }
+            Delivery::Dropped { .. } => panic!("backoff must outlast a healing partition"),
+        }
+        // A link within the majority side is unaffected.
+        assert_eq!(
+            p.delivery(0, 2, 7, SimInstant(0), flight),
+            Delivery::Deliver {
+                arrival: SimInstant(0) + flight,
+                retransmits: 0
+            }
+        );
+    }
+
+    #[test]
+    fn unhealed_partition_exhausts_retries_into_a_drop() {
+        let p = FaultPlan {
+            partitions: vec![Partition {
+                start: SimInstant(0),
+                end: SimInstant(u64::MAX),
+                islanders: vec![1],
+            }],
+            retransmit: Retransmit {
+                max_retries: 3,
+                ..Retransmit::default()
+            },
+            ..FaultPlan::default()
+        };
+        match p.delivery(0, 1, 0, SimInstant(0), SimDuration::from_micros(100)) {
+            Delivery::Dropped { attempts } => assert_eq!(attempts, 4),
+            d => panic!("expected drop, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn dup_and_reorder_hashes_are_pure_bounded_and_selective() {
+        let p = FaultPlan {
+            seed: 9,
+            dup_permille: 250,
+            reorder_permille: 250,
+            reorder_window: SimDuration::from_micros(50),
+            ..FaultPlan::default()
+        };
+        let mut dups = 0;
+        let mut reordered = 0;
+        for seq in 0..1000 {
+            if let Some(idx) = p.dup_index_for(0, 1, seq, 4) {
+                assert_eq!(p.dup_index_for(0, 1, seq, 4), Some(idx), "pure");
+                assert!(idx < 4);
+                dups += 1;
+            }
+            let d = p.reorder_delay_for(0, 1, seq, SimDuration::from_micros(400));
+            assert_eq!(
+                d,
+                p.reorder_delay_for(0, 1, seq, SimDuration::from_micros(400))
+            );
+            assert!(d <= SimDuration::from_micros(50));
+            reordered += u64::from(d > SimDuration::ZERO);
+        }
+        assert!((150..350).contains(&dups), "dups={dups}");
+        assert!((100..350).contains(&reordered), "reordered={reordered}");
     }
 
     #[test]

@@ -19,11 +19,13 @@ pub mod fault;
 pub mod machine;
 pub mod sched;
 pub mod stats;
+pub mod topology;
 
 pub use clock::{SimClock, SimDuration, SimInstant};
 pub use cost::{CpuModel, DiskModel, NetModel};
 pub use diskq::{DiskOp, DiskQueue};
-pub use fault::{FaultPlan, PanicFault};
+pub use fault::{CrashFault, Delivery, FaultPlan, PanicFault, Partition, Retransmit};
 pub use machine::MachineConfig;
 pub use sched::{BlockReason, Choice, SchedHandle, ScheduleScript, Scheduler, SchedulerMode};
 pub use stats::{NodeStats, SchedSummary, TimeCategory, ALL_CATEGORIES};
+pub use topology::{LinkParams, Topology};

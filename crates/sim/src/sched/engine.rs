@@ -109,6 +109,11 @@ struct State {
     turns: u64,
     wakes: u64,
     max_concurrent: usize,
+    /// Extra context appended to deadlock snapshots — the runtime
+    /// installs a hook that renders, e.g., the transport's log of
+    /// messages dropped without retransmission, so a node blocked on a
+    /// lost reply is named `(src, dst, seq)` instead of a bare `Reply`.
+    diagnostic: Option<Box<dyn Fn() -> String + Send + Sync>>,
 }
 
 /// The cluster-wide epoch engine (see the module docs).
@@ -206,6 +211,15 @@ impl Scheduler {
         let mut st = self.lock();
         assert!(!st.launched, "set_script after launch");
         st.script = Some(script);
+    }
+
+    /// Install a hook whose output is appended to every deadlock
+    /// snapshot (empty output is skipped). The runtimes wire this to
+    /// the transport's drop log so irrecoverable message loss is named
+    /// in the panic instead of surfacing as an anonymous blocked task.
+    pub fn set_diagnostic(&self, hook: impl Fn() -> String + Send + Sync + 'static) {
+        let mut st = self.lock();
+        st.diagnostic = Some(Box::new(hook));
     }
 
     /// Start execution: select and dispatch the first epoch. Call
@@ -366,6 +380,12 @@ impl Scheduler {
                 t.clock.now(),
                 SimInstant(t.ready_at),
             );
+        }
+        if let Some(hook) = &st.diagnostic {
+            let extra = hook();
+            if !extra.is_empty() {
+                let _ = writeln!(out, "{extra}");
+            }
         }
         out
     }

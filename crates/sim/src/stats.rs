@@ -100,6 +100,8 @@ struct NodeStatsInner {
     home_bytes_served: AtomicU64,
     versions_published: AtomicU64,
     versions_reclaimed: AtomicU64,
+    rejoin_rounds: AtomicU64,
+    rejoin_bytes: AtomicU64,
 }
 
 impl NodeStats {
@@ -291,6 +293,26 @@ impl NodeStats {
     /// Superseded segment versions reclaimed at barriers.
     pub fn versions_reclaimed(&self) -> u64 {
         self.inner.versions_reclaimed.load(Ordering::Relaxed)
+    }
+
+    /// Record one crash-rejoin round completed by this node, with the
+    /// directory/name-table bytes re-fetched from a peer replica.
+    #[inline]
+    pub fn count_rejoin(&self, directory_bytes: u64) {
+        self.inner.rejoin_rounds.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .rejoin_bytes
+            .fetch_add(directory_bytes, Ordering::Relaxed);
+    }
+
+    /// Crash-rejoin rounds this node went through.
+    pub fn rejoin_rounds(&self) -> u64 {
+        self.inner.rejoin_rounds.load(Ordering::Relaxed)
+    }
+
+    /// Directory/name-table bytes re-fetched from peers during rejoins.
+    pub fn rejoin_bytes(&self) -> u64 {
+        self.inner.rejoin_bytes.load(Ordering::Relaxed)
     }
 
     #[inline]

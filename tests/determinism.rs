@@ -380,6 +380,7 @@ proptest! {
             max_msg_delay: SimDuration::from_micros(delay_us),
             cpu_slowdown: vec![(slow_node, 1.0 + slow_pct as f64 / 100.0)],
             panic_node: kill.map(|(node, at_barrier)| PanicFault { node, at_barrier }),
+            ..FaultPlan::none()
         };
         for (label, prog) in [("sor", Ok(SOR_SMALL)), ("rx", Err(RX_SMALL))] {
             let run = |mode: SchedulerMode| {
