@@ -62,6 +62,14 @@ pub struct RunConfig {
     /// Correctness analysis (off by default; enabling it never
     /// changes virtual times or workload results).
     pub analyze: AnalyzeConfig,
+    /// Persistence journal configuration (`None` — the default —
+    /// disables it; measurements are then bit-identical to earlier
+    /// builds). Applies to every system: LOTS journals object diffs,
+    /// JIAJIA page diffs.
+    pub persist: Option<lots_core::PersistConfig>,
+    /// Caller-owned journal store, to restore from after the run (only
+    /// meaningful with [`RunConfig::persist`] set).
+    pub persist_store: Option<lots_core::PersistStore>,
 }
 
 impl RunConfig {
@@ -80,7 +88,22 @@ impl RunConfig {
             faults: FaultPlan::none(),
             topology: Topology::uniform(),
             analyze: AnalyzeConfig::off(),
+            persist: None,
+            persist_store: None,
         }
+    }
+
+    /// Enable the persistence journal (see
+    /// [`lots_core::PersistConfig`]), optionally with a caller-owned
+    /// store to restore from later.
+    pub fn with_persist(
+        mut self,
+        persist: lots_core::PersistConfig,
+        store: Option<lots_core::PersistStore>,
+    ) -> RunConfig {
+        self.persist = Some(persist);
+        self.persist_store = store;
+        self
     }
 
     /// Install per-link latency/bandwidth overrides.
@@ -152,8 +175,29 @@ pub struct RunOutcome {
     pub dups_filtered: u64,
     /// Crash-rejoin rounds completed (LOTS/LOTS-x only).
     pub rejoin_rounds: u64,
-    /// Directory + rebuilt-master bytes those rejoins transferred.
+    /// Total bytes those rejoins moved (local journal read-back plus
+    /// peer traffic — the sum of the two fields below).
     pub rejoin_bytes: u64,
+    /// Rejoin bytes read back from the node's own journal (persistence
+    /// on; 0 otherwise).
+    pub rejoin_log_bytes: u64,
+    /// Rejoin bytes peers sent over the network (the directory plus —
+    /// journal off — every rebuilt master, or — journal on — only the
+    /// post-checkpoint deltas).
+    pub rejoin_peer_bytes: u64,
+    /// Persistence-journal records appended (0 with the journal off).
+    pub log_records: u64,
+    /// Persistence-journal bytes appended (write-behind).
+    pub log_bytes_appended: u64,
+    /// Background compaction runs completed.
+    pub compaction_runs: u64,
+    /// Journal bytes compaction squashed away.
+    pub compaction_bytes_reclaimed: u64,
+    /// Checkpoint manifest bytes written (part of `log_bytes_appended`).
+    pub checkpoint_bytes: u64,
+    /// Barriers re-executed beyond the checkpoint during a restore
+    /// replay (0 outside `restore_cluster`/`restore_jiajia_cluster`).
+    pub restore_replay_barriers: u64,
     /// Summed node time in access checking.
     pub time_access_check: SimDuration,
     /// Summed node time in large-object bookkeeping (mapping, pinning).
@@ -207,12 +251,18 @@ pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
                 LotsConfig::lots_x(cfg.dmm_bytes)
             };
             (cfg.lots_tweak)(&mut lots);
-            let opts = ClusterOptions::new(cfg.n, lots, cfg.machine)
+            if let Some(p) = &cfg.persist {
+                lots = lots.with_persist(p.clone());
+            }
+            let mut opts = ClusterOptions::new(cfg.n, lots, cfg.machine)
                 .with_seed(cfg.seed)
                 .with_scheduler(cfg.scheduler)
                 .with_faults(cfg.faults.clone())
                 .with_topology(cfg.topology.clone())
                 .with_analyze(cfg.analyze);
+            if let Some(store) = &cfg.persist_store {
+                opts = opts.with_persist_store(store.clone());
+            }
             let (results, report) = run_cluster(opts, move |dsm| prog.run(dsm));
             let sum = |cat: TimeCategory| -> SimDuration {
                 SimDuration(report.nodes.iter().map(|n| n.stats.time_in(cat).0).sum())
@@ -253,6 +303,14 @@ pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
                 dups_filtered: report.total(|n| n.traffic.dups_filtered()),
                 rejoin_rounds: report.total(|n| n.stats.rejoin_rounds()),
                 rejoin_bytes: report.total(|n| n.stats.rejoin_bytes()),
+                rejoin_log_bytes: report.total(|n| n.stats.rejoin_log_bytes()),
+                rejoin_peer_bytes: report.total(|n| n.stats.rejoin_peer_bytes()),
+                log_records: report.total(|n| n.stats.log_records()),
+                log_bytes_appended: report.total(|n| n.stats.log_bytes_appended()),
+                compaction_runs: report.total(|n| n.stats.compaction_runs()),
+                compaction_bytes_reclaimed: report.total(|n| n.stats.compaction_bytes_reclaimed()),
+                checkpoint_bytes: report.total(|n| n.stats.checkpoint_bytes()),
+                restore_replay_barriers: report.total(|n| n.stats.restore_replay_barriers()),
                 time_access_check: sum(TimeCategory::AccessCheck),
                 time_large_object: sum(TimeCategory::LargeObject),
                 time_network: sum(TimeCategory::Network),
@@ -264,12 +322,18 @@ pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
             }
         }
         System::Jiajia => {
-            let opts = JiaOptions::new(cfg.n, cfg.shared_bytes, cfg.machine)
+            let mut opts = JiaOptions::new(cfg.n, cfg.shared_bytes, cfg.machine)
                 .with_seed(cfg.seed)
                 .with_scheduler(cfg.scheduler)
                 .with_faults(cfg.faults.clone())
                 .with_topology(cfg.topology.clone())
                 .with_analyze(cfg.analyze);
+            if let Some(p) = &cfg.persist {
+                opts = opts.with_persist(p.clone());
+            }
+            if let Some(store) = &cfg.persist_store {
+                opts = opts.with_persist_store(store.clone());
+            }
             let (results, report) = run_jiajia_cluster(opts, move |dsm| prog.run(dsm));
             let sum = |cat: TimeCategory| -> SimDuration {
                 SimDuration(report.nodes.iter().map(|n| n.stats.time_in(cat).0).sum())
@@ -314,6 +378,30 @@ pub fn run_app<P: DsmProgram>(cfg: &RunConfig, prog: P) -> RunOutcome {
                 dups_filtered: report.nodes.iter().map(|n| n.traffic.dups_filtered()).sum(),
                 rejoin_rounds: 0,
                 rejoin_bytes: 0,
+                rejoin_log_bytes: 0,
+                rejoin_peer_bytes: 0,
+                log_records: report.nodes.iter().map(|n| n.stats.log_records()).sum(),
+                log_bytes_appended: report
+                    .nodes
+                    .iter()
+                    .map(|n| n.stats.log_bytes_appended())
+                    .sum(),
+                compaction_runs: report.nodes.iter().map(|n| n.stats.compaction_runs()).sum(),
+                compaction_bytes_reclaimed: report
+                    .nodes
+                    .iter()
+                    .map(|n| n.stats.compaction_bytes_reclaimed())
+                    .sum(),
+                checkpoint_bytes: report
+                    .nodes
+                    .iter()
+                    .map(|n| n.stats.checkpoint_bytes())
+                    .sum(),
+                restore_replay_barriers: report
+                    .nodes
+                    .iter()
+                    .map(|n| n.stats.restore_replay_barriers())
+                    .sum(),
                 time_access_check: sum(TimeCategory::AccessCheck),
                 time_large_object: SimDuration::ZERO,
                 time_network: sum(TimeCategory::Network),

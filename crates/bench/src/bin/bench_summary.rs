@@ -34,7 +34,8 @@ use lots_apps::runner::{run_app, RunConfig, System};
 use lots_apps::sor::SorParams;
 use lots_bench::{measure, no_tweak, App};
 use lots_core::{
-    run_cluster, ClusterOptions, DsmApi, DsmSlice, LotsConfig, SchedulerMode, SwapConfig,
+    restore_cluster, run_cluster, ClusterOptions, Dsm, DsmApi, DsmSlice, LotsConfig, PersistConfig,
+    PersistStore, SchedulerMode, SwapConfig,
 };
 use lots_sim::machine::{p4_fedora, pentium4_2ghz};
 use lots_sim::{CrashFault, FaultPlan, Partition, SimDuration, SimInstant};
@@ -382,6 +383,10 @@ fn main() {
             ("lossy_dups_filtered", out.dups_filtered.to_string()),
             ("lossy_rejoin_rounds", out.rejoin_rounds.to_string()),
             ("lossy_rejoin_bytes", out.rejoin_bytes.to_string()),
+            // The rejoin split: persistence is off here, so every byte
+            // of the master rebuild comes from peers.
+            ("lossy_rejoin_log_bytes", out.rejoin_log_bytes.to_string()),
+            ("lossy_rejoin_peer_bytes", out.rejoin_peer_bytes.to_string()),
         ] {
             gate(field, &fresh);
             let _ = write!(lossy, "\n    \"{field}\": {fresh},");
@@ -398,6 +403,115 @@ fn main() {
     }
     let lossy = lossy.trim_end_matches(',').to_string();
     let lossy_wall = t_lossy.elapsed().as_secs_f64();
+
+    // Persistence: the churn program journaling every barrier interval
+    // (EveryNBarriers(4) checkpoints, background compaction) with one
+    // crash-rejoin that rebuilds masters from the node's own journal.
+    // A cold-start restore of the run's journals is then replayed and
+    // must reproduce the answers and virtual time exactly; every
+    // journal counter is virtual-deterministic and gated.
+    let t_persist = Instant::now();
+    let mut persist = String::new();
+    {
+        use std::sync::Arc;
+
+        use lots_apps::churn::run_churn;
+        let params = ChurnParams::smoke();
+        let model = model_checksum(&params, 0);
+        let kernel = move |dsm: &Dsm| run_churn(dsm, &params).checksum;
+        let faults = FaultPlan {
+            crash_node: Some(CrashFault {
+                node: 1,
+                at_barrier: 6,
+                reboot: SimDuration::from_millis(20),
+            }),
+            ..FaultPlan::none()
+        };
+        let mk_opts = |f: FaultPlan| {
+            ClusterOptions::new(
+                4,
+                LotsConfig::small(1 << 20).with_persist(PersistConfig::every(4)),
+                machine,
+            )
+            .with_scheduler(engine)
+            .with_faults(f)
+        };
+        let store = PersistStore::new(4);
+        let (r1, rep1) = run_cluster(
+            mk_opts(faults.clone()).with_persist_store(store.clone()),
+            kernel,
+        );
+        for (node, c) in r1.iter().enumerate() {
+            assert_eq!(*c, model, "persist churn node {node} checksum vs model");
+        }
+        let log_records: u64 = rep1.nodes.iter().map(|n| n.stats.log_records()).sum();
+        let log_bytes: u64 = rep1
+            .nodes
+            .iter()
+            .map(|n| n.stats.log_bytes_appended())
+            .sum();
+        let ckpt_bytes: u64 = rep1.nodes.iter().map(|n| n.stats.checkpoint_bytes()).sum();
+        let compactions: u64 = rep1.nodes.iter().map(|n| n.stats.compaction_runs()).sum();
+        let reclaimed: u64 = rep1
+            .nodes
+            .iter()
+            .map(|n| n.stats.compaction_bytes_reclaimed())
+            .sum();
+        let rejoin_log: u64 = rep1.nodes.iter().map(|n| n.stats.rejoin_log_bytes()).sum();
+        let rejoin_peer: u64 = rep1.nodes.iter().map(|n| n.stats.rejoin_peer_bytes()).sum();
+        assert!(log_records > 0 && ckpt_bytes > 0, "the journal must run");
+        assert!(
+            rejoin_log > 0,
+            "the rejoin must rebuild masters from its own journal"
+        );
+        let restored = store.restore().expect("bench journals restore");
+        let checkpoint_seq = restored.checkpoint_seq;
+        let (r2, rep2) = restore_cluster(Arc::new(restored), mk_opts(faults), kernel);
+        assert_eq!(r1, r2, "restore replay answers diverged");
+        assert_eq!(
+            rep1.exec_time, rep2.exec_time,
+            "restore replay virtual time diverged"
+        );
+        let replayed: u64 = rep2
+            .nodes
+            .iter()
+            .map(|n| n.stats.restore_replay_barriers())
+            .sum();
+        for (field, fresh) in [
+            (
+                "persist_churn_s",
+                format!("{:.6}", rep1.exec_time.as_secs_f64()),
+            ),
+            ("persist_log_records", log_records.to_string()),
+            ("persist_log_bytes", log_bytes.to_string()),
+            ("persist_checkpoint_bytes", ckpt_bytes.to_string()),
+            ("persist_compaction_runs", compactions.to_string()),
+            ("persist_compaction_reclaimed_bytes", reclaimed.to_string()),
+            ("persist_rejoin_log_bytes", rejoin_log.to_string()),
+            ("persist_rejoin_peer_bytes", rejoin_peer.to_string()),
+            ("persist_checkpoint_seq", checkpoint_seq.to_string()),
+            ("persist_replay_barriers", replayed.to_string()),
+        ] {
+            gate(field, &fresh);
+            let _ = write!(persist, "\n    \"{field}\": {fresh},");
+        }
+        println!(
+            "persist churn p=4 LOTS  {:>7.3} s  {} records / {} B journaled, \
+             {} compactions ({} B reclaimed), rejoin {} B log + {} B peers, \
+             restore at {} replayed {} intervals bit-identically",
+            rep1.exec_time.as_secs_f64(),
+            log_records,
+            log_bytes,
+            compactions,
+            reclaimed,
+            rejoin_log,
+            rejoin_peer,
+            checkpoint_seq,
+            replayed
+        );
+    }
+    let persist = persist.trim_end_matches(',').to_string();
+    let persist_wall = t_persist.elapsed().as_secs_f64();
 
     // Weak scaling under the engine: SOR with two rows per node and a
     // fixed-shape churn program at p = 4/16/64/256. Virtual seconds
@@ -610,6 +724,7 @@ fn main() {
         ("swap_host_wall_s", swap_wall),
         ("churn_host_wall_s", churn_wall),
         ("lossy_net_host_wall_s", lossy_wall),
+        ("persistence_host_wall_s", persist_wall),
         ("weak_scaling_host_wall_s", weak_wall),
         ("hot_object_host_wall_s", hot_wall),
     ] {
@@ -627,6 +742,7 @@ fn main() {
          \"large_object_swap\": {{{swap}\n  }},\n  \
          \"object_churn\": {{{churn}\n  }},\n  \
          \"lossy_net\": {{{lossy}\n  }},\n  \
+         \"persistence\": {{{persist}\n  }},\n  \
          \"weak_scaling\": {{{weak}\n  }},\n  \
          \"hot_object\": {{{hot}\n  }},\n  \
          \"host_wall\": {{{wall}\n  }},\n  \

@@ -527,6 +527,11 @@ pub struct Dsm {
     /// (see [`lots_analyze::AnalyzeConfig`]). `None` costs one branch
     /// per access and leaves virtual times untouched.
     pub(crate) analyze: Option<Arc<RaceDetector>>,
+    /// Persistence journal (`Some` iff `LotsConfig::persist` is set):
+    /// appended after every completed barrier, shared with the node's
+    /// background compaction daemon. `None` skips the whole subsystem
+    /// — one branch per barrier, virtual times untouched.
+    pub(crate) journal: Option<Arc<Mutex<lots_persist::NodeJournal>>>,
 }
 
 /// One live guard's byte extent (see [`Dsm::view_spans`]).
@@ -773,6 +778,11 @@ impl Dsm {
         self.node
             .lock()
             .barrier_finish(&plan.written, &plan.freed, &plan.named, seq)?;
+        // Persistence: journal the interval just published (before the
+        // crash-fault check below — the paper's crash model dies right
+        // *after* a completed barrier, so that barrier's records are on
+        // the log the rejoin reads back).
+        self.journal_barrier(&plan.written, seq)?;
         // Only after the full rendezvous: the exit clock joins every
         // node's enter stamp, starting a fresh interval.
         if let Some(d) = &self.analyze {
@@ -800,14 +810,67 @@ impl Dsm {
         // The outage: the node is simply gone while it reboots.
         self.ctx.clock.advance(fault.reboot);
         self.ctx.stats.charge(TimeCategory::SyncWait, fault.reboot);
-        // Peers re-send the directory, name table and master images.
-        let bytes = summary.directory_bytes + summary.master_bytes;
-        let d = self.ctx.net.request_reply(64, bytes as usize);
+        // With the journal on, the node rebuilds its home-owned
+        // masters from its own checkpointed log — a local blocking
+        // disk read — and peers only re-send the directory/name table
+        // plus the deltas appended after the checkpoint. Without it,
+        // peers re-send the full master images (the PR-era protocol).
+        let peer_bytes = match &self.journal {
+            Some(journal) => {
+                let (log_bytes, since) = {
+                    let j = journal.lock();
+                    (j.log_bytes_at_checkpoint(), j.log_bytes_since_checkpoint())
+                };
+                if log_bytes > 0 {
+                    self.node.lock().persist_read_blocking(log_bytes);
+                    self.ctx.stats.count_rejoin_log_bytes(log_bytes);
+                }
+                summary.directory_bytes + since
+            }
+            None => summary.directory_bytes + summary.master_bytes,
+        };
+        let d = self.ctx.net.request_reply(64, peer_bytes as usize);
         self.ctx.clock.advance(d);
         self.ctx.stats.charge(TimeCategory::Network, d);
         self.ctx.traffic.record_send(64, 1);
-        self.ctx.traffic.record_recv(bytes as usize);
-        self.ctx.stats.count_rejoin(bytes);
+        self.ctx.traffic.record_recv(peer_bytes as usize);
+        self.ctx.stats.count_rejoin(peer_bytes);
+        Ok(())
+    }
+
+    /// Persistence hook, run after every completed barrier: snapshot
+    /// the post-barrier directory, name table and written home-owned
+    /// masters, append one deterministic record batch to the node's
+    /// journal, and book the bytes on the node's serial disk device as
+    /// a write-behind batch — the application never stalls on journal
+    /// I/O.
+    fn journal_barrier(&self, written: &[(ObjectId, NodeId)], seq: u64) -> Result<(), LotsError> {
+        let Some(journal) = &self.journal else {
+            return Ok(());
+        };
+        let mut j = journal.lock();
+        let mut node = self.node.lock();
+        let input = lots_persist::BarrierInput {
+            seq,
+            clock_nanos: self.ctx.clock.now().nanos(),
+            live: node.persist_live_meta(),
+            names: node.persist_names(),
+            written_home: node.persist_written_content(written)?,
+            extents: if j.checkpoint_due(seq) {
+                node.persist_extents()
+            } else {
+                Vec::new()
+            },
+        };
+        let out = j.append_barrier(input);
+        node.persist_book_log_write(&out.write_sizes);
+        self.ctx.stats.count_log_append(out.records, out.bytes);
+        if out.checkpoint_bytes > 0 {
+            self.ctx.stats.count_checkpoint(out.checkpoint_bytes);
+        }
+        if out.replayed {
+            self.ctx.stats.count_restore_replay_barrier();
+        }
         Ok(())
     }
 

@@ -289,6 +289,12 @@ pub struct LotsConfig {
     /// directory objects with independent homes and barrier-published
     /// snapshot versions.
     pub striping: Option<Striping>,
+    /// Persistence configuration (`None` — the default — disables the
+    /// diff journal entirely: no journal is constructed, no records
+    /// are appended, no compaction daemon is registered, and every
+    /// report is bit-identical to a run without the persistence
+    /// subsystem).
+    pub persist: Option<lots_persist::PersistConfig>,
 }
 
 impl Default for LotsConfig {
@@ -304,6 +310,7 @@ impl Default for LotsConfig {
             swap: SwapConfig::default(),
             alloc: AllocConfig::default(),
             striping: None,
+            persist: None,
         }
     }
 }
@@ -345,6 +352,15 @@ impl LotsConfig {
     #[must_use]
     pub fn with_striping(mut self, striping: Striping) -> LotsConfig {
         self.striping = Some(striping);
+        self
+    }
+
+    /// Enable the persistence subsystem (per-node diff journal,
+    /// background compaction, checkpoint manifests) with the given
+    /// configuration.
+    #[must_use]
+    pub fn with_persist(mut self, persist: lots_persist::PersistConfig) -> LotsConfig {
+        self.persist = Some(persist);
         self
     }
 }

@@ -78,9 +78,12 @@ pub use config::{
 pub use consistency::locks::LockId;
 pub use diff::WordDiff;
 pub use lots_analyze::{AnalyzeConfig, RaceReport};
+pub use lots_persist::{
+    CheckpointPolicy, CompactionConfig, PersistConfig, PersistError, PersistStore, RestoredCluster,
+};
 pub use lots_sim::{FaultPlan, PanicFault, ScheduleScript, SchedulerMode};
 pub use node::{LotsError, SwapAccounting};
 pub use object::{Life, NamedAllocReq, ObjectId};
 pub use pod::Pod;
-pub use runtime::{run_cluster, ClusterOptions, ClusterReport, NodeReport};
+pub use runtime::{restore_cluster, run_cluster, ClusterOptions, ClusterReport, NodeReport};
 pub use swap::SwapPolicy;

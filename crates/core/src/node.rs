@@ -48,6 +48,13 @@ pub enum LotsError {
     },
     /// Backing-store failure (out of disk, missing image).
     Disk(String),
+    /// Stored bytes (a swap image or journal record) failed to decode:
+    /// truncated or corrupted input is reported deterministically, not
+    /// by a panic or an out-of-bounds slice.
+    CorruptImage {
+        /// Byte offset at which the decoder rejected the stream.
+        at: usize,
+    },
     /// Zero-length allocation: shared objects must hold at least one
     /// element.
     EmptyAlloc,
@@ -122,6 +129,9 @@ impl std::fmt::Display for LotsError {
                  (large-object-space support disabled)"
             ),
             LotsError::Disk(e) => write!(f, "backing store: {e}"),
+            LotsError::CorruptImage { at } => {
+                write!(f, "corrupt stored image (decode failed at byte {at})")
+            }
             LotsError::EmptyAlloc => write!(f, "cannot allocate an empty shared object"),
             LotsError::UseAfterFree { obj } => write!(
                 f,
@@ -161,6 +171,12 @@ impl std::error::Error for LotsError {}
 impl From<DiskError> for LotsError {
     fn from(e: DiskError) -> LotsError {
         LotsError::Disk(e.to_string())
+    }
+}
+
+impl From<lots_disk::CorruptImage> for LotsError {
+    fn from(e: lots_disk::CorruptImage) -> LotsError {
+        LotsError::CorruptImage { at: e.at }
     }
 }
 
@@ -896,7 +912,7 @@ impl NodeState {
                 // unmodified, a later eviction is free of disk writes.
                 debug_assert!(self.objects[idx].clean_on_disk);
                 let img = self.fetch_image(id.0 as u64)?;
-                let (data, twin) = SwapImage::decode(&img, size);
+                let (data, twin) = SwapImage::decode(&img, size)?;
                 if self.cfg.swap.compress {
                     // One decode pass over the object's words.
                     self.charge(TimeCategory::LargeObject, self.cpu.diffing(size as u64));
@@ -1798,6 +1814,137 @@ impl NodeState {
             directory_bytes: live_slots * 24 + name_bytes,
             master_bytes,
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence hooks (journal snapshots + disk booking)
+    // ------------------------------------------------------------------
+
+    /// Post-barrier directory snapshot for the persistence journal:
+    /// one [`lots_persist::ObjMeta`] per live object slot. Stripe
+    /// children appear individually (each is an ordinary directory
+    /// object with its own home and diffs); the parent rides along so
+    /// restore can rebuild the stripe record.
+    pub fn persist_live_meta(&self) -> Vec<lots_persist::ObjMeta> {
+        self.objects
+            .iter()
+            .enumerate()
+            .filter(|(_, ctl)| ctl.life != Life::Free)
+            .map(|(idx, ctl)| lots_persist::ObjMeta {
+                id: idx as u32,
+                home: ctl.home as u32,
+                version: ctl.version,
+                bytes: ctl.size as u64,
+                parent: ctl.parent,
+            })
+            .collect()
+    }
+
+    /// The committed name table, as journal records.
+    pub fn persist_names(&self) -> Vec<lots_persist::NamedMeta> {
+        self.names
+            .iter()
+            .map(|(name, e)| lots_persist::NamedMeta {
+                name: name.clone(),
+                id: e.id,
+                elem_size: e.elem_size as u32,
+                len: e.len as u64,
+            })
+            .collect()
+    }
+
+    /// The DMM extent map for a checkpoint manifest: one extent per
+    /// live slot with its arena address (when mapped).
+    pub fn persist_extents(&self) -> Vec<lots_persist::Extent> {
+        self.objects
+            .iter()
+            .enumerate()
+            .filter(|(_, ctl)| ctl.life != Life::Free)
+            .map(|(idx, ctl)| lots_persist::Extent {
+                id: idx as u32,
+                addr: ctl.offset().unwrap_or(0) as u64,
+                bytes: ctl.size as u64,
+                mapped: ctl.offset().is_some(),
+            })
+            .collect()
+    }
+
+    /// Post-barrier content of every object in `written` that this
+    /// node homes — the masters whose interval diffs the journal
+    /// appends. A pure snapshot read: arena bytes when mapped, the
+    /// decoded swap image when the master sits on disk, the valid
+    /// zero-fill when never materialized. No virtual time is charged
+    /// here; the journal append itself is booked as write-behind disk
+    /// I/O by the caller.
+    pub fn persist_written_content(
+        &self,
+        written: &[(ObjectId, NodeId)],
+    ) -> Result<Vec<(u32, Vec<u8>)>, LotsError> {
+        let mut out = Vec::new();
+        for &(id, home) in written {
+            if home != self.me {
+                continue;
+            }
+            let ctl = &self.objects[id.0 as usize];
+            if ctl.life == Life::Free {
+                continue;
+            }
+            let content = match ctl.mapping {
+                Mapping::Mapped { offset } => self.arena[offset..offset + ctl.size].to_vec(),
+                Mapping::OnDisk => {
+                    let (img, _store_time) = self.store.get(id.0 as u64)?;
+                    let (data, _twin) = SwapImage::decode(&img, ctl.size)?;
+                    data.into_owned()
+                }
+                Mapping::Unmapped => vec![0u8; ctl.size],
+            };
+            out.push((id.0, content));
+        }
+        Ok(out)
+    }
+
+    /// Book one barrier's journal records on the node's serial disk
+    /// device as a write-behind batch: the device gets busier but the
+    /// application does not stall (the next demand read or swap trip
+    /// queues behind the append).
+    pub fn persist_book_log_write(&mut self, sizes: &[u64]) {
+        if sizes.is_empty() {
+            return;
+        }
+        let now = self.clock.now();
+        self.diskq.write_batch(now, sizes);
+    }
+
+    /// Blocking read of `bytes` from the node's disk device (journal
+    /// read-back during a crash rejoin), advancing this node's clock
+    /// to the device's completion time.
+    pub fn persist_read_blocking(&mut self, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let op = self.diskq.read(self.clock.now(), bytes);
+        let before = self.clock.now();
+        let now = self.clock.advance_to(op.done);
+        self.stats
+            .charge(TimeCategory::Disk, now.saturating_sub(before));
+    }
+
+    /// Book one compaction run's I/O on the node's disk device at the
+    /// compaction daemon's time `now`: a blocking read of the folded
+    /// prefix followed by a write-behind put of the rewritten log.
+    /// Returns when the device delivers the read (the daemon sleeps
+    /// through it; demand I/O from the application queues behind).
+    pub fn persist_book_compaction(
+        &mut self,
+        now: SimInstant,
+        read_bytes: u64,
+        write_bytes: u64,
+    ) -> SimInstant {
+        let op = self.diskq.read(now, read_bytes);
+        if write_bytes > 0 {
+            self.diskq.write_batch(op.done, &[write_bytes]);
+        }
+        op.done
     }
 
     // ------------------------------------------------------------------

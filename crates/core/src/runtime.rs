@@ -34,6 +34,7 @@ use lots_disk::{BackingStore, MemStore};
 use lots_net::{
     cluster_net, Buffered, Envelope, NetReceiver, NetSender, NodeId, Recv, TrafficStats,
 };
+use lots_persist::{NodeJournal, PersistStore, RestoredCluster};
 use lots_sim::{
     FaultPlan, MachineConfig, NodeStats, SchedHandle, ScheduleScript, Scheduler, SchedulerMode,
     SimClock, SimInstant, TimeCategory, Topology,
@@ -81,6 +82,16 @@ pub struct ClusterOptions {
     /// dispatch order among equivalent-batch permutations. Installed
     /// on the scheduler before launch; `None` means canonical order.
     pub explore: Option<ScheduleScript>,
+    /// Journal store for the persistence subsystem. Only consulted
+    /// when [`LotsConfig::persist`] is set; `None` then creates a
+    /// fresh in-memory store. Pass a shared handle to inspect the
+    /// logs after the run (or to restore from them later).
+    pub persist_store: Option<PersistStore>,
+    /// Restored cluster state to verify a replay against (see
+    /// [`restore_cluster`]): each node's journal asserts every sealed
+    /// digest and virtual clock it reproduces, and barriers beyond the
+    /// restored checkpoint count as replayed.
+    pub persist_verify: Option<Arc<RestoredCluster>>,
 }
 
 impl ClusterOptions {
@@ -99,6 +110,8 @@ impl ClusterOptions {
             faults: FaultPlan::none(),
             analyze: AnalyzeConfig::off(),
             explore: None,
+            persist_store: None,
+            persist_verify: None,
         }
     }
 
@@ -144,6 +157,21 @@ impl ClusterOptions {
     /// Install a schedule script (see [`SchedulerMode::Explore`]).
     pub fn with_explore_script(mut self, script: ScheduleScript) -> ClusterOptions {
         self.explore = Some(script);
+        self
+    }
+
+    /// Journal into the given [`PersistStore`] (only meaningful with
+    /// [`LotsConfig::persist`] set). The caller keeps a clone to
+    /// inspect or restore from after the run.
+    pub fn with_persist_store(mut self, store: PersistStore) -> ClusterOptions {
+        self.persist_store = Some(store);
+        self
+    }
+
+    /// Install a restored cluster as the replay-verification oracle
+    /// (see [`restore_cluster`]).
+    pub fn with_persist_verify(mut self, restored: Arc<RestoredCluster>) -> ClusterOptions {
+        self.persist_verify = Some(restored);
         self
     }
 }
@@ -242,12 +270,23 @@ where
     let n = opts.n;
     assert!(n >= 1, "cluster needs at least one node");
     let clocks: Vec<SimClock> = (0..n).map(|_| SimClock::new()).collect();
+    // Persistence: one journal store for the cluster (caller-supplied
+    // or fresh), and — under an engine scheduler — one compaction
+    // daemon task per node. With `LotsConfig::persist` unset nothing
+    // below exists and the run is bit-identical to earlier builds.
+    let persist_cfg = opts.lots.persist.clone();
+    let persist_store = persist_cfg.as_ref().map(|_| {
+        opts.persist_store
+            .clone()
+            .unwrap_or_else(|| PersistStore::new(n))
+    });
+    let compaction_on = persist_cfg.as_ref().is_some_and(|p| p.compaction.enabled);
     // Engine modes: app tasks get ids 0..n, comm tasks n..2n, so clock
     // ties resolve app-first in rank order; both tasks of node i carry
     // node index i (one task per node per epoch). The lookahead window
     // is the minimum latency over the topology's live links, floored
     // above zero so degenerate topologies cannot stall epoch progress.
-    let (sched, app_tasks, comm_tasks) = if opts.scheduler.uses_engine() {
+    let (sched, app_tasks, comm_tasks, persist_tasks) = if opts.scheduler.uses_engine() {
         let s = Scheduler::new(
             opts.scheduler,
             opts.topology.lookahead(&opts.machine.net, n),
@@ -261,9 +300,27 @@ where
         let comms: Vec<SchedHandle> = (0..n)
             .map(|i| s.register(format!("lots-comm-{i}"), clocks[i].clone(), i, true))
             .collect();
-        (Some(s), Some(apps), Some(comms))
+        // Compaction daemons carry their own clocks: they poll in
+        // virtual time independently of the node's app/comm progress,
+        // and the engine's one-task-per-node-per-epoch rule keeps the
+        // interleaving deterministic.
+        let persists: Option<Vec<(SchedHandle, SimClock)>> = compaction_on.then(|| {
+            (0..n)
+                .map(|i| {
+                    let c = SimClock::new();
+                    (
+                        s.register(format!("lots-persist-{i}"), c.clone(), i, true),
+                        c,
+                    )
+                })
+                .collect()
+        });
+        (Some(s), Some(apps), Some(comms), persists)
     } else {
-        (None, None, None)
+        // Free-running mode has no virtual-time turnstile to pace a
+        // poll loop, so background compaction is engine-only; the
+        // journal itself still works.
+        (None, None, None, None)
     };
     // delay_for() short-circuits when no delay is configured, so the
     // net layer can take the whole plan whenever anything is active.
@@ -306,6 +363,7 @@ where
 
     let mut app_threads = Vec::with_capacity(n);
     let mut comm_threads = Vec::with_capacity(n);
+    let mut persist_threads = Vec::new();
     let mut probes = Vec::with_capacity(n);
     let mut poker: Option<NetSender<Msg>> = None;
 
@@ -334,7 +392,61 @@ where
             cpu,
             sched: app_tasks.as_ref().map(|t| t[me].clone()),
         };
-        probes.push((clock, stats, tx.stats().clone(), Arc::clone(&node)));
+        probes.push((clock, stats.clone(), tx.stats().clone(), Arc::clone(&node)));
+
+        // Persistence: this node's journal (appended by the app thread
+        // after every barrier) and its background compaction daemon.
+        let journal = persist_cfg.as_ref().map(|p| {
+            let store = persist_store.clone().expect("store exists with persist on");
+            let mut j = NodeJournal::new(me, store, p.clone());
+            if let Some(restored) = &opts.persist_verify {
+                j.set_verify(restored.verify_plan(me));
+            }
+            Arc::new(Mutex::new(j))
+        });
+        if let (Some(tasks), Some(journal)) = (&persist_tasks, &journal) {
+            let (task, pclock) = tasks[me].clone();
+            let daemon_node = Arc::clone(&node);
+            let daemon_journal = Arc::clone(journal);
+            let daemon_stats = stats.clone();
+            let daemon_shutdown = Arc::clone(&shutdown);
+            let poll = persist_cfg
+                .as_ref()
+                .expect("persist on when tasks exist")
+                .compaction
+                .poll;
+            persist_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("lots-persist-{me}"))
+                    .spawn(move || {
+                        task.attach();
+                        loop {
+                            if daemon_shutdown.load(Ordering::Acquire) {
+                                task.finish();
+                                return;
+                            }
+                            // Compact under the journal lock, then book
+                            // the run's I/O on the node's serial disk
+                            // device at daemon time: demand reads and
+                            // swap write-backs queue behind it.
+                            let out = daemon_journal.lock().maybe_compact();
+                            if let Some(out) = out {
+                                let done = daemon_node.lock().persist_book_compaction(
+                                    pclock.now(),
+                                    out.read_bytes,
+                                    out.write_bytes,
+                                );
+                                daemon_stats.count_compaction(out.reclaimed);
+                                pclock.advance_to(done);
+                            }
+                            let next = SimInstant(pclock.now().nanos() + poll.nanos());
+                            pclock.advance_to(next);
+                            task.yield_until(next);
+                        }
+                    })
+                    .expect("spawn persist daemon"),
+            );
+        }
 
         comm_threads.push(
             std::thread::Builder::new()
@@ -390,6 +502,7 @@ where
         );
         let app = Arc::clone(&app);
         let my_task = app_tasks.as_ref().map(|t| t[me].clone());
+        let my_journal = journal;
         let seed = opts.seed;
         let fault_barrier = opts.faults.panic_barrier_for(me);
         let crash_fault = opts.faults.crash_for(me);
@@ -419,6 +532,7 @@ where
                         view_spans: std::cell::RefCell::new(Vec::new()),
                         view_token: std::cell::Cell::new(0),
                         analyze,
+                        journal: my_journal,
                     };
                     // A panicking node can never reach the next rendezvous;
                     // poison the sync services so peers blocked in barriers
@@ -477,19 +591,36 @@ where
         for dst in 0..n {
             poker.wake(dst);
         }
+        if let Some(tasks) = &persist_tasks {
+            for (t, _) in tasks {
+                t.wake();
+            }
+        }
         for h in comm_threads.drain(..) {
+            let _ = h.join();
+        }
+        for h in persist_threads.drain(..) {
             let _ = h.join();
         }
         std::panic::resume_unwind(primary.or(fallback).expect("at least one join error"));
     };
     shutdown.store(true, Ordering::Release);
     // Prompt teardown: poke every comm thread (and in deterministic
-    // mode wake its task) instead of waiting out the poll timeout.
+    // mode wake its task) instead of waiting out the poll timeout;
+    // compaction daemons are woken the same way.
     for dst in 0..n {
         poker.wake(dst);
     }
+    if let Some(tasks) = &persist_tasks {
+        for (t, _) in tasks {
+            t.wake();
+        }
+    }
     for h in comm_threads {
         h.join().expect("comm thread panicked");
+    }
+    for h in persist_threads {
+        h.join().expect("persist daemon panicked");
     }
 
     let nodes: Vec<NodeReport> = probes
@@ -535,6 +666,48 @@ where
             races: detector.map(|d| d.report()),
         },
     )
+}
+
+/// Cold-start restore: re-run `app` against the state rebuilt from a
+/// [`PersistStore`] (see [`PersistStore::restore`]), verifying the
+/// replay barrier-by-barrier against the original run's journal.
+///
+/// Restore is an *honest re-execution*: the application restarts from
+/// its beginning under the same options and deterministically repeats
+/// every barrier interval, journaling into a fresh scratch store. Each
+/// node's journal asserts — at every sealed barrier — that the replay
+/// reproduces the original log's state digest **and** virtual clock,
+/// and panics at the first divergence; barriers beyond the restored
+/// checkpoint are counted in
+/// [`lots_sim::NodeStats::restore_replay_barriers`]. A passing restore
+/// therefore proves the rebuilt-from-log state is byte-identical to
+/// the original run's at the checkpoint, and the final results and
+/// reports equal the uninterrupted run's exactly.
+///
+/// `opts` must carry the same cluster shape and [`LotsConfig::persist`]
+/// policy as the original run; any `persist_store` in it is replaced
+/// with a fresh scratch store so the original logs stay untouched.
+pub fn restore_cluster<R, F>(
+    restored: Arc<RestoredCluster>,
+    mut opts: ClusterOptions,
+    app: F,
+) -> (Vec<R>, ClusterReport)
+where
+    R: Send + 'static,
+    F: Fn(&Dsm) -> R + Send + Sync + 'static,
+{
+    assert!(
+        opts.lots.persist.is_some(),
+        "restore_cluster needs LotsConfig::persist set (the replay re-journals)"
+    );
+    assert_eq!(
+        restored.nodes.len(),
+        opts.n,
+        "restored cluster size must match the options"
+    );
+    opts.persist_store = Some(PersistStore::new(opts.n));
+    opts.persist_verify = Some(restored);
+    run_cluster(opts, app)
 }
 
 /// The comm thread: service data-plane requests, forward replies to
@@ -1013,5 +1186,116 @@ mod tests {
     fn report_carries_seed() {
         let (_, report) = run_cluster(opts(1, 64 * 1024).with_seed(777), |dsm| dsm.seed());
         assert_eq!(report.seed, 777);
+    }
+
+    #[test]
+    fn persistence_journals_checkpoints_and_replays_identically() {
+        let with_persist = |mut o: ClusterOptions| {
+            o.lots = o
+                .lots
+                .clone()
+                .with_persist(lots_persist::PersistConfig::every(1));
+            o
+        };
+        let store = PersistStore::new(3);
+        let o = with_persist(opts(3, 256 * 1024)).with_persist_store(store.clone());
+        let (r1, rep1) = run_cluster(o, contended_kernel);
+        assert!(rep1.total(|n| n.stats.log_records()) > 0);
+        assert!(rep1.total(|n| n.stats.log_bytes_appended()) > 0);
+        assert!(rep1.total(|n| n.stats.checkpoint_bytes()) > 0);
+        let restored = store.restore().expect("journals restore");
+        assert_eq!(restored.checkpoint_seq, 2, "both barriers checkpointed");
+        // Honest replay against the restored verify plan: every sealed
+        // digest and virtual clock must be reproduced exactly.
+        let (r2, rep2) = restore_cluster(
+            Arc::new(restored),
+            with_persist(opts(3, 256 * 1024)),
+            contended_kernel,
+        );
+        assert_eq!(r1, r2, "replay must compute the same values");
+        assert_eq!(
+            fingerprint(&rep1),
+            fingerprint(&rep2),
+            "replay must be byte-identical in time and traffic"
+        );
+    }
+
+    #[test]
+    fn torn_journal_tail_replays_beyond_the_checkpoint() {
+        let with_persist = |mut o: ClusterOptions| {
+            o.lots = o
+                .lots
+                .clone()
+                .with_persist(lots_persist::PersistConfig::every(1));
+            o
+        };
+        let store = PersistStore::new(2);
+        let o = with_persist(opts(2, 256 * 1024)).with_persist_store(store.clone());
+        let (r1, _) = run_cluster(o, contended_kernel);
+        // Tear node 1's log mid-way: restore falls back to the newest
+        // manifest both nodes completed, and the replay re-executes
+        // (and re-verifies) the barriers beyond it.
+        let full = store.log_bytes(1) as usize;
+        store.truncate_tail(1, full - full / 3);
+        let restored = store.restore().expect("torn log still restores");
+        assert!(restored.checkpoint_seq >= 1);
+        let (r2, rep2) = restore_cluster(
+            Arc::new(restored.clone()),
+            with_persist(opts(2, 256 * 1024)),
+            contended_kernel,
+        );
+        assert_eq!(r1, r2);
+        if restored.checkpoint_seq < 2 {
+            assert!(
+                rep2.total(|n| n.stats.restore_replay_barriers()) > 0,
+                "barriers beyond the torn checkpoint count as replayed"
+            );
+        }
+    }
+
+    #[test]
+    fn rejoin_reads_own_journal_when_persistence_is_on() {
+        // One object per node, each written solely by its node, so the
+        // migrating-home protocol makes every node (the crash victim
+        // included) home of a master after barrier 1.
+        let kernel = |dsm: &Dsm| {
+            let objs: Vec<_> = (0..dsm.n()).map(|_| dsm.alloc::<i64>(256)).collect();
+            for i in 0..256 {
+                objs[dsm.me()].write(i, (dsm.me() * 256 + i) as i64 * 3);
+            }
+            dsm.barrier();
+            let mut sum = 0i64;
+            for o in &objs {
+                for i in 0..256 {
+                    sum += o.read(i);
+                }
+            }
+            dsm.barrier();
+            sum
+        };
+        let faults = || FaultPlan {
+            crash_node: Some(lots_sim::CrashFault {
+                node: 1,
+                at_barrier: 1,
+                reboot: lots_sim::SimDuration::from_millis(50),
+            }),
+            ..FaultPlan::none()
+        };
+        let base = run_cluster(opts(4, 256 * 1024).with_faults(faults()), kernel);
+        let mut o = opts(4, 256 * 1024).with_faults(faults());
+        o.lots = o.lots.with_persist(lots_persist::PersistConfig::every(1));
+        let journaled = run_cluster(o, kernel);
+        assert_eq!(base.0, journaled.0, "values survive either rejoin path");
+        // Without the journal every rebuilt byte crosses the network.
+        assert_eq!(base.1.total(|n| n.stats.rejoin_log_bytes()), 0);
+        assert!(base.1.total(|n| n.stats.rejoin_peer_bytes()) > 0);
+        // With it, the masters come back from the node's own log and
+        // peers only send the directory + post-checkpoint deltas.
+        assert!(journaled.1.total(|n| n.stats.rejoin_log_bytes()) > 0);
+        assert!(
+            journaled.1.total(|n| n.stats.rejoin_peer_bytes())
+                < base.1.total(|n| n.stats.rejoin_peer_bytes()),
+            "journal rejoin must shift master rebuild off the network"
+        );
     }
 }

@@ -24,7 +24,7 @@
 use std::borrow::Cow;
 use std::collections::HashMap;
 
-use lots_disk::rle::RleImage;
+use lots_disk::rle::{CorruptImage, RleImage};
 
 use crate::config::SwapPolicyKind;
 
@@ -225,31 +225,43 @@ impl SwapImage {
     /// object's `size` data bytes and its twin section. Verbatim
     /// sections are returned borrowed (zero-copy); compressed sections
     /// decode into owned buffers.
-    pub fn decode(img: &[u8], size: usize) -> (Cow<'_, [u8]>, ImageTwin<'_>) {
-        let flags = img[0];
-        let body = &img[4..];
+    ///
+    /// Stored bytes are an *input*, not an invariant: a truncated or
+    /// garbage image (torn journal tail, corrupted store) returns a
+    /// deterministic [`CorruptImage`] error instead of panicking or
+    /// slicing out of bounds.
+    pub fn decode(img: &[u8], size: usize) -> Result<(Cow<'_, [u8]>, ImageTwin<'_>), CorruptImage> {
+        let corrupt = |at: usize| CorruptImage { at };
+        let flags = *img.first().ok_or(corrupt(0))?;
+        let body = img.get(4..).ok_or(corrupt(img.len()))?;
         let (data, twin_body): (Cow<'_, [u8]>, &[u8]) = if flags & FLAG_COMPRESSED != 0 {
-            let (rle, used) = RleImage::from_bytes(body);
+            let (rle, used) = RleImage::from_bytes(body)?;
             (Cow::Owned(rle.decode()), &body[used..])
         } else {
-            (Cow::Borrowed(&body[..size]), &body[size..])
+            let data = body.get(..size).ok_or(corrupt(img.len()))?;
+            (Cow::Borrowed(data), &body[size..])
         };
-        debug_assert_eq!(data.len(), size);
+        if data.len() != size {
+            return Err(corrupt(4));
+        }
         let twin = if flags & FLAG_TWIN == 0 {
             ImageTwin::None
         } else if flags & FLAG_ZERO_TWIN != 0 {
             ImageTwin::Zero
         } else if flags & FLAG_COMPRESSED != 0 {
-            let (rle, _) = RleImage::from_bytes(twin_body);
+            let (rle, _) = RleImage::from_bytes(twin_body)?;
             let delta = rle.decode();
-            debug_assert_eq!(delta.len(), size);
+            if delta.len() != size {
+                return Err(corrupt(img.len() - twin_body.len()));
+            }
             ImageTwin::Bytes(Cow::Owned(
                 delta.iter().zip(&*data).map(|(a, b)| a ^ b).collect(),
             ))
         } else {
-            ImageTwin::Bytes(Cow::Borrowed(&twin_body[..size]))
+            let t = twin_body.get(..size).ok_or(corrupt(img.len()))?;
+            ImageTwin::Bytes(Cow::Borrowed(t))
         };
-        (data, twin)
+        Ok((data, twin))
     }
 }
 
@@ -334,7 +346,7 @@ mod tests {
                 (Some(&zeros), "zero"),
             ] {
                 let img = SwapImage::encode(&data, tw.map(|t| &t[..]), compress);
-                let (d, t) = SwapImage::decode(&img, data.len());
+                let (d, t) = SwapImage::decode(&img, data.len()).expect("valid image");
                 assert_eq!(&*d, &data[..], "data ({kind}, compress={compress})");
                 match (tw, t) {
                     (None, ImageTwin::None) => {}
@@ -373,6 +385,43 @@ mod tests {
         assert_eq!(raw.len(), 4 + 4096);
         let comp = SwapImage::encode(&data, Some(&zeros), true);
         assert!(comp.len() < 32, "constant data + elided twin: {comp:?}");
+    }
+
+    #[test]
+    fn truncated_images_error_at_every_record_boundary() {
+        let data: Vec<u8> = (0..64u32).flat_map(|i| i.to_le_bytes()).collect();
+        let mut twin = data.clone();
+        twin[8..16].copy_from_slice(&[0x5A; 8]);
+        for compress in [false, true] {
+            for tw in [None, Some(&twin)] {
+                let img = SwapImage::encode(&data, tw.map(|t| &t[..]), compress);
+                assert!(
+                    SwapImage::decode(&img, data.len()).is_ok(),
+                    "full image decodes (compress={compress})"
+                );
+                for cut in 0..img.len() {
+                    assert!(
+                        SwapImage::decode(&img[..cut], data.len()).is_err(),
+                        "prefix of {cut}/{} bytes must error, not panic \
+                         (compress={compress}, twin={})",
+                        img.len(),
+                        tw.is_some(),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_image_bytes_error_deterministically() {
+        assert!(SwapImage::decode(&[], 16).is_err());
+        assert!(SwapImage::decode(&[0xFF], 16).is_err());
+        // Compressed flag set over random bytes: the RLE parser rejects.
+        let garbage = [FLAG_COMPRESSED, 0, 0, 0, 9, 9, 9];
+        assert!(SwapImage::decode(&garbage, 16).is_err());
+        // Structurally valid RLE that decodes to the wrong length.
+        let wrong = SwapImage::encode(&[1u8; 8], None, true);
+        assert!(SwapImage::decode(&wrong, 16).is_err());
     }
 
     #[test]

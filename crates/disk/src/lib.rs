@@ -25,5 +25,5 @@ pub mod store;
 pub use file::FileStore;
 pub use mem::MemStore;
 pub use modeled::ModeledStore;
-pub use rle::RleImage;
+pub use rle::{CorruptImage, RleImage};
 pub use store::{BackingStore, DiskError, SwapKey};

@@ -18,6 +18,28 @@ pub struct Run {
     pub word: u32,
 }
 
+/// Deterministic decode failure: the byte stream is not a valid
+/// [`RleImage::to_bytes`] stream (truncated mid-record, impossible
+/// tail length, or arithmetic overflow in the declared geometry).
+///
+/// Journals and swap images both feed stored bytes back through this
+/// parser, and a torn append makes truncated streams a *real* input —
+/// parsing must reject them as data, never panic or slice out of
+/// bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptImage {
+    /// Byte offset at which parsing failed.
+    pub at: usize,
+}
+
+impl std::fmt::Display for CorruptImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "corrupt RLE image (parse failed at byte {})", self.at)
+    }
+}
+
+impl std::error::Error for CorruptImage {}
+
 /// An RLE-compressed byte image.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct RleImage {
@@ -88,31 +110,46 @@ impl RleImage {
     }
 
     /// Parse a stream produced by [`RleImage::to_bytes`]. Returns the
-    /// image and the number of bytes consumed (streams concatenate).
-    pub fn from_bytes(bytes: &[u8]) -> (RleImage, usize) {
-        let n_runs = u32::from_le_bytes(bytes[0..4].try_into().expect("rle header")) as usize;
-        let mut runs = Vec::with_capacity(n_runs);
+    /// image and the number of bytes consumed (streams concatenate), or
+    /// a [`CorruptImage`] error if the stream is truncated or its
+    /// declared geometry is inconsistent — never panics on bad bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<(RleImage, usize), CorruptImage> {
+        let corrupt = |at: usize| CorruptImage { at };
+        let header: [u8; 4] = bytes
+            .get(0..4)
+            .and_then(|b| b.try_into().ok())
+            .ok_or(corrupt(bytes.len()))?;
+        let n_runs = u32::from_le_bytes(header) as usize;
+        let mut runs = Vec::with_capacity(n_runs.min(bytes.len() / 8 + 1));
         let mut at = 4;
         let mut words = 0usize;
         for _ in 0..n_runs {
-            let count = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("run count"));
-            let word = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().expect("run word"));
+            let rec = bytes.get(at..at + 8).ok_or(corrupt(bytes.len()))?;
+            let count = u32::from_le_bytes(rec[0..4].try_into().expect("4-byte chunk"));
+            let word = u32::from_le_bytes(rec[4..8].try_into().expect("4-byte chunk"));
             runs.push(Run { count, word });
-            words += count as usize;
+            words = words.checked_add(count as usize).ok_or(corrupt(at))?;
             at += 8;
         }
-        let tail_len = bytes[at] as usize;
+        let tail_len = *bytes.get(at).ok_or(corrupt(bytes.len()))? as usize;
+        if tail_len >= 4 {
+            return Err(corrupt(at));
+        }
         at += 1;
-        let tail = bytes[at..at + tail_len].to_vec();
+        let tail = bytes.get(at..at + tail_len).ok_or(corrupt(bytes.len()))?;
         at += tail_len;
-        (
+        let len = words
+            .checked_mul(4)
+            .and_then(|b| b.checked_add(tail_len))
+            .ok_or(corrupt(at))?;
+        Ok((
             RleImage {
                 runs,
-                tail,
-                len: words * 4 + tail_len,
+                tail: tail.to_vec(),
+                len,
             },
             at,
-        )
+        ))
     }
 }
 
@@ -165,13 +202,44 @@ mod tests {
         let b = RleImage::encode(&[1u8, 2, 3, 4, 5, 6, 7]);
         let mut stream = a.to_bytes();
         stream.extend_from_slice(&b.to_bytes());
-        let (a2, used_a) = RleImage::from_bytes(&stream);
-        let (b2, used_b) = RleImage::from_bytes(&stream[used_a..]);
+        let (a2, used_a) = RleImage::from_bytes(&stream).expect("valid stream");
+        let (b2, used_b) = RleImage::from_bytes(&stream[used_a..]).expect("valid stream");
         assert_eq!(a2, a);
         assert_eq!(b2, b);
         assert_eq!(used_a + used_b, stream.len());
         assert_eq!(a2.decode(), vec![7u8; 4096]);
         assert_eq!(b2.decode(), vec![1u8, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn garbage_headers_error_instead_of_panicking() {
+        // Empty, short header, run record missing, tail byte missing,
+        // impossible tail length, astronomically-overflowing geometry.
+        assert!(RleImage::from_bytes(&[]).is_err());
+        assert!(RleImage::from_bytes(&[1, 0]).is_err());
+        assert!(RleImage::from_bytes(&[1, 0, 0, 0, 9, 9]).is_err());
+        assert!(
+            RleImage::from_bytes(&[0, 0, 0, 0]).is_err(),
+            "missing tail-length byte"
+        );
+        let mut bad_tail = RleImage::encode(&[1, 2, 3, 4]).to_bytes();
+        let tail_at = bad_tail.len() - 1;
+        bad_tail[tail_at] = 7; // tail_len must be < 4
+        assert!(RleImage::from_bytes(&bad_tail).is_err());
+        // Valid structure, declared payload overflows usize on no real
+        // machine — but a u32::MAX run count times many runs must not
+        // wrap the word accounting silently either way.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&2u32.to_le_bytes());
+        for _ in 0..2 {
+            huge.extend_from_slice(&u32::MAX.to_le_bytes());
+            huge.extend_from_slice(&0u32.to_le_bytes());
+        }
+        huge.push(0);
+        let parsed = RleImage::from_bytes(&huge);
+        if let Ok((img, _)) = parsed {
+            assert_eq!(img.logical_len(), 2 * (u32::MAX as usize) * 4);
+        }
     }
 
     proptest! {
@@ -180,9 +248,20 @@ mod tests {
             let img = RleImage::encode(&data);
             prop_assert_eq!(img.decode(), data.clone());
             prop_assert_eq!(img.logical_len(), data.len());
-            let (back, used) = RleImage::from_bytes(&img.to_bytes());
+            let (back, used) = RleImage::from_bytes(&img.to_bytes()).expect("valid stream");
             prop_assert_eq!(used, img.to_bytes().len());
             prop_assert_eq!(back.decode(), data);
+        }
+
+        #[test]
+        fn truncation_at_every_boundary_is_detected(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            let stream = RleImage::encode(&data).to_bytes();
+            for cut in 0..stream.len() {
+                prop_assert!(
+                    RleImage::from_bytes(&stream[..cut]).is_err(),
+                    "prefix of {cut}/{} bytes must not parse", stream.len()
+                );
+            }
         }
 
         #[test]

@@ -96,6 +96,9 @@ pub struct JiaDsm {
     /// (see [`lots_analyze::AnalyzeConfig`]). Race objects on the
     /// JIAJIA side are *pages*: accesses are split on page bounds.
     pub(crate) analyze: Option<Arc<RaceDetector>>,
+    /// Persistence journal (`Some` iff [`crate::JiaOptions::persist`]
+    /// is set): appended after every barrier, pages as objects.
+    pub(crate) journal: Option<Arc<Mutex<lots_persist::NodeJournal>>>,
 }
 
 /// One live guard's byte extent in the flat shared space.
@@ -270,6 +273,9 @@ impl DsmApi for JiaDsm {
         // allocations (deterministic order on every node).
         node.finish_lifecycle(&round.freed, &round.named, round.seq);
         drop(node);
+        // Journal the completed interval (diffs of home-owned written
+        // pages, lifecycle records, checkpoint manifest when due).
+        self.journal_barrier(&round.written, round.seq);
         // Only after the full rendezvous: the exit clock joins every
         // node's enter stamp, starting a fresh interval.
         if let Some(d) = &self.analyze {
@@ -385,6 +391,38 @@ impl JiaDsm {
             mutable,
         });
         Some(token)
+    }
+
+    /// Append one completed barrier interval to the persistence
+    /// journal (no-op when the journal is off). Lock order matches the
+    /// compaction daemon: journal first, then node.
+    fn journal_barrier(&self, written: &[crate::services::PageNotice], seq: u64) {
+        let Some(journal) = &self.journal else {
+            return;
+        };
+        let mut j = journal.lock();
+        let mut node = self.node.lock();
+        let input = lots_persist::BarrierInput {
+            seq,
+            clock_nanos: self.ctx.clock.now().nanos(),
+            live: node.persist_live_meta(),
+            names: node.persist_names(),
+            written_home: node.persist_written_content(written),
+            extents: if j.checkpoint_due(seq) {
+                node.persist_extents()
+            } else {
+                Vec::new()
+            },
+        };
+        let out = j.append_barrier(input);
+        node.persist_book_log_write(&out.write_sizes);
+        self.ctx.stats.count_log_append(out.records, out.bytes);
+        if out.checkpoint_bytes > 0 {
+            self.ctx.stats.count_checkpoint(out.checkpoint_bytes);
+        }
+        if out.replayed {
+            self.ctx.stats.count_restore_replay_barrier();
+        }
     }
 
     fn flush_diffs(&self, diffs: Vec<(u32, lots_core::WordDiff)>) {

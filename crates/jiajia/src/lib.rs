@@ -23,4 +23,6 @@ pub mod services;
 pub use api::{JMsg, JiaDsm, JiaSlice, PageView, PageViewMut};
 pub use node::JiaError;
 pub use page::PAGE_BYTES;
-pub use runtime::{run_jiajia_cluster, JiaNodeReport, JiaOptions, JiaReport};
+pub use runtime::{
+    restore_jiajia_cluster, run_jiajia_cluster, JiaNodeReport, JiaOptions, JiaReport,
+};

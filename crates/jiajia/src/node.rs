@@ -8,7 +8,9 @@ use std::collections::{BTreeMap, HashMap};
 use lots_core::diff::WordDiff;
 use lots_core::{NamedAllocReq, Placement};
 use lots_net::NodeId;
-use lots_sim::{CpuModel, NodeStats, SimClock, SimDuration, TimeCategory};
+use lots_sim::{
+    CpuModel, DiskModel, DiskQueue, NodeStats, SimClock, SimDuration, SimInstant, TimeCategory,
+};
 
 use crate::page::{page_base, split_range, PageCtl, PageState, PAGE_BYTES};
 
@@ -172,6 +174,10 @@ pub struct JiaNode {
     pending_named: Vec<NamedAllocReq>,
     /// Default placement for unadorned allocs.
     pub default_placement: Placement,
+    /// Serial local-disk device for the persistence journal. JIAJIA
+    /// itself never touches disk (no swap); the device exists only
+    /// when the run enables the `lots-persist` journal.
+    diskq: Option<DiskQueue>,
     pub clock: SimClock,
     pub stats: NodeStats,
     pub cpu: CpuModel,
@@ -206,10 +212,17 @@ impl JiaNode {
             freed_pending: Vec::new(),
             pending_named: Vec::new(),
             default_placement: Placement::RoundRobin,
+            diskq: None,
             clock,
             stats,
             cpu,
         }
+    }
+
+    /// Attach the local-disk device the persistence journal books its
+    /// I/O on (called once at bootstrap when the journal is enabled).
+    pub fn enable_persist_disk(&mut self, model: DiskModel) {
+        self.diskq = Some(DiskQueue::new(model));
     }
 
     fn charge(&self, cat: TimeCategory, d: SimDuration) {
@@ -651,6 +664,113 @@ impl JiaNode {
         for &page in pages {
             self.pages[page as usize].version = seq;
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence hooks (journal snapshots + disk booking). Pages play
+    // the role LOTS objects play: the journal's "object id" is the
+    // page index, its content a whole 4 KB page.
+    // ------------------------------------------------------------------
+
+    /// Pages of live (non-tombstoned) allocations as journal metadata.
+    pub fn persist_live_meta(&self) -> Vec<lots_persist::ObjMeta> {
+        let mut out = Vec::new();
+        for (&addr, alloc) in &self.allocs {
+            if alloc.tombstoned {
+                continue;
+            }
+            let first = addr / PAGE_BYTES;
+            for p in first..first + alloc.pages {
+                out.push(lots_persist::ObjMeta {
+                    id: p as u32,
+                    home: self.pages[p].home as u32,
+                    version: self.pages[p].version,
+                    bytes: PAGE_BYTES as u64,
+                    parent: None,
+                });
+            }
+        }
+        out
+    }
+
+    /// The replicated name directory as journal metadata (names bind
+    /// to their allocation's first page).
+    pub fn persist_names(&self) -> Vec<lots_persist::NamedMeta> {
+        self.names
+            .iter()
+            .map(|(name, entry)| lots_persist::NamedMeta {
+                name: name.clone(),
+                id: (entry.addr / PAGE_BYTES) as u32,
+                elem_size: entry.elem_size as u32,
+                len: entry.len as u64,
+            })
+            .collect()
+    }
+
+    /// Extent map for checkpoint manifests: the shared space is a flat
+    /// always-resident mirror, so every live page is one mapped extent
+    /// at its own byte address.
+    pub fn persist_extents(&self) -> Vec<lots_persist::Extent> {
+        self.persist_live_meta()
+            .into_iter()
+            .map(|m| lots_persist::Extent {
+                id: m.id,
+                addr: (m.id as u64) * PAGE_BYTES as u64,
+                bytes: PAGE_BYTES as u64,
+                mapped: true,
+            })
+            .collect()
+    }
+
+    /// Post-barrier content of this node's home-owned written pages
+    /// (the masters the journal makes durable). Must run after the
+    /// barrier's home resolution and reclamation.
+    pub fn persist_written_content(
+        &self,
+        written: &[crate::services::PageNotice],
+    ) -> Vec<(u32, Vec<u8>)> {
+        written
+            .iter()
+            .filter(|n| {
+                let p = n.page as usize;
+                self.pages[p].home == self.me && !self.pages[p].freed
+            })
+            .map(|n| {
+                let base = page_base(n.page as usize);
+                (n.page, self.mem[base..base + PAGE_BYTES].to_vec())
+            })
+            .collect()
+    }
+
+    /// Book the journal's write-behind batch on the local disk device.
+    /// The app keeps running — only later reads queue behind it.
+    pub fn persist_book_log_write(&mut self, sizes: &[u64]) {
+        if sizes.is_empty() {
+            return;
+        }
+        let now = self.clock.now();
+        if let Some(dq) = &mut self.diskq {
+            dq.write_batch(now, sizes);
+        }
+    }
+
+    /// Book one compaction run (read the squashed prefix, then a
+    /// write-behind put of the rewritten log) at daemon time `now`;
+    /// returns when the device delivers the read.
+    pub fn persist_book_compaction(
+        &mut self,
+        now: SimInstant,
+        read_bytes: u64,
+        write_bytes: u64,
+    ) -> SimInstant {
+        let Some(dq) = &mut self.diskq else {
+            return now;
+        };
+        let op = dq.read(now, read_bytes);
+        if write_bytes > 0 {
+            dq.write_batch(op.done, &[write_bytes]);
+        }
+        op.done
     }
 
     /// Number of pages in the shared space.

@@ -17,6 +17,7 @@ use lots_core::Placement;
 use lots_net::{
     cluster_net, Buffered, Envelope, NetReceiver, NetSender, NodeId, Recv, TrafficStats,
 };
+use lots_persist::{NodeJournal, PersistConfig, PersistStore, RestoredCluster};
 use lots_sim::{
     FaultPlan, MachineConfig, NodeStats, SchedHandle, ScheduleScript, Scheduler, SchedulerMode,
     SimClock, SimInstant, TimeCategory, Topology,
@@ -54,6 +55,18 @@ pub struct JiaOptions {
     /// Schedule script for [`SchedulerMode::Explore`]: pins the
     /// dispatch order among equivalent-batch permutations.
     pub explore: Option<ScheduleScript>,
+    /// Persistence configuration (`None` — the default — disables the
+    /// diff journal entirely and the run is bit-identical to earlier
+    /// builds). JIAJIA journals *page* diffs: the journal's object id
+    /// is the page index.
+    pub persist: Option<PersistConfig>,
+    /// Journal store for the persistence subsystem. Only consulted
+    /// when [`JiaOptions::persist`] is set; `None` then creates a
+    /// fresh private store. Keep a clone to restore from it later.
+    pub persist_store: Option<PersistStore>,
+    /// Restored state to verify a replay against (installed by
+    /// [`restore_jiajia_cluster`]; not set by hand).
+    pub persist_verify: Option<Arc<RestoredCluster>>,
 }
 
 impl JiaOptions {
@@ -71,7 +84,24 @@ impl JiaOptions {
             placement: Placement::RoundRobin,
             analyze: AnalyzeConfig::off(),
             explore: None,
+            persist: None,
+            persist_store: None,
+            persist_verify: None,
         }
+    }
+
+    /// Enable the persistence journal (see [`PersistConfig`]).
+    pub fn with_persist(mut self, persist: PersistConfig) -> JiaOptions {
+        self.persist = Some(persist);
+        self
+    }
+
+    /// Use a caller-owned journal store (only meaningful with
+    /// [`JiaOptions::persist`] set). The caller keeps a clone to
+    /// restore from it after the run.
+    pub fn with_persist_store(mut self, store: PersistStore) -> JiaOptions {
+        self.persist_store = Some(store);
+        self
     }
 
     /// Set the default page placement.
@@ -170,7 +200,18 @@ where
          store to rebuild from (use loss/partition faults here instead)"
     );
     let clocks: Vec<SimClock> = (0..n).map(|_| SimClock::new()).collect();
-    let (sched, app_tasks, comm_tasks) = if opts.scheduler.uses_engine() {
+    // Persistence: one journal store for the cluster (caller-supplied
+    // or fresh), and — under an engine scheduler — one compaction
+    // daemon task per node (see the LOTS runtime for the full
+    // argument; free-running mode journals but never compacts).
+    let persist_cfg = opts.persist.clone();
+    let persist_store = persist_cfg.as_ref().map(|_| {
+        opts.persist_store
+            .clone()
+            .unwrap_or_else(|| PersistStore::new(n))
+    });
+    let compaction_on = persist_cfg.as_ref().is_some_and(|p| p.compaction.enabled);
+    let (sched, app_tasks, comm_tasks, persist_tasks) = if opts.scheduler.uses_engine() {
         let s = Scheduler::new(
             opts.scheduler,
             opts.topology.lookahead(&opts.machine.net, n),
@@ -184,9 +225,20 @@ where
         let comms: Vec<SchedHandle> = (0..n)
             .map(|i| s.register(format!("jia-comm-{i}"), clocks[i].clone(), i, true))
             .collect();
-        (Some(s), Some(apps), Some(comms))
+        let persists: Option<Vec<(SchedHandle, SimClock)>> = compaction_on.then(|| {
+            (0..n)
+                .map(|i| {
+                    let c = SimClock::new();
+                    (
+                        s.register(format!("jia-persist-{i}"), c.clone(), i, true),
+                        c,
+                    )
+                })
+                .collect()
+        });
+        (Some(s), Some(apps), Some(comms), persists)
     } else {
-        (None, None, None)
+        (None, None, None, None)
     };
     // delay_for() short-circuits when no delay is configured, so the
     // net layer can take the whole plan whenever anything is active.
@@ -220,6 +272,7 @@ where
 
     let mut app_threads = Vec::with_capacity(n);
     let mut comm_threads = Vec::with_capacity(n);
+    let mut persist_threads = Vec::new();
     let mut probes = Vec::with_capacity(n);
     let mut poker: Option<NetSender<JMsg>> = None;
 
@@ -231,8 +284,60 @@ where
         let node = Arc::new(Mutex::new({
             let mut jn = JiaNode::new(me, n, opts.shared_bytes, cpu, clock.clone(), stats.clone());
             jn.default_placement = opts.placement;
+            if persist_cfg.is_some() {
+                jn.enable_persist_disk(opts.machine.disk);
+            }
             jn
         }));
+        // Persistence: this node's journal (appended by the app thread
+        // after every barrier) and its background compaction daemon.
+        let journal = persist_cfg.as_ref().map(|p| {
+            let store = persist_store.clone().expect("store exists with persist on");
+            let mut j = NodeJournal::new(me, store, p.clone());
+            if let Some(restored) = &opts.persist_verify {
+                j.set_verify(restored.verify_plan(me));
+            }
+            Arc::new(Mutex::new(j))
+        });
+        if let (Some(tasks), Some(journal)) = (&persist_tasks, &journal) {
+            let (task, pclock) = tasks[me].clone();
+            let daemon_node = Arc::clone(&node);
+            let daemon_journal = Arc::clone(journal);
+            let daemon_stats = stats.clone();
+            let daemon_shutdown = Arc::clone(&shutdown);
+            let poll = persist_cfg
+                .as_ref()
+                .expect("persist on when tasks exist")
+                .compaction
+                .poll;
+            persist_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("jia-persist-{me}"))
+                    .spawn(move || {
+                        task.attach();
+                        loop {
+                            if daemon_shutdown.load(Ordering::Acquire) {
+                                task.finish();
+                                return;
+                            }
+                            let out = daemon_journal.lock().maybe_compact();
+                            if let Some(out) = out {
+                                let done = daemon_node.lock().persist_book_compaction(
+                                    pclock.now(),
+                                    out.read_bytes,
+                                    out.write_bytes,
+                                );
+                                daemon_stats.count_compaction(out.reclaimed);
+                                pclock.advance_to(done);
+                            }
+                            let next = SimInstant(pclock.now().nanos() + poll.nanos());
+                            pclock.advance_to(next);
+                            task.yield_until(next);
+                        }
+                    })
+                    .expect("spawn persist daemon"),
+            );
+        }
         let (reply_tx, reply_rx) = unbounded::<Envelope<JMsg>>();
         let ctx = SyncCtx {
             me,
@@ -300,6 +405,7 @@ where
         let seed = opts.seed;
         let fault_barrier = opts.faults.panic_barrier_for(me);
         let analyze = detector.clone();
+        let my_journal = journal;
         app_threads.push(
             std::thread::Builder::new()
                 .name(format!("jia-app-{me}"))
@@ -324,6 +430,7 @@ where
                         view_spans: std::cell::RefCell::new(Vec::new()),
                         view_token: std::cell::Cell::new(0),
                         analyze,
+                        journal: my_journal,
                     };
                     // A panicking node can never reach the next
                     // rendezvous; poison the sync services so peers
@@ -382,7 +489,15 @@ where
         for dst in 0..n {
             poker.wake(dst);
         }
+        if let Some(tasks) = &persist_tasks {
+            for (t, _) in tasks {
+                t.wake();
+            }
+        }
         for h in comm_threads.drain(..) {
+            let _ = h.join();
+        }
+        for h in persist_threads.drain(..) {
             let _ = h.join();
         }
         std::panic::resume_unwind(primary.or(fallback).expect("at least one join error"));
@@ -391,8 +506,16 @@ where
     for dst in 0..n {
         poker.wake(dst);
     }
+    if let Some(tasks) = &persist_tasks {
+        for (t, _) in tasks {
+            t.wake();
+        }
+    }
     for h in comm_threads {
         h.join().expect("comm thread panicked");
+    }
+    for h in persist_threads {
+        h.join().expect("persist daemon panicked");
     }
 
     let nodes: Vec<JiaNodeReport> = probes
@@ -431,6 +554,37 @@ where
             races: detector.map(|d| d.report()),
         },
     )
+}
+
+/// Cold-start restore of a JIAJIA cluster: re-run `app` against the
+/// state rebuilt from a [`PersistStore`], verifying the replay
+/// barrier-by-barrier against the original run's journal — the exact
+/// analogue of `lots_core::runtime::restore_cluster` (see its docs for
+/// the honest-re-execution argument). `opts` must carry the same
+/// cluster shape and [`JiaOptions::persist`] policy as the original
+/// run; any `persist_store` in it is replaced with a fresh scratch
+/// store so the original logs stay untouched.
+pub fn restore_jiajia_cluster<R, F>(
+    restored: Arc<RestoredCluster>,
+    mut opts: JiaOptions,
+    app: F,
+) -> (Vec<R>, JiaReport)
+where
+    R: Send + 'static,
+    F: Fn(&JiaDsm) -> R + Send + Sync + 'static,
+{
+    assert!(
+        opts.persist.is_some(),
+        "restore_jiajia_cluster needs JiaOptions::persist set (the replay re-journals)"
+    );
+    assert_eq!(
+        restored.nodes.len(),
+        opts.n,
+        "restored cluster size must match the options"
+    );
+    opts.persist_store = Some(PersistStore::new(opts.n));
+    opts.persist_verify = Some(restored);
+    run_jiajia_cluster(opts, app)
 }
 
 /// The comm thread (see the LOTS counterpart in `lots_core::runtime`).
@@ -666,6 +820,78 @@ mod tests {
             ..FaultPlan::none()
         });
         let _ = run_jiajia_cluster(o, |dsm| dsm.me());
+    }
+
+    #[test]
+    fn persistence_journals_checkpoints_and_replays_identically() {
+        let kernel = |dsm: &JiaDsm| {
+            let a = dsm.alloc::<i32>(2048);
+            a.write(dsm.me() * 16, dsm.me() as i32 + 1);
+            dsm.barrier();
+            let s: i32 = (0..3).map(|i| a.read(i * 16)).sum();
+            dsm.barrier();
+            s
+        };
+        let store = PersistStore::new(3);
+        let o = opts(3)
+            .with_persist(PersistConfig::every(1))
+            .with_persist_store(store.clone());
+        let (r1, rep1) = run_jiajia_cluster(o, kernel);
+        assert!(
+            rep1.nodes
+                .iter()
+                .map(|n| n.stats.log_records())
+                .sum::<u64>()
+                > 0
+        );
+        assert!(
+            rep1.nodes
+                .iter()
+                .map(|n| n.stats.checkpoint_bytes())
+                .sum::<u64>()
+                > 0
+        );
+        let restored = store.restore().expect("journals restore");
+        assert_eq!(restored.checkpoint_seq, 2, "both barriers checkpointed");
+        let (r2, rep2) = restore_jiajia_cluster(
+            Arc::new(restored),
+            opts(3).with_persist(PersistConfig::every(1)),
+            kernel,
+        );
+        assert_eq!(r1, r2, "replay must compute the same values");
+        let fp = |rep: &JiaReport| -> String {
+            rep.nodes
+                .iter()
+                .map(|nd| {
+                    format!(
+                        "{}:{}:{}:{};",
+                        nd.me,
+                        nd.time.nanos(),
+                        nd.stats.page_faults(),
+                        nd.traffic.bytes_sent()
+                    )
+                })
+                .collect()
+        };
+        assert_eq!(fp(&rep1), fp(&rep2), "replay must be byte-identical");
+    }
+
+    #[test]
+    fn persistence_off_leaves_reports_unchanged() {
+        let kernel = |dsm: &JiaDsm| {
+            let a = dsm.alloc::<i32>(2048);
+            a.write(dsm.me() * 8, 7);
+            dsm.barrier();
+            a.read(8)
+        };
+        let plain = run_jiajia_cluster(opts(2), kernel);
+        let journaled = run_jiajia_cluster(opts(2).with_persist(PersistConfig::every(1)), kernel);
+        assert_eq!(plain.0, journaled.0);
+        // The journal is write-behind and JIAJIA reads nothing back
+        // from disk mid-run, so virtual times are unchanged.
+        assert_eq!(plain.1.exec_time, journaled.1.exec_time);
+        assert_eq!(plain.1.nodes[0].stats.log_records(), 0);
+        assert!(journaled.1.nodes[0].stats.log_records() > 0);
     }
 
     #[test]

@@ -1,0 +1,670 @@
+//! The per-node append-only diff journal and its compactor.
+//!
+//! A [`NodeJournal`] is driven once per barrier, after the node's
+//! interval has been published: [`NodeJournal::append_barrier`] turns
+//! the node's post-barrier view (live directory, name table, content
+//! of home-owned masters written this interval) into a deterministic
+//! record batch — lifecycle deltas, XOR diffs against the previously
+//! journaled content, a digest-carrying seal, and (when the checkpoint
+//! policy fires) a manifest. The caller books the returned record
+//! sizes on its serial disk device as one write-behind batch, so the
+//! application never stalls on journal I/O.
+//!
+//! Compaction ([`NodeJournal::maybe_compact`]) rewrites the log when
+//! the superseded share of diff bytes crosses the configured
+//! threshold: every diff at or below the **previous** sealed
+//! checkpoint is squashed into consolidated [`Record::Compacted`]
+//! images placed just before that checkpoint's manifest. Squashing
+//! only below the previous checkpoint keeps the newest checkpoint
+//! re-foldable even if a later crash tears the newest manifest off
+//! some node's log and regresses the cluster-wide restore point.
+
+use std::collections::BTreeMap;
+
+use lots_disk::RleImage;
+
+use crate::config::PersistConfig;
+use crate::record::{
+    decode_record, state_digest, Extent, ManifestBody, NamedMeta, ObjMeta, Record,
+};
+use crate::restore::Fold;
+use crate::store::PersistStore;
+
+/// One barrier's post-publication view of a node, handed to
+/// [`NodeJournal::append_barrier`].
+#[derive(Debug, Clone)]
+pub struct BarrierInput {
+    /// Barrier sequence (1-based, monotonically increasing).
+    pub seq: u64,
+    /// The node's virtual clock at the barrier, in nanoseconds.
+    pub clock_nanos: u64,
+    /// Every live object after the barrier (id order not required;
+    /// the journal sorts internally).
+    pub live: Vec<ObjMeta>,
+    /// The full committed name table after the barrier.
+    pub names: Vec<NamedMeta>,
+    /// `(id, content)` of every object this node homes whose master
+    /// changed this interval. Freed ids are skipped by the journal.
+    pub written_home: Vec<(u32, Vec<u8>)>,
+    /// DMM extent map; only consulted when this barrier checkpoints
+    /// (callers may leave it empty otherwise — see
+    /// [`NodeJournal::checkpoint_due`]).
+    pub extents: Vec<Extent>,
+}
+
+/// What one barrier appended, for the caller to book on its disk
+/// device and count into its node stats.
+#[derive(Debug, Clone, Default)]
+pub struct BarrierOutcome {
+    /// Per-record byte sizes, in append order (one write-behind batch).
+    pub write_sizes: Vec<u64>,
+    /// Records appended.
+    pub records: u64,
+    /// Total bytes appended.
+    pub bytes: u64,
+    /// Bytes of the checkpoint manifest, if this barrier checkpointed.
+    pub checkpoint_bytes: u64,
+    /// Under a [`VerifyPlan`]: `true` iff this barrier lies beyond the
+    /// restored checkpoint (it was replayed, not verified-from-disk).
+    pub replayed: bool,
+}
+
+/// What one compaction run did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionOutcome {
+    /// Log bytes the compactor read (the prefix it folded).
+    pub read_bytes: u64,
+    /// Bytes of the rewritten prefix it put back (consolidated images
+    /// plus surviving records).
+    pub write_bytes: u64,
+    /// Net log bytes reclaimed.
+    pub reclaimed: u64,
+}
+
+/// Digest + clock of one sealed barrier, as recovered by restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SealInfo {
+    /// The sealed state digest.
+    pub digest: u64,
+    /// The node's virtual clock at the seal, in nanoseconds.
+    pub clock: u64,
+}
+
+/// Barrier-by-barrier verification installed on a replaying node's
+/// journal: the replay must reproduce every sealed digest and clock
+/// recovered from the original log, or panic at the first divergent
+/// barrier.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyPlan {
+    /// The restored cluster checkpoint; barriers beyond it count as
+    /// replayed.
+    pub checkpoint_seq: u64,
+    /// Every sealed barrier recovered from the original log.
+    pub seals: BTreeMap<u64, SealInfo>,
+}
+
+/// One node's append-only journal.
+pub struct NodeJournal {
+    me: usize,
+    store: PersistStore,
+    cfg: PersistConfig,
+    /// Directory as last journaled.
+    dir: BTreeMap<u32, ObjMeta>,
+    /// Name table as last journaled.
+    names: BTreeMap<String, NamedMeta>,
+    /// Last-journaled content of home-owned masters.
+    shadows: BTreeMap<u32, Vec<u8>>,
+    /// Bytes of the newest diff/image record per object (live bytes).
+    diff_live: BTreeMap<u32, u64>,
+    /// Cumulative diff/image record bytes in the log.
+    diff_total: u64,
+    /// Sealed checkpoint sequences, ascending.
+    manifests: Vec<u64>,
+    /// Newest barrier compaction has squashed up to.
+    compacted_upto: u64,
+    /// Log length right after the newest manifest was appended.
+    bytes_at_checkpoint: u64,
+    verify: Option<VerifyPlan>,
+}
+
+fn xor(a: &[u8], b: &[u8]) -> Vec<u8> {
+    let mut out = a.to_vec();
+    for (o, x) in out.iter_mut().zip(b) {
+        *o ^= x;
+    }
+    out
+}
+
+impl NodeJournal {
+    /// A fresh journal for node `me` writing into `store`.
+    pub fn new(me: usize, store: PersistStore, cfg: PersistConfig) -> NodeJournal {
+        NodeJournal {
+            me,
+            store,
+            cfg,
+            dir: BTreeMap::new(),
+            names: BTreeMap::new(),
+            shadows: BTreeMap::new(),
+            diff_live: BTreeMap::new(),
+            diff_total: 0,
+            manifests: Vec::new(),
+            compacted_upto: 0,
+            bytes_at_checkpoint: 0,
+            verify: None,
+        }
+    }
+
+    /// Install a restore verification plan (replaying runs only).
+    pub fn set_verify(&mut self, plan: VerifyPlan) {
+        self.verify = Some(plan);
+    }
+
+    /// Will barrier `seq` seal a checkpoint? Callers use this to
+    /// decide whether to bother building the extent map.
+    pub fn checkpoint_due(&self, seq: u64) -> bool {
+        self.cfg.checkpoint.due(seq)
+    }
+
+    /// Log bytes pinned by the newest checkpoint (what a rejoining
+    /// node reads back from its own disk to rebuild masters).
+    pub fn log_bytes_at_checkpoint(&self) -> u64 {
+        self.bytes_at_checkpoint
+    }
+
+    /// Log bytes appended after the newest checkpoint (what a
+    /// rejoining node must still re-fetch from peers).
+    pub fn log_bytes_since_checkpoint(&self) -> u64 {
+        self.store
+            .log_bytes(self.me)
+            .saturating_sub(self.bytes_at_checkpoint)
+    }
+
+    /// Journal one barrier. Returns the appended record sizes for the
+    /// caller to book on the disk device as a write-behind batch.
+    pub fn append_barrier(&mut self, input: BarrierInput) -> BarrierOutcome {
+        let me = self.me as u32;
+        let seq = input.seq;
+        let mut recs: Vec<Record> = Vec::new();
+        let live: BTreeMap<u32, ObjMeta> = input.live.into_iter().map(|m| (m.id, m)).collect();
+        // Frees first, in id order (slot reuse emits Free before the
+        // replacement Alloc below).
+        let dead: Vec<u32> = self
+            .dir
+            .keys()
+            .filter(|id| !live.contains_key(id))
+            .copied()
+            .collect();
+        for id in dead {
+            recs.push(Record::Free { id });
+            self.shadows.remove(&id);
+            self.diff_live.remove(&id);
+        }
+        for (id, m) in &live {
+            match self.dir.get(id) {
+                None => recs.push(Record::Alloc(m.clone())),
+                Some(old) if old.bytes != m.bytes || old.parent != m.parent => {
+                    // Slot reuse: same id, different object.
+                    recs.push(Record::Free { id: *id });
+                    recs.push(Record::Alloc(m.clone()));
+                    self.shadows.remove(id);
+                    self.diff_live.remove(id);
+                }
+                Some(old) if old.home != m.home => {
+                    recs.push(Record::HomeMigrate {
+                        id: *id,
+                        home: m.home,
+                    });
+                }
+                _ => {}
+            }
+            if m.home != me {
+                // Not (or no longer) ours to master; the new home's
+                // journal carries the content from here on.
+                self.shadows.remove(id);
+                self.diff_live.remove(id);
+            }
+        }
+        let names: BTreeMap<String, NamedMeta> = input
+            .names
+            .into_iter()
+            .map(|nm| (nm.name.clone(), nm))
+            .collect();
+        let dropped: Vec<String> = self
+            .names
+            .keys()
+            .filter(|n| !names.contains_key(*n))
+            .cloned()
+            .collect();
+        for name in dropped {
+            recs.push(Record::NameDrop { name });
+        }
+        for (name, nm) in &names {
+            if self.names.get(name) != Some(nm) {
+                recs.push(Record::NameCommit(nm.clone()));
+            }
+        }
+        let mut written = input.written_home;
+        written.sort_by_key(|(id, _)| *id);
+        for (id, content) in written {
+            let Some(meta) = live.get(&id) else {
+                continue; // freed at this same barrier
+            };
+            if meta.home != me {
+                continue; // defensive: not ours to master
+            }
+            let delta = match self.shadows.get(&id) {
+                Some(shadow) => xor(&content, shadow),
+                None => content.clone(),
+            };
+            let rle = RleImage::encode(&delta).to_bytes();
+            recs.push(Record::Diff {
+                id,
+                seq,
+                delta: rle,
+            });
+            self.shadows.insert(id, content);
+        }
+        self.dir = live;
+        self.names = names;
+        let digest = state_digest(seq, &self.dir, &self.names, &self.shadows);
+        recs.push(Record::Seal {
+            seq,
+            clock: input.clock_nanos,
+            digest,
+        });
+        let checkpoint = self.checkpoint_due(seq);
+        if checkpoint {
+            recs.push(Record::Manifest(Box::new(ManifestBody {
+                seq,
+                digest,
+                dir: self.dir.values().cloned().collect(),
+                names: self.names.values().cloned().collect(),
+                extents: input.extents,
+            })));
+        }
+        let mut buf = Vec::new();
+        let mut out = BarrierOutcome::default();
+        for r in &recs {
+            let sz = r.encode_into(&mut buf) as u64;
+            out.write_sizes.push(sz);
+            match r {
+                Record::Diff { id, .. } => {
+                    self.diff_total += sz;
+                    self.diff_live.insert(*id, sz);
+                }
+                Record::Manifest(_) => out.checkpoint_bytes += sz,
+                _ => {}
+            }
+        }
+        out.records = recs.len() as u64;
+        out.bytes = buf.len() as u64;
+        self.store.append(self.me, &buf);
+        if checkpoint {
+            self.manifests.push(seq);
+            self.bytes_at_checkpoint = self.store.log_bytes(self.me);
+        }
+        if let Some(plan) = &self.verify {
+            if let Some(info) = plan.seals.get(&seq) {
+                assert_eq!(
+                    info.digest, digest,
+                    "restore verification failed: node {} state digest mismatch at barrier {seq}",
+                    self.me
+                );
+                assert_eq!(
+                    info.clock, input.clock_nanos,
+                    "restore verification failed: node {} virtual clock mismatch at barrier {seq}",
+                    self.me
+                );
+            }
+            out.replayed = seq > plan.checkpoint_seq;
+        }
+        out
+    }
+
+    /// Would a compaction run fire right now? True once the superseded
+    /// share of diff bytes crosses the configured threshold and there
+    /// is a previous checkpoint to squash below.
+    pub fn compaction_due(&self) -> bool {
+        let c = &self.cfg.compaction;
+        if !c.enabled || self.manifests.len() < 2 {
+            return false;
+        }
+        let k_prev = self.manifests[self.manifests.len() - 2];
+        if k_prev <= self.compacted_upto {
+            return false;
+        }
+        if self.diff_total < c.min_log_bytes {
+            return false;
+        }
+        let live: u64 = self.diff_live.values().sum();
+        let garbage = self.diff_total.saturating_sub(live);
+        garbage * 1000 >= u64::from(c.garbage_permille) * self.diff_total
+    }
+
+    /// Run one compaction if due: fold the log up to the previous
+    /// checkpoint, squash its diffs into consolidated images placed
+    /// just before that checkpoint's manifest, and rewrite the log.
+    /// The caller charges `read_bytes`/`write_bytes` on the node's
+    /// serial disk device (compaction competes with demand I/O).
+    pub fn maybe_compact(&mut self) -> Option<CompactionOutcome> {
+        if !self.compaction_due() {
+            return None;
+        }
+        let me = self.me as u32;
+        let k_prev = self.manifests[self.manifests.len() - 2];
+        let old = self.store.log(self.me);
+        let mut recs = Vec::new();
+        let mut at = 0;
+        while at < old.len() {
+            let (r, used) = decode_record(&old[at..])?;
+            recs.push((r, at..at + used));
+            at += used;
+        }
+        let mut fold = Fold::new(me);
+        let mut new_log: Vec<u8> = Vec::with_capacity(old.len());
+        let mut folding = true;
+        let mut read_bytes = 0u64;
+        let mut write_bytes = 0u64;
+        for (rec, span) in &recs {
+            if folding {
+                fold.apply(rec).ok()?;
+                read_bytes += span.len() as u64;
+            }
+            if let Record::Manifest(b) = rec {
+                if folding && b.seq == k_prev {
+                    // The horizon marker first: even a run that leaves
+                    // no images must tell restore which seals can no
+                    // longer be re-folded.
+                    Record::CompactionHorizon { upto_seq: k_prev }.encode_into(&mut new_log);
+                    // Consolidated images for every live master at
+                    // k_prev, in id order, ahead of the manifest that
+                    // pins them.
+                    for (id, content) in &fold.content {
+                        if b.dir.iter().any(|m| m.id == *id && m.home == me) {
+                            Record::Compacted {
+                                id: *id,
+                                upto_seq: k_prev,
+                                image: RleImage::encode(content).to_bytes(),
+                            }
+                            .encode_into(&mut new_log);
+                        }
+                    }
+                    new_log.extend_from_slice(&old[span.clone()]);
+                    folding = false;
+                    write_bytes = new_log.len() as u64;
+                    continue;
+                }
+            }
+            let keep = match rec {
+                Record::Diff { seq, .. } => *seq > k_prev,
+                Record::Compacted { upto_seq, .. } | Record::CompactionHorizon { upto_seq } => {
+                    *upto_seq > k_prev
+                }
+                _ => true,
+            };
+            if keep {
+                new_log.extend_from_slice(&old[span.clone()]);
+            }
+        }
+        let reclaimed = (old.len() as u64).saturating_sub(new_log.len() as u64);
+        // Recompute diff accounting and the checkpoint pin against the
+        // rewritten log.
+        self.diff_total = 0;
+        self.diff_live.clear();
+        self.bytes_at_checkpoint = 0;
+        let mut at = 0;
+        while at < new_log.len() {
+            let (r, used) = decode_record(&new_log[at..])?;
+            match &r {
+                Record::Diff { id, .. } | Record::Compacted { id, .. } => {
+                    self.diff_total += used as u64;
+                    self.diff_live.insert(*id, used as u64);
+                }
+                Record::Free { id } => {
+                    self.diff_live.remove(id);
+                }
+                Record::Manifest(_) => {
+                    self.bytes_at_checkpoint = (at + used) as u64;
+                }
+                _ => {}
+            }
+            at += used;
+        }
+        self.store.replace(self.me, new_log);
+        self.compacted_upto = k_prev;
+        Some(CompactionOutcome {
+            read_bytes,
+            write_bytes,
+            reclaimed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CheckpointPolicy, CompactionConfig};
+
+    fn meta(id: u32, home: u32, bytes: u64) -> ObjMeta {
+        ObjMeta {
+            id,
+            home,
+            version: 0,
+            bytes,
+            parent: None,
+        }
+    }
+
+    fn input(seq: u64, live: Vec<ObjMeta>, written: Vec<(u32, Vec<u8>)>) -> BarrierInput {
+        BarrierInput {
+            seq,
+            clock_nanos: seq * 1000,
+            live,
+            names: Vec::new(),
+            written_home: written,
+            extents: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn single_node_journal_restores_content() {
+        let store = PersistStore::new(1);
+        let mut j = NodeJournal::new(0, store.clone(), PersistConfig::every(2));
+        let o = meta(1, 0, 8);
+        let out = j.append_barrier(input(1, vec![o.clone()], vec![(1, vec![1u8; 8])]));
+        assert!(out.records >= 3); // alloc, diff, seal
+        assert_eq!(out.checkpoint_bytes, 0);
+        let out = j.append_barrier(input(2, vec![o.clone()], vec![(1, vec![2u8; 8])]));
+        assert!(out.checkpoint_bytes > 0, "barrier 2 checkpoints");
+        assert_eq!(j.log_bytes_at_checkpoint(), store.log_bytes(0));
+        let restored = store.restore().expect("restore");
+        assert_eq!(restored.checkpoint_seq, 2);
+        let n0 = &restored.nodes[0];
+        assert_eq!(n0.objects.get(&1).unwrap(), &vec![2u8; 8]);
+        assert_eq!(n0.dir.len(), 1);
+        assert_eq!(n0.torn_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_checkpoint() {
+        let store = PersistStore::new(1);
+        let mut j = NodeJournal::new(0, store.clone(), PersistConfig::every(2));
+        let o = meta(1, 0, 8);
+        for seq in 1..=4 {
+            j.append_barrier(input(seq, vec![o.clone()], vec![(1, vec![seq as u8; 8])]));
+        }
+        let full = store.log_bytes(0);
+        // Tear mid-way through the final barrier's records: restore
+        // falls back to checkpoint 2... or 4 if the manifest survived.
+        for keep in (0..full).rev() {
+            store.truncate_tail(0, keep as usize);
+            match store.restore() {
+                Ok(r) => assert!(r.checkpoint_seq == 2 || r.checkpoint_seq == 4),
+                Err(e) => assert_eq!(e, crate::restore::PersistError::NoCheckpoint { node: 0 }),
+            }
+        }
+    }
+
+    #[test]
+    fn free_and_slot_reuse_reset_content() {
+        let store = PersistStore::new(1);
+        let mut j = NodeJournal::new(0, store.clone(), PersistConfig::every(1));
+        j.append_barrier(input(1, vec![meta(1, 0, 8)], vec![(1, vec![7u8; 8])]));
+        // Slot 1 reused for a differently-sized object.
+        j.append_barrier(input(2, vec![meta(1, 0, 16)], vec![(1, vec![9u8; 16])]));
+        let restored = store.restore().expect("restore");
+        assert_eq!(
+            restored.nodes[0].objects.get(&1).unwrap(),
+            &vec![9u8; 16],
+            "reused slot must not inherit the old object's shadow"
+        );
+        // Freed entirely.
+        j.append_barrier(input(3, vec![], vec![]));
+        let restored = store.restore().expect("restore");
+        assert!(restored.nodes[0].objects.is_empty());
+        assert!(restored.nodes[0].dir.is_empty());
+    }
+
+    #[test]
+    fn home_migration_moves_mastership_between_journals() {
+        let store = PersistStore::new(2);
+        let cfg = PersistConfig::every(1);
+        let mut j0 = NodeJournal::new(0, store.clone(), cfg.clone());
+        let mut j1 = NodeJournal::new(1, store.clone(), cfg);
+        // Barrier 1: object homed at 0.
+        j0.append_barrier(input(1, vec![meta(1, 0, 8)], vec![(1, vec![1u8; 8])]));
+        j1.append_barrier(input(1, vec![meta(1, 0, 8)], vec![]));
+        // Barrier 2: home migrates to 1, which writes it.
+        j0.append_barrier(input(2, vec![meta(1, 1, 8)], vec![]));
+        j1.append_barrier(input(2, vec![meta(1, 1, 8)], vec![(1, vec![2u8; 8])]));
+        let restored = store.restore().expect("restore");
+        assert!(restored.nodes[0].objects.is_empty());
+        assert_eq!(restored.nodes[1].objects.get(&1).unwrap(), &vec![2u8; 8]);
+        assert_eq!(restored.nodes[0].dir, restored.nodes[1].dir);
+    }
+
+    #[test]
+    fn names_commit_and_drop() {
+        let store = PersistStore::new(1);
+        let mut j = NodeJournal::new(0, store.clone(), PersistConfig::every(1));
+        let nm = NamedMeta {
+            name: "grid".into(),
+            id: 1,
+            elem_size: 4,
+            len: 2,
+        };
+        let mut inp = input(1, vec![meta(1, 0, 8)], vec![]);
+        inp.names = vec![nm.clone()];
+        j.append_barrier(inp);
+        let restored = store.restore().expect("restore");
+        assert_eq!(restored.nodes[0].names, vec![nm]);
+        j.append_barrier(input(2, vec![], vec![]));
+        let restored = store.restore().expect("restore");
+        assert!(restored.nodes[0].names.is_empty());
+    }
+
+    fn churn(j: &mut NodeJournal, barriers: u64) {
+        let o = meta(1, 0, 64);
+        for seq in 1..=barriers {
+            let mut content = vec![0u8; 64];
+            content[(seq as usize * 7) % 64] = seq as u8;
+            j.append_barrier(input(seq, vec![o.clone()], vec![(1, content)]));
+        }
+    }
+
+    #[test]
+    fn compaction_reclaims_and_preserves_restore() {
+        let store = PersistStore::new(1);
+        let cfg = PersistConfig::every(4).with_compaction(CompactionConfig {
+            enabled: true,
+            garbage_permille: 100,
+            min_log_bytes: 64,
+            poll: lots_sim::SimDuration::from_millis(1),
+        });
+        let mut j = NodeJournal::new(0, store.clone(), cfg);
+        churn(&mut j, 12);
+        let before = store.restore().expect("restore before compaction");
+        assert!(
+            j.compaction_due(),
+            "12 single-object diffs are mostly garbage"
+        );
+        let pre_bytes = store.log_bytes(0);
+        let out = j.maybe_compact().expect("compaction runs");
+        assert!(out.reclaimed > 0);
+        assert!(out.read_bytes > 0 && out.write_bytes > 0);
+        assert_eq!(store.log_bytes(0), pre_bytes - out.reclaimed);
+        let after = store.restore().expect("restore after compaction");
+        assert_eq!(before.checkpoint_seq, after.checkpoint_seq);
+        assert_eq!(before.nodes[0].objects, after.nodes[0].objects);
+        assert_eq!(before.nodes[0].dir, after.nodes[0].dir);
+        assert_eq!(before.nodes[0].seals, after.nodes[0].seals);
+        // A second immediate run is not due (nothing newly garbage).
+        assert!(j.maybe_compact().is_none());
+    }
+
+    #[test]
+    fn never_policy_never_checkpoints() {
+        let store = PersistStore::new(1);
+        let mut j = NodeJournal::new(
+            0,
+            store.clone(),
+            PersistConfig::new(CheckpointPolicy::Never),
+        );
+        churn(&mut j, 4);
+        assert_eq!(
+            store.restore(),
+            Err(crate::restore::PersistError::NoCheckpoint { node: 0 })
+        );
+        assert_eq!(j.log_bytes_at_checkpoint(), 0);
+        assert_eq!(j.log_bytes_since_checkpoint(), store.log_bytes(0));
+    }
+
+    #[test]
+    fn verify_plan_accepts_identical_replay_and_counts_replayed() {
+        let store = PersistStore::new(1);
+        let mut j = NodeJournal::new(0, store.clone(), PersistConfig::every(2));
+        churn(&mut j, 4);
+        let restored = store.restore().expect("restore");
+        assert_eq!(restored.checkpoint_seq, 4);
+        // Tear the log back past barrier 4's manifest so the plan's
+        // checkpoint is 2, then replay barriers 1..=4 identically.
+        let store2 = PersistStore::new(1);
+        let mut j2 = NodeJournal::new(0, store2.clone(), PersistConfig::every(2));
+        let mut plan = restored.verify_plan(0);
+        plan.checkpoint_seq = 2;
+        j2.set_verify(plan);
+        let o = meta(1, 0, 64);
+        let mut replayed = 0;
+        for seq in 1..=4u64 {
+            let mut content = vec![0u8; 64];
+            content[(seq as usize * 7) % 64] = seq as u8;
+            let out = j2.append_barrier(input(seq, vec![o.clone()], vec![(1, content)]));
+            replayed += u64::from(out.replayed);
+        }
+        assert_eq!(replayed, 2, "barriers 3 and 4 lie beyond checkpoint 2");
+        assert_eq!(store2.log(0), store.log(0), "replay is byte-identical");
+    }
+
+    #[test]
+    #[should_panic(expected = "state digest mismatch at barrier 2")]
+    fn verify_plan_panics_on_divergent_replay() {
+        let store = PersistStore::new(1);
+        let mut j = NodeJournal::new(0, store.clone(), PersistConfig::every(2));
+        churn(&mut j, 2);
+        let restored = store.restore().expect("restore");
+        let mut j2 = NodeJournal::new(0, PersistStore::new(1), PersistConfig::every(2));
+        j2.set_verify(restored.verify_plan(0));
+        let o = meta(1, 0, 64);
+        j2.append_barrier(input(
+            1,
+            vec![o.clone()],
+            vec![(1, {
+                let mut c = vec![0u8; 64];
+                c[7] = 1;
+                c
+            })],
+        ));
+        // Divergent content at barrier 2.
+        j2.append_barrier(input(2, vec![o], vec![(1, vec![0xAA; 64])]));
+    }
+}

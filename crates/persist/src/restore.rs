@@ -1,0 +1,371 @@
+//! Cold-start restore: journals + manifests → cluster state.
+//!
+//! Restore is a pure fold over each node's record stream. Parsing
+//! stops at the first frame that fails its length/CRC check (a torn
+//! append), the cluster checkpoint `K` is the newest manifest sequence
+//! completed by **every** node, and each node's state at `K` is
+//! rebuilt purely from its records: compacted images seed object
+//! content, interval diffs XOR on top, lifecycle records maintain the
+//! directory and name table, and the manifest at `K` supplies the
+//! authoritative version vector and extent map.
+//!
+//! Every digest that is still recomputable is verified during the
+//! fold: seal digests for barriers newer than the newest compaction
+//! horizon (older seals may reference diffs compaction has squashed),
+//! and manifest digests from that horizon on. A replayed run then
+//! re-verifies the same digests barrier-by-barrier through its
+//! [`VerifyPlan`](crate::journal::VerifyPlan).
+
+use std::collections::BTreeMap;
+
+use lots_disk::RleImage;
+
+use crate::journal::SealInfo;
+use crate::record::{decode_record, state_digest, Extent, NamedMeta, ObjMeta, Record};
+use crate::store::PersistStore;
+
+/// Why a restore could not produce a consistent cluster state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// A node's readable log contains no complete checkpoint manifest.
+    NoCheckpoint {
+        /// The node without a manifest.
+        node: usize,
+    },
+    /// The cluster checkpoint sequence exists on other nodes but this
+    /// node's log has no manifest at it (policies are cluster-uniform,
+    /// so this indicates a damaged log).
+    MissingManifest {
+        /// The node missing the manifest.
+        node: usize,
+        /// The cluster checkpoint sequence.
+        seq: u64,
+    },
+    /// A recomputed state digest disagrees with the sealed one.
+    DigestMismatch {
+        /// The node whose fold diverged.
+        node: usize,
+        /// The barrier at which it diverged.
+        seq: u64,
+    },
+    /// A structurally valid record could not be applied (e.g. a diff
+    /// whose RLE payload does not parse).
+    Inconsistent {
+        /// The node with the bad record.
+        node: usize,
+        /// Log byte offset of the record.
+        at: usize,
+        /// What went wrong.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::NoCheckpoint { node } => {
+                write!(f, "node {node}: no complete checkpoint manifest in log")
+            }
+            PersistError::MissingManifest { node, seq } => {
+                write!(f, "node {node}: no manifest at cluster checkpoint {seq}")
+            }
+            PersistError::DigestMismatch { node, seq } => {
+                write!(f, "node {node}: state digest mismatch at barrier {seq}")
+            }
+            PersistError::Inconsistent { node, at, what } => {
+                write!(f, "node {node}: {what} at log byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// One node's state rebuilt at the cluster checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestoredNode {
+    /// The node's rank.
+    pub me: usize,
+    /// Replicated directory at the checkpoint (id order), including
+    /// the per-object version vector from the manifest.
+    pub dir: Vec<ObjMeta>,
+    /// Name table at the checkpoint.
+    pub names: Vec<NamedMeta>,
+    /// The node's DMM extent map at the checkpoint.
+    pub extents: Vec<Extent>,
+    /// Content of every home-owned master this node had journaled by
+    /// the checkpoint. Objects never published through a barrier have
+    /// no journaled content (they are still in their unwritten state).
+    pub objects: BTreeMap<u32, Vec<u8>>,
+    /// Digest + virtual clock of every seal in the readable log
+    /// (including barriers after the checkpoint — replay verifies
+    /// against these).
+    pub seals: BTreeMap<u64, SealInfo>,
+    /// Log bytes up to and including the checkpoint manifest — what a
+    /// rejoining node reads back from its own disk.
+    pub log_bytes_at_checkpoint: u64,
+    /// Total readable log bytes.
+    pub log_bytes_total: u64,
+    /// Bytes dropped from the tail as torn/corrupt.
+    pub torn_bytes: u64,
+}
+
+/// Cluster state rebuilt from a [`PersistStore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestoredCluster {
+    /// The cluster checkpoint: newest manifest sequence completed by
+    /// every node.
+    pub checkpoint_seq: u64,
+    /// Per-node rebuilt state, indexed by rank.
+    pub nodes: Vec<RestoredNode>,
+}
+
+impl RestoredCluster {
+    /// The verification plan a replaying node runs against: every
+    /// sealed digest/clock in its log, and the checkpoint sequence
+    /// separating verified-from-disk barriers from replayed ones.
+    pub fn verify_plan(&self, node: usize) -> crate::journal::VerifyPlan {
+        crate::journal::VerifyPlan {
+            checkpoint_seq: self.checkpoint_seq,
+            seals: self.nodes[node].seals.clone(),
+        }
+    }
+}
+
+/// Streaming fold of one node's record stream: directory membership,
+/// name table, and home-owned master content. Shared by restore and by
+/// the compactor (which folds to the previous checkpoint to build its
+/// consolidated images).
+pub(crate) struct Fold {
+    me: u32,
+    /// Directory as of the last applied record. `version` fields are
+    /// best-effort (alloc-time); digests exclude them.
+    pub dir: BTreeMap<u32, ObjMeta>,
+    /// Name table as of the last applied record.
+    pub names: BTreeMap<String, NamedMeta>,
+    /// Home-owned master content (mirrors the journal's shadows).
+    pub content: BTreeMap<u32, Vec<u8>>,
+}
+
+impl Fold {
+    pub(crate) fn new(me: u32) -> Fold {
+        Fold {
+            me,
+            dir: BTreeMap::new(),
+            names: BTreeMap::new(),
+            content: BTreeMap::new(),
+        }
+    }
+
+    /// Apply one record. Seal/manifest records are fold no-ops (the
+    /// caller checks digests around them).
+    pub(crate) fn apply(&mut self, rec: &Record) -> Result<(), &'static str> {
+        match rec {
+            Record::Alloc(m) => {
+                self.dir.insert(m.id, m.clone());
+                self.content.remove(&m.id);
+            }
+            Record::Free { id } => {
+                self.dir.remove(id);
+                self.content.remove(id);
+            }
+            Record::NameCommit(nm) => {
+                self.names.insert(nm.name.clone(), nm.clone());
+            }
+            Record::NameDrop { name } => {
+                self.names.remove(name);
+            }
+            Record::HomeMigrate { id, home } => {
+                if let Some(m) = self.dir.get_mut(id) {
+                    m.home = *home;
+                }
+                if *home != self.me {
+                    self.content.remove(id);
+                }
+            }
+            Record::Diff { id, delta, .. } => {
+                let (img, _) = RleImage::from_bytes(delta).map_err(|_| "corrupt diff payload")?;
+                let delta = img.decode();
+                match self.content.get_mut(id) {
+                    Some(cur) => {
+                        if cur.len() < delta.len() {
+                            cur.resize(delta.len(), 0);
+                        }
+                        for (c, d) in cur.iter_mut().zip(&delta) {
+                            *c ^= d;
+                        }
+                    }
+                    None => {
+                        self.content.insert(*id, delta);
+                    }
+                }
+            }
+            Record::Compacted { id, image, .. } => {
+                let (img, _) = RleImage::from_bytes(image).map_err(|_| "corrupt image payload")?;
+                self.content.insert(*id, img.decode());
+            }
+            Record::Seal { .. } | Record::Manifest(_) | Record::CompactionHorizon { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// The fold's state digest at barrier `seq`.
+    pub(crate) fn digest(&self, seq: u64) -> u64 {
+        state_digest(seq, &self.dir, &self.names, &self.content)
+    }
+}
+
+struct ParsedLog {
+    recs: Vec<(Record, std::ops::Range<usize>)>,
+    readable: usize,
+    torn: usize,
+}
+
+fn parse_log(bytes: &[u8]) -> ParsedLog {
+    let mut recs = Vec::new();
+    let mut at = 0;
+    while at < bytes.len() {
+        match decode_record(&bytes[at..]) {
+            Some((rec, used)) => {
+                recs.push((rec, at..at + used));
+                at += used;
+            }
+            None => break,
+        }
+    }
+    ParsedLog {
+        recs,
+        readable: at,
+        torn: bytes.len() - at,
+    }
+}
+
+pub(crate) fn restore(store: &PersistStore) -> Result<RestoredCluster, PersistError> {
+    let n = store.nodes();
+    let parsed: Vec<ParsedLog> = (0..n).map(|node| parse_log(&store.log(node))).collect();
+    // The cluster checkpoint: newest manifest every node completed.
+    let mut k = u64::MAX;
+    for (node, p) in parsed.iter().enumerate() {
+        let last = p
+            .recs
+            .iter()
+            .filter_map(|(r, _)| match r {
+                Record::Manifest(b) => Some(b.seq),
+                _ => None,
+            })
+            .max()
+            .ok_or(PersistError::NoCheckpoint { node })?;
+        k = k.min(last);
+    }
+    let mut nodes = Vec::with_capacity(n);
+    for (node, p) in parsed.iter().enumerate() {
+        let c_max = p
+            .recs
+            .iter()
+            .filter_map(|(r, _)| match r {
+                Record::Compacted { upto_seq, .. } | Record::CompactionHorizon { upto_seq } => {
+                    Some(*upto_seq)
+                }
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        let mut fold = Fold::new(node as u32);
+        let mut seals = BTreeMap::new();
+        let mut snapshot = None;
+        for (rec, span) in &p.recs {
+            fold.apply(rec).map_err(|what| PersistError::Inconsistent {
+                node,
+                at: span.start,
+                what,
+            })?;
+            match rec {
+                Record::Seal { seq, clock, digest } => {
+                    seals.insert(
+                        *seq,
+                        SealInfo {
+                            digest: *digest,
+                            clock: *clock,
+                        },
+                    );
+                    // Seals at or below the compaction horizon may
+                    // reference squashed diffs; skip those.
+                    if *seq > c_max && fold.digest(*seq) != *digest {
+                        return Err(PersistError::DigestMismatch { node, seq: *seq });
+                    }
+                }
+                Record::Manifest(b) => {
+                    if b.seq >= c_max && fold.digest(b.seq) != b.digest {
+                        return Err(PersistError::DigestMismatch { node, seq: b.seq });
+                    }
+                    if b.seq == k {
+                        let home_owned: BTreeMap<u32, Vec<u8>> = fold
+                            .content
+                            .iter()
+                            .filter(|(id, _)| {
+                                b.dir.iter().any(|m| m.id == **id && m.home == node as u32)
+                            })
+                            .map(|(id, c)| (*id, c.clone()))
+                            .collect();
+                        snapshot = Some((
+                            b.dir.clone(),
+                            b.names.clone(),
+                            b.extents.clone(),
+                            home_owned,
+                            span.end as u64,
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        let (dir, names, extents, objects, log_bytes_at_checkpoint) =
+            snapshot.ok_or(PersistError::MissingManifest { node, seq: k })?;
+        nodes.push(RestoredNode {
+            me: node,
+            dir,
+            names,
+            extents,
+            objects,
+            seals,
+            log_bytes_at_checkpoint,
+            log_bytes_total: p.readable as u64,
+            torn_bytes: p.torn as u64,
+        });
+    }
+    Ok(RestoredCluster {
+        checkpoint_seq: k,
+        nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        assert!(PersistError::NoCheckpoint { node: 2 }
+            .to_string()
+            .contains("node 2"));
+        assert!(PersistError::DigestMismatch { node: 0, seq: 9 }
+            .to_string()
+            .contains("barrier 9"));
+        assert!(PersistError::MissingManifest { node: 1, seq: 4 }
+            .to_string()
+            .contains("checkpoint 4"));
+        assert!(PersistError::Inconsistent {
+            node: 0,
+            at: 12,
+            what: "corrupt diff payload"
+        }
+        .to_string()
+        .contains("byte 12"));
+    }
+
+    #[test]
+    fn empty_store_has_no_checkpoint() {
+        let s = PersistStore::new(2);
+        assert_eq!(s.restore(), Err(PersistError::NoCheckpoint { node: 0 }));
+    }
+}

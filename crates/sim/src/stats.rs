@@ -101,7 +101,14 @@ struct NodeStatsInner {
     versions_published: AtomicU64,
     versions_reclaimed: AtomicU64,
     rejoin_rounds: AtomicU64,
-    rejoin_bytes: AtomicU64,
+    rejoin_log_bytes: AtomicU64,
+    rejoin_peer_bytes: AtomicU64,
+    log_records: AtomicU64,
+    log_bytes_appended: AtomicU64,
+    compaction_runs: AtomicU64,
+    compaction_bytes_reclaimed: AtomicU64,
+    checkpoint_bytes: AtomicU64,
+    restore_replay_barriers: AtomicU64,
 }
 
 impl NodeStats {
@@ -296,13 +303,23 @@ impl NodeStats {
     }
 
     /// Record one crash-rejoin round completed by this node, with the
-    /// directory/name-table bytes re-fetched from a peer replica.
+    /// directory/name-table/master bytes re-fetched from peer replicas.
     #[inline]
-    pub fn count_rejoin(&self, directory_bytes: u64) {
+    pub fn count_rejoin(&self, peer_bytes: u64) {
         self.inner.rejoin_rounds.fetch_add(1, Ordering::Relaxed);
         self.inner
-            .rejoin_bytes
-            .fetch_add(directory_bytes, Ordering::Relaxed);
+            .rejoin_peer_bytes
+            .fetch_add(peer_bytes, Ordering::Relaxed);
+    }
+
+    /// Record journal bytes a rejoining node read back from its own
+    /// durable log (persistence on: masters rebuilt locally instead of
+    /// being re-shipped by peers).
+    #[inline]
+    pub fn count_rejoin_log_bytes(&self, bytes: u64) {
+        self.inner
+            .rejoin_log_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
     }
 
     /// Crash-rejoin rounds this node went through.
@@ -310,9 +327,88 @@ impl NodeStats {
         self.inner.rejoin_rounds.load(Ordering::Relaxed)
     }
 
-    /// Directory/name-table bytes re-fetched from peers during rejoins.
+    /// Total bytes a rejoin cost, from either source.
     pub fn rejoin_bytes(&self) -> u64 {
-        self.inner.rejoin_bytes.load(Ordering::Relaxed)
+        self.rejoin_log_bytes() + self.rejoin_peer_bytes()
+    }
+
+    /// Journal bytes read back from the node's own log during rejoins.
+    pub fn rejoin_log_bytes(&self) -> u64 {
+        self.inner.rejoin_log_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Directory/name-table/master bytes re-fetched from peers during
+    /// rejoins.
+    pub fn rejoin_peer_bytes(&self) -> u64 {
+        self.inner.rejoin_peer_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Record one barrier's journal append batch.
+    #[inline]
+    pub fn count_log_append(&self, records: u64, bytes: u64) {
+        self.inner.log_records.fetch_add(records, Ordering::Relaxed);
+        self.inner
+            .log_bytes_appended
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Journal records appended by this node.
+    pub fn log_records(&self) -> u64 {
+        self.inner.log_records.load(Ordering::Relaxed)
+    }
+
+    /// Journal bytes appended by this node.
+    pub fn log_bytes_appended(&self) -> u64 {
+        self.inner.log_bytes_appended.load(Ordering::Relaxed)
+    }
+
+    /// Record one background compaction run and the log bytes it
+    /// reclaimed.
+    #[inline]
+    pub fn count_compaction(&self, bytes_reclaimed: u64) {
+        self.inner.compaction_runs.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .compaction_bytes_reclaimed
+            .fetch_add(bytes_reclaimed, Ordering::Relaxed);
+    }
+
+    /// Background compaction runs on this node's log.
+    pub fn compaction_runs(&self) -> u64 {
+        self.inner.compaction_runs.load(Ordering::Relaxed)
+    }
+
+    /// Log bytes reclaimed by compaction.
+    pub fn compaction_bytes_reclaimed(&self) -> u64 {
+        self.inner
+            .compaction_bytes_reclaimed
+            .load(Ordering::Relaxed)
+    }
+
+    /// Record the bytes of one sealed checkpoint manifest.
+    #[inline]
+    pub fn count_checkpoint(&self, manifest_bytes: u64) {
+        self.inner
+            .checkpoint_bytes
+            .fetch_add(manifest_bytes, Ordering::Relaxed);
+    }
+
+    /// Checkpoint manifest bytes appended by this node.
+    pub fn checkpoint_bytes(&self) -> u64 {
+        self.inner.checkpoint_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Record one barrier replayed beyond the restored checkpoint.
+    #[inline]
+    pub fn count_restore_replay_barrier(&self) {
+        self.inner
+            .restore_replay_barriers
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Barriers this node replayed past the checkpoint it restored
+    /// from (0 outside restore runs).
+    pub fn restore_replay_barriers(&self) -> u64 {
+        self.inner.restore_replay_barriers.load(Ordering::Relaxed)
     }
 
     #[inline]
@@ -438,6 +534,29 @@ mod tests {
         s.set_dmm_gauges(800, 300); // gauges overwrite, not accumulate
         assert_eq!(s.dmm_free_bytes(), 800);
         assert_eq!(s.dmm_largest_hole(), 300);
+    }
+
+    #[test]
+    fn persistence_counters_accumulate() {
+        let s = NodeStats::new();
+        s.count_log_append(5, 512);
+        s.count_log_append(2, 100);
+        s.count_compaction(300);
+        s.count_checkpoint(128);
+        s.count_restore_replay_barrier();
+        s.count_restore_replay_barrier();
+        s.count_rejoin(1000);
+        s.count_rejoin_log_bytes(400);
+        assert_eq!(s.log_records(), 7);
+        assert_eq!(s.log_bytes_appended(), 612);
+        assert_eq!(s.compaction_runs(), 1);
+        assert_eq!(s.compaction_bytes_reclaimed(), 300);
+        assert_eq!(s.checkpoint_bytes(), 128);
+        assert_eq!(s.restore_replay_barriers(), 2);
+        assert_eq!(s.rejoin_rounds(), 1);
+        assert_eq!(s.rejoin_peer_bytes(), 1000);
+        assert_eq!(s.rejoin_log_bytes(), 400);
+        assert_eq!(s.rejoin_bytes(), 1400);
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Kill a cluster mid-run, restore it from its journals, replay —
+//! and get the uninterrupted run's answers, bit for bit.
+//!
+//! The object-churn workload runs on a 4-node LOTS cluster with the
+//! persistence subsystem on (`EveryNBarriers(4)` checkpoints) under
+//! the full lossy-network cocktail: seeded loss, duplication and
+//! reordering, a healing minority partition, and one crash-rejoin.
+//! A second run adds a fatal mid-run kill (one node panics entering a
+//! barrier); its journals — torn off at the kill — are then restored
+//! to the newest cluster-complete checkpoint and replayed. The replay
+//! verifies every sealed state digest and virtual clock barrier by
+//! barrier, and must finish with checksums, virtual times and traffic
+//! **byte-identical** to the uninterrupted run — under both the
+//! sequential `Deterministic` engine and the conservative `Parallel`
+//! engine.
+//!
+//! ```text
+//! cargo run --release --example checkpoint_restore
+//! LOTS_SMOKE=1 cargo run --release --example checkpoint_restore   # CI job
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use lots::apps::churn::{model_checksum, run_churn, ChurnParams};
+use lots::core::{
+    restore_cluster, run_cluster, ClusterOptions, ClusterReport, Dsm, LotsConfig, PersistConfig,
+    PersistStore, SchedulerMode,
+};
+use lots::sim::machine::p4_fedora;
+use lots::sim::{CrashFault, FaultPlan, PanicFault, Partition, SimDuration, SimInstant};
+
+const NODES: usize = 4;
+
+/// The barrier whose entry kills node 2 in the interrupted run. Late
+/// enough that the crash-rejoin (barrier 6) has healed and at least
+/// two checkpoints (barriers 4 and 8) have sealed on every node.
+const KILL_BARRIER: u64 = 11;
+
+/// Seeded loss + dup + reorder, one healing minority partition, one
+/// recoverable crash-rejoin — the lossy-network cocktail the restore
+/// must be exact under. The crash lands after the first checkpoint
+/// (barrier 4) so the rejoining node has journal bytes pinned on its
+/// own disk to rebuild masters from.
+fn plan() -> FaultPlan {
+    FaultPlan {
+        seed: 1234,
+        loss_permille: 15,
+        dup_permille: 30,
+        reorder_permille: 25,
+        partitions: vec![Partition {
+            start: SimInstant(2_000_000),
+            end: SimInstant(8_000_000),
+            islanders: vec![3],
+        }],
+        crash_node: Some(CrashFault {
+            node: 1,
+            at_barrier: 6,
+            reboot: SimDuration::from_millis(25),
+        }),
+        ..FaultPlan::none()
+    }
+}
+
+fn opts(store: Option<PersistStore>, faults: FaultPlan) -> ClusterOptions {
+    let lots = LotsConfig::small(1 << 20).with_persist(PersistConfig::every(4));
+    let mut o = ClusterOptions::new(NODES, lots, p4_fedora()).with_faults(faults);
+    if let Some(s) = store {
+        o = o.with_persist_store(s);
+    }
+    o
+}
+
+/// Everything that must replay bit for bit: per-node virtual time,
+/// traffic, consistency work, and the recovery + journal counters.
+fn fingerprint(report: &ClusterReport) -> String {
+    report
+        .nodes
+        .iter()
+        .map(|n| {
+            format!(
+                "{}:{}:{}:{}:{}:{}:{}:{};",
+                n.me,
+                n.time.nanos(),
+                n.traffic.bytes_sent(),
+                n.traffic.msgs_sent(),
+                n.stats.access_checks(),
+                n.stats.rejoin_log_bytes(),
+                n.stats.rejoin_peer_bytes(),
+                n.stats.log_records(),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let smoke = std::env::var("LOTS_SMOKE").is_ok_and(|v| v == "1");
+    let params = if smoke {
+        ChurnParams::smoke()
+    } else {
+        ChurnParams {
+            phases: 96,
+            ..ChurnParams::smoke()
+        }
+    };
+    let model = model_checksum(&params, 0);
+    let kernel = move |dsm: &Dsm| run_churn(dsm, &params).checksum;
+
+    // 1. The uninterrupted run: churn through the full fault cocktail
+    //    with the journal on. Its answers are the bar the restore must
+    //    clear exactly.
+    let base_store = PersistStore::new(NODES);
+    let (base, base_report) = run_cluster(opts(Some(base_store.clone()), plan()), kernel);
+    for (node, c) in base.iter().enumerate() {
+        assert_eq!(*c, model, "node {node} checksum vs the sequential model");
+    }
+    let rejoin_log: u64 = base_report
+        .nodes
+        .iter()
+        .map(|n| n.stats.rejoin_log_bytes())
+        .sum();
+    let log_bytes: u64 = base_report
+        .nodes
+        .iter()
+        .map(|n| n.stats.log_bytes_appended())
+        .sum();
+    let checkpoints: u64 = base_report
+        .nodes
+        .iter()
+        .map(|n| n.stats.checkpoint_bytes())
+        .sum();
+    assert!(
+        rejoin_log > 0,
+        "the rejoin must rebuild masters from its own journal"
+    );
+    assert!(checkpoints > 0, "EveryNBarriers(4) must seal checkpoints");
+    println!(
+        "uninterrupted: {} phases in {:.3} s, {} journal B appended \
+         ({} B of manifests), rejoin read {} B from its own log",
+        params.phases,
+        base_report.exec_time.as_secs_f64(),
+        log_bytes,
+        checkpoints,
+        rejoin_log,
+    );
+
+    // 2. The same run, killed: node 2 panics entering barrier
+    //    KILL_BARRIER, poisoning the whole cluster. The journals in
+    //    `killed_store` survive the wreck.
+    let killed_store = PersistStore::new(NODES);
+    let mut kopts = opts(Some(killed_store.clone()), plan());
+    kopts.faults.panic_node = Some(PanicFault {
+        node: 2,
+        at_barrier: KILL_BARRIER,
+    });
+    // Silence the (intentional) kill's panic chatter; the threads it
+    // poisons would otherwise each print a backtrace.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let wreck = catch_unwind(AssertUnwindSafe(|| run_cluster(kopts, kernel)));
+    std::panic::set_hook(prev_hook);
+    assert!(wreck.is_err(), "the kill must abort the run");
+    println!(
+        "killed: node 2 died entering barrier {KILL_BARRIER}; journals hold {} B",
+        (0..NODES).map(|i| killed_store.log_bytes(i)).sum::<u64>(),
+    );
+
+    // 3. Cold-start restore from the wreck's journals, then replay
+    //    under both engines. Every sealed digest and clock is
+    //    re-verified during the replay; the final answers and the full
+    //    report fingerprint must equal the uninterrupted run's.
+    let base_print = fingerprint(&base_report);
+    for (label, engine) in [
+        ("Deterministic", SchedulerMode::Deterministic),
+        ("Parallel{4}", SchedulerMode::Parallel { workers: 4 }),
+    ] {
+        let restored = killed_store.restore().expect("journals restore");
+        assert!(
+            restored.checkpoint_seq >= 4 && restored.checkpoint_seq.is_multiple_of(4),
+            "checkpoint {} is not a sealed multiple of 4",
+            restored.checkpoint_seq
+        );
+        let checkpoint_seq = restored.checkpoint_seq;
+        let (replayed, report) = restore_cluster(
+            Arc::new(restored),
+            opts(None, plan()).with_scheduler(engine),
+            kernel,
+        );
+        assert_eq!(base, replayed, "{label}: replay answers diverged");
+        assert_eq!(
+            base_print,
+            fingerprint(&report),
+            "{label}: replay fingerprint diverged"
+        );
+        let replayed_barriers: u64 = report
+            .nodes
+            .iter()
+            .map(|n| n.stats.restore_replay_barriers())
+            .sum();
+        assert!(
+            replayed_barriers > 0,
+            "{label}: barriers beyond checkpoint {checkpoint_seq} must count as replayed"
+        );
+        println!(
+            "restore [{label}]: checkpoint {checkpoint_seq}, {} barrier-intervals replayed \
+             — answers and fingerprint identical",
+            replayed_barriers,
+        );
+    }
+    println!("killed, restored, replayed: bit-identical to the uninterrupted run.");
+}

@@ -40,6 +40,7 @@ pub use lots_core as core;
 pub use lots_disk as disk;
 pub use lots_jiajia as jiajia;
 pub use lots_net as net;
+pub use lots_persist as persist;
 pub use lots_sim as sim;
 
 pub use lots_core::{DsmApi, DsmSlice};
